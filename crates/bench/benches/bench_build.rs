@@ -1,0 +1,50 @@
+//! Criterion bench for the Section-10 build tables (`tab-build-*`):
+//! the database-build workload per server version.
+//!
+//! Measures the full graph-driven insert stream (steps + interleaved
+//! queries) at a Criterion-friendly scale; the paper-shaped interval
+//! tables come from `labflow-harness tab-build`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use labbase::LabBase;
+use labflow_bench::support;
+use labflow_core::{LabSim, ServerVersion};
+
+fn bench_build(c: &mut Criterion) {
+    let dir = support::scratch("build");
+    let mut group = c.benchmark_group("tab-build/database-build");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(10);
+    for version in ServerVersion::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(version.name()),
+            &version,
+            |b, &version| {
+                b.iter_with_large_drop(|| {
+                    let cfg = labflow_core::BenchConfig {
+                        base_clones: 20,
+                        buffer_pages: 128,
+                        ..support::bench_config()
+                    };
+                    let vdir = dir.join(format!("iter-{}", version.name().replace('+', "_")));
+                    std::fs::remove_dir_all(&vdir).ok();
+                    std::fs::create_dir_all(&vdir).unwrap();
+                    let store = version.make_store(&vdir, cfg.buffer_pages).unwrap();
+                    let db = LabBase::create(store).unwrap();
+                    let mut sim = LabSim::new(cfg.clone());
+                    sim.setup(&db).unwrap();
+                    sim.run_until_clones(&db, cfg.clones_at(1.0) as u64).unwrap();
+                    db.checkpoint().unwrap();
+                    db
+                });
+            },
+        );
+    }
+    group.finish();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+criterion_group!(benches, bench_build);
+criterion_main!(benches);

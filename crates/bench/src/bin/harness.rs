@@ -1,0 +1,122 @@
+//! `labflow-harness` — regenerate every table and figure of the
+//! LabFlow-1 paper in one run.
+//!
+//! ```text
+//! labflow-harness [OPTIONS] [EXPERIMENT...]
+//! ```
+//!
+//! See `--help` for the experiment list and options.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use labflow_core::{experiments, BenchConfig};
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("labflow-harness: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let mut cfg = BenchConfig::default();
+    let mut out_dir = PathBuf::from("results");
+    let mut work_dir =
+        std::env::temp_dir().join(format!("labflow-harness-{}", std::process::id()));
+    let mut ids: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--clones" => {
+                cfg.base_clones =
+                    value("--clones")?.parse().map_err(|e| format!("--clones: {e}"))?
+            }
+            "--buffer-pages" => {
+                cfg.buffer_pages = value("--buffer-pages")?
+                    .parse()
+                    .map_err(|e| format!("--buffer-pages: {e}"))?
+            }
+            "--seed" => cfg.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--smoke" => {
+                cfg = BenchConfig { seed: cfg.seed, ..BenchConfig::smoke() };
+            }
+            "--out" => out_dir = PathBuf::from(value("--out")?),
+            "--work" => work_dir = PathBuf::from(value("--work")?),
+            "--help" | "-h" => {
+                println!("{HELP}");
+                return Ok(());
+            }
+            id if !id.starts_with('-') => ids.push(id.to_string()),
+            other => return Err(format!("unknown option '{other}' (try --help)")),
+        }
+    }
+    if ids.is_empty() || ids.iter().any(|i| i == "all") {
+        ids = experiments::ALL_IDS.iter().map(|s| s.to_string()).collect();
+    }
+
+    std::fs::create_dir_all(&out_dir).map_err(|e| format!("creating {out_dir:?}: {e}"))?;
+    std::fs::create_dir_all(&work_dir).map_err(|e| format!("creating {work_dir:?}: {e}"))?;
+
+    println!(
+        "LabFlow-1 harness: {} experiment(s), 1X = {} clones, pool = {} pages, seed = {:#x}\n",
+        ids.len(),
+        cfg.base_clones,
+        cfg.buffer_pages,
+        cfg.seed
+    );
+
+    for id in &ids {
+        let started = std::time::Instant::now();
+        let report = experiments::run(id, &cfg, &work_dir).map_err(|e| format!("{id}: {e}"))?;
+        println!(
+            "==== {} — {} ({:.1}s)\n",
+            report.id,
+            report.title,
+            started.elapsed().as_secs_f64()
+        );
+        println!("{}", report.text);
+        let txt = out_dir.join(format!("{id}.txt"));
+        std::fs::write(&txt, &report.text).map_err(|e| format!("writing {txt:?}: {e}"))?;
+        let json = out_dir.join(format!("{id}.json"));
+        let body = serde_json::to_string_pretty(&report.json)
+            .map_err(|e| format!("serializing {id}: {e}"))?;
+        std::fs::write(&json, body).map_err(|e| format!("writing {json:?}: {e}"))?;
+    }
+    println!("results written to {}", out_dir.display());
+    std::fs::remove_dir_all(&work_dir).ok();
+    Ok(())
+}
+
+const HELP: &str = "\
+labflow-harness — regenerate the LabFlow-1 paper's tables and figures
+
+USAGE: labflow-harness [OPTIONS] [EXPERIMENT...]
+
+EXPERIMENTS (default: all)
+  fig1-schema          Figure 1: two-level EER schema (structural)
+  tab1-storage-schema  Table 1: fixed storage schema (structural)
+  figB-workflow-graph  Appendix B: the genome workflow graph
+  tab-build            Section 10: build cost per version & interval
+  fig-throughput       throughput vs database size
+  tab-query-mix        Section 8 query families per version
+  tab-evolution        schema evolution mid-stream
+  abl-clustering       clustering control vs cache size (ablation)
+  abl-concurrency      reader threads during the build (ablation)
+  abl-recovery         crash recovery per durability design (ablation)
+
+OPTIONS
+  --clones N         clones at scale 1X (default 1000)
+  --buffer-pages N   buffer-pool pages (default 2048 = 8 MiB)
+  --seed N           workload seed
+  --smoke            tiny configuration (fast sanity pass)
+  --out DIR          results directory (default ./results)
+  --work DIR         scratch directory for store files
+";

@@ -1,0 +1,67 @@
+//! # labflow-bench
+//!
+//! Criterion benches and the `labflow-harness` binary for the LabFlow-1
+//! benchmark. Each Criterion group corresponds to one paper artifact
+//! (see DESIGN.md's experiment index):
+//!
+//! | bench target | artifact |
+//! |---|---|
+//! | `bench_build` | Section-10 build tables (`tab-build-*`) |
+//! | `bench_queries` | query-mix table (`tab-query-mix`) |
+//! | `bench_evolution` | schema-evolution table (`tab-evolution`) |
+//! | `bench_clustering` | clustering ablation (`abl-clustering`) |
+//! | `bench_storage` | storage-manager micro-operations |
+//!
+//! The full paper-shaped runs (all intervals, all versions, the printed
+//! tables) live in the `labflow-harness` binary; the Criterion benches
+//! measure the same code paths at a size that keeps `cargo bench`
+//! turnaround reasonable.
+
+/// Shared helpers for the Criterion benches.
+pub mod support {
+    use std::path::PathBuf;
+    use std::sync::Arc;
+
+    use labbase::LabBase;
+    use labflow_core::{BenchConfig, LabSim, ServerVersion};
+    use labflow_storage::StorageManager;
+
+    /// A small-but-not-trivial config for Criterion runs.
+    pub fn bench_config() -> BenchConfig {
+        BenchConfig {
+            base_clones: 60,
+            buffer_pages: 256,
+            checkpoint_every: 500,
+            evolution_every: 400,
+            ..BenchConfig::default()
+        }
+    }
+
+    /// Fresh scratch dir for one bench invocation.
+    pub fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("labflow-bench-{}-{}", std::process::id(), name));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    /// Build a 1X database for `version` under `dir`; returns the sim
+    /// (for its sampling pool), the db, and the store handle.
+    pub fn built_db(
+        version: ServerVersion,
+        cfg: &BenchConfig,
+        dir: &std::path::Path,
+    ) -> (LabSim, LabBase, Arc<dyn StorageManager>) {
+        let vdir = dir.join(version.name().replace('+', "_"));
+        std::fs::remove_dir_all(&vdir).ok();
+        std::fs::create_dir_all(&vdir).unwrap();
+        let store = version.make_store(&vdir, cfg.buffer_pages).unwrap();
+        let db = LabBase::create(store.clone()).unwrap();
+        let mut sim = LabSim::new(cfg.clone());
+        sim.setup(&db).unwrap();
+        sim.run_until_clones(&db, cfg.clones_at(1.0) as u64).unwrap();
+        db.checkpoint().unwrap();
+        (sim, db, store)
+    }
+}

@@ -1,0 +1,224 @@
+//! Synthetic laboratory data, seeded and deterministic.
+//!
+//! The paper's payloads come from a genome lab: DNA reads with quality
+//! scores, assembled sequences, gel lanes, operators, and BLAST hit
+//! lists against GenBank/EMBL. The benchmark never interprets the
+//! payloads — only their sizes and reference structure matter — so a
+//! seeded generator with realistic field mixes preserves the workload
+//! (DESIGN.md, substitution table).
+
+use labbase::Value;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const BASES: [char; 4] = ['A', 'C', 'G', 'T'];
+const OPERATORS: [&str; 8] =
+    ["asmith", "bjones", "cchen", "dlopez", "efisher", "fkumar", "gyoung", "hpatel"];
+const MACHINES: [&str; 4] = ["ABI-373", "ABI-377", "LI-COR-4000", "Pharmacia-ALF"];
+const TRANSPOSONS: [&str; 3] = ["gamma-delta", "Tn5supF", "Tn1000"];
+
+/// Seeded generator for all workload payloads.
+pub struct DataGen {
+    rng: StdRng,
+}
+
+impl DataGen {
+    /// Create a generator from a seed.
+    pub fn new(seed: u64) -> DataGen {
+        DataGen { rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Uniform sample in `[0, 1)` (outcome selection).
+    pub fn unit(&mut self) -> f64 {
+        self.rng.gen::<f64>()
+    }
+
+    /// Uniform integer in `[lo, hi]`.
+    pub fn int_in(&mut self, lo: i64, hi: i64) -> i64 {
+        self.rng.gen_range(lo..=hi)
+    }
+
+    /// Uniform index below `n` (n > 0).
+    pub fn index(&mut self, n: usize) -> usize {
+        self.rng.gen_range(0..n)
+    }
+
+    /// Bernoulli trial.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.rng.gen::<f64>() < p
+    }
+
+    /// A DNA string of the given length.
+    pub fn dna(&mut self, len: usize) -> String {
+        (0..len).map(|_| BASES[self.rng.gen_range(0..4)]).collect()
+    }
+
+    /// A sequencing read: ~300–700 bp, occasionally short (failed runs).
+    pub fn read_sequence(&mut self) -> String {
+        let len = if self.chance(0.05) {
+            self.rng.gen_range(40..120) // failed run, short read
+        } else {
+            self.rng.gen_range(300..700)
+        };
+        self.dna(len)
+    }
+
+    /// An assembled clone sequence: ~2–6 kbp (occasionally spills into
+    /// overflow objects, as real inserts would).
+    pub fn assembled_sequence(&mut self) -> String {
+        let len = self.rng.gen_range(2_000..6_000);
+        self.dna(len)
+    }
+
+    /// A Phred-like quality score in `[0, 1]`, skewed high.
+    pub fn quality(&mut self) -> f64 {
+        let q: f64 = self.rng.gen::<f64>();
+        (1.0 - q * q * 0.6).clamp(0.0, 1.0)
+    }
+
+    /// An operator name.
+    pub fn operator(&mut self) -> &'static str {
+        OPERATORS[self.rng.gen_range(0..OPERATORS.len())]
+    }
+
+    /// A sequencing machine name.
+    pub fn machine(&mut self) -> &'static str {
+        MACHINES[self.rng.gen_range(0..MACHINES.len())]
+    }
+
+    /// A transposon name.
+    pub fn transposon(&mut self) -> &'static str {
+        TRANSPOSONS[self.rng.gen_range(0..TRANSPOSONS.len())]
+    }
+
+    /// A plate barcode.
+    pub fn plate(&mut self) -> String {
+        format!("P{:05}", self.rng.gen_range(0..100_000))
+    }
+
+    /// A well coordinate like `"C07"`.
+    pub fn well(&mut self) -> String {
+        let row = (b'A' + self.rng.gen_range(0..8)) as char;
+        format!("{row}{:02}", self.rng.gen_range(1..=12))
+    }
+
+    /// A BLAST hit list: 5–60 hits of `[accession, score, e_exponent]`
+    /// triples (the "set and list generation" payload).
+    pub fn blast_hits(&mut self) -> Value {
+        let n = self.rng.gen_range(5..=60);
+        let mut hits = Vec::with_capacity(n);
+        let mut score = self.rng.gen_range(200.0..1200.0f64);
+        for _ in 0..n {
+            let acc = format!(
+                "{}{:06}",
+                ["U", "X", "L", "M"][self.rng.gen_range(0..4)],
+                self.rng.gen_range(0..1_000_000)
+            );
+            let e_exp = -self.rng.gen_range(3..120i64);
+            hits.push(Value::List(vec![
+                Value::Str(acc),
+                Value::Real((score * 10.0).round() / 10.0),
+                Value::Int(e_exp),
+            ]));
+            score *= self.rng.gen_range(0.7..0.98);
+        }
+        Value::List(hits)
+    }
+
+    /// The top score of a hit list (first hit).
+    pub fn top_score(hits: &Value) -> f64 {
+        if let Value::List(items) = hits {
+            if let Some(Value::List(first)) = items.first() {
+                if let Some(Value::Real(score)) = first.get(1) {
+                    return *score;
+                }
+            }
+        }
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = DataGen::new(42);
+        let mut b = DataGen::new(42);
+        assert_eq!(a.read_sequence(), b.read_sequence());
+        assert_eq!(a.int_in(0, 100), b.int_in(0, 100));
+        assert_eq!(a.plate(), b.plate());
+        let mut c = DataGen::new(43);
+        assert_ne!(a.read_sequence(), c.read_sequence());
+    }
+
+    #[test]
+    fn dna_alphabet_is_valid() {
+        let mut g = DataGen::new(7);
+        let seq = g.dna(500);
+        assert_eq!(seq.len(), 500);
+        assert!(seq.bytes().all(|b| matches!(b, b'A' | b'C' | b'G' | b'T')));
+        assert!(Value::dna(seq).is_ok());
+    }
+
+    #[test]
+    fn read_lengths_realistic() {
+        let mut g = DataGen::new(1);
+        let mut short = 0;
+        for _ in 0..200 {
+            let s = g.read_sequence();
+            assert!((40..700).contains(&s.len()));
+            if s.len() < 120 {
+                short += 1;
+            }
+        }
+        assert!(short < 40, "short reads should be rare, got {short}/200");
+    }
+
+    #[test]
+    fn assembled_sequences_are_long() {
+        let mut g = DataGen::new(2);
+        let s = g.assembled_sequence();
+        assert!(s.len() >= 2_000);
+    }
+
+    #[test]
+    fn quality_bounded_and_skewed_high() {
+        let mut g = DataGen::new(3);
+        let qs: Vec<f64> = (0..500).map(|_| g.quality()).collect();
+        assert!(qs.iter().all(|q| (0.0..=1.0).contains(q)));
+        let mean = qs.iter().sum::<f64>() / qs.len() as f64;
+        assert!(mean > 0.7, "quality should skew high, mean {mean}");
+    }
+
+    #[test]
+    fn blast_hits_shape() {
+        let mut g = DataGen::new(4);
+        let hits = g.blast_hits();
+        let Value::List(items) = &hits else { panic!() };
+        assert!((5..=60).contains(&items.len()));
+        let top = DataGen::top_score(&hits);
+        assert!(top > 0.0);
+        // Scores are non-increasing.
+        let scores: Vec<f64> = items
+            .iter()
+            .map(|h| {
+                let Value::List(t) = h else { panic!() };
+                let Value::Real(s) = t[1] else { panic!() };
+                s
+            })
+            .collect();
+        for w in scores.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+    }
+
+    #[test]
+    fn wells_and_plates_format() {
+        let mut g = DataGen::new(5);
+        let w = g.well();
+        assert_eq!(w.len(), 3);
+        assert!(g.plate().starts_with('P'));
+    }
+}

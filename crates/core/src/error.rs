@@ -1,0 +1,95 @@
+//! Benchmark error type.
+
+use std::fmt;
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, BenchError>;
+
+/// Errors from the benchmark layer.
+#[derive(Debug)]
+pub enum BenchError {
+    /// Storage-manager error.
+    Storage(labflow_storage::StorageError),
+    /// LabBase error.
+    Lab(labbase::LabError),
+    /// Workflow-engine error.
+    Workflow(labflow_workflow::WorkflowError),
+    /// Query-language error.
+    Lql(lql::LqlError),
+    /// Configuration problem.
+    Config(String),
+    /// I/O error (result files, store directories).
+    Io(std::io::Error),
+}
+
+impl fmt::Display for BenchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BenchError::Storage(e) => write!(f, "storage: {e}"),
+            BenchError::Lab(e) => write!(f, "labbase: {e}"),
+            BenchError::Workflow(e) => write!(f, "workflow: {e}"),
+            BenchError::Lql(e) => write!(f, "lql: {e}"),
+            BenchError::Config(msg) => write!(f, "config: {msg}"),
+            BenchError::Io(e) => write!(f, "io: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BenchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BenchError::Storage(e) => Some(e),
+            BenchError::Lab(e) => Some(e),
+            BenchError::Workflow(e) => Some(e),
+            BenchError::Lql(e) => Some(e),
+            BenchError::Io(e) => Some(e),
+            BenchError::Config(_) => None,
+        }
+    }
+}
+
+impl From<labflow_storage::StorageError> for BenchError {
+    fn from(e: labflow_storage::StorageError) -> Self {
+        BenchError::Storage(e)
+    }
+}
+impl From<labbase::LabError> for BenchError {
+    fn from(e: labbase::LabError) -> Self {
+        BenchError::Lab(e)
+    }
+}
+impl From<labflow_workflow::WorkflowError> for BenchError {
+    fn from(e: labflow_workflow::WorkflowError) -> Self {
+        BenchError::Workflow(e)
+    }
+}
+impl From<lql::LqlError> for BenchError {
+    fn from(e: lql::LqlError) -> Self {
+        BenchError::Lql(e)
+    }
+}
+impl From<std::io::Error> for BenchError {
+    fn from(e: std::io::Error) -> Self {
+        BenchError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        let cases: Vec<BenchError> = vec![
+            BenchError::Storage(labflow_storage::StorageError::SingleUser),
+            BenchError::Lab(labbase::LabError::NoMaterials),
+            BenchError::Workflow(labflow_workflow::WorkflowError::UnknownStep("x".into())),
+            BenchError::Lql(lql::LqlError::NoTransaction),
+            BenchError::Config("bad".into()),
+            BenchError::Io(std::io::Error::new(std::io::ErrorKind::Other, "io")),
+        ];
+        for c in cases {
+            assert!(!c.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! A small log-bucketed latency histogram for per-operation timing.
+//!
+//! The Section-10 tables aggregate whole intervals; a production
+//! benchmark also wants the latency *distribution* of the hot operations
+//! (step insertion, tracking queries). Buckets grow geometrically from
+//! 1 µs, so the histogram covers nanoseconds to minutes in 64 buckets
+//! with bounded (~3%-per-decade... strictly ≤ bucket-width) error.
+
+use std::time::Duration;
+
+use serde::Serialize;
+
+/// Number of buckets; bucket `i` covers `[floor(1.35^i) µs, floor(1.35^(i+1)) µs)`.
+const BUCKETS: usize = 64;
+const GROWTH: f64 = 1.35;
+
+/// A latency histogram over microsecond-scale samples.
+#[derive(Clone, Debug, Serialize)]
+pub struct LatencyHist {
+    counts: Vec<u64>,
+    total: u64,
+    sum_us: f64,
+    max_us: f64,
+}
+
+impl Default for LatencyHist {
+    fn default() -> Self {
+        LatencyHist { counts: vec![0; BUCKETS], total: 0, sum_us: 0.0, max_us: 0.0 }
+    }
+}
+
+impl LatencyHist {
+    /// An empty histogram.
+    pub fn new() -> LatencyHist {
+        LatencyHist::default()
+    }
+
+    fn bucket_for(us: f64) -> usize {
+        if us < 1.0 {
+            return 0;
+        }
+        let idx = us.ln() / GROWTH.ln();
+        (idx as usize).min(BUCKETS - 1)
+    }
+
+    /// Lower bound of bucket `i`, in µs.
+    fn bucket_floor(i: usize) -> f64 {
+        GROWTH.powi(i as i32)
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, d: Duration) {
+        let us = d.as_secs_f64() * 1e6;
+        self.counts[Self::bucket_for(us)] += 1;
+        self.total += 1;
+        self.sum_us += us;
+        if us > self.max_us {
+            self.max_us = us;
+        }
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean in µs.
+    pub fn mean_us(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum_us / self.total as f64
+        }
+    }
+
+    /// Maximum observed, in µs.
+    pub fn max_us(&self) -> f64 {
+        self.max_us
+    }
+
+    /// Approximate quantile (`q` in `[0, 1]`), in µs: the lower bound of
+    /// the bucket holding the q-th sample. Returns 0 when empty.
+    pub fn quantile_us(&self, q: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return if i == 0 { 0.0 } else { Self::bucket_floor(i) };
+            }
+        }
+        self.max_us
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHist) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum_us += other.sum_us;
+        if other.max_us > self.max_us {
+            self.max_us = other.max_us;
+        }
+    }
+
+    /// One-line summary: `n=…, mean=…µs p50=… p95=… p99=… max=…`.
+    pub fn summary(&self) -> String {
+        format!(
+            "n={} mean={:.1}µs p50={:.0}µs p95={:.0}µs p99={:.0}µs max={:.0}µs",
+            self.total,
+            self.mean_us(),
+            self.quantile_us(0.50),
+            self.quantile_us(0.95),
+            self.quantile_us(0.99),
+            self.max_us
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(n: u64) -> Duration {
+        Duration::from_micros(n)
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = LatencyHist::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean_us(), 0.0);
+        assert_eq!(h.quantile_us(0.5), 0.0);
+        assert!(h.summary().starts_with("n=0"));
+    }
+
+    #[test]
+    fn mean_and_max_are_exact() {
+        let mut h = LatencyHist::new();
+        for v in [10u64, 20, 30, 40] {
+            h.record(us(v));
+        }
+        assert_eq!(h.count(), 4);
+        assert!((h.mean_us() - 25.0).abs() < 1e-9);
+        assert!((h.max_us() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_are_bucket_accurate() {
+        let mut h = LatencyHist::new();
+        // 100 samples at ~10µs, 10 at ~1000µs.
+        for _ in 0..100 {
+            h.record(us(10));
+        }
+        for _ in 0..10 {
+            h.record(us(1000));
+        }
+        let p50 = h.quantile_us(0.50);
+        assert!((5.0..=14.0).contains(&p50), "p50 {p50} should be ~10µs");
+        let p99 = h.quantile_us(0.99);
+        assert!((700.0..=1400.0).contains(&p99), "p99 {p99} should be ~1000µs");
+        // Quantiles are monotone.
+        let qs: Vec<f64> = [0.1, 0.5, 0.9, 0.99, 1.0]
+            .iter()
+            .map(|&q| h.quantile_us(q))
+            .collect();
+        for w in qs.windows(2) {
+            assert!(w[0] <= w[1], "quantiles must be monotone: {qs:?}");
+        }
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = LatencyHist::new();
+        let mut b = LatencyHist::new();
+        a.record(us(10));
+        b.record(us(1000));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert!((a.max_us() - 1000.0).abs() < 1e-9);
+        assert!((a.mean_us() - 505.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn extremes_do_not_panic() {
+        let mut h = LatencyHist::new();
+        h.record(Duration::from_nanos(1));
+        h.record(Duration::from_secs(3600));
+        assert_eq!(h.count(), 2);
+        assert!(h.quantile_us(1.0) >= h.quantile_us(0.0));
+    }
+}

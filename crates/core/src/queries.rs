@@ -1,0 +1,230 @@
+//! The Section-8 query families timed by the query-mix experiment.
+//!
+//! Each family is a named closure over the built database; the runner
+//! times them per server version with a cold cache. Families cover the
+//! paper's groups: workflow tracking, most-recent retrieval, historical
+//! (as-of) queries, set/list generation, counting, and report
+//! generation — plus a family that goes through the LQL deductive
+//! language end-to-end, as the paper's queries are specified.
+
+use labbase::LabBase;
+use labflow_workflow::genome;
+use lql::{stdlib::labflow_program, Session};
+
+use crate::error::Result;
+use crate::workload::LabSim;
+
+/// A named query family. `run` returns `(executions, answers)`.
+pub struct QueryFamily {
+    /// Family name (rows of the query-mix table).
+    pub name: &'static str,
+    /// Execute the family against a built database.
+    #[allow(clippy::type_complexity)]
+    pub run: fn(&LabBase, &mut LabSim) -> Result<(u64, u64)>,
+}
+
+/// All query families, in table order.
+pub fn families() -> Vec<QueryFamily> {
+    vec![
+        QueryFamily { name: "recent lookup", run: recent_lookup },
+        QueryFamily { name: "tracking", run: tracking },
+        QueryFamily { name: "as-of (history)", run: as_of },
+        QueryFamily { name: "state counts", run: state_counts },
+        QueryFamily { name: "report: sequences", run: report_sequences },
+        QueryFamily { name: "report: finished", run: report_finished },
+        QueryFamily { name: "counting: materials", run: counting_materials },
+        QueryFamily { name: "counting: steps", run: counting_steps },
+        QueryFamily { name: "set generation", run: set_generation },
+        QueryFamily { name: "LQL view mix", run: lql_mix },
+    ]
+}
+
+/// Most-recent attribute lookups on random materials (the hottest lab
+/// query; O(1) object reads through the recent cache).
+fn recent_lookup(db: &LabBase, sim: &mut LabSim) -> Result<(u64, u64)> {
+    let mats = sim.sample_materials(500);
+    let mut answers = 0u64;
+    for (i, m) in mats.iter().enumerate() {
+        let attr = ["sequence", "quality", "outcome"][i % 3];
+        if db.recent(*m, attr)?.is_some() {
+            answers += 1;
+        }
+    }
+    Ok((mats.len() as u64, answers))
+}
+
+/// Workflow tracking: where is the material and how much has happened
+/// to it.
+fn tracking(db: &LabBase, sim: &mut LabSim) -> Result<(u64, u64)> {
+    let mats = sim.sample_materials(300);
+    let mut answers = 0u64;
+    for m in &mats {
+        if db.state_of(*m)?.is_some() {
+            answers += 1;
+        }
+        answers += db.history_len(*m)? as u64;
+    }
+    Ok((mats.len() as u64, answers))
+}
+
+/// Historical as-of queries: walk history by valid time, touching step
+/// payloads in the cold segment.
+fn as_of(db: &LabBase, sim: &mut LabSim) -> Result<(u64, u64)> {
+    let mats = sim.sample_materials(150);
+    let mut answers = 0u64;
+    for m in &mats {
+        let at = sim.sample_time();
+        if db.as_of(*m, "quality", at)?.is_some() {
+            answers += 1;
+        }
+    }
+    Ok((mats.len() as u64, answers))
+}
+
+/// Workflow monitoring: queue lengths per state.
+fn state_counts(db: &LabBase, _sim: &mut LabSim) -> Result<(u64, u64)> {
+    let states = [
+        genome::RECEIVED,
+        genome::WAITING_FOR_ASSEMBLY,
+        genome::WAITING_FOR_SEQUENCING,
+        genome::WAITING_FOR_INCORPORATION,
+        genome::FINISHED,
+        genome::INCORPORATED,
+    ];
+    let mut answers = 0u64;
+    let mut count = 0u64;
+    for _ in 0..20 {
+        for s in states {
+            answers += db.count_in_state(s)? as u64;
+            count += 1;
+        }
+    }
+    Ok((count, answers))
+}
+
+/// Report: every clone's current sequence (set/list generation over the
+/// extent — a full scan of materials + recents).
+fn report_sequences(db: &LabBase, _sim: &mut LabSim) -> Result<(u64, u64)> {
+    let rows = db.collect_attr("clone", "sequence")?;
+    Ok((1, rows.len() as u64))
+}
+
+/// Report: clones finished in the recent window.
+fn report_finished(db: &LabBase, sim: &mut LabSim) -> Result<(u64, u64)> {
+    let since = sim.clock() / 2;
+    let rows = db.changed_since("clone", genome::FINISHED, since)?;
+    Ok((1, rows.len() as u64))
+}
+
+/// Counting by extent scan (touches every material record).
+fn counting_materials(db: &LabBase, _sim: &mut LabSim) -> Result<(u64, u64)> {
+    let clones = db.count_class_scan("clone")?;
+    let tclones = db.count_class_scan("tclone")?;
+    Ok((2, clones + tclones))
+}
+
+/// Counting step instances by scanning histories (the paper's
+/// `setof`-style counting; heavy, touches the cold segment).
+fn counting_steps(db: &LabBase, _sim: &mut LabSim) -> Result<(u64, u64)> {
+    let n = db.count_steps_scan("determine_sequence")?;
+    Ok((1, n))
+}
+
+/// Set generation: build a named material set of clones whose latest
+/// assembly coverage beats a threshold (BLAST-style result capture).
+fn set_generation(db: &LabBase, _sim: &mut LabSim) -> Result<(u64, u64)> {
+    let set_name = "qm_high_coverage";
+    let txn = db.begin()?;
+    // Re-runnable: drop a previous run's set.
+    if db.set_names().iter().any(|n| n == set_name) {
+        db.drop_set(txn, set_name)?;
+    }
+    db.create_set(txn, set_name)?;
+    let mut members = Vec::new();
+    for (m, v) in db.collect_attr("clone", "coverage")? {
+        if matches!(v, labbase::Value::Real(c) if c >= 4.0) {
+            members.push(m);
+        }
+    }
+    db.add_all_to_set(txn, set_name, &members)?;
+    db.commit(txn)?;
+    Ok((1, members.len() as u64))
+}
+
+/// The same workload expressed through the LQL deductive language
+/// (paper Section 8's presentation), using the stdlib views.
+fn lql_mix(db: &LabBase, sim: &mut LabSim) -> Result<(u64, u64)> {
+    let program = labflow_program();
+    let session = Session::new(db, &program);
+    let mut count = 0u64;
+    let mut answers = 0u64;
+
+    // Queue monitoring via the counting view.
+    for state in ["finished", "waiting_for_sequencing", "waiting_for_assembly"] {
+        let rows = session.query(&format!("count_in_state(clone, {state}, N)"))?;
+        answers += rows.len() as u64;
+        count += 1;
+    }
+    // Tracking + most-recent on a sample of materials by name.
+    for m in sim.sample_materials(20) {
+        let info = db.material(m)?;
+        let rows = session.query(&format!(
+            "material_name(M, \"{}\"), history_size(M, N)",
+            info.name
+        ))?;
+        answers += rows.len() as u64;
+        count += 1;
+    }
+    // Set generation via setof over a sampled material's history
+    // (joined through the name index; LQL has no oid literal syntax).
+    for m in sim.sample_materials(10) {
+        let info = db.material(m)?;
+        let rows = session.query(&format!(
+            "material_name(M, \"{}\"), sequences_of(M, Set)",
+            info.name
+        ))?;
+        answers += rows.len() as u64;
+        count += 1;
+    }
+    Ok((count, answers))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{BenchConfig, ServerVersion};
+
+    #[test]
+    fn families_all_run_on_a_smoke_db() {
+        let cfg = BenchConfig::smoke();
+        let store = ServerVersion::OStoreMm
+            .make_store(&std::env::temp_dir().join("unused"), 64)
+            .unwrap();
+        let db = LabBase::create(store).unwrap();
+        let mut sim = LabSim::new(cfg);
+        sim.setup(&db).unwrap();
+        sim.run_until_clones(&db, 8).unwrap();
+        sim.drain(&db, 10_000).unwrap();
+        for family in families() {
+            let (count, _answers) = (family.run)(&db, &mut sim)
+                .unwrap_or_else(|e| panic!("family '{}' failed: {e}", family.name));
+            assert!(count > 0, "family '{}' did nothing", family.name);
+        }
+    }
+
+    #[test]
+    fn set_generation_is_rerunnable() {
+        let cfg = BenchConfig::smoke();
+        let store = ServerVersion::OStoreMm
+            .make_store(&std::env::temp_dir().join("unused"), 64)
+            .unwrap();
+        let db = LabBase::create(store).unwrap();
+        let mut sim = LabSim::new(cfg);
+        sim.setup(&db).unwrap();
+        sim.run_until_clones(&db, 6).unwrap();
+        sim.drain(&db, 10_000).unwrap();
+        let (_, a1) = set_generation(&db, &mut sim).unwrap();
+        let (_, a2) = set_generation(&db, &mut sim).unwrap();
+        assert_eq!(a1, a2, "idempotent on an unchanged database");
+    }
+}

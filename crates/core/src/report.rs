@@ -1,0 +1,446 @@
+//! Paper-style table and figure renderers.
+//!
+//! The Section-10 results table prints one column per server version and
+//! one row per resource, grouped by workload interval — the exact layout
+//! the capture preserves:
+//!
+//! ```text
+//! Database   Server Version
+//! Intvl  Resource       OStore  Texas+TC  Texas  Ostore-mm  Texas-mm
+//! 0.5X   elapsed sec     1,424     1,469  1,402      1,384     1,407
+//! ...
+//! ```
+
+use crate::metrics::ResourceRow;
+use crate::runner::{
+    BuildResult, ClusteringPoint, ConcurrencyPoint, EvolutionResult, QueryTiming, RecoveryPoint,
+};
+
+/// Thousands-separated integer, the paper's number style.
+pub fn commas(n: u64) -> String {
+    let s = n.to_string();
+    let mut out = String::with_capacity(s.len() + s.len() / 3);
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+fn pad_left(s: &str, width: usize) -> String {
+    format!("{s:>width$}")
+}
+
+fn pad_right(s: &str, width: usize) -> String {
+    format!("{s:<width$}")
+}
+
+/// Render the Section-10 build table: intervals × resources × versions.
+pub fn build_table(results: &[BuildResult]) -> String {
+    let versions: Vec<&str> = results.iter().map(|r| r.version.as_str()).collect();
+    let mut intervals: Vec<String> = Vec::new();
+    for r in results {
+        for row in &r.rows {
+            if !intervals.contains(&row.interval) {
+                intervals.push(row.interval.clone());
+            }
+        }
+    }
+    let col = 12usize;
+    let mut out = String::new();
+    out.push_str("Database                         Server Version\n");
+    out.push_str(&pad_right("Intvl  Resource", 24));
+    for v in &versions {
+        out.push_str(&pad_left(v, col));
+    }
+    out.push('\n');
+
+    let find = |version: &str, interval: &str| -> Option<&ResourceRow> {
+        results
+            .iter()
+            .find(|r| r.version == version)
+            .and_then(|r| r.rows.iter().find(|row| row.interval == interval))
+    };
+
+    for interval in &intervals {
+        let resources: [(&str, Box<dyn Fn(&ResourceRow) -> String>); 9] = [
+            ("elapsed sec", Box::new(|r| format!("{:.1}", r.elapsed_sec))),
+            ("user cpu sec", Box::new(|r| format!("{:.1}", r.user_cpu_sec))),
+            ("sys cpu sec", Box::new(|r| format!("{:.1}", r.sys_cpu_sec))),
+            ("majflt (sim)", Box::new(|r| commas(r.sim_majflt))),
+            ("page writes", Box::new(|r| commas(r.page_writes))),
+            ("steps/sec", Box::new(|r| format!("{:.0}", r.steps_per_sec))),
+            ("step p99 µs", Box::new(|r| format!("{:.0}", r.step_p99_us))),
+            ("query p99 µs", Box::new(|r| format!("{:.0}", r.query_p99_us))),
+            (
+                "size (bytes)",
+                Box::new(|r| r.size_bytes.map(commas).unwrap_or_else(|| "—".to_string())),
+            ),
+        ];
+        for (i, (name, render)) in resources.iter().enumerate() {
+            let label = if i == 0 {
+                format!("{interval:<6} {name}")
+            } else {
+                format!("       {name}")
+            };
+            out.push_str(&pad_right(&label, 24));
+            for v in &versions {
+                let cell = find(v, interval).map(|r| render(r)).unwrap_or_else(|| "-".into());
+                out.push_str(&pad_left(&cell, col));
+            }
+            out.push('\n');
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render the throughput figure: steps/sec vs database scale, one series
+/// per version (ASCII series, plus the raw numbers).
+pub fn throughput_figure(results: &[BuildResult]) -> String {
+    let mut out = String::new();
+    out.push_str("Throughput vs database size (steps/second per interval)\n\n");
+    let width = 46usize;
+    let max = results
+        .iter()
+        .flat_map(|r| r.rows.iter().map(|row| row.steps_per_sec))
+        .fold(1.0f64, f64::max);
+    for r in results {
+        out.push_str(&format!("{}\n", r.version));
+        for row in &r.rows {
+            let bar = ((row.steps_per_sec / max) * width as f64).round() as usize;
+            out.push_str(&format!(
+                "  {:<6} {:>9.0} |{}\n",
+                row.interval,
+                row.steps_per_sec,
+                "#".repeat(bar.min(width))
+            ));
+        }
+    }
+    out
+}
+
+/// Render the query-mix table: one row per family, versions as columns,
+/// mean µs per execution (and faults in a second block).
+pub fn query_table(timings: &[QueryTiming]) -> String {
+    let mut versions: Vec<&str> = Vec::new();
+    let mut queries: Vec<&str> = Vec::new();
+    for t in timings {
+        if !versions.contains(&t.version.as_str()) {
+            versions.push(&t.version);
+        }
+        if !queries.contains(&t.query.as_str()) {
+            queries.push(&t.query);
+        }
+    }
+    let col = 12usize;
+    let mut out = String::new();
+    for (title, metric) in [
+        ("mean µs per execution", 0usize),
+        ("simulated faults per family", 1usize),
+    ] {
+        out.push_str(&format!("Query mix — {title}\n"));
+        out.push_str(&pad_right("query family", 24));
+        for v in &versions {
+            out.push_str(&pad_left(v, col));
+        }
+        out.push('\n');
+        for q in &queries {
+            out.push_str(&pad_right(q, 24));
+            for v in &versions {
+                let cell = timings
+                    .iter()
+                    .find(|t| t.version == *v && t.query == *q)
+                    .map(|t| {
+                        if metric == 0 {
+                            format!("{:.1}", t.mean_us)
+                        } else {
+                            commas(t.sim_faults)
+                        }
+                    })
+                    .unwrap_or_else(|| "-".into());
+                out.push_str(&pad_left(&cell, col));
+            }
+            out.push('\n');
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render the evolution table.
+pub fn evolution_table(results: &[EvolutionResult]) -> String {
+    let mut out = String::new();
+    out.push_str("Schema evolution (redefine step class mid-stream)\n");
+    out.push_str(&format!(
+        "{:<12}{:>16}{:>18}{:>10}{:>14}{:>14}\n",
+        "version", "redefine µs", "record_step µs", "max ver", "size before", "size after"
+    ));
+    for r in results {
+        out.push_str(&format!(
+            "{:<12}{:>16.1}{:>18.1}{:>10}{:>14}{:>14}\n",
+            r.version,
+            r.redefine_mean_us,
+            r.record_step_mean_us,
+            r.max_versions,
+            r.size_before.map(commas).unwrap_or_else(|| "—".into()),
+            r.size_after.map(commas).unwrap_or_else(|| "—".into()),
+        ));
+    }
+    out
+}
+
+/// Render the clustering-ablation table.
+pub fn clustering_table(points: &[ClusteringPoint]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "Clustering ablation — steady-state tracking lookups, faults per 1,000 lookups\n",
+    );
+    let mut pools: Vec<usize> = Vec::new();
+    let mut versions: Vec<&str> = Vec::new();
+    for p in points {
+        if !pools.contains(&p.pool_pages) {
+            pools.push(p.pool_pages);
+        }
+        if !versions.contains(&p.version.as_str()) {
+            versions.push(&p.version);
+        }
+    }
+    pools.sort_unstable();
+    out.push_str(&pad_right("pool pages", 14));
+    for v in &versions {
+        out.push_str(&pad_left(v, 12));
+    }
+    out.push('\n');
+    for pool in pools {
+        out.push_str(&pad_right(&commas(pool as u64), 14));
+        for v in &versions {
+            let cell = points
+                .iter()
+                .find(|p| p.pool_pages == pool && p.version == *v)
+                .map(|p| format!("{:.1}", p.faults_per_k))
+                .unwrap_or_else(|| "-".into());
+            out.push_str(&pad_left(&cell, 12));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render the concurrency-ablation table.
+pub fn concurrency_table(points: &[ConcurrencyPoint]) -> String {
+    let mut out = String::new();
+    out.push_str("Concurrency ablation — build throughput with reader threads\n");
+    out.push_str(&format!(
+        "{:<12}{:>9}{:>16}{:>18}\n",
+        "version", "readers", "build steps/s", "reader queries/s"
+    ));
+    for p in points {
+        if p.supported {
+            out.push_str(&format!(
+                "{:<12}{:>9}{:>16.0}{:>18.0}\n",
+                p.version, p.readers, p.build_steps_per_sec, p.reader_ops_per_sec
+            ));
+        } else {
+            out.push_str(&format!(
+                "{:<12}{:>9}{:>16}{:>18}\n",
+                p.version, p.readers, "—", "— (single-user)"
+            ));
+        }
+    }
+    out
+}
+
+/// Render the recovery-ablation table.
+pub fn recovery_table(points: &[RecoveryPoint]) -> String {
+    let mut out = String::new();
+    out.push_str("Recovery ablation — crash after checkpoint + quarter-interval of work\n");
+    out.push_str(&format!(
+        "{:<12}{:>14}{:>14}{:>10}{:>16}{:>12}\n",
+        "version", "at crash", "recovered", "lost", "WAL debt (B)", "reopen ms"
+    ));
+    for p in points {
+        out.push_str(&format!(
+            "{:<12}{:>14}{:>14}{:>10}{:>16}{:>12.1}\n",
+            p.version,
+            commas(p.materials_at_crash),
+            commas(p.materials_recovered),
+            commas(p.materials_lost),
+            commas(p.wal_bytes_at_crash),
+            p.reopen_ms,
+        ));
+    }
+    out
+}
+
+/// The fixed storage schema of paper Table 1, rendered as text.
+pub fn table1_storage_schema() -> String {
+    "\
+Table 1: the fixed storage-manager schema (user schema is data)
+
+  class          fields
+  -------------  -----------------------------------------------------
+  sm_material    class, name, created, state, state_time,
+                 history_head -> history node, recent -> recent record,
+                 ext_next -> sm_material (class extent)
+  sm_step        class, version, valid_time,
+                 materials: [-> sm_material]  (the involves relation),
+                 attrs: [(name, value)]
+  material_set   name, members: [-> sm_material]
+
+  access structures (Section 7):
+  history node   step -> sm_step, valid_time, next -> history node
+  recent record  [(attr, valid_time, step -> sm_step, value)]
+"
+    .to_string()
+}
+
+/// The two-level EER schema of paper Figure 1, rendered as text.
+pub fn fig1_schema() -> String {
+    "\
+Figure 1: two-level EER schema
+
+  generic level
+      +----------+    involves     +----------+
+      | material |<--------------->|   step   |
+      +----------+     (m : n)     +----------+
+        ^   ^  is-a                  ^   ^  is-a
+        |   |                        |   |
+  lab-specific level                 |   |
+      +-------+ +--------+   +------------------+ +--------------------+
+      | clone | | tclone |   | determine_       | | assemble_sequence, |
+      +-------+ +--------+   |   sequence, ...  | | associate_tclone,..|
+                             +------------------+ +--------------------+
+
+  materials carry workflow states; steps carry versioned attribute sets;
+  a material's attributes derive from the steps that processed it.
+"
+    .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::ResourceRow;
+
+    fn row(version: &str, interval: &str, elapsed: f64) -> ResourceRow {
+        ResourceRow {
+            version: version.into(),
+            interval: interval.into(),
+            elapsed_sec: elapsed,
+            user_cpu_sec: elapsed * 0.9,
+            sys_cpu_sec: 0.1,
+            os_majflt: 0,
+            sim_majflt: 1234,
+            page_reads: 100,
+            page_writes: 2000,
+            size_bytes: if version.ends_with("-mm") { None } else { Some(16_629_760) },
+            steps: 5000,
+            queries: 10000,
+            materials: 900,
+            steps_per_sec: 5000.0 / elapsed,
+            step_p50_us: 20.0,
+            step_p99_us: 180.0,
+            query_p99_us: 40.0,
+        }
+    }
+
+    fn sample_results() -> Vec<BuildResult> {
+        ["OStore", "Texas+TC", "Texas", "OStore-mm", "Texas-mm"]
+            .iter()
+            .map(|v| BuildResult {
+                version: v.to_string(),
+                rows: vec![row(v, "0.5X", 1.5), row(v, "1.0X", 2.5)],
+            })
+            .collect()
+    }
+
+    #[test]
+    fn commas_formats() {
+        assert_eq!(commas(0), "0");
+        assert_eq!(commas(999), "999");
+        assert_eq!(commas(1000), "1,000");
+        assert_eq!(commas(16_629_760), "16,629,760");
+    }
+
+    #[test]
+    fn build_table_shape() {
+        let table = build_table(&sample_results());
+        assert!(table.contains("OStore"));
+        assert!(table.contains("Texas+TC"));
+        assert!(table.contains("0.5X"));
+        assert!(table.contains("elapsed sec"));
+        assert!(table.contains("16,629,760"));
+        assert!(table.contains("—"), "mm versions print an em dash for size");
+    }
+
+    #[test]
+    fn throughput_figure_has_bars() {
+        let fig = throughput_figure(&sample_results());
+        assert!(fig.contains("#"));
+        assert!(fig.contains("1.0X"));
+    }
+
+    #[test]
+    fn query_table_shape() {
+        let timings = vec![
+            QueryTiming {
+                version: "OStore".into(),
+                query: "recent lookup".into(),
+                count: 500,
+                total_ms: 5.0,
+                mean_us: 10.0,
+                sim_faults: 42,
+                answers: 480,
+            },
+            QueryTiming {
+                version: "Texas".into(),
+                query: "recent lookup".into(),
+                count: 500,
+                total_ms: 9.0,
+                mean_us: 18.0,
+                sim_faults: 900,
+                answers: 480,
+            },
+        ];
+        let t = query_table(&timings);
+        assert!(t.contains("recent lookup"));
+        assert!(t.contains("18.0"));
+        assert!(t.contains("900"));
+    }
+
+    #[test]
+    fn static_artifacts_render() {
+        assert!(table1_storage_schema().contains("sm_step"));
+        assert!(table1_storage_schema().contains("material_set"));
+        assert!(fig1_schema().contains("involves"));
+    }
+
+    #[test]
+    fn evolution_and_clustering_tables() {
+        let evo = evolution_table(&[EvolutionResult {
+            version: "OStore".into(),
+            redefine_mean_us: 12.5,
+            record_step_mean_us: 40.0,
+            max_versions: 7,
+            old_version_steps_ok: 10,
+            size_before: Some(1000),
+            size_after: Some(1100),
+        }]);
+        assert!(evo.contains("OStore"));
+        assert!(evo.contains("12.5"));
+
+        let cl = clustering_table(&[ClusteringPoint {
+            version: "Texas".into(),
+            pool_pages: 128,
+            lookups: 1000,
+            sim_faults: 500,
+            faults_per_k: 500.0,
+            elapsed_ms: 3.0,
+        }]);
+        assert!(cl.contains("Texas"));
+        assert!(cl.contains("500.0"));
+    }
+}

@@ -1,0 +1,588 @@
+//! Experiment runners: database build with interval measurements
+//! (Section 10), the query mix, the schema-evolution exercise, and the
+//! clustering ablation.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+
+use labbase::LabBase;
+use labflow_storage::StorageManager;
+use serde::Serialize;
+
+use crate::config::{BenchConfig, ServerVersion};
+use crate::error::{BenchError, Result};
+use crate::metrics::{Meter, ResourceRow};
+use crate::queries;
+use crate::workload::LabSim;
+
+/// Fresh per-version store directory under `base`, wiped first.
+fn version_dir(base: &Path, version: ServerVersion) -> Result<PathBuf> {
+    let dir = base.join(version.name().replace('+', "_"));
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir)?;
+    }
+    std::fs::create_dir_all(&dir)?;
+    Ok(dir)
+}
+
+/// Create a fresh LabBase on `version` under `base`.
+pub fn fresh_db(
+    version: ServerVersion,
+    cfg: &BenchConfig,
+    base: &Path,
+) -> Result<(LabBase, Arc<dyn StorageManager>)> {
+    let dir = version_dir(base, version)?;
+    let store = version.make_store(&dir, cfg.buffer_pages)?;
+    let db = LabBase::create(store.clone())?;
+    Ok((db, store))
+}
+
+/// Result of one version's database build.
+#[derive(Debug, Clone, Serialize)]
+pub struct BuildResult {
+    /// Version name.
+    pub version: String,
+    /// One row per interval.
+    pub rows: Vec<ResourceRow>,
+}
+
+/// Build the benchmark database on `version`, measuring at each interval
+/// (the paper's `0.5X`, `1.0X`, … snapshots). Each interval row covers
+/// the work done *during* that interval.
+pub fn run_build(
+    version: ServerVersion,
+    cfg: &BenchConfig,
+    intervals: &[f64],
+    base: &Path,
+) -> Result<BuildResult> {
+    let (db, store) = fresh_db(version, cfg, base)?;
+    let mut sim = LabSim::new(cfg.clone());
+    sim.setup(&db)?;
+
+    let mut rows = Vec::with_capacity(intervals.len());
+    let mut prev_steps = 0u64;
+    let mut prev_queries = 0u64;
+    for &scale in intervals {
+        let label = format!("{scale:.1}X");
+        let meter = Meter::start(store.stats());
+        sim.run_until_clones(&db, cfg.clones_at(scale) as u64)?;
+        db.checkpoint()?;
+        let c = sim.counters();
+        let mut row = meter.finish(
+            version.name(),
+            &label,
+            store.stats(),
+            store.db_size_bytes()?,
+            c.steps - prev_steps,
+            c.queries - prev_queries,
+            c.materials,
+        )?;
+        let (step_lat, query_lat) = sim.take_latencies();
+        row.step_p50_us = step_lat.quantile_us(0.50);
+        row.step_p99_us = step_lat.quantile_us(0.99);
+        row.query_p99_us = query_lat.quantile_us(0.99);
+        prev_steps = c.steps;
+        prev_queries = c.queries;
+        rows.push(row);
+    }
+    // Post-measurement verification: the benchmark refuses to report
+    // numbers from a database that fails its own fsck.
+    let integrity = db.check_integrity()?;
+    if !integrity.is_healthy() {
+        return Err(BenchError::Config(format!(
+            "{} produced a corrupt database: {:?}",
+            version.name(),
+            &integrity.problems[..integrity.problems.len().min(5)]
+        )));
+    }
+    Ok(BuildResult { version: version.name().to_string(), rows })
+}
+
+/// Run the build on every requested version.
+pub fn run_build_all(
+    versions: &[ServerVersion],
+    cfg: &BenchConfig,
+    intervals: &[f64],
+    base: &Path,
+) -> Result<Vec<BuildResult>> {
+    versions.iter().map(|&v| run_build(v, cfg, intervals, base)).collect()
+}
+
+/// Timing of one query family on one version.
+#[derive(Debug, Clone, Serialize)]
+pub struct QueryTiming {
+    /// Version name.
+    pub version: String,
+    /// Query family name.
+    pub query: String,
+    /// Executions measured.
+    pub count: u64,
+    /// Total wall time in milliseconds.
+    pub total_ms: f64,
+    /// Mean microseconds per execution.
+    pub mean_us: f64,
+    /// Simulated faults incurred.
+    pub sim_faults: u64,
+    /// Rows / answers produced (sanity signal).
+    pub answers: u64,
+}
+
+/// Build a 1X database on `version` and time the Section-8 query
+/// families against it (cold cache before each family).
+pub fn run_query_mix(
+    version: ServerVersion,
+    cfg: &BenchConfig,
+    base: &Path,
+) -> Result<Vec<QueryTiming>> {
+    let (db, store) = fresh_db(version, cfg, base)?;
+    let mut sim = LabSim::new(cfg.clone());
+    sim.setup(&db)?;
+    sim.run_until_clones(&db, cfg.clones_at(1.0) as u64)?;
+    db.checkpoint()?;
+
+    let mut out = Vec::new();
+    let families = queries::families();
+    for family in &families {
+        store.drop_caches()?;
+        let before = store.stats();
+        let start = Instant::now();
+        let (count, answers) = (family.run)(&db, &mut sim)?;
+        let elapsed = start.elapsed();
+        let after = store.stats();
+        let total_ms = elapsed.as_secs_f64() * 1e3;
+        out.push(QueryTiming {
+            version: version.name().to_string(),
+            query: family.name.to_string(),
+            count,
+            total_ms,
+            mean_us: if count > 0 { total_ms * 1e3 / count as f64 } else { 0.0 },
+            sim_faults: after.delta(&before).faults,
+            answers,
+        });
+    }
+    Ok(out)
+}
+
+/// Schema-evolution measurements on one version.
+#[derive(Debug, Clone, Serialize)]
+pub struct EvolutionResult {
+    /// Version name.
+    pub version: String,
+    /// Mean microseconds to redefine a step class.
+    pub redefine_mean_us: f64,
+    /// Mean microseconds to record a step (for comparison).
+    pub record_step_mean_us: f64,
+    /// Versions accumulated by the most-evolved step class.
+    pub max_versions: u32,
+    /// Steps carrying an old (non-current) class version that still
+    /// decode under their own schema.
+    pub old_version_steps_ok: u64,
+    /// Database size before the evolution storm.
+    pub size_before: Option<u64>,
+    /// Database size after (evolution must not rewrite instances, so
+    /// growth is bounded by the catalog).
+    pub size_after: Option<u64>,
+}
+
+/// The schema-evolution exercise (paper Section 8.1): redefine step
+/// classes repeatedly mid-stream, verify old instances keep their
+/// versions and no data is migrated, and time the operation.
+pub fn run_evolution(
+    version: ServerVersion,
+    cfg: &BenchConfig,
+    base: &Path,
+    redefinitions: usize,
+) -> Result<EvolutionResult> {
+    let cfg = BenchConfig { evolution_every: 0, ..cfg.clone() };
+    let (db, store) = fresh_db(version, &cfg, base)?;
+    let mut sim = LabSim::new(cfg.clone());
+    sim.setup(&db)?;
+    sim.run_until_clones(&db, cfg.clones_at(0.5) as u64)?;
+    db.checkpoint()?;
+    let size_before = store.db_size_bytes()?;
+
+    // Time record_step as the baseline: one more half-interval of build.
+    let steps_before = sim.counters().steps;
+    let t0 = Instant::now();
+    sim.run_until_clones(&db, cfg.clones_at(0.75) as u64)?;
+    let record_elapsed = t0.elapsed();
+    let steps_done = sim.counters().steps - steps_before;
+
+    // The evolution storm: alternate attribute sets on every step class.
+    let step_names: Vec<String> =
+        sim.graph().steps.iter().map(|s| s.name.clone()).collect();
+    let t0 = Instant::now();
+    for i in 0..redefinitions {
+        let name = &step_names[i % step_names.len()];
+        let mut attrs = sim.graph().step(name).expect("graph step").attrs.clone();
+        attrs.push(labbase::schema::AttrDef {
+            name: "outcome".into(),
+            ty: labbase::AttrType::Str,
+        });
+        if i % 2 == 0 {
+            attrs.push(labbase::schema::AttrDef {
+                name: format!("rev_{i}"),
+                ty: labbase::AttrType::Str,
+            });
+        }
+        let txn = db.begin()?;
+        db.redefine_step_class(txn, name, attrs)?;
+        db.commit(txn)?;
+    }
+    let evolve_elapsed = t0.elapsed();
+    db.checkpoint()?;
+    let size_after = store.db_size_bytes()?;
+
+    let max_versions = db.with_catalog(|c| {
+        c.step_classes().iter().map(|sc| sc.versions.len() as u32).max().unwrap_or(1)
+    });
+
+    // Old instances: sample histories and verify every step still
+    // decodes under its pinned version.
+    let mut old_ok = 0u64;
+    for &m in sim.materials().iter().take(200) {
+        for entry in db.history(m)? {
+            let info = db.step(entry.step)?;
+            let schema = db.step_schema(entry.step)?;
+            let current = db.with_catalog(|c| {
+                c.step_class(&info.class).map(|sc| sc.current().version).unwrap_or(0)
+            });
+            if info.version < current {
+                // All recorded attrs must be in the pinned version.
+                let all_known = info.attrs.iter().all(|(n, _)| {
+                    schema.iter().any(|a| &a.name == n)
+                });
+                if all_known {
+                    old_ok += 1;
+                } else {
+                    return Err(BenchError::Config(format!(
+                        "step {} lost attributes under evolution",
+                        entry.step
+                    )));
+                }
+            }
+        }
+    }
+
+    Ok(EvolutionResult {
+        version: version.name().to_string(),
+        redefine_mean_us: evolve_elapsed.as_secs_f64() * 1e6 / redefinitions.max(1) as f64,
+        record_step_mean_us: record_elapsed.as_secs_f64() * 1e6 / steps_done.max(1) as f64,
+        max_versions,
+        old_version_steps_ok: old_ok,
+        size_before,
+        size_after,
+    })
+}
+
+/// One point of the clustering ablation.
+#[derive(Debug, Clone, Serialize)]
+pub struct ClusteringPoint {
+    /// Version name.
+    pub version: String,
+    /// Buffer-pool pages used for the measured pass.
+    pub pool_pages: usize,
+    /// Tracking lookups performed in the measured round.
+    pub lookups: u64,
+    /// Simulated faults during the measured round (steady state).
+    pub sim_faults: u64,
+    /// Faults per 1,000 lookups.
+    pub faults_per_k: f64,
+    /// Wall milliseconds for the measured round.
+    pub elapsed_ms: f64,
+}
+
+/// The clustering ablation (DESIGN.md `abl-clustering`): build a 1X
+/// database per persistent version, reopen it with successively smaller
+/// buffer pools, warm the cache with rounds of the hot tracking query
+/// (most-recent lookup + state on uniformly random materials), then
+/// measure a steady-state round.
+///
+/// This isolates the paper's headline claim: with locality control
+/// (OStore segments, or Texas+TC's client-code type clustering) the hot
+/// records stay dense and the working set fits; without it (plain
+/// Texas), material records are diluted across the whole address-ordered
+/// heap — page-sized step payloads in between — and the same logical
+/// working set is many times larger in pages.
+pub fn run_clustering(
+    cfg: &BenchConfig,
+    pool_sizes: &[usize],
+    lookups_per_round: usize,
+    base: &Path,
+) -> Result<Vec<ClusteringPoint>> {
+    const WARM_ROUNDS: usize = 3;
+    let mut out = Vec::new();
+    for version in ServerVersion::PERSISTENT {
+        let dir = version_dir(base, version)?;
+        let store = version.make_store(&dir, cfg.buffer_pages)?;
+        let db = LabBase::create(store.clone())?;
+        let mut sim = LabSim::new(cfg.clone());
+        sim.setup(&db)?;
+        sim.run_until_clones(&db, cfg.clones_at(1.0) as u64)?;
+        db.checkpoint()?;
+        drop(db);
+        drop(store);
+
+        for &pool in pool_sizes {
+            let store = version.open_store(&dir, pool)?;
+            let db = LabBase::open(store.clone())?;
+            // Same uniform lookup stream for every version and pool size.
+            let mut gen = crate::datagen::DataGen::new(cfg.seed ^ 0xC1u64);
+            let all: Vec<labbase::MaterialId> = {
+                let mut v = db.class_extent("clone", false)?;
+                v.extend(db.class_extent("tclone", false)?);
+                v
+            };
+            store.drop_caches()?;
+            let mut measured: Option<(u64, f64)> = None;
+            for round in 0..=WARM_ROUNDS {
+                let before = store.stats();
+                let t0 = Instant::now();
+                for _ in 0..lookups_per_round {
+                    let m = all[gen.index(all.len())];
+                    let _ = db.recent(m, "quality")?;
+                    let _ = db.state_of(m)?;
+                }
+                let elapsed = t0.elapsed();
+                if round == WARM_ROUNDS {
+                    let faults = store.stats().delta(&before).faults;
+                    measured = Some((faults, elapsed.as_secs_f64() * 1e3));
+                }
+            }
+            let (faults, elapsed_ms) = measured.expect("measured round ran");
+            out.push(ClusteringPoint {
+                version: version.name().to_string(),
+                pool_pages: pool,
+                lookups: lookups_per_round as u64,
+                sim_faults: faults,
+                faults_per_k: faults as f64 * 1000.0 / lookups_per_round.max(1) as f64,
+                elapsed_ms,
+            });
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("lfc-run-{}-{}", std::process::id(), name));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn smoke_build_two_intervals_mm() {
+        let cfg = BenchConfig::smoke();
+        let dir = base("build-mm");
+        let result = run_build(ServerVersion::OStoreMm, &cfg, &[0.5, 1.0], &dir).unwrap();
+        assert_eq!(result.rows.len(), 2);
+        assert_eq!(result.rows[0].interval, "0.5X");
+        assert!(result.rows[0].steps > 0);
+        assert!(result.rows[1].steps > 0, "second interval does its own work");
+        assert_eq!(result.rows[0].size_bytes, None, "-mm prints no size");
+        assert_eq!(result.rows[0].sim_majflt, 0, "-mm never faults");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn smoke_build_persistent_has_size_and_faults_counted() {
+        let cfg = BenchConfig::smoke();
+        let dir = base("build-tex");
+        let result = run_build(ServerVersion::Texas, &cfg, &[0.5], &dir).unwrap();
+        let row = &result.rows[0];
+        assert!(row.size_bytes.unwrap() > 0);
+        assert!(row.page_writes > 0, "checkpoint flushed pages");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn smoke_query_mix() {
+        let cfg = BenchConfig::smoke();
+        let dir = base("qmix");
+        let timings = run_query_mix(ServerVersion::OStore, &cfg, &dir).unwrap();
+        assert!(timings.len() >= 6, "expected several query families");
+        for t in &timings {
+            assert!(t.count > 0, "family {} ran", t.query);
+        }
+        // At least the report families must produce answers.
+        assert!(timings.iter().any(|t| t.answers > 0));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn smoke_evolution() {
+        let cfg = BenchConfig::smoke();
+        let dir = base("evo");
+        let r = run_evolution(ServerVersion::OStoreMm, &cfg, &dir, 10).unwrap();
+        assert!(r.max_versions > 1);
+        assert!(r.redefine_mean_us > 0.0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn smoke_clustering_two_pools() {
+        let cfg = BenchConfig::smoke();
+        let dir = base("clust");
+        let points = run_clustering(&cfg, &[16, 256], 50, &dir).unwrap();
+        assert_eq!(points.len(), 3 * 2);
+        for p in &points {
+            assert_eq!(p.lookups, 50);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// One point of the concurrency ablation.
+#[derive(Debug, Clone, Serialize)]
+pub struct ConcurrencyPoint {
+    /// Version name.
+    pub version: String,
+    /// Concurrent reader threads during the build.
+    pub readers: usize,
+    /// Whether the backend supports concurrent transactions at all.
+    pub supported: bool,
+    /// Build throughput (workflow steps/sec) with the readers running.
+    pub build_steps_per_sec: f64,
+    /// Aggregate reader throughput (tracking queries/sec), if supported.
+    pub reader_ops_per_sec: f64,
+}
+
+/// The concurrency ablation (DESIGN.md `abl-concurrency`): the paper
+/// notes that "ObjectStore offers concurrent access with lock-based
+/// concurrency control …; Texas does not support concurrent access."
+/// Builds the second half of a 1X database while `readers` threads run
+/// tracking queries; single-user backends report `supported = false`.
+pub fn run_concurrency(
+    cfg: &BenchConfig,
+    reader_counts: &[usize],
+    base: &Path,
+) -> Result<Vec<ConcurrencyPoint>> {
+    let mut out = Vec::new();
+    for version in ServerVersion::ALL {
+        for &readers in reader_counts {
+            let (db, store) = fresh_db(version, cfg, base)?;
+            let mut sim = LabSim::new(cfg.clone());
+            sim.setup(&db)?;
+            sim.run_until_clones(&db, cfg.clones_at(0.5) as u64)?;
+            if readers > 0 && !store.supports_concurrency() {
+                out.push(ConcurrencyPoint {
+                    version: version.name().to_string(),
+                    readers,
+                    supported: false,
+                    build_steps_per_sec: 0.0,
+                    reader_ops_per_sec: 0.0,
+                });
+                continue;
+            }
+            let mats: Vec<labbase::MaterialId> = sim.materials().to_vec();
+            let db = Arc::new(db);
+            let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+            let mut handles = Vec::new();
+            for r in 0..readers {
+                let db = db.clone();
+                let mats = mats.clone();
+                let stop = stop.clone();
+                handles.push(std::thread::spawn(move || -> Result<u64> {
+                    let mut ops = 0u64;
+                    let mut i = r; // decorrelate thread access patterns
+                    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        let m = mats[i % mats.len()];
+                        i = i.wrapping_add(7);
+                        let _ = db.recent(m, "quality")?;
+                        let _ = db.state_of(m)?;
+                        ops += 2;
+                    }
+                    Ok(ops)
+                }));
+            }
+            let steps_before = sim.counters().steps;
+            let t0 = Instant::now();
+            sim.run_until_clones(&db, cfg.clones_at(1.0) as u64)?;
+            let elapsed = t0.elapsed().as_secs_f64();
+            stop.store(true, std::sync::atomic::Ordering::Relaxed);
+            let mut reader_ops = 0u64;
+            for h in handles {
+                reader_ops += h
+                    .join()
+                    .map_err(|_| BenchError::Config("reader thread panicked".into()))??;
+            }
+            let steps = sim.counters().steps - steps_before;
+            out.push(ConcurrencyPoint {
+                version: version.name().to_string(),
+                readers,
+                supported: true,
+                build_steps_per_sec: if elapsed > 0.0 { steps as f64 / elapsed } else { 0.0 },
+                reader_ops_per_sec: if elapsed > 0.0 {
+                    reader_ops as f64 / elapsed
+                } else {
+                    0.0
+                },
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// One row of the recovery ablation.
+#[derive(Debug, Clone, Serialize)]
+pub struct RecoveryPoint {
+    /// Version name.
+    pub version: String,
+    /// Materials existing when the crash hit.
+    pub materials_at_crash: u64,
+    /// Materials visible after reopening.
+    pub materials_recovered: u64,
+    /// Materials lost to the crash (Texas: everything after the last
+    /// checkpoint; OStore: only uncommitted work).
+    pub materials_lost: u64,
+    /// WAL bytes written since the last checkpoint — the replay debt
+    /// (0 for log-less backends).
+    pub wal_bytes_at_crash: u64,
+    /// Wall milliseconds to reopen (includes WAL replay for OStore).
+    pub reopen_ms: f64,
+}
+
+/// The recovery ablation (DESIGN.md `abl-recovery`): checkpoint at 0.5X,
+/// keep working to 0.75X, crash (drop without checkpoint), reopen, and
+/// compare what each durability design brings back.
+pub fn run_recovery(cfg: &BenchConfig, base: &Path) -> Result<Vec<RecoveryPoint>> {
+    let mut out = Vec::new();
+    for version in ServerVersion::PERSISTENT {
+        let dir = version_dir(base, version)?;
+        let materials_at_crash;
+        let wal_bytes_at_crash;
+        {
+            let store = version.make_store(&dir, cfg.buffer_pages)?;
+            let db = LabBase::create(store.clone())?;
+            let mut sim = LabSim::new(BenchConfig { checkpoint_every: 0, ..cfg.clone() });
+            sim.setup(&db)?;
+            sim.run_until_clones(&db, cfg.clones_at(0.5) as u64)?;
+            db.checkpoint()?;
+            let wal_at_ckpt = store.stats().wal_bytes;
+            sim.run_until_clones(&db, cfg.clones_at(0.75) as u64)?;
+            materials_at_crash = sim.counters().materials;
+            wal_bytes_at_crash = store.stats().wal_bytes - wal_at_ckpt;
+            // Crash: drop without checkpoint.
+        }
+        let t0 = Instant::now();
+        let store = version.open_store(&dir, cfg.buffer_pages)?;
+        let db = LabBase::open(store)?;
+        let reopen_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let recovered =
+            db.count_class("clone", false)? + db.count_class("tclone", false)?;
+        out.push(RecoveryPoint {
+            version: version.name().to_string(),
+            materials_at_crash,
+            materials_recovered: recovered,
+            materials_lost: materials_at_crash.saturating_sub(recovered),
+            wal_bytes_at_crash,
+            reopen_ms,
+        });
+    }
+    Ok(out)
+}

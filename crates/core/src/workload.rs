@@ -1,0 +1,681 @@
+//! The LabFlow-1 workload generator: a discrete-event simulation of the
+//! genome lab that produces the benchmark's stream of workflow steps and
+//! interleaved tracking queries (paper Section 9).
+//!
+//! "We therefore need to provide a simple yet realistic sequence of
+//! events, both to build the database and to serve as a workload." The
+//! simulator ticks through lab days: clones arrive, batches of materials
+//! are picked from their waiting states and processed by the Appendix-B
+//! steps (with weighted success/failure/retry outcomes), transposition
+//! spawns tclones, assemblies consume sequenced reads, and finished
+//! clones are BLAST-searched. Unlike the TPC benchmarks' independent
+//! debit/credit transactions, the stream is *history-driven*: what
+//! happens next depends on the states materials are in.
+
+use std::collections::HashMap;
+
+use labbase::{LabBase, MaterialId, ValidTime, Value};
+use labflow_workflow::{genome, CoInvolved, WorkflowEngine, WorkflowGraph};
+
+use crate::config::BenchConfig;
+use crate::datagen::DataGen;
+use crate::error::{BenchError, Result};
+use crate::hist::LatencyHist;
+
+/// Progress counters for one simulator.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimCounters {
+    /// Workflow step instances recorded.
+    pub steps: u64,
+    /// Interleaved queries answered.
+    pub queries: u64,
+    /// Clones injected so far.
+    pub clones_injected: u64,
+    /// Materials created (clones + tclones).
+    pub materials: u64,
+    /// Schema evolutions performed.
+    pub evolutions: u64,
+    /// Checkpoints requested.
+    pub checkpoints: u64,
+    /// Simulation ticks elapsed.
+    pub ticks: u64,
+}
+
+/// The lab simulator. Owns the workflow graph, the RNG, and all
+/// in-memory lab bookkeeping; drives a [`LabBase`] it does not own.
+pub struct LabSim {
+    cfg: BenchConfig,
+    graph: WorkflowGraph,
+    gen: DataGen,
+    clock: ValidTime,
+    counters: SimCounters,
+    /// Every material ever created (query sampling pool).
+    pool: Vec<MaterialId>,
+    /// tclone -> parent clone.
+    parent_of: HashMap<MaterialId, MaterialId>,
+    /// clone -> tclones sequenced and waiting for incorporation.
+    ready_reads: HashMap<MaterialId, Vec<MaterialId>>,
+    /// clone -> tclones still being processed (not ready, not dead).
+    in_flight: HashMap<MaterialId, usize>,
+    /// Steps executed since the last evolution / checkpoint.
+    since_evolution: usize,
+    since_checkpoint: usize,
+    /// Which step classes currently carry the evolved extra attribute.
+    evolved: HashMap<String, bool>,
+    name_counter: u64,
+    /// Per-step-execution latency (since the last `take_latencies`).
+    step_lat: LatencyHist,
+    /// Per-query latency (since the last `take_latencies`).
+    query_lat: LatencyHist,
+}
+
+impl LabSim {
+    /// Create a simulator for `cfg` (deterministic in `cfg.seed`).
+    pub fn new(cfg: BenchConfig) -> LabSim {
+        LabSim {
+            gen: DataGen::new(cfg.seed),
+            cfg,
+            graph: genome::genome_workflow(),
+            clock: 0,
+            counters: SimCounters::default(),
+            pool: Vec::new(),
+            parent_of: HashMap::new(),
+            ready_reads: HashMap::new(),
+            in_flight: HashMap::new(),
+            since_evolution: 0,
+            since_checkpoint: 0,
+            evolved: HashMap::new(),
+            name_counter: 0,
+            step_lat: LatencyHist::new(),
+            query_lat: LatencyHist::new(),
+        }
+    }
+
+    /// Take and reset the step / query latency histograms (interval
+    /// accounting in the runner).
+    pub fn take_latencies(&mut self) -> (LatencyHist, LatencyHist) {
+        (
+            std::mem::take(&mut self.step_lat),
+            std::mem::take(&mut self.query_lat),
+        )
+    }
+
+    /// The workflow graph in use.
+    pub fn graph(&self) -> &WorkflowGraph {
+        &self.graph
+    }
+
+    /// Progress counters.
+    pub fn counters(&self) -> SimCounters {
+        self.counters
+    }
+
+    /// The simulated valid-time clock.
+    pub fn clock(&self) -> ValidTime {
+        self.clock
+    }
+
+    /// All materials created so far (query sampling pool).
+    pub fn materials(&self) -> &[MaterialId] {
+        &self.pool
+    }
+
+    /// Sample `n` materials uniformly (with replacement) from the pool.
+    pub fn sample_materials(&mut self, n: usize) -> Vec<MaterialId> {
+        if self.pool.is_empty() {
+            return Vec::new();
+        }
+        (0..n).map(|_| self.pool[self.gen.index(self.pool.len())]).collect()
+    }
+
+    /// A uniform valid time within the simulated history.
+    pub fn sample_time(&mut self) -> ValidTime {
+        self.gen.int_in(0, self.clock.max(1))
+    }
+
+    /// Register the workflow schema in a fresh database.
+    pub fn setup(&self, db: &LabBase) -> Result<()> {
+        let engine = WorkflowEngine::new(&self.graph)?;
+        let txn = db.begin()?;
+        engine.setup(db, txn)?;
+        db.commit(txn)?;
+        Ok(())
+    }
+
+    fn fresh_name(&mut self, prefix: &str) -> String {
+        self.name_counter += 1;
+        format!("{prefix}-{:07}", self.name_counter)
+    }
+
+    /// Valid time for a new event: usually the clock, occasionally
+    /// backdated (out-of-order entry, paper Section 7).
+    fn event_time(&mut self) -> ValidTime {
+        if self.gen.chance(self.cfg.out_of_order_rate) {
+            (self.clock - self.gen.int_in(1, self.cfg.out_of_order_ticks)).max(0)
+        } else {
+            self.clock
+        }
+    }
+
+    /// Run the simulation until `target` clones have been injected (the
+    /// pipeline keeps flowing; it is not drained). Interval snapshots are
+    /// taken between calls.
+    pub fn run_until_clones(&mut self, db: &LabBase, target: u64) -> Result<()> {
+        let graph = self.graph.clone();
+        let engine = WorkflowEngine::new(&graph)?;
+        while self.counters.clones_injected < target {
+            self.tick(db, &engine, true)?;
+        }
+        Ok(())
+    }
+
+    /// Keep ticking without new arrivals until every clone is finished
+    /// or `max_ticks` pass. Returns the number of unfinished clones.
+    pub fn drain(&mut self, db: &LabBase, max_ticks: u64) -> Result<u64> {
+        let graph = self.graph.clone();
+        let engine = WorkflowEngine::new(&graph)?;
+        for _ in 0..max_ticks {
+            let busy = self.tick(db, &engine, false)?;
+            if !busy {
+                break;
+            }
+        }
+        let mut unfinished = 0;
+        for state in [
+            genome::RECEIVED,
+            genome::READY_FOR_TRANSPOSITION,
+            genome::WAITING_FOR_ASSEMBLY,
+            genome::WAITING_FOR_BLAST,
+        ] {
+            unfinished += db.count_in_state(state)? as u64;
+        }
+        Ok(unfinished)
+    }
+
+    /// One lab day. Returns whether any step was executed.
+    fn tick(&mut self, db: &LabBase, engine: &WorkflowEngine<'_>, arrivals: bool) -> Result<bool> {
+        self.clock += 1;
+        self.counters.ticks += 1;
+        let mut busy = false;
+
+        if arrivals {
+            let txn = db.begin()?;
+            for _ in 0..self.cfg.arrivals_per_tick {
+                let name = self.fresh_name("clone");
+                let m = engine.inject(db, txn, "clone", &name, genome::RECEIVED, self.clock)?;
+                self.pool.push(m);
+                self.counters.clones_injected += 1;
+                self.counters.materials += 1;
+            }
+            db.commit(txn)?;
+            busy = true;
+        }
+
+        busy |= self.run_step_batch(db, engine, "prep_clone")?;
+        busy |= self.run_transposition(db, engine)?;
+        busy |= self.run_step_batch(db, engine, "associate_tclone")?;
+        busy |= self.run_step_batch(db, engine, "prep_tclone")?;
+        busy |= self.run_step_batch(db, engine, "determine_sequence")?;
+        busy |= self.run_assembly(db, engine)?;
+        busy |= self.run_step_batch(db, engine, "blast_search")?;
+        Ok(busy)
+    }
+
+    /// Whether the step class currently carries the evolved attribute.
+    fn has_evolved_attr(&self, db: &LabBase, step: &str) -> bool {
+        db.with_catalog(|c| {
+            c.step_class(step)
+                .map(|sc| sc.current().attr("protocol_rev").is_some())
+                .unwrap_or(false)
+        })
+    }
+
+    /// Generate result attributes for one execution of `step`.
+    fn attrs_for(&mut self, db: &LabBase, step: &str, parent: Option<MaterialId>) -> Vec<(String, Value)> {
+        let mut attrs: Vec<(String, Value)> = match step {
+            "prep_clone" => vec![
+                ("concentration".into(), Value::Real(self.gen.int_in(20, 400) as f64)),
+                ("volume_ul".into(), Value::Real(self.gen.int_in(10, 100) as f64)),
+                ("operator".into(), Value::Str(self.gen.operator().into())),
+            ],
+            "transposon_insertion" => vec![
+                ("transposon".into(), Value::Str(self.gen.transposon().into())),
+                ("plate".into(), Value::Str(self.gen.plate())),
+            ],
+            "associate_tclone" => vec![
+                (
+                    "parent".into(),
+                    parent.map(|p| Value::Ref(p.oid())).unwrap_or(Value::Null),
+                ),
+                ("well".into(), Value::Str(self.gen.well())),
+            ],
+            "prep_tclone" => vec![
+                ("yield_ng".into(), Value::Real(self.gen.int_in(50, 900) as f64)),
+                ("gel_lane".into(), Value::Int(self.gen.int_in(1, 16))),
+            ],
+            "determine_sequence" => vec![
+                ("sequence".into(), Value::Dna(self.gen.read_sequence())),
+                ("quality".into(), Value::Real(self.gen.quality())),
+                (
+                    "read_length".into(),
+                    Value::Int(self.gen.int_in(300, 700)),
+                ),
+                ("machine".into(), Value::Str(self.gen.machine().into())),
+            ],
+            "assemble_sequence" => vec![
+                ("sequence".into(), Value::Dna(self.gen.assembled_sequence())),
+                ("coverage".into(), Value::Real(self.gen.int_in(20, 90) as f64 / 10.0)),
+            ],
+            "blast_search" => {
+                let hits = self.gen.blast_hits();
+                let top = DataGen::top_score(&hits);
+                vec![
+                    ("hits".into(), hits),
+                    ("top_score".into(), Value::Real(top)),
+                    ("db_version".into(), Value::Str(format!("GenBank-{}", 80 + self.clock / 500))),
+                ]
+            }
+            _ => Vec::new(),
+        };
+        if self.has_evolved_attr(db, step) {
+            attrs.push((
+                "protocol_rev".into(),
+                Value::Str(format!("rev-{}", self.counters.evolutions)),
+            ));
+        }
+        attrs
+    }
+
+    /// After a step execution: bump counters, maybe evolve the schema or
+    /// checkpoint, and run interleaved tracking queries.
+    fn after_step(&mut self, db: &LabBase) -> Result<()> {
+        self.counters.steps += 1;
+        self.since_evolution += 1;
+        self.since_checkpoint += 1;
+
+        if self.cfg.evolution_every > 0 && self.since_evolution >= self.cfg.evolution_every {
+            self.since_evolution = 0;
+            self.evolve_schema(db)?;
+        }
+        if self.cfg.checkpoint_every > 0 && self.since_checkpoint >= self.cfg.checkpoint_every {
+            self.since_checkpoint = 0;
+            db.checkpoint().map_err(BenchError::from)?;
+            self.counters.checkpoints += 1;
+        }
+        let n = self.cfg.queries_per_step;
+        let count = n.floor() as usize + usize::from(self.gen.chance(n.fract()));
+        self.run_queries(db, count)?;
+        Ok(())
+    }
+
+    /// Redefine a randomly chosen step class, toggling the
+    /// `protocol_rev` attribute — the paper's constant re-engineering.
+    fn evolve_schema(&mut self, db: &LabBase) -> Result<()> {
+        let steps: Vec<String> = self.graph.steps.iter().map(|s| s.name.clone()).collect();
+        let step = steps[self.gen.index(steps.len())].clone();
+        let base = self.graph.step(&step).expect("graph step").attrs.clone();
+        let currently = self.evolved.get(&step).copied().unwrap_or(false);
+        let mut attrs = base;
+        attrs.push(labbase::schema::AttrDef {
+            name: "outcome".into(),
+            ty: labbase::AttrType::Str,
+        });
+        if !currently {
+            attrs.push(labbase::schema::AttrDef {
+                name: "protocol_rev".into(),
+                ty: labbase::AttrType::Str,
+            });
+        }
+        let txn = db.begin()?;
+        db.redefine_step_class(txn, &step, attrs)?;
+        db.commit(txn)?;
+        self.evolved.insert(step, !currently);
+        self.counters.evolutions += 1;
+        Ok(())
+    }
+
+    /// The interleaved tracking-query mix (paper Section 8 families).
+    fn run_queries(&mut self, db: &LabBase, count: usize) -> Result<()> {
+        if self.pool.is_empty() {
+            return Ok(());
+        }
+        for _ in 0..count {
+            let m = self.pool[self.gen.index(self.pool.len())];
+            let q0 = std::time::Instant::now();
+            match self.gen.index(10) {
+                // Most-recent lookup: the hottest query.
+                0..=4 => {
+                    let attr = ["sequence", "quality", "outcome"][self.gen.index(3)];
+                    let _ = db.recent(m, attr)?;
+                }
+                // Tracking: where is the material, how deep is its history.
+                5 | 6 => {
+                    let _ = db.state_of(m)?;
+                    let _ = db.history_len(m)?;
+                }
+                // Historical as-of query (walks history, touches steps).
+                7 => {
+                    let at = self.gen.int_in(0, self.clock.max(1));
+                    let _ = db.as_of(m, "quality", at)?;
+                }
+                // Workflow monitoring: how long is a queue?
+                8 => {
+                    let states = [
+                        genome::WAITING_FOR_SEQUENCING,
+                        genome::WAITING_FOR_INCORPORATION,
+                        genome::WAITING_FOR_ASSEMBLY,
+                        genome::RECEIVED,
+                    ];
+                    let _ = db.count_in_state(states[self.gen.index(states.len())])?;
+                }
+                // Provenance: read the newest event's payload.
+                _ => {
+                    if let Some(entry) = db.history(m)?.first() {
+                        let _ = db.step(entry.step)?;
+                    }
+                }
+            }
+            self.query_lat.record(q0.elapsed());
+            self.counters.queries += 1;
+        }
+        Ok(())
+    }
+
+    /// Generic batch executor for per-material steps.
+    fn run_step_batch(
+        &mut self,
+        db: &LabBase,
+        engine: &WorkflowEngine<'_>,
+        step: &str,
+    ) -> Result<bool> {
+        let batch = engine.pick_batch(db, step)?;
+        if batch.is_empty() {
+            return Ok(false);
+        }
+        let txn = db.begin()?;
+        for m in &batch {
+            let outcome = {
+                let sample = self.gen.unit();
+                engine.choose_outcome(step, sample)?.to_string()
+            };
+            let parent = self.parent_of.get(m).copied();
+            let attrs = self.attrs_for(db, step, parent);
+            let vt = self.event_time();
+            // associate_tclone co-involves the parent clone (the
+            // `involves` relationship the paper names).
+            let co: Vec<CoInvolved> = if step == "associate_tclone" {
+                parent
+                    .map(|p| vec![CoInvolved { material: p, to_state: None }])
+                    .unwrap_or_default()
+            } else {
+                Vec::new()
+            };
+            let s0 = std::time::Instant::now();
+            engine.execute(db, txn, step, &[*m], &outcome, attrs, &co, vt)?;
+            self.step_lat.record(s0.elapsed());
+            // Track each tclone's fate so assembly knows when a clone has
+            // no more reads coming.
+            if let Some(p) = parent {
+                match (step, outcome.as_str()) {
+                    ("determine_sequence", "ok") => {
+                        self.ready_reads.entry(p).or_default().push(*m);
+                        self.dec_in_flight(p);
+                    }
+                    ("determine_sequence", "off_target") | ("prep_tclone", "fail") => {
+                        self.dec_in_flight(p);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        db.commit(txn)?;
+        for _ in &batch {
+            self.after_step(db)?;
+        }
+        Ok(true)
+    }
+
+    /// transposon_insertion: per clone, spawning tclones.
+    fn run_transposition(&mut self, db: &LabBase, engine: &WorkflowEngine<'_>) -> Result<bool> {
+        let batch = engine.pick_batch(db, "transposon_insertion")?;
+        if batch.is_empty() {
+            return Ok(false);
+        }
+        let spawn = self
+            .graph
+            .step("transposon_insertion")
+            .and_then(|s| s.spawns.clone())
+            .expect("transposition spawns");
+        let txn = db.begin()?;
+        for clone in &batch {
+            let attrs = self.attrs_for(db, "transposon_insertion", None);
+            let vt = self.event_time();
+            engine.execute(db, txn, "transposon_insertion", &[*clone], "ok", attrs, &[], vt)?;
+            let n = self.gen.int_in(spawn.min as i64, spawn.max as i64) as usize;
+            for _ in 0..n {
+                let name = self.fresh_name("tclone");
+                let tc = engine.inject(db, txn, &spawn.class, &name, &spawn.initial, vt)?;
+                self.pool.push(tc);
+                self.parent_of.insert(tc, *clone);
+                *self.in_flight.entry(*clone).or_default() += 1;
+                self.counters.materials += 1;
+            }
+        }
+        db.commit(txn)?;
+        for _ in &batch {
+            self.after_step(db)?;
+        }
+        Ok(true)
+    }
+
+    fn dec_in_flight(&mut self, clone: MaterialId) {
+        if let Some(n) = self.in_flight.get_mut(&clone) {
+            *n = n.saturating_sub(1);
+        }
+    }
+
+    /// assemble_sequence: per clone with enough sequenced reads; the
+    /// reads are co-involved and incorporated. Incomplete assemblies
+    /// trigger picking a few more tclones (the lab's rework loop).
+    fn run_assembly(&mut self, db: &LabBase, engine: &WorkflowEngine<'_>) -> Result<bool> {
+        let candidates = engine.pick_batch(db, "assemble_sequence")?;
+        let mut ready: Vec<MaterialId> = Vec::new();
+        let mut starved: Vec<MaterialId> = Vec::new();
+        for c in candidates {
+            let have = self.ready_reads.get(&c).map(|r| r.len()).unwrap_or(0);
+            let flying = self.in_flight.get(&c).copied().unwrap_or(0);
+            if have >= self.cfg.reads_per_assembly {
+                ready.push(c);
+            } else if flying == 0 {
+                // No more reads will arrive on their own.
+                if have >= 1 {
+                    ready.push(c); // assemble with what we have
+                } else {
+                    starved.push(c); // pick more subclones
+                }
+            }
+        }
+        if ready.is_empty() && starved.is_empty() {
+            return Ok(false);
+        }
+        if !starved.is_empty() {
+            let txn = db.begin()?;
+            for clone in &starved {
+                let vt = self.clock;
+                for _ in 0..self.cfg.reads_per_assembly.div_ceil(2).max(2) {
+                    let name = self.fresh_name("tclone");
+                    let tc = engine.inject(db, txn, "tclone", &name, genome::PICKED, vt)?;
+                    self.pool.push(tc);
+                    self.parent_of.insert(tc, *clone);
+                    *self.in_flight.entry(*clone).or_default() += 1;
+                    self.counters.materials += 1;
+                }
+            }
+            db.commit(txn)?;
+        }
+        if ready.is_empty() {
+            return Ok(true);
+        }
+        let txn = db.begin()?;
+        for clone in &ready {
+            let reads = self.ready_reads.remove(clone).unwrap_or_default();
+            let outcome = {
+                let sample = self.gen.unit();
+                engine.choose_outcome("assemble_sequence", sample)?.to_string()
+            };
+            let mut attrs = self.attrs_for(db, "assemble_sequence", None);
+            attrs.push(("n_reads".into(), Value::Int(reads.len() as i64)));
+            let co: Vec<CoInvolved> = reads
+                .iter()
+                .map(|&tc| CoInvolved {
+                    material: tc,
+                    to_state: Some(genome::INCORPORATED.into()),
+                })
+                .collect();
+            let vt = self.event_time();
+            engine.execute(db, txn, "assemble_sequence", &[*clone], &outcome, attrs, &co, vt)?;
+            if outcome == "incomplete" {
+                // Pick more subclones to finish the job.
+                for _ in 0..self.cfg.reads_per_assembly.div_ceil(2) {
+                    let name = self.fresh_name("tclone");
+                    let tc = engine.inject(db, txn, "tclone", &name, genome::PICKED, vt)?;
+                    self.pool.push(tc);
+                    self.parent_of.insert(tc, *clone);
+                    *self.in_flight.entry(*clone).or_default() += 1;
+                    self.counters.materials += 1;
+                }
+            }
+        }
+        db.commit(txn)?;
+        for _ in &ready {
+            self.after_step(db)?;
+        }
+        Ok(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ServerVersion;
+
+    fn sim_db() -> (LabSim, LabBase) {
+        let cfg = BenchConfig::smoke();
+        let store = ServerVersion::OStoreMm
+            .make_store(&std::env::temp_dir().join("unused"), 64)
+            .unwrap();
+        let db = LabBase::create(store).unwrap();
+        let sim = LabSim::new(cfg);
+        sim.setup(&db).unwrap();
+        (sim, db)
+    }
+
+    #[test]
+    fn smoke_run_injects_and_processes() {
+        let (mut sim, db) = sim_db();
+        sim.run_until_clones(&db, 8).unwrap();
+        let c = sim.counters();
+        assert_eq!(c.clones_injected, 8);
+        assert!(c.steps > 8, "steps executed: {}", c.steps);
+        assert!(c.materials > 8, "tclones spawned");
+        assert!(c.queries > 0, "queries interleaved");
+        assert_eq!(db.count_class("clone", false).unwrap(), 8);
+        assert!(db.count_class("tclone", false).unwrap() > 0);
+    }
+
+    #[test]
+    fn drain_finishes_every_clone() {
+        let (mut sim, db) = sim_db();
+        sim.run_until_clones(&db, 6).unwrap();
+        let unfinished = sim.drain(&db, 10_000).unwrap();
+        assert_eq!(unfinished, 0, "all clones should reach a terminal state");
+        assert_eq!(
+            db.count_in_state(genome::FINISHED).unwrap() as u64,
+            sim.counters().clones_injected,
+            "every clone finished"
+        );
+        // Finished clones have assembled sequences and BLAST hits.
+        let finished = db.in_state(genome::FINISHED, 10).unwrap();
+        for c in finished {
+            assert!(db.recent(c, "sequence").unwrap().is_some());
+            assert!(db.recent(c, "hits").unwrap().is_some());
+            assert!(db.history_len(c).unwrap() >= 5);
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let run = |seed: u64| {
+            let cfg = BenchConfig { seed, ..BenchConfig::smoke() };
+            let store = ServerVersion::OStoreMm
+                .make_store(&std::env::temp_dir().join("unused"), 64)
+                .unwrap();
+            let db = LabBase::create(store).unwrap();
+            let mut sim = LabSim::new(cfg);
+            sim.setup(&db).unwrap();
+            sim.run_until_clones(&db, 5).unwrap();
+            let c = sim.counters();
+            (c.steps, c.materials, c.queries, db.stats().allocs)
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn evolution_happens_and_old_steps_keep_versions() {
+        let cfg = BenchConfig { evolution_every: 20, ..BenchConfig::smoke() };
+        let store = ServerVersion::OStoreMm
+            .make_store(&std::env::temp_dir().join("unused"), 64)
+            .unwrap();
+        let db = LabBase::create(store).unwrap();
+        let mut sim = LabSim::new(cfg);
+        sim.setup(&db).unwrap();
+        sim.run_until_clones(&db, 8).unwrap();
+        assert!(sim.counters().evolutions > 0, "schema evolved during the run");
+        // At least one step class has multiple versions now.
+        let multi = db.with_catalog(|c| {
+            c.step_classes().iter().any(|sc| sc.versions.len() > 1)
+        });
+        assert!(multi);
+    }
+
+    #[test]
+    fn out_of_order_arrivals_keep_histories_sorted() {
+        let cfg = BenchConfig { out_of_order_rate: 0.5, ..BenchConfig::smoke() };
+        let store = ServerVersion::OStoreMm
+            .make_store(&std::env::temp_dir().join("unused"), 64)
+            .unwrap();
+        let db = LabBase::create(store).unwrap();
+        let mut sim = LabSim::new(cfg);
+        sim.setup(&db).unwrap();
+        sim.run_until_clones(&db, 6).unwrap();
+        // Every material's history must be newest-first by valid time.
+        for &m in sim.materials() {
+            let h = db.history(m).unwrap();
+            for w in h.windows(2) {
+                assert!(w[0].valid_time >= w[1].valid_time, "history out of order");
+            }
+        }
+    }
+
+    #[test]
+    fn recent_cache_agrees_with_derivation_after_full_run() {
+        let (mut sim, db) = sim_db();
+        sim.run_until_clones(&db, 6).unwrap();
+        sim.drain(&db, 10_000).unwrap();
+        for &m in sim.materials().iter().take(60) {
+            for attr in ["sequence", "quality", "outcome"] {
+                let cached = db.recent(m, attr).unwrap();
+                let derived = db.recent_uncached(m, attr).unwrap();
+                match (cached, derived) {
+                    (Some(a), Some(b)) => {
+                        assert_eq!(a.value, b.value, "cache/derivation disagree on {attr}");
+                        assert_eq!(a.valid_time, b.valid_time);
+                    }
+                    (None, None) => {}
+                    (a, b) => panic!("presence mismatch for {attr}: {a:?} vs {b:?}"),
+                }
+            }
+        }
+    }
+}

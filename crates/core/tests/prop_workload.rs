@@ -1,0 +1,111 @@
+//! Property-based tests on the benchmark workload: for random seeds and
+//! knob settings, the simulated lab always yields a database whose
+//! invariants hold on every backend.
+
+use proptest::prelude::*;
+
+use labbase::LabBase;
+use labflow_core::{BenchConfig, LabSim, ServerVersion};
+use labflow_workflow::genome;
+
+fn build(cfg: &BenchConfig, version: ServerVersion, clones: u64, tag: &str) -> (LabSim, LabBase, std::path::PathBuf) {
+    let dir = std::env::temp_dir().join(format!(
+        "lf-propwl-{}-{}-{}",
+        std::process::id(),
+        tag,
+        cfg.seed
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let store = version.make_store(&dir, cfg.buffer_pages).unwrap();
+    let db = LabBase::create(store).unwrap();
+    let mut sim = LabSim::new(cfg.clone());
+    sim.setup(&db).unwrap();
+    sim.run_until_clones(&db, clones).unwrap();
+    (sim, db, dir)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    /// For arbitrary seeds and out-of-order rates, the built database
+    /// satisfies every LabBase invariant: sorted histories, cache =
+    /// derivation, every state known to the graph, extents consistent.
+    #[test]
+    fn workload_invariants_hold(
+        seed in any::<u64>(),
+        ooo in 0.0f64..0.6,
+    ) {
+        let cfg = BenchConfig { seed, out_of_order_rate: ooo, ..BenchConfig::smoke() };
+        let (sim, db, dir) = build(&cfg, ServerVersion::OStore, 6, "inv");
+        let graph = sim.graph().clone();
+
+        let mut from_extents = 0u64;
+        for class in ["clone", "tclone"] {
+            from_extents += db.count_class_scan(class).unwrap();
+            prop_assert_eq!(
+                db.count_class(class, false).unwrap(),
+                db.count_class_scan(class).unwrap(),
+                "cached vs scanned count for {}", class
+            );
+        }
+        prop_assert_eq!(from_extents, sim.counters().materials);
+
+        for &m in sim.materials() {
+            // Histories sorted newest-first.
+            let h = db.history(m).unwrap();
+            for w in h.windows(2) {
+                prop_assert!(w[0].valid_time >= w[1].valid_time);
+            }
+            // States are declared in the graph.
+            if let Some(state) = db.state_of(m).unwrap() {
+                prop_assert!(graph.state(&state).is_some(), "unknown state {}", state);
+            }
+            // Cache equals derivation on a spot-checked attribute.
+            let cached = db.recent(m, "quality").unwrap().map(|r| (r.valid_time, r.value));
+            let derived =
+                db.recent_uncached(m, "quality").unwrap().map(|r| (r.valid_time, r.value));
+            prop_assert_eq!(cached, derived);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// OStore and Texas-mm produce logically identical databases for any
+    /// seed (storage independence, the benchmark's core premise).
+    #[test]
+    fn backends_agree_for_any_seed(seed in any::<u64>()) {
+        let cfg = BenchConfig { seed, ..BenchConfig::smoke() };
+        let (sim_a, db_a, dir_a) = build(&cfg, ServerVersion::OStore, 5, "a");
+        let (sim_b, db_b, dir_b) = build(&cfg, ServerVersion::TexasMm, 5, "b");
+        prop_assert_eq!(sim_a.counters().steps, sim_b.counters().steps);
+        prop_assert_eq!(sim_a.counters().materials, sim_b.counters().materials);
+        prop_assert_eq!(db_a.state_census().unwrap(), db_b.state_census().unwrap());
+        for (&ma, &mb) in sim_a.materials().iter().zip(sim_b.materials()) {
+            let ia = db_a.material(ma).unwrap();
+            let ib = db_b.material(mb).unwrap();
+            prop_assert_eq!(ia.name, ib.name);
+            prop_assert_eq!(ia.state, ib.state);
+            prop_assert_eq!(
+                db_a.history_len(ma).unwrap(),
+                db_b.history_len(mb).unwrap()
+            );
+        }
+        std::fs::remove_dir_all(&dir_a).ok();
+        std::fs::remove_dir_all(&dir_b).ok();
+    }
+
+    /// Draining always terminates with every clone in a terminal state,
+    /// for any seed.
+    #[test]
+    fn drain_always_terminates(seed in any::<u64>()) {
+        let cfg = BenchConfig { seed, ..BenchConfig::smoke() };
+        let (mut sim, db, dir) = build(&cfg, ServerVersion::OStoreMm, 5, "drain");
+        let unfinished = sim.drain(&db, 100_000).unwrap();
+        prop_assert_eq!(unfinished, 0);
+        prop_assert_eq!(
+            db.count_in_state(genome::FINISHED).unwrap() as u64,
+            sim.counters().clones_injected
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,641 @@
+//! The LabBase database facade.
+//!
+//! LabBase is the paper's "workflow wrapper" (Architecture C): it
+//! provides event histories, most-recent views, workflow states, and
+//! dynamic schema evolution on top of an object storage manager that has
+//! none of those things. The same LabBase code runs over every
+//! [`StorageManager`] backend, which is what makes the benchmark a
+//! storage-manager comparison.
+//!
+//! ## Segment map
+//!
+//! Per the paper's Section 5.1 (footnote 21), LabBase uses four
+//! placement segments — "three of which contain relatively small amounts
+//! of frequently accessed data and one of which contains a relatively
+//! large amount of infrequently accessed data":
+//!
+//! | segment | contents | temperature |
+//! |---|---|---|
+//! | 0 | root, catalog, material sets | hot |
+//! | 1 | `sm_material` + most-recent records | hot |
+//! | 2 | history-list nodes | hot |
+//! | 3 | `sm_step` payloads | **cold, large** |
+//!
+//! Backends without placement control (Texas) ignore the segment ids —
+//! and pay for it, which is the experiment.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use labflow_storage::{ClusterHint, Oid, SegmentId, StatsSnapshot, StorageManager, TxnId};
+
+use crate::error::{LabError, Result};
+use crate::ids::{ClassId, MaterialId, StepId, ValidTime};
+use crate::schema::{AttrDef, Catalog};
+use crate::smrecord::{RecentRecord, SmMaterial, SmStep};
+use crate::state::StateIndex;
+use crate::value::Value;
+
+/// Segment for root, catalog, and material sets (hot, tiny).
+pub const SEG_CATALOG: SegmentId = SegmentId(0);
+/// Segment for `sm_material` and most-recent records (hot).
+pub const SEG_MATERIAL: SegmentId = SegmentId(1);
+/// Segment for history-list nodes (hot).
+pub const SEG_HISTORY: SegmentId = SegmentId(2);
+/// Segment for `sm_step` payloads (cold, large).
+pub const SEG_STEP: SegmentId = SegmentId(3);
+
+/// The database root lives at the first oid the store assigns.
+const ROOT_OID: Oid = Oid::from_raw(1);
+const ROOT_MAGIC: u32 = 0x4C_42_31_00; // "LB1\0"
+
+/// Decoded material information for callers.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MaterialInfo {
+    /// The material id.
+    pub id: MaterialId,
+    /// Class name.
+    pub class: String,
+    /// Class id.
+    pub class_id: ClassId,
+    /// External name.
+    pub name: String,
+    /// Valid time of creation.
+    pub created: ValidTime,
+    /// Current workflow state (`None` if unset).
+    pub state: Option<String>,
+    /// Valid time of the last state change.
+    pub state_time: ValidTime,
+}
+
+/// Decoded step information for callers.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StepInfo {
+    /// The step id.
+    pub id: StepId,
+    /// Class name.
+    pub class: String,
+    /// Class version in force when the step was recorded.
+    pub version: u32,
+    /// Valid time of the event.
+    pub valid_time: ValidTime,
+    /// Involved materials.
+    pub materials: Vec<MaterialId>,
+    /// Result attributes.
+    pub attrs: Vec<(String, Value)>,
+}
+
+pub(crate) struct SetsDir {
+    pub by_name: HashMap<String, Oid>,
+}
+
+impl SetsDir {
+    fn encode(&self) -> Vec<u8> {
+        let mut w = crate::enc::Writer::new();
+        let mut entries: Vec<(&String, &Oid)> = self.by_name.iter().collect();
+        entries.sort();
+        w.u32(entries.len() as u32);
+        for (name, oid) in entries {
+            w.str(name);
+            w.u64(oid.raw());
+        }
+        w.finish()
+    }
+
+    fn decode(data: &[u8]) -> Result<SetsDir> {
+        let mut r = crate::enc::Reader::new(data);
+        let n = r.u32()? as usize;
+        let mut by_name = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let name = r.str()?;
+            by_name.insert(name, Oid::from_raw(r.u64()?));
+        }
+        Ok(SetsDir { by_name })
+    }
+}
+
+/// The LabBase database.
+pub struct LabBase {
+    pub(crate) store: Arc<dyn StorageManager>,
+    pub(crate) catalog: RwLock<Catalog>,
+    pub(crate) catalog_oid: Oid,
+    pub(crate) sets_oid: Oid,
+    pub(crate) sets: RwLock<SetsDir>,
+    pub(crate) state_index: Mutex<StateIndex>,
+    pub(crate) name_index: Mutex<Option<HashMap<String, Oid>>>,
+}
+
+impl LabBase {
+    /// Initialize a LabBase database in a **fresh** store.
+    pub fn create(store: Arc<dyn StorageManager>) -> Result<LabBase> {
+        let txn = store.begin()?;
+        // Root must be the store's first allocation.
+        let root = store.allocate(txn, SEG_CATALOG, ClusterHint::NONE, &[])?;
+        if root != ROOT_OID {
+            return Err(LabError::BadRoot(format!(
+                "expected root at {ROOT_OID}, store assigned {root}; is the store empty?"
+            )));
+        }
+        let catalog = Catalog::new();
+        let catalog_oid = store.allocate(txn, SEG_CATALOG, ClusterHint::NONE, &catalog.encode())?;
+        let sets = SetsDir { by_name: HashMap::new() };
+        let sets_oid = store.allocate(txn, SEG_CATALOG, ClusterHint::NONE, &sets.encode())?;
+        let mut w = crate::enc::Writer::new();
+        w.u32(ROOT_MAGIC);
+        w.u64(catalog_oid.raw());
+        w.u64(sets_oid.raw());
+        store.update(txn, root, &w.finish())?;
+        store.commit(txn)?;
+        Ok(LabBase {
+            store,
+            catalog: RwLock::new(catalog),
+            catalog_oid,
+            sets_oid,
+            sets: RwLock::new(sets),
+            state_index: Mutex::new(StateIndex::new()),
+            name_index: Mutex::new(None),
+        })
+    }
+
+    /// Open a LabBase database in an existing store.
+    pub fn open(store: Arc<dyn StorageManager>) -> Result<LabBase> {
+        let root = store.read(ROOT_OID).map_err(|e| match e {
+            labflow_storage::StorageError::UnknownObject(_) => {
+                LabError::BadRoot("no root object; not a LabBase store".into())
+            }
+            e => LabError::Storage(e),
+        })?;
+        let mut r = crate::enc::Reader::new(&root);
+        if r.u32()? != ROOT_MAGIC {
+            return Err(LabError::BadRoot("bad magic".into()));
+        }
+        let catalog_oid = Oid::from_raw(r.u64()?);
+        let sets_oid = Oid::from_raw(r.u64()?);
+        let catalog = Catalog::decode(&store.read(catalog_oid)?)?;
+        let sets = SetsDir::decode(&store.read(sets_oid)?)?;
+        Ok(LabBase {
+            store,
+            catalog: RwLock::new(catalog),
+            catalog_oid,
+            sets_oid,
+            sets: RwLock::new(sets),
+            state_index: Mutex::new(StateIndex::new()),
+            name_index: Mutex::new(None),
+        })
+    }
+
+    /// The underlying storage manager.
+    pub fn store(&self) -> &Arc<dyn StorageManager> {
+        &self.store
+    }
+
+    /// Begin a transaction.
+    pub fn begin(&self) -> Result<TxnId> {
+        Ok(self.store.begin()?)
+    }
+
+    /// Commit a transaction.
+    pub fn commit(&self, txn: TxnId) -> Result<()> {
+        Ok(self.store.commit(txn)?)
+    }
+
+    /// Abort a transaction. NOTE: in-memory indexes (state, names,
+    /// catalog cache) are rebuilt conservatively after an abort since the
+    /// store rolled back underneath them.
+    pub fn abort(&self, txn: TxnId) -> Result<()> {
+        self.store.abort(txn)?;
+        // Re-load shared caches from storage truth.
+        let catalog = Catalog::decode(&self.store.read(self.catalog_oid)?)?;
+        *self.catalog.write() = catalog;
+        let sets = SetsDir::decode(&self.store.read(self.sets_oid)?)?;
+        *self.sets.write() = sets;
+        self.state_index.lock().invalidate();
+        *self.name_index.lock() = None;
+        Ok(())
+    }
+
+    /// Checkpoint the underlying store.
+    pub fn checkpoint(&self) -> Result<()> {
+        Ok(self.store.checkpoint()?)
+    }
+
+    /// Storage statistics snapshot.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.store.stats()
+    }
+
+    // ---- schema -----------------------------------------------------------
+
+    /// Define a material class.
+    pub fn define_material_class(
+        &self,
+        txn: TxnId,
+        name: &str,
+        parent: Option<&str>,
+    ) -> Result<ClassId> {
+        let mut catalog = self.catalog.write();
+        let id = catalog.define_material_class(name, parent)?;
+        self.store.update(txn, self.catalog_oid, &catalog.encode())?;
+        Ok(id)
+    }
+
+    /// Define a step class (version 1).
+    pub fn define_step_class(
+        &self,
+        txn: TxnId,
+        name: &str,
+        attrs: Vec<AttrDef>,
+    ) -> Result<ClassId> {
+        let mut catalog = self.catalog.write();
+        let id = catalog.define_step_class(name, attrs)?;
+        self.store.update(txn, self.catalog_oid, &catalog.encode())?;
+        Ok(id)
+    }
+
+    /// Redefine a step class, returning the new version number. This is
+    /// the paper's schema-evolution operation: constant-time, touching
+    /// only the catalog object; no instance data is migrated.
+    pub fn redefine_step_class(
+        &self,
+        txn: TxnId,
+        name: &str,
+        attrs: Vec<AttrDef>,
+    ) -> Result<u32> {
+        let mut catalog = self.catalog.write();
+        let version = catalog.redefine_step_class(name, attrs)?;
+        self.store.update(txn, self.catalog_oid, &catalog.encode())?;
+        Ok(version)
+    }
+
+    /// Run `f` with read access to the catalog.
+    pub fn with_catalog<R>(&self, f: impl FnOnce(&Catalog) -> R) -> R {
+        f(&self.catalog.read())
+    }
+
+    // ---- record I/O helpers ------------------------------------------------
+
+    pub(crate) fn read_material_rec(&self, oid: Oid) -> Result<SmMaterial> {
+        let bytes = self.store.read(oid).map_err(|e| match e {
+            labflow_storage::StorageError::UnknownObject(o) => {
+                LabError::UnknownMaterial(MaterialId::from(o))
+            }
+            e => LabError::Storage(e),
+        })?;
+        SmMaterial::decode(&bytes)
+    }
+
+    pub(crate) fn write_material_rec(&self, txn: TxnId, oid: Oid, rec: &SmMaterial) -> Result<()> {
+        Ok(self.store.update(txn, oid, &rec.encode())?)
+    }
+
+    pub(crate) fn read_step_rec(&self, oid: Oid) -> Result<SmStep> {
+        let bytes = self.store.read(oid).map_err(|e| match e {
+            labflow_storage::StorageError::UnknownObject(o) => {
+                LabError::UnknownStep(StepId::from(o))
+            }
+            e => LabError::Storage(e),
+        })?;
+        SmStep::decode(&bytes)
+    }
+
+    pub(crate) fn read_recent_rec(&self, oid: Oid) -> Result<RecentRecord> {
+        if oid.is_nil() {
+            return Ok(RecentRecord::default());
+        }
+        RecentRecord::decode(&self.store.read(oid)?)
+    }
+
+    pub(crate) fn persist_sets_dir(&self, txn: TxnId) -> Result<()> {
+        let dir = self.sets.read();
+        self.store.update(txn, self.sets_oid, &dir.encode())?;
+        Ok(())
+    }
+
+    // ---- materials ---------------------------------------------------------
+
+    /// Create a material of class `class` named `name` at valid time
+    /// `created`.
+    pub fn create_material(
+        &self,
+        txn: TxnId,
+        class: &str,
+        name: &str,
+        created: ValidTime,
+    ) -> Result<MaterialId> {
+        let mut catalog = self.catalog.write();
+        let class_id = catalog.material_class(class)?.id;
+        let ext_next = catalog.material_class(class)?.extent_head;
+        let rec = SmMaterial {
+            class: class_id,
+            name: name.to_string(),
+            created,
+            state: String::new(),
+            state_time: created,
+            history_head: Oid::NIL,
+            recent: Oid::NIL,
+            ext_next,
+        };
+        let oid = self.store.allocate(txn, SEG_MATERIAL, ClusterHint::NONE, &rec.encode())?;
+        {
+            let mc = catalog.material_class_mut(class_id)?;
+            mc.extent_head = oid;
+            mc.count += 1;
+        }
+        self.store.update(txn, self.catalog_oid, &catalog.encode())?;
+        drop(catalog);
+        if let Some(index) = self.name_index.lock().as_mut() {
+            index.insert(name.to_string(), oid);
+        }
+        self.state_index.lock().note_created(oid);
+        Ok(MaterialId::from(oid))
+    }
+
+    /// Decoded material info.
+    pub fn material(&self, mat: MaterialId) -> Result<MaterialInfo> {
+        let rec = self.read_material_rec(mat.oid())?;
+        let catalog = self.catalog.read();
+        let class = catalog.material_class_by_id(rec.class)?;
+        Ok(MaterialInfo {
+            id: mat,
+            class: class.name.clone(),
+            class_id: rec.class,
+            name: rec.name,
+            created: rec.created,
+            state: if rec.state.is_empty() { None } else { Some(rec.state) },
+            state_time: rec.state_time,
+        })
+    }
+
+    /// Whether a material exists.
+    pub fn material_exists(&self, mat: MaterialId) -> bool {
+        self.store.exists(mat.oid())
+    }
+
+    // ---- steps (workflow tracking: the paper's Section 8.3) ----------------
+
+    /// Record a workflow step: the core benchmark operation. Creates an
+    /// `sm_step` event, links it into every involved material's history,
+    /// and refreshes their most-recent caches — all inside `txn`.
+    pub fn record_step(
+        &self,
+        txn: TxnId,
+        class: &str,
+        valid_time: ValidTime,
+        materials: &[MaterialId],
+        attrs: Vec<(String, Value)>,
+    ) -> Result<StepId> {
+        if materials.is_empty() {
+            return Err(LabError::NoMaterials);
+        }
+        let (class_id, version) = {
+            let catalog = self.catalog.read();
+            let sc = catalog.step_class(class)?;
+            let ver = sc.current();
+            ver.validate(class, &attrs)?;
+            (sc.id, ver.version)
+        };
+        // Verify the materials exist before touching anything.
+        for m in materials {
+            if !self.store.exists(m.oid()) {
+                return Err(LabError::UnknownMaterial(*m));
+            }
+        }
+        let rec = SmStep {
+            class: class_id,
+            version,
+            valid_time,
+            materials: materials.iter().map(|m| m.oid()).collect(),
+            attrs,
+        };
+        // Step payloads go to the big cold segment, clustered near the
+        // first involved material for the backends that can.
+        let step_oid = self.store.allocate(
+            txn,
+            SEG_STEP,
+            ClusterHint::near(materials[0].oid()),
+            &rec.encode(),
+        )?;
+        for m in materials {
+            self.link_event(txn, m.oid(), step_oid, valid_time)?;
+            self.absorb_recent(txn, m.oid(), step_oid, valid_time, &rec.attrs)?;
+        }
+        Ok(StepId::from(step_oid))
+    }
+
+    /// Decoded step info.
+    pub fn step(&self, step: StepId) -> Result<StepInfo> {
+        let rec = self.read_step_rec(step.oid())?;
+        let catalog = self.catalog.read();
+        let class = catalog.step_class_by_id(rec.class)?;
+        Ok(StepInfo {
+            id: step,
+            class: class.name.clone(),
+            version: rec.version,
+            valid_time: rec.valid_time,
+            materials: rec.materials.into_iter().map(MaterialId::from).collect(),
+            attrs: rec.attrs,
+        })
+    }
+
+    /// The attribute set a step instance was created under (its class
+    /// *version's* schema) — old instances keep old schemas forever.
+    pub fn step_schema(&self, step: StepId) -> Result<Vec<AttrDef>> {
+        let rec = self.read_step_rec(step.oid())?;
+        let catalog = self.catalog.read();
+        let class = catalog.step_class_by_id(rec.class)?;
+        let ver = class.version(rec.version).ok_or_else(|| {
+            LabError::Decode(format!("step {step} references missing version {}", rec.version))
+        })?;
+        Ok(ver.attrs.clone())
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use crate::schema::attrs;
+    use crate::value::AttrType;
+    use labflow_storage::MemStore;
+
+    pub(crate) fn mem_db() -> LabBase {
+        let store: Arc<dyn StorageManager> = Arc::new(MemStore::ostore_mm());
+        let db = LabBase::create(store).unwrap();
+        let t = db.begin().unwrap();
+        db.define_material_class(t, "material", None).unwrap();
+        db.define_material_class(t, "clone", Some("material")).unwrap();
+        db.define_step_class(
+            t,
+            "determine_sequence",
+            attrs(&[("sequence", AttrType::Dna), ("quality", AttrType::Real)]),
+        )
+        .unwrap();
+        db.commit(t).unwrap();
+        db
+    }
+
+    #[test]
+    fn create_open_round_trip() {
+        let store: Arc<dyn StorageManager> = Arc::new(MemStore::ostore_mm());
+        let db = LabBase::create(store.clone()).unwrap();
+        let t = db.begin().unwrap();
+        db.define_material_class(t, "clone", None).unwrap();
+        db.commit(t).unwrap();
+        drop(db);
+        let db = LabBase::open(store).unwrap();
+        db.with_catalog(|c| {
+            assert!(c.material_class("clone").is_ok());
+        });
+    }
+
+    #[test]
+    fn open_non_labbase_store_fails() {
+        let store: Arc<dyn StorageManager> = Arc::new(MemStore::ostore_mm());
+        assert!(matches!(LabBase::open(store), Err(LabError::BadRoot(_))));
+    }
+
+    #[test]
+    fn create_material_and_read_back() {
+        let db = mem_db();
+        let t = db.begin().unwrap();
+        let m = db.create_material(t, "clone", "clone-1", 10).unwrap();
+        db.commit(t).unwrap();
+        let info = db.material(m).unwrap();
+        assert_eq!(info.class, "clone");
+        assert_eq!(info.name, "clone-1");
+        assert_eq!(info.created, 10);
+        assert_eq!(info.state, None);
+        assert!(db.material_exists(m));
+    }
+
+    #[test]
+    fn create_material_unknown_class_fails() {
+        let db = mem_db();
+        let t = db.begin().unwrap();
+        assert!(matches!(
+            db.create_material(t, "gel", "g1", 0),
+            Err(LabError::UnknownClass(_))
+        ));
+        db.commit(t).unwrap();
+    }
+
+    #[test]
+    fn record_step_validates() {
+        let db = mem_db();
+        let t = db.begin().unwrap();
+        let m = db.create_material(t, "clone", "c1", 0).unwrap();
+        // Unknown attr rejected.
+        assert!(matches!(
+            db.record_step(t, "determine_sequence", 5, &[m], vec![("lane".into(), 1i64.into())]),
+            Err(LabError::UnknownAttr { .. })
+        ));
+        // Type mismatch rejected.
+        assert!(matches!(
+            db.record_step(
+                t,
+                "determine_sequence",
+                5,
+                &[m],
+                vec![("quality".into(), Value::Bool(true))]
+            ),
+            Err(LabError::TypeMismatch { .. })
+        ));
+        // Empty material list rejected.
+        assert!(matches!(
+            db.record_step(t, "determine_sequence", 5, &[], vec![]),
+            Err(LabError::NoMaterials)
+        ));
+        // Ghost material rejected.
+        let ghost = MaterialId::from(Oid::from_raw(9999));
+        assert!(matches!(
+            db.record_step(t, "determine_sequence", 5, &[ghost], vec![]),
+            Err(LabError::UnknownMaterial(_))
+        ));
+        // And a good one works.
+        let s = db
+            .record_step(
+                t,
+                "determine_sequence",
+                5,
+                &[m],
+                vec![
+                    ("sequence".into(), Value::dna("ACGT").unwrap()),
+                    ("quality".into(), Value::Real(0.9)),
+                ],
+            )
+            .unwrap();
+        db.commit(t).unwrap();
+        let info = db.step(s).unwrap();
+        assert_eq!(info.class, "determine_sequence");
+        assert_eq!(info.version, 1);
+        assert_eq!(info.materials, vec![m]);
+    }
+
+    #[test]
+    fn step_schema_pins_old_version() {
+        let db = mem_db();
+        let t = db.begin().unwrap();
+        let m = db.create_material(t, "clone", "c1", 0).unwrap();
+        let s1 = db
+            .record_step(
+                t,
+                "determine_sequence",
+                1,
+                &[m],
+                vec![("quality".into(), Value::Real(0.5))],
+            )
+            .unwrap();
+        let v2 = db
+            .redefine_step_class(
+                t,
+                "determine_sequence",
+                attrs(&[("sequence", AttrType::Dna), ("machine", AttrType::Str)]),
+            )
+            .unwrap();
+        assert_eq!(v2, 2);
+        let s2 = db
+            .record_step(
+                t,
+                "determine_sequence",
+                2,
+                &[m],
+                vec![("machine".into(), "ABI-377".into())],
+            )
+            .unwrap();
+        // Old attribute now rejected at the *current* version...
+        assert!(matches!(
+            db.record_step(
+                t,
+                "determine_sequence",
+                3,
+                &[m],
+                vec![("quality".into(), Value::Real(0.1))]
+            ),
+            Err(LabError::UnknownAttr { .. })
+        ));
+        db.commit(t).unwrap();
+        // ...but the old instance still decodes under its own schema.
+        let schema1: Vec<String> =
+            db.step_schema(s1).unwrap().into_iter().map(|a| a.name).collect();
+        assert!(schema1.contains(&"quality".to_string()));
+        let schema2: Vec<String> =
+            db.step_schema(s2).unwrap().into_iter().map(|a| a.name).collect();
+        assert!(schema2.contains(&"machine".to_string()));
+        assert!(!schema2.contains(&"quality".to_string()));
+        assert_eq!(db.step(s1).unwrap().version, 1);
+        assert_eq!(db.step(s2).unwrap().version, 2);
+    }
+
+    #[test]
+    fn abort_reloads_caches() {
+        let db = mem_db();
+        let t = db.begin().unwrap();
+        db.define_material_class(t, "gel", None).unwrap();
+        db.abort(t).unwrap();
+        db.with_catalog(|c| {
+            assert!(c.material_class("gel").is_err(), "aborted class must vanish");
+            assert!(c.material_class("clone").is_ok());
+        });
+    }
+}

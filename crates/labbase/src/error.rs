@@ -1,0 +1,121 @@
+//! LabBase error type.
+
+use std::fmt;
+
+use labflow_storage::StorageError;
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, LabError>;
+
+/// Errors produced by the LabBase layer.
+#[derive(Debug)]
+pub enum LabError {
+    /// An error from the underlying storage manager.
+    Storage(StorageError),
+    /// A record failed to decode (schema corruption).
+    Decode(String),
+    /// Unknown material or step class name.
+    UnknownClass(String),
+    /// A class with this name already exists.
+    DuplicateClass(String),
+    /// The material id does not name a material.
+    UnknownMaterial(crate::ids::MaterialId),
+    /// The step id does not name a step instance.
+    UnknownStep(crate::ids::StepId),
+    /// No material set with this name exists.
+    UnknownSet(String),
+    /// A set with this name already exists.
+    DuplicateSet(String),
+    /// An attribute is not part of the step class's current version.
+    UnknownAttr {
+        /// Step class name.
+        class: String,
+        /// Offending attribute.
+        attr: String,
+    },
+    /// An attribute value does not match its declared type.
+    TypeMismatch {
+        /// Attribute name.
+        attr: String,
+        /// Declared type.
+        expected: &'static str,
+        /// Supplied value rendering.
+        got: String,
+    },
+    /// A step must involve at least one material.
+    NoMaterials,
+    /// The database root is missing or malformed.
+    BadRoot(String),
+}
+
+impl fmt::Display for LabError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LabError::Storage(e) => write!(f, "storage: {e}"),
+            LabError::Decode(msg) => write!(f, "decode: {msg}"),
+            LabError::UnknownClass(name) => write!(f, "unknown class '{name}'"),
+            LabError::DuplicateClass(name) => write!(f, "class '{name}' already defined"),
+            LabError::UnknownMaterial(m) => write!(f, "unknown material {m}"),
+            LabError::UnknownStep(s) => write!(f, "unknown step {s}"),
+            LabError::UnknownSet(name) => write!(f, "unknown material set '{name}'"),
+            LabError::DuplicateSet(name) => write!(f, "material set '{name}' already exists"),
+            LabError::UnknownAttr { class, attr } => {
+                write!(f, "attribute '{attr}' is not in the current version of step class '{class}'")
+            }
+            LabError::TypeMismatch { attr, expected, got } => {
+                write!(f, "attribute '{attr}' expects {expected}, got {got}")
+            }
+            LabError::NoMaterials => write!(f, "a step must involve at least one material"),
+            LabError::BadRoot(msg) => write!(f, "bad database root: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LabError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LabError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for LabError {
+    fn from(e: StorageError) -> Self {
+        LabError::Storage(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{MaterialId, StepId};
+    use labflow_storage::Oid;
+
+    #[test]
+    fn display_covers_variants() {
+        let cases: Vec<LabError> = vec![
+            LabError::Storage(StorageError::SingleUser),
+            LabError::Decode("short".into()),
+            LabError::UnknownClass("clone".into()),
+            LabError::DuplicateClass("clone".into()),
+            LabError::UnknownMaterial(MaterialId::from(Oid::from_raw(3))),
+            LabError::UnknownStep(StepId::from(Oid::from_raw(4))),
+            LabError::UnknownSet("queue".into()),
+            LabError::DuplicateSet("queue".into()),
+            LabError::UnknownAttr { class: "seq".into(), attr: "len".into() },
+            LabError::TypeMismatch { attr: "len".into(), expected: "int", got: "\"x\"".into() },
+            LabError::NoMaterials,
+            LabError::BadRoot("missing".into()),
+        ];
+        for c in cases {
+            assert!(!c.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn storage_source_preserved() {
+        let e = LabError::from(StorageError::SingleUser);
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

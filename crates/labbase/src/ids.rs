@@ -1,0 +1,74 @@
+//! Typed wrappers distinguishing material and step object ids.
+
+use std::fmt;
+
+use labflow_storage::Oid;
+
+macro_rules! id_newtype {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+        pub struct $name(Oid);
+
+        impl $name {
+            /// The underlying storage oid.
+            pub fn oid(self) -> Oid {
+                self.0
+            }
+        }
+
+        impl From<Oid> for $name {
+            fn from(oid: Oid) -> Self {
+                $name(oid)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0.raw())
+            }
+        }
+    };
+}
+
+id_newtype!(
+    /// Identifies a material instance (`sm_material` record).
+    MaterialId,
+    "m"
+);
+id_newtype!(
+    /// Identifies a step instance (`sm_step` record) — one event in the
+    /// workflow history.
+    StepId,
+    "s"
+);
+
+/// Identifies a material or step class in the user-level schema.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct ClassId(pub u32);
+
+impl fmt::Display for ClassId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// A valid time, in abstract workload ticks. The paper stresses that
+/// "most recent" is defined over *valid* time, not transaction time:
+/// steps may be entered out of order.
+pub type ValidTime = i64;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_display_distinctly() {
+        let m = MaterialId::from(Oid::from_raw(5));
+        let s = StepId::from(Oid::from_raw(5));
+        assert_eq!(m.to_string(), "m5");
+        assert_eq!(s.to_string(), "s5");
+        assert_eq!(m.oid(), s.oid());
+        assert_eq!(ClassId(2).to_string(), "c2");
+    }
+}

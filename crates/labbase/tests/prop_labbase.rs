@@ -1,0 +1,235 @@
+//! Property-based tests for LabBase's core semantic claims:
+//!
+//! * the most-recent cache always agrees with a naive derivation from
+//!   the history, no matter how out-of-order steps arrive or which
+//!   steps are retracted;
+//! * histories are always sorted newest-first by valid time;
+//! * `as_of` agrees with a naive temporal scan.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use labbase::{schema::attrs, AttrType, LabBase, MaterialId, StepId, Value};
+use labflow_storage::{MemStore, StorageManager};
+
+const ATTRS: [&str; 3] = ["alpha", "beta", "gamma"];
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Record a step for material (index mod count) at the given valid
+    /// time with a subset of attributes.
+    Record { mat: usize, vt: i64, mask: u8, val: i32 },
+    /// Retract the i-th surviving step (modulo).
+    Retract { pick: usize },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        5 => (any::<usize>(), 0i64..200, 1u8..8, any::<i32>())
+            .prop_map(|(mat, vt, mask, val)| Op::Record { mat, vt, mask, val }),
+        1 => any::<usize>().prop_map(|pick| Op::Retract { pick }),
+    ]
+}
+
+/// Reference model: a flat event list per material.
+#[derive(Default)]
+struct Model {
+    /// (step id, material, valid time, attrs)
+    events: Vec<(StepId, usize, i64, Vec<(String, Value)>)>,
+}
+
+impl Model {
+    /// Newest-first history of a material (ties: later arrival first,
+    /// matching LabBase's insert-before-equals policy with stable sort).
+    fn history(&self, mat: usize) -> Vec<(StepId, i64)> {
+        let mut h: Vec<(usize, StepId, i64)> = self
+            .events
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.1 == mat)
+            .map(|(i, e)| (i, e.0, e.2))
+            .collect();
+        // Sort by valid time desc; among equals, later arrival first.
+        h.sort_by(|a, b| b.2.cmp(&a.2).then(b.0.cmp(&a.0)));
+        h.into_iter().map(|(_, s, t)| (s, t)).collect()
+    }
+
+    fn recent(&self, mat: usize, attr: &str) -> Option<(i64, Value)> {
+        self.history(mat)
+            .into_iter()
+            .find_map(|(step, vt)| {
+                let e = self.events.iter().find(|e| e.0 == step).unwrap();
+                e.3.iter().find(|(n, _)| n == attr).map(|(_, v)| (vt, v.clone()))
+            })
+    }
+
+    fn as_of(&self, mat: usize, attr: &str, at: i64) -> Option<(i64, Value)> {
+        self.history(mat)
+            .into_iter()
+            .filter(|(_, vt)| *vt <= at)
+            .find_map(|(step, vt)| {
+                let e = self.events.iter().find(|e| e.0 == step).unwrap();
+                e.3.iter().find(|(n, _)| n == attr).map(|(_, v)| (vt, v.clone()))
+            })
+    }
+}
+
+fn setup(n_mats: usize) -> (LabBase, Vec<MaterialId>) {
+    let store: Arc<dyn StorageManager> = Arc::new(MemStore::ostore_mm());
+    let db = LabBase::create(store).unwrap();
+    let t = db.begin().unwrap();
+    db.define_material_class(t, "clone", None).unwrap();
+    db.define_step_class(
+        t,
+        "measure",
+        attrs(&[
+            ("alpha", AttrType::Int),
+            ("beta", AttrType::Int),
+            ("gamma", AttrType::Int),
+        ]),
+    )
+    .unwrap();
+    let mats = (0..n_mats)
+        .map(|i| db.create_material(t, "clone", &format!("m{i}"), 0).unwrap())
+        .collect();
+    db.commit(t).unwrap();
+    (db, mats)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn recent_and_history_match_naive_model(
+        ops in proptest::collection::vec(op_strategy(), 1..60),
+        n_mats in 1usize..4,
+    ) {
+        let (db, mats) = setup(n_mats);
+        let mut model = Model::default();
+
+        for op in &ops {
+            match op {
+                Op::Record { mat, vt, mask, val } => {
+                    let mi = mat % n_mats;
+                    let mut step_attrs: Vec<(String, Value)> = Vec::new();
+                    for (bit, name) in ATTRS.iter().enumerate() {
+                        if mask & (1 << bit) != 0 {
+                            step_attrs.push((name.to_string(), Value::Int(*val as i64 + bit as i64)));
+                        }
+                    }
+                    let t = db.begin().unwrap();
+                    let sid = db
+                        .record_step(t, "measure", *vt, &[mats[mi]], step_attrs.clone())
+                        .unwrap();
+                    db.commit(t).unwrap();
+                    model.events.push((sid, mi, *vt, step_attrs));
+                }
+                Op::Retract { pick } => {
+                    if model.events.is_empty() {
+                        continue;
+                    }
+                    let idx = pick % model.events.len();
+                    let (sid, _, _, _) = model.events.remove(idx);
+                    let t = db.begin().unwrap();
+                    db.retract_step(t, sid).unwrap();
+                    db.commit(t).unwrap();
+                }
+            }
+        }
+
+        for (mi, &m) in mats.iter().enumerate() {
+            // History order and content.
+            let got: Vec<(StepId, i64)> =
+                db.history(m).unwrap().into_iter().map(|e| (e.step, e.valid_time)).collect();
+            let want = model.history(mi);
+            // Valid-time ordering must be identical; among equal times the
+            // arrival-order tiebreak matches the model's definition.
+            prop_assert_eq!(&got, &want, "history mismatch for material {}", mi);
+
+            // Most-recent per attribute: the *value and valid time* must
+            // match the derivation (step identity may differ on ties).
+            for attr in ATTRS {
+                let cached = db.recent(m, attr).unwrap().map(|r| (r.valid_time, r.value));
+                let derived = db
+                    .recent_uncached(m, attr)
+                    .unwrap()
+                    .map(|r| (r.valid_time, r.value));
+                prop_assert_eq!(&cached, &derived, "cache vs derivation for {}", attr);
+                let modeled = model.recent(mi, attr);
+                prop_assert_eq!(
+                    cached.as_ref().map(|(t, _)| *t),
+                    modeled.as_ref().map(|(t, _)| *t),
+                    "recent valid-time vs model for {}", attr
+                );
+            }
+
+            // As-of at a few probe times.
+            for at in [0i64, 50, 100, 150, 200] {
+                let got = db.as_of(m, "alpha", at).unwrap();
+                let want = model.as_of(mi, "alpha", at);
+                prop_assert_eq!(
+                    got.as_ref().map(|(t, _)| *t),
+                    want.as_ref().map(|(t, _)| *t),
+                    "as_of({}) valid time", at
+                );
+            }
+        }
+    }
+
+    /// Histories are always sorted (weaker invariant, wider op space:
+    /// includes multi-material steps).
+    #[test]
+    fn histories_always_sorted_with_shared_steps(
+        steps in proptest::collection::vec((0i64..100, 0u8..3), 1..40)
+    ) {
+        let (db, mats) = setup(3);
+        let t = db.begin().unwrap();
+        for (vt, which) in &steps {
+            // Involve one, two, or all three materials.
+            let involved: Vec<MaterialId> = match which {
+                0 => vec![mats[0]],
+                1 => vec![mats[0], mats[1]],
+                _ => mats.clone(),
+            };
+            db.record_step(t, "measure", *vt, &involved, vec![("alpha".into(), Value::Int(*vt))])
+                .unwrap();
+        }
+        db.commit(t).unwrap();
+        for &m in &mats {
+            let h = db.history(m).unwrap();
+            for w in h.windows(2) {
+                prop_assert!(w[0].valid_time >= w[1].valid_time);
+            }
+        }
+    }
+
+    /// Material sets behave like an order-preserving unique list.
+    #[test]
+    fn sets_match_model(ops in proptest::collection::vec((any::<bool>(), 0usize..6), 1..40)) {
+        let (db, mats) = setup(1);
+        let t = db.begin().unwrap();
+        // Create a pool of six extra materials to churn through the set.
+        let pool: Vec<MaterialId> = (0..6)
+            .map(|i| db.create_material(t, "clone", &format!("p{i}"), 0).unwrap())
+            .collect();
+        db.create_set(t, "s").unwrap();
+        let mut model: Vec<MaterialId> = Vec::new();
+        for (add, pick) in &ops {
+            let m = pool[*pick];
+            if *add {
+                db.add_to_set(t, "s", m).unwrap();
+                if !model.contains(&m) {
+                    model.push(m);
+                }
+            } else {
+                let removed = db.remove_from_set(t, "s", m).unwrap();
+                prop_assert_eq!(removed, model.contains(&m));
+                model.retain(|&x| x != m);
+            }
+            prop_assert_eq!(&db.set_members("s").unwrap(), &model);
+        }
+        db.commit(t).unwrap();
+        let _ = mats;
+    }
+}

@@ -1,0 +1,247 @@
+//! Terms, clauses, and programs.
+
+use std::fmt;
+
+use labbase::Value;
+use labflow_storage::Oid;
+
+/// An LQL term.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Term {
+    /// Logic variable.
+    Var(String),
+    /// Atom (lowercase identifier), e.g. `waiting_for_sequencing`.
+    Atom(String),
+    /// Integer.
+    Int(i64),
+    /// Float.
+    Real(f64),
+    /// String literal.
+    Str(String),
+    /// Object reference (materials, steps, sets).
+    Oid(Oid),
+    /// Proper or partial list: elements plus optional tail variable.
+    List(Vec<Term>, Option<Box<Term>>),
+    /// Compound term `functor(args…)`, also used for infix goals like
+    /// `=(X, Y)`.
+    Compound(String, Vec<Term>),
+}
+
+impl Term {
+    /// The empty list.
+    pub fn nil() -> Term {
+        Term::List(Vec::new(), None)
+    }
+
+    /// A proper list from elements.
+    pub fn list(items: Vec<Term>) -> Term {
+        Term::List(items, None)
+    }
+
+    /// Functor name and arity of a callable term (atoms are 0-ary).
+    pub fn functor(&self) -> Option<(&str, usize)> {
+        match self {
+            Term::Atom(name) => Some((name, 0)),
+            Term::Compound(name, args) => Some((name, args.len())),
+            _ => None,
+        }
+    }
+
+    /// Whether the term contains no variables (after substitution).
+    pub fn is_ground(&self) -> bool {
+        match self {
+            Term::Var(_) => false,
+            Term::List(items, tail) => {
+                items.iter().all(Term::is_ground)
+                    && tail.as_ref().map_or(true, |t| t.is_ground())
+            }
+            Term::Compound(_, args) => args.iter().all(Term::is_ground),
+            _ => true,
+        }
+    }
+
+    /// Collect variable names (with duplicates) into `out`.
+    pub fn vars(&self, out: &mut Vec<String>) {
+        match self {
+            Term::Var(v) => out.push(v.clone()),
+            Term::List(items, tail) => {
+                for t in items {
+                    t.vars(out);
+                }
+                if let Some(t) = tail {
+                    t.vars(out);
+                }
+            }
+            Term::Compound(_, args) => {
+                for a in args {
+                    a.vars(out);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Convert a LabBase [`Value`] into a term.
+    pub fn from_value(v: &Value) -> Term {
+        match v {
+            Value::Null => Term::Atom("null".into()),
+            Value::Bool(b) => Term::Atom(if *b { "true".into() } else { "false".into() }),
+            Value::Int(i) => Term::Int(*i),
+            Value::Real(r) => Term::Real(*r),
+            Value::Str(s) => Term::Str(s.clone()),
+            Value::Time(t) => Term::Int(*t),
+            Value::Ref(oid) => Term::Oid(*oid),
+            Value::Dna(s) => Term::Str(s.clone()),
+            Value::List(items) => Term::List(items.iter().map(Term::from_value).collect(), None),
+        }
+    }
+
+    /// Convert a ground term into a LabBase [`Value`], if possible.
+    pub fn to_value(&self) -> Option<Value> {
+        match self {
+            Term::Atom(a) if a == "null" => Some(Value::Null),
+            Term::Atom(a) if a == "true" => Some(Value::Bool(true)),
+            Term::Atom(a) if a == "false" => Some(Value::Bool(false)),
+            Term::Atom(a) => Some(Value::Str(a.clone())),
+            Term::Int(i) => Some(Value::Int(*i)),
+            Term::Real(r) => Some(Value::Real(*r)),
+            Term::Str(s) => Some(Value::Str(s.clone())),
+            Term::Oid(oid) => Some(Value::Ref(*oid)),
+            Term::List(items, None) => {
+                let mut vs = Vec::with_capacity(items.len());
+                for t in items {
+                    vs.push(t.to_value()?);
+                }
+                Some(Value::List(vs))
+            }
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Atom(a) => write!(f, "{a}"),
+            Term::Int(i) => write!(f, "{i}"),
+            Term::Real(r) => write!(f, "{r}"),
+            Term::Str(s) => write!(f, "{s:?}"),
+            Term::Oid(oid) => write!(f, "{oid}"),
+            Term::List(items, tail) => {
+                write!(f, "[")?;
+                for (i, t) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                if let Some(t) = tail {
+                    write!(f, "|{t}")?;
+                }
+                write!(f, "]")
+            }
+            Term::Compound(name, args) => {
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// One clause: `head :- body.` (facts have an empty body).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Rule {
+    /// Clause head.
+    pub head: Term,
+    /// Body goals, in order.
+    pub body: Vec<Term>,
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.body.is_empty() {
+            write!(f, "{}.", self.head)
+        } else {
+            write!(f, "{} :- ", self.head)?;
+            for (i, g) in self.body.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{g}")?;
+            }
+            write!(f, ".")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn functor_and_ground() {
+        let t = Term::Compound("state".into(), vec![Term::Var("M".into()), Term::Atom("s".into())]);
+        assert_eq!(t.functor(), Some(("state", 2)));
+        assert!(!t.is_ground());
+        assert!(Term::Atom("a".into()).is_ground());
+        assert_eq!(Term::Atom("a".into()).functor(), Some(("a", 0)));
+        assert_eq!(Term::Int(3).functor(), None);
+    }
+
+    #[test]
+    fn vars_collects_nested() {
+        let t = Term::List(
+            vec![Term::Var("A".into()), Term::Compound("f".into(), vec![Term::Var("B".into())])],
+            Some(Box::new(Term::Var("T".into()))),
+        );
+        let mut vs = Vec::new();
+        t.vars(&mut vs);
+        assert_eq!(vs, vec!["A", "B", "T"]);
+    }
+
+    #[test]
+    fn value_round_trip() {
+        let values = vec![
+            Value::Null,
+            Value::Bool(true),
+            Value::Int(4),
+            Value::Real(0.5),
+            Value::Str("x".into()),
+            Value::Ref(Oid::from_raw(8)),
+            Value::List(vec![Value::Int(1), Value::Str("two".into())]),
+        ];
+        for v in &values {
+            let t = Term::from_value(v);
+            let back = t.to_value().unwrap();
+            match (v, &back) {
+                // Bool goes through atoms true/false.
+                (Value::Bool(b), Value::Bool(b2)) => assert_eq!(b, b2),
+                _ => assert_eq!(&back, v),
+            }
+        }
+        // Dna and Time lose their flavor (become Str / Int) — documented.
+        assert_eq!(Term::from_value(&Value::Time(9)), Term::Int(9));
+        assert!(Term::Var("X".into()).to_value().is_none());
+    }
+
+    #[test]
+    fn display_forms() {
+        let t = Term::Compound(
+            "f".into(),
+            vec![Term::list(vec![Term::Int(1), Term::Int(2)]), Term::Str("s".into())],
+        );
+        assert_eq!(t.to_string(), "f([1, 2], \"s\")");
+        let r = Rule {
+            head: Term::Compound("p".into(), vec![Term::Var("X".into())]),
+            body: vec![Term::Atom("q".into())],
+        };
+        assert_eq!(r.to_string(), "p(X) :- q.");
+    }
+}

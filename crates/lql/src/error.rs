@@ -1,0 +1,76 @@
+//! LQL error type.
+
+use std::fmt;
+
+use labbase::LabError;
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, LqlError>;
+
+/// Errors produced by the query language.
+#[derive(Debug)]
+pub enum LqlError {
+    /// Lexical error.
+    Lex(String),
+    /// Parse error.
+    Parse(String),
+    /// Runtime evaluation error (type errors, unbound arguments where a
+    /// binding is required, arithmetic on non-numbers, …).
+    Eval(String),
+    /// The goal recursed past the engine's depth limit.
+    DepthLimit(usize),
+    /// An update predicate was used without an open transaction.
+    NoTransaction,
+    /// An error from the LabBase layer.
+    Lab(LabError),
+}
+
+impl fmt::Display for LqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LqlError::Lex(msg) => write!(f, "lex error: {msg}"),
+            LqlError::Parse(msg) => write!(f, "parse error: {msg}"),
+            LqlError::Eval(msg) => write!(f, "evaluation error: {msg}"),
+            LqlError::DepthLimit(n) => write!(f, "depth limit {n} exceeded"),
+            LqlError::NoTransaction => {
+                write!(f, "update predicate requires an open transaction")
+            }
+            LqlError::Lab(e) => write!(f, "labbase: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LqlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LqlError::Lab(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LabError> for LqlError {
+    fn from(e: LabError) -> Self {
+        LqlError::Lab(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        let cases = vec![
+            LqlError::Lex("x".into()),
+            LqlError::Parse("y".into()),
+            LqlError::Eval("z".into()),
+            LqlError::DepthLimit(100),
+            LqlError::NoTransaction,
+            LqlError::Lab(LabError::NoMaterials),
+        ];
+        for c in cases {
+            assert!(!c.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,726 @@
+//! The LQL evaluator: SLD resolution over user rules, builtins, and
+//! LabBase-backed database predicates.
+//!
+//! "LabBase provides a historical query language … a deductive language
+//! in the tradition of Datalog and Prolog" (paper Sections 6 and 8). The
+//! evaluator is top-down with backtracking, negation as failure, `setof`
+//! (with duplicate elimination, as the paper specifies), and the update
+//! predicates `assert`/`retract`/`create_*` of Section 8.
+
+use std::cell::Cell;
+
+use labbase::LabBase;
+use labflow_storage::TxnId;
+
+use crate::ast::{Rule, Term};
+use crate::dbpred;
+use crate::error::{LqlError, Result};
+use crate::parser::{parse_program, parse_query};
+use crate::unify::{cmp_terms, Subst};
+
+/// Resolved bindings for one solution: `(variable, value)` pairs in
+/// first-appearance order, excluding `_`-prefixed variables.
+pub type Bindings = Vec<(String, Term)>;
+
+/// Library predicates defined in LQL itself.
+pub const PRELUDE: &str = r#"
+member(X, [X|_]).
+member(X, [_|T]) :- member(X, T).
+
+append([], L, L).
+append([H|T], L, [H|R]) :- append(T, L, R).
+
+last([X], X).
+last([_|T], X) :- last(T, X).
+
+not_empty([_|_]).
+
+reverse([], []).
+reverse([H|T], R) :- reverse(T, RT), append(RT, [H], R).
+
+% forall(Cond, Action): Action holds for every solution of Cond.
+forall(C, A) :- \+ (C, \+ A).
+"#;
+
+/// A rule base (views).
+#[derive(Default, Clone)]
+pub struct Program {
+    rules: Vec<Rule>,
+}
+
+impl Program {
+    /// An empty program (no prelude).
+    pub fn empty() -> Program {
+        Program::default()
+    }
+
+    /// A program pre-loaded with the [`PRELUDE`] library.
+    pub fn new() -> Program {
+        let mut p = Program::default();
+        p.load(PRELUDE).expect("prelude parses");
+        p
+    }
+
+    /// Parse and add clauses; returns how many were added.
+    pub fn load(&mut self, src: &str) -> Result<usize> {
+        let rules = parse_program(src)?;
+        let n = rules.len();
+        self.rules.extend(rules);
+        Ok(n)
+    }
+
+    /// Add one clause.
+    pub fn add(&mut self, rule: Rule) {
+        self.rules.push(rule);
+    }
+
+    /// Number of clauses.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Whether the program has no clauses.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Whether any clause defines `name/arity` (used by tools to check
+    /// view coverage before running a query mix).
+    pub fn defines(&self, name: &str, arity: usize) -> bool {
+        self.rules.iter().any(|r| r.head.functor() == Some((name, arity)))
+    }
+
+    fn matching(&self, name: &str, arity: usize) -> Vec<&Rule> {
+        self.rules
+            .iter()
+            .filter(|r| r.head.functor() == Some((name, arity)))
+            .collect()
+    }
+
+}
+
+/// An evaluation session: a database handle, a rule base, and an
+/// optional open transaction for update predicates.
+pub struct Session<'a> {
+    db: &'a LabBase,
+    program: &'a Program,
+    txn: Cell<Option<TxnId>>,
+    now: Cell<i64>,
+    depth_limit: usize,
+    rename_counter: Cell<u64>,
+}
+
+impl<'a> Session<'a> {
+    /// A read-only session.
+    pub fn new(db: &'a LabBase, program: &'a Program) -> Session<'a> {
+        Session {
+            db,
+            program,
+            txn: Cell::new(None),
+            now: Cell::new(0),
+            depth_limit: 4_000,
+            rename_counter: Cell::new(0),
+        }
+    }
+
+    /// A session whose update predicates run inside `txn`.
+    pub fn with_txn(db: &'a LabBase, program: &'a Program, txn: TxnId) -> Session<'a> {
+        let s = Session::new(db, program);
+        s.txn.set(Some(txn));
+        s
+    }
+
+    /// The database handle.
+    pub fn db(&self) -> &LabBase {
+        self.db
+    }
+
+    /// Override the resolution depth limit (default 4000). The limit
+    /// bounds solution-path length, guarding against runaway recursion
+    /// in user views.
+    pub fn set_depth_limit(&mut self, limit: usize) {
+        self.depth_limit = limit;
+    }
+
+    /// The open transaction, if any.
+    pub fn txn(&self) -> Option<TxnId> {
+        self.txn.get()
+    }
+
+    /// The session's current valid time, stamped onto `assert`/`retract`
+    /// state transitions.
+    pub fn now(&self) -> i64 {
+        self.now.get()
+    }
+
+    /// Advance the session's valid-time clock.
+    pub fn set_now(&self, t: i64) {
+        self.now.set(t);
+    }
+
+    /// Require a transaction (update predicates).
+    pub(crate) fn require_txn(&self) -> Result<TxnId> {
+        self.txn.get().ok_or(LqlError::NoTransaction)
+    }
+
+    /// Run a query, returning all solutions.
+    pub fn query(&self, src: &str) -> Result<Vec<Bindings>> {
+        self.query_limit(src, usize::MAX)
+    }
+
+    /// Run a query, returning at most `limit` solutions.
+    pub fn query_limit(&self, src: &str, limit: usize) -> Result<Vec<Bindings>> {
+        let goals = parse_query(src)?;
+        self.run_goals(&goals, limit)
+    }
+
+    /// Whether the query has at least one solution.
+    pub fn prove(&self, src: &str) -> Result<bool> {
+        Ok(!self.query_limit(src, 1)?.is_empty())
+    }
+
+    /// Run pre-parsed goals.
+    ///
+    /// Evaluation runs on a dedicated thread with a large stack: SLD
+    /// resolution recurses once per goal on the solution path, and debug
+    /// builds have fat frames. The spawn cost (~tens of µs) is noise next
+    /// to any query that touches the database.
+    pub fn run_goals(&self, goals: &[Term], limit: usize) -> Result<Vec<Bindings>> {
+        let db = self.db;
+        let program = self.program;
+        let txn = self.txn.get();
+        let now = self.now.get();
+        let depth_limit = self.depth_limit;
+        std::thread::scope(|scope| {
+            std::thread::Builder::new()
+                .name("lql-eval".into())
+                .stack_size(128 * 1024 * 1024)
+                .spawn_scoped(scope, move || {
+                    let inner = Session {
+                        db,
+                        program,
+                        txn: Cell::new(txn),
+                        now: Cell::new(now),
+                        depth_limit,
+                        rename_counter: Cell::new(0),
+                    };
+                    inner.run_goals_inner(goals, limit)
+                })
+                .map_err(|e| LqlError::Eval(format!("could not spawn eval thread: {e}")))?
+                .join()
+                .map_err(|_| LqlError::Eval("evaluation thread panicked".into()))?
+        })
+    }
+
+    fn run_goals_inner(&self, goals: &[Term], limit: usize) -> Result<Vec<Bindings>> {
+        let mut var_names: Vec<String> = Vec::new();
+        for g in goals {
+            let mut vs = Vec::new();
+            g.vars(&mut vs);
+            for v in vs {
+                if !v.starts_with('_') && !var_names.contains(&v) {
+                    var_names.push(v);
+                }
+            }
+        }
+        let mut out: Vec<Bindings> = Vec::new();
+        if limit == 0 {
+            return Ok(out);
+        }
+        let mut subst = Subst::new();
+        self.solve(goals, &mut subst, 0, &mut |s: &mut Subst| {
+            let row: Bindings = var_names
+                .iter()
+                .map(|v| (v.clone(), s.resolve(&Term::Var(v.clone()))))
+                .collect();
+            out.push(row);
+            Ok(out.len() < limit)
+        })?;
+        Ok(out)
+    }
+
+    fn fresh_suffix(&self) -> u64 {
+        let n = self.rename_counter.get() + 1;
+        self.rename_counter.set(n);
+        n
+    }
+
+    fn rename_term(term: &Term, suffix: u64) -> Term {
+        match term {
+            Term::Var(v) => Term::Var(format!("{v}~{suffix}")),
+            Term::List(items, tail) => Term::List(
+                items.iter().map(|t| Self::rename_term(t, suffix)).collect(),
+                tail.as_ref().map(|t| Box::new(Self::rename_term(t, suffix))),
+            ),
+            Term::Compound(name, args) => Term::Compound(
+                name.clone(),
+                args.iter().map(|a| Self::rename_term(a, suffix)).collect(),
+            ),
+            other => other.clone(),
+        }
+    }
+
+    /// Core SLD loop. `emit` is called per solution and returns `false`
+    /// to stop the search; `solve` returns `false` when a stop was
+    /// requested (propagated outward).
+    pub(crate) fn solve(
+        &self,
+        goals: &[Term],
+        subst: &mut Subst,
+        depth: usize,
+        emit: &mut dyn FnMut(&mut Subst) -> Result<bool>,
+    ) -> Result<bool> {
+        if depth > self.depth_limit {
+            return Err(LqlError::DepthLimit(self.depth_limit));
+        }
+        let Some(goal) = goals.first() else {
+            return emit(subst);
+        };
+        let rest = &goals[1..];
+        let goal = subst.walk(goal);
+        let Some((name, arity)) = goal.functor() else {
+            return Err(LqlError::Eval(format!("goal is not callable: {goal}")));
+        };
+        let args: &[Term] = match &goal {
+            Term::Compound(_, args) => args,
+            _ => &[],
+        };
+
+        match (name, arity) {
+            (",", 2) => {
+                let mut new_goals = Vec::with_capacity(rest.len() + 2);
+                new_goals.push(args[0].clone());
+                new_goals.push(args[1].clone());
+                new_goals.extend_from_slice(rest);
+                self.solve(&new_goals, subst, depth + 1, emit)
+            }
+            (";", 2) => {
+                for branch in args {
+                    let mut new_goals = Vec::with_capacity(rest.len() + 1);
+                    new_goals.push(branch.clone());
+                    new_goals.extend_from_slice(rest);
+                    let mark = subst.mark();
+                    let cont = self.solve(&new_goals, subst, depth + 1, emit)?;
+                    subst.undo_to(mark);
+                    if !cont {
+                        return Ok(false);
+                    }
+                }
+                Ok(true)
+            }
+            ("true", 0) => self.solve(rest, subst, depth + 1, emit),
+            ("fail", 0) | ("false", 0) => Ok(true),
+            ("\\+", 1) => {
+                let mut found = false;
+                let mark = subst.mark();
+                self.solve(
+                    std::slice::from_ref(&args[0]),
+                    subst,
+                    depth + 1,
+                    &mut |_s| {
+                        found = true;
+                        Ok(false)
+                    },
+                )?;
+                subst.undo_to(mark);
+                if found {
+                    Ok(true)
+                } else {
+                    self.solve(rest, subst, depth + 1, emit)
+                }
+            }
+            ("once", 1) => {
+                let mut cont = true;
+                let mut done = false;
+                let mark = subst.mark();
+                self.solve(std::slice::from_ref(&args[0]), subst, depth + 1, &mut |s| {
+                    done = true;
+                    cont = self.solve(rest, s, depth + 1, emit)?;
+                    Ok(false)
+                })?;
+                subst.undo_to(mark);
+                let _ = done;
+                Ok(cont)
+            }
+            ("=", 2) => {
+                let mark = subst.mark();
+                let cont = if subst.unify(&args[0], &args[1]) {
+                    self.solve(rest, subst, depth + 1, emit)?
+                } else {
+                    true
+                };
+                subst.undo_to(mark);
+                Ok(cont)
+            }
+            ("\\=", 2) => {
+                let mark = subst.mark();
+                let unified = subst.unify(&args[0], &args[1]);
+                subst.undo_to(mark);
+                if unified {
+                    Ok(true)
+                } else {
+                    self.solve(rest, subst, depth + 1, emit)
+                }
+            }
+            ("==", 2) | ("\\==", 2) => {
+                let a = subst.resolve(&args[0]);
+                let b = subst.resolve(&args[1]);
+                let eq = a == b;
+                if (name == "==") == eq {
+                    self.solve(rest, subst, depth + 1, emit)
+                } else {
+                    Ok(true)
+                }
+            }
+            ("<", 2) | ("=<", 2) | (">", 2) | (">=", 2) => {
+                let holds = self.compare(name, &args[0], &args[1], subst)?;
+                if holds {
+                    self.solve(rest, subst, depth + 1, emit)
+                } else {
+                    Ok(true)
+                }
+            }
+            ("is", 2) => {
+                let value = self.eval_arith(&args[1], subst)?;
+                let mark = subst.mark();
+                let cont = if subst.unify(&args[0], &value) {
+                    self.solve(rest, subst, depth + 1, emit)?
+                } else {
+                    true
+                };
+                subst.undo_to(mark);
+                Ok(cont)
+            }
+            ("findall", 3) | ("setof", 3) => {
+                let mut collected: Vec<Term> = Vec::new();
+                let mark = subst.mark();
+                let template = args[0].clone();
+                self.solve(std::slice::from_ref(&args[1]), subst, depth + 1, &mut |s| {
+                    collected.push(s.resolve(&template));
+                    Ok(true)
+                })?;
+                subst.undo_to(mark);
+                if name == "setof" {
+                    // The paper: "similar to findall except that duplicate
+                    // query answers are eliminated".
+                    collected.sort_by(cmp_terms);
+                    collected.dedup();
+                    if collected.is_empty() {
+                        return Ok(true); // standard setof fails on empty
+                    }
+                }
+                let mark = subst.mark();
+                let cont = if subst.unify(&args[2], &Term::list(collected)) {
+                    self.solve(rest, subst, depth + 1, emit)?
+                } else {
+                    true
+                };
+                subst.undo_to(mark);
+                Ok(cont)
+            }
+            ("sum", 3) | ("min_of", 3) | ("max_of", 3) => {
+                // Aggregates over a goal's solutions: sum/min/max of the
+                // template's arithmetic value.
+                let mut values: Vec<Term> = Vec::new();
+                let mark = subst.mark();
+                let template = args[0].clone();
+                self.solve(std::slice::from_ref(&args[1]), subst, depth + 1, &mut |s| {
+                    values.push(s.resolve(&template));
+                    Ok(true)
+                })?;
+                subst.undo_to(mark);
+                let result: Option<Term> = match name {
+                    "sum" => {
+                        let mut acc = Term::Int(0);
+                        for v in &values {
+                            acc = self.eval_arith(
+                                &Term::Compound("+".into(), vec![acc, v.clone()]),
+                                subst,
+                            )?;
+                        }
+                        Some(acc)
+                    }
+                    _ => {
+                        let op = if name == "min_of" { "min" } else { "max" };
+                        let mut it = values.iter();
+                        match it.next() {
+                            None => None, // min/max of nothing fails
+                            Some(first) => {
+                                let mut acc = self.eval_arith(first, subst)?;
+                                for v in it {
+                                    acc = self.eval_arith(
+                                        &Term::Compound(op.into(), vec![acc, v.clone()]),
+                                        subst,
+                                    )?;
+                                }
+                                Some(acc)
+                            }
+                        }
+                    }
+                };
+                match result {
+                    None => Ok(true),
+                    Some(value) => {
+                        let mark = subst.mark();
+                        let cont = if subst.unify(&args[2], &value) {
+                            self.solve(rest, subst, depth + 1, emit)?
+                        } else {
+                            true
+                        };
+                        subst.undo_to(mark);
+                        Ok(cont)
+                    }
+                }
+            }
+            ("between", 3) => {
+                let lo = self.eval_arith(&args[0], subst)?;
+                let hi = self.eval_arith(&args[1], subst)?;
+                let (Term::Int(lo), Term::Int(hi)) = (&lo, &hi) else {
+                    return Err(LqlError::Eval("between/3 needs integer bounds".into()));
+                };
+                for x in *lo..=*hi {
+                    let mark = subst.mark();
+                    if subst.unify(&args[2], &Term::Int(x)) {
+                        let cont = self.solve(rest, subst, depth + 1, emit)?;
+                        if !cont {
+                            subst.undo_to(mark);
+                            return Ok(false);
+                        }
+                    }
+                    subst.undo_to(mark);
+                }
+                Ok(true)
+            }
+            ("nth0", 3) => {
+                let list = subst.resolve(&args[1]);
+                let Term::List(items, None) = list else {
+                    return Err(LqlError::Eval("nth0/3 needs a proper list".into()));
+                };
+                for (i, item) in items.iter().enumerate() {
+                    let mark = subst.mark();
+                    if subst.unify(&args[0], &Term::Int(i as i64))
+                        && subst.unify(&args[2], item)
+                    {
+                        let cont = self.solve(rest, subst, depth + 1, emit)?;
+                        if !cont {
+                            subst.undo_to(mark);
+                            return Ok(false);
+                        }
+                    }
+                    subst.undo_to(mark);
+                }
+                Ok(true)
+            }
+            ("sort", 2) | ("msort", 2) => {
+                let list = subst.resolve(&args[0]);
+                let Term::List(mut items, None) = list else {
+                    return Err(LqlError::Eval(format!("{name}/2 needs a proper list")));
+                };
+                items.sort_by(cmp_terms);
+                if name == "sort" {
+                    items.dedup();
+                }
+                let mark = subst.mark();
+                let cont = if subst.unify(&args[1], &Term::list(items)) {
+                    self.solve(rest, subst, depth + 1, emit)?
+                } else {
+                    true
+                };
+                subst.undo_to(mark);
+                Ok(cont)
+            }
+            ("count", 2) => {
+                let mut n: i64 = 0;
+                let mark = subst.mark();
+                self.solve(std::slice::from_ref(&args[0]), subst, depth + 1, &mut |_s| {
+                    n += 1;
+                    Ok(true)
+                })?;
+                subst.undo_to(mark);
+                let mark = subst.mark();
+                let cont = if subst.unify(&args[1], &Term::Int(n)) {
+                    self.solve(rest, subst, depth + 1, emit)?
+                } else {
+                    true
+                };
+                subst.undo_to(mark);
+                Ok(cont)
+            }
+            ("length", 2) => {
+                let list = subst.resolve(&args[0]);
+                match list {
+                    Term::List(items, None) => {
+                        let mark = subst.mark();
+                        let cont = if subst.unify(&args[1], &Term::Int(items.len() as i64)) {
+                            self.solve(rest, subst, depth + 1, emit)?
+                        } else {
+                            true
+                        };
+                        subst.undo_to(mark);
+                        Ok(cont)
+                    }
+                    other => Err(LqlError::Eval(format!("length/2 needs a proper list, got {other}"))),
+                }
+            }
+            _ => self.solve_user_or_db(&goal, name, arity, args, rest, subst, depth, emit),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn solve_user_or_db(
+        &self,
+        goal: &Term,
+        name: &str,
+        arity: usize,
+        args: &[Term],
+        rest: &[Term],
+        subst: &mut Subst,
+        depth: usize,
+        emit: &mut dyn FnMut(&mut Subst) -> Result<bool>,
+    ) -> Result<bool> {
+        // 1. User rules (views) take precedence, as in LabBase where views
+        //    may shadow base predicates.
+        let rules = self.program.matching(name, arity);
+        if !rules.is_empty() {
+            let rules: Vec<Rule> = rules.into_iter().cloned().collect();
+            for rule in rules {
+                let suffix = self.fresh_suffix();
+                let head = Self::rename_term(&rule.head, suffix);
+                let mark = subst.mark();
+                if subst.unify(goal, &head) {
+                    let mut new_goals: Vec<Term> = rule
+                        .body
+                        .iter()
+                        .map(|g| Self::rename_term(g, suffix))
+                        .collect();
+                    new_goals.extend_from_slice(rest);
+                    let cont = self.solve(&new_goals, subst, depth + 1, emit)?;
+                    if !cont {
+                        subst.undo_to(mark);
+                        return Ok(false);
+                    }
+                }
+                subst.undo_to(mark);
+            }
+            return Ok(true);
+        }
+
+        // 2. Database predicates.
+        let resolved: Vec<Term> = args.iter().map(|a| subst.resolve(a)).collect();
+        if let Some(tuples) = dbpred::try_db(self, name, arity, &resolved)? {
+            for tuple in tuples {
+                let mark = subst.mark();
+                let mut ok = true;
+                for (arg, value) in args.iter().zip(&tuple) {
+                    if !subst.unify(arg, value) {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    let cont = self.solve(rest, subst, depth + 1, emit)?;
+                    if !cont {
+                        subst.undo_to(mark);
+                        return Ok(false);
+                    }
+                }
+                subst.undo_to(mark);
+            }
+            return Ok(true);
+        }
+
+        Err(LqlError::Eval(format!("unknown predicate {name}/{arity}")))
+    }
+
+    fn compare(&self, op: &str, a: &Term, b: &Term, subst: &Subst) -> Result<bool> {
+        let a = self.eval_arith(a, subst)?;
+        let b = self.eval_arith(b, subst)?;
+        let (x, y) = match (&a, &b) {
+            (Term::Int(x), Term::Int(y)) => (*x as f64, *y as f64),
+            (Term::Int(x), Term::Real(y)) => (*x as f64, *y),
+            (Term::Real(x), Term::Int(y)) => (*x, *y as f64),
+            (Term::Real(x), Term::Real(y)) => (*x, *y),
+            _ => return Err(LqlError::Eval(format!("cannot compare {a} {op} {b}"))),
+        };
+        Ok(match op {
+            "<" => x < y,
+            "=<" => x <= y,
+            ">" => x > y,
+            ">=" => x >= y,
+            _ => unreachable!(),
+        })
+    }
+
+    /// Evaluate an arithmetic expression to an Int or Real term.
+    pub(crate) fn eval_arith(&self, term: &Term, subst: &Subst) -> Result<Term> {
+        let t = subst.walk(term);
+        match &t {
+            Term::Int(_) | Term::Real(_) => Ok(t),
+            Term::Var(v) => Err(LqlError::Eval(format!("unbound variable {v} in arithmetic"))),
+            Term::Compound(op, args) if args.len() == 2 => {
+                let a = self.eval_arith(&args[0], subst)?;
+                let b = self.eval_arith(&args[1], subst)?;
+                match (op.as_str(), &a, &b) {
+                    ("+", Term::Int(x), Term::Int(y)) => Ok(Term::Int(x.wrapping_add(*y))),
+                    ("-", Term::Int(x), Term::Int(y)) => Ok(Term::Int(x.wrapping_sub(*y))),
+                    ("*", Term::Int(x), Term::Int(y)) => Ok(Term::Int(x.wrapping_mul(*y))),
+                    ("/", Term::Int(x), Term::Int(y)) => {
+                        if *y == 0 {
+                            Err(LqlError::Eval("division by zero".into()))
+                        } else {
+                            Ok(Term::Int(x / y))
+                        }
+                    }
+                    ("mod", Term::Int(x), Term::Int(y)) => {
+                        if *y == 0 {
+                            Err(LqlError::Eval("mod by zero".into()))
+                        } else {
+                            Ok(Term::Int(x.rem_euclid(*y)))
+                        }
+                    }
+                    ("min", Term::Int(x), Term::Int(y)) => Ok(Term::Int(*x.min(y))),
+                    ("max", Term::Int(x), Term::Int(y)) => Ok(Term::Int(*x.max(y))),
+                    (op, a, b) => {
+                        let x = Self::as_f64(a)?;
+                        let y = Self::as_f64(b)?;
+                        let v = match op {
+                            "+" => x + y,
+                            "-" => x - y,
+                            "*" => x * y,
+                            "/" => {
+                                if y == 0.0 {
+                                    return Err(LqlError::Eval("division by zero".into()));
+                                }
+                                x / y
+                            }
+                            "min" => x.min(y),
+                            "max" => x.max(y),
+                            other => {
+                                return Err(LqlError::Eval(format!(
+                                    "unknown arithmetic operator {other}"
+                                )))
+                            }
+                        };
+                        Ok(Term::Real(v))
+                    }
+                }
+            }
+            Term::Compound(op, args) if args.len() == 1 && op == "abs" => {
+                match self.eval_arith(&args[0], subst)? {
+                    Term::Int(x) => Ok(Term::Int(x.abs())),
+                    Term::Real(x) => Ok(Term::Real(x.abs())),
+                    _ => unreachable!(),
+                }
+            }
+            other => Err(LqlError::Eval(format!("not arithmetic: {other}"))),
+        }
+    }
+
+    fn as_f64(t: &Term) -> Result<f64> {
+        match t {
+            Term::Int(x) => Ok(*x as f64),
+            Term::Real(x) => Ok(*x),
+            other => Err(LqlError::Eval(format!("not a number: {other}"))),
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! The LabFlow-1 view library: the benchmark's standard rules, written
+//! in LQL itself (paper Sections 7–8).
+//!
+//! The centerpiece is the family of workflow-transition rules in the
+//! shape the paper quotes:
+//!
+//! ```text
+//! move(M) :- state(M, waiting_for_sequencing), test_sequencing_ok(M),
+//!            retract(state(M, waiting_for_sequencing)),
+//!            assert(state(M, waiting_for_incorporation)).
+//! test_sequencing_ok(M) :- ...
+//! ```
+//!
+//! plus the tracking/report queries of Section 8: most-recent lookups,
+//! set/list generation, and counting.
+
+use crate::eval::Program;
+
+/// The LabFlow-1 standard rules.
+pub const LABFLOW_RULES: &str = r#"
+% ---- workflow transitions (paper Section 8.2) --------------------------
+% The generic transition: move M from S1 to S2 if its guard holds.
+% retract/1 fails unless M is actually in S1, making transitions safe
+% to attempt on any material.
+transition(M, S1, S2) :-
+    retract(state(M, S1)),
+    assert(state(M, S2)).
+
+% The exact transition quoted in the paper. The sequencing test has an
+% empty premise there ("no constraints on the transition"), so the guard
+% always succeeds.
+move(M) :-
+    state(M, waiting_for_sequencing),
+    test_sequencing_ok(M),
+    retract(state(M, waiting_for_sequencing)),
+    assert(state(M, waiting_for_incorporation)).
+
+test_sequencing_ok(_).
+
+% ---- workflow tracking (Section 8.3) ------------------------------------
+% Where is material M and what produced its latest value of attribute A?
+tracking(M, State, A, V) :-
+    state(M, State),
+    recent(M, A, V).
+
+% The step that provided M's most-recent value of A, with its time.
+provenance(M, A, S, T) :-
+    history_event(M, S, T),
+    attr(S, A, _).
+
+% ---- most-recent views (Section 7) --------------------------------------
+% A material's current sequence (the hottest lab query). `material(M)`
+% generates when M is unbound; `recent/3` then does the O(1) lookup.
+current_sequence(M, Seq) :- material(M), recent(M, sequence, Seq).
+
+% Quality gate: materials whose latest quality beats a threshold.
+good_quality(M, Q) :- material(M), recent(M, quality, Q), Q >= 0.9.
+
+% ---- set and list generation (Section 8.4) ------------------------------
+% All sequences ever determined for M (BLAST-style list generation).
+sequences_of(M, Set) :-
+    setof(Seq, history_seq(M, Seq), Set).
+history_seq(M, Seq) :-
+    history_event(M, S, _),
+    attr(S, sequence, Seq).
+
+% Materials of a class currently in a state (report driver).
+class_in_state(C, State, M) :-
+    class_of(M, C),
+    state(M, State).
+
+% ---- counting (Section 8.5) ----------------------------------------------
+% How many materials of class C are in state S?
+count_in_state(C, S, N) :-
+    count(class_in_state(C, S, _), N).
+
+% How many events does M's history hold?
+history_size(M, N) :-
+    count(history_event(M, _, _), N).
+"#;
+
+/// A [`Program`] with the prelude and the LabFlow-1 rules loaded.
+pub fn labflow_program() -> Program {
+    let mut p = Program::new();
+    p.load(LABFLOW_RULES).expect("LabFlow-1 stdlib parses");
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stdlib_parses() {
+        let p = labflow_program();
+        assert!(p.len() > 10);
+    }
+}

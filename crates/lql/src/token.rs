@@ -1,0 +1,354 @@
+//! Lexer for LQL, the Prolog/Datalog-style query language of LabBase
+//! (paper Section 6).
+
+use crate::error::{LqlError, Result};
+
+/// One lexical token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Token {
+    /// Lowercase identifier: `state`, `waiting_for_sequencing`.
+    Atom(String),
+    /// Variable: `X`, `Material`, `_G1`.
+    Var(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Real(f64),
+    /// Double-quoted string literal.
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `|`
+    Bar,
+    /// `.` end of clause
+    Dot,
+    /// `:-`
+    Neck,
+    /// `?-`
+    Query,
+    /// `;`
+    Semicolon,
+    /// An operator symbol: `=`, `\=`, `<`, `=<`, `>=`, `is`, `+`, …
+    Op(String),
+    /// `\+` negation as failure
+    Naf,
+}
+
+/// Tokenize LQL source. `%` starts a line comment.
+pub fn tokenize(src: &str) -> Result<Vec<Token>> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    let n = bytes.len();
+    while i < n {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '%' => {
+                while i < n && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            '[' => {
+                out.push(Token::LBracket);
+                i += 1;
+            }
+            ']' => {
+                out.push(Token::RBracket);
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            '|' => {
+                out.push(Token::Bar);
+                i += 1;
+            }
+            ';' => {
+                out.push(Token::Semicolon);
+                i += 1;
+            }
+            '"' => {
+                i += 1;
+                let mut s = String::new();
+                let mut closed = false;
+                while i < n {
+                    let ch = bytes[i] as char;
+                    if ch == '"' {
+                        closed = true;
+                        i += 1;
+                        break;
+                    }
+                    if ch == '\\' && i + 1 < n {
+                        i += 1;
+                        let esc = bytes[i] as char;
+                        s.push(match esc {
+                            'n' => '\n',
+                            't' => '\t',
+                            other => other,
+                        });
+                    } else {
+                        s.push(ch);
+                    }
+                    i += 1;
+                }
+                if !closed {
+                    return Err(LqlError::Lex("unterminated string literal".into()));
+                }
+                out.push(Token::Str(s));
+            }
+            '?' if i + 1 < n && bytes[i + 1] == b'-' => {
+                out.push(Token::Query);
+                i += 2;
+            }
+            ':' if i + 1 < n && bytes[i + 1] == b'-' => {
+                out.push(Token::Neck);
+                i += 2;
+            }
+            '\\' if i + 1 < n && bytes[i + 1] == b'+' => {
+                out.push(Token::Naf);
+                i += 2;
+            }
+            '\\' if i + 1 < n && bytes[i + 1] == b'=' => {
+                if i + 2 < n && bytes[i + 2] == b'=' {
+                    out.push(Token::Op("\\==".into()));
+                    i += 3;
+                } else {
+                    out.push(Token::Op("\\=".into()));
+                    i += 2;
+                }
+            }
+            '=' => {
+                if i + 1 < n && bytes[i + 1] == b'<' {
+                    out.push(Token::Op("=<".into()));
+                    i += 2;
+                } else if i + 1 < n && bytes[i + 1] == b'=' {
+                    out.push(Token::Op("==".into()));
+                    i += 2;
+                } else {
+                    out.push(Token::Op("=".into()));
+                    i += 1;
+                }
+            }
+            '<' => {
+                out.push(Token::Op("<".into()));
+                i += 1;
+            }
+            '>' => {
+                if i + 1 < n && bytes[i + 1] == b'=' {
+                    out.push(Token::Op(">=".into()));
+                    i += 2;
+                } else {
+                    out.push(Token::Op(">".into()));
+                    i += 1;
+                }
+            }
+            '+' => {
+                out.push(Token::Op("+".into()));
+                i += 1;
+            }
+            '-' => {
+                // Negative number literal if followed directly by a digit
+                // and preceded by something that cannot end an expression.
+                let starts_number = i + 1 < n && bytes[i + 1].is_ascii_digit();
+                let prev_ends_expr = matches!(
+                    out.last(),
+                    Some(Token::Int(_))
+                        | Some(Token::Real(_))
+                        | Some(Token::Var(_))
+                        | Some(Token::Atom(_))
+                        | Some(Token::RParen)
+                        | Some(Token::RBracket)
+                );
+                if starts_number && !prev_ends_expr {
+                    let (tok, used) = lex_number(&src[i..])?;
+                    out.push(tok);
+                    i += used;
+                } else {
+                    out.push(Token::Op("-".into()));
+                    i += 1;
+                }
+            }
+            '*' => {
+                out.push(Token::Op("*".into()));
+                i += 1;
+            }
+            '/' => {
+                out.push(Token::Op("/".into()));
+                i += 1;
+            }
+            '.' => {
+                out.push(Token::Dot);
+                i += 1;
+            }
+            c if c.is_ascii_digit() => {
+                let (tok, used) = lex_number(&src[i..])?;
+                out.push(tok);
+                i += used;
+            }
+            c if c.is_ascii_lowercase() => {
+                let start = i;
+                while i < n && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                if word == "is" || word == "mod" {
+                    out.push(Token::Op(word.into()));
+                } else {
+                    out.push(Token::Atom(word.into()));
+                }
+            }
+            c if c.is_ascii_uppercase() || c == '_' => {
+                let start = i;
+                while i < n && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                out.push(Token::Var(src[start..i].into()));
+            }
+            other => {
+                return Err(LqlError::Lex(format!("unexpected character '{other}'")));
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn lex_number(src: &str) -> Result<(Token, usize)> {
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    if bytes[0] == b'-' {
+        i = 1;
+    }
+    while i < bytes.len() && bytes[i].is_ascii_digit() {
+        i += 1;
+    }
+    let mut is_real = false;
+    if i + 1 < bytes.len() && bytes[i] == b'.' && bytes[i + 1].is_ascii_digit() {
+        is_real = true;
+        i += 1;
+        while i < bytes.len() && bytes[i].is_ascii_digit() {
+            i += 1;
+        }
+    }
+    let text = &src[..i];
+    if is_real {
+        text.parse::<f64>()
+            .map(|v| (Token::Real(v), i))
+            .map_err(|_| LqlError::Lex(format!("bad real literal '{text}'")))
+    } else {
+        text.parse::<i64>()
+            .map(|v| (Token::Int(v), i))
+            .map_err(|_| LqlError::Lex(format!("bad integer literal '{text}'")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_clause() {
+        let toks = tokenize("move(M) :- state(M, waiting), \\+ done(M).").unwrap();
+        assert_eq!(toks[0], Token::Atom("move".into()));
+        assert_eq!(toks[1], Token::LParen);
+        assert_eq!(toks[2], Token::Var("M".into()));
+        assert!(toks.contains(&Token::Neck));
+        assert!(toks.contains(&Token::Naf));
+        assert_eq!(toks.last(), Some(&Token::Dot));
+    }
+
+    #[test]
+    fn numbers_including_negative_and_real() {
+        let toks = tokenize("f(1, -2, 3.5, 4-5, X-1).").unwrap();
+        assert!(toks.contains(&Token::Int(-2)));
+        assert!(toks.contains(&Token::Real(3.5)));
+        // `4-5` is subtraction, not 4 and -5.
+        let minus_count = toks.iter().filter(|t| **t == Token::Op("-".into())).count();
+        assert_eq!(minus_count, 2);
+    }
+
+    #[test]
+    fn decimal_number_vs_end_dot() {
+        let toks = tokenize("f(3.5).").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Atom("f".into()),
+                Token::LParen,
+                Token::Real(3.5),
+                Token::RParen,
+                Token::Dot
+            ]
+        );
+        let toks = tokenize("f(3).").unwrap();
+        assert!(toks.contains(&Token::Int(3)));
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        let toks = tokenize(r#"name(M, "clone \"A\"\n")."#).unwrap();
+        assert!(toks.iter().any(|t| matches!(t, Token::Str(s) if s == "clone \"A\"\n")));
+        assert!(matches!(tokenize(r#"x("unterminated"#), Err(LqlError::Lex(_))));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = tokenize("a. % comment with , tokens :- \n b.").unwrap();
+        assert_eq!(
+            toks,
+            vec![Token::Atom("a".into()), Token::Dot, Token::Atom("b".into()), Token::Dot]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let toks = tokenize("X =< Y, X >= Z, X \\= W, A == B, C \\== D, E < F, G > H").unwrap();
+        for op in ["=<", ">=", "\\=", "==", "\\==", "<", ">"] {
+            assert!(toks.contains(&Token::Op(op.into())), "missing {op}");
+        }
+    }
+
+    #[test]
+    fn is_and_mod_are_operators() {
+        let toks = tokenize("X is 4 mod 3").unwrap();
+        assert_eq!(toks[1], Token::Op("is".into()));
+        assert!(toks.contains(&Token::Op("mod".into())));
+    }
+
+    #[test]
+    fn lists_and_bars() {
+        let toks = tokenize("[H|T]").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::LBracket,
+                Token::Var("H".into()),
+                Token::Bar,
+                Token::Var("T".into()),
+                Token::RBracket
+            ]
+        );
+    }
+
+    #[test]
+    fn bad_char_is_error() {
+        assert!(matches!(tokenize("a @ b"), Err(LqlError::Lex(_))));
+    }
+}

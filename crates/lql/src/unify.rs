@@ -1,0 +1,337 @@
+//! Substitutions and unification (no occurs check, standard Prolog
+//! practice), with a trail for cheap backtracking.
+
+use std::cmp::Ordering;
+use std::collections::HashMap;
+
+use crate::ast::Term;
+
+/// A substitution: variable name → term, with an undo trail.
+#[derive(Default, Debug)]
+pub struct Subst {
+    map: HashMap<String, Term>,
+    trail: Vec<String>,
+}
+
+impl Subst {
+    /// Empty substitution.
+    pub fn new() -> Subst {
+        Subst::default()
+    }
+
+    /// Current trail position; pass to [`Subst::undo_to`] to backtrack.
+    pub fn mark(&self) -> usize {
+        self.trail.len()
+    }
+
+    /// Undo all bindings made after `mark`.
+    pub fn undo_to(&mut self, mark: usize) {
+        while self.trail.len() > mark {
+            let var = self.trail.pop().expect("trail length checked");
+            self.map.remove(&var);
+        }
+    }
+
+    fn bind(&mut self, var: &str, term: Term) {
+        self.map.insert(var.to_string(), term);
+        self.trail.push(var.to_string());
+    }
+
+    /// Follow variable bindings one level at a time until reaching a
+    /// non-variable or an unbound variable.
+    pub fn walk(&self, term: &Term) -> Term {
+        let mut cur = term.clone();
+        while let Term::Var(v) = &cur {
+            match self.map.get(v) {
+                Some(next) => cur = next.clone(),
+                None => break,
+            }
+        }
+        cur
+    }
+
+    /// Fully resolve a term: walk and recurse into structure.
+    pub fn resolve(&self, term: &Term) -> Term {
+        let t = self.walk(term);
+        match t {
+            Term::List(items, tail) => {
+                let mut out_items: Vec<Term> = items.iter().map(|i| self.resolve(i)).collect();
+                let mut out_tail = None;
+                if let Some(tail) = tail {
+                    match self.resolve(&tail) {
+                        Term::List(mut more, t2) => {
+                            out_items.append(&mut more);
+                            out_tail = t2;
+                        }
+                        other => out_tail = Some(Box::new(other)),
+                    }
+                }
+                Term::List(out_items, out_tail)
+            }
+            Term::Compound(name, args) => {
+                Term::Compound(name, args.iter().map(|a| self.resolve(a)).collect())
+            }
+            other => other,
+        }
+    }
+
+    /// Unify two terms under this substitution. On failure the caller
+    /// must [`Subst::undo_to`] its own mark (partial bindings may remain).
+    pub fn unify(&mut self, a: &Term, b: &Term) -> bool {
+        let a = self.walk(a);
+        let b = self.walk(b);
+        match (&a, &b) {
+            (Term::Var(v), _) => {
+                if let Term::Var(w) = &b {
+                    if v == w {
+                        return true;
+                    }
+                }
+                self.bind(v, b.clone());
+                true
+            }
+            (_, Term::Var(w)) => {
+                self.bind(w, a.clone());
+                true
+            }
+            (Term::Atom(x), Term::Atom(y)) => x == y,
+            (Term::Int(x), Term::Int(y)) => x == y,
+            (Term::Real(x), Term::Real(y)) => x == y,
+            (Term::Int(x), Term::Real(y)) | (Term::Real(y), Term::Int(x)) => *x as f64 == *y,
+            (Term::Str(x), Term::Str(y)) => x == y,
+            (Term::Oid(x), Term::Oid(y)) => x == y,
+            (Term::Compound(f, xs), Term::Compound(g, ys)) => {
+                if f != g || xs.len() != ys.len() {
+                    return false;
+                }
+                xs.iter().zip(ys).all(|(x, y)| self.unify(x, y))
+            }
+            (Term::List(..), Term::List(..)) => self.unify_lists(&a, &b),
+            _ => false,
+        }
+    }
+
+    fn unify_lists(&mut self, a: &Term, b: &Term) -> bool {
+        let (mut ai, at) = match a {
+            Term::List(items, tail) => (items.clone().into_iter(), tail.clone()),
+            _ => unreachable!(),
+        };
+        let (mut bi, bt) = match b {
+            Term::List(items, tail) => (items.clone().into_iter(), tail.clone()),
+            _ => unreachable!(),
+        };
+        loop {
+            match (ai.next(), bi.next()) {
+                (Some(x), Some(y)) => {
+                    if !self.unify(&x, &y) {
+                        return false;
+                    }
+                }
+                (None, Some(y)) => {
+                    // a ran out of items; its tail must absorb y + rest.
+                    let rest: Vec<Term> = std::iter::once(y).chain(bi).collect();
+                    let rest_list = Term::List(rest, bt);
+                    return match at {
+                        Some(t) => self.unify(&t, &rest_list),
+                        None => false,
+                    };
+                }
+                (Some(x), None) => {
+                    let rest: Vec<Term> = std::iter::once(x).chain(ai).collect();
+                    let rest_list = Term::List(rest, at);
+                    return match bt {
+                        Some(t) => self.unify(&t, &rest_list),
+                        None => false,
+                    };
+                }
+                (None, None) => {
+                    return match (at, bt) {
+                        (None, None) => true,
+                        (Some(t), None) | (None, Some(t)) => self.unify(&t, &Term::nil()),
+                        (Some(x), Some(y)) => self.unify(&x, &y),
+                    };
+                }
+            }
+        }
+    }
+}
+
+/// Total order over ground terms (for `setof` sorting): by kind rank,
+/// then value. Variables sort first by name (should not appear in ground
+/// output, but the order must still be total).
+pub fn cmp_terms(a: &Term, b: &Term) -> Ordering {
+    fn rank(t: &Term) -> u8 {
+        match t {
+            Term::Var(_) => 0,
+            Term::Int(_) | Term::Real(_) => 1,
+            Term::Atom(_) => 2,
+            Term::Str(_) => 3,
+            Term::Oid(_) => 4,
+            Term::List(..) => 5,
+            Term::Compound(..) => 6,
+        }
+    }
+    match (a, b) {
+        (Term::Int(x), Term::Int(y)) => x.cmp(y),
+        (Term::Real(x), Term::Real(y)) => x.partial_cmp(y).unwrap_or(Ordering::Equal),
+        (Term::Int(x), Term::Real(y)) => {
+            (*x as f64).partial_cmp(y).unwrap_or(Ordering::Equal)
+        }
+        (Term::Real(x), Term::Int(y)) => {
+            x.partial_cmp(&(*y as f64)).unwrap_or(Ordering::Equal)
+        }
+        (Term::Var(x), Term::Var(y)) => x.cmp(y),
+        (Term::Atom(x), Term::Atom(y)) => x.cmp(y),
+        (Term::Str(x), Term::Str(y)) => x.cmp(y),
+        (Term::Oid(x), Term::Oid(y)) => x.cmp(y),
+        (Term::List(xs, xt), Term::List(ys, yt)) => {
+            for (x, y) in xs.iter().zip(ys) {
+                let o = cmp_terms(x, y);
+                if o != Ordering::Equal {
+                    return o;
+                }
+            }
+            xs.len().cmp(&ys.len()).then_with(|| xt.is_some().cmp(&yt.is_some()))
+        }
+        (Term::Compound(f, xs), Term::Compound(g, ys)) => f
+            .cmp(g)
+            .then_with(|| xs.len().cmp(&ys.len()))
+            .then_with(|| {
+                for (x, y) in xs.iter().zip(ys) {
+                    let o = cmp_terms(x, y);
+                    if o != Ordering::Equal {
+                        return o;
+                    }
+                }
+                Ordering::Equal
+            }),
+        _ => rank(a).cmp(&rank(b)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn var(n: &str) -> Term {
+        Term::Var(n.into())
+    }
+    fn atom(n: &str) -> Term {
+        Term::Atom(n.into())
+    }
+
+    #[test]
+    fn simple_unification() {
+        let mut s = Subst::new();
+        assert!(s.unify(&var("X"), &Term::Int(3)));
+        assert_eq!(s.resolve(&var("X")), Term::Int(3));
+        assert!(s.unify(&var("X"), &Term::Int(3)));
+        assert!(!s.unify(&var("X"), &Term::Int(4)));
+    }
+
+    #[test]
+    fn compound_unification_binds_through() {
+        let mut s = Subst::new();
+        let a = Term::Compound("f".into(), vec![var("X"), atom("b")]);
+        let b = Term::Compound("f".into(), vec![atom("a"), var("Y")]);
+        assert!(s.unify(&a, &b));
+        assert_eq!(s.resolve(&var("X")), atom("a"));
+        assert_eq!(s.resolve(&var("Y")), atom("b"));
+    }
+
+    #[test]
+    fn functor_or_arity_mismatch_fails() {
+        let mut s = Subst::new();
+        assert!(!s.unify(
+            &Term::Compound("f".into(), vec![atom("a")]),
+            &Term::Compound("g".into(), vec![atom("a")])
+        ));
+        assert!(!s.unify(
+            &Term::Compound("f".into(), vec![atom("a")]),
+            &Term::Compound("f".into(), vec![atom("a"), atom("b")])
+        ));
+    }
+
+    #[test]
+    fn backtracking_undoes_bindings() {
+        let mut s = Subst::new();
+        let m = s.mark();
+        assert!(s.unify(&var("X"), &Term::Int(1)));
+        s.undo_to(m);
+        assert!(s.unify(&var("X"), &Term::Int(2)));
+        assert_eq!(s.resolve(&var("X")), Term::Int(2));
+    }
+
+    #[test]
+    fn list_with_tail_unifies() {
+        let mut s = Subst::new();
+        // [1, 2 | T] = [1, 2, 3, 4]
+        let a = Term::List(vec![Term::Int(1), Term::Int(2)], Some(Box::new(var("T"))));
+        let b = Term::list(vec![Term::Int(1), Term::Int(2), Term::Int(3), Term::Int(4)]);
+        assert!(s.unify(&a, &b));
+        assert_eq!(s.resolve(&var("T")), Term::list(vec![Term::Int(3), Term::Int(4)]));
+    }
+
+    #[test]
+    fn head_tail_destructuring() {
+        let mut s = Subst::new();
+        // [H|T] = [a]  => H=a, T=[]
+        let a = Term::List(vec![var("H")], Some(Box::new(var("T"))));
+        let b = Term::list(vec![atom("a")]);
+        assert!(s.unify(&a, &b));
+        assert_eq!(s.resolve(&var("H")), atom("a"));
+        assert_eq!(s.resolve(&var("T")), Term::nil());
+        // [H|T] = [] fails
+        let mut s = Subst::new();
+        assert!(!s.unify(&Term::List(vec![var("H")], Some(Box::new(var("T")))), &Term::nil()));
+    }
+
+    #[test]
+    fn tail_against_tail() {
+        let mut s = Subst::new();
+        let a = Term::List(vec![Term::Int(1)], Some(Box::new(var("T1"))));
+        let b = Term::List(vec![Term::Int(1)], Some(Box::new(var("T2"))));
+        assert!(s.unify(&a, &b));
+        assert!(s.unify(&var("T1"), &Term::list(vec![Term::Int(9)])));
+        assert_eq!(s.resolve(&var("T2")), Term::list(vec![Term::Int(9)]));
+    }
+
+    #[test]
+    fn resolve_flattens_bound_tails() {
+        let mut s = Subst::new();
+        assert!(s.unify(&var("T"), &Term::list(vec![Term::Int(2)])));
+        let partial = Term::List(vec![Term::Int(1)], Some(Box::new(var("T"))));
+        assert_eq!(s.resolve(&partial), Term::list(vec![Term::Int(1), Term::Int(2)]));
+    }
+
+    #[test]
+    fn int_real_mixed_unify() {
+        let mut s = Subst::new();
+        assert!(s.unify(&Term::Int(2), &Term::Real(2.0)));
+        assert!(!s.unify(&Term::Int(2), &Term::Real(2.5)));
+    }
+
+    #[test]
+    fn cmp_is_total_and_sorts() {
+        let mut v = vec![
+            Term::Str("b".into()),
+            Term::Int(3),
+            atom("z"),
+            Term::Int(1),
+            atom("a"),
+            Term::Str("a".into()),
+        ];
+        v.sort_by(cmp_terms);
+        assert_eq!(
+            v,
+            vec![
+                Term::Int(1),
+                Term::Int(3),
+                atom("a"),
+                atom("z"),
+                Term::Str("a".into()),
+                Term::Str("b".into()),
+            ]
+        );
+    }
+}

@@ -1,0 +1,223 @@
+//! Mode coverage for every database predicate: each supported
+//! bound/unbound combination, plus the error modes (unbound arguments
+//! where the predicate requires a binding).
+
+use std::sync::Arc;
+
+use labbase::{schema::attrs, AttrType, LabBase, MaterialId, StepId, Value};
+use labflow_storage::{MemStore, StorageManager};
+use lql::{LqlError, Program, Session, Term};
+
+struct Fixture {
+    db: LabBase,
+    clone_a: MaterialId,
+    tclone_b: MaterialId,
+    step_1: StepId,
+}
+
+fn fixture() -> Fixture {
+    let store: Arc<dyn StorageManager> = Arc::new(MemStore::ostore_mm());
+    let db = LabBase::create(store).unwrap();
+    let t = db.begin().unwrap();
+    db.define_material_class(t, "material", None).unwrap();
+    db.define_material_class(t, "clone", Some("material")).unwrap();
+    db.define_material_class(t, "tclone", Some("material")).unwrap();
+    db.define_step_class(
+        t,
+        "determine_sequence",
+        attrs(&[("sequence", AttrType::Dna), ("quality", AttrType::Real)]),
+    )
+    .unwrap();
+    let clone_a = db.create_material(t, "clone", "clone-a", 0).unwrap();
+    let tclone_b = db.create_material(t, "tclone", "tclone-b", 1).unwrap();
+    let step_1 = db
+        .record_step(
+            t,
+            "determine_sequence",
+            10,
+            &[tclone_b, clone_a],
+            vec![
+                ("sequence".into(), Value::dna("ACGT").unwrap()),
+                ("quality".into(), Value::Real(0.8)),
+            ],
+        )
+        .unwrap();
+    db.set_state(t, clone_a, "waiting_for_assembly", 10).unwrap();
+    db.set_state(t, tclone_b, "waiting_for_sequencing", 10).unwrap();
+    db.create_set(t, "queue").unwrap();
+    db.add_to_set(t, "queue", tclone_b).unwrap();
+    db.commit(t).unwrap();
+    Fixture { db, clone_a, tclone_b, step_1 }
+}
+
+fn rows(f: &Fixture, q: &str) -> Vec<Vec<(String, Term)>> {
+    let p = Program::new();
+    Session::new(&f.db, &p).query(q).unwrap()
+}
+
+fn must_err(f: &Fixture, q: &str) {
+    let p = Program::new();
+    let r = Session::new(&f.db, &p).query(q);
+    assert!(matches!(r, Err(LqlError::Eval(_))), "expected Eval error for {q}, got {r:?}");
+}
+
+#[test]
+fn material_both_modes() {
+    let f = fixture();
+    assert_eq!(rows(&f, "material(M)").len(), 2);
+    // Check mode through a join.
+    assert_eq!(rows(&f, "material_name(M, \"clone-a\"), material(M)").len(), 1);
+}
+
+#[test]
+fn state_all_three_modes() {
+    let f = fixture();
+    // Fully free: enumerates every (material, state) pair.
+    assert_eq!(rows(&f, "state(M, S)").len(), 2);
+    // State bound.
+    let r = rows(&f, "state(M, waiting_for_assembly)");
+    assert_eq!(r.len(), 1);
+    assert_eq!(r[0][0].1, Term::Oid(f.clone_a.oid()));
+    // Material bound (via join), state free.
+    let r = rows(&f, "material_name(M, \"tclone-b\"), state(M, S)");
+    assert_eq!(r[0][1].1, Term::Atom("waiting_for_sequencing".into()));
+    // Both bound: check.
+    assert_eq!(rows(&f, "material_name(M, \"tclone-b\"), state(M, waiting_for_sequencing)").len(), 1);
+    assert!(rows(&f, "material_name(M, \"tclone-b\"), state(M, finished)").is_empty());
+}
+
+#[test]
+fn state_count_requires_bound_state() {
+    let f = fixture();
+    let r = rows(&f, "state_count(waiting_for_assembly, N)");
+    assert_eq!(r[0][0].1, Term::Int(1));
+    must_err(&f, "state_count(S, N)");
+}
+
+#[test]
+fn recent_modes() {
+    let f = fixture();
+    // Attr bound.
+    let r = rows(&f, "material_name(M, \"clone-a\"), recent(M, quality, Q)");
+    assert_eq!(r[0][1].1, Term::Real(0.8));
+    // Attr free: enumerates all cached attributes (+ the outcome-free fixture has 2).
+    let r = rows(&f, "material_name(M, \"clone-a\"), recent(M, A, V)");
+    assert_eq!(r.len(), 2);
+    // Material unbound: error, not silent failure.
+    must_err(&f, "recent(M, quality, Q)");
+}
+
+#[test]
+fn history_and_attr_and_involves() {
+    let f = fixture();
+    let r = rows(&f, "material_name(M, \"clone-a\"), history_event(M, S, T)");
+    assert_eq!(r.len(), 1);
+    assert_eq!(r[0][2].1, Term::Int(10));
+    must_err(&f, "history_event(M, S, T)");
+
+    // attr: S bound, name free enumerates; name bound filters.
+    let r = rows(&f, "material_name(M, \"clone-a\"), history_event(M, S, _), attr(S, A, V)");
+    assert_eq!(r.len(), 2);
+    let r = rows(
+        &f,
+        "material_name(M, \"clone-a\"), history_event(M, S, _), attr(S, quality, V)",
+    );
+    assert_eq!(r.len(), 1);
+    must_err(&f, "attr(S, quality, V)");
+
+    // involves from the step side lists both materials.
+    let r = rows(&f, "material_name(M, \"clone-a\"), history_event(M, S, _), involves(S, M2)");
+    assert_eq!(r.len(), 2);
+    // involves from the material side.
+    let r = rows(&f, "material_name(M, \"tclone-b\"), involves(S, M)");
+    assert_eq!(r.len(), 1);
+    must_err(&f, "involves(S, M)");
+}
+
+#[test]
+fn valid_time_and_step_class() {
+    let f = fixture();
+    let r = rows(&f, "material_name(M, \"clone-a\"), history_event(M, S, _), valid_time(S, T)");
+    assert_eq!(r[0][2].1, Term::Int(10));
+    let r = rows(&f, "material_name(M, \"clone-a\"), history_event(M, S, _), step_class(S, C)");
+    assert_eq!(r[0][2].1, Term::Atom("determine_sequence".into()));
+    must_err(&f, "valid_time(S, T)");
+    must_err(&f, "step_class(S, C)");
+}
+
+#[test]
+fn class_of_modes() {
+    let f = fixture();
+    let r = rows(&f, "material_name(M, \"clone-a\"), class_of(M, C)");
+    assert_eq!(r[0][1].1, Term::Atom("clone".into()));
+    // Class bound: extent (with subclasses of material).
+    assert_eq!(rows(&f, "class_of(M, material)").len(), 2);
+    assert_eq!(rows(&f, "class_of(M, clone)").len(), 1);
+    must_err(&f, "class_of(M, C)");
+}
+
+#[test]
+fn class_predicates_and_step_class_check() {
+    let f = fixture();
+    assert_eq!(rows(&f, "clone(M)").len(), 1);
+    assert_eq!(rows(&f, "material(M), clone(M)").len(), 1, "check mode filters");
+    // A step-class predicate in check mode.
+    let r = rows(
+        &f,
+        "material_name(M, \"clone-a\"), history_event(M, S, _), determine_sequence(S)",
+    );
+    assert_eq!(r.len(), 1);
+    // Enumeration of step instances is rejected with guidance.
+    must_err(&f, "determine_sequence(S)");
+    let _ = f.step_1;
+}
+
+#[test]
+fn sets_and_names() {
+    let f = fixture();
+    assert_eq!(rows(&f, "set_name(S)").len(), 1);
+    let r = rows(&f, "in_set(queue, M)");
+    assert_eq!(r.len(), 1);
+    assert_eq!(r[0][0].1, Term::Oid(f.tclone_b.oid()));
+    // Unknown set fails (not an error) so views can probe.
+    assert!(rows(&f, "in_set(nonexistent, M)").is_empty());
+    must_err(&f, "in_set(S, M)");
+    // material_name full enumeration.
+    assert_eq!(rows(&f, "material_name(M, N)").len(), 2);
+    // Unknown name fails cleanly.
+    assert!(rows(&f, "material_name(M, \"nope\")").is_empty());
+}
+
+#[test]
+fn update_predicate_error_modes() {
+    let f = fixture();
+    let p = Program::new();
+    let txn = f.db.begin().unwrap();
+    let s = Session::with_txn(&f.db, &p, txn);
+    // Unknown fact shape in assert.
+    assert!(matches!(
+        s.query("assert(color(1, red))"),
+        Err(LqlError::Eval(_))
+    ));
+    // create_material with unbound class.
+    assert!(matches!(
+        s.query("create_material(C, \"x\", 0, M)"),
+        Err(LqlError::Eval(_))
+    ));
+    // record_step with a non-list material argument.
+    assert!(matches!(
+        s.query("record_step(determine_sequence, 1, notalist, [], S)"),
+        Err(LqlError::Eval(_))
+    ));
+    // retract of a state the material is not in fails, not errors.
+    let r = s
+        .query("material_name(M, \"clone-a\"), retract(state(M, finished))")
+        .unwrap();
+    assert!(r.is_empty());
+    f.db.commit(txn).unwrap();
+    // State unchanged by the failed retract.
+    assert_eq!(
+        f.db.state_of(f.clone_a).unwrap().as_deref(),
+        Some("waiting_for_assembly")
+    );
+}

@@ -1,0 +1,187 @@
+//! Property-based tests for LQL: unification laws, substitution
+//! consistency, display/parse round trips, and evaluator sanity on
+//! generated list programs.
+
+use proptest::prelude::*;
+
+use lql::{cmp_terms, parse_query, Program, Session, Subst, Term};
+
+/// Generate ground data terms (no variables), bounded depth.
+fn ground_term() -> impl Strategy<Value = Term> {
+    let leaf = prop_oneof![
+        any::<i64>().prop_map(Term::Int),
+        // Reals with a guaranteed fractional part so Display always
+        // prints a '.' (integral f64s print like ints and would not
+        // round-trip through the parser as Reals).
+        (-1000i64..1000, 1u32..1000).prop_map(|(a, b)| {
+            let frac = b as f64 / 1000.0;
+            Term::Real(if a >= 0 { a as f64 + frac } else { a as f64 - frac })
+        }),
+        "[a-z][a-z0-9_]{0,6}".prop_map(Term::Atom),
+        "[ -~&&[^\"\\\\]]{0,8}".prop_map(Term::Str),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..4).prop_map(Term::list),
+            ("[a-z][a-z0-9_]{0,5}", proptest::collection::vec(inner, 1..4))
+                .prop_map(|(f, args)| Term::Compound(f, args)),
+        ]
+    })
+}
+
+/// Terms with variables sprinkled in.
+fn open_term() -> impl Strategy<Value = Term> {
+    let leaf = prop_oneof![
+        2 => "[A-Z][a-z0-9]{0,3}".prop_map(Term::Var),
+        2 => any::<i64>().prop_map(Term::Int),
+        1 => "[a-z][a-z0-9_]{0,6}".prop_map(Term::Atom),
+    ];
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..3).prop_map(Term::list),
+            ("[a-z][a-z0-9_]{0,5}", proptest::collection::vec(inner, 1..3))
+                .prop_map(|(f, args)| Term::Compound(f, args)),
+        ]
+    })
+}
+
+proptest! {
+    /// Ground terms unify with themselves and resolve unchanged.
+    #[test]
+    fn ground_self_unification(t in ground_term()) {
+        let mut s = Subst::new();
+        prop_assert!(s.unify(&t, &t));
+        prop_assert_eq!(s.resolve(&t), t);
+    }
+
+    /// A variable unified with a ground term resolves to that term,
+    /// and backtracking undoes the binding.
+    #[test]
+    fn bind_resolve_undo(t in ground_term()) {
+        let mut s = Subst::new();
+        let v = Term::Var("X".into());
+        let mark = s.mark();
+        prop_assert!(s.unify(&v, &t));
+        prop_assert_eq!(s.resolve(&v), t.clone());
+        s.undo_to(mark);
+        prop_assert_eq!(s.resolve(&v), v);
+    }
+
+    /// Unification is symmetric on ground terms (succeeds iff equal).
+    #[test]
+    fn ground_unification_is_equality(a in ground_term(), b in ground_term()) {
+        let mut s1 = Subst::new();
+        let mut s2 = Subst::new();
+        let ab = s1.unify(&a, &b);
+        let ba = s2.unify(&b, &a);
+        prop_assert_eq!(ab, ba);
+        // For ground terms without numeric coercion pairs, unify == eq.
+        if ab {
+            prop_assert_eq!(cmp_terms(&a, &b), std::cmp::Ordering::Equal);
+        }
+    }
+
+    /// If an open pattern unifies with a ground term, resolving the
+    /// pattern afterwards yields a term that unifies with the ground one
+    /// in a fresh substitution (soundness of the computed unifier).
+    #[test]
+    fn unifier_is_sound(pattern in open_term(), ground in ground_term()) {
+        let mut s = Subst::new();
+        if s.unify(&pattern, &ground) {
+            let resolved = s.resolve(&pattern);
+            let mut fresh = Subst::new();
+            prop_assert!(fresh.unify(&resolved, &ground),
+                "resolved pattern {resolved} no longer matches {ground}");
+        }
+    }
+
+    /// cmp_terms is a total order: antisymmetric and transitive on samples.
+    #[test]
+    fn cmp_terms_total_order(a in ground_term(), b in ground_term(), c in ground_term()) {
+        use std::cmp::Ordering;
+        prop_assert_eq!(cmp_terms(&a, &a), Ordering::Equal);
+        prop_assert_eq!(cmp_terms(&a, &b), cmp_terms(&b, &a).reverse());
+        if cmp_terms(&a, &b) != Ordering::Greater && cmp_terms(&b, &c) != Ordering::Greater {
+            prop_assert_ne!(cmp_terms(&a, &c), Ordering::Greater);
+        }
+    }
+
+    /// Display output of ground data terms re-parses to the same term.
+    #[test]
+    fn display_parse_round_trip(t in ground_term()) {
+        let text = t.to_string();
+        let parsed = parse_query(&text);
+        prop_assume!(parsed.is_ok()); // e.g. reals that picked up an exponent
+        let parsed = parsed.unwrap();
+        prop_assert_eq!(parsed.len(), 1);
+        prop_assert_eq!(&parsed[0], &t, "{} reparsed differently", text);
+    }
+
+    /// member/2 enumerates exactly the list elements, in order.
+    #[test]
+    fn member_enumerates_list(items in proptest::collection::vec(-50i64..50, 0..12)) {
+        let store: std::sync::Arc<dyn labflow_storage::StorageManager> =
+            std::sync::Arc::new(labflow_storage::MemStore::ostore_mm());
+        let db = labbase::LabBase::create(store).unwrap();
+        let program = Program::new();
+        let session = Session::new(&db, &program);
+        let list = items.iter().map(|i| i.to_string()).collect::<Vec<_>>().join(", ");
+        let rows = session.query(&format!("member(X, [{list}])")).unwrap();
+        let got: Vec<i64> = rows
+            .iter()
+            .map(|r| match &r[0].1 {
+                Term::Int(i) => *i,
+                other => panic!("non-int {other}"),
+            })
+            .collect();
+        prop_assert_eq!(got, items);
+    }
+
+    /// append/3 really concatenates.
+    #[test]
+    fn append_concatenates(
+        xs in proptest::collection::vec(0i64..20, 0..8),
+        ys in proptest::collection::vec(0i64..20, 0..8),
+    ) {
+        let store: std::sync::Arc<dyn labflow_storage::StorageManager> =
+            std::sync::Arc::new(labflow_storage::MemStore::ostore_mm());
+        let db = labbase::LabBase::create(store).unwrap();
+        let program = Program::new();
+        let session = Session::new(&db, &program);
+        let fmt = |v: &[i64]| v.iter().map(|i| i.to_string()).collect::<Vec<_>>().join(", ");
+        let rows = session
+            .query(&format!("append([{}], [{}], L)", fmt(&xs), fmt(&ys)))
+            .unwrap();
+        prop_assert_eq!(rows.len(), 1);
+        let mut want: Vec<Term> = xs.iter().map(|&i| Term::Int(i)).collect();
+        want.extend(ys.iter().map(|&i| Term::Int(i)));
+        prop_assert_eq!(&rows[0][0].1, &Term::list(want));
+    }
+
+    /// setof sorts and dedupes whatever findall collects.
+    #[test]
+    fn setof_is_sorted_dedup_of_findall(items in proptest::collection::vec(-20i64..20, 1..15)) {
+        let store: std::sync::Arc<dyn labflow_storage::StorageManager> =
+            std::sync::Arc::new(labflow_storage::MemStore::ostore_mm());
+        let db = labbase::LabBase::create(store).unwrap();
+        let mut program = Program::new();
+        let facts: String = items.iter().map(|i| format!("item({i}).\n")).collect();
+        program.load(&facts).unwrap();
+        let session = Session::new(&db, &program);
+        let rows = session.query("setof(X, item(X), S)").unwrap();
+        let Term::List(got, None) = &rows[0].iter().find(|(v, _)| v == "S").unwrap().1 else {
+            panic!("setof did not bind a list");
+        };
+        let mut want: Vec<i64> = items.clone();
+        want.sort_unstable();
+        want.dedup();
+        let got: Vec<i64> = got
+            .iter()
+            .map(|t| match t {
+                Term::Int(i) => *i,
+                other => panic!("non-int {other}"),
+            })
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,272 @@
+//! A fixed-capacity buffer pool with clock eviction and fault accounting.
+//!
+//! Every page access in the page-based backends goes through this pool.
+//! A miss that must read the backing file bumps [`StorageStats::faults`]
+//! — the benchmark's simulated `majflt` — and, for Texas-style backends,
+//! [`StorageStats::swizzles`] (a pointer-swizzling pass is charged each
+//! time a non-resident page enters the resident set).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::error::Result;
+use crate::ids::PageId;
+use crate::pagefile::PageFile;
+use crate::stats::StorageStats;
+use crate::PAGE_SIZE;
+
+struct Frame {
+    page: Option<PageId>,
+    data: Box<[u8]>,
+    dirty: bool,
+    refbit: bool,
+}
+
+struct PoolInner {
+    frames: Vec<Frame>,
+    map: HashMap<u32, usize>,
+    hand: usize,
+}
+
+/// The buffer pool. Page contents are only accessible through the
+/// closure-based [`BufferPool::with_page`] / [`BufferPool::with_page_mut`],
+/// which run under the pool lock — frames can therefore never be evicted
+/// while in use, with no pin bookkeeping.
+pub struct BufferPool {
+    inner: Mutex<PoolInner>,
+    file: Arc<PageFile>,
+    stats: Arc<StorageStats>,
+    count_swizzles: bool,
+}
+
+impl BufferPool {
+    /// Create a pool of `capacity` frames over `file`.
+    ///
+    /// `count_swizzles` enables the Texas-style swizzle counter.
+    pub fn new(
+        file: Arc<PageFile>,
+        stats: Arc<StorageStats>,
+        capacity: usize,
+        count_swizzles: bool,
+    ) -> Self {
+        let capacity = capacity.max(2);
+        let frames = (0..capacity)
+            .map(|_| Frame {
+                page: None,
+                data: vec![0u8; PAGE_SIZE].into_boxed_slice(),
+                dirty: false,
+                refbit: false,
+            })
+            .collect();
+        BufferPool {
+            inner: Mutex::new(PoolInner { frames, map: HashMap::new(), hand: 0 }),
+            file,
+            stats,
+            count_swizzles,
+        }
+    }
+
+    /// Number of frames.
+    pub fn capacity(&self) -> usize {
+        self.inner.lock().frames.len()
+    }
+
+    fn locate(&self, inner: &mut PoolInner, pid: PageId, load: bool) -> Result<usize> {
+        if let Some(&idx) = inner.map.get(&pid.0) {
+            StorageStats::bump(&self.stats.hits, 1);
+            inner.frames[idx].refbit = true;
+            return Ok(idx);
+        }
+        StorageStats::bump(&self.stats.faults, 1);
+        if self.count_swizzles {
+            StorageStats::bump(&self.stats.swizzles, 1);
+        }
+        let idx = self.victim(inner)?;
+        if load {
+            self.file.read_page(pid, &mut inner.frames[idx].data)?;
+        } else {
+            inner.frames[idx].data.fill(0);
+        }
+        inner.frames[idx].page = Some(pid);
+        inner.frames[idx].dirty = false;
+        inner.frames[idx].refbit = true;
+        inner.map.insert(pid.0, idx);
+        Ok(idx)
+    }
+
+    /// Clock sweep: pick a victim frame, writing it back if dirty.
+    fn victim(&self, inner: &mut PoolInner) -> Result<usize> {
+        let n = inner.frames.len();
+        // First, any empty frame.
+        if let Some(idx) = inner.frames.iter().position(|f| f.page.is_none()) {
+            return Ok(idx);
+        }
+        // Clock: at most two full sweeps always yields a frame since
+        // nothing stays pinned outside the lock.
+        for _ in 0..2 * n {
+            let idx = inner.hand;
+            inner.hand = (inner.hand + 1) % n;
+            if inner.frames[idx].refbit {
+                inner.frames[idx].refbit = false;
+                continue;
+            }
+            if let Some(old) = inner.frames[idx].page {
+                if inner.frames[idx].dirty {
+                    self.file.write_page(old, &inner.frames[idx].data)?;
+                }
+                inner.map.remove(&old.0);
+                inner.frames[idx].page = None;
+            }
+            return Ok(idx);
+        }
+        unreachable!("clock sweep found no victim in an unpinned pool");
+    }
+
+    /// Run `f` with read access to page `pid`, faulting it in if needed.
+    pub fn with_page<R>(&self, pid: PageId, f: impl FnOnce(&[u8]) -> R) -> Result<R> {
+        let mut inner = self.inner.lock();
+        let idx = self.locate(&mut inner, pid, true)?;
+        Ok(f(&inner.frames[idx].data))
+    }
+
+    /// Run `f` with write access to page `pid`, marking it dirty.
+    pub fn with_page_mut<R>(&self, pid: PageId, f: impl FnOnce(&mut [u8]) -> R) -> Result<R> {
+        let mut inner = self.inner.lock();
+        let idx = self.locate(&mut inner, pid, true)?;
+        inner.frames[idx].dirty = true;
+        Ok(f(&mut inner.frames[idx].data))
+    }
+
+    /// Materialize a freshly allocated page without reading the file
+    /// (it is logically all-zero), run `f` on it, and mark it dirty.
+    pub fn with_new_page<R>(&self, pid: PageId, f: impl FnOnce(&mut [u8]) -> R) -> Result<R> {
+        let mut inner = self.inner.lock();
+        let idx = self.locate(&mut inner, pid, false)?;
+        inner.frames[idx].dirty = true;
+        Ok(f(&mut inner.frames[idx].data))
+    }
+
+    /// Write every dirty frame back to the file (checkpoint support).
+    pub fn flush_all(&self) -> Result<()> {
+        let mut inner = self.inner.lock();
+        for frame in inner.frames.iter_mut() {
+            if let (Some(pid), true) = (frame.page, frame.dirty) {
+                self.file.write_page(pid, &frame.data)?;
+                frame.dirty = false;
+            }
+        }
+        Ok(())
+    }
+
+    /// Flush everything and drop all frames — makes the next accesses
+    /// cold. Used by the clustering ablation to measure cold-cache reads.
+    pub fn clear(&self) -> Result<()> {
+        self.flush_all()?;
+        let mut inner = self.inner.lock();
+        inner.map.clear();
+        for frame in inner.frames.iter_mut() {
+            frame.page = None;
+            frame.refbit = false;
+        }
+        Ok(())
+    }
+
+    /// How many distinct pages are currently resident.
+    pub fn resident(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page;
+
+    fn setup(name: &str, cap: usize) -> (Arc<PageFile>, Arc<StorageStats>, BufferPool) {
+        let dir = std::env::temp_dir().join(format!("lfs-bp-{}-{}", std::process::id(), name));
+        std::fs::create_dir_all(&dir).unwrap();
+        let stats = Arc::new(StorageStats::default());
+        let file = Arc::new(PageFile::create(&dir.join("data.pg"), stats.clone()).unwrap());
+        let pool = BufferPool::new(file.clone(), stats.clone(), cap, false);
+        (file, stats, pool)
+    }
+
+    #[test]
+    fn hit_after_miss() {
+        let (file, stats, pool) = setup("hits", 4);
+        let pid = file.allocate_page();
+        pool.with_new_page(pid, |buf| page::init(buf)).unwrap();
+        pool.with_page(pid, |_| ()).unwrap();
+        pool.with_page(pid, |_| ()).unwrap();
+        let s = stats.snapshot();
+        assert_eq!(s.faults, 1); // only the with_new_page materialization
+        assert_eq!(s.hits, 2);
+        assert_eq!(s.page_reads, 0, "new page must not read the file");
+    }
+
+    #[test]
+    fn eviction_writes_back_dirty_pages() {
+        let (file, stats, pool) = setup("evict", 2);
+        let pids: Vec<_> = (0..5).map(|_| file.allocate_page()).collect();
+        for (i, &pid) in pids.iter().enumerate() {
+            pool.with_new_page(pid, |buf| {
+                page::init(buf);
+                page::insert(buf, &[i as u8; 16]).unwrap();
+            })
+            .unwrap();
+        }
+        assert!(pool.resident() <= 2);
+        // Re-read everything; evicted pages must come back intact.
+        for (i, &pid) in pids.iter().enumerate() {
+            let val = pool
+                .with_page(pid, |buf| page::read(buf, crate::ids::Slot(0)).unwrap().to_vec())
+                .unwrap();
+            assert_eq!(val, vec![i as u8; 16]);
+        }
+        let s = stats.snapshot();
+        assert!(s.page_writes >= 3, "dirty evictions must hit the file");
+        assert!(s.faults >= 5 + 3, "cap-2 pool re-reading 5 pages must fault");
+    }
+
+    #[test]
+    fn flush_all_then_file_has_data() {
+        let (file, _stats, pool) = setup("flush", 8);
+        let pid = file.allocate_page();
+        pool.with_new_page(pid, |buf| {
+            page::init(buf);
+            page::insert(buf, b"persisted").unwrap();
+        })
+        .unwrap();
+        pool.flush_all().unwrap();
+        let mut raw = vec![0u8; PAGE_SIZE];
+        file.read_page(pid, &mut raw).unwrap();
+        assert_eq!(page::read(&raw, crate::ids::Slot(0)).unwrap(), b"persisted");
+    }
+
+    #[test]
+    fn clear_makes_next_access_cold() {
+        let (file, stats, pool) = setup("clear", 8);
+        let pid = file.allocate_page();
+        pool.with_new_page(pid, |buf| page::init(buf)).unwrap();
+        pool.clear().unwrap();
+        assert_eq!(pool.resident(), 0);
+        let before = stats.snapshot();
+        pool.with_page(pid, |_| ()).unwrap();
+        let after = stats.snapshot();
+        assert_eq!(after.delta(&before).faults, 1);
+    }
+
+    #[test]
+    fn swizzle_accounting_only_when_enabled() {
+        let dir = std::env::temp_dir().join(format!("lfs-bp-{}-swz", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let stats = Arc::new(StorageStats::default());
+        let file = Arc::new(PageFile::create(&dir.join("d.pg"), stats.clone()).unwrap());
+        let pool = BufferPool::new(file.clone(), stats.clone(), 2, true);
+        let pid = file.allocate_page();
+        pool.with_new_page(pid, |b| page::init(b)).unwrap();
+        assert_eq!(stats.snapshot().swizzles, 1);
+    }
+}

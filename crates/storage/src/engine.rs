@@ -1,0 +1,803 @@
+//! The page-based storage engine and the three persistent
+//! storage-manager personalities built from it: [`OStore`], [`Texas`],
+//! and [`TexasTc`].
+//!
+//! One engine, three [`Profile`]s — mirroring the paper's methodology of
+//! running "virtually the same LabBase implementation" over different
+//! storage managers so that only the storage architecture varies.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::buffer::BufferPool;
+use crate::error::{Result, StorageError};
+use crate::heap::{Heap, Placement};
+use crate::ids::{ClusterHint, Oid, SegmentId, TxnId};
+use crate::lock::{LockManager, LockMode};
+use crate::meta;
+use crate::pagefile::PageFile;
+use crate::stats::{StatsSnapshot, StorageStats};
+use crate::traits::{SegmentInfo, StorageManager};
+use crate::wal::{Wal, WalRecord};
+use crate::PAGE_SIZE;
+
+/// Tuning options shared by all backends.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Buffer-pool capacity in pages. The benchmark sizes this small
+    /// relative to the database so that locality effects are visible,
+    /// just as the paper's 64 MB machines were small relative to their
+    /// databases.
+    pub buffer_pages: usize,
+    /// Deadlock-avoidance lock timeout (OStore only).
+    pub lock_timeout: Duration,
+    /// Whether `commit` forces the log to disk (OStore only). The
+    /// benchmark leaves this off and relies on checkpoints, keeping the
+    /// comparison about locality rather than fsync latency.
+    pub sync_commit: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            buffer_pages: 2048, // 8 MiB at 4 KiB pages
+            lock_timeout: Duration::from_millis(500),
+            sync_commit: false,
+        }
+    }
+}
+
+/// A storage-manager personality.
+#[derive(Debug, Clone)]
+pub struct Profile {
+    /// Table name ("OStore", "Texas", "Texas+TC").
+    pub name: &'static str,
+    /// Page placement policy.
+    pub placement: Placement,
+    /// Number of placement segments.
+    pub segments: u8,
+    /// Whether a write-ahead log provides transaction durability and undo.
+    pub wal: bool,
+    /// Whether only one transaction may be active at a time.
+    pub single_user: bool,
+    /// Simulated per-object header bytes (swizzle-table entry etc.).
+    pub extra_header: usize,
+    /// Object alignment in the heap.
+    pub align: usize,
+    /// Whether first-touch page faults are charged as swizzles.
+    pub count_swizzles: bool,
+}
+
+impl Profile {
+    /// ObjectStore v3.0-like: four placement segments, lock-based
+    /// concurrency, WAL durability, compact records.
+    pub fn ostore() -> Self {
+        Profile {
+            name: "OStore",
+            placement: Placement::Segments,
+            segments: 4,
+            wal: true,
+            single_user: false,
+            extra_header: 0,
+            align: 1,
+            count_swizzles: false,
+        }
+    }
+
+    /// Texas v0.3-like: one address-ordered heap, pointer swizzling at
+    /// page-fault time, single-user, checkpoint-only durability, fat
+    /// per-object overhead (the paper's Texas databases were ~48% larger).
+    pub fn texas() -> Self {
+        Profile {
+            name: "Texas",
+            placement: Placement::AddressOrder,
+            segments: 1,
+            wal: false,
+            single_user: true,
+            extra_header: 40,
+            align: 16,
+            count_swizzles: true,
+        }
+    }
+
+    /// Texas plus client-implemented clustering ("Texas+TC").
+    pub fn texas_tc() -> Self {
+        Profile { name: "Texas+TC", placement: Placement::ClientChunks, ..Profile::texas() }
+    }
+}
+
+enum Undo {
+    UnAlloc(Oid),
+    Restore(Oid, Vec<u8>),
+    Realloc { oid: Oid, seg: SegmentId, data: Vec<u8> },
+}
+
+#[derive(Default)]
+struct TxnState {
+    undo: Vec<Undo>,
+}
+
+/// A persistent storage manager: the common engine behind [`OStore`],
+/// [`Texas`], and [`TexasTc`].
+pub struct Engine {
+    profile: Profile,
+    dir: PathBuf,
+    heap: Heap,
+    pool: Arc<BufferPool>,
+    file: Arc<PageFile>,
+    wal: Option<Wal>,
+    locks: Option<LockManager>,
+    stats: Arc<StorageStats>,
+    active: Mutex<HashMap<u64, TxnState>>,
+    next_txn: AtomicU64,
+    sync_commit: bool,
+}
+
+impl Engine {
+    fn paths(dir: &Path) -> (PathBuf, PathBuf, PathBuf) {
+        (dir.join("data.pg"), dir.join("store.meta"), dir.join("wal.log"))
+    }
+
+    /// Create a fresh store at `dir` with the given profile.
+    pub fn create(dir: &Path, profile: Profile, opts: Options) -> Result<Engine> {
+        std::fs::create_dir_all(dir)?;
+        let (data_path, meta_path, wal_path) = Self::paths(dir);
+        if meta_path.exists() {
+            return Err(StorageError::BadPath(format!(
+                "store already exists at {}",
+                dir.display()
+            )));
+        }
+        let stats = Arc::new(StorageStats::default());
+        let file = Arc::new(PageFile::create(&data_path, stats.clone())?);
+        let pool = Arc::new(BufferPool::new(
+            file.clone(),
+            stats.clone(),
+            opts.buffer_pages,
+            profile.count_swizzles,
+        ));
+        let heap = Heap::new(
+            pool.clone(),
+            file.clone(),
+            stats.clone(),
+            profile.placement,
+            profile.segments,
+            profile.extra_header,
+            profile.align,
+        );
+        let wal = if profile.wal { Some(Wal::create(&wal_path, stats.clone())?) } else { None };
+        let locks = if profile.single_user {
+            None
+        } else {
+            Some(LockManager::new(opts.lock_timeout))
+        };
+        let engine = Engine {
+            profile,
+            dir: dir.to_path_buf(),
+            heap,
+            pool,
+            file,
+            wal,
+            locks,
+            stats,
+            active: Mutex::new(HashMap::new()),
+            next_txn: AtomicU64::new(1),
+            sync_commit: opts.sync_commit,
+        };
+        // Establish a valid empty checkpoint so reopen works immediately.
+        engine.checkpoint()?;
+        Ok(engine)
+    }
+
+    /// Open an existing store, running crash recovery if the profile has
+    /// a write-ahead log (replay of the committed suffix since the last
+    /// checkpoint). Backends without a log recover to their last
+    /// checkpoint — the Texas durability contract.
+    pub fn open(dir: &Path, profile: Profile, opts: Options) -> Result<Engine> {
+        let (data_path, meta_path, wal_path) = Self::paths(dir);
+        if !meta_path.exists() {
+            return Err(StorageError::BadPath(format!("no store at {}", dir.display())));
+        }
+        let stats = Arc::new(StorageStats::default());
+        let file = Arc::new(PageFile::open(&data_path, stats.clone())?);
+        let pool = Arc::new(BufferPool::new(
+            file.clone(),
+            stats.clone(),
+            opts.buffer_pages,
+            profile.count_swizzles,
+        ));
+        let heap = Heap::new(
+            pool.clone(),
+            file.clone(),
+            stats.clone(),
+            profile.placement,
+            profile.segments,
+            profile.extra_header,
+            profile.align,
+        );
+        meta::read_meta(&meta_path, &heap)?;
+
+        let wal = if profile.wal {
+            // Replay committed transactions recorded after the checkpoint.
+            let records = Wal::replay(&wal_path)?;
+            let committed: std::collections::HashSet<u64> = records
+                .iter()
+                .filter_map(|r| match r {
+                    WalRecord::Commit(t) => Some(*t),
+                    _ => None,
+                })
+                .collect();
+            for rec in &records {
+                if !committed.contains(&rec.txn()) {
+                    continue;
+                }
+                match rec {
+                    WalRecord::Alloc { oid, seg, hint, data, .. } => {
+                        heap.alloc_with_oid(*oid, *seg, *hint, data)?;
+                    }
+                    WalRecord::Update { oid, data, .. } => {
+                        heap.update(*oid, data)?;
+                    }
+                    WalRecord::Free { oid, .. } => {
+                        heap.free(*oid)?;
+                    }
+                    WalRecord::Begin(_) | WalRecord::Commit(_) | WalRecord::Abort(_) => {}
+                }
+            }
+            Some(Wal::open(&wal_path, stats.clone())?)
+        } else {
+            None
+        };
+        let locks = if profile.single_user {
+            None
+        } else {
+            Some(LockManager::new(opts.lock_timeout))
+        };
+        let engine = Engine {
+            profile,
+            dir: dir.to_path_buf(),
+            heap,
+            pool,
+            file,
+            wal,
+            locks,
+            stats,
+            active: Mutex::new(HashMap::new()),
+            next_txn: AtomicU64::new(1),
+            sync_commit: opts.sync_commit,
+        };
+        if engine.profile.wal {
+            // Fold the replayed state into a fresh checkpoint.
+            engine.checkpoint()?;
+        }
+        Ok(engine)
+    }
+
+    /// Directory the store lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The profile this engine runs.
+    pub fn profile(&self) -> &Profile {
+        &self.profile
+    }
+
+    /// Buffer-pool capacity in pages (the knob the clustering ablation
+    /// sweeps).
+    pub fn buffer_capacity(&self) -> usize {
+        self.pool.capacity()
+    }
+
+    /// Pages currently resident in the buffer pool.
+    pub fn resident_pages(&self) -> usize {
+        self.pool.resident()
+    }
+
+    /// Total pages in the data file.
+    pub fn data_pages(&self) -> u32 {
+        self.file.page_count()
+    }
+
+    /// Objects currently holding locks (0 when idle; OStore only).
+    pub fn locked_objects(&self) -> usize {
+        self.locks.as_ref().map_or(0, |l| l.locked_objects())
+    }
+
+    /// Live oids in ascending order (diagnostics / scans).
+    pub fn live_oids(&self) -> Vec<Oid> {
+        self.heap.oids()
+    }
+
+    fn require_txn(&self, txn: TxnId) -> Result<()> {
+        if self.active.lock().contains_key(&txn.raw()) {
+            Ok(())
+        } else {
+            Err(StorageError::UnknownTxn(txn))
+        }
+    }
+
+    fn lock(&self, txn: TxnId, oid: Oid, mode: LockMode) -> Result<()> {
+        if let Some(locks) = &self.locks {
+            locks.acquire(txn, oid, mode)?;
+        }
+        Ok(())
+    }
+
+    fn log(&self, rec: WalRecord) -> Result<()> {
+        if let Some(wal) = &self.wal {
+            wal.append(&rec)?;
+        }
+        Ok(())
+    }
+}
+
+impl StorageManager for Engine {
+    fn name(&self) -> &'static str {
+        self.profile.name
+    }
+
+    fn begin(&self) -> Result<TxnId> {
+        let mut active = self.active.lock();
+        if self.profile.single_user && !active.is_empty() {
+            return Err(StorageError::SingleUser);
+        }
+        let id = self.next_txn.fetch_add(1, Ordering::Relaxed);
+        active.insert(id, TxnState::default());
+        drop(active);
+        self.log(WalRecord::Begin(id))?;
+        Ok(TxnId::from_raw(id))
+    }
+
+    fn commit(&self, txn: TxnId) -> Result<()> {
+        let state = self
+            .active
+            .lock()
+            .remove(&txn.raw())
+            .ok_or(StorageError::UnknownTxn(txn))?;
+        drop(state);
+        self.log(WalRecord::Commit(txn.raw()))?;
+        if let Some(wal) = &self.wal {
+            // Group-commit: buffered records reach the OS at commit;
+            // sync_commit additionally forces them to stable storage.
+            if self.sync_commit {
+                wal.sync()?;
+            } else {
+                wal.flush()?;
+            }
+        }
+        if let Some(locks) = &self.locks {
+            locks.release_all(txn);
+        }
+        StorageStats::bump(&self.stats.commits, 1);
+        Ok(())
+    }
+
+    fn abort(&self, txn: TxnId) -> Result<()> {
+        if !self.profile.wal {
+            return Err(StorageError::Unsupported(
+                "abort: the Texas store has no undo capability",
+            ));
+        }
+        let state = self
+            .active
+            .lock()
+            .remove(&txn.raw())
+            .ok_or(StorageError::UnknownTxn(txn))?;
+        for undo in state.undo.into_iter().rev() {
+            match undo {
+                Undo::UnAlloc(oid) => self.heap.free(oid)?,
+                Undo::Restore(oid, data) => self.heap.update(oid, &data)?,
+                Undo::Realloc { oid, seg, data } => {
+                    self.heap.alloc_with_oid(oid, seg, ClusterHint::NONE, &data)?
+                }
+            }
+        }
+        self.log(WalRecord::Abort(txn.raw()))?;
+        if let Some(locks) = &self.locks {
+            locks.release_all(txn);
+        }
+        StorageStats::bump(&self.stats.aborts, 1);
+        Ok(())
+    }
+
+    fn allocate(
+        &self,
+        txn: TxnId,
+        seg: SegmentId,
+        hint: ClusterHint,
+        data: &[u8],
+    ) -> Result<Oid> {
+        self.require_txn(txn)?;
+        let oid = self.heap.alloc(seg, hint, data)?;
+        self.lock(txn, oid, LockMode::Exclusive)?;
+        self.log(WalRecord::Alloc { txn: txn.raw(), oid, seg, hint, data: data.to_vec() })?;
+        if let Some(state) = self.active.lock().get_mut(&txn.raw()) {
+            state.undo.push(Undo::UnAlloc(oid));
+        }
+        Ok(oid)
+    }
+
+    fn read(&self, oid: Oid) -> Result<Vec<u8>> {
+        self.heap.read(oid)
+    }
+
+    fn read_in(&self, txn: TxnId, oid: Oid) -> Result<Vec<u8>> {
+        self.require_txn(txn)?;
+        self.lock(txn, oid, LockMode::Shared)?;
+        self.heap.read(oid)
+    }
+
+    fn update(&self, txn: TxnId, oid: Oid, data: &[u8]) -> Result<()> {
+        self.require_txn(txn)?;
+        self.lock(txn, oid, LockMode::Exclusive)?;
+        let old = if self.profile.wal { Some(self.heap.read(oid)?) } else { None };
+        self.heap.update(oid, data)?;
+        self.log(WalRecord::Update { txn: txn.raw(), oid, data: data.to_vec() })?;
+        if let Some(old) = old {
+            if let Some(state) = self.active.lock().get_mut(&txn.raw()) {
+                state.undo.push(Undo::Restore(oid, old));
+            }
+        }
+        Ok(())
+    }
+
+    fn free(&self, txn: TxnId, oid: Oid) -> Result<()> {
+        self.require_txn(txn)?;
+        self.lock(txn, oid, LockMode::Exclusive)?;
+        // Capture payload and segment before the free so an abort can
+        // re-create the object in its original placement.
+        let old = if self.profile.wal {
+            let seg = self.heap.segment_of(oid).unwrap_or(SegmentId::DEFAULT);
+            Some((self.heap.read(oid)?, seg))
+        } else {
+            None
+        };
+        self.heap.free(oid)?;
+        self.log(WalRecord::Free { txn: txn.raw(), oid })?;
+        if let Some((data, seg)) = old {
+            if let Some(state) = self.active.lock().get_mut(&txn.raw()) {
+                state.undo.push(Undo::Realloc { oid, seg, data });
+            }
+        }
+        Ok(())
+    }
+
+    fn exists(&self, oid: Oid) -> bool {
+        self.heap.exists(oid)
+    }
+
+    fn checkpoint(&self) -> Result<()> {
+        self.pool.flush_all()?;
+        self.file.sync()?;
+        let (_, meta_path, _) = Self::paths(&self.dir);
+        meta::write_meta(&meta_path, &self.heap)?;
+        if let Some(wal) = &self.wal {
+            wal.truncate()?;
+        }
+        StorageStats::bump(&self.stats.checkpoints, 1);
+        Ok(())
+    }
+
+    fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    fn db_size_bytes(&self) -> Result<Option<u64>> {
+        let (_, meta_path, _) = Self::paths(&self.dir);
+        let mut total = self.file.len_bytes()?;
+        if let Ok(m) = std::fs::metadata(&meta_path) {
+            total += m.len();
+        }
+        if let Some(wal) = &self.wal {
+            total += wal.len_bytes()?;
+        }
+        Ok(Some(total))
+    }
+
+    fn object_count(&self) -> usize {
+        self.heap.object_count()
+    }
+
+    fn segments(&self) -> Vec<SegmentInfo> {
+        self.heap
+            .segment_pages()
+            .into_iter()
+            .enumerate()
+            .map(|(i, pages)| SegmentInfo {
+                seg: SegmentId(i as u8),
+                pages,
+                bytes: (pages * PAGE_SIZE) as u64,
+            })
+            .collect()
+    }
+
+    fn is_persistent(&self) -> bool {
+        true
+    }
+
+    fn supports_concurrency(&self) -> bool {
+        !self.profile.single_user
+    }
+
+    fn drop_caches(&self) -> Result<()> {
+        self.pool.clear()
+    }
+}
+
+/// Constructor namespace for the ObjectStore-like backend.
+pub struct OStore;
+
+impl OStore {
+    /// Create a fresh OStore-profile store at `dir`.
+    pub fn create(dir: &Path, opts: Options) -> Result<Engine> {
+        Engine::create(dir, Profile::ostore(), opts)
+    }
+
+    /// Open an existing OStore-profile store, running crash recovery.
+    pub fn open(dir: &Path, opts: Options) -> Result<Engine> {
+        Engine::open(dir, Profile::ostore(), opts)
+    }
+}
+
+/// Constructor namespace for the Texas-like backend.
+pub struct Texas;
+
+impl Texas {
+    /// Create a fresh Texas-profile store at `dir`.
+    pub fn create(dir: &Path, opts: Options) -> Result<Engine> {
+        Engine::create(dir, Profile::texas(), opts)
+    }
+
+    /// Open an existing Texas-profile store (recovers to last checkpoint).
+    pub fn open(dir: &Path, opts: Options) -> Result<Engine> {
+        Engine::open(dir, Profile::texas(), opts)
+    }
+}
+
+/// Constructor namespace for the Texas-with-client-clustering backend.
+pub struct TexasTc;
+
+impl TexasTc {
+    /// Create a fresh Texas+TC-profile store at `dir`.
+    pub fn create(dir: &Path, opts: Options) -> Result<Engine> {
+        Engine::create(dir, Profile::texas_tc(), opts)
+    }
+
+    /// Open an existing Texas+TC-profile store.
+    pub fn open(dir: &Path, opts: Options) -> Result<Engine> {
+        Engine::open(dir, Profile::texas_tc(), opts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "lfs-eng-{}-{}-{}",
+            std::process::id(),
+            name,
+            std::time::SystemTime::now().elapsed().map(|d| d.as_nanos()).unwrap_or(0)
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn ostore_basic_txn_cycle() {
+        let dir = tmpdir("ost-basic");
+        let store = OStore::create(&dir, Options::default()).unwrap();
+        assert_eq!(store.name(), "OStore");
+        assert!(store.supports_concurrency());
+        let t = store.begin().unwrap();
+        let a = store.allocate(t, SegmentId(0), ClusterHint::NONE, b"alpha").unwrap();
+        let b = store.allocate(t, SegmentId(3), ClusterHint::NONE, b"beta").unwrap();
+        store.update(t, a, b"alpha2").unwrap();
+        store.commit(t).unwrap();
+        assert_eq!(store.read(a).unwrap(), b"alpha2");
+        assert_eq!(store.read(b).unwrap(), b"beta");
+        assert_eq!(store.object_count(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn ostore_abort_rolls_back() {
+        let dir = tmpdir("ost-abort");
+        let store = OStore::create(&dir, Options::default()).unwrap();
+        let t0 = store.begin().unwrap();
+        let keep = store.allocate(t0, SegmentId(0), ClusterHint::NONE, b"keep").unwrap();
+        store.commit(t0).unwrap();
+
+        let t = store.begin().unwrap();
+        let temp = store.allocate(t, SegmentId(0), ClusterHint::NONE, b"temp").unwrap();
+        store.update(t, keep, b"mutated").unwrap();
+        store.free(t, keep).unwrap();
+        store.abort(t).unwrap();
+
+        assert!(!store.exists(temp), "aborted alloc must vanish");
+        assert_eq!(store.read(keep).unwrap(), b"keep", "aborted update+free must roll back");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn ostore_crash_recovery_replays_committed_only() {
+        let dir = tmpdir("ost-crash");
+        let committed_oid;
+        let uncommitted_oid;
+        {
+            let store = OStore::create(&dir, Options::default()).unwrap();
+            let t1 = store.begin().unwrap();
+            committed_oid =
+                store.allocate(t1, SegmentId(1), ClusterHint::NONE, b"durable").unwrap();
+            store.commit(t1).unwrap();
+            let t2 = store.begin().unwrap();
+            uncommitted_oid =
+                store.allocate(t2, SegmentId(1), ClusterHint::NONE, b"lost").unwrap();
+            // No commit, no checkpoint: simulate a crash by dropping.
+        }
+        let store = OStore::open(&dir, Options::default()).unwrap();
+        assert_eq!(store.read(committed_oid).unwrap(), b"durable");
+        assert!(!store.exists(uncommitted_oid));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn texas_recovers_to_checkpoint_only() {
+        let dir = tmpdir("tex-ckpt");
+        let before;
+        let after;
+        {
+            let store = Texas::create(&dir, Options::default()).unwrap();
+            let t = store.begin().unwrap();
+            before = store.allocate(t, SegmentId(0), ClusterHint::NONE, b"checkpointed").unwrap();
+            store.commit(t).unwrap();
+            store.checkpoint().unwrap();
+            let t = store.begin().unwrap();
+            after = store.allocate(t, SegmentId(0), ClusterHint::NONE, b"post-ckpt").unwrap();
+            store.commit(t).unwrap();
+            // Crash without checkpoint.
+        }
+        let store = Texas::open(&dir, Options::default()).unwrap();
+        assert_eq!(store.read(before).unwrap(), b"checkpointed");
+        assert!(!store.exists(after), "Texas loses post-checkpoint work by contract");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn texas_is_single_user_and_cannot_abort() {
+        let dir = tmpdir("tex-single");
+        let store = Texas::create(&dir, Options::default()).unwrap();
+        assert!(!store.supports_concurrency());
+        let t1 = store.begin().unwrap();
+        assert!(matches!(store.begin(), Err(StorageError::SingleUser)));
+        assert!(matches!(store.abort(t1), Err(StorageError::Unsupported(_))));
+        store.commit(t1).unwrap();
+        let t2 = store.begin().unwrap();
+        store.commit(t2).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn texas_databases_are_fatter_than_ostore() {
+        let dir_o = tmpdir("size-o");
+        let dir_t = tmpdir("size-t");
+        let o = OStore::create(&dir_o, Options::default()).unwrap();
+        let x = Texas::create(&dir_t, Options::default()).unwrap();
+        for store in [&o, &x] {
+            let t = store.begin().unwrap();
+            for i in 0..2000u32 {
+                store
+                    .allocate(t, SegmentId(0), ClusterHint::NONE, &[(i % 251) as u8; 100])
+                    .unwrap();
+            }
+            store.commit(t).unwrap();
+            store.checkpoint().unwrap();
+        }
+        let so = o.db_size_bytes().unwrap().unwrap();
+        let st = x.db_size_bytes().unwrap().unwrap();
+        let ratio = st as f64 / so as f64;
+        assert!(
+            ratio > 1.2 && ratio < 2.0,
+            "expected Texas ~1.5x OStore size (paper: 24.6MB vs 16.6MB), got {ratio:.2}"
+        );
+        std::fs::remove_dir_all(&dir_o).ok();
+        std::fs::remove_dir_all(&dir_t).ok();
+    }
+
+    #[test]
+    fn reopen_after_checkpoint_round_trips_everything() {
+        for profile in [Profile::ostore(), Profile::texas(), Profile::texas_tc()] {
+            let dir = tmpdir(&format!("reopen-{}", profile.name.replace('+', "p")));
+            let mut oids = Vec::new();
+            {
+                let store = Engine::create(&dir, profile.clone(), Options::default()).unwrap();
+                let t = store.begin().unwrap();
+                for i in 0..100u32 {
+                    let seg = SegmentId((i % store.profile().segments as u32) as u8);
+                    oids.push(
+                        store
+                            .allocate(t, seg, ClusterHint(1 + (i % 7) as u64), &i.to_le_bytes())
+                            .unwrap(),
+                    );
+                }
+                store.commit(t).unwrap();
+                store.checkpoint().unwrap();
+            }
+            let store = Engine::open(&dir, profile, Options::default()).unwrap();
+            for (i, &oid) in oids.iter().enumerate() {
+                assert_eq!(store.read(oid).unwrap(), (i as u32).to_le_bytes());
+            }
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+
+    #[test]
+    fn create_twice_fails_open_missing_fails() {
+        let dir = tmpdir("dupes");
+        let _s = OStore::create(&dir, Options::default()).unwrap();
+        assert!(matches!(
+            OStore::create(&dir, Options::default()),
+            Err(StorageError::BadPath(_))
+        ));
+        let missing = tmpdir("missing");
+        assert!(matches!(OStore::open(&missing, Options::default()), Err(StorageError::BadPath(_))));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn operations_require_live_txn() {
+        let dir = tmpdir("livetxn");
+        let store = OStore::create(&dir, Options::default()).unwrap();
+        let t = store.begin().unwrap();
+        let oid = store.allocate(t, SegmentId(0), ClusterHint::NONE, b"x").unwrap();
+        store.commit(t).unwrap();
+        // t is gone now.
+        assert!(matches!(
+            store.allocate(t, SegmentId(0), ClusterHint::NONE, b"y"),
+            Err(StorageError::UnknownTxn(_))
+        ));
+        assert!(matches!(store.update(t, oid, b"z"), Err(StorageError::UnknownTxn(_))));
+        assert!(matches!(store.commit(t), Err(StorageError::UnknownTxn(_))));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn concurrent_readers_on_ostore() {
+        let dir = tmpdir("conc");
+        let store = Arc::new(OStore::create(&dir, Options::default()).unwrap());
+        let t = store.begin().unwrap();
+        let mut oids = Vec::new();
+        for i in 0..200u32 {
+            oids.push(store.allocate(t, SegmentId(0), ClusterHint::NONE, &i.to_le_bytes()).unwrap());
+        }
+        store.commit(t).unwrap();
+        let oids = Arc::new(oids);
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let store = store.clone();
+            let oids = oids.clone();
+            handles.push(std::thread::spawn(move || {
+                let t = store.begin().unwrap();
+                let mut sum = 0u64;
+                for &oid in oids.iter() {
+                    let v = store.read_in(t, oid).unwrap();
+                    sum += u32::from_le_bytes(v.try_into().unwrap()) as u64;
+                }
+                store.commit(t).unwrap();
+                sum
+            }));
+        }
+        let expected: u64 = (0..200u64).sum();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), expected);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

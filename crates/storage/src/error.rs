@@ -1,0 +1,101 @@
+//! Error type shared by every storage backend.
+
+use std::fmt;
+use std::io;
+
+use crate::ids::{Oid, TxnId};
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, StorageError>;
+
+/// Errors produced by storage managers.
+#[derive(Debug)]
+pub enum StorageError {
+    /// An I/O error from the backing files.
+    Io(io::Error),
+    /// The object id is not present in the store.
+    UnknownObject(Oid),
+    /// The transaction id is not active.
+    UnknownTxn(TxnId),
+    /// The backend does not support the requested operation
+    /// (e.g. `abort` on the Texas store, which has no undo log).
+    Unsupported(&'static str),
+    /// A second transaction was started on a single-user backend.
+    SingleUser,
+    /// A lock could not be acquired within the deadlock-avoidance timeout.
+    LockTimeout(Oid),
+    /// An object larger than the store can represent was allocated.
+    ObjectTooLarge(usize),
+    /// The on-disk metadata or log is corrupt.
+    Corrupt(String),
+    /// The store directory already exists (on `create`) or is missing
+    /// (on `open`).
+    BadPath(String),
+    /// The requested segment id is outside the configured segment count.
+    UnknownSegment(u8),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "storage I/O error: {e}"),
+            StorageError::UnknownObject(oid) => write!(f, "unknown object {oid}"),
+            StorageError::UnknownTxn(t) => write!(f, "unknown or inactive transaction {t}"),
+            StorageError::Unsupported(what) => write!(f, "operation not supported: {what}"),
+            StorageError::SingleUser => {
+                write!(f, "backend is single-user and a transaction is already active")
+            }
+            StorageError::LockTimeout(oid) => write!(f, "lock timeout on object {oid}"),
+            StorageError::ObjectTooLarge(n) => write!(f, "object of {n} bytes is too large"),
+            StorageError::Corrupt(msg) => write!(f, "corrupt store: {msg}"),
+            StorageError::BadPath(msg) => write!(f, "bad store path: {msg}"),
+            StorageError::UnknownSegment(s) => write!(f, "unknown segment {s}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StorageError {
+    fn from(e: io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        let cases: Vec<StorageError> = vec![
+            StorageError::Io(io::Error::new(io::ErrorKind::Other, "boom")),
+            StorageError::UnknownObject(Oid::from_raw(7)),
+            StorageError::UnknownTxn(TxnId::from_raw(3)),
+            StorageError::Unsupported("abort"),
+            StorageError::SingleUser,
+            StorageError::LockTimeout(Oid::from_raw(1)),
+            StorageError::ObjectTooLarge(1 << 30),
+            StorageError::Corrupt("bad magic".into()),
+            StorageError::BadPath("/nope".into()),
+            StorageError::UnknownSegment(9),
+        ];
+        for c in cases {
+            assert!(!c.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn io_source_is_preserved() {
+        let e = StorageError::from(io::Error::new(io::ErrorKind::NotFound, "gone"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(matches!(e, StorageError::Io(_)));
+    }
+}

@@ -1,0 +1,769 @@
+//! The object heap: variable-size objects on slotted pages, with an
+//! object table, placement segments, client-clustering chunks, and
+//! overflow chains for objects larger than a page.
+//!
+//! The heap is policy-parameterized so one implementation serves both
+//! storage-manager personalities:
+//!
+//! * **segment placement** (ObjectStore-like): each [`SegmentId`] appends
+//!   to its own run of pages, so co-segment objects share pages;
+//! * **address-order placement** (Texas-like): a single segment, every
+//!   allocation appended to the current end of the heap — interleaving
+//!   whatever the client happens to allocate next, which is exactly the
+//!   locality problem the paper measures;
+//! * **client chunks** (Texas+TC): the client-code clustering of the
+//!   paper's "Texas+TC" version — the client routes each allocation to a
+//!   per-type chunk (keyed on the segment id the storage manager itself
+//!   ignores), recovering most of the locality control ObjectStore's
+//!   segments provide natively.
+//!
+//! Per-object overhead (`extra_header` + `align`) models the handle /
+//! swizzle-entry / alignment cost that made the paper's Texas databases
+//! ~48% larger than ObjectStore's.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::buffer::BufferPool;
+use crate::error::{Result, StorageError};
+use crate::ids::{ClusterHint, Oid, PageId, SegmentId, Slot};
+use crate::page;
+use crate::pagefile::PageFile;
+use crate::stats::StorageStats;
+use crate::PAGE_SIZE;
+
+/// Marker in the stored length word that flags an overflow header record.
+const OVERFLOW_MARKER: u32 = 0xFFFF_FFFF;
+/// Payload capacity of one overflow page: next-pointer + chunk length.
+const OVERFLOW_CAP: usize = PAGE_SIZE - 8;
+/// "No next page" sentinel in overflow chains.
+const NO_PAGE: u32 = 0xFFFF_FFFF;
+
+/// Physical location of an object.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Loc {
+    /// Page holding the object's record (or overflow header).
+    pub page: PageId,
+    /// Slot within the page.
+    pub slot: Slot,
+    /// Segment the object was placed in.
+    pub seg: SegmentId,
+}
+
+/// How allocations are placed onto pages.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Placement {
+    /// One open page per segment; the client controls locality by
+    /// choosing segments (ObjectStore-style).
+    Segments,
+    /// Strict address order in a single heap; segment ids and hints are
+    /// accepted but ignored (Texas-style).
+    AddressOrder,
+    /// Client-side chunk clustering (Texas+TC-style): allocations are
+    /// grouped into chunks keyed on the segment id, which the underlying
+    /// Texas store ignores — i.e. the client reimplements type-level
+    /// placement above an uncooperative store. Unlike
+    /// [`Placement::Segments`], any segment id is accepted (the "schema"
+    /// of chunks lives in client code, not the store).
+    ClientChunks,
+}
+
+struct SegState {
+    open_page: Option<PageId>,
+    pages: Vec<PageId>,
+}
+
+struct HeapInner {
+    table: HashMap<u64, Loc>,
+    segs: Vec<SegState>,
+    chunks: HashMap<u64, PageId>,
+    free_pages: Vec<PageId>,
+    next_oid: u64,
+}
+
+/// The object heap. Thread-safe; all metadata behind one mutex, page
+/// contents behind the buffer pool's own lock.
+pub struct Heap {
+    pool: Arc<BufferPool>,
+    file: Arc<PageFile>,
+    stats: Arc<StorageStats>,
+    inner: Mutex<HeapInner>,
+    placement: Placement,
+    extra_header: usize,
+    align: usize,
+}
+
+impl Heap {
+    /// Create an empty heap with `segments` placement segments.
+    pub fn new(
+        pool: Arc<BufferPool>,
+        file: Arc<PageFile>,
+        stats: Arc<StorageStats>,
+        placement: Placement,
+        segments: u8,
+        extra_header: usize,
+        align: usize,
+    ) -> Self {
+        let segs = (0..segments.max(1))
+            .map(|_| SegState { open_page: None, pages: Vec::new() })
+            .collect();
+        Heap {
+            pool,
+            file,
+            stats,
+            inner: Mutex::new(HeapInner {
+                table: HashMap::new(),
+                segs,
+                chunks: HashMap::new(),
+                free_pages: Vec::new(),
+                next_oid: 1,
+            }),
+            placement,
+            extra_header,
+            align: align.max(1),
+        }
+    }
+
+
+    /// Stored size (including simulated per-object overhead) of a payload.
+    fn stored_len(&self, payload: usize) -> usize {
+        let raw = 4 + self.extra_header + payload;
+        raw.div_ceil(self.align) * self.align
+    }
+
+    fn encode(&self, payload: &[u8]) -> Vec<u8> {
+        let mut out = vec![0u8; self.stored_len(payload.len())];
+        out[0..4].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+        let start = 4 + self.extra_header;
+        out[start..start + payload.len()].copy_from_slice(payload);
+        out
+    }
+
+    fn decode(&self, stored: &[u8]) -> Result<Vec<u8>> {
+        if stored.len() < 4 {
+            return Err(StorageError::Corrupt("record shorter than header".into()));
+        }
+        let len = u32::from_le_bytes([stored[0], stored[1], stored[2], stored[3]]) as usize;
+        let start = 4 + self.extra_header;
+        if len == OVERFLOW_MARKER as usize || start + len > stored.len() {
+            return Err(StorageError::Corrupt(format!(
+                "record length {len} exceeds stored bytes {}",
+                stored.len()
+            )));
+        }
+        Ok(stored[start..start + len].to_vec())
+    }
+
+    fn take_page(&self, inner: &mut HeapInner) -> PageId {
+        inner.free_pages.pop().unwrap_or_else(|| self.file.allocate_page())
+    }
+
+    /// Pick the page an allocation of `need` stored bytes should go to,
+    /// opening a new page if necessary. Returns `(page, fresh)`.
+    fn placement_page(
+        &self,
+        inner: &mut HeapInner,
+        seg: SegmentId,
+        hint: ClusterHint,
+        need: usize,
+    ) -> Result<(PageId, bool)> {
+        let seg_idx = match self.placement {
+            Placement::Segments => {
+                if (seg.0 as usize) >= inner.segs.len() {
+                    return Err(StorageError::UnknownSegment(seg.0));
+                }
+                seg.0 as usize
+            }
+            // Texas ignores the client's segments entirely.
+            Placement::AddressOrder | Placement::ClientChunks => 0,
+        };
+
+        if self.placement == Placement::ClientChunks {
+            let _ = hint; // advisory only; the TC policy clusters by type
+            let key = 1 + seg.0 as u64;
+            if let Some(&pid) = inner.chunks.get(&key) {
+                let fits =
+                    self.pool.with_page(pid, |buf| page::free_space(buf) >= need)?;
+                if fits {
+                    return Ok((pid, false));
+                }
+            }
+            let pid = self.take_page(inner);
+            inner.chunks.insert(key, pid);
+            inner.segs[0].pages.push(pid);
+            return Ok((pid, true));
+        }
+
+        if let Some(pid) = inner.segs[seg_idx].open_page {
+            let fits = self.pool.with_page(pid, |buf| page::free_space(buf) >= need)?;
+            if fits {
+                return Ok((pid, false));
+            }
+        }
+        let pid = self.take_page(inner);
+        inner.segs[seg_idx].open_page = Some(pid);
+        inner.segs[seg_idx].pages.push(pid);
+        Ok((pid, true))
+    }
+
+    fn write_record(
+        &self,
+        inner: &mut HeapInner,
+        seg: SegmentId,
+        hint: ClusterHint,
+        stored: &[u8],
+    ) -> Result<(PageId, Slot)> {
+        let (pid, fresh) = self.placement_page(inner, seg, hint, stored.len())?;
+        let slot = if fresh {
+            self.pool.with_new_page(pid, |buf| {
+                page::init(buf);
+                page::insert(buf, stored)
+            })?
+        } else {
+            self.pool.with_page_mut(pid, |buf| page::insert(buf, stored))?
+        };
+        match slot {
+            Some(s) => Ok((pid, s)),
+            None => Err(StorageError::Corrupt(format!(
+                "placement chose page {pid} without room for {} bytes",
+                stored.len()
+            ))),
+        }
+    }
+
+    /// Write an overflow chain for `payload`, returning the 16-byte header
+    /// record to store in the object's slot.
+    fn write_overflow(&self, inner: &mut HeapInner, payload: &[u8]) -> Result<Vec<u8>> {
+        let mut chunk_pages: Vec<PageId> = Vec::new();
+        let n = payload.len().div_ceil(OVERFLOW_CAP).max(1);
+        for _ in 0..n {
+            chunk_pages.push(self.take_page(inner));
+        }
+        for (i, chunk) in payload.chunks(OVERFLOW_CAP).enumerate() {
+            let next = chunk_pages.get(i + 1).map_or(NO_PAGE, |p| p.0);
+            let pid = chunk_pages[i];
+            self.pool.with_new_page(pid, |buf| {
+                buf[0..4].copy_from_slice(&next.to_le_bytes());
+                buf[4..8].copy_from_slice(&(chunk.len() as u32).to_le_bytes());
+                buf[8..8 + chunk.len()].copy_from_slice(chunk);
+            })?;
+        }
+        if payload.is_empty() {
+            // n was forced to 1; write an empty chunk page.
+            let pid = chunk_pages[0];
+            self.pool.with_new_page(pid, |buf| {
+                buf[0..4].copy_from_slice(&NO_PAGE.to_le_bytes());
+                buf[4..8].copy_from_slice(&0u32.to_le_bytes());
+            })?;
+        }
+        let mut header = Vec::with_capacity(16);
+        header.extend_from_slice(&OVERFLOW_MARKER.to_le_bytes());
+        header.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        header.extend_from_slice(&chunk_pages[0].0.to_le_bytes());
+        header.extend_from_slice(&(chunk_pages.len() as u32).to_le_bytes());
+        Ok(header)
+    }
+
+    fn read_overflow(&self, header: &[u8]) -> Result<Vec<u8>> {
+        if header.len() < 16 {
+            return Err(StorageError::Corrupt("short overflow header".into()));
+        }
+        let total = u32::from_le_bytes(header[4..8].try_into().unwrap()) as usize;
+        let mut pid = u32::from_le_bytes(header[8..12].try_into().unwrap());
+        let mut out = Vec::with_capacity(total);
+        while pid != NO_PAGE {
+            let (next, chunk) = self.pool.with_page(PageId(pid), |buf| {
+                let next = u32::from_le_bytes(buf[0..4].try_into().unwrap());
+                let len = u32::from_le_bytes(buf[4..8].try_into().unwrap()) as usize;
+                (next, buf[8..8 + len.min(OVERFLOW_CAP)].to_vec())
+            })?;
+            out.extend_from_slice(&chunk);
+            pid = next;
+        }
+        if out.len() != total {
+            return Err(StorageError::Corrupt(format!(
+                "overflow chain yielded {} bytes, expected {total}",
+                out.len()
+            )));
+        }
+        Ok(out)
+    }
+
+    fn free_overflow(&self, inner: &mut HeapInner, header: &[u8]) -> Result<()> {
+        let mut pid = u32::from_le_bytes(header[8..12].try_into().unwrap());
+        while pid != NO_PAGE {
+            let next =
+                self.pool.with_page(PageId(pid), |buf| {
+                    u32::from_le_bytes(buf[0..4].try_into().unwrap())
+                })?;
+            inner.free_pages.push(PageId(pid));
+            pid = next;
+        }
+        Ok(())
+    }
+
+    fn is_overflow(stored: &[u8]) -> bool {
+        stored.len() >= 4
+            && u32::from_le_bytes([stored[0], stored[1], stored[2], stored[3]]) == OVERFLOW_MARKER
+    }
+
+    /// Allocate a new object. `hint` matters only under
+    /// [`Placement::ClientChunks`]; `seg` only under [`Placement::Segments`].
+    pub fn alloc(&self, seg: SegmentId, hint: ClusterHint, payload: &[u8]) -> Result<Oid> {
+        let mut inner = self.inner.lock();
+        let stored_len = self.stored_len(payload.len());
+        let stored = if stored_len > page::MAX_RECORD {
+            self.write_overflow(&mut inner, payload)?
+        } else {
+            self.encode(payload)
+        };
+        let (pid, slot) = self.write_record(&mut inner, seg, hint, &stored)?;
+        let oid = Oid::from_raw(inner.next_oid);
+        inner.next_oid += 1;
+        inner.table.insert(oid.raw(), Loc { page: pid, slot, seg });
+        StorageStats::bump(&self.stats.allocs, 1);
+        StorageStats::bump(&self.stats.bytes_allocated, payload.len() as u64);
+        Ok(oid)
+    }
+
+    /// Re-create an object under a specific oid (WAL recovery path).
+    pub fn alloc_with_oid(
+        &self,
+        oid: Oid,
+        seg: SegmentId,
+        hint: ClusterHint,
+        payload: &[u8],
+    ) -> Result<()> {
+        let mut inner = self.inner.lock();
+        let stored_len = self.stored_len(payload.len());
+        let stored = if stored_len > page::MAX_RECORD {
+            self.write_overflow(&mut inner, payload)?
+        } else {
+            self.encode(payload)
+        };
+        let (pid, slot) = self.write_record(&mut inner, seg, hint, &stored)?;
+        inner.table.insert(oid.raw(), Loc { page: pid, slot, seg });
+        if oid.raw() >= inner.next_oid {
+            inner.next_oid = oid.raw() + 1;
+        }
+        Ok(())
+    }
+
+    /// Read an object's payload.
+    pub fn read(&self, oid: Oid) -> Result<Vec<u8>> {
+        let loc = {
+            let inner = self.inner.lock();
+            *inner.table.get(&oid.raw()).ok_or(StorageError::UnknownObject(oid))?
+        };
+        StorageStats::bump(&self.stats.reads, 1);
+        let stored = self.pool.with_page(loc.page, |buf| {
+            page::read(buf, loc.slot).map(|s| s.to_vec())
+        })?;
+        let stored = stored.ok_or_else(|| {
+            StorageError::Corrupt(format!("object table points at dead slot for {oid}"))
+        })?;
+        if Self::is_overflow(&stored) {
+            self.read_overflow(&stored)
+        } else {
+            self.decode(&stored)
+        }
+    }
+
+    /// Overwrite an object's payload. The oid is stable even if the object
+    /// moves to another page.
+    pub fn update(&self, oid: Oid, payload: &[u8]) -> Result<()> {
+        let mut inner = self.inner.lock();
+        let loc = *inner.table.get(&oid.raw()).ok_or(StorageError::UnknownObject(oid))?;
+        StorageStats::bump(&self.stats.updates, 1);
+
+        let old_stored = self
+            .pool
+            .with_page(loc.page, |buf| page::read(buf, loc.slot).map(|s| s.to_vec()))?
+            .ok_or_else(|| {
+                StorageError::Corrupt(format!("object table points at dead slot for {oid}"))
+            })?;
+        let was_overflow = Self::is_overflow(&old_stored);
+
+        let stored_len = self.stored_len(payload.len());
+        let new_stored = if stored_len > page::MAX_RECORD {
+            self.write_overflow(&mut inner, payload)?
+        } else {
+            self.encode(payload)
+        };
+        if was_overflow {
+            self.free_overflow(&mut inner, &old_stored)?;
+        }
+
+        // Try in place (page::update relocates within the page if needed).
+        let ok = self.pool.with_page_mut(loc.page, |buf| page::update(buf, loc.slot, &new_stored))?;
+        if ok {
+            return Ok(());
+        }
+        // Move to a fresh location in the object's original segment.
+        self.pool.with_page_mut(loc.page, |buf| page::remove(buf, loc.slot))?;
+        let (pid, slot) = self.write_record(&mut inner, loc.seg, ClusterHint::NONE, &new_stored)?;
+        inner.table.insert(oid.raw(), Loc { page: pid, slot, seg: loc.seg });
+        Ok(())
+    }
+
+    /// Delete an object.
+    pub fn free(&self, oid: Oid) -> Result<()> {
+        let mut inner = self.inner.lock();
+        let loc = inner
+            .table
+            .remove(&oid.raw())
+            .ok_or(StorageError::UnknownObject(oid))?;
+        let stored = self
+            .pool
+            .with_page(loc.page, |buf| page::read(buf, loc.slot).map(|s| s.to_vec()))?;
+        if let Some(stored) = stored {
+            if Self::is_overflow(&stored) {
+                self.free_overflow(&mut inner, &stored)?;
+            }
+        }
+        self.pool.with_page_mut(loc.page, |buf| page::remove(buf, loc.slot))?;
+        Ok(())
+    }
+
+    /// Segment the object currently lives in, if it exists.
+    pub fn segment_of(&self, oid: Oid) -> Option<SegmentId> {
+        self.inner.lock().table.get(&oid.raw()).map(|l| l.seg)
+    }
+
+    /// Whether an object exists.
+    pub fn exists(&self, oid: Oid) -> bool {
+        self.inner.lock().table.contains_key(&oid.raw())
+    }
+
+    /// Number of live objects.
+    pub fn object_count(&self) -> usize {
+        self.inner.lock().table.len()
+    }
+
+    /// Snapshot of all live oids (diagnostics / scans).
+    pub fn oids(&self) -> Vec<Oid> {
+        let inner = self.inner.lock();
+        let mut v: Vec<Oid> = inner.table.keys().map(|&k| Oid::from_raw(k)).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Pages owned by each segment (for size reporting).
+    pub fn segment_pages(&self) -> Vec<usize> {
+        self.inner.lock().segs.iter().map(|s| s.pages.len()).collect()
+    }
+
+    // ---- metadata (de)hydration for checkpointing -------------------------
+
+    /// Serialize the heap metadata (object table, segment page lists,
+    /// free list, oid counter) for the meta file.
+    pub fn dump_meta(&self, out: &mut Vec<u8>) {
+        let inner = self.inner.lock();
+        out.extend_from_slice(&inner.next_oid.to_le_bytes());
+        out.extend_from_slice(&(inner.table.len() as u64).to_le_bytes());
+        let mut entries: Vec<(&u64, &Loc)> = inner.table.iter().collect();
+        entries.sort_by_key(|(k, _)| **k);
+        for (oid, loc) in entries {
+            out.extend_from_slice(&oid.to_le_bytes());
+            out.extend_from_slice(&loc.page.0.to_le_bytes());
+            out.extend_from_slice(&loc.slot.0.to_le_bytes());
+            out.push(loc.seg.0);
+        }
+        out.extend_from_slice(&(inner.segs.len() as u32).to_le_bytes());
+        for seg in &inner.segs {
+            let open = seg.open_page.map_or(NO_PAGE, |p| p.0);
+            out.extend_from_slice(&open.to_le_bytes());
+            out.extend_from_slice(&(seg.pages.len() as u32).to_le_bytes());
+            for p in &seg.pages {
+                out.extend_from_slice(&p.0.to_le_bytes());
+            }
+        }
+        out.extend_from_slice(&(inner.free_pages.len() as u32).to_le_bytes());
+        for p in &inner.free_pages {
+            out.extend_from_slice(&p.0.to_le_bytes());
+        }
+    }
+
+    /// Restore heap metadata from [`Heap::dump_meta`] output. Returns the
+    /// number of bytes consumed.
+    pub fn load_meta(&self, data: &[u8]) -> Result<usize> {
+        let mut cur = Cursor { data, at: 0 };
+        let next_oid = cur.u64()?;
+        let n = cur.u64()? as usize;
+        let mut table = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let oid = cur.u64()?;
+            let page = PageId(cur.u32()?);
+            let slot = Slot(cur.u16()?);
+            let seg = SegmentId(cur.u8()?);
+            table.insert(oid, Loc { page, slot, seg });
+        }
+        let nsegs = cur.u32()? as usize;
+        let mut segs = Vec::with_capacity(nsegs);
+        for _ in 0..nsegs {
+            let open = cur.u32()?;
+            let open_page = if open == NO_PAGE { None } else { Some(PageId(open)) };
+            let npages = cur.u32()? as usize;
+            let mut pages = Vec::with_capacity(npages);
+            for _ in 0..npages {
+                pages.push(PageId(cur.u32()?));
+            }
+            segs.push(SegState { open_page, pages });
+        }
+        let nfree = cur.u32()? as usize;
+        let mut free_pages = Vec::with_capacity(nfree);
+        for _ in 0..nfree {
+            free_pages.push(PageId(cur.u32()?));
+        }
+        let mut inner = self.inner.lock();
+        inner.next_oid = next_oid;
+        inner.table = table;
+        inner.segs = segs;
+        inner.free_pages = free_pages;
+        inner.chunks.clear(); // chunks are a placement cache; safe to drop
+        Ok(cur.at)
+    }
+}
+
+struct Cursor<'a> {
+    data: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.at + n > self.data.len() {
+            return Err(StorageError::Corrupt("truncated heap metadata".into()));
+        }
+        let s = &self.data[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u16(&mut self) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn heap(name: &str, placement: Placement, segs: u8, cap: usize) -> (Heap, Arc<StorageStats>) {
+        let dir = std::env::temp_dir().join(format!("lfs-heap-{}-{}", std::process::id(), name));
+        std::fs::create_dir_all(&dir).unwrap();
+        let stats = Arc::new(StorageStats::default());
+        let file = Arc::new(PageFile::create(&dir.join("d.pg"), stats.clone()).unwrap());
+        let pool = Arc::new(BufferPool::new(file.clone(), stats.clone(), cap, false));
+        (Heap::new(pool, file, stats.clone(), placement, segs, 0, 1), stats)
+    }
+
+    #[test]
+    fn alloc_read_update_free_cycle() {
+        let (h, _) = heap("cycle", Placement::Segments, 2, 16);
+        let a = h.alloc(SegmentId(0), ClusterHint::NONE, b"first").unwrap();
+        let b = h.alloc(SegmentId(1), ClusterHint::NONE, b"second").unwrap();
+        assert_eq!(h.read(a).unwrap(), b"first");
+        assert_eq!(h.read(b).unwrap(), b"second");
+        h.update(a, b"first, updated to a longer value").unwrap();
+        assert_eq!(h.read(a).unwrap(), b"first, updated to a longer value");
+        h.free(a).unwrap();
+        assert!(matches!(h.read(a), Err(StorageError::UnknownObject(_))));
+        assert!(h.exists(b));
+        assert_eq!(h.object_count(), 1);
+    }
+
+    #[test]
+    fn unknown_segment_rejected_under_segment_placement() {
+        let (h, _) = heap("badseg", Placement::Segments, 2, 8);
+        let err = h.alloc(SegmentId(5), ClusterHint::NONE, b"x").unwrap_err();
+        assert!(matches!(err, StorageError::UnknownSegment(5)));
+        // Address-order placement ignores the segment id entirely.
+        let (h2, _) = heap("badseg2", Placement::AddressOrder, 1, 8);
+        assert!(h2.alloc(SegmentId(5), ClusterHint::NONE, b"x").is_ok());
+    }
+
+    #[test]
+    fn segments_separate_pages_address_order_interleaves() {
+        let (h, _) = heap("segsep", Placement::Segments, 2, 64);
+        for i in 0..50u32 {
+            let seg = SegmentId((i % 2) as u8);
+            h.alloc(seg, ClusterHint::NONE, &i.to_le_bytes()).unwrap();
+        }
+        let seg_pages = h.segment_pages();
+        assert_eq!(seg_pages.len(), 2);
+        assert!(seg_pages[0] >= 1 && seg_pages[1] >= 1);
+
+        let (h2, _) = heap("addr", Placement::AddressOrder, 1, 64);
+        for i in 0..50u32 {
+            h2.alloc(SegmentId(0), ClusterHint::NONE, &i.to_le_bytes()).unwrap();
+        }
+        assert_eq!(h2.segment_pages().len(), 1);
+    }
+
+    #[test]
+    fn client_chunks_cluster_by_type() {
+        let (h, stats) = heap("chunks", Placement::ClientChunks, 1, 256);
+        // Two interleaved "types" (hot records vs cold payloads): with
+        // client chunks, each type's objects share that type's pages,
+        // even though the underlying store has only one segment.
+        let mut hot = Vec::new();
+        for i in 0..40u32 {
+            hot.push(h.alloc(SegmentId(1), ClusterHint::NONE, &[1u8; 40]).unwrap());
+            h.alloc(SegmentId(3), ClusterHint::NONE, &[2u8; 900]).unwrap();
+            let _ = i;
+        }
+        // Reading the hot type touches very few pages: 40 × 44B ≈ 1 page.
+        let before = stats.snapshot();
+        for &oid in &hot {
+            h.read(oid).unwrap();
+        }
+        let after = stats.snapshot();
+        assert!(
+            after.delta(&before).faults <= 2,
+            "type-clustered hot reads should touch ~1 page, got {} faults",
+            after.delta(&before).faults
+        );
+        // The same interleaving in address order dilutes the hot records
+        // across all pages.
+        let (h2, stats2) = heap("chunks-ao", Placement::AddressOrder, 1, 256);
+        let mut hot2 = Vec::new();
+        for _ in 0..40 {
+            hot2.push(h2.alloc(SegmentId(1), ClusterHint::NONE, &[1u8; 40]).unwrap());
+            h2.alloc(SegmentId(3), ClusterHint::NONE, &[2u8; 900]).unwrap();
+        }
+        h2.pool.clear().unwrap();
+        let before = stats2.snapshot();
+        for &oid in &hot2 {
+            h2.read(oid).unwrap();
+        }
+        let after = stats2.snapshot();
+        assert!(
+            after.delta(&before).faults >= 8,
+            "address-order hot reads should scatter, got {} faults",
+            after.delta(&before).faults
+        );
+    }
+
+    #[test]
+    fn overflow_round_trip_and_free() {
+        let (h, _) = heap("ovfl", Placement::Segments, 1, 32);
+        let big: Vec<u8> = (0..20_000u32).map(|i| (i % 251) as u8).collect();
+        let oid = h.alloc(SegmentId(0), ClusterHint::NONE, &big).unwrap();
+        assert_eq!(h.read(oid).unwrap(), big);
+
+        // Update overflow -> still overflow.
+        let bigger: Vec<u8> = (0..30_000u32).map(|i| (i % 13) as u8).collect();
+        h.update(oid, &bigger).unwrap();
+        assert_eq!(h.read(oid).unwrap(), bigger);
+
+        // Update overflow -> inline.
+        h.update(oid, b"now small").unwrap();
+        assert_eq!(h.read(oid).unwrap(), b"now small");
+
+        // Update inline -> overflow.
+        h.update(oid, &big).unwrap();
+        assert_eq!(h.read(oid).unwrap(), big);
+
+        h.free(oid).unwrap();
+        assert!(!h.exists(oid));
+    }
+
+    #[test]
+    fn freed_overflow_pages_are_reused() {
+        let (h, _) = heap("reuse", Placement::Segments, 1, 32);
+        let big = vec![5u8; 15_000];
+        let a = h.alloc(SegmentId(0), ClusterHint::NONE, &big).unwrap();
+        h.free(a).unwrap();
+        let pages_before = h.segment_pages()[0];
+        let b = h.alloc(SegmentId(0), ClusterHint::NONE, &big).unwrap();
+        assert_eq!(h.read(b).unwrap(), big);
+        // New chain should have drawn from the free list, not grown the file.
+        let _ = pages_before; // segment page list tracks only record pages
+        let inner_free = {
+            let guard = h.inner.lock();
+            guard.free_pages.len()
+        };
+        assert!(inner_free < 4, "free list should have been consumed");
+    }
+
+    #[test]
+    fn per_object_overhead_inflates_stored_size() {
+        let dir = std::env::temp_dir().join(format!("lfs-heap-{}-ovh", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let stats = Arc::new(StorageStats::default());
+        let file = Arc::new(PageFile::create(&dir.join("d.pg"), stats.clone()).unwrap());
+        let pool = Arc::new(BufferPool::new(file.clone(), stats.clone(), 16, false));
+        let fat = Heap::new(pool, file, stats, Placement::AddressOrder, 1, 24, 16);
+        assert_eq!(fat.stored_len(100), 128); // 4+24+100=128, aligned
+        let oid = fat.alloc(SegmentId(0), ClusterHint::NONE, &[9u8; 100]).unwrap();
+        assert_eq!(fat.read(oid).unwrap(), vec![9u8; 100]);
+    }
+
+    #[test]
+    fn meta_dump_load_round_trip() {
+        let (h, _) = heap("meta", Placement::Segments, 3, 16);
+        let mut oids = Vec::new();
+        for i in 0..30u32 {
+            let seg = SegmentId((i % 3) as u8);
+            oids.push(h.alloc(seg, ClusterHint::NONE, &i.to_le_bytes()).unwrap());
+        }
+        h.free(oids[7]).unwrap();
+        let mut meta = Vec::new();
+        h.dump_meta(&mut meta);
+
+        // Fresh heap over the same pool/file state.
+        let consumed = h.load_meta(&meta).unwrap();
+        assert_eq!(consumed, meta.len());
+        for (i, &oid) in oids.iter().enumerate() {
+            if i == 7 {
+                assert!(!h.exists(oid));
+            } else {
+                assert_eq!(h.read(oid).unwrap(), (i as u32).to_le_bytes());
+            }
+        }
+        // Oid counter restored: new allocations do not collide.
+        let fresh = h.alloc(SegmentId(0), ClusterHint::NONE, b"post").unwrap();
+        assert!(fresh.raw() > oids.last().unwrap().raw());
+    }
+
+    #[test]
+    fn load_meta_rejects_truncated_input() {
+        let (h, _) = heap("trunc", Placement::Segments, 1, 8);
+        h.alloc(SegmentId(0), ClusterHint::NONE, b"x").unwrap();
+        let mut meta = Vec::new();
+        h.dump_meta(&mut meta);
+        let err = h.load_meta(&meta[..meta.len() - 3]).unwrap_err();
+        assert!(matches!(err, StorageError::Corrupt(_)));
+    }
+
+    #[test]
+    fn update_nonexistent_and_free_nonexistent_fail() {
+        let (h, _) = heap("missing", Placement::Segments, 1, 8);
+        let ghost = Oid::from_raw(999);
+        assert!(matches!(h.update(ghost, b"x"), Err(StorageError::UnknownObject(_))));
+        assert!(matches!(h.free(ghost), Err(StorageError::UnknownObject(_))));
+    }
+
+    #[test]
+    fn many_objects_survive_tiny_pool() {
+        let (h, _) = heap("tiny", Placement::AddressOrder, 1, 2);
+        let mut oids = Vec::new();
+        for i in 0..500u32 {
+            oids.push(h.alloc(SegmentId(0), ClusterHint::NONE, &i.to_le_bytes()).unwrap());
+        }
+        for (i, &oid) in oids.iter().enumerate() {
+            assert_eq!(h.read(oid).unwrap(), (i as u32).to_le_bytes());
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Identifier newtypes used across the storage layer.
+
+use std::fmt;
+
+/// A persistent object identifier.
+///
+/// Oids are opaque, monotonically assigned, and never reused. The mapping
+/// from oid to physical location lives in the store's object table, so an
+/// object may move (e.g. when an update outgrows its slot) without its oid
+/// changing — the indirection ObjectStore and Texas both provide in their
+/// own ways (page-server handles vs. swizzle tables).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Oid(u64);
+
+impl Oid {
+    /// The nil oid, used as a "null pointer" in persistent structures.
+    pub const NIL: Oid = Oid(0);
+
+    /// Construct an oid from its raw representation.
+    pub const fn from_raw(raw: u64) -> Self {
+        Oid(raw)
+    }
+
+    /// The raw representation of this oid.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Whether this is the nil oid.
+    pub const fn is_nil(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for Oid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+impl fmt::Debug for Oid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Oid({})", self.0)
+    }
+}
+
+/// A page number within the store's data file.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct PageId(pub u32);
+
+impl fmt::Display for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// A slot index within a slotted page.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Slot(pub u16);
+
+/// A placement segment.
+///
+/// Segments are the clustering mechanism the paper credits for
+/// ObjectStore's performance: "LabBase uses four such segments, three of
+/// which contain relatively small amounts of frequently accessed data and
+/// one of which contains a relatively large amount of infrequently
+/// accessed data." Backends without clustering control (Texas) accept any
+/// segment id but place everything in one address-ordered heap.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct SegmentId(pub u8);
+
+impl SegmentId {
+    /// The default segment, present in every backend.
+    pub const DEFAULT: SegmentId = SegmentId(0);
+}
+
+impl fmt::Display for SegmentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "seg{}", self.0)
+    }
+}
+
+/// A transaction identifier.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct TxnId(u64);
+
+impl TxnId {
+    /// Construct a txn id from its raw representation.
+    pub const fn from_raw(raw: u64) -> Self {
+        TxnId(raw)
+    }
+
+    /// The raw representation.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "txn{}", self.0)
+    }
+}
+
+/// A clustering hint passed by the client at allocation time.
+///
+/// For `Texas+TC` this is the handle the client-side clustering code keys
+/// its chunks on (LabBase passes the owning material's oid, so a
+/// material's history co-locates). Segment-based backends ignore it; the
+/// plain Texas backend ignores it by design — that is the whole point of
+/// the comparison.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ClusterHint(pub u64);
+
+impl ClusterHint {
+    /// No clustering preference.
+    pub const NONE: ClusterHint = ClusterHint(0);
+
+    /// Cluster near the given object.
+    pub fn near(oid: Oid) -> Self {
+        ClusterHint(oid.raw())
+    }
+
+    /// Whether this hint expresses a preference.
+    pub fn is_none(self) -> bool {
+        self.0 == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oid_nil_and_raw_round_trip() {
+        assert!(Oid::NIL.is_nil());
+        let o = Oid::from_raw(42);
+        assert!(!o.is_nil());
+        assert_eq!(o.raw(), 42);
+        assert_eq!(o.to_string(), "#42");
+    }
+
+    #[test]
+    fn cluster_hint_near() {
+        assert!(ClusterHint::NONE.is_none());
+        assert!(!ClusterHint::near(Oid::from_raw(9)).is_none());
+        assert_eq!(ClusterHint::near(Oid::from_raw(9)), ClusterHint(9));
+    }
+
+    #[test]
+    fn ids_are_ordered_and_displayable() {
+        assert!(Oid::from_raw(1) < Oid::from_raw(2));
+        assert_eq!(PageId(3).to_string(), "p3");
+        assert_eq!(SegmentId(2).to_string(), "seg2");
+        assert_eq!(TxnId::from_raw(5).to_string(), "txn5");
+    }
+}

@@ -1,0 +1,93 @@
+//! # labflow-storage
+//!
+//! Object storage manager substrates for the LabFlow-1 benchmark.
+//!
+//! The LabFlow-1 paper (Bonner, Shrufi & Rozen, EDBT 1996) evaluates the
+//! benchmark through LabBase, a workflow DBMS implemented on top of an
+//! *object storage manager*. The paper compares five storage-manager
+//! configurations; this crate reproduces all five behind a single
+//! [`StorageManager`] trait:
+//!
+//! * [`OStore`] — modelled on ObjectStore v3.0: a page-based store with a
+//!   buffer pool, a page-level lock manager (concurrent access allowed),
+//!   write-ahead logging with checkpoints, and — critically for the paper's
+//!   conclusions — **placement segments** that let the client control
+//!   locality of reference (three small hot segments plus one large cold
+//!   segment, per the paper's Section 5.1).
+//! * [`Texas`] — modelled on the Texas persistent store v0.3: a persistent
+//!   heap with pointer swizzling at page-fault time. Allocation proceeds
+//!   strictly in address order, so the client has **no control over
+//!   locality**; the store is single-user and accesses its file directly
+//!   (no log, durability at explicit checkpoints only).
+//! * [`TexasTc`] — the same Texas storage manager plus *client-implemented*
+//!   object clustering: allocations carrying the same [`ClusterHint`] are
+//!   grouped into shared chunks, approximating what the paper calls the
+//!   "Texas+TC" server version.
+//! * [`MemStore`] (×2, via [`MemStore::ostore_mm`] / [`MemStore::texas_mm`])
+//!   — the `-mm` versions: the same API with storage management compiled
+//!   out; everything lives in main memory and nothing is persistent.
+//!
+//! All backends report uniform [`StorageStats`], including the number of
+//! buffer-pool misses that had to touch the backing file. On the paper's
+//! mid-90s hardware these were literal major page faults (`majflt`); on
+//! modern machines the identical phenomenon — an object reference leaving
+//! the resident set — is observed at the buffer pool, which the benchmark
+//! sizes deliberately small.
+//!
+//! ## Example
+//!
+//! ```
+//! use labflow_storage::{OStore, Options, StorageManager, SegmentId, ClusterHint};
+//!
+//! let dir = std::env::temp_dir().join(format!("lfs-doc-{}", std::process::id()));
+//! let store = OStore::create(&dir, Options::default()).unwrap();
+//! let txn = store.begin().unwrap();
+//! let oid = store
+//!     .allocate(txn, SegmentId::DEFAULT, ClusterHint::NONE, b"hello workflow")
+//!     .unwrap();
+//! store.commit(txn).unwrap();
+//! assert_eq!(store.read(oid).unwrap(), b"hello workflow");
+//! # drop(store); std::fs::remove_dir_all(&dir).ok();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod buffer;
+mod engine;
+mod error;
+mod heap;
+mod ids;
+mod lock;
+mod memstore;
+mod meta;
+mod page;
+mod pagefile;
+mod stats;
+mod traits;
+mod wal;
+
+pub use engine::{Engine, OStore, Options, Profile, Texas, TexasTc};
+pub use error::{Result, StorageError};
+pub use ids::{ClusterHint, Oid, PageId, SegmentId, Slot, TxnId};
+pub use memstore::MemStore;
+pub use stats::{StatsSnapshot, StorageStats};
+pub use traits::{SegmentInfo, StorageManager};
+
+/// The page size used by all page-based backends, in bytes.
+pub const PAGE_SIZE: usize = 4096;
+
+/// Test-only access to the slotted-page primitives, so external
+/// property suites can drive the layout directly. Not part of the
+/// supported API.
+#[doc(hidden)]
+pub mod page_testing {
+    pub use crate::page::{
+        compact, dead_bytes, free_space, init, insert, live_bytes, read, remove, update,
+    };
+
+    /// Construct a slot id from its raw index.
+    pub fn slot(raw: u16) -> crate::Slot {
+        crate::Slot(raw)
+    }
+}

@@ -1,0 +1,210 @@
+//! A striped two-phase lock manager for the ObjectStore-like backend.
+//!
+//! ObjectStore mediated all access through a page server with lock-based
+//! concurrency control; the Texas store was single-user. We reproduce the
+//! distinction at object granularity: [`OStore`](crate::OStore)
+//! transactions take shared/exclusive object locks held until
+//! commit/abort, with a timeout as deadlock avoidance.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use crate::error::{Result, StorageError};
+use crate::ids::{Oid, TxnId};
+
+/// Requested lock mode.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LockMode {
+    /// Shared (read) lock; compatible with other shared locks.
+    Shared,
+    /// Exclusive (write) lock.
+    Exclusive,
+}
+
+#[derive(Default)]
+struct LockState {
+    /// Transactions holding the lock shared.
+    shared: Vec<u64>,
+    /// Transaction holding it exclusive, if any.
+    exclusive: Option<u64>,
+}
+
+const SHARDS: usize = 32;
+
+/// The lock manager.
+pub struct LockManager {
+    shards: Vec<Mutex<HashMap<u64, LockState>>>,
+    /// Per-transaction set of held locks, for release-at-end.
+    held: Mutex<HashMap<u64, Vec<Oid>>>,
+    timeout: Duration,
+}
+
+impl LockManager {
+    /// Create a lock manager with the given deadlock-avoidance timeout.
+    pub fn new(timeout: Duration) -> Self {
+        LockManager {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            held: Mutex::new(HashMap::new()),
+            timeout,
+        }
+    }
+
+    fn shard(&self, oid: Oid) -> &Mutex<HashMap<u64, LockState>> {
+        &self.shards[(oid.raw() as usize) % SHARDS]
+    }
+
+    /// Acquire `mode` on `oid` for `txn`, blocking up to the timeout.
+    /// Re-acquisition and shared→exclusive upgrade (as sole holder) are
+    /// allowed.
+    pub fn acquire(&self, txn: TxnId, oid: Oid, mode: LockMode) -> Result<()> {
+        let deadline = Instant::now() + self.timeout;
+        let t = txn.raw();
+        loop {
+            {
+                let mut shard = self.shard(oid).lock();
+                let state = shard.entry(oid.raw()).or_default();
+                let granted = match mode {
+                    LockMode::Shared => match state.exclusive {
+                        Some(holder) => holder == t,
+                        None => {
+                            if !state.shared.contains(&t) {
+                                state.shared.push(t);
+                                self.note_held(t, oid);
+                            }
+                            true
+                        }
+                    },
+                    LockMode::Exclusive => {
+                        let others_shared = state.shared.iter().any(|&h| h != t);
+                        match state.exclusive {
+                            Some(holder) if holder == t => true,
+                            Some(_) => false,
+                            None if others_shared => false,
+                            None => {
+                                // Possibly an upgrade: drop own shared mark.
+                                state.shared.retain(|&h| h != t);
+                                state.exclusive = Some(t);
+                                self.note_held(t, oid);
+                                true
+                            }
+                        }
+                    }
+                };
+                if granted {
+                    return Ok(());
+                }
+            }
+            if Instant::now() >= deadline {
+                return Err(StorageError::LockTimeout(oid));
+            }
+            std::thread::yield_now();
+            std::thread::sleep(Duration::from_micros(50));
+        }
+    }
+
+    fn note_held(&self, txn: u64, oid: Oid) {
+        let mut held = self.held.lock();
+        let v = held.entry(txn).or_default();
+        if !v.contains(&oid) {
+            v.push(oid);
+        }
+    }
+
+    /// Release every lock held by `txn` (commit or abort).
+    pub fn release_all(&self, txn: TxnId) {
+        let t = txn.raw();
+        let oids = self.held.lock().remove(&t).unwrap_or_default();
+        for oid in oids {
+            let mut shard = self.shard(oid).lock();
+            if let Some(state) = shard.get_mut(&oid.raw()) {
+                state.shared.retain(|&h| h != t);
+                if state.exclusive == Some(t) {
+                    state.exclusive = None;
+                }
+                if state.shared.is_empty() && state.exclusive.is_none() {
+                    shard.remove(&oid.raw());
+                }
+            }
+        }
+    }
+
+    /// Number of objects currently locked (diagnostics).
+    pub fn locked_objects(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn mk() -> LockManager {
+        LockManager::new(Duration::from_millis(200))
+    }
+
+    #[test]
+    fn shared_locks_coexist() {
+        let lm = mk();
+        let o = Oid::from_raw(1);
+        lm.acquire(TxnId::from_raw(1), o, LockMode::Shared).unwrap();
+        lm.acquire(TxnId::from_raw(2), o, LockMode::Shared).unwrap();
+        assert_eq!(lm.locked_objects(), 1);
+        lm.release_all(TxnId::from_raw(1));
+        lm.release_all(TxnId::from_raw(2));
+        assert_eq!(lm.locked_objects(), 0);
+    }
+
+    #[test]
+    fn exclusive_blocks_others_until_release() {
+        let lm = Arc::new(mk());
+        let o = Oid::from_raw(7);
+        lm.acquire(TxnId::from_raw(1), o, LockMode::Exclusive).unwrap();
+        // Second writer times out while txn 1 holds the lock.
+        let err = lm.acquire(TxnId::from_raw(2), o, LockMode::Exclusive).unwrap_err();
+        assert!(matches!(err, StorageError::LockTimeout(_)));
+        lm.release_all(TxnId::from_raw(1));
+        lm.acquire(TxnId::from_raw(2), o, LockMode::Exclusive).unwrap();
+        lm.release_all(TxnId::from_raw(2));
+    }
+
+    #[test]
+    fn reacquire_and_upgrade_as_sole_holder() {
+        let lm = mk();
+        let o = Oid::from_raw(3);
+        let t = TxnId::from_raw(1);
+        lm.acquire(t, o, LockMode::Shared).unwrap();
+        lm.acquire(t, o, LockMode::Shared).unwrap();
+        lm.acquire(t, o, LockMode::Exclusive).unwrap(); // upgrade
+        lm.acquire(t, o, LockMode::Shared).unwrap(); // read under own X
+        lm.release_all(t);
+        assert_eq!(lm.locked_objects(), 0);
+    }
+
+    #[test]
+    fn upgrade_blocked_by_other_reader() {
+        let lm = mk();
+        let o = Oid::from_raw(4);
+        lm.acquire(TxnId::from_raw(1), o, LockMode::Shared).unwrap();
+        lm.acquire(TxnId::from_raw(2), o, LockMode::Shared).unwrap();
+        let err = lm.acquire(TxnId::from_raw(1), o, LockMode::Exclusive).unwrap_err();
+        assert!(matches!(err, StorageError::LockTimeout(_)));
+    }
+
+    #[test]
+    fn writer_released_from_another_thread_unblocks_waiter() {
+        let lm = Arc::new(LockManager::new(Duration::from_secs(2)));
+        let o = Oid::from_raw(9);
+        lm.acquire(TxnId::from_raw(1), o, LockMode::Exclusive).unwrap();
+        let lm2 = lm.clone();
+        let handle = std::thread::spawn(move || {
+            lm2.acquire(TxnId::from_raw(2), o, LockMode::Shared).unwrap();
+            lm2.release_all(TxnId::from_raw(2));
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        lm.release_all(TxnId::from_raw(1));
+        handle.join().unwrap();
+    }
+}

@@ -1,0 +1,316 @@
+//! The `-mm` server versions: storage management compiled out.
+//!
+//! The paper's `OStore-mm` and `Texas-mm` run the same LabBase code with
+//! everything in main memory and nothing persistent, isolating pure CPU
+//! cost. [`MemStore`] provides both under the common trait; the only
+//! behavioural differences preserved are the names and the Texas flavor's
+//! single-user restriction and missing abort, so the workload driver can
+//! treat all five versions identically.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::error::{Result, StorageError};
+use crate::ids::{ClusterHint, Oid, SegmentId, TxnId};
+use crate::stats::{StatsSnapshot, StorageStats};
+use crate::traits::{SegmentInfo, StorageManager};
+
+enum Undo {
+    UnAlloc(Oid),
+    Restore(Oid, Vec<u8>),
+    Realloc(Oid, Vec<u8>),
+}
+
+struct Inner {
+    objects: HashMap<u64, Vec<u8>>,
+    active: HashMap<u64, Vec<Undo>>,
+    next_oid: u64,
+}
+
+/// A main-memory storage manager.
+pub struct MemStore {
+    name: &'static str,
+    single_user: bool,
+    can_abort: bool,
+    inner: Mutex<Inner>,
+    next_txn: AtomicU64,
+    stats: StorageStats,
+}
+
+impl MemStore {
+    /// The `OStore-mm` version: multi-user, abortable, in memory.
+    pub fn ostore_mm() -> Self {
+        MemStore {
+            name: "OStore-mm",
+            single_user: false,
+            can_abort: true,
+            inner: Mutex::new(Inner {
+                objects: HashMap::new(),
+                active: HashMap::new(),
+                next_oid: 1,
+            }),
+            next_txn: AtomicU64::new(1),
+            stats: StorageStats::default(),
+        }
+    }
+
+    /// The `Texas-mm` version: single-user, no abort, in memory.
+    pub fn texas_mm() -> Self {
+        MemStore {
+            name: "Texas-mm",
+            single_user: true,
+            can_abort: false,
+            ..MemStore::ostore_mm()
+        }
+    }
+
+    /// Total payload bytes held (the `-mm` analogue of database size;
+    /// reported separately because the paper prints "—" in the size row).
+    pub fn resident_bytes(&self) -> u64 {
+        self.inner.lock().objects.values().map(|v| v.len() as u64).sum()
+    }
+}
+
+impl StorageManager for MemStore {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn begin(&self) -> Result<TxnId> {
+        let mut inner = self.inner.lock();
+        if self.single_user && !inner.active.is_empty() {
+            return Err(StorageError::SingleUser);
+        }
+        let id = self.next_txn.fetch_add(1, Ordering::Relaxed);
+        inner.active.insert(id, Vec::new());
+        Ok(TxnId::from_raw(id))
+    }
+
+    fn commit(&self, txn: TxnId) -> Result<()> {
+        self.inner
+            .lock()
+            .active
+            .remove(&txn.raw())
+            .ok_or(StorageError::UnknownTxn(txn))?;
+        StorageStats::bump(&self.stats.commits, 1);
+        Ok(())
+    }
+
+    fn abort(&self, txn: TxnId) -> Result<()> {
+        if !self.can_abort {
+            return Err(StorageError::Unsupported("abort: Texas-mm has no undo capability"));
+        }
+        let mut inner = self.inner.lock();
+        let undo = inner.active.remove(&txn.raw()).ok_or(StorageError::UnknownTxn(txn))?;
+        for u in undo.into_iter().rev() {
+            match u {
+                Undo::UnAlloc(oid) => {
+                    inner.objects.remove(&oid.raw());
+                }
+                Undo::Restore(oid, data) | Undo::Realloc(oid, data) => {
+                    inner.objects.insert(oid.raw(), data);
+                }
+            }
+        }
+        StorageStats::bump(&self.stats.aborts, 1);
+        Ok(())
+    }
+
+    fn allocate(
+        &self,
+        txn: TxnId,
+        _seg: SegmentId,
+        _hint: ClusterHint,
+        data: &[u8],
+    ) -> Result<Oid> {
+        let mut inner = self.inner.lock();
+        if !inner.active.contains_key(&txn.raw()) {
+            return Err(StorageError::UnknownTxn(txn));
+        }
+        let oid = Oid::from_raw(inner.next_oid);
+        inner.next_oid += 1;
+        inner.objects.insert(oid.raw(), data.to_vec());
+        if let Some(undo) = inner.active.get_mut(&txn.raw()) {
+            undo.push(Undo::UnAlloc(oid));
+        }
+        StorageStats::bump(&self.stats.allocs, 1);
+        StorageStats::bump(&self.stats.bytes_allocated, data.len() as u64);
+        Ok(oid)
+    }
+
+    fn read(&self, oid: Oid) -> Result<Vec<u8>> {
+        StorageStats::bump(&self.stats.reads, 1);
+        self.inner
+            .lock()
+            .objects
+            .get(&oid.raw())
+            .cloned()
+            .ok_or(StorageError::UnknownObject(oid))
+    }
+
+    fn read_in(&self, txn: TxnId, oid: Oid) -> Result<Vec<u8>> {
+        if !self.inner.lock().active.contains_key(&txn.raw()) {
+            return Err(StorageError::UnknownTxn(txn));
+        }
+        self.read(oid)
+    }
+
+    fn update(&self, txn: TxnId, oid: Oid, data: &[u8]) -> Result<()> {
+        let mut inner = self.inner.lock();
+        if !inner.active.contains_key(&txn.raw()) {
+            return Err(StorageError::UnknownTxn(txn));
+        }
+        if !inner.objects.contains_key(&oid.raw()) {
+            return Err(StorageError::UnknownObject(oid));
+        }
+        let old = inner
+            .objects
+            .insert(oid.raw(), data.to_vec())
+            .expect("checked above");
+        if self.can_abort {
+            if let Some(undo) = inner.active.get_mut(&txn.raw()) {
+                undo.push(Undo::Restore(oid, old));
+            }
+        }
+        StorageStats::bump(&self.stats.updates, 1);
+        Ok(())
+    }
+
+    fn free(&self, txn: TxnId, oid: Oid) -> Result<()> {
+        let mut inner = self.inner.lock();
+        if !inner.active.contains_key(&txn.raw()) {
+            return Err(StorageError::UnknownTxn(txn));
+        }
+        let old = inner.objects.remove(&oid.raw()).ok_or(StorageError::UnknownObject(oid))?;
+        if self.can_abort {
+            if let Some(undo) = inner.active.get_mut(&txn.raw()) {
+                undo.push(Undo::Realloc(oid, old));
+            }
+        }
+        Ok(())
+    }
+
+    fn exists(&self, oid: Oid) -> bool {
+        self.inner.lock().objects.contains_key(&oid.raw())
+    }
+
+    fn checkpoint(&self) -> Result<()> {
+        // Nothing to persist; counted so interval accounting stays uniform.
+        StorageStats::bump(&self.stats.checkpoints, 1);
+        Ok(())
+    }
+
+    fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    fn db_size_bytes(&self) -> Result<Option<u64>> {
+        Ok(None) // "—" in the paper's size row
+    }
+
+    fn object_count(&self) -> usize {
+        self.inner.lock().objects.len()
+    }
+
+    fn segments(&self) -> Vec<SegmentInfo> {
+        Vec::new()
+    }
+
+    fn is_persistent(&self) -> bool {
+        false
+    }
+
+    fn supports_concurrency(&self) -> bool {
+        !self.single_user
+    }
+
+    fn drop_caches(&self) -> Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_and_capabilities() {
+        let o = MemStore::ostore_mm();
+        let t = MemStore::texas_mm();
+        assert_eq!(o.name(), "OStore-mm");
+        assert_eq!(t.name(), "Texas-mm");
+        assert!(o.supports_concurrency());
+        assert!(!t.supports_concurrency());
+        assert!(!o.is_persistent());
+        assert_eq!(o.db_size_bytes().unwrap(), None);
+    }
+
+    #[test]
+    fn basic_cycle() {
+        let s = MemStore::ostore_mm();
+        let t = s.begin().unwrap();
+        let oid = s.allocate(t, SegmentId(0), ClusterHint::NONE, b"data").unwrap();
+        s.update(t, oid, b"data2").unwrap();
+        s.commit(t).unwrap();
+        assert_eq!(s.read(oid).unwrap(), b"data2");
+        assert_eq!(s.object_count(), 1);
+        assert!(s.resident_bytes() > 0);
+        let t2 = s.begin().unwrap();
+        s.free(t2, oid).unwrap();
+        s.commit(t2).unwrap();
+        assert!(!s.exists(oid));
+    }
+
+    #[test]
+    fn abort_restores_state_on_ostore_mm() {
+        let s = MemStore::ostore_mm();
+        let t0 = s.begin().unwrap();
+        let keep = s.allocate(t0, SegmentId(0), ClusterHint::NONE, b"keep").unwrap();
+        s.commit(t0).unwrap();
+        let t = s.begin().unwrap();
+        let tmp = s.allocate(t, SegmentId(0), ClusterHint::NONE, b"tmp").unwrap();
+        s.update(t, keep, b"mutated").unwrap();
+        s.free(t, keep).unwrap();
+        s.abort(t).unwrap();
+        assert!(!s.exists(tmp));
+        assert_eq!(s.read(keep).unwrap(), b"keep");
+    }
+
+    #[test]
+    fn texas_mm_single_user_and_no_abort() {
+        let s = MemStore::texas_mm();
+        let t = s.begin().unwrap();
+        assert!(matches!(s.begin(), Err(StorageError::SingleUser)));
+        assert!(matches!(s.abort(t), Err(StorageError::Unsupported(_))));
+        s.commit(t).unwrap();
+    }
+
+    #[test]
+    fn dead_txn_is_rejected() {
+        let s = MemStore::ostore_mm();
+        let t = s.begin().unwrap();
+        s.commit(t).unwrap();
+        assert!(matches!(
+            s.allocate(t, SegmentId(0), ClusterHint::NONE, b"x"),
+            Err(StorageError::UnknownTxn(_))
+        ));
+        assert!(matches!(s.commit(t), Err(StorageError::UnknownTxn(_))));
+    }
+
+    #[test]
+    fn stats_never_report_faults() {
+        let s = MemStore::ostore_mm();
+        let t = s.begin().unwrap();
+        for i in 0..100u32 {
+            let oid = s.allocate(t, SegmentId(0), ClusterHint::NONE, &i.to_le_bytes()).unwrap();
+            s.read(oid).unwrap();
+        }
+        s.commit(t).unwrap();
+        let snap = s.stats();
+        assert_eq!(snap.faults, 0);
+        assert_eq!(snap.allocs, 100);
+        assert_eq!(snap.reads, 100);
+    }
+}

@@ -1,0 +1,102 @@
+//! Checkpoint metadata file: the heap's object table and allocation state,
+//! written atomically (tmp file + rename) at each checkpoint.
+
+use std::fs::{self, File};
+use std::io::{Read, Write};
+use std::path::Path;
+
+use crate::error::{Result, StorageError};
+use crate::heap::Heap;
+
+const MAGIC: &[u8; 8] = b"LABFLOW1";
+const VERSION: u32 = 1;
+
+/// Atomically persist the heap metadata to `path`.
+pub fn write_meta(path: &Path, heap: &Heap) -> Result<()> {
+    let mut body = Vec::with_capacity(4096);
+    body.extend_from_slice(MAGIC);
+    body.extend_from_slice(&VERSION.to_le_bytes());
+    heap.dump_meta(&mut body);
+    let tmp = path.with_extension("meta.tmp");
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(&body)?;
+        f.sync_data()?;
+    }
+    fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Load heap metadata from `path` into `heap`. Returns `false` if the
+/// file does not exist (fresh store).
+pub fn read_meta(path: &Path, heap: &Heap) -> Result<bool> {
+    let mut data = Vec::new();
+    match File::open(path) {
+        Ok(mut f) => {
+            f.read_to_end(&mut data)?;
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(false),
+        Err(e) => return Err(e.into()),
+    }
+    if data.len() < 12 || &data[0..8] != MAGIC {
+        return Err(StorageError::Corrupt("bad meta magic".into()));
+    }
+    let version = u32::from_le_bytes(data[8..12].try_into().unwrap());
+    if version != VERSION {
+        return Err(StorageError::Corrupt(format!("unsupported meta version {version}")));
+    }
+    heap.load_meta(&data[12..])?;
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::BufferPool;
+    use crate::heap::Placement;
+    use crate::ids::{ClusterHint, SegmentId};
+    use crate::pagefile::PageFile;
+    use crate::stats::StorageStats;
+    use std::sync::Arc;
+
+    fn mk(name: &str) -> (Heap, std::path::PathBuf) {
+        let dir = std::env::temp_dir().join(format!("lfs-meta-{}-{}", std::process::id(), name));
+        std::fs::create_dir_all(&dir).unwrap();
+        let stats = Arc::new(StorageStats::default());
+        let file = Arc::new(PageFile::create(&dir.join("d.pg"), stats.clone()).unwrap());
+        let pool = Arc::new(BufferPool::new(file.clone(), stats.clone(), 16, false));
+        (Heap::new(pool, file, stats, Placement::Segments, 2, 0, 1), dir.join("store.meta"))
+    }
+
+    #[test]
+    fn round_trip() {
+        let (heap, path) = mk("rt");
+        let oid = heap.alloc(SegmentId(1), ClusterHint::NONE, b"meta me").unwrap();
+        write_meta(&path, &heap).unwrap();
+        assert!(read_meta(&path, &heap).unwrap());
+        assert_eq!(heap.read(oid).unwrap(), b"meta me");
+    }
+
+    #[test]
+    fn missing_file_reports_fresh() {
+        let (heap, path) = mk("fresh");
+        assert!(!read_meta(&path.with_extension("nope"), &heap).unwrap());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let (heap, path) = mk("magic");
+        std::fs::write(&path, b"NOTMETA!....").unwrap();
+        assert!(matches!(read_meta(&path, &heap), Err(StorageError::Corrupt(_))));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let (heap, path) = mk("ver");
+        let mut data = Vec::new();
+        data.extend_from_slice(MAGIC);
+        data.extend_from_slice(&99u32.to_le_bytes());
+        std::fs::write(&path, &data).unwrap();
+        assert!(matches!(read_meta(&path, &heap), Err(StorageError::Corrupt(_))));
+    }
+}

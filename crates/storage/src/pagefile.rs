@@ -1,0 +1,175 @@
+//! A file of fixed-size pages with physical-I/O accounting.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::error::Result;
+use crate::ids::PageId;
+use crate::stats::StorageStats;
+use crate::PAGE_SIZE;
+
+/// A page-granular file. All physical reads and writes flow through here
+/// and are counted in the shared [`StorageStats`].
+pub struct PageFile {
+    file: Mutex<File>,
+    page_count: AtomicU32,
+    stats: Arc<StorageStats>,
+}
+
+impl PageFile {
+    /// Create a new, empty page file (truncating any existing file).
+    pub fn create(path: &Path, stats: Arc<StorageStats>) -> Result<Self> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(PageFile { file: Mutex::new(file), page_count: AtomicU32::new(0), stats })
+    }
+
+    /// Open an existing page file.
+    pub fn open(path: &Path, stats: Arc<StorageStats>) -> Result<Self> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let len = file.metadata()?.len();
+        let pages = (len / PAGE_SIZE as u64) as u32;
+        Ok(PageFile { file: Mutex::new(file), page_count: AtomicU32::new(pages), stats })
+    }
+
+    /// Number of pages currently in the file (allocated pages may not yet
+    /// have been physically written).
+    pub fn page_count(&self) -> u32 {
+        self.page_count.load(Ordering::Acquire)
+    }
+
+    /// Reserve the next page id. The page is materialized on first write;
+    /// reading an allocated-but-unwritten page yields zeroes.
+    pub fn allocate_page(&self) -> PageId {
+        PageId(self.page_count.fetch_add(1, Ordering::AcqRel))
+    }
+
+    /// Read page `pid` into `buf` (which must be `PAGE_SIZE` long).
+    pub fn read_page(&self, pid: PageId, buf: &mut [u8]) -> Result<()> {
+        debug_assert_eq!(buf.len(), PAGE_SIZE);
+        let mut file = self.file.lock();
+        let offset = pid.0 as u64 * PAGE_SIZE as u64;
+        let file_len = file.metadata()?.len();
+        if offset >= file_len {
+            // Allocated but never written: logically all-zero.
+            buf.fill(0);
+        } else {
+            file.seek(SeekFrom::Start(offset))?;
+            // The file is always extended in whole pages, so a short read
+            // cannot happen for pages below file_len.
+            file.read_exact(buf)?;
+        }
+        StorageStats::bump(&self.stats.page_reads, 1);
+        Ok(())
+    }
+
+    /// Write `buf` to page `pid`, extending the file if needed.
+    pub fn write_page(&self, pid: PageId, buf: &[u8]) -> Result<()> {
+        debug_assert_eq!(buf.len(), PAGE_SIZE);
+        let mut file = self.file.lock();
+        let offset = pid.0 as u64 * PAGE_SIZE as u64;
+        let file_len = file.metadata()?.len();
+        if offset > file_len {
+            // Keep the file dense in whole pages so read_page's bounds
+            // logic stays simple.
+            file.set_len(offset)?;
+        }
+        file.seek(SeekFrom::Start(offset))?;
+        file.write_all(buf)?;
+        StorageStats::bump(&self.stats.page_writes, 1);
+        Ok(())
+    }
+
+    /// Flush file contents to stable storage.
+    pub fn sync(&self) -> Result<()> {
+        self.file.lock().sync_data()?;
+        Ok(())
+    }
+
+    /// Current physical size of the file in bytes.
+    pub fn len_bytes(&self) -> Result<u64> {
+        Ok(self.file.lock().metadata()?.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("lfs-pf-{}-{}", std::process::id(), name));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("data.pg")
+    }
+
+    #[test]
+    fn write_read_round_trip_counts_io() {
+        let stats = Arc::new(StorageStats::default());
+        let path = tmp("rt");
+        let pf = PageFile::create(&path, stats.clone()).unwrap();
+        let p0 = pf.allocate_page();
+        let p1 = pf.allocate_page();
+        assert_eq!((p0.0, p1.0), (0, 1));
+
+        let mut page = vec![0xABu8; PAGE_SIZE];
+        page[0] = 1;
+        pf.write_page(p1, &page).unwrap();
+
+        let mut out = vec![0u8; PAGE_SIZE];
+        pf.read_page(p1, &mut out).unwrap();
+        assert_eq!(out, page);
+
+        // p0 was allocated but never written: zeroes.
+        pf.read_page(p0, &mut out).unwrap();
+        assert!(out.iter().all(|&b| b == 0));
+
+        let snap = stats.snapshot();
+        assert_eq!(snap.page_writes, 1);
+        assert_eq!(snap.page_reads, 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn reopen_preserves_pages() {
+        let stats = Arc::new(StorageStats::default());
+        let path = tmp("reopen");
+        {
+            let pf = PageFile::create(&path, stats.clone()).unwrap();
+            let p = pf.allocate_page();
+            pf.write_page(p, &vec![7u8; PAGE_SIZE]).unwrap();
+            pf.sync().unwrap();
+        }
+        let pf = PageFile::open(&path, stats).unwrap();
+        assert_eq!(pf.page_count(), 1);
+        let mut out = vec![0u8; PAGE_SIZE];
+        pf.read_page(PageId(0), &mut out).unwrap();
+        assert!(out.iter().all(|&b| b == 7));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sparse_write_extends_file() {
+        let stats = Arc::new(StorageStats::default());
+        let path = tmp("sparse");
+        let pf = PageFile::create(&path, stats).unwrap();
+        for _ in 0..5 {
+            pf.allocate_page();
+        }
+        // Write page 4 first; pages 0..4 must still read as zero.
+        pf.write_page(PageId(4), &vec![9u8; PAGE_SIZE]).unwrap();
+        assert_eq!(pf.len_bytes().unwrap(), 5 * PAGE_SIZE as u64);
+        let mut out = vec![1u8; PAGE_SIZE];
+        pf.read_page(PageId(2), &mut out).unwrap();
+        assert!(out.iter().all(|&b| b == 0));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,163 @@
+//! Uniform operation counters reported by every backend.
+//!
+//! The benchmark's "(sim-)majflt" column is [`StorageStats::faults`]: the
+//! number of object references that missed the buffer pool and had to
+//! touch the backing file — the same event the paper observed as an OS
+//! major page fault on memory-mapped stores.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared, thread-safe counters. Cheap to bump from hot paths.
+#[derive(Debug, Default)]
+pub struct StorageStats {
+    /// Buffer-pool misses that performed a read from the data file.
+    pub faults: AtomicU64,
+    /// Buffer-pool hits.
+    pub hits: AtomicU64,
+    /// Physical page reads from the data file.
+    pub page_reads: AtomicU64,
+    /// Physical page writes to the data file.
+    pub page_writes: AtomicU64,
+    /// Pages "swizzled": first-touch conversions charged by Texas-style
+    /// backends when a non-resident page enters the resident set.
+    pub swizzles: AtomicU64,
+    /// Objects allocated.
+    pub allocs: AtomicU64,
+    /// Logical bytes allocated (payload only, before per-object overhead).
+    pub bytes_allocated: AtomicU64,
+    /// Object reads served.
+    pub reads: AtomicU64,
+    /// Object updates performed.
+    pub updates: AtomicU64,
+    /// Transactions committed.
+    pub commits: AtomicU64,
+    /// Transactions aborted.
+    pub aborts: AtomicU64,
+    /// Bytes appended to the write-ahead log.
+    pub wal_bytes: AtomicU64,
+    /// Checkpoints taken.
+    pub checkpoints: AtomicU64,
+}
+
+impl StorageStats {
+    /// Add `n` to a counter.
+    #[inline]
+    pub fn bump(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Take a point-in-time copy of all counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            faults: self.faults.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            page_reads: self.page_reads.load(Ordering::Relaxed),
+            page_writes: self.page_writes.load(Ordering::Relaxed),
+            swizzles: self.swizzles.load(Ordering::Relaxed),
+            allocs: self.allocs.load(Ordering::Relaxed),
+            bytes_allocated: self.bytes_allocated.load(Ordering::Relaxed),
+            reads: self.reads.load(Ordering::Relaxed),
+            updates: self.updates.load(Ordering::Relaxed),
+            commits: self.commits.load(Ordering::Relaxed),
+            aborts: self.aborts.load(Ordering::Relaxed),
+            wal_bytes: self.wal_bytes.load(Ordering::Relaxed),
+            checkpoints: self.checkpoints.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`StorageStats`], supporting interval deltas.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// See [`StorageStats::faults`].
+    pub faults: u64,
+    /// See [`StorageStats::hits`].
+    pub hits: u64,
+    /// See [`StorageStats::page_reads`].
+    pub page_reads: u64,
+    /// See [`StorageStats::page_writes`].
+    pub page_writes: u64,
+    /// See [`StorageStats::swizzles`].
+    pub swizzles: u64,
+    /// See [`StorageStats::allocs`].
+    pub allocs: u64,
+    /// See [`StorageStats::bytes_allocated`].
+    pub bytes_allocated: u64,
+    /// See [`StorageStats::reads`].
+    pub reads: u64,
+    /// See [`StorageStats::updates`].
+    pub updates: u64,
+    /// See [`StorageStats::commits`].
+    pub commits: u64,
+    /// See [`StorageStats::aborts`].
+    pub aborts: u64,
+    /// See [`StorageStats::wal_bytes`].
+    pub wal_bytes: u64,
+    /// See [`StorageStats::checkpoints`].
+    pub checkpoints: u64,
+}
+
+impl StatsSnapshot {
+    /// Counter-wise difference `self - earlier` (saturating).
+    pub fn delta(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            faults: self.faults.saturating_sub(earlier.faults),
+            hits: self.hits.saturating_sub(earlier.hits),
+            page_reads: self.page_reads.saturating_sub(earlier.page_reads),
+            page_writes: self.page_writes.saturating_sub(earlier.page_writes),
+            swizzles: self.swizzles.saturating_sub(earlier.swizzles),
+            allocs: self.allocs.saturating_sub(earlier.allocs),
+            bytes_allocated: self.bytes_allocated.saturating_sub(earlier.bytes_allocated),
+            reads: self.reads.saturating_sub(earlier.reads),
+            updates: self.updates.saturating_sub(earlier.updates),
+            commits: self.commits.saturating_sub(earlier.commits),
+            aborts: self.aborts.saturating_sub(earlier.aborts),
+            wal_bytes: self.wal_bytes.saturating_sub(earlier.wal_bytes),
+            checkpoints: self.checkpoints.saturating_sub(earlier.checkpoints),
+        }
+    }
+
+    /// Hit ratio of the buffer pool over the interval, in `[0, 1]`.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.faults;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_and_delta() {
+        let s = StorageStats::default();
+        StorageStats::bump(&s.faults, 5);
+        StorageStats::bump(&s.hits, 15);
+        let a = s.snapshot();
+        StorageStats::bump(&s.faults, 2);
+        let b = s.snapshot();
+        let d = b.delta(&a);
+        assert_eq!(d.faults, 2);
+        assert_eq!(d.hits, 0);
+        assert_eq!(b.faults, 7);
+    }
+
+    #[test]
+    fn hit_ratio_edges() {
+        let empty = StatsSnapshot::default();
+        assert_eq!(empty.hit_ratio(), 1.0);
+        let s = StatsSnapshot { hits: 3, faults: 1, ..Default::default() };
+        assert!((s.hit_ratio() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delta_saturates() {
+        let a = StatsSnapshot { faults: 10, ..Default::default() };
+        let b = StatsSnapshot { faults: 4, ..Default::default() };
+        assert_eq!(b.delta(&a).faults, 0);
+    }
+}

@@ -1,0 +1,87 @@
+//! The [`StorageManager`] trait: the narrow interface between LabBase and
+//! the storage managers — the Rust analogue of the "persistent C++"
+//! boundary in the paper, which made it possible to run virtually the
+//! same LabBase implementation over ObjectStore and Texas.
+
+use crate::error::Result;
+use crate::ids::{ClusterHint, Oid, SegmentId, TxnId};
+use crate::stats::StatsSnapshot;
+
+/// Per-segment size information for reporting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentInfo {
+    /// Segment id.
+    pub seg: SegmentId,
+    /// Pages owned by the segment.
+    pub pages: usize,
+    /// Bytes owned by the segment (pages × page size).
+    pub bytes: u64,
+}
+
+/// The uniform storage-manager interface.
+///
+/// All object data is opaque bytes; LabBase performs its own encoding.
+/// Reads outside transactions see committed state; mutation requires an
+/// open transaction.
+pub trait StorageManager: Send + Sync {
+    /// Human-readable server-version name as used in the paper's tables
+    /// ("OStore", "Texas", "Texas+TC", "OStore-mm", "Texas-mm").
+    fn name(&self) -> &'static str;
+
+    /// Begin a transaction. Single-user backends refuse a second
+    /// concurrent transaction with
+    /// [`StorageError::SingleUser`](crate::StorageError::SingleUser).
+    fn begin(&self) -> Result<TxnId>;
+
+    /// Commit a transaction, releasing its locks.
+    fn commit(&self, txn: TxnId) -> Result<()>;
+
+    /// Abort a transaction, rolling back its effects. Backends without an
+    /// undo capability (Texas) return `Unsupported`.
+    fn abort(&self, txn: TxnId) -> Result<()>;
+
+    /// Allocate a new object in `seg` with clustering hint `hint`.
+    fn allocate(&self, txn: TxnId, seg: SegmentId, hint: ClusterHint, data: &[u8])
+        -> Result<Oid>;
+
+    /// Read an object (committed state; no lock held afterwards).
+    fn read(&self, oid: Oid) -> Result<Vec<u8>>;
+
+    /// Read an object under a shared lock held by `txn` until commit.
+    fn read_in(&self, txn: TxnId, oid: Oid) -> Result<Vec<u8>>;
+
+    /// Overwrite an object.
+    fn update(&self, txn: TxnId, oid: Oid, data: &[u8]) -> Result<()>;
+
+    /// Delete an object.
+    fn free(&self, txn: TxnId, oid: Oid) -> Result<()>;
+
+    /// Whether the object exists (committed state).
+    fn exists(&self, oid: Oid) -> bool;
+
+    /// Flush all state to stable storage and truncate the log.
+    fn checkpoint(&self) -> Result<()>;
+
+    /// Point-in-time counters.
+    fn stats(&self) -> StatsSnapshot;
+
+    /// On-disk footprint in bytes; `None` for main-memory backends
+    /// (rendered as "—" in the paper's tables).
+    fn db_size_bytes(&self) -> Result<Option<u64>>;
+
+    /// Number of live objects.
+    fn object_count(&self) -> usize;
+
+    /// Per-segment sizes (empty for backends without segments).
+    fn segments(&self) -> Vec<SegmentInfo>;
+
+    /// Whether data survives a restart.
+    fn is_persistent(&self) -> bool;
+
+    /// Whether concurrent transactions are supported.
+    fn supports_concurrency(&self) -> bool;
+
+    /// Flush and empty the cache so the next accesses are cold. No-op for
+    /// main-memory backends. Used by the clustering ablation.
+    fn drop_caches(&self) -> Result<()>;
+}

@@ -1,0 +1,114 @@
+//! Property tests for the slotted-page layout: random op sequences
+//! against a model, with compaction correctness and space accounting.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use labflow_storage::page_testing as page;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert { size: usize, fill: u8 },
+    Update { pick: usize, size: usize, fill: u8 },
+    Remove { pick: usize },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0usize..900, any::<u8>()).prop_map(|(size, fill)| Op::Insert { size, fill }),
+        2 => (any::<usize>(), 0usize..900, any::<u8>())
+            .prop_map(|(pick, size, fill)| Op::Update { pick, size, fill }),
+        2 => any::<usize>().prop_map(|pick| Op::Remove { pick }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Whatever sequence of inserts/updates/removes runs, every live
+    /// record reads back exactly, and rejected operations change nothing.
+    #[test]
+    fn page_matches_model(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let mut buf = vec![0u8; labflow_storage::PAGE_SIZE];
+        page::init(&mut buf);
+        let mut model: HashMap<u16, Vec<u8>> = HashMap::new();
+        let mut live: Vec<u16> = Vec::new();
+
+        for op in &ops {
+            match op {
+                Op::Insert { size, fill } => {
+                    let data = vec![*fill; *size];
+                    if let Some(slot) = page::insert(&mut buf, &data) {
+                        model.insert(slot.0, data);
+                        if !live.contains(&slot.0) {
+                            live.push(slot.0);
+                        }
+                    }
+                }
+                Op::Update { pick, size, fill } => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let slot = live[pick % live.len()];
+                    let data = vec![*fill; *size];
+                    if page::update(&mut buf, page::slot(slot), &data) {
+                        model.insert(slot, data);
+                    }
+                    // On failure the old value must be intact — checked in
+                    // the sweep below.
+                }
+                Op::Remove { pick } => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let idx = pick % live.len();
+                    let slot = live.swap_remove(idx);
+                    prop_assert!(page::remove(&mut buf, page::slot(slot)));
+                    model.remove(&slot);
+                }
+            }
+            // Full sweep after every op: all live records intact.
+            for (&slot, data) in &model {
+                let got = page::read(&buf, page::slot(slot));
+                prop_assert_eq!(got, Some(&data[..]), "slot {} corrupted", slot);
+            }
+            // Space accounting: live bytes equals the model's total.
+            let want: usize = model.values().map(|v| v.len()).sum();
+            prop_assert_eq!(page::live_bytes(&buf), want);
+        }
+
+        // Compaction preserves everything and eliminates dead bytes.
+        page::compact(&mut buf);
+        prop_assert_eq!(page::dead_bytes(&buf), 0);
+        for (&slot, data) in &model {
+            prop_assert_eq!(page::read(&buf, page::slot(slot)), Some(&data[..]));
+        }
+    }
+
+    /// A page never accepts more payload than physically fits, and after
+    /// filling up, removing everything restores (almost) full capacity.
+    #[test]
+    fn fill_drain_refill(size in 1usize..400) {
+        let mut buf = vec![0u8; labflow_storage::PAGE_SIZE];
+        page::init(&mut buf);
+        let mut slots = Vec::new();
+        while let Some(s) = page::insert(&mut buf, &vec![7u8; size]) {
+            slots.push(s);
+            prop_assert!(slots.len() < 5000, "page accepted unbounded records");
+        }
+        let first_fill = slots.len();
+        prop_assert!(first_fill * size <= labflow_storage::PAGE_SIZE);
+        for s in slots.drain(..) {
+            prop_assert!(page::remove(&mut buf, s));
+        }
+        prop_assert_eq!(page::live_bytes(&buf), 0);
+        // Refill: slot directory is already paid for, so capacity is
+        // at least as good as the first fill.
+        let mut refill = 0usize;
+        while page::insert(&mut buf, &vec![8u8; size]).is_some() {
+            refill += 1;
+        }
+        prop_assert!(refill >= first_fill, "refill {refill} < first fill {first_fill}");
+    }
+}

@@ -1,0 +1,211 @@
+//! Trait-level behaviour shared by all five backends: the contract
+//! LabBase programs against, exercised uniformly.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use labflow_storage::{
+    ClusterHint, MemStore, OStore, Options, SegmentId, StorageError, StorageManager, Texas,
+    TexasTc,
+};
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "lfs-trait-{}-{}-{}",
+        std::process::id(),
+        tag,
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn all_backends(tag: &str) -> Vec<Arc<dyn StorageManager>> {
+    let base = scratch(tag);
+    let opts = Options { buffer_pages: 32, ..Options::default() };
+    vec![
+        Arc::new(OStore::create(&base.join("o"), opts.clone()).unwrap()),
+        Arc::new(TexasTc::create(&base.join("tc"), opts.clone()).unwrap()),
+        Arc::new(Texas::create(&base.join("t"), opts).unwrap()),
+        Arc::new(MemStore::ostore_mm()),
+        Arc::new(MemStore::texas_mm()),
+    ]
+}
+
+#[test]
+fn empty_and_huge_payloads_round_trip_everywhere() {
+    for store in all_backends("payloads") {
+        let t = store.begin().unwrap();
+        let empty = store.allocate(t, SegmentId(0), ClusterHint::NONE, &[]).unwrap();
+        let huge_data: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
+        let huge = store.allocate(t, SegmentId(0), ClusterHint::NONE, &huge_data).unwrap();
+        store.commit(t).unwrap();
+        assert_eq!(store.read(empty).unwrap(), Vec::<u8>::new(), "{}", store.name());
+        assert_eq!(store.read(huge).unwrap(), huge_data, "{}", store.name());
+    }
+}
+
+#[test]
+fn read_in_holds_a_shared_lock_until_commit() {
+    let base = scratch("readin");
+    let store = OStore::create(&base, Options {
+        lock_timeout: Duration::from_millis(60),
+        ..Options::default()
+    })
+    .unwrap();
+    let t = store.begin().unwrap();
+    let oid = store.allocate(t, SegmentId(0), ClusterHint::NONE, b"locked").unwrap();
+    store.commit(t).unwrap();
+
+    let reader = store.begin().unwrap();
+    assert_eq!(store.read_in(reader, oid).unwrap(), b"locked");
+    // A writer cannot update while the reader's S-lock is held.
+    let writer = store.begin().unwrap();
+    let err = store.update(writer, oid, b"nope").unwrap_err();
+    assert!(matches!(err, StorageError::LockTimeout(_)));
+    store.commit(reader).unwrap();
+    // Now it can.
+    store.update(writer, oid, b"yes").unwrap();
+    store.commit(writer).unwrap();
+    assert_eq!(store.read(oid).unwrap(), b"yes");
+}
+
+#[test]
+fn drop_caches_never_changes_contents() {
+    for store in all_backends("dropcache") {
+        let t = store.begin().unwrap();
+        let oids: Vec<_> = (0..300u32)
+            .map(|i| {
+                store
+                    .allocate(
+                        t,
+                        SegmentId((i % 4) as u8),
+                        ClusterHint::NONE,
+                        &i.to_le_bytes(),
+                    )
+                    .unwrap()
+            })
+            .collect();
+        store.commit(t).unwrap();
+        store.drop_caches().unwrap();
+        for (i, &oid) in oids.iter().enumerate() {
+            assert_eq!(
+                store.read(oid).unwrap(),
+                (i as u32).to_le_bytes(),
+                "{} after drop_caches",
+                store.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn stats_deltas_are_consistent_everywhere() {
+    for store in all_backends("stats") {
+        let before = store.stats();
+        let t = store.begin().unwrap();
+        for i in 0..50u32 {
+            let oid = store.allocate(t, SegmentId(0), ClusterHint::NONE, &i.to_le_bytes()).unwrap();
+            store.read(oid).unwrap();
+        }
+        store.commit(t).unwrap();
+        let d = store.stats().delta(&before);
+        assert_eq!(d.allocs, 50, "{}", store.name());
+        assert_eq!(d.reads, 50, "{}", store.name());
+        assert_eq!(d.commits, 1, "{}", store.name());
+        assert_eq!(d.bytes_allocated, 200, "{}", store.name());
+    }
+}
+
+#[test]
+fn segments_report_matches_placement_policy() {
+    for store in all_backends("segrep") {
+        let t = store.begin().unwrap();
+        for i in 0..40u32 {
+            store
+                .allocate(t, SegmentId((i % 4) as u8), ClusterHint::NONE, &[1u8; 200])
+                .unwrap();
+        }
+        store.commit(t).unwrap();
+        let segs = store.segments();
+        match store.name() {
+            "OStore" => {
+                assert_eq!(segs.len(), 4);
+                assert!(segs.iter().all(|s| s.pages >= 1), "every segment got pages");
+            }
+            "Texas" | "Texas+TC" => {
+                // One physical segment regardless of what the client asked.
+                assert_eq!(segs.len(), 1);
+                assert!(segs[0].pages >= 1);
+            }
+            _ => assert!(segs.is_empty(), "-mm versions have no segments"),
+        }
+    }
+}
+
+#[test]
+fn interleaved_transactions_on_concurrent_backends() {
+    for store in all_backends("interleave") {
+        if !store.supports_concurrency() {
+            continue;
+        }
+        // Two open transactions mutate disjoint objects, commit in
+        // reverse order; both survive.
+        let t1 = store.begin().unwrap();
+        let a = store.allocate(t1, SegmentId(0), ClusterHint::NONE, b"from-t1").unwrap();
+        let t2 = store.begin().unwrap();
+        let b = store.allocate(t2, SegmentId(0), ClusterHint::NONE, b"from-t2").unwrap();
+        store.commit(t2).unwrap();
+        store.commit(t1).unwrap();
+        assert_eq!(store.read(a).unwrap(), b"from-t1", "{}", store.name());
+        assert_eq!(store.read(b).unwrap(), b"from-t2", "{}", store.name());
+    }
+}
+
+#[test]
+fn update_grow_shrink_cycles_survive_checkpoints() {
+    for store in all_backends("growshrink") {
+        let t = store.begin().unwrap();
+        let oid = store.allocate(t, SegmentId(0), ClusterHint::NONE, &[0u8; 8]).unwrap();
+        store.commit(t).unwrap();
+        for round in 1..=6u32 {
+            let size = if round % 2 == 0 { 16 } else { 3000 * round as usize };
+            let data = vec![round as u8; size];
+            let t = store.begin().unwrap();
+            store.update(t, oid, &data).unwrap();
+            store.commit(t).unwrap();
+            if round % 2 == 0 {
+                store.checkpoint().unwrap();
+            }
+            assert_eq!(store.read(oid).unwrap(), data, "{} round {round}", store.name());
+        }
+    }
+}
+
+#[test]
+fn unknown_object_errors_are_uniform() {
+    for store in all_backends("unknown") {
+        let ghost = labflow_storage::Oid::from_raw(123_456);
+        assert!(matches!(
+            store.read(ghost),
+            Err(StorageError::UnknownObject(_))
+        ));
+        assert!(!store.exists(ghost));
+        let t = store.begin().unwrap();
+        assert!(matches!(
+            store.update(t, ghost, b"x"),
+            Err(StorageError::UnknownObject(_))
+        ));
+        let r = store.free(t, ghost);
+        assert!(
+            matches!(r, Err(StorageError::UnknownObject(_))),
+            "{}: free(ghost) returned {r:?}",
+            store.name()
+        );
+        store.commit(t).unwrap();
+    }
+}

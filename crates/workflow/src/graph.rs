@@ -1,0 +1,474 @@
+//! Workflow graphs (paper Section 2.2 and Appendix B).
+//!
+//! "Workflow graphs are based on the idea that each material has a
+//! workflow state, and as the material is processed, it moves from one
+//! state to another." A graph declares, per material class, the states a
+//! material can occupy and the steps that move materials between states.
+//! Step outcomes are weighted: real lab steps fail, get retried, or
+//! branch — which is what makes the benchmark's event stream realistic.
+
+use std::collections::{HashMap, HashSet};
+
+use labbase::schema::AttrDef;
+use labbase::{AttrType, LabBase, Result as LabResult};
+use labflow_storage::TxnId;
+
+/// One weighted outcome of a step.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Outcome {
+    /// Outcome label, e.g. `"ok"` or `"fail"`.
+    pub label: String,
+    /// Relative weight (probability mass) of this outcome.
+    pub weight: f64,
+    /// State the processed material moves to.
+    pub to: String,
+}
+
+/// Materials a step creates as a side effect (e.g. transposon insertion
+/// creating tclones from a clone).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Spawn {
+    /// Class of the created materials.
+    pub class: String,
+    /// Their initial workflow state.
+    pub initial: String,
+    /// Minimum created per execution.
+    pub min: usize,
+    /// Maximum created per execution.
+    pub max: usize,
+}
+
+/// A secondary transition a step applies to co-involved materials of
+/// another class (e.g. `assemble_sequence` processes a clone but also
+/// moves its `waiting_for_incorporation` tclones to `incorporated`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct CoTransition {
+    /// Class of the co-involved materials.
+    pub class: String,
+    /// State they are drawn from.
+    pub from: String,
+    /// State they move to.
+    pub to: String,
+}
+
+/// A step kind: which materials it processes, what it records, and where
+/// the materials go next.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StepDef {
+    /// Step-class name (becomes a LabBase step class).
+    pub name: String,
+    /// Material class the step processes.
+    pub class: String,
+    /// State it picks materials from.
+    pub from: String,
+    /// Weighted outcomes.
+    pub outcomes: Vec<Outcome>,
+    /// Result attribute schema (version 1 of the step class).
+    pub attrs: Vec<AttrDef>,
+    /// Typical lab batch size (materials per execution).
+    pub batch: usize,
+    /// Materials created as a side effect.
+    pub spawns: Option<Spawn>,
+    /// Secondary transitions applied to co-involved materials.
+    pub co_transitions: Vec<CoTransition>,
+}
+
+/// A workflow state of a material class.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StateDef {
+    /// State name (atoms like `waiting_for_sequencing`).
+    pub name: String,
+    /// Material class the state belongs to.
+    pub class: String,
+    /// Whether materials enter the workflow in this state.
+    pub initial: bool,
+    /// Whether materials in this state are finished.
+    pub terminal: bool,
+}
+
+/// A complete workflow graph.
+#[derive(Clone, Debug, Default)]
+pub struct WorkflowGraph {
+    /// Graph name.
+    pub name: String,
+    /// Material classes `(name, parent)`, topologically ordered.
+    pub classes: Vec<(String, Option<String>)>,
+    /// States.
+    pub states: Vec<StateDef>,
+    /// Step kinds.
+    pub steps: Vec<StepDef>,
+}
+
+impl WorkflowGraph {
+    /// Look up a state.
+    pub fn state(&self, name: &str) -> Option<&StateDef> {
+        self.states.iter().find(|s| s.name == name)
+    }
+
+    /// Look up a step kind.
+    pub fn step(&self, name: &str) -> Option<&StepDef> {
+        self.steps.iter().find(|s| s.name == name)
+    }
+
+    /// Step kinds that pick from `state`.
+    pub fn steps_from(&self, state: &str) -> Vec<&StepDef> {
+        self.steps.iter().filter(|s| s.from == state).collect()
+    }
+
+    /// Validate the graph; returns the list of problems (empty = valid).
+    ///
+    /// Checks: unique names; steps reference states of their own class;
+    /// outcome weights positive; initial states exist per class; every
+    /// state is reachable from an initial or spawn state; non-terminal
+    /// states have an outgoing step; terminal states have none.
+    pub fn validate(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        let mut seen_classes = HashSet::new();
+        for (c, parent) in &self.classes {
+            if !seen_classes.insert(c.as_str()) {
+                problems.push(format!("duplicate class '{c}'"));
+            }
+            if let Some(p) = parent {
+                if !self.classes.iter().any(|(n, _)| n == p) {
+                    problems.push(format!("class '{c}' has unknown parent '{p}'"));
+                }
+            }
+        }
+        let mut state_class: HashMap<&str, &str> = HashMap::new();
+        for s in &self.states {
+            if state_class.insert(&s.name, &s.class).is_some() {
+                problems.push(format!("duplicate state '{}'", s.name));
+            }
+            if !seen_classes.contains(s.class.as_str()) {
+                problems.push(format!("state '{}' references unknown class '{}'", s.name, s.class));
+            }
+            if s.initial && s.terminal {
+                problems.push(format!("state '{}' is both initial and terminal", s.name));
+            }
+        }
+        let mut step_names = HashSet::new();
+        for step in &self.steps {
+            if !step_names.insert(step.name.as_str()) {
+                problems.push(format!("duplicate step '{}'", step.name));
+            }
+            if seen_classes.contains(step.name.as_str()) {
+                problems.push(format!("step '{}' collides with a class name", step.name));
+            }
+            match state_class.get(step.from.as_str()) {
+                None => problems.push(format!(
+                    "step '{}' picks from unknown state '{}'",
+                    step.name, step.from
+                )),
+                Some(c) if *c != step.class => problems.push(format!(
+                    "step '{}' processes class '{}' but picks from a '{c}' state",
+                    step.name, step.class
+                )),
+                _ => {}
+            }
+            if step.outcomes.is_empty() {
+                problems.push(format!("step '{}' has no outcomes", step.name));
+            }
+            for o in &step.outcomes {
+                if o.weight <= 0.0 {
+                    problems.push(format!(
+                        "step '{}' outcome '{}' has non-positive weight",
+                        step.name, o.label
+                    ));
+                }
+                match state_class.get(o.to.as_str()) {
+                    None => problems.push(format!(
+                        "step '{}' outcome '{}' targets unknown state '{}'",
+                        step.name, o.label, o.to
+                    )),
+                    Some(c) if *c != step.class => problems.push(format!(
+                        "step '{}' outcome '{}' crosses classes into '{}'",
+                        step.name, o.label, o.to
+                    )),
+                    _ => {}
+                }
+            }
+            if step.batch == 0 {
+                problems.push(format!("step '{}' has batch size 0", step.name));
+            }
+            for ct in &step.co_transitions {
+                for (role, st) in [("from", &ct.from), ("to", &ct.to)] {
+                    match state_class.get(st.as_str()) {
+                        None => problems.push(format!(
+                            "step '{}' co-transition {role} state '{st}' is unknown",
+                            step.name
+                        )),
+                        Some(c) if *c != ct.class => problems.push(format!(
+                            "step '{}' co-transition {role} state '{st}' is not a '{}' state",
+                            step.name, ct.class
+                        )),
+                        _ => {}
+                    }
+                }
+            }
+            if let Some(spawn) = &step.spawns {
+                if !seen_classes.contains(spawn.class.as_str()) {
+                    problems.push(format!(
+                        "step '{}' spawns unknown class '{}'",
+                        step.name, spawn.class
+                    ));
+                }
+                match state_class.get(spawn.initial.as_str()) {
+                    None => problems.push(format!(
+                        "step '{}' spawns into unknown state '{}'",
+                        step.name, spawn.initial
+                    )),
+                    Some(c) if *c != spawn.class => problems.push(format!(
+                        "step '{}' spawns class '{}' into a '{c}' state",
+                        step.name, spawn.class
+                    )),
+                    _ => {}
+                }
+                if spawn.min > spawn.max || spawn.max == 0 {
+                    problems.push(format!("step '{}' has an empty spawn range", step.name));
+                }
+            }
+        }
+
+        // Reachability per class from initial + spawn-target states.
+        let mut reachable: HashSet<&str> = HashSet::new();
+        let mut frontier: Vec<&str> = self
+            .states
+            .iter()
+            .filter(|s| s.initial)
+            .map(|s| s.name.as_str())
+            .collect();
+        for step in &self.steps {
+            if let Some(spawn) = &step.spawns {
+                frontier.push(spawn.initial.as_str());
+            }
+        }
+        while let Some(state) = frontier.pop() {
+            if !reachable.insert(state) {
+                continue;
+            }
+            for step in &self.steps {
+                if step.from == state {
+                    for o in &step.outcomes {
+                        frontier.push(o.to.as_str());
+                    }
+                }
+                for ct in &step.co_transitions {
+                    if ct.from == state {
+                        frontier.push(ct.to.as_str());
+                    }
+                }
+            }
+        }
+        for s in &self.states {
+            if !reachable.contains(s.name.as_str()) {
+                problems.push(format!("state '{}' is unreachable", s.name));
+            }
+            let outgoing = self.steps.iter().any(|st| {
+                st.from == s.name || st.co_transitions.iter().any(|ct| ct.from == s.name)
+            });
+            if s.terminal && outgoing {
+                problems.push(format!("terminal state '{}' has outgoing steps", s.name));
+            }
+            if !s.terminal && !outgoing {
+                problems.push(format!("non-terminal state '{}' is a dead end", s.name));
+            }
+        }
+        for (class, _) in &self.classes {
+            // Abstract classes (no states) need no entry point.
+            if !self.states.iter().any(|s| &s.class == class) {
+                continue;
+            }
+            let has_entry = self.states.iter().any(|s| &s.class == class && s.initial)
+                || self
+                    .steps
+                    .iter()
+                    .any(|st| st.spawns.as_ref().is_some_and(|sp| &sp.class == class));
+            if !has_entry {
+                problems.push(format!("class '{class}' has no entry point"));
+            }
+        }
+        problems
+    }
+
+    /// Register the graph's schema in a LabBase database: material
+    /// classes and step classes (with a `state`-ful attribute set).
+    pub fn register(&self, db: &LabBase, txn: TxnId) -> LabResult<()> {
+        for (class, parent) in &self.classes {
+            db.define_material_class(txn, class, parent.as_deref())?;
+        }
+        for step in &self.steps {
+            let mut attrs = step.attrs.clone();
+            // Every step records its outcome label.
+            attrs.push(AttrDef { name: "outcome".into(), ty: AttrType::Str });
+            db.define_step_class(txn, &step.name, attrs)?;
+        }
+        Ok(())
+    }
+
+    /// Render the graph as fixed-width text — the reproduction of the
+    /// paper's Appendix-B figure.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("workflow graph: {}\n", self.name));
+        for (class, parent) in &self.classes {
+            match parent {
+                Some(p) => out.push_str(&format!("\nmaterial class {class} (is-a {p})\n")),
+                None => out.push_str(&format!("\nmaterial class {class}\n")),
+            }
+            for s in self.states.iter().filter(|s| &s.class == class) {
+                let mut flags = Vec::new();
+                if s.initial {
+                    flags.push("initial");
+                }
+                if s.terminal {
+                    flags.push("terminal");
+                }
+                let flags =
+                    if flags.is_empty() { String::new() } else { format!(" [{}]", flags.join(",")) };
+                out.push_str(&format!("  state {}{}\n", s.name, flags));
+                for step in self.steps_from(&s.name) {
+                    let arms: Vec<String> = step
+                        .outcomes
+                        .iter()
+                        .map(|o| format!("{} {:.0}% -> {}", o.label, o.weight * 100.0, o.to))
+                        .collect();
+                    out.push_str(&format!(
+                        "    --{}(batch {})--> {}\n",
+                        step.name,
+                        step.batch,
+                        arms.join(" | ")
+                    ));
+                    if let Some(spawn) = &step.spawns {
+                        out.push_str(&format!(
+                            "      spawns {}..{} {} into {}\n",
+                            spawn.min, spawn.max, spawn.class, spawn.initial
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use labbase::schema::attrs;
+
+    fn tiny() -> WorkflowGraph {
+        WorkflowGraph {
+            name: "tiny".into(),
+            classes: vec![("widget".into(), None)],
+            states: vec![
+                StateDef { name: "raw".into(), class: "widget".into(), initial: true, terminal: false },
+                StateDef {
+                    name: "done".into(),
+                    class: "widget".into(),
+                    initial: false,
+                    terminal: true,
+                },
+            ],
+            steps: vec![StepDef {
+                name: "polish".into(),
+                class: "widget".into(),
+                from: "raw".into(),
+                outcomes: vec![
+                    Outcome { label: "ok".into(), weight: 0.9, to: "done".into() },
+                    Outcome { label: "redo".into(), weight: 0.1, to: "raw".into() },
+                ],
+                attrs: attrs(&[("gloss", AttrType::Real)]),
+                batch: 4,
+                spawns: None,
+                co_transitions: vec![],
+            }],
+        }
+    }
+
+    #[test]
+    fn tiny_graph_is_valid() {
+        assert_eq!(tiny().validate(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn lookups() {
+        let g = tiny();
+        assert!(g.state("raw").unwrap().initial);
+        assert_eq!(g.step("polish").unwrap().batch, 4);
+        assert_eq!(g.steps_from("raw").len(), 1);
+        assert!(g.steps_from("done").is_empty());
+    }
+
+    #[test]
+    fn validation_catches_unknown_state() {
+        let mut g = tiny();
+        g.steps[0].from = "nowhere".into();
+        let problems = g.validate();
+        assert!(problems.iter().any(|p| p.contains("unknown state")));
+    }
+
+    #[test]
+    fn validation_catches_dead_end_and_unreachable() {
+        let mut g = tiny();
+        g.states.push(StateDef {
+            name: "limbo".into(),
+            class: "widget".into(),
+            initial: false,
+            terminal: false,
+        });
+        let problems = g.validate();
+        assert!(problems.iter().any(|p| p.contains("unreachable")));
+        assert!(problems.iter().any(|p| p.contains("dead end")));
+    }
+
+    #[test]
+    fn validation_catches_terminal_with_outgoing() {
+        let mut g = tiny();
+        g.steps.push(StepDef {
+            name: "unpolish".into(),
+            class: "widget".into(),
+            from: "done".into(),
+            outcomes: vec![Outcome { label: "ok".into(), weight: 1.0, to: "raw".into() }],
+            attrs: vec![],
+            batch: 1,
+            spawns: None,
+            co_transitions: vec![],
+        });
+        let problems = g.validate();
+        assert!(problems.iter().any(|p| p.contains("terminal state")));
+    }
+
+    #[test]
+    fn validation_catches_bad_weights_and_empty_outcomes() {
+        let mut g = tiny();
+        g.steps[0].outcomes[0].weight = 0.0;
+        assert!(g.validate().iter().any(|p| p.contains("non-positive weight")));
+        let mut g = tiny();
+        g.steps[0].outcomes.clear();
+        assert!(g.validate().iter().any(|p| p.contains("no outcomes")));
+    }
+
+    #[test]
+    fn validation_catches_cross_class_transition() {
+        let mut g = tiny();
+        g.classes.push(("gadget".into(), None));
+        g.states.push(StateDef {
+            name: "g_init".into(),
+            class: "gadget".into(),
+            initial: true,
+            terminal: false,
+        });
+        g.steps[0].outcomes[0].to = "g_init".into();
+        let problems = g.validate();
+        assert!(problems.iter().any(|p| p.contains("crosses classes")));
+    }
+
+    #[test]
+    fn render_mentions_everything() {
+        let text = tiny().render();
+        assert!(text.contains("material class widget"));
+        assert!(text.contains("state raw [initial]"));
+        assert!(text.contains("polish"));
+        assert!(text.contains("redo 10% -> raw"));
+    }
+}

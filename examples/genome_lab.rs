@@ -1,0 +1,103 @@
+//! The full genome-laboratory scenario: run the Appendix-B workflow
+//! simulation end-to-end on a chosen backend, then print the lab's
+//! weekly report — the workload the paper's introduction motivates.
+//!
+//! ```sh
+//! cargo run --example genome_lab -- [ostore|texas|texas+tc|ostore-mm|texas-mm] [clones]
+//! ```
+
+use labbase::LabBase;
+use labflow_core::{BenchConfig, LabSim, ServerVersion};
+use labflow_workflow::genome;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let version = args
+        .first()
+        .map(|s| ServerVersion::parse(s).ok_or(format!("unknown version '{s}'")))
+        .transpose()?
+        .unwrap_or(ServerVersion::OStore);
+    let clones: u64 = args.get(1).map(|s| s.parse()).transpose()?.unwrap_or(40);
+
+    println!("LabFlow-1 genome lab on {} — {clones} clones\n", version.name());
+
+    let dir = std::env::temp_dir().join(format!("labflow-genomelab-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir)?;
+    let cfg = BenchConfig { base_clones: clones as usize, ..BenchConfig::default() };
+    let store = version.make_store(&dir, cfg.buffer_pages)?;
+    let db = LabBase::create(store.clone())?;
+
+    let mut sim = LabSim::new(cfg);
+    sim.setup(&db)?;
+
+    // Show the workflow we are about to run (the Appendix-B figure).
+    println!("{}", sim.graph().render());
+
+    // Run the lab until every clone is finished.
+    let t0 = std::time::Instant::now();
+    sim.run_until_clones(&db, clones)?;
+    let unfinished = sim.drain(&db, 100_000)?;
+    let elapsed = t0.elapsed();
+    db.checkpoint()?;
+
+    let c = sim.counters();
+    println!("---- production summary ----");
+    println!("simulated lab days : {}", c.ticks);
+    println!("workflow steps     : {}", c.steps);
+    println!("tracking queries   : {}", c.queries);
+    println!("materials          : {} ({} clones injected)", c.materials, c.clones_injected);
+    println!("schema evolutions  : {}", c.evolutions);
+    println!("unfinished clones  : {unfinished}");
+    println!("wall time          : {:.2}s ({:.0} steps/s)", elapsed.as_secs_f64(),
+        c.steps as f64 / elapsed.as_secs_f64());
+
+    // The lab's weekly report.
+    println!("\n---- state census ----");
+    for (state, n) in db.state_census()? {
+        println!("{state:<28} {n}");
+    }
+
+    println!("\n---- finished clones (latest 5) ----");
+    let finished = db.in_state(genome::FINISHED, 5)?;
+    for m in finished {
+        let info = db.material(m)?;
+        let seq = db.recent(m, "sequence")?.expect("assembled sequence");
+        let top = db.recent(m, "top_score")?.expect("blast score");
+        let reads = db.history_len(m)?;
+        println!(
+            "{:<16} {:>5} events, top BLAST score {}, sequence {}",
+            info.name, reads, top.value, seq.value
+        );
+    }
+
+    // Run LabBase's fsck before trusting any numbers.
+    let integrity = db.check_integrity()?;
+    println!(
+        "\n---- integrity ----\n{} materials, {} steps, {} history nodes checked: {}",
+        integrity.materials,
+        integrity.steps,
+        integrity.history_nodes,
+        if integrity.is_healthy() { "HEALTHY" } else { "PROBLEMS FOUND" }
+    );
+    for p in integrity.problems.iter().take(5) {
+        println!("  problem: {p}");
+    }
+
+    println!("\n---- storage behaviour ----");
+    let stats = db.stats();
+    println!("object allocations : {}", stats.allocs);
+    println!("object reads       : {}", stats.reads);
+    println!("buffer faults      : {}", stats.faults);
+    println!(
+        "hit ratio          : {:.1}%",
+        100.0 * stats.hits as f64 / (stats.hits + stats.faults).max(1) as f64
+    );
+    match store.db_size_bytes()? {
+        Some(size) => println!("database size      : {} bytes", size),
+        None => println!("database size      : — (main-memory version)"),
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+    Ok(())
+}

@@ -1,0 +1,91 @@
+//! An interactive LQL shell over a freshly simulated lab database —
+//! the deductive query language of paper Sections 6 and 8.
+//!
+//! ```sh
+//! cargo run --example lql_repl            # interactive
+//! echo 'state(M, finished).' | cargo run --example lql_repl
+//! ```
+//!
+//! Try:
+//! ```text
+//! state(M, waiting_for_sequencing).
+//! material_name(M, N), recent(M, quality, Q), Q >= 0.9.
+//! count_in_state(clone, finished, N).
+//! material_name(M, N), sequences_of(M, Set).
+//! ```
+
+use std::io::{BufRead, Write};
+
+use labbase::LabBase;
+use labflow_core::{BenchConfig, LabSim, ServerVersion};
+use lql::{stdlib::labflow_program, Session};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Build a small lab database to query.
+    eprintln!("building a small lab database (20 clones)…");
+    let cfg = BenchConfig { base_clones: 20, ..BenchConfig::smoke() };
+    let store =
+        ServerVersion::OStoreMm.make_store(&std::env::temp_dir().join("unused"), 64)?;
+    let db = LabBase::create(store)?;
+    let mut sim = LabSim::new(cfg);
+    sim.setup(&db)?;
+    sim.run_until_clones(&db, 20)?;
+    sim.drain(&db, 100_000)?;
+    let c = sim.counters();
+    eprintln!(
+        "ready: {} materials, {} events. Queries end with '.'; 'halt.' quits.\n",
+        c.materials, c.steps
+    );
+
+    let program = labflow_program();
+    let session = Session::new(&db, &program);
+
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout();
+    let mut buffer = String::new();
+    loop {
+        if buffer.is_empty() {
+            write!(out, "?- ")?;
+        } else {
+            write!(out, "   ")?;
+        }
+        out.flush()?;
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line)? == 0 {
+            break; // EOF
+        }
+        buffer.push_str(&line);
+        let trimmed = buffer.trim();
+        if trimmed.is_empty() {
+            buffer.clear();
+            continue;
+        }
+        if !trimmed.ends_with('.') {
+            continue; // keep reading a multi-line query
+        }
+        let query = trimmed.to_string();
+        buffer.clear();
+        if query == "halt." || query == "quit." {
+            break;
+        }
+        match session.query_limit(&query, 25) {
+            Ok(rows) if rows.is_empty() => println!("false."),
+            Ok(rows) => {
+                for (i, row) in rows.iter().enumerate() {
+                    if row.is_empty() {
+                        println!("true.");
+                        continue;
+                    }
+                    let bindings: Vec<String> =
+                        row.iter().map(|(v, t)| format!("{v} = {t}")).collect();
+                    println!("{}{}", bindings.join(", "), if i + 1 < rows.len() { " ;" } else { "." });
+                }
+                if rows.len() == 25 {
+                    println!("… (answer limit reached)");
+                }
+            }
+            Err(e) => println!("error: {e}"),
+        }
+    }
+    Ok(())
+}

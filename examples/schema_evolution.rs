@@ -1,0 +1,118 @@
+//! Schema evolution the LabFlow-1 way: redefine a step class while the
+//! event stream keeps flowing, and show that old step instances keep the
+//! attribute set of the version that created them — no migration, no
+//! reorganization (paper Sections 3 and 5.1).
+//!
+//! ```sh
+//! cargo run --example schema_evolution
+//! ```
+
+use std::sync::Arc;
+
+use labbase::{schema::attrs, AttrType, LabBase, Value};
+use labflow_storage::{MemStore, StorageManager};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let store: Arc<dyn StorageManager> = Arc::new(MemStore::ostore_mm());
+    let db = LabBase::create(store)?;
+
+    let txn = db.begin()?;
+    db.define_material_class(txn, "tclone", None)?;
+
+    // Version 1 of the sequencing protocol: manual gels.
+    db.define_step_class(
+        txn,
+        "determine_sequence",
+        attrs(&[("sequence", AttrType::Dna), ("gel_lane", AttrType::Int)]),
+    )?;
+    let m = db.create_material(txn, "tclone", "tclone-1", 0)?;
+    let s1 = db.record_step(
+        txn,
+        "determine_sequence",
+        10,
+        &[m],
+        vec![
+            ("sequence".into(), Value::dna("ACGTAC")?),
+            ("gel_lane".into(), Value::Int(7)),
+        ],
+    )?;
+
+    // The lab buys sequencing machines: lanes are gone, machines and
+    // quality scores arrive. Redefine the class — one catalog update.
+    let v2 = db.redefine_step_class(
+        txn,
+        "determine_sequence",
+        attrs(&[
+            ("sequence", AttrType::Dna),
+            ("machine", AttrType::Str),
+            ("quality", AttrType::Real),
+        ]),
+    )?;
+    println!("redefined determine_sequence -> version {v2}");
+
+    // New events use the new attribute set...
+    let s2 = db.record_step(
+        txn,
+        "determine_sequence",
+        20,
+        &[m],
+        vec![
+            ("sequence".into(), Value::dna("ACGTACGGTT")?),
+            ("machine".into(), "ABI-377".into()),
+            ("quality".into(), Value::Real(0.93)),
+        ],
+    )?;
+
+    // ...and the old attribute set is now rejected:
+    let err = db
+        .record_step(
+            txn,
+            "determine_sequence",
+            30,
+            &[m],
+            vec![("gel_lane".into(), Value::Int(3))],
+        )
+        .unwrap_err();
+    println!("recording with the old schema now fails: {err}");
+    db.commit(txn)?;
+
+    // But the old instance is untouched: it decodes under ITS version.
+    for (label, step) in [("old", s1), ("new", s2)] {
+        let info = db.step(step)?;
+        let schema: Vec<String> =
+            db.step_schema(step)?.into_iter().map(|a| format!("{}:{}", a.name, a.ty)).collect();
+        println!(
+            "\n{label} instance {step}: class {} v{}\n  schema : {}\n  attrs  : {:?}",
+            info.class,
+            info.version,
+            schema.join(", "),
+            info.attrs
+        );
+    }
+
+    // The most-recent view spans versions transparently: `sequence`
+    // resolves to the v2 event, `gel_lane` still resolves to the v1 one.
+    let seq = db.recent(m, "sequence")?.unwrap();
+    let lane = db.recent(m, "gel_lane")?.unwrap();
+    println!(
+        "\nmost-recent sequence : {} (from v{} step)",
+        seq.value,
+        db.step(seq.step)?.version
+    );
+    println!(
+        "most-recent gel_lane : {} (from v{} step — the attribute lives on in history)",
+        lane.value,
+        db.step(lane.step)?.version
+    );
+
+    // Version bookkeeping.
+    db.with_catalog(|c| {
+        let sc = c.step_class("determine_sequence").expect("exists");
+        println!("\ncatalog: determine_sequence has {} versions", sc.versions.len());
+        for v in &sc.versions {
+            let names: Vec<&str> = v.attrs.iter().map(|a| a.name.as_str()).collect();
+            println!("  v{}: {}", v.version, names.join(", "));
+        }
+    });
+    Ok(())
+}

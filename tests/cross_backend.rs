@@ -1,0 +1,158 @@
+//! Cross-backend equivalence: the same seeded workload must produce the
+//! same *logical* database on every storage manager — the property that
+//! makes LabFlow-1 a storage-manager comparison ("each workflow-data
+//! manager uses virtually the same LabBase implementation").
+
+use std::path::PathBuf;
+
+use labbase::LabBase;
+use labflow_core::{BenchConfig, LabSim, ServerVersion};
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lf-xb-{}-{}", std::process::id(), name));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A logical fingerprint of a built database: everything a user can
+/// observe, nothing about physical placement.
+#[derive(Debug, PartialEq)]
+struct Fingerprint {
+    clones: u64,
+    tclones: u64,
+    census: Vec<(String, usize)>,
+    steps: u64,
+    sampled: Vec<(String, Option<String>, usize, Vec<(String, String)>)>,
+}
+
+fn build_and_fingerprint(version: ServerVersion, dir: &PathBuf) -> Fingerprint {
+    let cfg = BenchConfig { base_clones: 10, buffer_pages: 96, ..BenchConfig::smoke() };
+    let store = version.make_store(dir, cfg.buffer_pages).unwrap();
+    let db = LabBase::create(store).unwrap();
+    let mut sim = LabSim::new(cfg);
+    sim.setup(&db).unwrap();
+    sim.run_until_clones(&db, 10).unwrap();
+    sim.drain(&db, 100_000).unwrap();
+    db.checkpoint().unwrap();
+
+    let sampled = sim
+        .materials()
+        .iter()
+        .take(60)
+        .map(|&m| {
+            let info = db.material(m).unwrap();
+            let recents: Vec<(String, String)> = db
+                .recent_all(m)
+                .unwrap()
+                .into_iter()
+                .map(|(attr, r)| (attr, format!("{}@{}", r.value, r.valid_time)))
+                .collect();
+            (info.name, info.state, db.history_len(m).unwrap(), recents)
+        })
+        .collect();
+    Fingerprint {
+        clones: db.count_class("clone", false).unwrap(),
+        tclones: db.count_class("tclone", false).unwrap(),
+        census: db.state_census().unwrap(),
+        steps: sim.counters().steps,
+        sampled,
+    }
+}
+
+#[test]
+fn all_five_backends_produce_the_same_logical_database() {
+    let base = scratch("equiv");
+    let reference = build_and_fingerprint(ServerVersion::OStore, &base.join("ref"));
+    assert!(reference.steps > 100, "workload actually ran");
+    for version in [
+        ServerVersion::Texas,
+        ServerVersion::TexasTc,
+        ServerVersion::OStoreMm,
+        ServerVersion::TexasMm,
+    ] {
+        let dir = base.join(version.name().replace('+', "_"));
+        let fp = build_and_fingerprint(version, &dir);
+        assert_eq!(fp, reference, "backend {} diverged logically", version.name());
+    }
+    std::fs::remove_dir_all(&base).ok();
+}
+
+#[test]
+fn texas_databases_are_larger_than_ostore_on_the_same_workload() {
+    // The paper's size row: OStore 16,629,760 vs Texas 24,600,576 bytes
+    // (≈1.48×). The ratio, not the absolute numbers, is the shape.
+    let base = scratch("sizes");
+    let cfg = BenchConfig { base_clones: 12, buffer_pages: 128, ..BenchConfig::smoke() };
+
+    let mut sizes = std::collections::HashMap::new();
+    for version in ServerVersion::PERSISTENT {
+        let dir = base.join(version.name().replace('+', "_"));
+        std::fs::create_dir_all(&dir).unwrap();
+        let store = version.make_store(&dir, cfg.buffer_pages).unwrap();
+        let db = LabBase::create(store.clone()).unwrap();
+        let mut sim = LabSim::new(cfg.clone());
+        sim.setup(&db).unwrap();
+        sim.run_until_clones(&db, 12).unwrap();
+        db.checkpoint().unwrap();
+        sizes.insert(version.name(), store.db_size_bytes().unwrap().unwrap());
+    }
+    let ostore = sizes["OStore"] as f64;
+    let texas = sizes["Texas"] as f64;
+    let texas_tc = sizes["Texas+TC"] as f64;
+    let ratio = texas / ostore;
+    assert!(
+        (1.15..2.2).contains(&ratio),
+        "expected Texas ≈1.5× OStore (paper shape), got {ratio:.2} ({sizes:?})"
+    );
+    assert!(
+        texas_tc / ostore > 1.0,
+        "Texas+TC pays the same per-object overhead as Texas"
+    );
+    std::fs::remove_dir_all(&base).ok();
+}
+
+#[test]
+fn mm_versions_never_fault_and_report_no_size() {
+    let base = scratch("mm");
+    for version in [ServerVersion::OStoreMm, ServerVersion::TexasMm] {
+        let dir = base.join(version.name());
+        std::fs::create_dir_all(&dir).unwrap();
+        let cfg = BenchConfig { base_clones: 6, ..BenchConfig::smoke() };
+        let store = version.make_store(&dir, cfg.buffer_pages).unwrap();
+        let db = LabBase::create(store.clone()).unwrap();
+        let mut sim = LabSim::new(cfg);
+        sim.setup(&db).unwrap();
+        sim.run_until_clones(&db, 6).unwrap();
+        let stats = store.stats();
+        assert_eq!(stats.faults, 0, "{}: -mm cannot fault", version.name());
+        assert_eq!(stats.page_reads, 0);
+        assert_eq!(store.db_size_bytes().unwrap(), None);
+    }
+    std::fs::remove_dir_all(&base).ok();
+}
+
+#[test]
+fn single_user_restriction_only_on_texas_flavors() {
+    let base = scratch("single");
+    for version in ServerVersion::ALL {
+        let dir = base.join(version.name().replace('+', "_"));
+        std::fs::create_dir_all(&dir).unwrap();
+        let store = version.make_store(&dir, 64).unwrap();
+        let t1 = store.begin().unwrap();
+        let second = store.begin();
+        match version {
+            ServerVersion::Texas | ServerVersion::TexasTc | ServerVersion::TexasMm => {
+                assert!(second.is_err(), "{} must be single-user", version.name());
+            }
+            _ => {
+                let t2 = second.unwrap_or_else(|e| {
+                    panic!("{} should allow concurrent txns: {e}", version.name())
+                });
+                store.commit(t2).unwrap();
+            }
+        }
+        store.commit(t1).unwrap();
+    }
+    std::fs::remove_dir_all(&base).ok();
+}
