@@ -31,7 +31,7 @@ fn bench_queries(c: &mut Criterion) {
         group.bench_function(BenchmarkId::from_parameter("recent-lookup-cold"), |b| {
             let mut i = 0usize;
             b.iter(|| {
-                if i % 64 == 0 {
+                if i.is_multiple_of(64) {
                     store.drop_caches().unwrap();
                 }
                 let m = mats[i % mats.len()];

@@ -111,6 +111,7 @@ EXPERIMENTS (default: all)
   abl-clustering       clustering control vs cache size (ablation)
   abl-concurrency      reader threads during the build (ablation)
   abl-recovery         crash recovery per durability design (ablation)
+  abl-multiclient      writer clients vs throughput, group commit (ablation)
 
 OPTIONS
   --clones N         clones at scale 1X (default 1000)

@@ -86,7 +86,7 @@ mod tests {
             BenchError::Workflow(labflow_workflow::WorkflowError::UnknownStep("x".into())),
             BenchError::Lql(lql::LqlError::NoTransaction),
             BenchError::Config("bad".into()),
-            BenchError::Io(std::io::Error::new(std::io::ErrorKind::Other, "io")),
+            BenchError::Io(std::io::Error::other("io")),
         ];
         for c in cases {
             assert!(!c.to_string().is_empty());

@@ -27,7 +27,7 @@ pub struct ExperimentReport {
 }
 
 /// All experiment ids, in DESIGN.md order.
-pub const ALL_IDS: [&str; 10] = [
+pub const ALL_IDS: [&str; 11] = [
     "fig1-schema",
     "tab1-storage-schema",
     "figB-workflow-graph",
@@ -38,7 +38,11 @@ pub const ALL_IDS: [&str; 10] = [
     "abl-clustering",
     "abl-concurrency",
     "abl-recovery",
+    "abl-multiclient",
 ];
+
+/// Client counts swept by `abl-multiclient`.
+pub const MULTICLIENT_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
 /// The build intervals of the Section-10 tables.
 pub const BUILD_INTERVALS: [f64; 4] = [0.5, 1.0, 1.5, 2.0];
@@ -173,6 +177,18 @@ pub fn run(id: &str, cfg: &BenchConfig, work_dir: &Path) -> Result<ExperimentRep
                 json,
             })
         }
+        "abl-multiclient" => {
+            let points = runner::run_multiclient(cfg, &MULTICLIENT_COUNTS, work_dir)?;
+            let text = report::multiclient_table(&points);
+            let json =
+                serde_json::to_value(&points).map_err(|e| BenchError::Config(e.to_string()))?;
+            Ok(ExperimentReport {
+                id: "abl-multiclient",
+                title: "Ablation: multi-writer clients with WAL group commit",
+                text,
+                json,
+            })
+        }
         other => Err(BenchError::Config(format!(
             "unknown experiment '{other}'; known: {}",
             ALL_IDS.join(", ")
@@ -203,7 +219,7 @@ mod tests {
 
     #[test]
     fn ids_list_is_consistent() {
-        assert_eq!(ALL_IDS.len(), 10);
+        assert_eq!(ALL_IDS.len(), 11);
         let cfg = BenchConfig::smoke();
         // Every listed id is at least recognized (structural ones run;
         // the heavy ones are exercised by integration tests / harness).

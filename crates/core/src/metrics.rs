@@ -99,6 +99,19 @@ pub struct ResourceRow {
     pub query_p99_us: f64,
 }
 
+/// One client's share of a multi-client run (`abl-multiclient`).
+#[derive(Debug, Clone, Serialize)]
+pub struct ClientRow {
+    /// Client index (0-based).
+    pub client: u64,
+    /// Workflow steps this client recorded.
+    pub steps: u64,
+    /// Transactions this client committed.
+    pub commits: u64,
+    /// Transactions this client aborted and retried (lock conflicts).
+    pub retries: u64,
+}
+
 /// Meter capturing a measurement interval.
 pub struct Meter {
     start: Instant,

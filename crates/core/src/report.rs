@@ -13,7 +13,8 @@
 
 use crate::metrics::ResourceRow;
 use crate::runner::{
-    BuildResult, ClusteringPoint, ConcurrencyPoint, EvolutionResult, QueryTiming, RecoveryPoint,
+    BuildResult, ClusteringPoint, ConcurrencyPoint, EvolutionResult, MultiClientPoint,
+    QueryTiming, RecoveryPoint,
 };
 
 /// Thousands-separated integer, the paper's number style.
@@ -21,13 +22,16 @@ pub fn commas(n: u64) -> String {
     let s = n.to_string();
     let mut out = String::with_capacity(s.len() + s.len() / 3);
     for (i, c) in s.chars().enumerate() {
-        if i > 0 && (s.len() - i) % 3 == 0 {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
             out.push(',');
         }
         out.push(c);
     }
     out
 }
+
+/// A named resource row: label plus the renderer extracting its cell.
+type ResourceRenderer<'a> = (&'a str, Box<dyn Fn(&ResourceRow) -> String>);
 
 fn pad_left(s: &str, width: usize) -> String {
     format!("{s:>width$}")
@@ -65,7 +69,7 @@ pub fn build_table(results: &[BuildResult]) -> String {
     };
 
     for interval in &intervals {
-        let resources: [(&str, Box<dyn Fn(&ResourceRow) -> String>); 9] = [
+        let resources: [ResourceRenderer<'_>; 9] = [
             ("elapsed sec", Box::new(|r| format!("{:.1}", r.elapsed_sec))),
             ("user cpu sec", Box::new(|r| format!("{:.1}", r.user_cpu_sec))),
             ("sys cpu sec", Box::new(|r| format!("{:.1}", r.sys_cpu_sec))),
@@ -87,7 +91,8 @@ pub fn build_table(results: &[BuildResult]) -> String {
             };
             out.push_str(&pad_right(&label, 24));
             for v in &versions {
-                let cell = find(v, interval).map(|r| render(r)).unwrap_or_else(|| "-".into());
+                let cell =
+                    find(v, interval).map(render).unwrap_or_else(|| "-".to_string());
                 out.push_str(&pad_left(&cell, col));
             }
             out.push('\n');
@@ -275,6 +280,97 @@ pub fn recovery_table(points: &[RecoveryPoint]) -> String {
     out
 }
 
+/// Render the multi-client ablation table: aggregate steps/sec per
+/// client count, speedup relative to each version's one-client point,
+/// and the group-commit evidence (WAL syncs vs commits). Single-user
+/// backends print an em dash for every multi-client cell.
+pub fn multiclient_table(points: &[MultiClientPoint]) -> String {
+    let mut versions: Vec<&str> = Vec::new();
+    let mut counts: Vec<usize> = Vec::new();
+    for p in points {
+        if !versions.contains(&p.version.as_str()) {
+            versions.push(&p.version);
+        }
+        if !counts.contains(&p.clients) {
+            counts.push(p.clients);
+        }
+    }
+    counts.sort_unstable();
+    let find = |v: &str, c: usize| points.iter().find(|p| p.version == v && p.clients == c);
+    let col = 12usize;
+
+    let mut out = String::new();
+    out.push_str("Multi-client ablation — aggregate step throughput vs writer clients\n");
+    out.push_str(&pad_right("clients", 14));
+    for v in &versions {
+        out.push_str(&pad_left(v, col));
+    }
+    out.push('\n');
+    for &c in &counts {
+        out.push_str(&pad_right(&c.to_string(), 14));
+        for v in &versions {
+            let cell = find(v, c)
+                .map(|p| {
+                    if p.supported {
+                        format!("{:.0}", p.steps_per_sec)
+                    } else {
+                        "—".to_string()
+                    }
+                })
+                .unwrap_or_else(|| "-".into());
+            out.push_str(&pad_left(&cell, col));
+        }
+        out.push('\n');
+    }
+
+    out.push_str("\nSpeedup vs 1 client\n");
+    out.push_str(&pad_right("clients", 14));
+    for v in &versions {
+        out.push_str(&pad_left(v, col));
+    }
+    out.push('\n');
+    for &c in &counts {
+        out.push_str(&pad_right(&c.to_string(), 14));
+        for v in &versions {
+            let baseline = find(v, 1).filter(|p| p.supported && p.steps_per_sec > 0.0);
+            let cell = match (find(v, c), baseline) {
+                (Some(p), Some(b)) if p.supported => {
+                    format!("{:.2}x", p.steps_per_sec / b.steps_per_sec)
+                }
+                (Some(_), _) => "—".to_string(),
+                (None, _) => "-".to_string(),
+            };
+            out.push_str(&pad_left(&cell, col));
+        }
+        out.push('\n');
+    }
+
+    out.push_str("\nGroup commit — WAL syncs / commits / retries per point\n");
+    out.push_str(&format!(
+        "{:<12}{:>9}{:>12}{:>12}{:>10}{:>18}\n",
+        "version", "clients", "wal syncs", "commits", "retries", "steps"
+    ));
+    for p in points {
+        if p.supported {
+            out.push_str(&format!(
+                "{:<12}{:>9}{:>12}{:>12}{:>10}{:>18}\n",
+                p.version,
+                p.clients,
+                commas(p.wal_syncs),
+                commas(p.commits),
+                commas(p.retries),
+                commas(p.steps),
+            ));
+        } else {
+            out.push_str(&format!(
+                "{:<12}{:>9}{:>12}{:>12}{:>10}{:>18}\n",
+                p.version, p.clients, "—", "—", "—", "— (single-user)"
+            ));
+        }
+    }
+    out
+}
+
 /// The fixed storage schema of paper Table 1, rendered as text.
 pub fn table1_storage_schema() -> String {
     "\
@@ -409,6 +505,32 @@ mod tests {
         assert!(t.contains("recent lookup"));
         assert!(t.contains("18.0"));
         assert!(t.contains("900"));
+    }
+
+    #[test]
+    fn multiclient_table_shape() {
+        let point = |version: &str, clients: usize, supported: bool, sps: f64| MultiClientPoint {
+            version: version.into(),
+            clients,
+            supported,
+            elapsed_sec: 1.0,
+            steps: if supported { 4000 } else { 0 },
+            steps_per_sec: if supported { sps } else { 0.0 },
+            commits: if supported { 1001 } else { 0 },
+            retries: 0,
+            wal_syncs: if supported { 400 } else { 0 },
+            per_client: Vec::new(),
+        };
+        let points = vec![
+            point("OStore", 1, true, 1000.0),
+            point("OStore", 4, true, 2500.0),
+            point("Texas", 1, true, 1200.0),
+            point("Texas", 4, false, 0.0),
+        ];
+        let t = multiclient_table(&points);
+        assert!(t.contains("2.50x"), "speedup row renders: {t}");
+        assert!(t.contains("—"), "single-user cells print an em dash");
+        assert!(t.contains("1,001"));
     }
 
     #[test]

@@ -4,15 +4,15 @@
 
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use labbase::LabBase;
-use labflow_storage::StorageManager;
+use labbase::{schema::attrs, AttrType, LabBase, MaterialId, Value};
+use labflow_storage::{Options, StorageManager};
 use serde::Serialize;
 
 use crate::config::{BenchConfig, ServerVersion};
 use crate::error::{BenchError, Result};
-use crate::metrics::{Meter, ResourceRow};
+use crate::metrics::{ClientRow, Meter, ResourceRow};
 use crate::queries;
 use crate::workload::LabSim;
 
@@ -215,7 +215,14 @@ pub fn run_evolution(
     let t0 = Instant::now();
     for i in 0..redefinitions {
         let name = &step_names[i % step_names.len()];
-        let mut attrs = sim.graph().step(name).expect("graph step").attrs.clone();
+        let mut attrs = sim
+            .graph()
+            .step(name)
+            .ok_or_else(|| {
+                BenchError::Config(format!("step class '{name}' missing from workflow graph"))
+            })?
+            .attrs
+            .clone();
         attrs.push(labbase::schema::AttrDef {
             name: "outcome".into(),
             ty: labbase::AttrType::Str,
@@ -350,7 +357,9 @@ pub fn run_clustering(
                     measured = Some((faults, elapsed.as_secs_f64() * 1e3));
                 }
             }
-            let (faults, elapsed_ms) = measured.expect("measured round ran");
+            let (faults, elapsed_ms) = measured.ok_or_else(|| {
+                BenchError::Config("clustering measured round never ran".into())
+            })?;
             out.push(ClusteringPoint {
                 version: version.name().to_string(),
                 pool_pages: pool,
@@ -421,6 +430,45 @@ mod tests {
         let r = run_evolution(ServerVersion::OStoreMm, &cfg, &dir, 10).unwrap();
         assert!(r.max_versions > 1);
         assert!(r.redefine_mean_us > 0.0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn smoke_multiclient_two_counts() {
+        let cfg = BenchConfig::smoke();
+        let dir = base("mc");
+        let points = run_multiclient(&cfg, &[1, 2], &dir).unwrap();
+        assert_eq!(points.len(), ServerVersion::ALL.len() * 2);
+        for p in &points {
+            if p.clients == 1 {
+                assert!(p.supported, "{}: one client always runs", p.version);
+                assert!(p.steps > 0 && p.steps_per_sec > 0.0);
+                assert_eq!(p.per_client.len(), 1);
+                assert_eq!(p.per_client[0].steps, p.steps);
+            }
+        }
+        // Single-user backends refuse multi-client points…
+        let texas2 = points.iter().find(|p| p.version == "Texas" && p.clients == 2).unwrap();
+        assert!(!texas2.supported);
+        // …while the concurrent ones run them, touching every material
+        // once per round.
+        for name in ["OStore", "OStore-mm"] {
+            let p = points.iter().find(|p| p.version == name && p.clients == 2).unwrap();
+            assert!(p.supported, "{name} supports two clients");
+            assert_eq!(p.per_client.len(), 2);
+            let total = cfg.clones_at(1.0).max(2 * MC_STEPS_PER_TXN);
+            assert_eq!(p.steps, (total * MC_ROUNDS) as u64);
+        }
+        // Group commit: the persistent backend forces the WAL fewer
+        // times than it commits.
+        let ostore = points.iter().find(|p| p.version == "OStore" && p.clients == 2).unwrap();
+        assert!(ostore.wal_syncs > 0, "WAL forced at least once");
+        assert!(
+            ostore.wal_syncs <= ostore.commits,
+            "group commit batches: {} syncs vs {} commits",
+            ostore.wal_syncs,
+            ostore.commits
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -583,6 +631,201 @@ pub fn run_recovery(cfg: &BenchConfig, base: &Path) -> Result<Vec<RecoveryPoint>
             wal_bytes_at_crash,
             reopen_ms,
         });
+    }
+    Ok(out)
+}
+
+/// Materials each multi-client transaction touches.
+const MC_STEPS_PER_TXN: usize = 4;
+/// Rounds over the material population: each material receives this many
+/// steps over the whole run.
+const MC_ROUNDS: usize = 4;
+/// Retries allowed per transaction before the run is declared stuck.
+const MC_MAX_RETRIES: u64 = 100;
+/// Group-commit window for persistent backends in the multi-client run.
+const MC_COMMIT_WINDOW: Duration = Duration::from_micros(500);
+
+/// One point of the multi-client ablation.
+#[derive(Debug, Clone, Serialize)]
+pub struct MultiClientPoint {
+    /// Version name.
+    pub version: String,
+    /// Concurrent writer clients.
+    pub clients: usize,
+    /// Whether the backend supports concurrent transactions at all.
+    pub supported: bool,
+    /// Wall-clock seconds for the measured run.
+    pub elapsed_sec: f64,
+    /// Workflow steps recorded across all clients.
+    pub steps: u64,
+    /// Aggregate steps per wall-clock second.
+    pub steps_per_sec: f64,
+    /// Transactions committed (storage-level, includes the prefill).
+    pub commits: u64,
+    /// Aborted-and-retried transactions (lock conflicts).
+    pub retries: u64,
+    /// WAL forces issued — group commit shows up as `wal_syncs` well
+    /// below `commits` on persistent backends (0 for `-mm`).
+    pub wal_syncs: u64,
+    /// Per-client breakdown.
+    pub per_client: Vec<ClientRow>,
+}
+
+/// One client's work loop: walk its private slice of the material
+/// population in `MC_STEPS_PER_TXN`-sized transactions, recording a step
+/// and a state transition per material, retrying the whole transaction on
+/// conflict via the session's selective abort.
+fn multiclient_worker(db: &LabBase, mine: &[MaterialId], client: u64) -> Result<ClientRow> {
+    const STATES: [&str; 4] = ["queued", "running", "done", "archived"];
+    let mut row = ClientRow { client, steps: 0, commits: 0, retries: 0 };
+    // Valid times are partitioned per client so the run is deterministic
+    // in everything except commit interleaving.
+    let mut vt: i64 = client as i64 * 1_000_000;
+    for round in 0..MC_ROUNDS {
+        let state = STATES[round % STATES.len()];
+        for chunk in mine.chunks(MC_STEPS_PER_TXN) {
+            let mut attempts = 0u64;
+            loop {
+                vt += 1;
+                let mut s = db.session()?;
+                let mut result: Result<()> = Ok(());
+                for &m in chunk {
+                    result = (|| {
+                        s.record_step(
+                            "mc_track",
+                            vt,
+                            &[m],
+                            vec![("reading".into(), Value::Real(round as f64))],
+                        )?;
+                        s.set_state(m, state, vt)?;
+                        Ok(())
+                    })();
+                    if result.is_err() {
+                        break;
+                    }
+                }
+                let committed = match result {
+                    Ok(()) => s.commit().is_ok(),
+                    Err(_) => {
+                        s.abort()?;
+                        false
+                    }
+                };
+                if committed {
+                    row.steps += chunk.len() as u64;
+                    row.commits += 1;
+                    break;
+                }
+                row.retries += 1;
+                attempts += 1;
+                if attempts > MC_MAX_RETRIES {
+                    return Err(BenchError::Config(format!(
+                        "client {client} exceeded {MC_MAX_RETRIES} retries on one transaction"
+                    )));
+                }
+            }
+        }
+    }
+    Ok(row)
+}
+
+/// The multi-client ablation (DESIGN.md `abl-multiclient`): N writer
+/// clients record workflow steps against disjoint slices of a prefilled
+/// material population, so throughput is limited by the storage layer's
+/// concurrency machinery (lock manager, WAL group commit, sharded
+/// caches) rather than by logical conflicts. Single-user backends report
+/// `supported = false` for every point above one client.
+pub fn run_multiclient(
+    cfg: &BenchConfig,
+    client_counts: &[usize],
+    base: &Path,
+) -> Result<Vec<MultiClientPoint>> {
+    let max_clients = client_counts.iter().copied().max().unwrap_or(1);
+    let mut out = Vec::new();
+    for version in ServerVersion::ALL {
+        for &clients in client_counts {
+            if clients == 0 {
+                return Err(BenchError::Config("client count must be >= 1".into()));
+            }
+            let dir = version_dir(base, version)?;
+            let opts = Options {
+                buffer_pages: cfg.buffer_pages,
+                group_commit_window: Some(MC_COMMIT_WINDOW),
+                ..Options::default()
+            };
+            let store = version.make_store_with(&dir, opts)?;
+            if clients > 1 && !store.supports_concurrency() {
+                out.push(MultiClientPoint {
+                    version: version.name().to_string(),
+                    clients,
+                    supported: false,
+                    elapsed_sec: 0.0,
+                    steps: 0,
+                    steps_per_sec: 0.0,
+                    commits: 0,
+                    retries: 0,
+                    wal_syncs: 0,
+                    per_client: Vec::new(),
+                });
+                continue;
+            }
+            let db = LabBase::create(store.clone())?;
+
+            // Prefill the material population in one bulk transaction.
+            // Sized off the max client count so every point works the
+            // same population regardless of parallelism.
+            let total = cfg.clones_at(1.0).max(max_clients * MC_STEPS_PER_TXN);
+            let txn = db.begin()?;
+            db.define_material_class(txn, "mc_clone", None)?;
+            db.define_step_class(txn, "mc_track", attrs(&[("reading", AttrType::Real)]))?;
+            let mut mats = Vec::with_capacity(total);
+            for i in 0..total {
+                mats.push(db.create_material(txn, "mc_clone", &format!("mc-{i:06}"), 0)?);
+            }
+            db.commit(txn)?;
+            db.checkpoint()?;
+            // Warm the shared indexes so every session maintains them
+            // incrementally instead of racing to rebuild.
+            let _ = db.count_in_state("queued")?;
+            let _ = db.find_material("mc-000000")?;
+
+            let stats0 = store.stats();
+            let t0 = Instant::now();
+            let per_client = std::thread::scope(|scope| -> Result<Vec<ClientRow>> {
+                let mut handles = Vec::new();
+                for c in 0..clients {
+                    // Round-robin partition: disjoint material slices, so
+                    // clients contend on infrastructure, not data.
+                    let mine: Vec<MaterialId> =
+                        mats.iter().skip(c).step_by(clients).copied().collect();
+                    let db = &db;
+                    handles.push(scope.spawn(move || multiclient_worker(db, &mine, c as u64)));
+                }
+                let mut rows = Vec::with_capacity(clients);
+                for h in handles {
+                    rows.push(h.join().map_err(|_| {
+                        BenchError::Config("client thread panicked".into())
+                    })??);
+                }
+                Ok(rows)
+            })?;
+            let elapsed = t0.elapsed().as_secs_f64();
+            let d = store.stats().delta(&stats0);
+            let steps: u64 = per_client.iter().map(|r| r.steps).sum();
+            let retries: u64 = per_client.iter().map(|r| r.retries).sum();
+            out.push(MultiClientPoint {
+                version: version.name().to_string(),
+                clients,
+                supported: true,
+                elapsed_sec: elapsed,
+                steps,
+                steps_per_sec: if elapsed > 0.0 { steps as f64 / elapsed } else { 0.0 },
+                commits: d.commits,
+                retries,
+                wal_syncs: d.wal_syncs,
+                per_client,
+            });
+        }
     }
     Ok(out)
 }

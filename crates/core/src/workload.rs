@@ -313,7 +313,14 @@ impl LabSim {
     fn evolve_schema(&mut self, db: &LabBase) -> Result<()> {
         let steps: Vec<String> = self.graph.steps.iter().map(|s| s.name.clone()).collect();
         let step = steps[self.gen.index(steps.len())].clone();
-        let base = self.graph.step(&step).expect("graph step").attrs.clone();
+        let base = self
+            .graph
+            .step(&step)
+            .ok_or_else(|| {
+                BenchError::Config(format!("step class '{step}' missing from workflow graph"))
+            })?
+            .attrs
+            .clone();
         let currently = self.evolved.get(&step).copied().unwrap_or(false);
         let mut attrs = base;
         attrs.push(labbase::schema::AttrDef {
@@ -445,7 +452,9 @@ impl LabSim {
             .graph
             .step("transposon_insertion")
             .and_then(|s| s.spawns.clone())
-            .expect("transposition spawns");
+            .ok_or_else(|| {
+                BenchError::Config("transposon_insertion step defines no spawns".into())
+            })?;
         let txn = db.begin()?;
         for clone in &batch {
             let attrs = self.attrs_for(db, "transposon_insertion", None);

@@ -27,13 +27,14 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::{Mutex, RwLock};
+use parking_lot::RwLock;
 
 use labflow_storage::{ClusterHint, Oid, SegmentId, StatsSnapshot, StorageManager, TxnId};
 
 use crate::error::{LabError, Result};
 use crate::ids::{ClassId, MaterialId, StepId, ValidTime};
 use crate::schema::{AttrDef, Catalog};
+use crate::session::Footprint;
 use crate::smrecord::{RecentRecord, SmMaterial, SmStep};
 use crate::state::StateIndex;
 use crate::value::Value;
@@ -123,8 +124,8 @@ pub struct LabBase {
     pub(crate) catalog_oid: Oid,
     pub(crate) sets_oid: Oid,
     pub(crate) sets: RwLock<SetsDir>,
-    pub(crate) state_index: Mutex<StateIndex>,
-    pub(crate) name_index: Mutex<Option<HashMap<String, Oid>>>,
+    pub(crate) state_index: StateIndex,
+    pub(crate) name_index: RwLock<Option<HashMap<String, Oid>>>,
 }
 
 impl LabBase {
@@ -154,8 +155,8 @@ impl LabBase {
             catalog_oid,
             sets_oid,
             sets: RwLock::new(sets),
-            state_index: Mutex::new(StateIndex::new()),
-            name_index: Mutex::new(None),
+            state_index: StateIndex::new(),
+            name_index: RwLock::new(None),
         })
     }
 
@@ -181,8 +182,8 @@ impl LabBase {
             catalog_oid,
             sets_oid,
             sets: RwLock::new(sets),
-            state_index: Mutex::new(StateIndex::new()),
-            name_index: Mutex::new(None),
+            state_index: StateIndex::new(),
+            name_index: RwLock::new(None),
         })
     }
 
@@ -203,7 +204,8 @@ impl LabBase {
 
     /// Abort a transaction. NOTE: in-memory indexes (state, names,
     /// catalog cache) are rebuilt conservatively after an abort since the
-    /// store rolled back underneath them.
+    /// store rolled back underneath them. [`Session`](crate::Session)
+    /// tracks its own footprint and aborts selectively instead.
     pub fn abort(&self, txn: TxnId) -> Result<()> {
         self.store.abort(txn)?;
         // Re-load shared caches from storage truth.
@@ -211,8 +213,43 @@ impl LabBase {
         *self.catalog.write() = catalog;
         let sets = SetsDir::decode(&self.store.read(self.sets_oid)?)?;
         *self.sets.write() = sets;
-        self.state_index.lock().invalidate();
-        *self.name_index.lock() = None;
+        self.state_index.invalidate();
+        *self.name_index.write() = None;
+        Ok(())
+    }
+
+    /// Abort a transaction, undoing only the in-memory cache entries the
+    /// aborting session touched (its [`Footprint`]). Unlike [`abort`],
+    /// this never discards the whole state or name index, so other
+    /// sessions keep their warm caches.
+    ///
+    /// [`abort`]: LabBase::abort
+    pub(crate) fn abort_with_footprint(&self, txn: TxnId, fp: &Footprint) -> Result<()> {
+        self.store.abort(txn)?;
+        // Reverse state transitions newest-first so a material that moved
+        // several times lands back in its pre-transaction state.
+        for (oid, old, new) in fp.state_changes.iter().rev() {
+            self.state_index.note_state(*oid, new.as_deref(), old.as_deref());
+        }
+        // Materials created in the transaction vanish from the caches.
+        if !fp.created.is_empty() {
+            self.state_index.forget(fp.created.iter().map(|(oid, _)| *oid));
+            let mut names = self.name_index.write();
+            if let Some(map) = names.as_mut() {
+                for (_, name) in &fp.created {
+                    map.remove(name);
+                }
+            }
+        }
+        // The catalog object is rewritten by schema changes *and* by
+        // material creation (extent heads, counts); reload it from the
+        // rolled-back store only when this session dirtied it.
+        if fp.catalog_dirty || !fp.created.is_empty() {
+            *self.catalog.write() = Catalog::decode(&self.store.read(self.catalog_oid)?)?;
+        }
+        if fp.sets_dirty {
+            *self.sets.write() = SetsDir::decode(&self.store.read(self.sets_oid)?)?;
+        }
         Ok(())
     }
 
@@ -345,10 +382,10 @@ impl LabBase {
         }
         self.store.update(txn, self.catalog_oid, &catalog.encode())?;
         drop(catalog);
-        if let Some(index) = self.name_index.lock().as_mut() {
+        if let Some(index) = self.name_index.write().as_mut() {
             index.insert(name.to_string(), oid);
         }
-        self.state_index.lock().note_created(oid);
+        self.state_index.note_created(oid);
         Ok(MaterialId::from(oid))
     }
 

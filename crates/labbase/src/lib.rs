@@ -63,6 +63,7 @@ mod ids;
 mod query;
 mod recent;
 pub mod schema;
+mod session;
 pub mod smrecord;
 mod sets;
 mod state;
@@ -74,4 +75,5 @@ pub use error::{LabError, Result};
 pub use history::HistoryEntry;
 pub use ids::{ClassId, MaterialId, StepId, ValidTime};
 pub use recent::Recent;
+pub use session::Session;
 pub use value::{AttrType, Value};

@@ -94,7 +94,7 @@ impl LabBase {
     /// Find a material by its external name (lazy name index).
     pub fn find_material(&self, name: &str) -> Result<Option<MaterialId>> {
         {
-            let index = self.name_index.lock();
+            let index = self.name_index.read();
             if let Some(index) = index.as_ref() {
                 return Ok(index.get(name).map(|&o| MaterialId::from(o)));
             }
@@ -111,7 +111,12 @@ impl LabBase {
             }
         }
         let found = map.get(name).map(|&o| MaterialId::from(o));
-        *self.name_index.lock() = Some(map);
+        let mut index = self.name_index.write();
+        // A racing builder (or a creation since the scan began) may have
+        // installed a fresher map; keep the existing one in that case.
+        if index.is_none() {
+            *index = Some(map);
+        }
         Ok(found)
     }
 

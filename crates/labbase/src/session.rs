@@ -1,0 +1,265 @@
+//! Per-client sessions: one open transaction plus the in-memory cache
+//! footprint it has accumulated.
+//!
+//! The raw [`LabBase::begin`]/[`LabBase::abort`] API is safe but blunt:
+//! because the shared caches (state index, name index, catalog) may have
+//! absorbed updates from the aborting transaction, `abort` invalidates
+//! them wholesale and every session pays to rebuild. A [`Session`]
+//! instead records which cache entries *its own* transaction touched —
+//! materials created, state transitions made, catalog/sets-directory
+//! rewrites — and on abort undoes exactly that footprint, leaving other
+//! sessions' warm cache entries intact. This is what makes abort-and-
+//! retry affordable under multi-client lock contention.
+
+use labflow_storage::{Oid, TxnId};
+
+use crate::db::LabBase;
+use crate::error::Result;
+use crate::ids::{ClassId, MaterialId, StepId, ValidTime};
+use crate::schema::AttrDef;
+use crate::value::Value;
+
+/// The in-memory cache entries one transaction has touched.
+#[derive(Default)]
+pub(crate) struct Footprint {
+    /// Materials created: `(oid, external name)`. On abort these are
+    /// removed from the state and name indexes.
+    pub created: Vec<(Oid, String)>,
+    /// State transitions `(material, old, new)` in execution order. On
+    /// abort they are replayed in reverse against the state index.
+    pub state_changes: Vec<(Oid, Option<String>, Option<String>)>,
+    /// The catalog object was rewritten (schema change).
+    pub catalog_dirty: bool,
+    /// The sets directory was rewritten (set created/dropped).
+    pub sets_dirty: bool,
+}
+
+/// One client's open transaction on a [`LabBase`].
+///
+/// Dropping an unfinished session aborts it (best-effort); call
+/// [`Session::commit`] or [`Session::abort`] explicitly to observe
+/// errors. Reads do not need the session — use the [`LabBase`] query API
+/// directly.
+pub struct Session<'a> {
+    db: &'a LabBase,
+    txn: TxnId,
+    footprint: Footprint,
+    finished: bool,
+}
+
+impl LabBase {
+    /// Begin a transaction wrapped in a footprint-tracking session.
+    pub fn session(&self) -> Result<Session<'_>> {
+        Ok(Session {
+            db: self,
+            txn: self.store.begin()?,
+            footprint: Footprint::default(),
+            finished: false,
+        })
+    }
+}
+
+impl<'a> Session<'a> {
+    /// The underlying transaction id.
+    pub fn txn(&self) -> TxnId {
+        self.txn
+    }
+
+    /// The database this session runs against.
+    pub fn db(&self) -> &'a LabBase {
+        self.db
+    }
+
+    /// Create a material (see [`LabBase::create_material`]).
+    pub fn create_material(
+        &mut self,
+        class: &str,
+        name: &str,
+        created: ValidTime,
+    ) -> Result<MaterialId> {
+        let mat = self.db.create_material(self.txn, class, name, created)?;
+        self.footprint.created.push((mat.oid(), name.to_string()));
+        Ok(mat)
+    }
+
+    /// Record a workflow step (see [`LabBase::record_step`]). Steps touch
+    /// only persistent objects, so they leave no cache footprint.
+    pub fn record_step(
+        &mut self,
+        class: &str,
+        valid_time: ValidTime,
+        materials: &[MaterialId],
+        attrs: Vec<(String, Value)>,
+    ) -> Result<StepId> {
+        self.db.record_step(self.txn, class, valid_time, materials, attrs)
+    }
+
+    /// Set a material's workflow state (see [`LabBase::set_state`]).
+    pub fn set_state(&mut self, mat: MaterialId, state: &str, vt: ValidTime) -> Result<()> {
+        let (old, new) = self.db.set_state_recording(self.txn, mat, state, vt)?;
+        self.footprint.state_changes.push((mat.oid(), old, new));
+        Ok(())
+    }
+
+    /// Clear a material's workflow state.
+    pub fn clear_state(&mut self, mat: MaterialId, vt: ValidTime) -> Result<()> {
+        self.set_state(mat, "", vt)
+    }
+
+    /// Define a material class (see [`LabBase::define_material_class`]).
+    pub fn define_material_class(&mut self, name: &str, parent: Option<&str>) -> Result<ClassId> {
+        let id = self.db.define_material_class(self.txn, name, parent)?;
+        self.footprint.catalog_dirty = true;
+        Ok(id)
+    }
+
+    /// Define a step class (see [`LabBase::define_step_class`]).
+    pub fn define_step_class(&mut self, name: &str, attrs: Vec<AttrDef>) -> Result<ClassId> {
+        let id = self.db.define_step_class(self.txn, name, attrs)?;
+        self.footprint.catalog_dirty = true;
+        Ok(id)
+    }
+
+    /// Redefine a step class (see [`LabBase::redefine_step_class`]).
+    pub fn redefine_step_class(&mut self, name: &str, attrs: Vec<AttrDef>) -> Result<u32> {
+        let version = self.db.redefine_step_class(self.txn, name, attrs)?;
+        self.footprint.catalog_dirty = true;
+        Ok(version)
+    }
+
+    /// Create a material set (see [`LabBase::create_set`]).
+    pub fn create_set(&mut self, name: &str) -> Result<()> {
+        self.db.create_set(self.txn, name)?;
+        self.footprint.sets_dirty = true;
+        Ok(())
+    }
+
+    /// Drop a material set (see [`LabBase::drop_set`]).
+    pub fn drop_set(&mut self, name: &str) -> Result<()> {
+        self.db.drop_set(self.txn, name)?;
+        self.footprint.sets_dirty = true;
+        Ok(())
+    }
+
+    /// Add a material to a set (rewrites only the persistent set object).
+    pub fn add_to_set(&mut self, name: &str, mat: MaterialId) -> Result<()> {
+        self.db.add_to_set(self.txn, name, mat)
+    }
+
+    /// Commit the transaction. The footprint is discarded — committed
+    /// cache updates are correct as applied.
+    pub fn commit(mut self) -> Result<()> {
+        self.finished = true;
+        self.db.commit(self.txn)
+    }
+
+    /// Abort the transaction, undoing only this session's cache
+    /// footprint instead of invalidating the shared indexes.
+    pub fn abort(mut self) -> Result<()> {
+        self.finished = true;
+        let fp = std::mem::take(&mut self.footprint);
+        self.db.abort_with_footprint(self.txn, &fp)
+    }
+}
+
+impl Drop for Session<'_> {
+    fn drop(&mut self) {
+        if !self.finished {
+            let fp = std::mem::take(&mut self.footprint);
+            let _ = self.db.abort_with_footprint(self.txn, &fp);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::db::tests::mem_db;
+    use crate::value::Value;
+
+    #[test]
+    fn session_commit_behaves_like_plain_txn() {
+        let db = mem_db();
+        let mut s = db.session().unwrap();
+        let m = s.create_material("clone", "c1", 0).unwrap();
+        s.set_state(m, "queued", 1).unwrap();
+        s.record_step(
+            "determine_sequence",
+            2,
+            &[m],
+            vec![("quality".into(), Value::Real(0.5))],
+        )
+        .unwrap();
+        s.commit().unwrap();
+        assert_eq!(db.state_of(m).unwrap().as_deref(), Some("queued"));
+        assert_eq!(db.count_in_state("queued").unwrap(), 1);
+        assert_eq!(db.find_material("c1").unwrap(), Some(m));
+    }
+
+    #[test]
+    fn session_abort_undoes_created_material_in_caches() {
+        let db = mem_db();
+        // Warm the indexes first so the abort has something to undo.
+        let mut s = db.session().unwrap();
+        let keep = s.create_material("clone", "keep", 0).unwrap();
+        s.set_state(keep, "ready", 1).unwrap();
+        s.commit().unwrap();
+        assert_eq!(db.count_in_state("ready").unwrap(), 1);
+        db.find_material("keep").unwrap().unwrap();
+
+        let mut s = db.session().unwrap();
+        let gone = s.create_material("clone", "gone", 2).unwrap();
+        s.set_state(gone, "ready", 3).unwrap();
+        s.abort().unwrap();
+
+        assert_eq!(db.count_in_state("ready").unwrap(), 1);
+        assert_eq!(db.find_material("gone").unwrap(), None);
+        assert_eq!(db.find_material("keep").unwrap(), Some(keep));
+        assert!(!db.material_exists(gone));
+    }
+
+    #[test]
+    fn session_abort_restores_prior_state_through_chained_transitions() {
+        let db = mem_db();
+        let mut s = db.session().unwrap();
+        let m = s.create_material("clone", "m", 0).unwrap();
+        s.set_state(m, "start", 1).unwrap();
+        s.commit().unwrap();
+        assert_eq!(db.count_in_state("start").unwrap(), 1);
+
+        let mut s = db.session().unwrap();
+        s.set_state(m, "middle", 2).unwrap();
+        s.set_state(m, "end", 3).unwrap();
+        s.clear_state(m, 4).unwrap();
+        s.abort().unwrap();
+
+        assert_eq!(db.state_of(m).unwrap().as_deref(), Some("start"));
+        assert_eq!(db.count_in_state("start").unwrap(), 1);
+        assert_eq!(db.count_in_state("middle").unwrap(), 0);
+        assert_eq!(db.count_in_state("end").unwrap(), 0);
+    }
+
+    #[test]
+    fn dropped_session_aborts() {
+        let db = mem_db();
+        {
+            let mut s = db.session().unwrap();
+            s.create_material("clone", "phantom", 0).unwrap();
+            // Dropped without commit.
+        }
+        assert_eq!(db.find_material("phantom").unwrap(), None);
+    }
+
+    #[test]
+    fn session_abort_reloads_dirty_catalog_and_sets() {
+        let db = mem_db();
+        let mut s = db.session().unwrap();
+        s.define_material_class("gel", None).unwrap();
+        s.create_set("queue").unwrap();
+        s.abort().unwrap();
+        db.with_catalog(|c| {
+            assert!(c.material_class("gel").is_err(), "aborted class must vanish");
+            assert!(c.material_class("clone").is_ok());
+        });
+        assert!(db.set_names().is_empty());
+    }
+}

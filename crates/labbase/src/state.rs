@@ -7,6 +7,9 @@
 //! maintained incrementally afterwards.
 
 use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use parking_lot::{Mutex, RwLock};
 
 use labflow_storage::{Oid, TxnId};
 
@@ -14,66 +17,172 @@ use crate::db::LabBase;
 use crate::error::Result;
 use crate::ids::{MaterialId, ValidTime};
 
+/// Number of state-name shards. Sized so concurrent sessions working in
+/// different workflow states rarely contend on the same lock.
+const STATE_SHARDS: usize = 16;
+
+fn shard_of(state: &str) -> usize {
+    // FNV-1a over the state atom.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in state.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h as usize) % STATE_SHARDS
+}
+
 /// In-memory map: state atom → set of material oids (BTreeSet for
 /// deterministic iteration, which keeps benchmark runs reproducible).
+///
+/// Sharded by a hash of the state name so concurrent sessions updating
+/// disjoint states take disjoint locks; readers take only the shard they
+/// query. Stateless materials live in their own lock. The `built` flag
+/// is the usual lazy-build latch: mutators no-op until the first query
+/// forces a full extent scan.
 pub(crate) struct StateIndex {
-    built: bool,
-    by_state: HashMap<String, BTreeSet<u64>>,
+    built: AtomicBool,
+    /// Serializes build/invalidate so only one thread scans extents.
+    build_lock: Mutex<()>,
+    shards: Vec<RwLock<HashMap<String, BTreeSet<u64>>>>,
     /// Materials known to exist but with no state set.
-    stateless: BTreeSet<u64>,
+    stateless: RwLock<BTreeSet<u64>>,
 }
 
 impl StateIndex {
     pub(crate) fn new() -> StateIndex {
-        StateIndex { built: false, by_state: HashMap::new(), stateless: BTreeSet::new() }
-    }
-
-    pub(crate) fn invalidate(&mut self) {
-        self.built = false;
-        self.by_state.clear();
-        self.stateless.clear();
-    }
-
-    pub(crate) fn note_created(&mut self, mat: Oid) {
-        if self.built {
-            self.stateless.insert(mat.raw());
+        StateIndex {
+            built: AtomicBool::new(false),
+            build_lock: Mutex::new(()),
+            shards: (0..STATE_SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            stateless: RwLock::new(BTreeSet::new()),
         }
     }
 
-    fn note_state(&mut self, mat: Oid, old: Option<&str>, new: Option<&str>) {
-        if !self.built {
+    pub(crate) fn is_built(&self) -> bool {
+        self.built.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn invalidate(&self) {
+        let _g = self.build_lock.lock();
+        self.built.store(false, Ordering::Release);
+        for shard in &self.shards {
+            shard.write().clear();
+        }
+        self.stateless.write().clear();
+    }
+
+    /// Replace the whole index with a freshly scanned snapshot.
+    fn install(&self, by_state: HashMap<String, BTreeSet<u64>>, stateless: BTreeSet<u64>) {
+        for shard in &self.shards {
+            shard.write().clear();
+        }
+        for (state, set) in by_state {
+            self.shards[shard_of(&state)].write().insert(state, set);
+        }
+        *self.stateless.write() = stateless;
+        self.built.store(true, Ordering::Release);
+    }
+
+    pub(crate) fn note_created(&self, mat: Oid) {
+        if self.is_built() {
+            self.stateless.write().insert(mat.raw());
+        }
+    }
+
+    pub(crate) fn note_state(&self, mat: Oid, old: Option<&str>, new: Option<&str>) {
+        if !self.is_built() {
             return;
         }
         match old {
             Some(s) => {
-                if let Some(set) = self.by_state.get_mut(s) {
+                if let Some(set) = self.shards[shard_of(s)].write().get_mut(s) {
                     set.remove(&mat.raw());
                 }
             }
             None => {
-                self.stateless.remove(&mat.raw());
+                self.stateless.write().remove(&mat.raw());
             }
         }
         match new {
             Some(s) => {
-                self.by_state.entry(s.to_string()).or_default().insert(mat.raw());
+                self.shards[shard_of(s)]
+                    .write()
+                    .entry(s.to_string())
+                    .or_default()
+                    .insert(mat.raw());
             }
             None => {
-                self.stateless.insert(mat.raw());
+                self.stateless.write().insert(mat.raw());
             }
         }
+    }
+
+    /// Drop materials from the index entirely (their creation aborted).
+    /// Callers reverse any state transitions first, so the oids sit in
+    /// the stateless set — but sweep the state shards too in case a
+    /// transition was recorded before the index was built.
+    pub(crate) fn forget<I: Iterator<Item = Oid>>(&self, oids: I) {
+        if !self.is_built() {
+            return;
+        }
+        let raws: Vec<u64> = oids.map(|o| o.raw()).collect();
+        if raws.is_empty() {
+            return;
+        }
+        {
+            let mut stateless = self.stateless.write();
+            for raw in &raws {
+                stateless.remove(raw);
+            }
+        }
+        for shard in &self.shards {
+            let mut shard = shard.write();
+            for set in shard.values_mut() {
+                for raw in &raws {
+                    set.remove(raw);
+                }
+            }
+        }
+    }
+
+    fn members_of(&self, state: &str, limit: usize) -> Vec<MaterialId> {
+        self.shards[shard_of(state)]
+            .read()
+            .get(state)
+            .map(|set| {
+                set.iter().take(limit).map(|&o| MaterialId::from(Oid::from_raw(o))).collect()
+            })
+            .unwrap_or_default()
+    }
+
+    fn count_of(&self, state: &str) -> usize {
+        self.shards[shard_of(state)].read().get(state).map_or(0, |s| s.len())
+    }
+
+    fn census(&self) -> Vec<(String, usize)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.read();
+            out.extend(
+                shard.iter().filter(|(_, s)| !s.is_empty()).map(|(k, s)| (k.clone(), s.len())),
+            );
+        }
+        out.sort();
+        out
     }
 }
 
 impl LabBase {
     fn ensure_state_index(&self) -> Result<()> {
-        {
-            let index = self.state_index.lock();
-            if index.built {
-                return Ok(());
-            }
+        if self.state_index.is_built() {
+            return Ok(());
         }
-        // Build outside the lock-held read path: scan every class extent.
+        // Serialize builders; losers of the race find the index ready.
+        let _build = self.state_index.build_lock.lock();
+        if self.state_index.is_built() {
+            return Ok(());
+        }
+        // Scan every class extent from storage truth.
         let heads: Vec<Oid> = self.with_catalog(|c| {
             c.material_classes().iter().map(|mc| mc.extent_head).collect()
         });
@@ -91,11 +200,27 @@ impl LabBase {
                 cur = rec.ext_next;
             }
         }
-        let mut index = self.state_index.lock();
-        index.by_state = by_state;
-        index.stateless = stateless;
-        index.built = true;
+        self.state_index.install(by_state, stateless);
         Ok(())
+    }
+
+    /// Set `mat`'s workflow state at valid time `vt`, returning the
+    /// `(old, new)` pair so sessions can undo the index update on abort.
+    pub(crate) fn set_state_recording(
+        &self,
+        txn: TxnId,
+        mat: MaterialId,
+        state: &str,
+        vt: ValidTime,
+    ) -> Result<(Option<String>, Option<String>)> {
+        let mut rec = self.read_material_rec(mat.oid())?;
+        let old = if rec.state.is_empty() { None } else { Some(rec.state.clone()) };
+        rec.state = state.to_string();
+        rec.state_time = vt;
+        self.write_material_rec(txn, mat.oid(), &rec)?;
+        let new = if state.is_empty() { None } else { Some(state.to_string()) };
+        self.state_index.note_state(mat.oid(), old.as_deref(), new.as_deref());
+        Ok((old, new))
     }
 
     /// Set `mat`'s workflow state at valid time `vt` (the
@@ -108,16 +233,7 @@ impl LabBase {
         state: &str,
         vt: ValidTime,
     ) -> Result<()> {
-        let mut rec = self.read_material_rec(mat.oid())?;
-        let old = if rec.state.is_empty() { None } else { Some(rec.state.clone()) };
-        rec.state = state.to_string();
-        rec.state_time = vt;
-        self.write_material_rec(txn, mat.oid(), &rec)?;
-        self.state_index.lock().note_state(
-            mat.oid(),
-            old.as_deref(),
-            if state.is_empty() { None } else { Some(state) },
-        );
+        self.set_state_recording(txn, mat, state, vt)?;
         Ok(())
     }
 
@@ -137,35 +253,20 @@ impl LabBase {
     /// materials waiting for step X".
     pub fn in_state(&self, state: &str, limit: usize) -> Result<Vec<MaterialId>> {
         self.ensure_state_index()?;
-        let index = self.state_index.lock();
-        Ok(index
-            .by_state
-            .get(state)
-            .map(|set| {
-                set.iter().take(limit).map(|&o| MaterialId::from(Oid::from_raw(o))).collect()
-            })
-            .unwrap_or_default())
+        Ok(self.state_index.members_of(state, limit))
     }
 
     /// Number of materials currently in `state`.
     pub fn count_in_state(&self, state: &str) -> Result<usize> {
         self.ensure_state_index()?;
-        Ok(self.state_index.lock().by_state.get(state).map_or(0, |s| s.len()))
+        Ok(self.state_index.count_of(state))
     }
 
     /// All states with at least one material, with counts, sorted by
     /// state name. (The paper's workflow-monitoring report.)
     pub fn state_census(&self) -> Result<Vec<(String, usize)>> {
         self.ensure_state_index()?;
-        let index = self.state_index.lock();
-        let mut out: Vec<(String, usize)> = index
-            .by_state
-            .iter()
-            .filter(|(_, s)| !s.is_empty())
-            .map(|(k, s)| (k.clone(), s.len()))
-            .collect();
-        out.sort();
-        Ok(out)
+        Ok(self.state_index.census())
     }
 }
 

@@ -382,7 +382,7 @@ mod tests {
     #[test]
     fn display_is_compact() {
         assert_eq!(Value::Int(5).to_string(), "5");
-        assert_eq!(Value::dna("ACGTACGTACGTACGTACGT").unwrap().to_string().contains("20 bp"), true);
+        assert!(Value::dna("ACGTACGTACGTACGTACGT").unwrap().to_string().contains("20 bp"));
         assert_eq!(Value::List(vec![Value::Int(1), Value::Int(2)]).to_string(), "[1, 2]");
     }
 

@@ -32,11 +32,13 @@ fn op_strategy() -> impl Strategy<Value = Op> {
     ]
 }
 
+/// One recorded event: step id, material, valid time, attrs.
+type Event = (StepId, usize, i64, Vec<(String, Value)>);
+
 /// Reference model: a flat event list per material.
 #[derive(Default)]
 struct Model {
-    /// (step id, material, valid time, attrs)
-    events: Vec<(StepId, usize, i64, Vec<(String, Value)>)>,
+    events: Vec<Event>,
 }
 
 impl Model {

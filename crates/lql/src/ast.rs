@@ -53,7 +53,7 @@ impl Term {
             Term::Var(_) => false,
             Term::List(items, tail) => {
                 items.iter().all(Term::is_ground)
-                    && tail.as_ref().map_or(true, |t| t.is_ground())
+                    && tail.as_ref().is_none_or(|t| t.is_ground())
             }
             Term::Compound(_, args) => args.iter().all(Term::is_ground),
             _ => true,

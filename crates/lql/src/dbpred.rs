@@ -217,7 +217,7 @@ pub(crate) fn try_db(
             let tuples = info
                 .attrs
                 .iter()
-                .filter(|(n, _)| text(&args[1]).map_or(true, |want| want == n))
+                .filter(|(n, _)| text(&args[1]).is_none_or(|want| want == n))
                 .map(|(n, v)| vec![Term::Oid(s), Term::Atom(n.clone()), Term::from_value(v)])
                 .collect();
             ok(tuples)
@@ -297,7 +297,7 @@ pub(crate) fn try_db(
                 Ok(members) => {
                     let tuples = members
                         .into_iter()
-                        .filter(|m| oid(&args[1]).map_or(true, |want| want == m.oid()))
+                        .filter(|m| oid(&args[1]).is_none_or(|want| want == m.oid()))
                         .map(|m| vec![Term::Atom(set.to_string()), Term::Oid(m.oid())])
                         .collect();
                     ok(tuples)

@@ -197,7 +197,7 @@ mod tests {
     fn hit_after_miss() {
         let (file, stats, pool) = setup("hits", 4);
         let pid = file.allocate_page();
-        pool.with_new_page(pid, |buf| page::init(buf)).unwrap();
+        pool.with_new_page(pid, page::init).unwrap();
         pool.with_page(pid, |_| ()).unwrap();
         pool.with_page(pid, |_| ()).unwrap();
         let s = stats.snapshot();
@@ -249,7 +249,7 @@ mod tests {
     fn clear_makes_next_access_cold() {
         let (file, stats, pool) = setup("clear", 8);
         let pid = file.allocate_page();
-        pool.with_new_page(pid, |buf| page::init(buf)).unwrap();
+        pool.with_new_page(pid, page::init).unwrap();
         pool.clear().unwrap();
         assert_eq!(pool.resident(), 0);
         let before = stats.snapshot();
@@ -266,7 +266,7 @@ mod tests {
         let file = Arc::new(PageFile::create(&dir.join("d.pg"), stats.clone()).unwrap());
         let pool = BufferPool::new(file.clone(), stats.clone(), 2, true);
         let pid = file.allocate_page();
-        pool.with_new_page(pid, |b| page::init(b)).unwrap();
+        pool.with_new_page(pid, page::init).unwrap();
         assert_eq!(stats.snapshot().swizzles, 1);
     }
 }

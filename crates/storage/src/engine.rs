@@ -9,10 +9,8 @@
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex as StdMutex, MutexGuard};
 use std::time::Duration;
-
-use parking_lot::Mutex;
 
 use crate::buffer::BufferPool;
 use crate::error::{Result, StorageError};
@@ -40,6 +38,12 @@ pub struct Options {
     /// benchmark leaves this off and relies on checkpoints, keeping the
     /// comparison about locality rather than fsync latency.
     pub sync_commit: bool,
+    /// Group-commit batching window (OStore only): how long the first
+    /// committer of a batch lingers before forcing the log, so that
+    /// concurrent commits share one force. `None` forces immediately;
+    /// batching still happens opportunistically while a force is in
+    /// flight.
+    pub group_commit_window: Option<Duration>,
 }
 
 impl Default for Options {
@@ -48,6 +52,7 @@ impl Default for Options {
             buffer_pages: 2048, // 8 MiB at 4 KiB pages
             lock_timeout: Duration::from_millis(500),
             sync_commit: false,
+            group_commit_window: None,
         }
     }
 }
@@ -99,7 +104,7 @@ impl Profile {
             segments: 1,
             wal: false,
             single_user: true,
-            extra_header: 40,
+            extra_header: 88,
             align: 16,
             count_swizzles: true,
         }
@@ -122,6 +127,15 @@ struct TxnState {
     undo: Vec<Undo>,
 }
 
+/// Active-transaction table plus the checkpoint quiesce flag, guarded by
+/// one mutex so "no transactions active" can be awaited atomically.
+#[derive(Default)]
+struct ActiveState {
+    txns: HashMap<u64, TxnState>,
+    /// A checkpoint is draining active transactions; new `begin`s wait.
+    quiescing: bool,
+}
+
 /// A persistent storage manager: the common engine behind [`OStore`],
 /// [`Texas`], and [`TexasTc`].
 pub struct Engine {
@@ -133,7 +147,10 @@ pub struct Engine {
     wal: Option<Wal>,
     locks: Option<LockManager>,
     stats: Arc<StorageStats>,
-    active: Mutex<HashMap<u64, TxnState>>,
+    active: StdMutex<ActiveState>,
+    /// Signalled when the active-transaction table drains or a
+    /// checkpoint finishes quiescing.
+    active_changed: Condvar,
     next_txn: AtomicU64,
     sync_commit: bool,
 }
@@ -170,7 +187,11 @@ impl Engine {
             profile.extra_header,
             profile.align,
         );
-        let wal = if profile.wal { Some(Wal::create(&wal_path, stats.clone())?) } else { None };
+        let wal = if profile.wal {
+            Some(Wal::create(&wal_path, stats.clone(), opts.group_commit_window)?)
+        } else {
+            None
+        };
         let locks = if profile.single_user {
             None
         } else {
@@ -185,7 +206,8 @@ impl Engine {
             wal,
             locks,
             stats,
-            active: Mutex::new(HashMap::new()),
+            active: StdMutex::new(ActiveState::default()),
+            active_changed: Condvar::new(),
             next_txn: AtomicU64::new(1),
             sync_commit: opts.sync_commit,
         };
@@ -249,7 +271,7 @@ impl Engine {
                     WalRecord::Begin(_) | WalRecord::Commit(_) | WalRecord::Abort(_) => {}
                 }
             }
-            Some(Wal::open(&wal_path, stats.clone())?)
+            Some(Wal::open(&wal_path, stats.clone(), opts.group_commit_window)?)
         } else {
             None
         };
@@ -267,7 +289,8 @@ impl Engine {
             wal,
             locks,
             stats,
-            active: Mutex::new(HashMap::new()),
+            active: StdMutex::new(ActiveState::default()),
+            active_changed: Condvar::new(),
             next_txn: AtomicU64::new(1),
             sync_commit: opts.sync_commit,
         };
@@ -314,8 +337,12 @@ impl Engine {
         self.heap.oids()
     }
 
+    fn active(&self) -> MutexGuard<'_, ActiveState> {
+        self.active.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     fn require_txn(&self, txn: TxnId) -> Result<()> {
-        if self.active.lock().contains_key(&txn.raw()) {
+        if self.active().txns.contains_key(&txn.raw()) {
             Ok(())
         } else {
             Err(StorageError::UnknownTxn(txn))
@@ -343,33 +370,35 @@ impl StorageManager for Engine {
     }
 
     fn begin(&self) -> Result<TxnId> {
-        let mut active = self.active.lock();
-        if self.profile.single_user && !active.is_empty() {
+        let mut active = self.active();
+        // A checkpoint is draining the system: wait for it to finish so
+        // the snapshot it writes contains no transaction mid-flight.
+        while active.quiescing {
+            active = self.active_changed.wait(active).unwrap_or_else(|e| e.into_inner());
+        }
+        if self.profile.single_user && !active.txns.is_empty() {
             return Err(StorageError::SingleUser);
         }
         let id = self.next_txn.fetch_add(1, Ordering::Relaxed);
-        active.insert(id, TxnState::default());
+        active.txns.insert(id, TxnState::default());
         drop(active);
         self.log(WalRecord::Begin(id))?;
         Ok(TxnId::from_raw(id))
     }
 
     fn commit(&self, txn: TxnId) -> Result<()> {
-        let state = self
-            .active
-            .lock()
-            .remove(&txn.raw())
-            .ok_or(StorageError::UnknownTxn(txn))?;
+        let mut active = self.active();
+        let state = active.txns.remove(&txn.raw()).ok_or(StorageError::UnknownTxn(txn))?;
+        if active.txns.is_empty() {
+            self.active_changed.notify_all();
+        }
+        drop(active);
         drop(state);
         self.log(WalRecord::Commit(txn.raw()))?;
         if let Some(wal) = &self.wal {
-            // Group-commit: buffered records reach the OS at commit;
-            // sync_commit additionally forces them to stable storage.
-            if self.sync_commit {
-                wal.sync()?;
-            } else {
-                wal.flush()?;
-            }
+            // Group commit: concurrent committers share one log force;
+            // sync_commit additionally makes the force an fdatasync.
+            wal.group_commit(self.sync_commit)?;
         }
         if let Some(locks) = &self.locks {
             locks.release_all(txn);
@@ -384,11 +413,12 @@ impl StorageManager for Engine {
                 "abort: the Texas store has no undo capability",
             ));
         }
-        let state = self
-            .active
-            .lock()
-            .remove(&txn.raw())
-            .ok_or(StorageError::UnknownTxn(txn))?;
+        let mut active = self.active();
+        let state = active.txns.remove(&txn.raw()).ok_or(StorageError::UnknownTxn(txn))?;
+        if active.txns.is_empty() {
+            self.active_changed.notify_all();
+        }
+        drop(active);
         for undo in state.undo.into_iter().rev() {
             match undo {
                 Undo::UnAlloc(oid) => self.heap.free(oid)?,
@@ -417,7 +447,7 @@ impl StorageManager for Engine {
         let oid = self.heap.alloc(seg, hint, data)?;
         self.lock(txn, oid, LockMode::Exclusive)?;
         self.log(WalRecord::Alloc { txn: txn.raw(), oid, seg, hint, data: data.to_vec() })?;
-        if let Some(state) = self.active.lock().get_mut(&txn.raw()) {
+        if let Some(state) = self.active().txns.get_mut(&txn.raw()) {
             state.undo.push(Undo::UnAlloc(oid));
         }
         Ok(oid)
@@ -440,7 +470,7 @@ impl StorageManager for Engine {
         self.heap.update(oid, data)?;
         self.log(WalRecord::Update { txn: txn.raw(), oid, data: data.to_vec() })?;
         if let Some(old) = old {
-            if let Some(state) = self.active.lock().get_mut(&txn.raw()) {
+            if let Some(state) = self.active().txns.get_mut(&txn.raw()) {
                 state.undo.push(Undo::Restore(oid, old));
             }
         }
@@ -461,7 +491,7 @@ impl StorageManager for Engine {
         self.heap.free(oid)?;
         self.log(WalRecord::Free { txn: txn.raw(), oid })?;
         if let Some((data, seg)) = old {
-            if let Some(state) = self.active.lock().get_mut(&txn.raw()) {
+            if let Some(state) = self.active().txns.get_mut(&txn.raw()) {
                 state.undo.push(Undo::Realloc { oid, seg, data });
             }
         }
@@ -473,15 +503,35 @@ impl StorageManager for Engine {
     }
 
     fn checkpoint(&self) -> Result<()> {
-        self.pool.flush_all()?;
-        self.file.sync()?;
-        let (_, meta_path, _) = Self::paths(&self.dir);
-        meta::write_meta(&meta_path, &self.heap)?;
-        if let Some(wal) = &self.wal {
-            wal.truncate()?;
+        // Quiesce: block new transactions and drain the active ones so
+        // the snapshot and the WAL truncation are transaction-consistent.
+        // Callers must not hold an open transaction on this thread.
+        {
+            let mut active = self.active();
+            while active.quiescing {
+                active =
+                    self.active_changed.wait(active).unwrap_or_else(|e| e.into_inner());
+            }
+            active.quiescing = true;
+            while !active.txns.is_empty() {
+                active =
+                    self.active_changed.wait(active).unwrap_or_else(|e| e.into_inner());
+            }
         }
-        StorageStats::bump(&self.stats.checkpoints, 1);
-        Ok(())
+        let result = (|| {
+            self.pool.flush_all()?;
+            self.file.sync()?;
+            let (_, meta_path, _) = Self::paths(&self.dir);
+            meta::write_meta(&meta_path, &self.heap)?;
+            if let Some(wal) = &self.wal {
+                wal.truncate()?;
+            }
+            StorageStats::bump(&self.stats.checkpoints, 1);
+            Ok(())
+        })();
+        self.active().quiescing = false;
+        self.active_changed.notify_all();
+        result
     }
 
     fn stats(&self) -> StatsSnapshot {

@@ -76,7 +76,7 @@ mod tests {
     #[test]
     fn display_covers_variants() {
         let cases: Vec<StorageError> = vec![
-            StorageError::Io(io::Error::new(io::ErrorKind::Other, "boom")),
+            StorageError::Io(io::Error::other("boom")),
             StorageError::UnknownObject(Oid::from_raw(7)),
             StorageError::UnknownTxn(TxnId::from_raw(3)),
             StorageError::Unsupported("abort"),

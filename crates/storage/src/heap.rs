@@ -24,7 +24,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parking_lot::RwLock;
 
 use crate::buffer::BufferPool;
 use crate::error::{Result, StorageError};
@@ -83,13 +83,16 @@ struct HeapInner {
     next_oid: u64,
 }
 
-/// The object heap. Thread-safe; all metadata behind one mutex, page
-/// contents behind the buffer pool's own lock.
+/// The object heap. Thread-safe; all metadata behind one reader-writer
+/// lock, page contents behind the buffer pool's own lock. Readers hold
+/// the shared guard across the page access so a concurrent update cannot
+/// relocate an object (freeing its old slot, or recycling its overflow
+/// pages) out from under them.
 pub struct Heap {
     pool: Arc<BufferPool>,
     file: Arc<PageFile>,
     stats: Arc<StorageStats>,
-    inner: Mutex<HeapInner>,
+    inner: RwLock<HeapInner>,
     placement: Placement,
     extra_header: usize,
     align: usize,
@@ -113,7 +116,7 @@ impl Heap {
             pool,
             file,
             stats,
-            inner: Mutex::new(HeapInner {
+            inner: RwLock::new(HeapInner {
                 table: HashMap::new(),
                 segs,
                 chunks: HashMap::new(),
@@ -312,7 +315,7 @@ impl Heap {
     /// Allocate a new object. `hint` matters only under
     /// [`Placement::ClientChunks`]; `seg` only under [`Placement::Segments`].
     pub fn alloc(&self, seg: SegmentId, hint: ClusterHint, payload: &[u8]) -> Result<Oid> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.write();
         let stored_len = self.stored_len(payload.len());
         let stored = if stored_len > page::MAX_RECORD {
             self.write_overflow(&mut inner, payload)?
@@ -336,7 +339,7 @@ impl Heap {
         hint: ClusterHint,
         payload: &[u8],
     ) -> Result<()> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.write();
         let stored_len = self.stored_len(payload.len());
         let stored = if stored_len > page::MAX_RECORD {
             self.write_overflow(&mut inner, payload)?
@@ -351,12 +354,13 @@ impl Heap {
         Ok(())
     }
 
-    /// Read an object's payload.
+    /// Read an object's payload. The shared guard is held across the page
+    /// (and overflow-chain) access: a concurrent relocating update would
+    /// otherwise free the slot — or recycle the chain pages — between the
+    /// table lookup and the read.
     pub fn read(&self, oid: Oid) -> Result<Vec<u8>> {
-        let loc = {
-            let inner = self.inner.lock();
-            *inner.table.get(&oid.raw()).ok_or(StorageError::UnknownObject(oid))?
-        };
+        let inner = self.inner.read();
+        let loc = *inner.table.get(&oid.raw()).ok_or(StorageError::UnknownObject(oid))?;
         StorageStats::bump(&self.stats.reads, 1);
         let stored = self.pool.with_page(loc.page, |buf| {
             page::read(buf, loc.slot).map(|s| s.to_vec())
@@ -374,7 +378,7 @@ impl Heap {
     /// Overwrite an object's payload. The oid is stable even if the object
     /// moves to another page.
     pub fn update(&self, oid: Oid, payload: &[u8]) -> Result<()> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.write();
         let loc = *inner.table.get(&oid.raw()).ok_or(StorageError::UnknownObject(oid))?;
         StorageStats::bump(&self.stats.updates, 1);
 
@@ -410,7 +414,7 @@ impl Heap {
 
     /// Delete an object.
     pub fn free(&self, oid: Oid) -> Result<()> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.write();
         let loc = inner
             .table
             .remove(&oid.raw())
@@ -429,22 +433,22 @@ impl Heap {
 
     /// Segment the object currently lives in, if it exists.
     pub fn segment_of(&self, oid: Oid) -> Option<SegmentId> {
-        self.inner.lock().table.get(&oid.raw()).map(|l| l.seg)
+        self.inner.read().table.get(&oid.raw()).map(|l| l.seg)
     }
 
     /// Whether an object exists.
     pub fn exists(&self, oid: Oid) -> bool {
-        self.inner.lock().table.contains_key(&oid.raw())
+        self.inner.read().table.contains_key(&oid.raw())
     }
 
     /// Number of live objects.
     pub fn object_count(&self) -> usize {
-        self.inner.lock().table.len()
+        self.inner.read().table.len()
     }
 
     /// Snapshot of all live oids (diagnostics / scans).
     pub fn oids(&self) -> Vec<Oid> {
-        let inner = self.inner.lock();
+        let inner = self.inner.read();
         let mut v: Vec<Oid> = inner.table.keys().map(|&k| Oid::from_raw(k)).collect();
         v.sort_unstable();
         v
@@ -452,7 +456,7 @@ impl Heap {
 
     /// Pages owned by each segment (for size reporting).
     pub fn segment_pages(&self) -> Vec<usize> {
-        self.inner.lock().segs.iter().map(|s| s.pages.len()).collect()
+        self.inner.read().segs.iter().map(|s| s.pages.len()).collect()
     }
 
     // ---- metadata (de)hydration for checkpointing -------------------------
@@ -460,7 +464,7 @@ impl Heap {
     /// Serialize the heap metadata (object table, segment page lists,
     /// free list, oid counter) for the meta file.
     pub fn dump_meta(&self, out: &mut Vec<u8>) {
-        let inner = self.inner.lock();
+        let inner = self.inner.read();
         out.extend_from_slice(&inner.next_oid.to_le_bytes());
         out.extend_from_slice(&(inner.table.len() as u64).to_le_bytes());
         let mut entries: Vec<(&u64, &Loc)> = inner.table.iter().collect();
@@ -517,7 +521,7 @@ impl Heap {
         for _ in 0..nfree {
             free_pages.push(PageId(cur.u32()?));
         }
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.write();
         inner.next_oid = next_oid;
         inner.table = table;
         inner.segs = segs;
@@ -691,7 +695,7 @@ mod tests {
         // New chain should have drawn from the free list, not grown the file.
         let _ = pages_before; // segment page list tracks only record pages
         let inner_free = {
-            let guard = h.inner.lock();
+            let guard = h.inner.read();
             guard.free_pages.len()
         };
         assert!(inner_free < 4, "free list should have been consumed");
@@ -753,6 +757,46 @@ mod tests {
         let ghost = Oid::from_raw(999);
         assert!(matches!(h.update(ghost, b"x"), Err(StorageError::UnknownObject(_))));
         assert!(matches!(h.free(ghost), Err(StorageError::UnknownObject(_))));
+    }
+
+    #[test]
+    fn concurrent_reads_race_relocating_updates() {
+        // Regression: readers must hold the heap's shared guard across
+        // the page access, or a relocating update frees the slot (and may
+        // recycle it) between their table lookup and their page read.
+        let (h, _) = heap("race", Placement::Segments, 1, 64);
+        let small = vec![7u8; 100];
+        let large = vec![9u8; 3000];
+        let oid = h.alloc(SegmentId(0), ClusterHint::NONE, &small).unwrap();
+        // Fill the page so growth forces relocation.
+        for _ in 0..8 {
+            h.alloc(SegmentId(0), ClusterHint::NONE, &[1u8; 400]).unwrap();
+        }
+        std::thread::scope(|scope| {
+            let writer = scope.spawn(|| {
+                for i in 0..2_000 {
+                    let payload = if i % 2 == 0 { &large } else { &small };
+                    h.update(oid, payload).unwrap();
+                }
+            });
+            let mut readers = Vec::new();
+            for _ in 0..3 {
+                readers.push(scope.spawn(|| {
+                    for _ in 0..2_000 {
+                        let got = h.read(oid).unwrap();
+                        assert!(
+                            got == small || got == large,
+                            "reader saw a torn/foreign payload of {} bytes",
+                            got.len()
+                        );
+                    }
+                }));
+            }
+            writer.join().unwrap();
+            for r in readers {
+                r.join().unwrap();
+            }
+        });
     }
 
     #[test]

@@ -282,7 +282,7 @@ mod tests {
         let mut p = fresh();
         let filler = insert(&mut p, &vec![1u8; MAX_RECORD - 64]).unwrap();
         let s = insert(&mut p, b"small").unwrap();
-        assert!(!update(&mut p, s, &vec![2u8; 200]));
+        assert!(!update(&mut p, s, &[2u8; 200]));
         assert_eq!(read(&p, s).unwrap(), b"small");
         assert_eq!(read(&p, filler).unwrap().len(), MAX_RECORD - 64);
     }

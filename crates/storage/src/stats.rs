@@ -35,6 +35,9 @@ pub struct StorageStats {
     pub aborts: AtomicU64,
     /// Bytes appended to the write-ahead log.
     pub wal_bytes: AtomicU64,
+    /// Physical log forces (group-commit batches): each force covers one
+    /// or more commits, so under concurrency this stays below `commits`.
+    pub wal_syncs: AtomicU64,
     /// Checkpoints taken.
     pub checkpoints: AtomicU64,
 }
@@ -61,6 +64,7 @@ impl StorageStats {
             commits: self.commits.load(Ordering::Relaxed),
             aborts: self.aborts.load(Ordering::Relaxed),
             wal_bytes: self.wal_bytes.load(Ordering::Relaxed),
+            wal_syncs: self.wal_syncs.load(Ordering::Relaxed),
             checkpoints: self.checkpoints.load(Ordering::Relaxed),
         }
     }
@@ -93,6 +97,8 @@ pub struct StatsSnapshot {
     pub aborts: u64,
     /// See [`StorageStats::wal_bytes`].
     pub wal_bytes: u64,
+    /// See [`StorageStats::wal_syncs`].
+    pub wal_syncs: u64,
     /// See [`StorageStats::checkpoints`].
     pub checkpoints: u64,
 }
@@ -113,6 +119,7 @@ impl StatsSnapshot {
             commits: self.commits.saturating_sub(earlier.commits),
             aborts: self.aborts.saturating_sub(earlier.aborts),
             wal_bytes: self.wal_bytes.saturating_sub(earlier.wal_bytes),
+            wal_syncs: self.wal_syncs.saturating_sub(earlier.wal_syncs),
             checkpoints: self.checkpoints.saturating_sub(earlier.checkpoints),
         }
     }

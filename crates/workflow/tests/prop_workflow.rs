@@ -70,8 +70,7 @@ proptest! {
         let engine = WorkflowEngine::new(&graph).unwrap();
         let t = db.begin().unwrap();
         let tc = engine.inject(&db, t, "tclone", "t0", genome::PICKED, 0).unwrap();
-        let mut vt = 1i64;
-        for (step_idx, sample) in &choices {
+        for (vt, (step_idx, sample)) in (1i64..).zip(choices.iter()) {
             let step = &graph.steps[step_idx % graph.steps.len()];
             let outcome = engine.choose_outcome(&step.name, *sample).unwrap().to_string();
             match engine.execute(&db, t, &step.name, &[tc], &outcome, vec![], &[], vt) {
@@ -90,7 +89,6 @@ proptest! {
                 }
                 Err(other) => return Err(TestCaseError::fail(format!("unexpected: {other}"))),
             }
-            vt += 1;
         }
         db.commit(t).unwrap();
     }

@@ -3,7 +3,7 @@
 //! makes LabFlow-1 a storage-manager comparison ("each workflow-data
 //! manager uses virtually the same LabBase implementation").
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 use labbase::LabBase;
 use labflow_core::{BenchConfig, LabSim, ServerVersion};
@@ -15,6 +15,10 @@ fn scratch(name: &str) -> PathBuf {
     dir
 }
 
+/// One sampled material: name, state, step count, and attrs of its
+/// newest step.
+type SampledRow = (String, Option<String>, usize, Vec<(String, String)>);
+
 /// A logical fingerprint of a built database: everything a user can
 /// observe, nothing about physical placement.
 #[derive(Debug, PartialEq)]
@@ -23,10 +27,10 @@ struct Fingerprint {
     tclones: u64,
     census: Vec<(String, usize)>,
     steps: u64,
-    sampled: Vec<(String, Option<String>, usize, Vec<(String, String)>)>,
+    sampled: Vec<SampledRow>,
 }
 
-fn build_and_fingerprint(version: ServerVersion, dir: &PathBuf) -> Fingerprint {
+fn build_and_fingerprint(version: ServerVersion, dir: &Path) -> Fingerprint {
     let cfg = BenchConfig { base_clones: 10, buffer_pages: 96, ..BenchConfig::smoke() };
     let store = version.make_store(dir, cfg.buffer_pages).unwrap();
     let db = LabBase::create(store).unwrap();

@@ -1,0 +1,250 @@
+//! A minimal, offline stand-in for `criterion`.
+//!
+//! Provides the group/bencher API surface this workspace's benches use
+//! and times closures with `std::time::Instant`: a short warm-up, then
+//! `sample_size` samples whose mean/min/max are printed per benchmark.
+//! No plotting, statistics, or CLI; `cargo bench` output is plain text.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Throughput annotation (printed alongside timings).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Identifier for a parameterized benchmark.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Build an id from a parameter value, mirroring criterion's API.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+
+    /// Build an id from a function name and a parameter.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId(format!("{}/{}", function_name.into(), parameter))
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Runs closures under measurement.
+pub struct Bencher {
+    samples: usize,
+    warm_up: Duration,
+    results: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine`, called once per sample after warm-up.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let warm_until = Instant::now() + self.warm_up;
+        while Instant::now() < warm_until {
+            std::hint::black_box(routine());
+        }
+        self.results.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.results.push(start.elapsed());
+        }
+    }
+
+    /// Like [`iter`](Self::iter) but drops the output outside the
+    /// measured region.
+    pub fn iter_with_large_drop<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let warm_until = Instant::now() + self.warm_up;
+        while Instant::now() < warm_until {
+            std::hint::black_box(routine());
+        }
+        self.results.clear();
+        let mut kept = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            let out = std::hint::black_box(routine());
+            self.results.push(start.elapsed());
+            kept.push(out);
+        }
+        drop(kept);
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    warm_up: Duration,
+    /// Advisory only — the shim runs fixed sample counts.
+    #[allow(dead_code)]
+    measurement: Duration,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            // Keep the shim fast: cap samples so `cargo bench` finishes
+            // even for expensive bodies; measurement_time is advisory.
+            samples: self.sample_size.min(20),
+            warm_up: self.warm_up.min(Duration::from_millis(500)),
+            results: Vec::new(),
+        };
+        f(&mut bencher);
+        self.report(&id.0, &bencher.results);
+        self
+    }
+
+    /// Run one benchmark with an input value.
+    pub fn bench_with_input<I, T, F>(&mut self, id: I, input: &T, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        T: ?Sized,
+        F: FnMut(&mut Bencher, &T),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: self.sample_size.min(20),
+            warm_up: self.warm_up.min(Duration::from_millis(500)),
+            results: Vec::new(),
+        };
+        f(&mut bencher, input);
+        self.report(&id.0, &bencher.results);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+
+    fn report(&self, id: &str, samples: &[Duration]) {
+        if samples.is_empty() {
+            println!("{}/{id}: no samples", self.name);
+            return;
+        }
+        let total: Duration = samples.iter().sum();
+        let mean = total / samples.len() as u32;
+        let min = samples.iter().min().unwrap();
+        let max = samples.iter().max().unwrap();
+        let thru = match self.throughput {
+            Some(Throughput::Bytes(b)) if mean.as_secs_f64() > 0.0 => {
+                format!("  {:.1} MiB/s", b as f64 / mean.as_secs_f64() / (1024.0 * 1024.0))
+            }
+            Some(Throughput::Elements(n)) if mean.as_secs_f64() > 0.0 => {
+                format!("  {:.0} elem/s", n as f64 / mean.as_secs_f64())
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{}/{id}: mean {mean:?}  min {min:?}  max {max:?}  ({} samples){thru}",
+            self.name,
+            samples.len(),
+        );
+    }
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== group {name} ==");
+        BenchmarkGroup {
+            name,
+            sample_size: 10,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(5),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+}
+
+/// Expose a set of benchmark functions as one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+/// Prevent the optimizer from eliding a value (re-export of the std hint).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3).warm_up_time(Duration::from_millis(1));
+        group.throughput(Throughput::Bytes(8));
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::from_parameter("x"), &7u64, |b, &x| {
+            b.iter_with_large_drop(|| vec![x; 16])
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_compiles_and_runs() {
+        benches();
+    }
+}

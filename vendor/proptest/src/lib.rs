@@ -1,0 +1,597 @@
+//! A minimal, offline stand-in for `proptest`.
+//!
+//! Implements the random-generation subset of the API this workspace
+//! uses: `Strategy` (with `prop_map`, `prop_recursive`, `boxed`),
+//! `BoxedStrategy`, `Just`, `any`, `collection::vec`, regex-subset
+//! string strategies, the `proptest!`/`prop_oneof!`/`prop_assert*!`
+//! macros, and `ProptestConfig`. Cases are generated from a
+//! deterministic per-test seed; there is no shrinking — a failing case
+//! reports its case index and message directly.
+
+use std::ops::{Range, RangeInclusive};
+use std::sync::Arc;
+
+use rand::{Rng, RngCore, SeedableRng, StdRng};
+
+/// Deterministic RNG handed to strategies while generating a case.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Seed from a test name and case index (FNV-1a over the name,
+    /// mixed with the case number) so every run is reproducible.
+    pub fn deterministic(test_name: &str, case: u32) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h ^= (case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        TestRng(StdRng::seed_from_u64(h))
+    }
+
+    fn inner(&mut self) -> &mut StdRng {
+        &mut self.0
+    }
+}
+
+/// A generator of values of one type.
+///
+/// Unlike real proptest there is no value tree / shrinking: a strategy
+/// simply produces a value from an RNG.
+pub trait Strategy: 'static {
+    type Value;
+
+    /// Generate one value.
+    fn gen_one(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Type-erase into a clonable, shareable strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + Send + Sync,
+        Self::Value: 'static,
+    {
+        let s = self;
+        BoxedStrategy(Arc::new(move |rng| s.gen_one(rng)))
+    }
+
+    /// Map generated values through a function.
+    fn prop_map<U, F>(self, f: F) -> BoxedStrategy<U>
+    where
+        Self: Sized + Send + Sync,
+        Self::Value: 'static,
+        U: 'static,
+        F: Fn(Self::Value) -> U + Send + Sync + 'static,
+    {
+        let s = self;
+        BoxedStrategy(Arc::new(move |rng| f(s.gen_one(rng))))
+    }
+
+    /// Build recursive structures: `recurse` receives the
+    /// strategy-so-far and returns a strategy for one more level of
+    /// nesting. Depth is bounded by `depth`; `_desired_size` and
+    /// `_expected_branch` are accepted for signature compatibility.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + Send + Sync,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + Send + Sync,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let leaf = self.boxed();
+        let mut cur = leaf.clone();
+        for _ in 0..depth {
+            // Each level: mostly recurse, sometimes bottom out early so
+            // shallow values stay common.
+            cur = union_weighted(vec![(1, leaf.clone()), (2, recurse(cur).boxed())]);
+        }
+        cur
+    }
+}
+
+/// A type-erased, clonable strategy.
+pub struct BoxedStrategy<T>(Arc<dyn Fn(&mut TestRng) -> T + Send + Sync>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Arc::clone(&self.0))
+    }
+}
+
+impl<T: 'static> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn gen_one(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+    fn boxed(self) -> BoxedStrategy<T> {
+        self
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + 'static> Strategy for Just<T> {
+    type Value = T;
+    fn gen_one(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Pick among weighted alternative strategies.
+pub fn union_weighted<T: 'static>(arms: Vec<(u32, BoxedStrategy<T>)>) -> BoxedStrategy<T> {
+    assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+    let total: u64 = arms.iter().map(|(w, _)| *w as u64).sum();
+    assert!(total > 0, "prop_oneof! weights sum to zero");
+    BoxedStrategy(Arc::new(move |rng| {
+        let mut pick = rng.inner().gen_range(0..total);
+        for (w, s) in &arms {
+            if pick < *w as u64 {
+                return s.gen_one(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("weighted pick out of range")
+    }))
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized + 'static {
+    fn arbitrary_one(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary_one(rng: &mut TestRng) -> Self {
+                rng.inner().next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary_one(rng: &mut TestRng) -> Self {
+        rng.inner().next_u64() & 1 == 1
+    }
+}
+
+/// Strategy for any value of `T` (full range for integers).
+pub fn any<T: Arbitrary>() -> BoxedStrategy<T> {
+    BoxedStrategy(Arc::new(|rng| T::arbitrary_one(rng)))
+}
+
+macro_rules! impl_strategy_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn gen_one(&self, rng: &mut TestRng) -> $t {
+                rng.inner().gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn gen_one(&self, rng: &mut TestRng) -> $t {
+                rng.inner().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_strategy_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64, f32);
+
+/// Regex-subset string strategy: a `&'static str` pattern of literal
+/// characters and character classes, each optionally repeated with
+/// `{m}` or `{m,n}`. Classes support ranges (`a-z`), escapes, and one
+/// `&&[^...]` subtraction clause — the forms this workspace's tests use.
+impl Strategy for &'static str {
+    type Value = String;
+    fn gen_one(&self, rng: &mut TestRng) -> String {
+        gen_from_pattern(self, rng)
+    }
+}
+
+fn gen_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut out = String::new();
+    while i < chars.len() {
+        let alphabet: Vec<char> = match chars[i] {
+            '[' => {
+                let (set, next) = parse_class(&chars, i + 1, pattern);
+                i = next;
+                set
+            }
+            '\\' => {
+                i += 2;
+                vec![chars[i - 1]]
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        assert!(!alphabet.is_empty(), "empty character class in pattern {pattern:?}");
+        // Optional repetition suffix.
+        let (lo, hi) = if chars.get(i) == Some(&'{') {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|p| p + i)
+                .unwrap_or_else(|| panic!("unclosed {{ in pattern {pattern:?}"));
+            let spec: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match spec.split_once(',') {
+                Some((a, b)) => (a.parse().unwrap(), b.parse().unwrap()),
+                None => {
+                    let n: usize = spec.parse().unwrap();
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        let count = rng.inner().gen_range(lo..=hi);
+        for _ in 0..count {
+            let pick = rng.inner().gen_range(0..alphabet.len());
+            out.push(alphabet[pick]);
+        }
+    }
+    out
+}
+
+/// Parse a character class body starting just after `[`; returns the
+/// expanded set and the index just past the closing `]`.
+fn parse_class(chars: &[char], mut i: usize, pattern: &str) -> (Vec<char>, usize) {
+    let mut include: Vec<char> = Vec::new();
+    let mut exclude: Vec<char> = Vec::new();
+    let mut negate_into_exclude = false;
+    loop {
+        match chars.get(i) {
+            None => panic!("unclosed [ in pattern {pattern:?}"),
+            Some(']') => {
+                i += 1;
+                break;
+            }
+            Some('&') if chars.get(i + 1) == Some(&'&') && chars.get(i + 2) == Some(&'[') => {
+                // `&&[^...]`: intersect with a negated class, i.e.
+                // subtract its members.
+                assert_eq!(chars.get(i + 3), Some(&'^'), "only &&[^...] subtraction supported");
+                i += 4;
+                negate_into_exclude = true;
+            }
+            Some(&c) => {
+                let lit = if c == '\\' {
+                    i += 2;
+                    chars[i - 1]
+                } else {
+                    i += 1;
+                    c
+                };
+                // Range like `a-z` (a `-` not at the class edge).
+                let target = if negate_into_exclude { &mut exclude } else { &mut include };
+                if chars.get(i) == Some(&'-') && chars.get(i + 1).is_some_and(|&n| n != ']') {
+                    let hi = if chars[i + 1] == '\\' { i += 3; chars[i - 1] } else { i += 2; chars[i - 1] };
+                    for code in lit as u32..=hi as u32 {
+                        if let Some(ch) = char::from_u32(code) {
+                            target.push(ch);
+                        }
+                    }
+                } else {
+                    target.push(lit);
+                }
+                // A subtraction clause ends at its own `]`.
+                if negate_into_exclude && chars.get(i) == Some(&']') {
+                    i += 1;
+                    negate_into_exclude = false;
+                }
+            }
+        }
+    }
+    include.retain(|c| !exclude.contains(c));
+    (include, i)
+}
+
+macro_rules! impl_strategy_tuple {
+    ($(($($name:ident/$idx:tt),+);)*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn gen_one(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.gen_one(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_strategy_tuple! {
+    (A/0, B/1);
+    (A/0, B/1, C/2);
+    (A/0, B/1, C/2, D/3);
+    (A/0, B/1, C/2, D/3, E/4);
+}
+
+pub mod collection {
+    use super::{BoxedStrategy, Strategy};
+    use rand::Rng;
+    use std::ops::Range;
+    use std::sync::Arc;
+
+    /// A vector of `size` elements drawn from `element`.
+    pub fn vec<S>(element: S, size: Range<usize>) -> BoxedStrategy<Vec<S::Value>>
+    where
+        S: Strategy + Send + Sync,
+        S::Value: 'static,
+    {
+        BoxedStrategy(Arc::new(move |rng| {
+            let n = rng.inner().gen_range(size.clone());
+            (0..n).map(|_| element.gen_one(rng)).collect()
+        }))
+    }
+}
+
+/// Why a test case did not pass: a real failure or a `prop_assume!`
+/// rejection (rejected cases are skipped, not failed).
+#[derive(Debug)]
+pub struct TestCaseError {
+    message: String,
+    reject: bool,
+}
+
+impl TestCaseError {
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError { message: message.into(), reject: false }
+    }
+
+    pub fn reject(message: impl Into<String>) -> Self {
+        TestCaseError { message: message.into(), reject: true }
+    }
+
+    pub fn is_reject(&self) -> bool {
+        self.reject
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+/// Runner configuration; only `cases` matters to the shim, the rest
+/// exist so struct-update literals from real proptest code compile.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+    /// Accepted for compatibility; the shim never shrinks.
+    pub max_shrink_iters: u32,
+    /// Accepted for compatibility; rejections beyond this abort the test.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256, max_shrink_iters: 0, max_global_rejects: 1024 }
+    }
+}
+
+/// Run one property: generate `config.cases` cases, calling `case` with
+/// a fresh deterministic RNG each time. Rejected cases are retried (up
+/// to the global reject cap); failures panic with the case number.
+pub fn run_property<F>(name: &str, config: &ProptestConfig, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let mut rejects = 0u32;
+    let mut case_idx = 0u32;
+    let mut passed = 0u32;
+    while passed < config.cases {
+        let mut rng = TestRng::deterministic(name, case_idx);
+        case_idx += 1;
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(e) if e.is_reject() => {
+                rejects += 1;
+                assert!(
+                    rejects <= config.max_global_rejects,
+                    "proptest {name}: too many prop_assume! rejections ({rejects})"
+                );
+            }
+            Err(e) => panic!("proptest {name}: case #{} failed: {}", case_idx - 1, e),
+        }
+    }
+}
+
+/// The property-test entry macro. Supports an optional
+/// `#![proptest_config(...)]` header followed by `fn name(arg in
+/// strategy, ...) { body }` items (attributes, including `#[test]`, are
+/// passed through).
+#[macro_export]
+macro_rules! proptest {
+    (@items ($cfg:expr)) => {};
+    (@items ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            $crate::run_property(
+                concat!(module_path!(), "::", stringify!($name)),
+                &config,
+                |rng| {
+                    $(let $arg = $crate::Strategy::gen_one(&($strat), rng);)+
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                },
+            );
+        }
+        $crate::proptest!(@items ($cfg) $($rest)*);
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@items ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@items ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Weighted (`w => strategy`) or unweighted choice among strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::union_weighted(vec![
+            $(($weight as u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::union_weighted(vec![
+            $((1u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Assert inside a property body; failure fails the case (not a panic).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Assert two values are equal inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{:?}` != `{:?}` ({} != {})",
+            l, r, stringify!($left), stringify!($right)
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}`: {}",
+                l, r, format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Assert two values differ inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: both sides are `{:?}` ({} == {})",
+            l, stringify!($left), stringify!($right)
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l != *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: both sides are `{:?}`: {}",
+                l, format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Skip this case unless the precondition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(concat!(
+                "assumption failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+}
+
+/// Everything a property test file typically imports.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError, TestRng,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn string_patterns_respect_class_and_repetition() {
+        let strat = "[a-z][a-z0-9_]{0,6}";
+        let mut rng = TestRng::deterministic("pat", 0);
+        for case in 0..200 {
+            let mut rng2 = TestRng::deterministic("pat", case);
+            let s = Strategy::gen_one(&strat, &mut rng2);
+            assert!((1..=7).contains(&s.len()), "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+        // Subtraction form: printable ASCII minus quote and backslash.
+        let tricky = "[ -~&&[^\"\\\\]]{0,8}";
+        for _ in 0..200 {
+            let s = Strategy::gen_one(&tricky, &mut rng);
+            assert!(s.len() <= 8);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c) && c != '"' && c != '\\'), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn oneof_and_vec_compose() {
+        let strat = prop_oneof![
+            3 => (0u8..4, 10usize..20).prop_map(|(a, b)| (a as usize) + b),
+            1 => Just(999usize),
+        ];
+        let lists = crate::collection::vec(strat, 1..5);
+        let mut some_999 = false;
+        for case in 0..100 {
+            let mut rng = TestRng::deterministic("oneof", case);
+            let v = Strategy::gen_one(&lists, &mut rng);
+            assert!((1..5).contains(&v.len()));
+            for x in v {
+                assert!((10..24).contains(&x) || x == 999);
+                some_999 |= x == 999;
+            }
+        }
+        assert!(some_999, "weighted arm never chosen");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+        #[test]
+        fn harness_runs_and_asserts(x in 0u64..100, y in 0u64..100) {
+            prop_assume!(x != 42);
+            prop_assert!(x < 100);
+            prop_assert_eq!(x + y, y + x);
+            prop_assert_ne!(x, x + y + 1);
+        }
+    }
+}

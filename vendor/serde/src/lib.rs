@@ -1,0 +1,148 @@
+//! A minimal, offline stand-in for `serde`.
+//!
+//! Instead of the full `Serializer` visitor machinery, serialization
+//! produces a [`Content`] tree directly; `serde_json` in this workspace
+//! renders that tree. `#[derive(Serialize)]` is provided by the
+//! companion `serde_derive` shim and covers named-field structs, which
+//! is all this workspace derives.
+
+pub use serde_derive::Serialize;
+
+/// A self-describing serialized value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Content {
+    Null,
+    Bool(bool),
+    Int(i64),
+    UInt(u64),
+    Float(f64),
+    Str(String),
+    Seq(Vec<Content>),
+    Map(Vec<(String, Content)>),
+}
+
+/// Types that can serialize themselves into a [`Content`] tree.
+pub trait Serialize {
+    fn serialize_content(&self) -> Content;
+}
+
+impl Serialize for Content {
+    fn serialize_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+macro_rules! impl_ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_content(&self) -> Content {
+                Content::Int(*self as i64)
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_content(&self) -> Content {
+                Content::UInt(*self as u64)
+            }
+        }
+    )*};
+}
+
+impl_ser_int!(i8, i16, i32, i64, isize);
+impl_ser_uint!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn serialize_content(&self) -> Content {
+        Content::Float(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_content(&self) -> Content {
+        Content::Float(*self as f64)
+    }
+}
+
+impl Serialize for str {
+    fn serialize_content(&self) -> Content {
+        Content::Str(self.to_owned())
+    }
+}
+
+impl Serialize for String {
+    fn serialize_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_content(&self) -> Content {
+        match self {
+            Some(v) => v.serialize_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize_content).collect())
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize_content(&self) -> Content {
+        Content::Seq(vec![self.0.serialize_content(), self.1.serialize_content()])
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_content(&self) -> Content {
+        (**self).serialize_content()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize_content(&self) -> Content {
+        (**self).serialize_content()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_map_to_expected_variants() {
+        assert_eq!(3u64.serialize_content(), Content::UInt(3));
+        assert_eq!((-3i64).serialize_content(), Content::Int(-3));
+        assert_eq!("x".serialize_content(), Content::Str("x".into()));
+        assert_eq!(None::<u32>.serialize_content(), Content::Null);
+        assert_eq!(
+            vec![1u32, 2].serialize_content(),
+            Content::Seq(vec![Content::UInt(1), Content::UInt(2)])
+        );
+    }
+}

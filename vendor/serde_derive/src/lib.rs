@@ -1,0 +1,122 @@
+//! Hand-rolled `#[derive(Serialize)]` without syn/quote.
+//!
+//! Supports non-generic structs with named fields — the only shape this
+//! workspace derives. The macro walks the raw token stream: skips
+//! attributes and visibility, reads the struct name, then takes the
+//! first identifier of each top-level comma-separated field group inside
+//! the brace block as the field name.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let mut iter = input.into_iter().peekable();
+
+    // Skip outer attributes (`#[...]`, including doc comments) and visibility.
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                iter.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                // `pub(crate)` and friends carry a parenthesized group.
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    match iter.next() {
+        Some(TokenTree::Ident(kw)) if kw.to_string() == "struct" => {}
+        other => panic!("serde shim: #[derive(Serialize)] supports structs only, got {other:?}"),
+    }
+
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim: expected struct name, got {other:?}"),
+    };
+
+    let body = loop {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                panic!("serde shim: generic structs are not supported")
+            }
+            Some(_) => continue,
+            None => panic!("serde shim: struct {name} has no braced field block"),
+        }
+    };
+
+    let mut entries = String::new();
+    for field in split_fields(body.stream()) {
+        if let Some(fname) = first_ident_before_colon(&field) {
+            entries.push_str(&format!(
+                "(\"{fname}\".to_string(), ::serde::Serialize::serialize_content(&self.{fname})),"
+            ));
+        }
+    }
+
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+            fn serialize_content(&self) -> ::serde::Content {{\n\
+                ::serde::Content::Map(vec![{entries}])\n\
+            }}\n\
+        }}"
+    );
+    out.parse().expect("serde shim: generated impl failed to parse")
+}
+
+/// Split a brace-block token stream into top-level comma-separated groups.
+fn split_fields(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut fields = Vec::new();
+    let mut current = Vec::new();
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == ',' => {
+                if !current.is_empty() {
+                    fields.push(std::mem::take(&mut current));
+                }
+            }
+            _ => current.push(tt),
+        }
+    }
+    if !current.is_empty() {
+        fields.push(current);
+    }
+    fields
+}
+
+/// The field name: first identifier in the group that is directly
+/// followed by `:` (skipping attributes and visibility).
+fn first_ident_before_colon(tokens: &[TokenTree]) -> Option<String> {
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            TokenTree::Ident(id) => {
+                if let Some(TokenTree::Punct(p)) = tokens.get(i + 1) {
+                    if p.as_char() == ':' {
+                        return Some(id.to_string());
+                    }
+                }
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    None
+}

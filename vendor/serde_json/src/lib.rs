@@ -1,0 +1,150 @@
+//! A minimal, offline stand-in for `serde_json`: renders the serde
+//! shim's [`Content`] tree as JSON. Provides `Value`, `to_value`,
+//! `to_string_pretty`, and the object-literal form of `json!`.
+
+use std::fmt;
+
+pub use serde::Content as Value;
+
+/// Serialization error (the shim's serialization is infallible, but the
+/// `Result` signatures are kept so call sites match real serde_json).
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convert any serializable value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    Ok(value.serialize_content())
+}
+
+/// Render a value as pretty-printed JSON (two-space indent).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.serialize_content(), 0, &mut out);
+    Ok(out)
+}
+
+fn render(v: &Value, indent: usize, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(f) => {
+            if f.is_finite() {
+                if f.fract() == 0.0 && f.abs() < 1e15 {
+                    out.push_str(&format!("{f:.1}"));
+                } else {
+                    out.push_str(&format!("{f}"));
+                }
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => push_escaped(s, out),
+        Value::Seq(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('\n');
+                push_indent(indent + 1, out);
+                render(item, indent + 1, out);
+            }
+            out.push('\n');
+            push_indent(indent, out);
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('\n');
+                push_indent(indent + 1, out);
+                push_escaped(k, out);
+                out.push_str(": ");
+                render(val, indent + 1, out);
+            }
+            out.push('\n');
+            push_indent(indent, out);
+            out.push('}');
+        }
+    }
+}
+
+fn push_indent(levels: usize, out: &mut String) {
+    for _ in 0..levels {
+        out.push_str("  ");
+    }
+}
+
+fn push_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Object-literal construction: `json!({ "key": value, ... })`.
+#[macro_export]
+macro_rules! json {
+    ({ $($key:literal : $value:expr),* $(,)? }) => {
+        $crate::Value::Map(vec![
+            $(($key.to_string(),
+               $crate::to_value(&$value).expect("json! value"))),*
+        ])
+    };
+    (null) => { $crate::Value::Null };
+    ($other:expr) => { $crate::to_value(&$other).expect("json! value") };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pretty_renders_nested_structures() {
+        let v = json!({
+            "name": "abl",
+            "points": vec![1u64, 2],
+            "ok": true,
+        });
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.contains("\"name\": \"abl\""));
+        assert!(s.contains("\"ok\": true"));
+        assert!(s.starts_with('{') && s.ends_with('}'));
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let s = to_string_pretty(&"a\"b\\c\n").unwrap();
+        assert_eq!(s, r#""a\"b\\c\n""#);
+    }
+}
