@@ -90,29 +90,39 @@ impl<'a> Reader<'a> {
         Ok(s)
     }
 
+    /// Take exactly `N` bytes as an array (for the fixed-width readers;
+    /// `take` has already bounds-checked, so the conversion is by
+    /// construction — but a typed error keeps the decode path panic-free
+    /// even if that coupling ever breaks).
+    fn arr<const N: usize>(&mut self) -> Result<[u8; N]> {
+        self.take(N)?
+            .try_into()
+            .map_err(|_| LabError::Decode("truncated fixed-width field".into()))
+    }
+
     /// Read a single byte.
     pub fn u8(&mut self) -> Result<u8> {
-        Ok(self.take(1)?[0])
+        Ok(self.arr::<1>()?[0])
     }
 
     /// Read a little-endian u32.
     pub fn u32(&mut self) -> Result<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.arr()?))
     }
 
     /// Read a little-endian u64.
     pub fn u64(&mut self) -> Result<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.arr()?))
     }
 
     /// Read a little-endian i64.
     pub fn i64(&mut self) -> Result<i64> {
-        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(i64::from_le_bytes(self.arr()?))
     }
 
     /// Read a little-endian f64.
     pub fn f64(&mut self) -> Result<f64> {
-        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(f64::from_le_bytes(self.arr()?))
     }
 
     /// Read a length-prefixed byte string.

@@ -9,10 +9,11 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, MutexGuard};
 
 use crate::error::Result;
 use crate::ids::PageId;
+use crate::lock_order::{self, Ranked};
 use crate::pagefile::PageFile;
 use crate::stats::StorageStats;
 use crate::PAGE_SIZE;
@@ -68,9 +69,15 @@ impl BufferPool {
         }
     }
 
+    /// Lock the frame table with rank tracking. The guard is held across
+    /// page-file reads and writes (a higher rank), never vice versa.
+    fn pool_lock(&self) -> Ranked<MutexGuard<'_, PoolInner>> {
+        lock_order::ranked(lock_order::BUFFER_POOL, || self.inner.lock())
+    }
+
     /// Number of frames.
     pub fn capacity(&self) -> usize {
-        self.inner.lock().frames.len()
+        self.pool_lock().frames.len()
     }
 
     fn locate(&self, inner: &mut PoolInner, pid: PageId, load: bool) -> Result<usize> {
@@ -121,19 +128,24 @@ impl BufferPool {
             }
             return Ok(idx);
         }
-        unreachable!("clock sweep found no victim in an unpinned pool");
+        // Nothing stays pinned outside the pool lock, so two sweeps always
+        // find a victim; surface a typed error rather than panicking if
+        // that invariant is ever broken.
+        Err(crate::error::StorageError::Corrupt(
+            "clock sweep found no victim in an unpinned pool".into(),
+        ))
     }
 
     /// Run `f` with read access to page `pid`, faulting it in if needed.
     pub fn with_page<R>(&self, pid: PageId, f: impl FnOnce(&[u8]) -> R) -> Result<R> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.pool_lock();
         let idx = self.locate(&mut inner, pid, true)?;
         Ok(f(&inner.frames[idx].data))
     }
 
     /// Run `f` with write access to page `pid`, marking it dirty.
     pub fn with_page_mut<R>(&self, pid: PageId, f: impl FnOnce(&mut [u8]) -> R) -> Result<R> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.pool_lock();
         let idx = self.locate(&mut inner, pid, true)?;
         inner.frames[idx].dirty = true;
         Ok(f(&mut inner.frames[idx].data))
@@ -142,7 +154,7 @@ impl BufferPool {
     /// Materialize a freshly allocated page without reading the file
     /// (it is logically all-zero), run `f` on it, and mark it dirty.
     pub fn with_new_page<R>(&self, pid: PageId, f: impl FnOnce(&mut [u8]) -> R) -> Result<R> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.pool_lock();
         let idx = self.locate(&mut inner, pid, false)?;
         inner.frames[idx].dirty = true;
         Ok(f(&mut inner.frames[idx].data))
@@ -150,7 +162,7 @@ impl BufferPool {
 
     /// Write every dirty frame back to the file (checkpoint support).
     pub fn flush_all(&self) -> Result<()> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.pool_lock();
         for frame in inner.frames.iter_mut() {
             if let (Some(pid), true) = (frame.page, frame.dirty) {
                 self.file.write_page(pid, &frame.data)?;
@@ -164,7 +176,7 @@ impl BufferPool {
     /// cold. Used by the clustering ablation to measure cold-cache reads.
     pub fn clear(&self) -> Result<()> {
         self.flush_all()?;
-        let mut inner = self.inner.lock();
+        let mut inner = self.pool_lock();
         inner.map.clear();
         for frame in inner.frames.iter_mut() {
             frame.page = None;
@@ -175,7 +187,7 @@ impl BufferPool {
 
     /// How many distinct pages are currently resident.
     pub fn resident(&self) -> usize {
-        self.inner.lock().map.len()
+        self.pool_lock().map.len()
     }
 }
 

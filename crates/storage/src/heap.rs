@@ -24,11 +24,12 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use crate::buffer::BufferPool;
 use crate::error::{Result, StorageError};
 use crate::ids::{ClusterHint, Oid, PageId, SegmentId, Slot};
+use crate::lock_order::{self, Ranked};
 use crate::page;
 use crate::pagefile::PageFile;
 use crate::stats::StorageStats;
@@ -129,6 +130,18 @@ impl Heap {
         }
     }
 
+
+    /// Shared access to the object table, rank-checked: the guard may be
+    /// held across buffer-pool and page-file acquisitions (higher ranks)
+    /// but never the other way around.
+    fn table_read(&self) -> Ranked<RwLockReadGuard<'_, HeapInner>> {
+        lock_order::ranked(lock_order::HEAP_TABLE, || self.inner.read())
+    }
+
+    /// Exclusive access to the object table, rank-checked.
+    fn table_write(&self) -> Ranked<RwLockWriteGuard<'_, HeapInner>> {
+        lock_order::ranked(lock_order::HEAP_TABLE, || self.inner.write())
+    }
 
     /// Stored size (including simulated per-object overhead) of a payload.
     fn stored_len(&self, payload: usize) -> usize {
@@ -273,15 +286,15 @@ impl Heap {
         if header.len() < 16 {
             return Err(StorageError::Corrupt("short overflow header".into()));
         }
-        let total = u32::from_le_bytes(header[4..8].try_into().unwrap()) as usize;
-        let mut pid = u32::from_le_bytes(header[8..12].try_into().unwrap());
+        let total = le_u32_at(header, 4)? as usize;
+        let mut pid = le_u32_at(header, 8)?;
         let mut out = Vec::with_capacity(total);
         while pid != NO_PAGE {
             let (next, chunk) = self.pool.with_page(PageId(pid), |buf| {
-                let next = u32::from_le_bytes(buf[0..4].try_into().unwrap());
-                let len = u32::from_le_bytes(buf[4..8].try_into().unwrap()) as usize;
-                (next, buf[8..8 + len.min(OVERFLOW_CAP)].to_vec())
-            })?;
+                let next = le_u32_at(buf, 0)?;
+                let len = le_u32_at(buf, 4)? as usize;
+                Ok::<_, StorageError>((next, buf[8..8 + len.min(OVERFLOW_CAP)].to_vec()))
+            })??;
             out.extend_from_slice(&chunk);
             pid = next;
         }
@@ -295,12 +308,9 @@ impl Heap {
     }
 
     fn free_overflow(&self, inner: &mut HeapInner, header: &[u8]) -> Result<()> {
-        let mut pid = u32::from_le_bytes(header[8..12].try_into().unwrap());
+        let mut pid = le_u32_at(header, 8)?;
         while pid != NO_PAGE {
-            let next =
-                self.pool.with_page(PageId(pid), |buf| {
-                    u32::from_le_bytes(buf[0..4].try_into().unwrap())
-                })?;
+            let next = self.pool.with_page(PageId(pid), |buf| le_u32_at(buf, 0))??;
             inner.free_pages.push(PageId(pid));
             pid = next;
         }
@@ -315,7 +325,7 @@ impl Heap {
     /// Allocate a new object. `hint` matters only under
     /// [`Placement::ClientChunks`]; `seg` only under [`Placement::Segments`].
     pub fn alloc(&self, seg: SegmentId, hint: ClusterHint, payload: &[u8]) -> Result<Oid> {
-        let mut inner = self.inner.write();
+        let mut inner = self.table_write();
         let stored_len = self.stored_len(payload.len());
         let stored = if stored_len > page::MAX_RECORD {
             self.write_overflow(&mut inner, payload)?
@@ -339,7 +349,7 @@ impl Heap {
         hint: ClusterHint,
         payload: &[u8],
     ) -> Result<()> {
-        let mut inner = self.inner.write();
+        let mut inner = self.table_write();
         let stored_len = self.stored_len(payload.len());
         let stored = if stored_len > page::MAX_RECORD {
             self.write_overflow(&mut inner, payload)?
@@ -359,7 +369,7 @@ impl Heap {
     /// otherwise free the slot — or recycle the chain pages — between the
     /// table lookup and the read.
     pub fn read(&self, oid: Oid) -> Result<Vec<u8>> {
-        let inner = self.inner.read();
+        let inner = self.table_read();
         let loc = *inner.table.get(&oid.raw()).ok_or(StorageError::UnknownObject(oid))?;
         StorageStats::bump(&self.stats.reads, 1);
         let stored = self.pool.with_page(loc.page, |buf| {
@@ -378,7 +388,7 @@ impl Heap {
     /// Overwrite an object's payload. The oid is stable even if the object
     /// moves to another page.
     pub fn update(&self, oid: Oid, payload: &[u8]) -> Result<()> {
-        let mut inner = self.inner.write();
+        let mut inner = self.table_write();
         let loc = *inner.table.get(&oid.raw()).ok_or(StorageError::UnknownObject(oid))?;
         StorageStats::bump(&self.stats.updates, 1);
 
@@ -414,7 +424,7 @@ impl Heap {
 
     /// Delete an object.
     pub fn free(&self, oid: Oid) -> Result<()> {
-        let mut inner = self.inner.write();
+        let mut inner = self.table_write();
         let loc = inner
             .table
             .remove(&oid.raw())
@@ -433,22 +443,22 @@ impl Heap {
 
     /// Segment the object currently lives in, if it exists.
     pub fn segment_of(&self, oid: Oid) -> Option<SegmentId> {
-        self.inner.read().table.get(&oid.raw()).map(|l| l.seg)
+        self.table_read().table.get(&oid.raw()).map(|l| l.seg)
     }
 
     /// Whether an object exists.
     pub fn exists(&self, oid: Oid) -> bool {
-        self.inner.read().table.contains_key(&oid.raw())
+        self.table_read().table.contains_key(&oid.raw())
     }
 
     /// Number of live objects.
     pub fn object_count(&self) -> usize {
-        self.inner.read().table.len()
+        self.table_read().table.len()
     }
 
     /// Snapshot of all live oids (diagnostics / scans).
     pub fn oids(&self) -> Vec<Oid> {
-        let inner = self.inner.read();
+        let inner = self.table_read();
         let mut v: Vec<Oid> = inner.table.keys().map(|&k| Oid::from_raw(k)).collect();
         v.sort_unstable();
         v
@@ -456,7 +466,7 @@ impl Heap {
 
     /// Pages owned by each segment (for size reporting).
     pub fn segment_pages(&self) -> Vec<usize> {
-        self.inner.read().segs.iter().map(|s| s.pages.len()).collect()
+        self.table_read().segs.iter().map(|s| s.pages.len()).collect()
     }
 
     // ---- metadata (de)hydration for checkpointing -------------------------
@@ -464,7 +474,7 @@ impl Heap {
     /// Serialize the heap metadata (object table, segment page lists,
     /// free list, oid counter) for the meta file.
     pub fn dump_meta(&self, out: &mut Vec<u8>) {
-        let inner = self.inner.read();
+        let inner = self.table_read();
         out.extend_from_slice(&inner.next_oid.to_le_bytes());
         out.extend_from_slice(&(inner.table.len() as u64).to_le_bytes());
         let mut entries: Vec<(&u64, &Loc)> = inner.table.iter().collect();
@@ -521,7 +531,7 @@ impl Heap {
         for _ in 0..nfree {
             free_pages.push(PageId(cur.u32()?));
         }
-        let mut inner = self.inner.write();
+        let mut inner = self.table_write();
         inner.next_oid = next_oid;
         inner.table = table;
         inner.segs = segs;
@@ -529,6 +539,14 @@ impl Heap {
         inner.chunks.clear(); // chunks are a placement cache; safe to drop
         Ok(cur.at)
     }
+}
+
+/// Read a little-endian `u32` at `at`, with a typed error on short input.
+fn le_u32_at(buf: &[u8], at: usize) -> Result<u32> {
+    buf.get(at..at + 4)
+        .and_then(|s| s.try_into().ok())
+        .map(u32::from_le_bytes)
+        .ok_or_else(|| StorageError::Corrupt("truncated binary field".into()))
 }
 
 struct Cursor<'a> {
@@ -545,17 +563,22 @@ impl<'a> Cursor<'a> {
         self.at += n;
         Ok(s)
     }
+    fn arr<const N: usize>(&mut self) -> Result<[u8; N]> {
+        self.take(N)?
+            .try_into()
+            .map_err(|_| StorageError::Corrupt("truncated heap metadata".into()))
+    }
     fn u64(&mut self) -> Result<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.arr()?))
     }
     fn u32(&mut self) -> Result<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.arr()?))
     }
     fn u16(&mut self) -> Result<u16> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+        Ok(u16::from_le_bytes(self.arr()?))
     }
     fn u8(&mut self) -> Result<u8> {
-        Ok(self.take(1)?[0])
+        Ok(self.arr::<1>()?[0])
     }
 }
 

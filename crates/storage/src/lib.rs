@@ -59,6 +59,7 @@ mod error;
 mod heap;
 mod ids;
 mod lock;
+pub mod lock_order;
 mod memstore;
 mod meta;
 mod page;

@@ -20,6 +20,7 @@ use parking_lot::Mutex;
 
 use crate::error::{Result, StorageError};
 use crate::ids::{Oid, TxnId};
+use crate::lock_order::{self, Ranked};
 
 /// Requested lock mode.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -45,7 +46,17 @@ struct Shard {
 }
 
 impl Shard {
-    fn lock(&self) -> MutexGuard<'_, HashMap<u64, LockState>> {
+    /// Lock the shard with rank tracking, recovering from poisoning: a
+    /// committer that panicked while holding the shard must not wedge
+    /// every later transaction hashing to it.
+    fn lock(&self) -> Ranked<MutexGuard<'_, HashMap<u64, LockState>>> {
+        lock_order::ranked(lock_order::LOCK_SHARD, || self.raw_lock())
+    }
+
+    /// Poison-recovering lock without a rank token, for callers that
+    /// must hand the bare guard to a condvar wait (the token is then
+    /// managed explicitly alongside).
+    fn raw_lock(&self) -> MutexGuard<'_, HashMap<u64, LockState>> {
         self.states.lock().unwrap_or_else(|e| e.into_inner())
     }
 }
@@ -83,7 +94,10 @@ impl LockManager {
         let deadline = Instant::now() + self.timeout;
         let t = txn.raw();
         let shard = self.shard(oid);
-        let mut states = shard.lock();
+        // Explicit token: the guard below is consumed and re-produced by
+        // the condvar wait, so it cannot carry the rank itself.
+        let _rank = lock_order::acquire(lock_order::LOCK_SHARD);
+        let mut states = shard.raw_lock();
         loop {
             let state = states.entry(oid.raw()).or_default();
             let granted = match mode {
@@ -129,7 +143,7 @@ impl LockManager {
     }
 
     fn note_held(&self, txn: u64, oid: Oid) {
-        let mut held = self.held.lock();
+        let mut held = lock_order::ranked(lock_order::LOCK_HELD, || self.held.lock());
         let v = held.entry(txn).or_default();
         if !v.contains(&oid) {
             v.push(oid);
@@ -140,7 +154,10 @@ impl LockManager {
     /// waiters in the affected shards.
     pub fn release_all(&self, txn: TxnId) {
         let t = txn.raw();
-        let oids = self.held.lock().remove(&t).unwrap_or_default();
+        let oids = {
+            let mut held = lock_order::ranked(lock_order::LOCK_HELD, || self.held.lock());
+            held.remove(&t).unwrap_or_default()
+        };
         for oid in oids {
             let shard = self.shard(oid);
             let mut states = shard.lock();
@@ -256,6 +273,36 @@ mod tests {
             start.elapsed() < Duration::from_secs(5),
             "waiter should wake on release, not ride out the timeout"
         );
+    }
+
+    #[test]
+    fn opposite_order_acquisition_times_out_instead_of_deadlocking() {
+        // Classic deadlock shape: txn 1 holds A and wants B, txn 2 holds
+        // B and wants A. With timeout-based avoidance both cross
+        // acquisitions must fail with LockTimeout rather than hang, and
+        // after release the objects are free again.
+        let lm = Arc::new(mk());
+        let a = Oid::from_raw(100);
+        let b = Oid::from_raw(101);
+        let t1 = TxnId::from_raw(1);
+        let t2 = TxnId::from_raw(2);
+        lm.acquire(t1, a, LockMode::Exclusive).unwrap();
+        lm.acquire(t2, b, LockMode::Exclusive).unwrap();
+        let lm1 = lm.clone();
+        let lm2 = lm.clone();
+        let h1 = std::thread::spawn(move || lm1.acquire(t1, b, LockMode::Exclusive));
+        let h2 = std::thread::spawn(move || lm2.acquire(t2, a, LockMode::Exclusive));
+        let r1 = h1.join().unwrap();
+        let r2 = h2.join().unwrap();
+        assert!(matches!(r1, Err(StorageError::LockTimeout(o)) if o == b));
+        assert!(matches!(r2, Err(StorageError::LockTimeout(o)) if o == a));
+        lm.release_all(t1);
+        lm.release_all(t2);
+        lm.acquire(t1, b, LockMode::Exclusive).unwrap();
+        lm.acquire(t2, a, LockMode::Exclusive).unwrap();
+        lm.release_all(t1);
+        lm.release_all(t2);
+        assert_eq!(lm.locked_objects(), 0);
     }
 
     #[test]

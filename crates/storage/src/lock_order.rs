@@ -1,0 +1,213 @@
+//! Runtime lock-rank enforcement for debug builds.
+//!
+//! The storage engine's deadlock freedom rests on a total acquisition
+//! order over its internal locks (see `DESIGN.md`, "Lock discipline"):
+//! a thread may only acquire a lock whose rank is *strictly greater*
+//! than every rank it already holds. This module tracks the ranks each
+//! thread currently holds and panics — in debug builds only — the
+//! moment an acquisition would invert that order, turning a latent
+//! deadlock into a deterministic, immediately-diagnosable failure in
+//! tests and debug benchmark runs.
+//!
+//! In release builds every type here is a zero-sized no-op and the
+//! whole mechanism compiles away; the static companion check
+//! (`cargo xtask analyze`) enforces the same table at CI time.
+//!
+//! The rank table (shared with `xtask/src/ranks.rs` — keep in sync):
+//!
+//! | rank | lock                                   |
+//! |------|----------------------------------------|
+//! | 10   | `Engine::active` (txn table / quiesce) |
+//! | 20   | `LockManager` shard `states`           |
+//! | 25   | `LockManager::held`                    |
+//! | 30   | `Heap::inner` (object table)           |
+//! | 40   | `BufferPool::inner`                    |
+//! | 45   | `PageFile::file`                       |
+//! | 50   | `Wal::writer`                          |
+//! | 55   | `Wal::group` (group-commit tickets)    |
+
+use std::ops::{Deref, DerefMut};
+
+/// A named rank in the storage lock order. Lower ranks must be acquired
+/// first; acquiring a rank while holding an equal or greater one is a
+/// discipline violation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LockRank {
+    /// Position in the total order (strictly increasing inward).
+    pub rank: u16,
+    /// Human-readable lock name for diagnostics.
+    pub name: &'static str,
+}
+
+/// `Engine::active`: the active-transaction table and quiesce flag.
+pub const ENGINE_ACTIVE: LockRank = LockRank { rank: 10, name: "engine.active" };
+/// One `LockManager` shard's lock-state map.
+pub const LOCK_SHARD: LockRank = LockRank { rank: 20, name: "lock_manager.shard" };
+/// The `LockManager` per-transaction held-locks map.
+pub const LOCK_HELD: LockRank = LockRank { rank: 25, name: "lock_manager.held" };
+/// The heap's object table and placement metadata.
+pub const HEAP_TABLE: LockRank = LockRank { rank: 30, name: "heap.object_table" };
+/// The buffer pool's frame table.
+pub const BUFFER_POOL: LockRank = LockRank { rank: 40, name: "buffer_pool.frames" };
+/// The page file handle.
+pub const PAGE_FILE: LockRank = LockRank { rank: 45, name: "page_file.file" };
+/// The WAL append buffer / writer.
+pub const WAL_WRITER: LockRank = LockRank { rank: 50, name: "wal.writer" };
+/// The WAL group-commit ticket state.
+pub const WAL_GROUP: LockRank = LockRank { rank: 55, name: "wal.group" };
+
+#[cfg(debug_assertions)]
+mod imp {
+    use super::LockRank;
+    use std::cell::RefCell;
+
+    thread_local! {
+        /// Ranks this thread currently holds, in acquisition order.
+        static HELD: RefCell<Vec<LockRank>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// Debug-build token proving a rank was acquired in order. Dropping
+    /// it releases the rank.
+    #[must_use = "the rank is released as soon as the token is dropped"]
+    pub struct RankToken {
+        rank: LockRank,
+    }
+
+    /// Record the acquisition of `rank`, panicking on rank inversion.
+    #[track_caller]
+    pub fn acquire(rank: LockRank) -> RankToken {
+        HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            if let Some(top) = held.iter().max_by_key(|r| r.rank) {
+                if top.rank >= rank.rank {
+                    // analyzer: allow(panic, "rank inversion is a programming error; fail fast in debug builds")
+                    panic!(
+                        "lock-rank inversion: acquiring {} (rank {}) while holding {} (rank {})",
+                        rank.name, rank.rank, top.name, top.rank
+                    );
+                }
+            }
+            held.push(rank);
+        });
+        RankToken { rank }
+    }
+
+    impl Drop for RankToken {
+        fn drop(&mut self) {
+            HELD.with(|held| {
+                let mut held = held.borrow_mut();
+                // Tokens usually die LIFO, but explicit `drop(guard)`
+                // calls can release out of order; remove the newest
+                // entry with this rank.
+                if let Some(at) = held.iter().rposition(|r| r.rank == self.rank.rank) {
+                    held.remove(at);
+                }
+            });
+        }
+    }
+
+    /// Highest rank currently held by this thread (diagnostics/tests).
+    pub fn current_max_rank() -> Option<u16> {
+        HELD.with(|held| held.borrow().iter().map(|r| r.rank).max())
+    }
+}
+
+#[cfg(not(debug_assertions))]
+mod imp {
+    use super::LockRank;
+
+    /// Release-build token: zero-sized, no tracking, fully inlined away.
+    pub struct RankToken;
+
+    /// Release-build acquisition: a no-op.
+    #[inline(always)]
+    pub fn acquire(_rank: LockRank) -> RankToken {
+        RankToken
+    }
+
+    /// Release builds track nothing.
+    #[inline(always)]
+    pub fn current_max_rank() -> Option<u16> {
+        None
+    }
+}
+
+pub use imp::{acquire, current_max_rank, RankToken};
+
+/// A lock guard paired with its rank token. The token is checked (and
+/// the rank recorded) *before* the guard is acquired, so a would-be
+/// inversion panics instead of deadlocking; the guard drops before the
+/// token (field order), so the rank is held exactly as long as the lock.
+pub struct Ranked<G> {
+    guard: G,
+    _token: RankToken,
+}
+
+/// Acquire `rank`, then the guard produced by `acquire_guard`, pairing
+/// their lifetimes.
+#[track_caller]
+pub fn ranked<G>(rank: LockRank, acquire_guard: impl FnOnce() -> G) -> Ranked<G> {
+    let token = acquire(rank);
+    Ranked { guard: acquire_guard(), _token: token }
+}
+
+impl<G: Deref> Deref for Ranked<G> {
+    type Target = G::Target;
+    fn deref(&self) -> &Self::Target {
+        &self.guard
+    }
+}
+
+impl<G: DerefMut> DerefMut for Ranked<G> {
+    fn deref_mut(&mut self) -> &mut Self::Target {
+        &mut self.guard
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascending_acquisition_is_clean() {
+        let _a = acquire(LOCK_SHARD);
+        let _b = acquire(HEAP_TABLE);
+        let _c = acquire(WAL_WRITER);
+        #[cfg(debug_assertions)]
+        assert_eq!(current_max_rank(), Some(WAL_WRITER.rank));
+    }
+
+    #[test]
+    fn tokens_release_on_drop() {
+        {
+            let _a = acquire(BUFFER_POOL);
+        }
+        // BUFFER_POOL released: a lower rank is acquirable again.
+        let _b = acquire(HEAP_TABLE);
+    }
+
+    #[test]
+    fn out_of_order_release_is_tolerated() {
+        let a = acquire(LOCK_SHARD);
+        let b = acquire(HEAP_TABLE);
+        drop(a); // explicit early release of the outer rank
+        drop(b);
+        let _fresh = acquire(LOCK_SHARD);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "lock-rank inversion")]
+    fn inversion_panics_in_debug() {
+        let _wal = acquire(WAL_WRITER);
+        let _heap = acquire(HEAP_TABLE); // inner rank while holding outer
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "lock-rank inversion")]
+    fn same_rank_reacquisition_panics_in_debug() {
+        let _a = acquire(BUFFER_POOL);
+        let _b = acquire(BUFFER_POOL); // self-deadlock on a non-reentrant lock
+    }
+}

@@ -162,13 +162,11 @@ impl StorageManager for MemStore {
         if !inner.active.contains_key(&txn.raw()) {
             return Err(StorageError::UnknownTxn(txn));
         }
-        if !inner.objects.contains_key(&oid.raw()) {
-            return Err(StorageError::UnknownObject(oid));
-        }
-        let old = inner
+        let slot = inner
             .objects
-            .insert(oid.raw(), data.to_vec())
-            .expect("checked above");
+            .get_mut(&oid.raw())
+            .ok_or(StorageError::UnknownObject(oid))?;
+        let old = std::mem::replace(slot, data.to_vec());
         if self.can_abort {
             if let Some(undo) = inner.active.get_mut(&txn.raw()) {
                 undo.push(Undo::Restore(oid, old));

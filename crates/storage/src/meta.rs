@@ -41,7 +41,7 @@ pub fn read_meta(path: &Path, heap: &Heap) -> Result<bool> {
     if data.len() < 12 || &data[0..8] != MAGIC {
         return Err(StorageError::Corrupt("bad meta magic".into()));
     }
-    let version = u32::from_le_bytes(data[8..12].try_into().unwrap());
+    let version = u32::from_le_bytes([data[8], data[9], data[10], data[11]]);
     if version != VERSION {
         return Err(StorageError::Corrupt(format!("unsupported meta version {version}")));
     }

@@ -15,10 +15,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::time::Duration;
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, MutexGuard};
 
 use crate::error::{Result, StorageError};
 use crate::ids::{ClusterHint, Oid, SegmentId};
+use crate::lock_order::{self, Ranked};
 use crate::stats::StorageStats;
 
 /// One logical log record.
@@ -116,12 +117,14 @@ impl WalRecord {
         let rest = &body[1..];
         let u64_at = |at: usize| -> Result<u64> {
             rest.get(at..at + 8)
-                .map(|s| u64::from_le_bytes(s.try_into().unwrap()))
+                .and_then(|s| s.try_into().ok())
+                .map(u64::from_le_bytes)
                 .ok_or_else(corrupt)
         };
         let u32_at = |at: usize| -> Result<u32> {
             rest.get(at..at + 4)
-                .map(|s| u32::from_le_bytes(s.try_into().unwrap()))
+                .and_then(|s| s.try_into().ok())
+                .map(u32::from_le_bytes)
                 .ok_or_else(corrupt)
         };
         match tag {
@@ -193,6 +196,13 @@ pub struct Wal {
 }
 
 impl Wal {
+    /// Lock the append buffer with rank tracking. Held across the flush
+    /// and fdatasync of a force — the writer mutex is what serializes
+    /// log forces — and never while acquiring any other lock.
+    fn writer_lock(&self) -> Ranked<MutexGuard<'_, BufWriter<File>>> {
+        lock_order::ranked(lock_order::WAL_WRITER, || self.writer.lock())
+    }
+
     /// Create a fresh (empty) log at `path`.
     pub fn create(path: &Path, stats: Arc<StorageStats>, window: Option<Duration>) -> Result<Self> {
         let file = OpenOptions::new().append(true).create(true).open(path)?;
@@ -230,7 +240,7 @@ impl Wal {
         frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
         frame.extend_from_slice(&fnv1a(&body).to_le_bytes());
         frame.extend_from_slice(&body);
-        self.writer.lock().write_all(&frame)?;
+        self.writer_lock().write_all(&frame)?;
         self.written.fetch_add(frame.len() as u64, Ordering::Relaxed);
         StorageStats::bump(&self.stats.wal_bytes, frame.len() as u64);
         Ok(())
@@ -246,6 +256,10 @@ impl Wal {
     /// `fdatasync`; otherwise the force stops at the OS page cache (the
     /// benchmark's default, matching checkpoint-based durability).
     pub fn group_commit(&self, durable: bool) -> Result<()> {
+        // Explicit rank token: the guard is consumed and re-produced by
+        // the condvar wait, so it cannot carry the rank itself. Both are
+        // released before the leader sleeps or forces.
+        let rank = lock_order::acquire(lock_order::WAL_GROUP);
         let mut g = self.group.lock().unwrap_or_else(|e| e.into_inner());
         let my_ticket = g.next_ticket;
         g.next_ticket += 1;
@@ -256,6 +270,7 @@ impl Wal {
             if !g.leader_active {
                 g.leader_active = true;
                 drop(g);
+                drop(rank);
                 if let Some(window) = self.window {
                     if !window.is_zero() {
                         std::thread::sleep(window);
@@ -264,15 +279,19 @@ impl Wal {
                 // Every ticket issued by now belongs to a committer whose
                 // records are already in the buffer, so one force covers
                 // them all.
-                let batch_end =
-                    self.group.lock().unwrap_or_else(|e| e.into_inner()).next_ticket;
+                let batch_end = {
+                    let _rank = lock_order::acquire(lock_order::WAL_GROUP);
+                    self.group.lock().unwrap_or_else(|e| e.into_inner()).next_ticket
+                };
                 let result = self.force(durable);
-                let mut g = self.group.lock().unwrap_or_else(|e| e.into_inner());
-                g.leader_active = false;
-                if result.is_ok() {
-                    g.forced_ticket = g.forced_ticket.max(batch_end);
+                {
+                    let _rank = lock_order::acquire(lock_order::WAL_GROUP);
+                    let mut g = self.group.lock().unwrap_or_else(|e| e.into_inner());
+                    g.leader_active = false;
+                    if result.is_ok() {
+                        g.forced_ticket = g.forced_ticket.max(batch_end);
+                    }
                 }
-                drop(g);
                 self.group_wakeup.notify_all();
                 return result;
             }
@@ -281,7 +300,7 @@ impl Wal {
     }
 
     fn force(&self, durable: bool) -> Result<()> {
-        let mut w = self.writer.lock();
+        let mut w = self.writer_lock();
         w.flush()?;
         if durable {
             w.get_ref().sync_data()?;
@@ -301,11 +320,16 @@ impl Wal {
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
             Err(e) => return Err(e.into()),
         }
+        let le_u32 = |at: usize| -> Option<u32> {
+            data.get(at..at + 4).and_then(|s| s.try_into().ok()).map(u32::from_le_bytes)
+        };
         let mut out = Vec::new();
         let mut at = 0usize;
         while at + 8 <= data.len() {
-            let len = u32::from_le_bytes(data[at..at + 4].try_into().unwrap()) as usize;
-            let crc = u32::from_le_bytes(data[at + 4..at + 8].try_into().unwrap());
+            let (Some(len), Some(crc)) = (le_u32(at), le_u32(at + 4)) else {
+                break; // torn tail
+            };
+            let len = len as usize;
             if at + 8 + len > data.len() {
                 break; // torn tail
             }
@@ -324,10 +348,11 @@ impl Wal {
 
     /// Discard the log contents (after a checkpoint made them redundant).
     pub fn truncate(&self) -> Result<()> {
-        let mut w = self.writer.lock();
+        let mut w = self.writer_lock();
         w.flush()?;
         let file = w.get_ref();
         file.set_len(0)?;
+        // analyzer: allow(blocking, "truncation syncs the guarded log file itself; the writer mutex is what serializes it")
         file.sync_data()?;
         self.written.store(0, Ordering::Relaxed);
         Ok(())

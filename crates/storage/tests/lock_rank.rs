@@ -1,0 +1,78 @@
+//! Integration tests for runtime lock-rank enforcement: a constructed
+//! inversion panics in debug builds, and the whole mechanism is a no-op
+//! (zero-sized, nothing tracked) in release builds. Run with
+//! `cargo test -p labflow-storage --test lock_rank` (debug) and
+//! `cargo test -p labflow-storage --release --test lock_rank` to see
+//! both sides.
+
+use labflow_storage::lock_order;
+
+#[cfg(debug_assertions)]
+#[test]
+#[should_panic(expected = "lock-rank inversion")]
+fn constructed_inversion_panics_in_debug() {
+    // Take the WAL writer (rank 50), then try the lock-manager shard
+    // (rank 20): the exact shape the static analyzer would flag, caught
+    // here at runtime instead.
+    let _wal = lock_order::acquire(lock_order::WAL_WRITER);
+    let _shard = lock_order::acquire(lock_order::LOCK_SHARD);
+}
+
+#[cfg(debug_assertions)]
+#[test]
+fn ranked_guard_releases_rank_with_lock() {
+    let mutex = std::sync::Mutex::new(0u32);
+    {
+        let mut g = lock_order::ranked(lock_order::BUFFER_POOL, || {
+            mutex.lock().unwrap_or_else(|e| e.into_inner())
+        });
+        *g += 1;
+        assert_eq!(lock_order::current_max_rank(), Some(lock_order::BUFFER_POOL.rank));
+    }
+    // Guard dropped: the rank is released, so a lower rank is fine.
+    assert_eq!(lock_order::current_max_rank(), None);
+    let _low = lock_order::acquire(lock_order::ENGINE_ACTIVE);
+}
+
+#[cfg(not(debug_assertions))]
+#[test]
+fn enforcement_is_compiled_out_in_release() {
+    // The very inversion that panics in debug builds is silently
+    // accepted: the tokens are zero-sized and nothing is tracked.
+    let _wal = lock_order::acquire(lock_order::WAL_WRITER);
+    let _shard = lock_order::acquire(lock_order::LOCK_SHARD);
+    assert_eq!(lock_order::current_max_rank(), None);
+    assert_eq!(std::mem::size_of::<lock_order::RankToken>(), 0);
+}
+
+#[test]
+fn engine_workload_respects_the_declared_order() {
+    // Drive the real engine through allocates, updates, reads, and a
+    // checkpoint with the debug checker armed: any rank inversion on
+    // these hot paths would panic the test.
+    use labflow_storage::{ClusterHint, Engine, Options, Profile, SegmentId, StorageManager};
+    let dir = std::env::temp_dir().join(format!("lock_rank_it_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let opts = Options { buffer_pages: 8, ..Options::default() }; // tiny pool: force eviction
+    let engine = Engine::create(&dir, Profile::ostore(), opts).expect("create engine");
+    let mut oids = Vec::new();
+    for i in 0..64u8 {
+        let t = engine.begin().expect("begin");
+        let oid = engine
+            .allocate(t, SegmentId(1), ClusterHint(0), &[i; 128])
+            .expect("allocate");
+        engine.commit(t).expect("commit");
+        oids.push(oid);
+    }
+    let t = engine.begin().expect("begin");
+    for (i, oid) in oids.iter().enumerate() {
+        engine.update(t, *oid, &[i as u8 ^ 0xAA; 64]).expect("update");
+    }
+    engine.commit(t).expect("commit");
+    engine.checkpoint().expect("checkpoint");
+    for (i, oid) in oids.iter().enumerate() {
+        assert_eq!(engine.read(*oid).expect("read"), vec![i as u8 ^ 0xAA; 64]);
+    }
+    drop(engine);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -214,7 +214,12 @@ impl<'g> WorkflowEngine<'g> {
             }
             x -= o.weight;
         }
-        Ok(&def.outcomes.last().expect("validated: outcomes non-empty").label)
+        // Graph validation rejects steps with no outcomes, so this is
+        // only reachable through float rounding on the last weight.
+        let last = def.outcomes.last().ok_or_else(|| WorkflowError::InvalidGraph(
+            vec![format!("step `{step}` has no outcomes")],
+        ))?;
+        Ok(&last.label)
     }
 }
 

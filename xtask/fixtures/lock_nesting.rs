@@ -1,0 +1,46 @@
+// Seeded lock-discipline violations for the analyzer's self-test.
+//
+// Not compiled by cargo (see panic_sites.rs). The lock-order pass keys
+// on `lock_order::ranked(..)` / `lock_order::acquire(..)` call shapes,
+// which work in any file regardless of the rank table's crate scoping.
+
+struct Fixture;
+
+impl Fixture {
+    /// Direct rank inversion: WAL writer (50) held while taking the
+    /// buffer pool (40).
+    fn inverted(&self) {
+        let _w = lock_order::ranked(lock_order::WAL_WRITER, || self.writer.lock());
+        let _p = lock_order::ranked(lock_order::BUFFER_POOL, || self.pool.lock());
+    }
+
+    /// A guard held across a blocking call.
+    fn held_across_sleep(&self) {
+        let _g = lock_order::ranked(lock_order::LOCK_SHARD, || self.m.lock());
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+
+    /// Cross-function inversion: holds WAL group-commit state (55) while
+    /// calling a helper that takes the WAL writer (50).
+    fn outer(&self) {
+        let _g = lock_order::ranked(lock_order::WAL_GROUP, || self.group.lock());
+        self.inner_acquire();
+    }
+
+    fn inner_acquire(&self) {
+        let _w = lock_order::ranked(lock_order::WAL_WRITER, || self.writer.lock());
+    }
+
+    /// Correctly ordered nesting: must NOT be flagged.
+    fn well_ordered(&self) {
+        let _t = lock_order::ranked(lock_order::HEAP_TABLE, || self.table.lock());
+        let _p = lock_order::ranked(lock_order::BUFFER_POOL, || self.pool.lock());
+    }
+
+    /// Waived inversion: the allow marker suppresses the finding.
+    fn waived(&self) {
+        let _p = lock_order::ranked(lock_order::BUFFER_POOL, || self.pool.lock());
+        // analyzer: allow(lock_order, "fixture: demonstrates the escape hatch")
+        let _t = lock_order::ranked(lock_order::HEAP_TABLE, || self.table.lock());
+    }
+}

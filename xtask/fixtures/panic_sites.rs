@@ -1,0 +1,44 @@
+// Seeded panic-freedom violations for the analyzer's self-test.
+//
+// This directory is not part of any crate, so cargo never compiles it;
+// it exists so `cargo xtask analyze --root xtask/fixtures` (run in CI)
+// demonstrably fails, and so the analyzer's unit tests can assert each
+// pass flags exactly what it should.
+
+fn flagged_unwrap(v: Option<u8>) -> u8 {
+    v.unwrap()
+}
+
+fn flagged_expect(v: Option<u8>) -> u8 {
+    v.expect("boom")
+}
+
+fn flagged_macros(x: u8) -> u8 {
+    if x > 250 {
+        panic!("x too big");
+    }
+    match x {
+        0 => todo!(),
+        1 => unimplemented!(),
+        _ => unreachable!(),
+    }
+}
+
+fn waived(v: Option<u8>) -> u8 {
+    // analyzer: allow(panic, "fixture: demonstrates the escape hatch")
+    v.unwrap()
+}
+
+fn indexed(buf: &[u8]) -> u8 {
+    // Counted against the fixture index budget of zero.
+    buf[0]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_not_linted() {
+        let v: Option<u8> = Some(1);
+        v.unwrap();
+    }
+}

@@ -1,0 +1,402 @@
+//! A minimal hand-rolled Rust lexer.
+//!
+//! The analysis environment has no registry access, so we cannot lean on
+//! `syn`; both analyzer passes instead work on a token stream that is
+//! careful about exactly the things that break naive text scans: string
+//! and raw-string literals, char literals vs. lifetimes, and (nested)
+//! comments. Line comments are kept in a side table so passes can honour
+//! `// analyzer: allow(kind, "reason")` escape hatches.
+
+use std::collections::HashMap;
+
+/// One lexed token. Literals carry no value — the passes only care about
+/// identifiers and punctuation shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Single punctuation character (`::` is two tokens).
+    Punct(char),
+    /// String / char / numeric literal.
+    Lit,
+}
+
+/// A token plus the 1-based line it starts on.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub tok: Tok,
+    pub line: u32,
+}
+
+impl Token {
+    pub fn ident(&self) -> Option<&str> {
+        match &self.tok {
+            Tok::Ident(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    pub fn is_punct(&self, c: char) -> bool {
+        self.tok == Tok::Punct(c)
+    }
+
+    pub fn is_ident(&self, s: &str) -> bool {
+        matches!(&self.tok, Tok::Ident(i) if i == s)
+    }
+}
+
+/// Lexer output: the token stream plus line-indexed `//` comment text.
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    /// 1-based line number -> concatenated line-comment text on that line.
+    pub comments: HashMap<u32, String>,
+}
+
+/// Does line `line` (or the line above it) carry an
+/// `// analyzer: allow(kind, "...")` marker for `kind`?
+pub fn allowed(comments: &HashMap<u32, String>, line: u32, kind: &str) -> bool {
+    let hit = |l: u32| {
+        comments.get(&l).is_some_and(|text| {
+            let Some(pos) = text.find("analyzer: allow(") else { return false };
+            let rest = &text[pos + "analyzer: allow(".len()..];
+            let Some(end) = rest.find(')') else { return false };
+            let args = &rest[..end];
+            let mut parts = args.splitn(2, ',');
+            let named = parts.next().map(str::trim) == Some(kind);
+            // A justification string is mandatory; a bare kind is not
+            // an accepted waiver.
+            named && parts.next().is_some_and(|r| r.contains('"'))
+        })
+    };
+    hit(line) || (line > 1 && hit(line - 1))
+}
+
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let n = b.len();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut tokens = Vec::new();
+    let mut comments: HashMap<u32, String> = HashMap::new();
+
+    let is_ident_start = |c: char| c.is_alphabetic() || c == '_';
+    let is_ident_cont = |c: char| c.is_alphanumeric() || c == '_';
+
+    while i < n {
+        let c = b[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment (incl. doc comments) — record text for allow markers.
+        if c == '/' && i + 1 < n && b[i + 1] == '/' {
+            let start = i;
+            while i < n && b[i] != '\n' {
+                i += 1;
+            }
+            let text: String = b[start..i].iter().collect();
+            comments.entry(line).or_default().push_str(&text);
+            continue;
+        }
+        // Block comment — Rust block comments nest.
+        if c == '/' && i + 1 < n && b[i + 1] == '*' {
+            let mut depth = 1;
+            i += 2;
+            while i < n && depth > 0 {
+                if b[i] == '\n' {
+                    line += 1;
+                    i += 1;
+                } else if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw / byte string prefixes: r"", r#""#, b"", br#""#.
+        if (c == 'r' || c == 'b') && i + 1 < n {
+            let mut j = i + 1;
+            let mut raw = c == 'r';
+            if c == 'b' && j < n && b[j] == 'r' {
+                raw = true;
+                j += 1;
+            }
+            let mut hashes = 0usize;
+            while raw && j < n && b[j] == '#' {
+                hashes += 1;
+                j += 1;
+            }
+            if j < n && b[j] == '"' && (raw || c == 'b') {
+                let tok_line = line;
+                if raw {
+                    // Scan to `"` followed by `hashes` hashes; no escapes.
+                    i = j + 1;
+                    'raw: while i < n {
+                        if b[i] == '\n' {
+                            line += 1;
+                        } else if b[i] == '"' {
+                            let mut k = 0;
+                            while k < hashes && i + 1 + k < n && b[i + 1 + k] == '#' {
+                                k += 1;
+                            }
+                            if k == hashes {
+                                i += 1 + hashes;
+                                break 'raw;
+                            }
+                        }
+                        i += 1;
+                    }
+                } else {
+                    // b"..." — cooked string body with escapes.
+                    i = j + 1;
+                    while i < n && b[i] != '"' {
+                        if b[i] == '\\' {
+                            i += 1;
+                        } else if b[i] == '\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                    i += 1;
+                }
+                tokens.push(Token { tok: Tok::Lit, line: tok_line });
+                continue;
+            }
+            if c == 'b' && i + 1 < n && b[i + 1] == '\'' {
+                // Byte char literal b'x'.
+                let tok_line = line;
+                i += 2;
+                while i < n && b[i] != '\'' {
+                    if b[i] == '\\' {
+                        i += 1;
+                    }
+                    i += 1;
+                }
+                i += 1;
+                tokens.push(Token { tok: Tok::Lit, line: tok_line });
+                continue;
+            }
+            // Fall through: plain identifier starting with r/b.
+        }
+        if is_ident_start(c) {
+            let start = i;
+            while i < n && is_ident_cont(b[i]) {
+                i += 1;
+            }
+            tokens.push(Token { tok: Tok::Ident(b[start..i].iter().collect()), line });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            // Numbers: digits, type suffixes, hex, underscores. A `.` is
+            // left as punctuation (`1.5` lexes as Lit '.' Lit) — the
+            // passes never care about numeric values.
+            while i < n && is_ident_cont(b[i]) {
+                i += 1;
+            }
+            tokens.push(Token { tok: Tok::Lit, line });
+            continue;
+        }
+        if c == '"' {
+            let tok_line = line;
+            i += 1;
+            while i < n && b[i] != '"' {
+                if b[i] == '\\' {
+                    i += 1;
+                } else if b[i] == '\n' {
+                    line += 1;
+                }
+                i += 1;
+            }
+            i += 1;
+            tokens.push(Token { tok: Tok::Lit, line: tok_line });
+            continue;
+        }
+        if c == '\'' {
+            // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
+            let next_is_ident = i + 1 < n && (is_ident_start(b[i + 1]));
+            let closes = i + 2 < n && b[i + 2] == '\'';
+            if next_is_ident && !closes {
+                // Lifetime: skip the quote and the ident.
+                i += 1;
+                while i < n && is_ident_cont(b[i]) {
+                    i += 1;
+                }
+                continue;
+            }
+            let tok_line = line;
+            i += 1;
+            while i < n && b[i] != '\'' {
+                if b[i] == '\\' {
+                    i += 1;
+                }
+                i += 1;
+            }
+            i += 1;
+            tokens.push(Token { tok: Tok::Lit, line: tok_line });
+            continue;
+        }
+        tokens.push(Token { tok: Tok::Punct(c), line });
+        i += 1;
+    }
+
+    Lexed { tokens, comments }
+}
+
+/// Strip test-only regions from a token stream: items annotated
+/// `#[test]` or `#[cfg(test)]` (functions and whole `mod tests` blocks).
+/// Excluded regions are balanced brace blocks, so removal keeps the
+/// stream balanced for the brace-tracking passes.
+pub fn strip_test_regions(tokens: Vec<Token>) -> Vec<Token> {
+    let mut out = Vec::with_capacity(tokens.len());
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].is_punct('#') && i + 1 < tokens.len() && tokens[i + 1].is_punct('[') {
+            // Collect the attribute's tokens.
+            let mut j = i + 2;
+            let mut depth = 1i32;
+            let mut attr: Vec<&Token> = Vec::new();
+            while j < tokens.len() && depth > 0 {
+                if tokens[j].is_punct('[') {
+                    depth += 1;
+                } else if tokens[j].is_punct(']') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                attr.push(&tokens[j]);
+                j += 1;
+            }
+            let is_test_attr = (attr.len() == 1 && attr[0].is_ident("test"))
+                || attr.windows(3).any(|w| {
+                    w[0].is_ident("cfg") && w[1].is_punct('(') && w[2].is_ident("test")
+                });
+            if is_test_attr {
+                // Skip forward past any further attributes and the item
+                // they decorate (up to and including its brace block, or
+                // a `;` for braceless items).
+                let mut k = j + 1;
+                loop {
+                    if k >= tokens.len() {
+                        return out;
+                    }
+                    if tokens[k].is_punct('#')
+                        && k + 1 < tokens.len()
+                        && tokens[k + 1].is_punct('[')
+                    {
+                        let mut d = 1i32;
+                        k += 2;
+                        while k < tokens.len() && d > 0 {
+                            if tokens[k].is_punct('[') {
+                                d += 1;
+                            } else if tokens[k].is_punct(']') {
+                                d -= 1;
+                            }
+                            k += 1;
+                        }
+                        continue;
+                    }
+                    break;
+                }
+                // Find the item body `{...}` (or a terminating `;`).
+                while k < tokens.len() && !tokens[k].is_punct('{') && !tokens[k].is_punct(';') {
+                    k += 1;
+                }
+                if k < tokens.len() && tokens[k].is_punct('{') {
+                    let mut d = 1i32;
+                    k += 1;
+                    while k < tokens.len() && d > 0 {
+                        if tokens[k].is_punct('{') {
+                            d += 1;
+                        } else if tokens[k].is_punct('}') {
+                            d -= 1;
+                        }
+                        k += 1;
+                    }
+                } else if k < tokens.len() {
+                    k += 1; // the `;` of a braceless item
+                }
+                i = k;
+                continue;
+            }
+        }
+        out.push(tokens[i].clone());
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_do_not_leak_tokens() {
+        let src = r##"
+            fn f() {
+                let s = "unwrap() inside a string";
+                let r = r#"panic!("raw")"#;
+                // a comment mentioning .unwrap()
+                /* block with unwrap() and /* nested */ still one */
+                let c = '"';
+                let lt: &'static str = "x";
+            }
+        "##;
+        let lexed = lex(src);
+        let unwraps =
+            lexed.tokens.iter().filter(|t| t.is_ident("unwrap") || t.is_ident("panic")).count();
+        assert_eq!(unwraps, 0);
+        assert!(lexed.comments.values().any(|c| c.contains("unwrap")));
+    }
+
+    #[test]
+    fn allow_marker_parses_and_requires_reason() {
+        let lexed = lex("// analyzer: allow(panic, \"checked above\")\nlet x = v.unwrap();\n");
+        assert!(allowed(&lexed.comments, 2, "panic"));
+        assert!(!allowed(&lexed.comments, 2, "index"));
+        let bare = lex("// analyzer: allow(panic)\nlet x = v.unwrap();\n");
+        assert!(!allowed(&bare.comments, 2, "panic"), "reason string is mandatory");
+    }
+
+    #[test]
+    fn test_regions_are_stripped() {
+        let src = r#"
+            fn real() { v.unwrap(); }
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { w.unwrap(); }
+            }
+            #[test]
+            fn top_level_test() { z.unwrap(); }
+            fn also_real() { y.unwrap(); }
+        "#;
+        let toks = strip_test_regions(lex(src).tokens);
+        let names: Vec<_> =
+            toks.iter().filter_map(|t| t.ident().map(str::to_string)).collect();
+        assert!(names.contains(&"real".to_string()));
+        assert!(names.contains(&"also_real".to_string()));
+        assert!(!names.contains(&"tests".to_string()));
+        assert!(!names.contains(&"top_level_test".to_string()));
+        let unwraps = toks.iter().filter(|t| t.is_ident("unwrap")).count();
+        assert_eq!(unwraps, 2, "only the two non-test unwraps survive");
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lexed = lex("fn f<'a>(x: &'a str) -> &'a str { x }");
+        // If the lifetime were lexed as an unterminated char literal the
+        // rest of the signature would be swallowed.
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("str")));
+    }
+}

@@ -1,0 +1,155 @@
+//! Panic-freedom lint.
+//!
+//! Flags `.unwrap()` / `.expect(..)` calls and `panic!` / `unreachable!`
+//! / `todo!` / `unimplemented!` macros in non-test code, honouring
+//! `// analyzer: allow(panic, "reason")` markers on the same or the
+//! preceding line.
+//!
+//! Slice indexing (`a[i]`) is handled with a per-crate *ratchet* rather
+//! than per-site markers: most index expressions in this codebase are
+//! bounds-checked arithmetic over page frames where a marker per line
+//! would be noise. The count per crate may never exceed the recorded
+//! budget in `main.rs`; lowering a budget is always welcome, raising one
+//! requires touching the table in review. Individual sites can still be
+//! waived (excluded from the count) with `allow(index, "..")`.
+
+use crate::lexer::{allowed, Tok};
+use crate::locks::is_keyword;
+use crate::{Finding, SourceFile};
+
+const PANIC_METHODS: &[&str] = &["unwrap", "expect"];
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Scan one file: returns panic findings and the slice-indexing count.
+pub fn scan(file: &SourceFile) -> (Vec<Finding>, u32) {
+    let mut findings = Vec::new();
+    let mut index_count = 0u32;
+    let toks = &file.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        match &t.tok {
+            Tok::Ident(id) => {
+                let method = PANIC_METHODS.contains(&id.as_str())
+                    && i >= 1
+                    && toks[i - 1].is_punct('.')
+                    && toks.get(i + 1).is_some_and(|t| t.is_punct('('));
+                let mac = PANIC_MACROS.contains(&id.as_str())
+                    && toks.get(i + 1).is_some_and(|t| t.is_punct('!'));
+                if (method || mac) && !allowed(&file.comments, t.line, "panic") {
+                    findings.push(Finding {
+                        file: file.rel.clone(),
+                        line: t.line,
+                        pass: "panic",
+                        msg: if method {
+                            format!(
+                                ".{id}() can panic — return a typed error, or mark the \
+                                 invariant with `// analyzer: allow(panic, \"..\")`"
+                            )
+                        } else {
+                            format!(
+                                "{id}! can panic — return a typed error, or mark the \
+                                 invariant with `// analyzer: allow(panic, \"..\")`"
+                            )
+                        },
+                    });
+                }
+            }
+            Tok::Punct('[') if i >= 1 => {
+                let indexing = match &toks[i - 1].tok {
+                    Tok::Ident(prev) => !is_keyword(prev),
+                    Tok::Punct(']') | Tok::Punct(')') => true,
+                    _ => false,
+                };
+                if indexing && !allowed(&file.comments, t.line, "index") {
+                    index_count += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    (findings, index_count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer;
+
+    fn file(src: &str) -> SourceFile {
+        let lexed = lexer::lex(src);
+        SourceFile {
+            rel: "test.rs".to_string(),
+            crate_dir: "fixtures".to_string(),
+            tokens: lexer::strip_test_regions(lexed.tokens),
+            comments: lexed.comments,
+        }
+    }
+
+    #[test]
+    fn flags_unwrap_expect_and_macros() {
+        let f = file(
+            "fn f() {\n\
+             let a = x.unwrap();\n\
+             let b = y.expect(\"msg\");\n\
+             panic!(\"boom\");\n\
+             unreachable!();\n\
+             }\n",
+        );
+        let (findings, _) = scan(&f);
+        assert_eq!(findings.len(), 4);
+    }
+
+    #[test]
+    fn allow_marker_waives_a_site() {
+        let f = file(
+            "fn f() {\n\
+             // analyzer: allow(panic, \"length checked two lines up\")\n\
+             let a = x.unwrap();\n\
+             let b = y.unwrap();\n\
+             }\n",
+        );
+        let (findings, _) = scan(&f);
+        assert_eq!(findings.len(), 1, "only the unmarked unwrap is flagged");
+        assert_eq!(findings[0].line, 4);
+    }
+
+    #[test]
+    fn unwrap_in_string_or_comment_is_ignored() {
+        let f = file(
+            "fn f() {\n\
+             let s = \"x.unwrap()\"; // .unwrap() here too\n\
+             }\n",
+        );
+        let (findings, _) = scan(&f);
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn indexing_is_counted_not_flagged() {
+        let f = file(
+            "fn f(v: &[u8]) -> u8 {\n\
+             let x = v[0];\n\
+             let arr = [0u8; 4];\n\
+             let [a, b] = pair;\n\
+             let attr = foo(v)[1];\n\
+             x\n\
+             }\n",
+        );
+        let (findings, count) = scan(&f);
+        assert!(findings.is_empty());
+        assert_eq!(count, 2, "v[0] and foo(v)[1]; literals and patterns excluded");
+    }
+
+    #[test]
+    fn expects_in_tests_are_ignored() {
+        let f = file(
+            "fn real() { a.unwrap(); }\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+             fn t() { b.unwrap(); c[0]; }\n\
+             }\n",
+        );
+        let (findings, count) = scan(&f);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(count, 0);
+    }
+}

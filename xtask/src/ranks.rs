@@ -1,0 +1,161 @@
+//! The declared lock-rank table and acquisition-site rules.
+//!
+//! The runtime half of this table lives in
+//! `crates/storage/src/lock_order.rs`; the constants here MUST stay in
+//! sync with it (the analyzer cross-checks names it sees in
+//! `lock_order::ranked(..)` / `lock_order::acquire(..)` calls against
+//! this list and fails on unknown names, so drift is caught).
+//!
+//! Ranks are a total order: a thread may only acquire a lock whose rank
+//! is strictly greater than every lock it already holds. LabBase's cache
+//! locks rank below all storage locks because the state-index build path
+//! holds `build_lock` across storage reads.
+
+/// `(constant name in lock_order, rank, human-readable lock name)`.
+pub const RANK_CONSTS: &[(&str, u16, &str)] = &[
+    ("ENGINE_ACTIVE", 10, "engine active-transaction table"),
+    ("LOCK_SHARD", 20, "lock-manager shard"),
+    ("LOCK_HELD", 25, "lock-manager held-locks map"),
+    ("HEAP_TABLE", 30, "heap object table"),
+    ("BUFFER_POOL", 40, "buffer-pool frame table"),
+    ("PAGE_FILE", 45, "page file handle"),
+    ("WAL_WRITER", 50, "WAL append buffer"),
+    ("WAL_GROUP", 55, "WAL group-commit state"),
+];
+
+// LabBase cache locks are not runtime-instrumented (labbase has no
+// dependency on storage's lock_order); they participate in the static
+// order only. All rank below ENGINE_ACTIVE.
+pub const LAB_STATE_BUILD: u16 = 1;
+pub const LAB_CATALOG: u16 = 2;
+pub const LAB_SETS: u16 = 3;
+pub const LAB_NAME_INDEX: u16 = 4;
+pub const LAB_STATE_SHARD: u16 = 5;
+pub const LAB_STATELESS: u16 = 6;
+
+/// Resolve a `lock_order::<CONST>` name to its rank.
+pub fn rank_of_const(name: &str) -> Option<u16> {
+    RANK_CONSTS.iter().find(|(n, _, _)| *n == name).map(|(_, r, _)| *r)
+}
+
+/// Human-readable name for a rank (for diagnostics).
+pub fn name_of_rank(rank: u16) -> String {
+    if let Some((_, _, n)) = RANK_CONSTS.iter().find(|(_, r, _)| *r == rank) {
+        return (*n).to_string();
+    }
+    match rank {
+        LAB_STATE_BUILD => "labbase state-index build lock".to_string(),
+        LAB_CATALOG => "labbase catalog cache".to_string(),
+        LAB_SETS => "labbase sets directory cache".to_string(),
+        LAB_NAME_INDEX => "labbase name index".to_string(),
+        LAB_STATE_SHARD => "labbase state-index shard".to_string(),
+        LAB_STATELESS => "labbase stateless set".to_string(),
+        r => format!("rank {r}"),
+    }
+}
+
+/// How an acquisition site is recognised.
+pub enum RuleKind {
+    /// A zero-argument method whose name alone identifies the lock
+    /// (rank-wrapping helpers like `pool_lock()`).
+    Helper(&'static str),
+    /// `recv.method()` where `recv` is the lock field's name and
+    /// `method` is a zero-argument `lock`/`read`/`write`.
+    Receiver { recv: &'static str, methods: &'static [&'static str] },
+}
+
+/// An acquisition-site rule, scoped to a crate directory name (the
+/// component after `crates/`; empty = any file).
+pub struct LockRule {
+    pub crate_dir: &'static str,
+    pub kind: RuleKind,
+    pub rank: u16,
+}
+
+/// The declared acquisition-site table.
+///
+/// Storage locks that use the explicit-token pattern (`lock_order::
+/// acquire` alongside a raw guard handed to a condvar — `Shard::raw_lock`
+/// in lock.rs, `group` in wal.rs) are intentionally ABSENT here: the
+/// token call is the static marker, and a receiver rule would double-
+/// count the same lock as two nested acquisitions.
+pub fn rules() -> Vec<LockRule> {
+    use RuleKind::*;
+    vec![
+        // -- storage: rank-wrapping helpers ------------------------------
+        LockRule { crate_dir: "storage", kind: Helper("table_read"), rank: 30 },
+        LockRule { crate_dir: "storage", kind: Helper("table_write"), rank: 30 },
+        LockRule { crate_dir: "storage", kind: Helper("pool_lock"), rank: 40 },
+        LockRule { crate_dir: "storage", kind: Helper("writer_lock"), rank: 50 },
+        // Engine's active-table accessor and Shard::lock are helpers too.
+        LockRule { crate_dir: "storage", kind: Helper("active"), rank: 10 },
+        LockRule {
+            crate_dir: "storage",
+            kind: Receiver { recv: "shard", methods: &["lock"] },
+            rank: 20,
+        },
+        // The page file's handle mutex (not runtime-instrumented: it is
+        // the innermost lock and is only ever acquired last).
+        LockRule {
+            crate_dir: "storage",
+            kind: Receiver { recv: "file", methods: &["lock"] },
+            rank: 45,
+        },
+        // -- labbase: cache locks (static order only) ---------------------
+        LockRule {
+            crate_dir: "labbase",
+            kind: Receiver { recv: "build_lock", methods: &["lock"] },
+            rank: LAB_STATE_BUILD,
+        },
+        LockRule {
+            crate_dir: "labbase",
+            kind: Receiver { recv: "catalog", methods: &["read", "write"] },
+            rank: LAB_CATALOG,
+        },
+        LockRule {
+            crate_dir: "labbase",
+            kind: Receiver { recv: "sets", methods: &["read", "write"] },
+            rank: LAB_SETS,
+        },
+        LockRule {
+            crate_dir: "labbase",
+            kind: Receiver { recv: "name_index", methods: &["read", "write"] },
+            rank: LAB_NAME_INDEX,
+        },
+        LockRule {
+            crate_dir: "labbase",
+            kind: Receiver { recv: "shards", methods: &["read", "write"] },
+            rank: LAB_STATE_SHARD,
+        },
+        LockRule {
+            crate_dir: "labbase",
+            kind: Receiver { recv: "shard", methods: &["read", "write"] },
+            rank: LAB_STATE_SHARD,
+        },
+        LockRule {
+            crate_dir: "labbase",
+            kind: Receiver { recv: "stateless", methods: &["read", "write"] },
+            rank: LAB_STATELESS,
+        },
+    ]
+}
+
+/// Function names that block (or force the WAL): holding any guard
+/// across one of these is a violation unless the guard IS the thing
+/// being waited on / synced (receiver-root and first-argument
+/// exemptions in the checker), or an `allow(blocking)` marker applies.
+pub const BLOCKING_FNS: &[&str] = &[
+    "wait",
+    "wait_timeout",
+    "wait_while",
+    "sleep",
+    "sync_data",
+    "sync_all",
+    "flush",
+    "force",
+    "group_commit",
+    "join",
+    "recv",
+    "recv_timeout",
+    "park",
+];
