@@ -110,6 +110,11 @@ pub struct ClientRow {
     pub commits: u64,
     /// Transactions this client aborted and retried (lock conflicts).
     pub retries: u64,
+    /// Milliseconds this client's thread spent blocked on object locks.
+    pub lock_wait_ms: f64,
+    /// Milliseconds spent in WAL group commit (queueing for the batch
+    /// leader plus the physical log force).
+    pub commit_wait_ms: f64,
 }
 
 /// Meter capturing a measurement interval.

@@ -368,6 +368,33 @@ pub fn multiclient_table(points: &[MultiClientPoint]) -> String {
             ));
         }
     }
+
+    // Per-client wait attribution: where each writer's wall-clock went
+    // while it was not making progress (blocked on object locks vs
+    // queued in WAL group commit).
+    let attributed: Vec<&MultiClientPoint> =
+        points.iter().filter(|p| p.supported && !p.per_client.is_empty()).collect();
+    if !attributed.is_empty() {
+        out.push_str("\nWait attribution — per client, ms blocked\n");
+        out.push_str(&format!(
+            "{:<12}{:>9}{:>9}{:>12}{:>12}{:>12}{:>12}\n",
+            "version", "clients", "client", "commits", "retries", "lock wait", "commit wait"
+        ));
+        for p in attributed {
+            for r in &p.per_client {
+                out.push_str(&format!(
+                    "{:<12}{:>9}{:>9}{:>12}{:>12}{:>12.1}{:>12.1}\n",
+                    p.version,
+                    p.clients,
+                    r.client,
+                    commas(r.commits),
+                    commas(r.retries),
+                    r.lock_wait_ms,
+                    r.commit_wait_ms,
+                ));
+            }
+        }
+    }
     out
 }
 
@@ -521,16 +548,26 @@ mod tests {
             wal_syncs: if supported { 400 } else { 0 },
             per_client: Vec::new(),
         };
-        let points = vec![
+        let mut points = vec![
             point("OStore", 1, true, 1000.0),
             point("OStore", 4, true, 2500.0),
             point("Texas", 1, true, 1200.0),
             point("Texas", 4, false, 0.0),
         ];
+        points[1].per_client = vec![crate::metrics::ClientRow {
+            client: 0,
+            steps: 1000,
+            commits: 250,
+            retries: 3,
+            lock_wait_ms: 12.25,
+            commit_wait_ms: 4.5,
+        }];
         let t = multiclient_table(&points);
         assert!(t.contains("2.50x"), "speedup row renders: {t}");
         assert!(t.contains("—"), "single-user cells print an em dash");
         assert!(t.contains("1,001"));
+        assert!(t.contains("Wait attribution"), "wait section renders: {t}");
+        assert!(t.contains("12.2") || t.contains("12.3"), "lock wait ms renders: {t}");
     }
 
     #[test]

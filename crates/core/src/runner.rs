@@ -677,7 +677,17 @@ pub struct MultiClientPoint {
 /// conflict via the session's selective abort.
 fn multiclient_worker(db: &LabBase, mine: &[MaterialId], client: u64) -> Result<ClientRow> {
     const STATES: [&str; 4] = ["queued", "running", "done", "archived"];
-    let mut row = ClientRow { client, steps: 0, commits: 0, retries: 0 };
+    let mut row = ClientRow {
+        client,
+        steps: 0,
+        commits: 0,
+        retries: 0,
+        lock_wait_ms: 0.0,
+        commit_wait_ms: 0.0,
+    };
+    // Wait attribution: the worker thread maps 1:1 to the client, so the
+    // thread-local counters' delta over the loop is this client's share.
+    let waits0 = labflow_storage::wait_snapshot();
     // Valid times are partitioned per client so the run is deterministic
     // in everything except commit interleaving.
     let mut vt: i64 = client as i64 * 1_000_000;
@@ -726,6 +736,9 @@ fn multiclient_worker(db: &LabBase, mine: &[MaterialId], client: u64) -> Result<
             }
         }
     }
+    let waits = labflow_storage::wait_snapshot().delta(&waits0);
+    row.lock_wait_ms = waits.lock_wait_nanos as f64 / 1e6;
+    row.commit_wait_ms = waits.commit_wait_nanos as f64 / 1e6;
     Ok(row)
 }
 

@@ -11,7 +11,7 @@
 //! sessions' warm cache entries intact. This is what makes abort-and-
 //! retry affordable under multi-client lock contention.
 
-use labflow_storage::{Oid, TxnId};
+use labflow_storage::{wait_snapshot, Oid, TxnId, WaitSnapshot};
 
 use crate::db::LabBase;
 use crate::error::Result;
@@ -45,6 +45,7 @@ pub struct Session<'a> {
     txn: TxnId,
     footprint: Footprint,
     finished: bool,
+    waits_at_begin: WaitSnapshot,
 }
 
 impl LabBase {
@@ -55,6 +56,7 @@ impl LabBase {
             txn: self.store.begin()?,
             footprint: Footprint::default(),
             finished: false,
+            waits_at_begin: wait_snapshot(),
         })
     }
 }
@@ -68,6 +70,14 @@ impl<'a> Session<'a> {
     /// The database this session runs against.
     pub fn db(&self) -> &'a LabBase {
         self.db
+    }
+
+    /// Where this session's latency has gone so far: nanoseconds the
+    /// calling thread spent blocked on object locks and in WAL group
+    /// commit since the session began. Meaningful when the thread runs
+    /// one session at a time (as the multi-client driver does).
+    pub fn wait_profile(&self) -> WaitSnapshot {
+        wait_snapshot().delta(&self.waits_at_begin)
     }
 
     /// Create a material (see [`LabBase::create_material`]).

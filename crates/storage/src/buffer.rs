@@ -7,7 +7,7 @@
 //! time a non-resident page enters the resident set).
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use parking_lot::{Mutex, MutexGuard};
 
@@ -31,6 +31,13 @@ struct PoolInner {
     hand: usize,
 }
 
+/// Hook run once before a *steal* — the eviction write of a dirty frame.
+/// The WAL-backed engine installs a log force here: the write-ahead rule
+/// requires every record describing a page's effects to be durable before
+/// that page may overwrite the data file, or a crash could leave stolen
+/// uncommitted bytes with no undo image to roll them back.
+type StealGuard = Box<dyn Fn() -> Result<()> + Send + Sync>;
+
 /// The buffer pool. Page contents are only accessible through the
 /// closure-based [`BufferPool::with_page`] / [`BufferPool::with_page_mut`],
 /// which run under the pool lock — frames can therefore never be evicted
@@ -40,6 +47,7 @@ pub struct BufferPool {
     file: Arc<PageFile>,
     stats: Arc<StorageStats>,
     count_swizzles: bool,
+    steal_guard: OnceLock<StealGuard>,
 }
 
 impl BufferPool {
@@ -66,7 +74,13 @@ impl BufferPool {
             file,
             stats,
             count_swizzles,
+            steal_guard: OnceLock::new(),
         }
+    }
+
+    /// Install the steal guard (at most once, at engine construction).
+    pub fn set_steal_guard(&self, guard: StealGuard) {
+        let _ = self.steal_guard.set(guard);
     }
 
     /// Lock the frame table with rank tracking. The guard is held across
@@ -104,14 +118,41 @@ impl BufferPool {
     }
 
     /// Clock sweep: pick a victim frame, writing it back if dirty.
+    ///
+    /// Clean frames are preferred: a first sweep considers only frames
+    /// that need no write-back, so steals (and the log force they entail
+    /// under the write-ahead rule) happen only when every unreferenced
+    /// frame is dirty.
     fn victim(&self, inner: &mut PoolInner) -> Result<usize> {
         let n = inner.frames.len();
         // First, any empty frame.
         if let Some(idx) = inner.frames.iter().position(|f| f.page.is_none()) {
             return Ok(idx);
         }
-        // Clock: at most two full sweeps always yields a frame since
-        // nothing stays pinned outside the lock.
+        // Clean-preferring clock: at most two full sweeps; dirty frames
+        // are passed over (their refbits untouched).
+        for _ in 0..2 * n {
+            let idx = inner.hand;
+            inner.hand = (inner.hand + 1) % n;
+            if inner.frames[idx].dirty {
+                continue;
+            }
+            if inner.frames[idx].refbit {
+                inner.frames[idx].refbit = false;
+                continue;
+            }
+            if let Some(old) = inner.frames[idx].page {
+                inner.map.remove(&old.0);
+                inner.frames[idx].page = None;
+            }
+            return Ok(idx);
+        }
+        // Every unreferenced frame is dirty: steal one. Force the log
+        // first so the stolen page's undo images are durable before its
+        // bytes can reach the data file.
+        if let Some(guard) = self.steal_guard.get() {
+            guard()?;
+        }
         for _ in 0..2 * n {
             let idx = inner.hand;
             inner.hand = (inner.hand + 1) % n;
@@ -122,6 +163,7 @@ impl BufferPool {
             if let Some(old) = inner.frames[idx].page {
                 if inner.frames[idx].dirty {
                     self.file.write_page(old, &inner.frames[idx].data)?;
+                    inner.frames[idx].dirty = false;
                 }
                 inner.map.remove(&old.0);
                 inner.frames[idx].page = None;
@@ -200,7 +242,8 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("lfs-bp-{}-{}", std::process::id(), name));
         std::fs::create_dir_all(&dir).unwrap();
         let stats = Arc::new(StorageStats::default());
-        let file = Arc::new(PageFile::create(&dir.join("data.pg"), stats.clone()).unwrap());
+        let vfs = crate::vfs::RealVfs::arc();
+        let file = Arc::new(PageFile::create(&vfs, &dir.join("data.pg"), stats.clone()).unwrap());
         let pool = BufferPool::new(file.clone(), stats.clone(), cap, false);
         (file, stats, pool)
     }
@@ -275,7 +318,8 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("lfs-bp-{}-swz", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let stats = Arc::new(StorageStats::default());
-        let file = Arc::new(PageFile::create(&dir.join("d.pg"), stats.clone()).unwrap());
+        let vfs = crate::vfs::RealVfs::arc();
+        let file = Arc::new(PageFile::create(&vfs, &dir.join("d.pg"), stats.clone()).unwrap());
         let pool = BufferPool::new(file.clone(), stats.clone(), 2, true);
         let pid = file.allocate_page();
         pool.with_new_page(pid, page::init).unwrap();

@@ -5,15 +5,21 @@
 //! One engine, three [`Profile`]s — mirroring the paper's methodology of
 //! running "virtually the same LabBase implementation" over different
 //! storage managers so that only the storage architecture varies.
+//!
+//! Every persisted byte flows through a [`Vfs`]: production stores use
+//! [`RealVfs`] (plain `std::fs`), while the crash-recovery torture
+//! harness drives the same engine over a seeded `SimVfs` and pulls the
+//! plug at arbitrary points. See `DESIGN.md` ("Fault model") for the
+//! recovery invariants this module maintains.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex, MutexGuard};
 use std::time::Duration;
 
 use crate::buffer::BufferPool;
-use crate::error::{Result, StorageError};
+use crate::error::{RecoveryError, Result, StorageError};
 use crate::heap::{Heap, Placement};
 use crate::ids::{ClusterHint, Oid, SegmentId, TxnId};
 use crate::lock::{LockManager, LockMode};
@@ -21,6 +27,7 @@ use crate::meta;
 use crate::pagefile::PageFile;
 use crate::stats::{StatsSnapshot, StorageStats};
 use crate::traits::{SegmentInfo, StorageManager};
+use crate::vfs::{RealVfs, Vfs};
 use crate::wal::{Wal, WalRecord};
 use crate::PAGE_SIZE;
 
@@ -36,7 +43,9 @@ pub struct Options {
     pub lock_timeout: Duration,
     /// Whether `commit` forces the log to disk (OStore only). The
     /// benchmark leaves this off and relies on checkpoints, keeping the
-    /// comparison about locality rather than fsync latency.
+    /// comparison about locality rather than fsync latency. The crash
+    /// harness turns it on: with it, a commit that returns `Ok` is
+    /// guaranteed to survive power loss.
     pub sync_commit: bool,
     /// Group-commit batching window (OStore only): how long the first
     /// committer of a batch lingers before forcing the log, so that
@@ -134,17 +143,34 @@ struct ActiveState {
     txns: HashMap<u64, TxnState>,
     /// A checkpoint is draining active transactions; new `begin`s wait.
     quiescing: bool,
+    /// Transactions mid-`commit`/`abort`: already removed from `txns`
+    /// but their log record (and, for abort, the in-memory rollback) is
+    /// still being applied. A checkpoint that snapshots inside that
+    /// window would fold unresolved effects into the durable image and
+    /// then truncate the before-images that could undo them, so the
+    /// quiesce waits for this to reach zero as well.
+    resolving: usize,
+}
+
+/// What recovery must do to erase a loser transaction's first touch of
+/// an object (the touch whose before-image is the last committed state).
+enum LoserUndo {
+    /// The loser allocated the object: it must not exist.
+    Remove,
+    /// The loser updated or freed it: restore the before-image.
+    Restore(Vec<u8>),
 }
 
 /// A persistent storage manager: the common engine behind [`OStore`],
 /// [`Texas`], and [`TexasTc`].
 pub struct Engine {
     profile: Profile,
+    vfs: Arc<dyn Vfs>,
     dir: PathBuf,
     heap: Heap,
     pool: Arc<BufferPool>,
     file: Arc<PageFile>,
-    wal: Option<Wal>,
+    wal: Option<Arc<Wal>>,
     locks: Option<LockManager>,
     stats: Arc<StorageStats>,
     active: StdMutex<ActiveState>,
@@ -152,6 +178,15 @@ pub struct Engine {
     /// checkpoint finishes quiescing.
     active_changed: Condvar,
     next_txn: AtomicU64,
+    /// Checkpoint epoch: stamped into the metadata header and the WAL's
+    /// reset frame so recovery can tell whether the log on disk belongs
+    /// to the metadata on disk (a crash can separate the two).
+    epoch: AtomicU64,
+    /// Set when a logged operation failed mid-apply: the in-memory state
+    /// may disagree with what the log promises. A wounded engine refuses
+    /// to checkpoint (which would persist the disagreement); reopening
+    /// runs recovery from the log and heals it.
+    wounded: AtomicBool,
     sync_commit: bool,
 }
 
@@ -160,18 +195,29 @@ impl Engine {
         (dir.join("data.pg"), dir.join("store.meta"), dir.join("wal.log"))
     }
 
-    /// Create a fresh store at `dir` with the given profile.
+    /// Create a fresh store at `dir` with the given profile, on the real
+    /// filesystem.
     pub fn create(dir: &Path, profile: Profile, opts: Options) -> Result<Engine> {
-        std::fs::create_dir_all(dir)?;
+        Self::create_with(RealVfs::arc(), dir, profile, opts)
+    }
+
+    /// Create a fresh store at `dir` on an arbitrary [`Vfs`].
+    pub fn create_with(
+        vfs: Arc<dyn Vfs>,
+        dir: &Path,
+        profile: Profile,
+        opts: Options,
+    ) -> Result<Engine> {
+        vfs.create_dir_all(dir)?;
         let (data_path, meta_path, wal_path) = Self::paths(dir);
-        if meta_path.exists() {
+        if vfs.exists(&meta_path) {
             return Err(StorageError::BadPath(format!(
                 "store already exists at {}",
                 dir.display()
             )));
         }
         let stats = Arc::new(StorageStats::default());
-        let file = Arc::new(PageFile::create(&data_path, stats.clone())?);
+        let file = Arc::new(PageFile::create(&vfs, &data_path, stats.clone())?);
         let pool = Arc::new(BufferPool::new(
             file.clone(),
             stats.clone(),
@@ -188,10 +234,11 @@ impl Engine {
             profile.align,
         );
         let wal = if profile.wal {
-            Some(Wal::create(&wal_path, stats.clone(), opts.group_commit_window)?)
+            Some(Arc::new(Wal::create(&vfs, &wal_path, stats.clone(), opts.group_commit_window)?))
         } else {
             None
         };
+        Self::wire_steal_guard(&pool, &wal);
         let locks = if profile.single_user {
             None
         } else {
@@ -199,6 +246,7 @@ impl Engine {
         };
         let engine = Engine {
             profile,
+            vfs,
             dir: dir.to_path_buf(),
             heap,
             pool,
@@ -209,6 +257,8 @@ impl Engine {
             active: StdMutex::new(ActiveState::default()),
             active_changed: Condvar::new(),
             next_txn: AtomicU64::new(1),
+            epoch: AtomicU64::new(0),
+            wounded: AtomicBool::new(false),
             sync_commit: opts.sync_commit,
         };
         // Establish a valid empty checkpoint so reopen works immediately.
@@ -216,17 +266,31 @@ impl Engine {
         Ok(engine)
     }
 
-    /// Open an existing store, running crash recovery if the profile has
-    /// a write-ahead log (replay of the committed suffix since the last
-    /// checkpoint). Backends without a log recover to their last
-    /// checkpoint — the Texas durability contract.
+    /// Open an existing store on the real filesystem, running crash
+    /// recovery if the profile has a write-ahead log. Backends without a
+    /// log recover to their last checkpoint — the Texas durability
+    /// contract.
     pub fn open(dir: &Path, profile: Profile, opts: Options) -> Result<Engine> {
+        Self::open_with(RealVfs::arc(), dir, profile, opts)
+    }
+
+    /// Open an existing store on an arbitrary [`Vfs`], running crash
+    /// recovery if the profile has a write-ahead log: redo every
+    /// committed operation since the checkpoint, then undo the first
+    /// touch of every object whose last toucher did not commit (a stolen
+    /// dirty page may have carried uncommitted bytes to disk).
+    pub fn open_with(
+        vfs: Arc<dyn Vfs>,
+        dir: &Path,
+        profile: Profile,
+        opts: Options,
+    ) -> Result<Engine> {
         let (data_path, meta_path, wal_path) = Self::paths(dir);
-        if !meta_path.exists() {
+        if !vfs.exists(&meta_path) {
             return Err(StorageError::BadPath(format!("no store at {}", dir.display())));
         }
         let stats = Arc::new(StorageStats::default());
-        let file = Arc::new(PageFile::open(&data_path, stats.clone())?);
+        let file = Arc::new(PageFile::open(&vfs, &data_path, stats.clone())?);
         let pool = Arc::new(BufferPool::new(
             file.clone(),
             stats.clone(),
@@ -242,39 +306,20 @@ impl Engine {
             profile.extra_header,
             profile.align,
         );
-        meta::read_meta(&meta_path, &heap)?;
+        let meta_epoch = meta::read_meta(&vfs, &meta_path, &heap)?.unwrap_or(0);
 
         let wal = if profile.wal {
-            // Replay committed transactions recorded after the checkpoint.
-            let records = Wal::replay(&wal_path)?;
-            let committed: std::collections::HashSet<u64> = records
-                .iter()
-                .filter_map(|r| match r {
-                    WalRecord::Commit(t) => Some(*t),
-                    _ => None,
-                })
-                .collect();
-            for rec in &records {
-                if !committed.contains(&rec.txn()) {
-                    continue;
-                }
-                match rec {
-                    WalRecord::Alloc { oid, seg, hint, data, .. } => {
-                        heap.alloc_with_oid(*oid, *seg, *hint, data)?;
-                    }
-                    WalRecord::Update { oid, data, .. } => {
-                        heap.update(*oid, data)?;
-                    }
-                    WalRecord::Free { oid, .. } => {
-                        heap.free(*oid)?;
-                    }
-                    WalRecord::Begin(_) | WalRecord::Commit(_) | WalRecord::Abort(_) => {}
-                }
+            let replayed = Wal::replay(&vfs, &wal_path)?;
+            StorageStats::bump(&stats.wal_bytes_truncated, replayed.bytes_truncated);
+            if Self::log_matches_checkpoint(&replayed.records, meta_epoch)? {
+                Self::recover(&heap, &replayed.records)?;
+                StorageStats::bump(&stats.wal_frames_replayed, replayed.frames);
             }
-            Some(Wal::open(&wal_path, stats.clone(), opts.group_commit_window)?)
+            Some(Arc::new(Wal::open(&vfs, &wal_path, stats.clone(), opts.group_commit_window)?))
         } else {
             None
         };
+        Self::wire_steal_guard(&pool, &wal);
         let locks = if profile.single_user {
             None
         } else {
@@ -282,6 +327,7 @@ impl Engine {
         };
         let engine = Engine {
             profile,
+            vfs,
             dir: dir.to_path_buf(),
             heap,
             pool,
@@ -292,13 +338,144 @@ impl Engine {
             active: StdMutex::new(ActiveState::default()),
             active_changed: Condvar::new(),
             next_txn: AtomicU64::new(1),
+            epoch: AtomicU64::new(meta_epoch),
+            wounded: AtomicBool::new(false),
             sync_commit: opts.sync_commit,
         };
         if engine.profile.wal {
-            // Fold the replayed state into a fresh checkpoint.
+            // Fold the recovered state into a fresh checkpoint; this also
+            // truncates the log, making recovery's effects durable.
             engine.checkpoint()?;
         }
         Ok(engine)
+    }
+
+    /// Install the write-ahead steal guard: before the pool writes a
+    /// dirty (possibly uncommitted) frame to the data file, the log —
+    /// including the before-images that can undo that frame — must be
+    /// durable.
+    fn wire_steal_guard(pool: &Arc<BufferPool>, wal: &Option<Arc<Wal>>) {
+        if let Some(wal) = wal {
+            let wal = wal.clone();
+            pool.set_steal_guard(Box::new(move || wal.force(true)));
+        }
+    }
+
+    /// Decide whether the log on disk describes the checkpoint on disk.
+    ///
+    /// A crash can separate the metadata flip from the log truncation:
+    /// if the metadata's epoch is already ahead of the log's reset
+    /// frame, every logged operation is folded into the checkpoint and
+    /// must be skipped (replaying would resurrect freed objects). A log
+    /// *ahead* of the metadata, or one that does not begin with a reset
+    /// frame, cannot be produced by any crash of this engine and is
+    /// reported as corruption.
+    fn log_matches_checkpoint(records: &[WalRecord], meta_epoch: u64) -> Result<bool> {
+        let Some(first) = records.first() else {
+            return Ok(false); // empty log: nothing to replay
+        };
+        let WalRecord::Reset(log_epoch) = first else {
+            return Err(StorageError::Recovery(RecoveryError {
+                offset: 0,
+                frame: 0,
+                detail: "log does not begin with a reset frame".into(),
+            }));
+        };
+        if *log_epoch > meta_epoch {
+            return Err(StorageError::Recovery(RecoveryError {
+                offset: 0,
+                frame: 0,
+                detail: format!(
+                    "log reset epoch {log_epoch} is ahead of checkpoint epoch {meta_epoch}"
+                ),
+            }));
+        }
+        Ok(*log_epoch == meta_epoch)
+    }
+
+    /// Apply a replayed log to a freshly checkpoint-loaded heap.
+    ///
+    /// Pass 1 (redo): re-apply every operation of every committed
+    /// transaction, in log order, through the recovery-safe heap entry
+    /// points (fresh slots; page images on disk may be any mix of
+    /// vintages after a crash).
+    ///
+    /// Pass 2 (undo): stolen dirty pages can carry *uncommitted* bytes
+    /// to disk, so for every object whose last logged toucher did not
+    /// commit, restore that toucher's first before-image (under strict
+    /// two-phase locking the first before-image is the last committed
+    /// value). Aborted transactions are treated identically: their
+    /// in-memory rollback was never logged, and re-deriving it from
+    /// before-images is equivalent.
+    ///
+    /// Finally the oid allocator is raised past every oid in the log —
+    /// even losers' — so a recovered store never recycles an oid the
+    /// crashed run already handed out.
+    fn recover(heap: &Heap, records: &[WalRecord]) -> Result<()> {
+        let committed: HashSet<u64> = records
+            .iter()
+            .filter_map(|r| match r {
+                WalRecord::Commit(t) => Some(*t),
+                _ => None,
+            })
+            .collect();
+
+        let mut last_touch: HashMap<u64, u64> = HashMap::new();
+        let mut first_image: HashMap<(u64, u64), LoserUndo> = HashMap::new();
+        let mut max_oid = None;
+
+        for rec in records {
+            let (oid, image) = match rec {
+                WalRecord::Alloc { oid, seg, hint, data, .. } => {
+                    if committed.contains(&rec.txn()) {
+                        heap.recover_upsert(*oid, Some(*seg), *hint, data)?;
+                    }
+                    (*oid, LoserUndo::Remove)
+                }
+                WalRecord::Update { oid, data, old, .. } => {
+                    if committed.contains(&rec.txn()) {
+                        heap.recover_upsert(*oid, None, ClusterHint::NONE, data)?;
+                    }
+                    (*oid, LoserUndo::Restore(old.clone()))
+                }
+                WalRecord::Free { oid, old, .. } => {
+                    if committed.contains(&rec.txn()) {
+                        heap.recover_free(*oid);
+                    }
+                    (*oid, LoserUndo::Restore(old.clone()))
+                }
+                WalRecord::Begin(_)
+                | WalRecord::Commit(_)
+                | WalRecord::Abort(_)
+                | WalRecord::Reset(_) => continue,
+            };
+            max_oid = max_oid.max(Some(oid.raw()));
+            last_touch.insert(oid.raw(), rec.txn());
+            if !committed.contains(&rec.txn()) {
+                first_image.entry((rec.txn(), oid.raw())).or_insert(image);
+            }
+        }
+
+        for ((txn, oid_raw), image) in first_image {
+            // Only the *last* toucher's state can be on disk; if a later
+            // (necessarily committed, already redone) transaction touched
+            // the object, the loser's undo must not clobber it.
+            if last_touch.get(&oid_raw) != Some(&txn) {
+                continue;
+            }
+            let oid = Oid::from_raw(oid_raw);
+            match image {
+                LoserUndo::Remove => heap.recover_free(oid),
+                LoserUndo::Restore(data) => {
+                    heap.recover_upsert(oid, None, ClusterHint::NONE, &data)?
+                }
+            }
+        }
+
+        if let Some(max) = max_oid {
+            heap.reserve_oid_floor(max + 1);
+        }
+        Ok(())
     }
 
     /// Directory the store lives in.
@@ -337,8 +514,27 @@ impl Engine {
         self.heap.oids()
     }
 
+    /// Whether a logged operation failed mid-apply (see [`Engine::checkpoint`]).
+    pub fn is_wounded(&self) -> bool {
+        self.wounded.load(Ordering::Acquire)
+    }
+
+    fn wound(&self) {
+        self.wounded.store(true, Ordering::Release);
+    }
+
     fn active(&self) -> MutexGuard<'_, ActiveState> {
         self.active.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// A `commit`/`abort` finished resolving its transaction; wake a
+    /// quiescing checkpoint if the system is now fully drained.
+    fn resolved(&self) {
+        let mut active = self.active();
+        active.resolving -= 1;
+        if active.txns.is_empty() && active.resolving == 0 {
+            self.active_changed.notify_all();
+        }
     }
 
     fn require_txn(&self, txn: TxnId) -> Result<()> {
@@ -387,22 +583,29 @@ impl StorageManager for Engine {
     }
 
     fn commit(&self, txn: TxnId) -> Result<()> {
-        let mut active = self.active();
-        let state = active.txns.remove(&txn.raw()).ok_or(StorageError::UnknownTxn(txn))?;
-        if active.txns.is_empty() {
-            self.active_changed.notify_all();
+        {
+            let mut active = self.active();
+            let state = active.txns.remove(&txn.raw()).ok_or(StorageError::UnknownTxn(txn))?;
+            active.resolving += 1;
+            drop(state);
         }
-        drop(active);
-        drop(state);
-        self.log(WalRecord::Commit(txn.raw()))?;
-        if let Some(wal) = &self.wal {
-            // Group commit: concurrent committers share one log force;
-            // sync_commit additionally makes the force an fdatasync.
-            wal.group_commit(self.sync_commit)?;
-        }
+        // Group commit: concurrent committers share one log force;
+        // sync_commit additionally makes the force durable, so an Ok
+        // here means the transaction survives power loss. Locks are
+        // released whether or not the force succeeds — a failed force
+        // leaves the commit's durability unknown, not the engine stuck.
+        let forced = self.log(WalRecord::Commit(txn.raw())).and_then(|()| {
+            if let Some(wal) = &self.wal {
+                wal.group_commit(self.sync_commit)
+            } else {
+                Ok(())
+            }
+        });
         if let Some(locks) = &self.locks {
             locks.release_all(txn);
         }
+        self.resolved();
+        forced?;
         StorageStats::bump(&self.stats.commits, 1);
         Ok(())
     }
@@ -413,25 +616,38 @@ impl StorageManager for Engine {
                 "abort: the Texas store has no undo capability",
             ));
         }
-        let mut active = self.active();
-        let state = active.txns.remove(&txn.raw()).ok_or(StorageError::UnknownTxn(txn))?;
-        if active.txns.is_empty() {
-            self.active_changed.notify_all();
-        }
-        drop(active);
-        for undo in state.undo.into_iter().rev() {
-            match undo {
-                Undo::UnAlloc(oid) => self.heap.free(oid)?,
-                Undo::Restore(oid, data) => self.heap.update(oid, &data)?,
-                Undo::Realloc { oid, seg, data } => {
-                    self.heap.alloc_with_oid(oid, seg, ClusterHint::NONE, &data)?
+        let state = {
+            let mut active = self.active();
+            let state = active.txns.remove(&txn.raw()).ok_or(StorageError::UnknownTxn(txn))?;
+            active.resolving += 1;
+            state
+        };
+        let undone = (|| {
+            for undo in state.undo.into_iter().rev() {
+                match undo {
+                    Undo::UnAlloc(oid) => self.heap.free(oid)?,
+                    Undo::Restore(oid, data) => self.heap.update(oid, &data)?,
+                    Undo::Realloc { oid, seg, data } => {
+                        self.heap.alloc_with_oid(oid, seg, ClusterHint::NONE, &data)?
+                    }
                 }
             }
-        }
-        self.log(WalRecord::Abort(txn.raw()))?;
+            Ok(())
+        })();
+        let logged = self.log(WalRecord::Abort(txn.raw()));
         if let Some(locks) = &self.locks {
             locks.release_all(txn);
         }
+        self.resolved();
+        if let Err(e) = undone {
+            // A half-applied rollback: memory no longer matches what the
+            // log can reconstruct. Recovery treats the transaction as a
+            // loser either way and re-derives the rollback from logged
+            // before-images.
+            self.wound();
+            return Err(e);
+        }
+        logged?;
         StorageStats::bump(&self.stats.aborts, 1);
         Ok(())
     }
@@ -466,13 +682,26 @@ impl StorageManager for Engine {
     fn update(&self, txn: TxnId, oid: Oid, data: &[u8]) -> Result<()> {
         self.require_txn(txn)?;
         self.lock(txn, oid, LockMode::Exclusive)?;
-        let old = if self.profile.wal { Some(self.heap.read(oid)?) } else { None };
-        self.heap.update(oid, data)?;
-        self.log(WalRecord::Update { txn: txn.raw(), oid, data: data.to_vec() })?;
-        if let Some(old) = old {
+        if self.profile.wal {
+            // Write-ahead: the record (with its before-image) enters the
+            // log buffer before the heap mutates, so a steal of the
+            // mutated page can never outrun its undo information.
+            let old = self.heap.read(oid)?;
+            self.log(WalRecord::Update {
+                txn: txn.raw(),
+                oid,
+                data: data.to_vec(),
+                old: old.clone(),
+            })?;
+            if let Err(e) = self.heap.update(oid, data) {
+                self.wound();
+                return Err(e);
+            }
             if let Some(state) = self.active().txns.get_mut(&txn.raw()) {
                 state.undo.push(Undo::Restore(oid, old));
             }
+        } else {
+            self.heap.update(oid, data)?;
         }
         Ok(())
     }
@@ -480,20 +709,22 @@ impl StorageManager for Engine {
     fn free(&self, txn: TxnId, oid: Oid) -> Result<()> {
         self.require_txn(txn)?;
         self.lock(txn, oid, LockMode::Exclusive)?;
-        // Capture payload and segment before the free so an abort can
-        // re-create the object in its original placement.
-        let old = if self.profile.wal {
+        if self.profile.wal {
+            // Capture payload and segment before the free so an abort can
+            // re-create the object in its original placement; the logged
+            // before-image serves recovery the same way.
             let seg = self.heap.segment_of(oid).unwrap_or(SegmentId::DEFAULT);
-            Some((self.heap.read(oid)?, seg))
-        } else {
-            None
-        };
-        self.heap.free(oid)?;
-        self.log(WalRecord::Free { txn: txn.raw(), oid })?;
-        if let Some((data, seg)) = old {
-            if let Some(state) = self.active().txns.get_mut(&txn.raw()) {
-                state.undo.push(Undo::Realloc { oid, seg, data });
+            let old = self.heap.read(oid)?;
+            self.log(WalRecord::Free { txn: txn.raw(), oid, old: old.clone() })?;
+            if let Err(e) = self.heap.free(oid) {
+                self.wound();
+                return Err(e);
             }
+            if let Some(state) = self.active().txns.get_mut(&txn.raw()) {
+                state.undo.push(Undo::Realloc { oid, seg, data: old });
+            }
+        } else {
+            self.heap.free(oid)?;
         }
         Ok(())
     }
@@ -503,6 +734,12 @@ impl StorageManager for Engine {
     }
 
     fn checkpoint(&self) -> Result<()> {
+        // A wounded engine's in-memory state may disagree with its log;
+        // persisting it as a checkpoint would make the disagreement
+        // durable and unrecoverable. Reopening the store heals it.
+        if self.is_wounded() {
+            return Err(StorageError::Wounded("a logged operation failed mid-apply"));
+        }
         // Quiesce: block new transactions and drain the active ones so
         // the snapshot and the WAL truncation are transaction-consistent.
         // Callers must not hold an open transaction on this thread.
@@ -513,7 +750,7 @@ impl StorageManager for Engine {
                     self.active_changed.wait(active).unwrap_or_else(|e| e.into_inner());
             }
             active.quiescing = true;
-            while !active.txns.is_empty() {
+            while !active.txns.is_empty() || active.resolving > 0 {
                 active =
                     self.active_changed.wait(active).unwrap_or_else(|e| e.into_inner());
             }
@@ -521,11 +758,13 @@ impl StorageManager for Engine {
         let result = (|| {
             self.pool.flush_all()?;
             self.file.sync()?;
+            let next_epoch = self.epoch.load(Ordering::Acquire) + 1;
             let (_, meta_path, _) = Self::paths(&self.dir);
-            meta::write_meta(&meta_path, &self.heap)?;
+            meta::write_meta(&self.vfs, &meta_path, &self.heap, next_epoch)?;
             if let Some(wal) = &self.wal {
-                wal.truncate()?;
+                wal.truncate(next_epoch)?;
             }
+            self.epoch.store(next_epoch, Ordering::Release);
             StorageStats::bump(&self.stats.checkpoints, 1);
             Ok(())
         })();
@@ -541,8 +780,8 @@ impl StorageManager for Engine {
     fn db_size_bytes(&self) -> Result<Option<u64>> {
         let (_, meta_path, _) = Self::paths(&self.dir);
         let mut total = self.file.len_bytes()?;
-        if let Ok(m) = std::fs::metadata(&meta_path) {
-            total += m.len();
+        if let Some(meta_len) = self.vfs.size(&meta_path)? {
+            total += meta_len;
         }
         if let Some(wal) = &self.wal {
             total += wal.len_bytes()?;
@@ -593,6 +832,17 @@ impl OStore {
     pub fn open(dir: &Path, opts: Options) -> Result<Engine> {
         Engine::open(dir, Profile::ostore(), opts)
     }
+
+    /// Create a fresh OStore-profile store on an arbitrary [`Vfs`].
+    pub fn create_with(vfs: Arc<dyn Vfs>, dir: &Path, opts: Options) -> Result<Engine> {
+        Engine::create_with(vfs, dir, Profile::ostore(), opts)
+    }
+
+    /// Open an OStore-profile store on an arbitrary [`Vfs`], running
+    /// crash recovery.
+    pub fn open_with(vfs: Arc<dyn Vfs>, dir: &Path, opts: Options) -> Result<Engine> {
+        Engine::open_with(vfs, dir, Profile::ostore(), opts)
+    }
 }
 
 /// Constructor namespace for the Texas-like backend.
@@ -607,6 +857,17 @@ impl Texas {
     /// Open an existing Texas-profile store (recovers to last checkpoint).
     pub fn open(dir: &Path, opts: Options) -> Result<Engine> {
         Engine::open(dir, Profile::texas(), opts)
+    }
+
+    /// Create a fresh Texas-profile store on an arbitrary [`Vfs`].
+    pub fn create_with(vfs: Arc<dyn Vfs>, dir: &Path, opts: Options) -> Result<Engine> {
+        Engine::create_with(vfs, dir, Profile::texas(), opts)
+    }
+
+    /// Open a Texas-profile store on an arbitrary [`Vfs`] (recovers to
+    /// last checkpoint).
+    pub fn open_with(vfs: Arc<dyn Vfs>, dir: &Path, opts: Options) -> Result<Engine> {
+        Engine::open_with(vfs, dir, Profile::texas(), opts)
     }
 }
 
@@ -623,11 +884,22 @@ impl TexasTc {
     pub fn open(dir: &Path, opts: Options) -> Result<Engine> {
         Engine::open(dir, Profile::texas_tc(), opts)
     }
+
+    /// Create a fresh Texas+TC-profile store on an arbitrary [`Vfs`].
+    pub fn create_with(vfs: Arc<dyn Vfs>, dir: &Path, opts: Options) -> Result<Engine> {
+        Engine::create_with(vfs, dir, Profile::texas_tc(), opts)
+    }
+
+    /// Open a Texas+TC-profile store on an arbitrary [`Vfs`].
+    pub fn open_with(vfs: Arc<dyn Vfs>, dir: &Path, opts: Options) -> Result<Engine> {
+        Engine::open_with(vfs, dir, Profile::texas_tc(), opts)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::vfs::SimVfs;
 
     fn tmpdir(name: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!(
@@ -696,6 +968,34 @@ mod tests {
         assert_eq!(store.read(committed_oid).unwrap(), b"durable");
         assert!(!store.exists(uncommitted_oid));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn ostore_recovery_undoes_stolen_uncommitted_updates() {
+        // A tiny pool forces dirty-page steals, so the data file holds
+        // uncommitted bytes when the "crash" happens; only the logged
+        // before-images can roll them back.
+        let vfs: Arc<dyn Vfs> = Arc::new(SimVfs::new(7));
+        let dir = PathBuf::from("/sim/steal");
+        let opts = Options { buffer_pages: 2, sync_commit: true, ..Options::default() };
+        let committed;
+        {
+            let store = OStore::create_with(vfs.clone(), &dir, opts.clone()).unwrap();
+            let t = store.begin().unwrap();
+            committed = store.allocate(t, SegmentId(0), ClusterHint::NONE, b"stable").unwrap();
+            store.commit(t).unwrap();
+            let t2 = store.begin().unwrap();
+            store.update(t2, committed, b"DIRTY!").unwrap();
+            // Churn enough pages that the dirty page is stolen to disk.
+            for i in 0..200u32 {
+                store
+                    .allocate(t2, SegmentId(0), ClusterHint::NONE, &[(i % 251) as u8; 64])
+                    .unwrap();
+            }
+            // Crash with t2 uncommitted.
+        }
+        let store = OStore::open_with(vfs, &dir, opts).unwrap();
+        assert_eq!(store.read(committed).unwrap(), b"stable");
     }
 
     #[test]
@@ -849,5 +1149,24 @@ mod tests {
             assert_eq!(h.join().unwrap(), expected);
         }
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn whole_store_runs_on_sim_vfs_and_survives_power_loss() {
+        let sim = SimVfs::new(99);
+        let vfs: Arc<dyn Vfs> = Arc::new(sim.clone());
+        let dir = PathBuf::from("/sim/store");
+        let opts = Options { sync_commit: true, ..Options::default() };
+        let store = OStore::create_with(vfs, &dir, opts.clone()).unwrap();
+        let t = store.begin().unwrap();
+        let oid = store.allocate(t, SegmentId(0), ClusterHint::NONE, b"survives").unwrap();
+        store.commit(t).unwrap();
+        // Pull the plug: everything unsynced is gone; the synced commit
+        // must be reconstructible from the durable image alone.
+        let after = sim.clone_durable();
+        after.power_loss();
+        let vfs2: Arc<dyn Vfs> = Arc::new(after);
+        let store2 = OStore::open_with(vfs2, &dir, opts).unwrap();
+        assert_eq!(store2.read(oid).unwrap(), b"survives");
     }
 }

@@ -8,6 +8,29 @@ use crate::ids::{Oid, TxnId};
 /// Convenience alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, StorageError>;
 
+/// Crash recovery found something it cannot explain as a torn tail.
+///
+/// A torn WAL *tail* is the expected signature of power loss mid-append
+/// and is silently truncated; this error is reserved for damage replay
+/// must not paper over — a bad checksum on an interior frame, an
+/// undecodable record body, or a log whose epoch is newer than the
+/// checkpoint that supposedly produced it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryError {
+    /// Byte offset of the offending frame in the log.
+    pub offset: u64,
+    /// Zero-based index of the offending frame.
+    pub frame: u64,
+    /// What was wrong with it.
+    pub detail: String,
+}
+
+impl fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "WAL frame {} at byte {}: {}", self.frame, self.offset, self.detail)
+    }
+}
+
 /// Errors produced by storage managers.
 #[derive(Debug)]
 pub enum StorageError {
@@ -33,6 +56,12 @@ pub enum StorageError {
     BadPath(String),
     /// The requested segment id is outside the configured segment count.
     UnknownSegment(u8),
+    /// Crash recovery hit interior log corruption (not a torn tail).
+    Recovery(RecoveryError),
+    /// A failed rollback left in-memory state unreliable; checkpoints
+    /// are refused until the store is reopened (which re-runs recovery
+    /// from the last durable state).
+    Wounded(&'static str),
 }
 
 impl fmt::Display for StorageError {
@@ -50,6 +79,10 @@ impl fmt::Display for StorageError {
             StorageError::Corrupt(msg) => write!(f, "corrupt store: {msg}"),
             StorageError::BadPath(msg) => write!(f, "bad store path: {msg}"),
             StorageError::UnknownSegment(s) => write!(f, "unknown segment {s}"),
+            StorageError::Recovery(e) => write!(f, "unrecoverable log corruption: {e}"),
+            StorageError::Wounded(what) => {
+                write!(f, "store is wounded ({what}); reopen to recover")
+            }
         }
     }
 }
@@ -86,6 +119,12 @@ mod tests {
             StorageError::Corrupt("bad magic".into()),
             StorageError::BadPath("/nope".into()),
             StorageError::UnknownSegment(9),
+            StorageError::Recovery(RecoveryError {
+                offset: 4096,
+                frame: 3,
+                detail: "checksum mismatch".into(),
+            }),
+            StorageError::Wounded("abort undo failed"),
         ];
         for c in cases {
             assert!(!c.to_string().is_empty());

@@ -364,6 +364,65 @@ impl Heap {
         Ok(())
     }
 
+    /// Crash-recovery write: (re)bind `oid` to `payload` at a freshly
+    /// chosen location, never touching the location the table currently
+    /// maps it to.
+    ///
+    /// Replay runs against page images of unknown vintage — any page may
+    /// hold its checkpoint-era bytes or a later flush from the crashed
+    /// run — so the old slot may already be dead, or reused by an object
+    /// replay itself just placed. `page::remove` there (as
+    /// [`Heap::update`] does) could destroy live data. Instead the old
+    /// slot and any overflow chain are deliberately leaked: the next
+    /// checkpoint's metadata simply stops referencing them.
+    ///
+    /// `seg` of `None` keeps the object's current segment (falling back
+    /// to [`SegmentId::DEFAULT`] if the table has no entry).
+    pub fn recover_upsert(
+        &self,
+        oid: Oid,
+        seg: Option<SegmentId>,
+        hint: ClusterHint,
+        payload: &[u8],
+    ) -> Result<()> {
+        let mut inner = self.table_write();
+        let seg = seg
+            .or_else(|| inner.table.get(&oid.raw()).map(|l| l.seg))
+            .unwrap_or(SegmentId::DEFAULT);
+        inner.table.remove(&oid.raw());
+        let stored_len = self.stored_len(payload.len());
+        let stored = if stored_len > page::MAX_RECORD {
+            self.write_overflow(&mut inner, payload)?
+        } else {
+            self.encode(payload)
+        };
+        let (pid, slot) = self.write_record(&mut inner, seg, hint, &stored)?;
+        inner.table.insert(oid.raw(), Loc { page: pid, slot, seg });
+        if oid.raw() >= inner.next_oid {
+            inner.next_oid = oid.raw() + 1;
+        }
+        Ok(())
+    }
+
+    /// Crash-recovery delete: drop the table entry without touching the
+    /// page image (see [`Heap::recover_upsert`] for why the slot and any
+    /// overflow chain must be leaked rather than reclaimed).
+    pub fn recover_free(&self, oid: Oid) {
+        self.table_write().table.remove(&oid.raw());
+    }
+
+    /// Raise the oid allocator so no future allocation hands out an id
+    /// below `next`. Recovery calls this with one past the highest oid
+    /// seen in the log — including oids of transactions that did *not*
+    /// commit — so a recovered store can never recycle an oid the crashed
+    /// run already reported to a client.
+    pub fn reserve_oid_floor(&self, next: u64) {
+        let mut inner = self.table_write();
+        if next > inner.next_oid {
+            inner.next_oid = next;
+        }
+    }
+
     /// Read an object's payload. The shared guard is held across the page
     /// (and overflow-chain) access: a concurrent relocating update would
     /// otherwise free the slot — or recycle the chain pages — between the
@@ -589,8 +648,9 @@ mod tests {
     fn heap(name: &str, placement: Placement, segs: u8, cap: usize) -> (Heap, Arc<StorageStats>) {
         let dir = std::env::temp_dir().join(format!("lfs-heap-{}-{}", std::process::id(), name));
         std::fs::create_dir_all(&dir).unwrap();
+        let vfs = crate::vfs::RealVfs::arc();
         let stats = Arc::new(StorageStats::default());
-        let file = Arc::new(PageFile::create(&dir.join("d.pg"), stats.clone()).unwrap());
+        let file = Arc::new(PageFile::create(&vfs, &dir.join("d.pg"), stats.clone()).unwrap());
         let pool = Arc::new(BufferPool::new(file.clone(), stats.clone(), cap, false));
         (Heap::new(pool, file, stats.clone(), placement, segs, 0, 1), stats)
     }
@@ -728,8 +788,9 @@ mod tests {
     fn per_object_overhead_inflates_stored_size() {
         let dir = std::env::temp_dir().join(format!("lfs-heap-{}-ovh", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
+        let vfs = crate::vfs::RealVfs::arc();
         let stats = Arc::new(StorageStats::default());
-        let file = Arc::new(PageFile::create(&dir.join("d.pg"), stats.clone()).unwrap());
+        let file = Arc::new(PageFile::create(&vfs, &dir.join("d.pg"), stats.clone()).unwrap());
         let pool = Arc::new(BufferPool::new(file.clone(), stats.clone(), 16, false));
         let fat = Heap::new(pool, file, stats, Placement::AddressOrder, 1, 24, 16);
         assert_eq!(fat.stored_len(100), 128); // 4+24+100=128, aligned

@@ -66,17 +66,29 @@ mod page;
 mod pagefile;
 mod stats;
 mod traits;
+pub mod vfs;
+mod waits;
 mod wal;
 
 pub use engine::{Engine, OStore, Options, Profile, Texas, TexasTc};
-pub use error::{Result, StorageError};
+pub use error::{RecoveryError, Result, StorageError};
 pub use ids::{ClusterHint, Oid, PageId, SegmentId, Slot, TxnId};
 pub use memstore::MemStore;
 pub use stats::{StatsSnapshot, StorageStats};
 pub use traits::{SegmentInfo, StorageManager};
+pub use vfs::{FaultPlan, OpenMode, RealVfs, SimVfs, Vfs, VfsFile};
+pub use waits::{snapshot as wait_snapshot, WaitSnapshot};
 
 /// The page size used by all page-based backends, in bytes.
 pub const PAGE_SIZE: usize = 4096;
+
+/// Test-only access to WAL replay, so the crash harness can print log
+/// diagnostics when a durability invariant fails. Not part of the
+/// supported API.
+#[doc(hidden)]
+pub mod wal_testing {
+    pub use crate::wal::{Wal, WalRecord, WalReplay};
+}
 
 /// Test-only access to the slotted-page primitives, so external
 /// property suites can drive the layout directly. Not part of the

@@ -98,7 +98,10 @@ impl LockManager {
         // the condvar wait, so it cannot carry the rank itself.
         let _rank = lock_order::acquire(lock_order::LOCK_SHARD);
         let mut states = shard.raw_lock();
-        loop {
+        // Wait attribution: timing starts only when the request actually
+        // blocks, so uncontended acquisitions stay free of clock reads.
+        let mut waited: Option<Instant> = None;
+        let result = loop {
             let state = states.entry(oid.raw()).or_default();
             let granted = match mode {
                 LockMode::Shared => match state.exclusive {
@@ -128,18 +131,23 @@ impl LockManager {
                 }
             };
             if granted {
-                return Ok(());
+                break Ok(());
             }
             let now = Instant::now();
             if now >= deadline {
-                return Err(StorageError::LockTimeout(oid));
+                break Err(StorageError::LockTimeout(oid));
             }
+            waited.get_or_insert(now);
             let (guard, _) = shard
                 .released
                 .wait_timeout(states, deadline - now)
                 .unwrap_or_else(|e| e.into_inner());
             states = guard;
+        };
+        if let Some(start) = waited {
+            crate::waits::add_lock_wait(start.elapsed().as_nanos() as u64);
         }
+        result
     }
 
     fn note_held(&self, txn: u64, oid: Oid) {

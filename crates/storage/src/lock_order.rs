@@ -25,6 +25,7 @@
 //! | 45   | `PageFile::file`                       |
 //! | 50   | `Wal::writer`                          |
 //! | 55   | `Wal::group` (group-commit tickets)    |
+//! | 60   | `SimVfs` state (simulated disk)        |
 
 use std::ops::{Deref, DerefMut};
 
@@ -55,6 +56,9 @@ pub const PAGE_FILE: LockRank = LockRank { rank: 45, name: "page_file.file" };
 pub const WAL_WRITER: LockRank = LockRank { rank: 50, name: "wal.writer" };
 /// The WAL group-commit ticket state.
 pub const WAL_GROUP: LockRank = LockRank { rank: 55, name: "wal.group" };
+/// The simulated-VFS state: the innermost lock of all — every simulated
+/// disk operation ends here, under whichever file lock drives it.
+pub const SIM_VFS: LockRank = LockRank { rank: 60, name: "sim_vfs.state" };
 
 #[cfg(debug_assertions)]
 mod imp {

@@ -1,52 +1,66 @@
 //! Checkpoint metadata file: the heap's object table and allocation state,
 //! written atomically (tmp file + rename) at each checkpoint.
+//!
+//! Since version 2 the header also carries the *checkpoint epoch*: a
+//! counter bumped by every checkpoint and stamped into the WAL's reset
+//! frame, so recovery can tell whether the log on disk belongs to this
+//! metadata (crashes can separate the metadata flip from the log
+//! truncation).
 
-use std::fs::{self, File};
-use std::io::{Read, Write};
 use std::path::Path;
+use std::sync::Arc;
 
 use crate::error::{Result, StorageError};
 use crate::heap::Heap;
+use crate::vfs::{OpenMode, Vfs};
 
 const MAGIC: &[u8; 8] = b"LABFLOW1";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
+const HEADER: usize = 8 + 4 + 8; // magic + version + epoch
 
-/// Atomically persist the heap metadata to `path`.
-pub fn write_meta(path: &Path, heap: &Heap) -> Result<()> {
+/// Atomically persist the heap metadata to `path`, stamped with the
+/// checkpoint `epoch`.
+pub fn write_meta(vfs: &Arc<dyn Vfs>, path: &Path, heap: &Heap, epoch: u64) -> Result<()> {
     let mut body = Vec::with_capacity(4096);
     body.extend_from_slice(MAGIC);
     body.extend_from_slice(&VERSION.to_le_bytes());
+    body.extend_from_slice(&epoch.to_le_bytes());
     heap.dump_meta(&mut body);
     let tmp = path.with_extension("meta.tmp");
     {
-        let mut f = File::create(&tmp)?;
-        f.write_all(&body)?;
-        f.sync_data()?;
+        let mut f = vfs.open(&tmp, OpenMode::Create)?;
+        f.write_at(0, &body)?;
+        f.sync()?;
     }
-    fs::rename(&tmp, path)?;
+    vfs.rename(&tmp, path)?;
     Ok(())
 }
 
-/// Load heap metadata from `path` into `heap`. Returns `false` if the
-/// file does not exist (fresh store).
-pub fn read_meta(path: &Path, heap: &Heap) -> Result<bool> {
-    let mut data = Vec::new();
-    match File::open(path) {
-        Ok(mut f) => {
-            f.read_to_end(&mut data)?;
-        }
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(false),
-        Err(e) => return Err(e.into()),
-    }
-    if data.len() < 12 || &data[0..8] != MAGIC {
+/// Load heap metadata from `path` into `heap`. Returns the stored
+/// checkpoint epoch, or `None` if the file does not exist (fresh store).
+pub fn read_meta(vfs: &Arc<dyn Vfs>, path: &Path, heap: &Heap) -> Result<Option<u64>> {
+    let Some(data) = vfs.read_all(path)? else {
+        return Ok(None);
+    };
+    let Some((header, body)) = data.split_at_checked(HEADER) else {
+        return Err(StorageError::Corrupt("bad meta magic".into()));
+    };
+    let (magic, tail) = header.split_at(8);
+    let (ver_bytes, epoch_bytes) = tail.split_at(4);
+    if magic != MAGIC {
         return Err(StorageError::Corrupt("bad meta magic".into()));
     }
-    let version = u32::from_le_bytes([data[8], data[9], data[10], data[11]]);
+    let version = u32::from_le_bytes(
+        ver_bytes.try_into().map_err(|_| StorageError::Corrupt("short meta header".into()))?,
+    );
     if version != VERSION {
         return Err(StorageError::Corrupt(format!("unsupported meta version {version}")));
     }
-    heap.load_meta(&data[12..])?;
-    Ok(true)
+    let epoch = u64::from_le_bytes(
+        epoch_bytes.try_into().map_err(|_| StorageError::Corrupt("short meta header".into()))?,
+    );
+    heap.load_meta(body)?;
+    Ok(Some(epoch))
 }
 
 #[cfg(test)]
@@ -57,46 +71,49 @@ mod tests {
     use crate::ids::{ClusterHint, SegmentId};
     use crate::pagefile::PageFile;
     use crate::stats::StorageStats;
+    use crate::vfs::RealVfs;
     use std::sync::Arc;
 
-    fn mk(name: &str) -> (Heap, std::path::PathBuf) {
+    fn mk(name: &str) -> (Arc<dyn Vfs>, Heap, std::path::PathBuf) {
         let dir = std::env::temp_dir().join(format!("lfs-meta-{}-{}", std::process::id(), name));
         std::fs::create_dir_all(&dir).unwrap();
+        let vfs = RealVfs::arc();
         let stats = Arc::new(StorageStats::default());
-        let file = Arc::new(PageFile::create(&dir.join("d.pg"), stats.clone()).unwrap());
+        let file = Arc::new(PageFile::create(&vfs, &dir.join("d.pg"), stats.clone()).unwrap());
         let pool = Arc::new(BufferPool::new(file.clone(), stats.clone(), 16, false));
-        (Heap::new(pool, file, stats, Placement::Segments, 2, 0, 1), dir.join("store.meta"))
+        (vfs, Heap::new(pool, file, stats, Placement::Segments, 2, 0, 1), dir.join("store.meta"))
     }
 
     #[test]
-    fn round_trip() {
-        let (heap, path) = mk("rt");
+    fn round_trip_with_epoch() {
+        let (vfs, heap, path) = mk("rt");
         let oid = heap.alloc(SegmentId(1), ClusterHint::NONE, b"meta me").unwrap();
-        write_meta(&path, &heap).unwrap();
-        assert!(read_meta(&path, &heap).unwrap());
+        write_meta(&vfs, &path, &heap, 41).unwrap();
+        assert_eq!(read_meta(&vfs, &path, &heap).unwrap(), Some(41));
         assert_eq!(heap.read(oid).unwrap(), b"meta me");
     }
 
     #[test]
     fn missing_file_reports_fresh() {
-        let (heap, path) = mk("fresh");
-        assert!(!read_meta(&path.with_extension("nope"), &heap).unwrap());
+        let (vfs, heap, path) = mk("fresh");
+        assert_eq!(read_meta(&vfs, &path.with_extension("nope"), &heap).unwrap(), None);
     }
 
     #[test]
     fn bad_magic_rejected() {
-        let (heap, path) = mk("magic");
-        std::fs::write(&path, b"NOTMETA!....").unwrap();
-        assert!(matches!(read_meta(&path, &heap), Err(StorageError::Corrupt(_))));
+        let (vfs, heap, path) = mk("magic");
+        std::fs::write(&path, b"NOTMETA!............").unwrap();
+        assert!(matches!(read_meta(&vfs, &path, &heap), Err(StorageError::Corrupt(_))));
     }
 
     #[test]
     fn bad_version_rejected() {
-        let (heap, path) = mk("ver");
+        let (vfs, heap, path) = mk("ver");
         let mut data = Vec::new();
         data.extend_from_slice(MAGIC);
         data.extend_from_slice(&99u32.to_le_bytes());
+        data.extend_from_slice(&0u64.to_le_bytes());
         std::fs::write(&path, &data).unwrap();
-        assert!(matches!(read_meta(&path, &heap), Err(StorageError::Corrupt(_))));
+        assert!(matches!(read_meta(&vfs, &path, &heap), Err(StorageError::Corrupt(_))));
     }
 }

@@ -1,7 +1,5 @@
 //! A file of fixed-size pages with physical-I/O accounting.
 
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
@@ -11,32 +9,28 @@ use parking_lot::Mutex;
 use crate::error::Result;
 use crate::ids::PageId;
 use crate::stats::StorageStats;
+use crate::vfs::{OpenMode, Vfs, VfsFile};
 use crate::PAGE_SIZE;
 
 /// A page-granular file. All physical reads and writes flow through here
 /// and are counted in the shared [`StorageStats`].
 pub struct PageFile {
-    file: Mutex<File>,
+    file: Mutex<Box<dyn VfsFile>>,
     page_count: AtomicU32,
     stats: Arc<StorageStats>,
 }
 
 impl PageFile {
     /// Create a new, empty page file (truncating any existing file).
-    pub fn create(path: &Path, stats: Arc<StorageStats>) -> Result<Self> {
-        let file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(true)
-            .open(path)?;
+    pub fn create(vfs: &Arc<dyn Vfs>, path: &Path, stats: Arc<StorageStats>) -> Result<Self> {
+        let file = vfs.open(path, OpenMode::Create)?;
         Ok(PageFile { file: Mutex::new(file), page_count: AtomicU32::new(0), stats })
     }
 
     /// Open an existing page file.
-    pub fn open(path: &Path, stats: Arc<StorageStats>) -> Result<Self> {
-        let file = OpenOptions::new().read(true).write(true).open(path)?;
-        let len = file.metadata()?.len();
+    pub fn open(vfs: &Arc<dyn Vfs>, path: &Path, stats: Arc<StorageStats>) -> Result<Self> {
+        let mut file = vfs.open(path, OpenMode::Open)?;
+        let len = file.len()?;
         let pages = (len / PAGE_SIZE as u64) as u32;
         Ok(PageFile { file: Mutex::new(file), page_count: AtomicU32::new(pages), stats })
     }
@@ -58,15 +52,19 @@ impl PageFile {
         debug_assert_eq!(buf.len(), PAGE_SIZE);
         let mut file = self.file.lock();
         let offset = pid.0 as u64 * PAGE_SIZE as u64;
-        let file_len = file.metadata()?.len();
+        let file_len = file.len()?;
         if offset >= file_len {
             // Allocated but never written: logically all-zero.
             buf.fill(0);
+        } else if offset + PAGE_SIZE as u64 > file_len {
+            // A crash can leave the file ending mid-page (a set_len that
+            // outran its page writes); the missing suffix is logically
+            // zero, same as an unwritten page.
+            let avail = (file_len - offset) as usize;
+            file.read_at(offset, &mut buf[..avail])?;
+            buf[avail..].fill(0);
         } else {
-            file.seek(SeekFrom::Start(offset))?;
-            // The file is always extended in whole pages, so a short read
-            // cannot happen for pages below file_len.
-            file.read_exact(buf)?;
+            file.read_at(offset, buf)?;
         }
         StorageStats::bump(&self.stats.page_reads, 1);
         Ok(())
@@ -77,33 +75,33 @@ impl PageFile {
         debug_assert_eq!(buf.len(), PAGE_SIZE);
         let mut file = self.file.lock();
         let offset = pid.0 as u64 * PAGE_SIZE as u64;
-        let file_len = file.metadata()?.len();
+        let file_len = file.len()?;
         if offset > file_len {
             // Keep the file dense in whole pages so read_page's bounds
             // logic stays simple.
             file.set_len(offset)?;
         }
-        file.seek(SeekFrom::Start(offset))?;
-        file.write_all(buf)?;
+        file.write_at(offset, buf)?;
         StorageStats::bump(&self.stats.page_writes, 1);
         Ok(())
     }
 
     /// Flush file contents to stable storage.
     pub fn sync(&self) -> Result<()> {
-        self.file.lock().sync_data()?;
+        self.file.lock().sync()?;
         Ok(())
     }
 
     /// Current physical size of the file in bytes.
     pub fn len_bytes(&self) -> Result<u64> {
-        Ok(self.file.lock().metadata()?.len())
+        self.file.lock().len()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::vfs::{RealVfs, SimVfs};
 
     fn tmp(name: &str) -> std::path::PathBuf {
         let dir = std::env::temp_dir().join(format!("lfs-pf-{}-{}", std::process::id(), name));
@@ -114,8 +112,9 @@ mod tests {
     #[test]
     fn write_read_round_trip_counts_io() {
         let stats = Arc::new(StorageStats::default());
+        let vfs = RealVfs::arc();
         let path = tmp("rt");
-        let pf = PageFile::create(&path, stats.clone()).unwrap();
+        let pf = PageFile::create(&vfs, &path, stats.clone()).unwrap();
         let p0 = pf.allocate_page();
         let p1 = pf.allocate_page();
         assert_eq!((p0.0, p1.0), (0, 1));
@@ -141,14 +140,15 @@ mod tests {
     #[test]
     fn reopen_preserves_pages() {
         let stats = Arc::new(StorageStats::default());
+        let vfs = RealVfs::arc();
         let path = tmp("reopen");
         {
-            let pf = PageFile::create(&path, stats.clone()).unwrap();
+            let pf = PageFile::create(&vfs, &path, stats.clone()).unwrap();
             let p = pf.allocate_page();
             pf.write_page(p, &vec![7u8; PAGE_SIZE]).unwrap();
             pf.sync().unwrap();
         }
-        let pf = PageFile::open(&path, stats).unwrap();
+        let pf = PageFile::open(&vfs, &path, stats).unwrap();
         assert_eq!(pf.page_count(), 1);
         let mut out = vec![0u8; PAGE_SIZE];
         pf.read_page(PageId(0), &mut out).unwrap();
@@ -159,8 +159,9 @@ mod tests {
     #[test]
     fn sparse_write_extends_file() {
         let stats = Arc::new(StorageStats::default());
+        let vfs = RealVfs::arc();
         let path = tmp("sparse");
-        let pf = PageFile::create(&path, stats).unwrap();
+        let pf = PageFile::create(&vfs, &path, stats).unwrap();
         for _ in 0..5 {
             pf.allocate_page();
         }
@@ -171,5 +172,23 @@ mod tests {
         pf.read_page(PageId(2), &mut out).unwrap();
         assert!(out.iter().all(|&b| b == 0));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn works_on_sim_vfs() {
+        let stats = Arc::new(StorageStats::default());
+        let sim = SimVfs::new(42);
+        let vfs: Arc<dyn Vfs> = Arc::new(sim.clone());
+        let path = std::path::Path::new("/sim/data.pg");
+        let pf = PageFile::create(&vfs, path, stats).unwrap();
+        let p = pf.allocate_page();
+        pf.write_page(p, &vec![3u8; PAGE_SIZE]).unwrap();
+        let mut out = vec![0u8; PAGE_SIZE];
+        pf.read_page(p, &mut out).unwrap();
+        assert!(out.iter().all(|&b| b == 3));
+        // Unsynced: the durable image is still empty.
+        assert_eq!(sim.clone_durable().size(path).unwrap(), Some(0));
+        pf.sync().unwrap();
+        assert_eq!(sim.clone_durable().size(path).unwrap(), Some(PAGE_SIZE as u64));
     }
 }

@@ -40,6 +40,11 @@ pub struct StorageStats {
     pub wal_syncs: AtomicU64,
     /// Checkpoints taken.
     pub checkpoints: AtomicU64,
+    /// WAL frames replayed during the most recent recovery.
+    pub wal_frames_replayed: AtomicU64,
+    /// Bytes discarded from a torn WAL tail during the most recent
+    /// recovery (zero on a clean shutdown).
+    pub wal_bytes_truncated: AtomicU64,
 }
 
 impl StorageStats {
@@ -66,6 +71,8 @@ impl StorageStats {
             wal_bytes: self.wal_bytes.load(Ordering::Relaxed),
             wal_syncs: self.wal_syncs.load(Ordering::Relaxed),
             checkpoints: self.checkpoints.load(Ordering::Relaxed),
+            wal_frames_replayed: self.wal_frames_replayed.load(Ordering::Relaxed),
+            wal_bytes_truncated: self.wal_bytes_truncated.load(Ordering::Relaxed),
         }
     }
 }
@@ -101,6 +108,10 @@ pub struct StatsSnapshot {
     pub wal_syncs: u64,
     /// See [`StorageStats::checkpoints`].
     pub checkpoints: u64,
+    /// See [`StorageStats::wal_frames_replayed`].
+    pub wal_frames_replayed: u64,
+    /// See [`StorageStats::wal_bytes_truncated`].
+    pub wal_bytes_truncated: u64,
 }
 
 impl StatsSnapshot {
@@ -121,6 +132,12 @@ impl StatsSnapshot {
             wal_bytes: self.wal_bytes.saturating_sub(earlier.wal_bytes),
             wal_syncs: self.wal_syncs.saturating_sub(earlier.wal_syncs),
             checkpoints: self.checkpoints.saturating_sub(earlier.checkpoints),
+            wal_frames_replayed: self
+                .wal_frames_replayed
+                .saturating_sub(earlier.wal_frames_replayed),
+            wal_bytes_truncated: self
+                .wal_bytes_truncated
+                .saturating_sub(earlier.wal_bytes_truncated),
         }
     }
 

@@ -1,0 +1,87 @@
+//! Per-thread wait attribution: where did a session's latency go?
+//!
+//! Two thread-local nanosecond counters, cheap enough to keep on in
+//! release builds: time spent blocked in the lock manager, and time
+//! spent in `Wal::group_commit` (queueing for the batch leader plus the
+//! physical log force). Worker threads — which the multi-client driver
+//! maps 1:1 to clients — snapshot the counters around a span of work and
+//! report the delta, so throughput tables can say not just *how fast*
+//! but *what each client was waiting on*.
+
+use std::cell::Cell;
+
+thread_local! {
+    static LOCK_WAIT_NANOS: Cell<u64> = const { Cell::new(0) };
+    static COMMIT_WAIT_NANOS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// A point-in-time copy of this thread's wait counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WaitSnapshot {
+    /// Nanoseconds spent blocked waiting for object locks (including
+    /// waits that ended in a lock timeout).
+    pub lock_wait_nanos: u64,
+    /// Nanoseconds spent in WAL group commit: waiting for a batch
+    /// leader, the batching window, and the log force itself.
+    pub commit_wait_nanos: u64,
+}
+
+impl WaitSnapshot {
+    /// Counter-wise difference `self - earlier` (saturating).
+    pub fn delta(&self, earlier: &WaitSnapshot) -> WaitSnapshot {
+        WaitSnapshot {
+            lock_wait_nanos: self.lock_wait_nanos.saturating_sub(earlier.lock_wait_nanos),
+            commit_wait_nanos: self.commit_wait_nanos.saturating_sub(earlier.commit_wait_nanos),
+        }
+    }
+}
+
+/// Snapshot the calling thread's accumulated wait counters.
+pub fn snapshot() -> WaitSnapshot {
+    WaitSnapshot {
+        lock_wait_nanos: LOCK_WAIT_NANOS.with(|c| c.get()),
+        commit_wait_nanos: COMMIT_WAIT_NANOS.with(|c| c.get()),
+    }
+}
+
+pub(crate) fn add_lock_wait(nanos: u64) {
+    LOCK_WAIT_NANOS.with(|c| c.set(c.get().saturating_add(nanos)));
+}
+
+pub(crate) fn add_commit_wait(nanos: u64) {
+    COMMIT_WAIT_NANOS.with(|c| c.set(c.get().saturating_add(nanos)));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_per_thread() {
+        let before = snapshot();
+        add_lock_wait(100);
+        add_commit_wait(40);
+        add_lock_wait(1);
+        let d = snapshot().delta(&before);
+        assert_eq!(d.lock_wait_nanos, 101);
+        assert_eq!(d.commit_wait_nanos, 40);
+
+        // Another thread's counters are independent.
+        let handle = std::thread::spawn(|| {
+            let t0 = snapshot();
+            add_lock_wait(7);
+            snapshot().delta(&t0)
+        });
+        let other = handle.join().unwrap_or_default();
+        assert_eq!(other.lock_wait_nanos, 7);
+        let here = snapshot().delta(&before);
+        assert_eq!(here.lock_wait_nanos, 101, "other thread must not bleed in");
+    }
+
+    #[test]
+    fn delta_saturates() {
+        let a = WaitSnapshot { lock_wait_nanos: 10, commit_wait_nanos: 10 };
+        let b = WaitSnapshot::default();
+        assert_eq!(b.delta(&a), WaitSnapshot::default());
+    }
+}

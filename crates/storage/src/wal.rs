@@ -2,25 +2,31 @@
 //!
 //! Logical (operation-level) logging: each record describes one object
 //! operation inside a transaction. Recovery replays the committed suffix
-//! since the last checkpoint; the log is truncated at each checkpoint.
+//! since the last checkpoint; the log is truncated at each checkpoint and
+//! restarted with a [`WalRecord::Reset`] frame carrying the checkpoint
+//! epoch, so replay can tell a stale pre-checkpoint log (crash between
+//! the metadata flip and the log truncation) from a current one.
 //!
-//! Records are framed as `[len u32][fnv1a-32 u32][body]`; replay stops at
-//! the first torn or corrupt frame, so a crash mid-append loses at most
-//! the uncommitted tail.
+//! Records are framed as `[len u32][fnv1a-32 u32][body]`. A torn frame at
+//! end-of-log is the expected signature of a crash mid-append and is
+//! silently truncated (the loss is reported via [`WalReplay`]); a *complete*
+//! frame that fails its checksum or does not decode is interior corruption
+//! and surfaces as [`StorageError::Recovery`] — replay must not silently
+//! drop committed work.
 
-use std::fs::{File, OpenOptions};
-use std::io::{BufWriter, Read, Write};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use parking_lot::{Mutex, MutexGuard};
 
-use crate::error::{Result, StorageError};
+use crate::error::{RecoveryError, Result, StorageError};
 use crate::ids::{ClusterHint, Oid, SegmentId};
 use crate::lock_order::{self, Ranked};
 use crate::stats::StorageStats;
+use crate::vfs::{OpenMode, Vfs, VfsFile};
+use crate::waits;
 
 /// One logical log record.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -48,6 +54,11 @@ pub enum WalRecord {
         oid: Oid,
         /// New payload.
         data: Vec<u8>,
+        /// Payload before the update — the undo image recovery restores
+        /// if this transaction turns out to be a loser. Required because
+        /// the buffer pool steals (evicts dirty pages of uncommitted
+        /// transactions to the data file).
+        old: Vec<u8>,
     },
     /// An object was freed.
     Free {
@@ -55,21 +66,30 @@ pub enum WalRecord {
         txn: u64,
         /// The object freed.
         oid: Oid,
+        /// Payload before the free (undo image; see [`WalRecord::Update`]).
+        old: Vec<u8>,
     },
     /// The transaction committed.
     Commit(u64),
     /// The transaction aborted (its records must not be replayed).
     Abort(u64),
+    /// The log was truncated by a checkpoint with this epoch. Always the
+    /// first frame of a post-checkpoint log; lets replay detect a stale
+    /// log left behind when a crash lands between the metadata flip and
+    /// the log truncation.
+    Reset(u64),
 }
 
 impl WalRecord {
-    /// Transaction id the record belongs to.
+    /// Transaction id the record belongs to (0 for [`WalRecord::Reset`],
+    /// which belongs to no transaction).
     pub fn txn(&self) -> u64 {
         match self {
             WalRecord::Begin(t) | WalRecord::Commit(t) | WalRecord::Abort(t) => *t,
             WalRecord::Alloc { txn, .. }
             | WalRecord::Update { txn, .. }
             | WalRecord::Free { txn, .. } => *txn,
+            WalRecord::Reset(_) => 0,
         }
     }
 
@@ -88,17 +108,21 @@ impl WalRecord {
                 out.extend_from_slice(&(data.len() as u32).to_le_bytes());
                 out.extend_from_slice(data);
             }
-            WalRecord::Update { txn, oid, data } => {
+            WalRecord::Update { txn, oid, data, old } => {
                 out.push(3);
                 out.extend_from_slice(&txn.to_le_bytes());
                 out.extend_from_slice(&oid.raw().to_le_bytes());
                 out.extend_from_slice(&(data.len() as u32).to_le_bytes());
                 out.extend_from_slice(data);
+                out.extend_from_slice(&(old.len() as u32).to_le_bytes());
+                out.extend_from_slice(old);
             }
-            WalRecord::Free { txn, oid } => {
+            WalRecord::Free { txn, oid, old } => {
                 out.push(4);
                 out.extend_from_slice(&txn.to_le_bytes());
                 out.extend_from_slice(&oid.raw().to_le_bytes());
+                out.extend_from_slice(&(old.len() as u32).to_le_bytes());
+                out.extend_from_slice(old);
             }
             WalRecord::Commit(t) => {
                 out.push(5);
@@ -108,13 +132,17 @@ impl WalRecord {
                 out.push(6);
                 out.extend_from_slice(&t.to_le_bytes());
             }
+            WalRecord::Reset(epoch) => {
+                out.push(7);
+                out.extend_from_slice(&epoch.to_le_bytes());
+            }
         }
     }
 
     fn decode(body: &[u8]) -> Result<WalRecord> {
         let corrupt = || StorageError::Corrupt("short WAL record body".into());
         let tag = *body.first().ok_or_else(corrupt)?;
-        let rest = &body[1..];
+        let rest = body.get(1..).ok_or_else(corrupt)?;
         let u64_at = |at: usize| -> Result<u64> {
             rest.get(at..at + 8)
                 .and_then(|s| s.try_into().ok())
@@ -143,11 +171,20 @@ impl WalRecord {
                 let oid = Oid::from_raw(u64_at(8)?);
                 let len = u32_at(16)? as usize;
                 let data = rest.get(20..20 + len).ok_or_else(corrupt)?.to_vec();
-                Ok(WalRecord::Update { txn, oid, data })
+                let old_len = u32_at(20 + len)? as usize;
+                let old = rest.get(24 + len..24 + len + old_len).ok_or_else(corrupt)?.to_vec();
+                Ok(WalRecord::Update { txn, oid, data, old })
             }
-            4 => Ok(WalRecord::Free { txn: u64_at(0)?, oid: Oid::from_raw(u64_at(8)?) }),
+            4 => {
+                let txn = u64_at(0)?;
+                let oid = Oid::from_raw(u64_at(8)?);
+                let old_len = u32_at(16)? as usize;
+                let old = rest.get(20..20 + old_len).ok_or_else(corrupt)?.to_vec();
+                Ok(WalRecord::Free { txn, oid, old })
+            }
             5 => Ok(WalRecord::Commit(u64_at(0)?)),
             6 => Ok(WalRecord::Abort(u64_at(0)?)),
+            7 => Ok(WalRecord::Reset(u64_at(0)?)),
             t => Err(StorageError::Corrupt(format!("unknown WAL tag {t}"))),
         }
     }
@@ -160,6 +197,76 @@ fn fnv1a(data: &[u8]) -> u32 {
         h = h.wrapping_mul(0x0100_0193);
     }
     h
+}
+
+fn encode_frame(rec: &WalRecord) -> Vec<u8> {
+    let mut body = Vec::with_capacity(64);
+    rec.encode(&mut body);
+    let mut frame = Vec::with_capacity(body.len() + 8);
+    frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&fnv1a(&body).to_le_bytes());
+    frame.extend_from_slice(&body);
+    frame
+}
+
+/// Everything replay learned from the log.
+#[derive(Debug, Default)]
+pub struct WalReplay {
+    /// The intact records, in append order (including any leading
+    /// [`WalRecord::Reset`]).
+    pub records: Vec<WalRecord>,
+    /// Number of intact frames decoded.
+    pub frames: u64,
+    /// Bytes of torn tail discarded (0 after a clean shutdown).
+    pub bytes_truncated: u64,
+}
+
+/// The append side of the log: the file handle plus an in-memory tail of
+/// frames not yet written out. Unflushed frames belong to transactions
+/// whose commit has not been forced, so losing them on a crash is exactly
+/// the contract.
+struct WalWriter {
+    file: Box<dyn VfsFile>,
+    /// Offset where the next flush writes (bytes already in the file).
+    flushed: u64,
+    /// Encoded frames awaiting the next flush.
+    buf: Vec<u8>,
+    /// A truncation failed partway: the log head (empty file + reset
+    /// frame for this epoch) must be re-established before any frame may
+    /// be written. Without this, a transient I/O error during
+    /// [`Wal::truncate`] would let later flushes append either to the
+    /// stale pre-checkpoint log (recovery skips it as stale — silently
+    /// dropping acknowledged commits) or at offset zero with no reset
+    /// frame (recovery rejects the log as corrupt).
+    pending_reset: Option<u64>,
+}
+
+impl WalWriter {
+    /// Re-establish the log head if a truncation is still pending. The
+    /// write ordering (set_len, then the reset frame, then any frames
+    /// behind it) is what keeps every possible crash image well-formed;
+    /// durability is the caller's business.
+    fn repair_head(&mut self) -> Result<()> {
+        if let Some(epoch) = self.pending_reset {
+            self.file.set_len(0)?;
+            self.flushed = 0;
+            let frame = encode_frame(&WalRecord::Reset(epoch));
+            self.file.write_at(0, &frame)?;
+            self.flushed = frame.len() as u64;
+            self.pending_reset = None;
+        }
+        Ok(())
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        self.repair_head()?;
+        if !self.buf.is_empty() {
+            self.file.write_at(self.flushed, &self.buf)?;
+            self.flushed += self.buf.len() as u64;
+            self.buf.clear();
+        }
+        Ok(())
+    }
 }
 
 /// Ticket bookkeeping for group commit. Committers take a ticket on
@@ -178,13 +285,13 @@ struct GroupState {
 }
 
 /// The write-ahead log file: append-only and write-buffered. Records
-/// accumulate in a [`BufWriter`]; committing transactions call
+/// accumulate in an in-memory buffer; committing transactions call
 /// [`Wal::group_commit`], which batches concurrent commits into a single
-/// log force (flush to the OS, plus `fdatasync` when durability is
+/// log force (write-out to the VFS, plus a sync when durability is
 /// requested) — the usual group-commit trade of a little latency for far
 /// fewer syncs.
 pub struct Wal {
-    writer: Mutex<BufWriter<File>>,
+    writer: Mutex<WalWriter>,
     written: AtomicU64,
     stats: Arc<StorageStats>,
     group: StdMutex<GroupState>,
@@ -196,20 +303,29 @@ pub struct Wal {
 }
 
 impl Wal {
-    /// Lock the append buffer with rank tracking. Held across the flush
-    /// and fdatasync of a force — the writer mutex is what serializes
-    /// log forces — and never while acquiring any other lock.
-    fn writer_lock(&self) -> Ranked<MutexGuard<'_, BufWriter<File>>> {
+    /// Lock the append buffer with rank tracking. Held across the
+    /// write-out and sync of a force — the writer mutex is what
+    /// serializes log forces — and never while acquiring any lock other
+    /// than the simulated disk's.
+    fn writer_lock(&self) -> Ranked<MutexGuard<'_, WalWriter>> {
         lock_order::ranked(lock_order::WAL_WRITER, || self.writer.lock())
     }
 
     /// Create a fresh (empty) log at `path`.
-    pub fn create(path: &Path, stats: Arc<StorageStats>, window: Option<Duration>) -> Result<Self> {
-        let file = OpenOptions::new().append(true).create(true).open(path)?;
-        // `truncate` is incompatible with append mode; empty it manually.
-        file.set_len(0)?;
+    pub fn create(
+        vfs: &Arc<dyn Vfs>,
+        path: &Path,
+        stats: Arc<StorageStats>,
+        window: Option<Duration>,
+    ) -> Result<Self> {
+        let file = vfs.open(path, OpenMode::Create)?;
         Ok(Wal {
-            writer: Mutex::new(BufWriter::with_capacity(64 * 1024, file)),
+            writer: Mutex::new(WalWriter {
+                file,
+                flushed: 0,
+                buf: Vec::with_capacity(64 * 1024),
+                pending_reset: None,
+            }),
             written: AtomicU64::new(0),
             stats,
             group: StdMutex::new(GroupState::default()),
@@ -218,12 +334,24 @@ impl Wal {
         })
     }
 
-    /// Open an existing log for appending (after replay).
-    pub fn open(path: &Path, stats: Arc<StorageStats>, window: Option<Duration>) -> Result<Self> {
-        let file = OpenOptions::new().append(true).create(true).open(path)?;
-        let len = file.metadata()?.len();
+    /// Open an existing log for appending (after replay). Creates an
+    /// empty log if none exists, matching the pre-VFS behavior.
+    pub fn open(
+        vfs: &Arc<dyn Vfs>,
+        path: &Path,
+        stats: Arc<StorageStats>,
+        window: Option<Duration>,
+    ) -> Result<Self> {
+        let mode = if vfs.exists(path) { OpenMode::Open } else { OpenMode::Create };
+        let mut file = vfs.open(path, mode)?;
+        let len = file.len()?;
         Ok(Wal {
-            writer: Mutex::new(BufWriter::with_capacity(64 * 1024, file)),
+            writer: Mutex::new(WalWriter {
+                file,
+                flushed: len,
+                buf: Vec::with_capacity(64 * 1024),
+                pending_reset: None,
+            }),
             written: AtomicU64::new(len),
             stats,
             group: StdMutex::new(GroupState::default()),
@@ -234,13 +362,8 @@ impl Wal {
 
     /// Append a record to the log (buffered).
     pub fn append(&self, rec: &WalRecord) -> Result<()> {
-        let mut body = Vec::with_capacity(64);
-        rec.encode(&mut body);
-        let mut frame = Vec::with_capacity(body.len() + 8);
-        frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
-        frame.extend_from_slice(&fnv1a(&body).to_le_bytes());
-        frame.extend_from_slice(&body);
-        self.writer_lock().write_all(&frame)?;
+        let frame = encode_frame(rec);
+        self.writer_lock().buf.extend_from_slice(&frame);
         self.written.fetch_add(frame.len() as u64, Ordering::Relaxed);
         StorageStats::bump(&self.stats.wal_bytes, frame.len() as u64);
         Ok(())
@@ -252,10 +375,21 @@ impl Wal {
     /// The caller must have finished appending before calling. Concurrent
     /// committers share one physical force: the first to arrive becomes
     /// the leader, lingers for the configured window so stragglers can
-    /// join, then flushes once for the whole batch. `durable` adds an
-    /// `fdatasync`; otherwise the force stops at the OS page cache (the
+    /// join, then flushes once for the whole batch. `durable` adds a
+    /// sync; otherwise the force stops at the OS page cache (the
     /// benchmark's default, matching checkpoint-based durability).
+    ///
+    /// Time spent here — queueing behind a leader, the batching window,
+    /// and the force itself — is charged to the calling thread's
+    /// commit-wait counter (see [`crate::WaitSnapshot`]).
     pub fn group_commit(&self, durable: bool) -> Result<()> {
+        let started = Instant::now();
+        let result = self.group_commit_inner(durable);
+        waits::add_commit_wait(started.elapsed().as_nanos() as u64);
+        result
+    }
+
+    fn group_commit_inner(&self, durable: bool) -> Result<()> {
         // Explicit rank token: the guard is consumed and re-produced by
         // the condvar wait, so it cannot carry the rank itself. Both are
         // released before the leader sleeps or forces.
@@ -299,62 +433,86 @@ impl Wal {
         }
     }
 
-    fn force(&self, durable: bool) -> Result<()> {
+    /// Write out and sync the log unconditionally when `durable`. Crate
+    /// visibility: the buffer pool's steal guard forces the log before a
+    /// dirty page may be written to the data file (the write-ahead rule —
+    /// without it a stolen page could carry effects whose undo images are
+    /// not yet durable).
+    pub(crate) fn force(&self, durable: bool) -> Result<()> {
         let mut w = self.writer_lock();
         w.flush()?;
         if durable {
-            w.get_ref().sync_data()?;
+            w.file.sync()?;
         }
         StorageStats::bump(&self.stats.wal_syncs, 1);
         Ok(())
     }
 
-    /// Read every intact record from the start of the log. Stops silently
-    /// at the first torn/corrupt frame (crash tail).
-    pub fn replay(path: &Path) -> Result<Vec<WalRecord>> {
-        let mut data = Vec::new();
-        match File::open(path) {
-            Ok(mut f) => {
-                f.read_to_end(&mut data)?;
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
-            Err(e) => return Err(e.into()),
-        }
+    /// Read every intact record from the start of the log.
+    ///
+    /// A torn frame at end-of-log (incomplete header or body) is the
+    /// crash-tail case: replay stops there and reports the discarded
+    /// bytes. A *complete* frame that fails its checksum or does not
+    /// decode means the durable interior of the log is damaged, which
+    /// recovery must not paper over: [`StorageError::Recovery`].
+    pub fn replay(vfs: &Arc<dyn Vfs>, path: &Path) -> Result<WalReplay> {
+        let Some(data) = vfs.read_all(path)? else {
+            return Ok(WalReplay::default());
+        };
         let le_u32 = |at: usize| -> Option<u32> {
             data.get(at..at + 4).and_then(|s| s.try_into().ok()).map(u32::from_le_bytes)
         };
-        let mut out = Vec::new();
+        let mut out = WalReplay::default();
         let mut at = 0usize;
-        while at + 8 <= data.len() {
+        while at < data.len() {
             let (Some(len), Some(crc)) = (le_u32(at), le_u32(at + 4)) else {
-                break; // torn tail
+                out.bytes_truncated = (data.len() - at) as u64;
+                break; // torn header at EOF
             };
             let len = len as usize;
-            if at + 8 + len > data.len() {
-                break; // torn tail
-            }
-            let body = &data[at + 8..at + 8 + len];
+            let Some(body) = data.get(at + 8..at + 8 + len) else {
+                out.bytes_truncated = (data.len() - at) as u64;
+                break; // torn body at EOF
+            };
             if fnv1a(body) != crc {
-                break; // corrupt tail
+                return Err(StorageError::Recovery(RecoveryError {
+                    offset: at as u64,
+                    frame: out.frames,
+                    detail: "checksum mismatch on a complete frame".into(),
+                }));
             }
             match WalRecord::decode(body) {
-                Ok(rec) => out.push(rec),
-                Err(_) => break,
+                Ok(rec) => out.records.push(rec),
+                Err(e) => {
+                    return Err(StorageError::Recovery(RecoveryError {
+                        offset: at as u64,
+                        frame: out.frames,
+                        detail: format!("undecodable record: {e}"),
+                    }));
+                }
             }
+            out.frames += 1;
             at += 8 + len;
         }
         Ok(out)
     }
 
-    /// Discard the log contents (after a checkpoint made them redundant).
-    pub fn truncate(&self) -> Result<()> {
+    /// Discard the log contents (after a checkpoint made them redundant)
+    /// and restart it with a durable [`WalRecord::Reset`] frame carrying
+    /// the checkpoint `epoch`. Any buffered-but-unflushed frames are
+    /// dropped: the checkpoint that triggered this truncation has already
+    /// persisted their effects.
+    pub fn truncate(&self, epoch: u64) -> Result<()> {
         let mut w = self.writer_lock();
-        w.flush()?;
-        let file = w.get_ref();
-        file.set_len(0)?;
+        w.buf.clear();
+        // Mark the truncation before attempting it: if any step fails,
+        // the next flush retries the whole head rewrite before it may
+        // append a frame (see [`WalWriter::pending_reset`]).
+        w.pending_reset = Some(epoch);
+        w.repair_head()?;
         // analyzer: allow(blocking, "truncation syncs the guarded log file itself; the writer mutex is what serializes it")
-        file.sync_data()?;
-        self.written.store(0, Ordering::Relaxed);
+        w.file.sync()?;
+        self.written.store(w.flushed, Ordering::Relaxed);
         Ok(())
     }
 
@@ -367,6 +525,8 @@ impl Wal {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::vfs::RealVfs;
+    use std::fs::OpenOptions;
     use std::path::PathBuf;
 
     fn tmp(name: &str) -> PathBuf {
@@ -385,8 +545,13 @@ mod tests {
                 hint: ClusterHint(99),
                 data: b"payload".to_vec(),
             },
-            WalRecord::Update { txn: 1, oid: Oid::from_raw(10), data: b"updated".to_vec() },
-            WalRecord::Free { txn: 1, oid: Oid::from_raw(4) },
+            WalRecord::Update {
+                txn: 1,
+                oid: Oid::from_raw(10),
+                data: b"updated".to_vec(),
+                old: b"payload".to_vec(),
+            },
+            WalRecord::Free { txn: 1, oid: Oid::from_raw(4), old: b"gone".to_vec() },
             WalRecord::Commit(1),
             WalRecord::Begin(2),
             WalRecord::Abort(2),
@@ -396,48 +561,59 @@ mod tests {
     #[test]
     fn append_replay_round_trip() {
         let path = tmp("rt");
+        let vfs = RealVfs::arc();
         let stats = Arc::new(StorageStats::default());
-        let wal = Wal::create(&path, stats.clone(), None).unwrap();
+        let wal = Wal::create(&vfs, &path, stats.clone(), None).unwrap();
         for rec in sample_records() {
             wal.append(&rec).unwrap();
         }
         wal.group_commit(true).unwrap();
-        let replayed = Wal::replay(&path).unwrap();
-        assert_eq!(replayed, sample_records());
+        let replayed = Wal::replay(&vfs, &path).unwrap();
+        assert_eq!(replayed.records, sample_records());
+        assert_eq!(replayed.frames, sample_records().len() as u64);
+        assert_eq!(replayed.bytes_truncated, 0);
         assert!(stats.snapshot().wal_bytes > 0);
     }
 
     #[test]
     fn replay_missing_file_is_empty() {
         let path = tmp("missing").join("never-created.log");
-        assert!(Wal::replay(&path).unwrap().is_empty());
+        let vfs = RealVfs::arc();
+        let replayed = Wal::replay(&vfs, &path).unwrap();
+        assert!(replayed.records.is_empty());
+        assert_eq!(replayed.bytes_truncated, 0);
     }
 
     #[test]
-    fn torn_tail_is_dropped() {
+    fn torn_tail_is_dropped_and_counted() {
         let path = tmp("torn");
+        let vfs = RealVfs::arc();
         let stats = Arc::new(StorageStats::default());
-        let wal = Wal::create(&path, stats, None).unwrap();
+        let wal = Wal::create(&vfs, &path, stats, None).unwrap();
         for rec in sample_records() {
             wal.append(&rec).unwrap();
         }
+        wal.group_commit(true).unwrap();
         drop(wal);
         // Chop a few bytes off the end: last frame is torn.
         let len = std::fs::metadata(&path).unwrap().len();
         let f = OpenOptions::new().write(true).open(&path).unwrap();
         f.set_len(len - 3).unwrap();
-        let replayed = Wal::replay(&path).unwrap();
-        assert_eq!(replayed.len(), sample_records().len() - 1);
+        let replayed = Wal::replay(&vfs, &path).unwrap();
+        assert_eq!(replayed.records.len(), sample_records().len() - 1);
+        assert!(replayed.bytes_truncated > 0, "the torn frame's bytes are accounted");
     }
 
     #[test]
-    fn corrupt_byte_stops_replay_at_that_frame() {
+    fn interior_corruption_is_a_typed_error() {
         let path = tmp("corrupt");
+        let vfs = RealVfs::arc();
         let stats = Arc::new(StorageStats::default());
-        let wal = Wal::create(&path, stats, None).unwrap();
+        let wal = Wal::create(&vfs, &path, stats, None).unwrap();
         for rec in sample_records() {
             wal.append(&rec).unwrap();
         }
+        wal.group_commit(true).unwrap();
         drop(wal);
         let mut data = std::fs::read(&path).unwrap();
         // Flip a byte inside the second frame's body.
@@ -445,20 +621,75 @@ mod tests {
         let second_body_start = 8 + first_len + 8;
         data[second_body_start + 2] ^= 0xFF;
         std::fs::write(&path, &data).unwrap();
-        let replayed = Wal::replay(&path).unwrap();
-        assert_eq!(replayed.len(), 1, "only the first intact frame survives");
+        match Wal::replay(&vfs, &path) {
+            Err(StorageError::Recovery(e)) => {
+                assert_eq!(e.frame, 1, "the second frame is the damaged one");
+                assert_eq!(e.offset, (8 + first_len) as u64);
+            }
+            other => panic!("expected a Recovery error, got {other:?}"),
+        }
     }
 
     #[test]
-    fn truncate_empties_log() {
+    fn truncate_restarts_log_with_reset_epoch() {
         let path = tmp("trunc");
+        let vfs = RealVfs::arc();
         let stats = Arc::new(StorageStats::default());
-        let wal = Wal::create(&path, stats, None).unwrap();
+        let wal = Wal::create(&vfs, &path, stats, None).unwrap();
         wal.append(&WalRecord::Begin(5)).unwrap();
         assert!(wal.len_bytes().unwrap() > 0);
-        wal.truncate().unwrap();
-        assert_eq!(wal.len_bytes().unwrap(), 0);
-        assert!(Wal::replay(&path).unwrap().is_empty());
+        wal.truncate(3).unwrap();
+        let replayed = Wal::replay(&vfs, &path).unwrap();
+        assert_eq!(replayed.records, vec![WalRecord::Reset(3)]);
+        // Appends after a truncation land after the reset frame.
+        wal.append(&WalRecord::Begin(6)).unwrap();
+        wal.group_commit(true).unwrap();
+        let replayed = Wal::replay(&vfs, &path).unwrap();
+        assert_eq!(replayed.records, vec![WalRecord::Reset(3), WalRecord::Begin(6)]);
+    }
+
+    #[test]
+    fn failed_truncation_is_repaired_before_the_next_flush() {
+        // A transient I/O error mid-truncate must not let later flushes
+        // append to the stale pre-checkpoint log (recovery would skip
+        // those frames as stale) or write frames with no leading reset
+        // frame (recovery would reject the log). The writer repairs the
+        // log head before the next flush instead.
+        use crate::vfs::{FaultPlan, SimVfs};
+        let sim = SimVfs::new(1);
+        let vfs: Arc<dyn Vfs> = Arc::new(sim.clone());
+        let path = PathBuf::from("/sim/wal.log");
+        let stats = Arc::new(StorageStats::default());
+        let wal = Wal::create(&vfs, &path, stats, None).unwrap();
+        wal.append(&WalRecord::Begin(5)).unwrap();
+        wal.group_commit(true).unwrap();
+
+        // Fail every file operation a truncation performs, one run per
+        // op (set_len, frame write, sync), and check the repair each way.
+        for failing_op in 0..3 {
+            sim.set_plan(FaultPlan {
+                crash_at_op: None,
+                fail_ops: vec![sim.op_count() + failing_op],
+                writeback: false,
+            });
+            let result = wal.truncate(9);
+            sim.set_plan(FaultPlan::default());
+            if result.is_ok() {
+                // The fault landed after the last fallible step; the
+                // truncation stands. (Does not happen with the current
+                // three-op truncate, but keep the loop robust.)
+                continue;
+            }
+            wal.append(&WalRecord::Begin(6)).unwrap();
+            wal.group_commit(true).unwrap();
+            let replayed = Wal::replay(&vfs, &path).unwrap();
+            assert_eq!(
+                replayed.records,
+                vec![WalRecord::Reset(9), WalRecord::Begin(6)],
+                "after a truncate failure at relative op {failing_op}, the next flush \
+                 must re-establish the reset head before appending"
+            );
+        }
     }
 
     #[test]
@@ -466,9 +697,11 @@ mod tests {
         // With a batching window, many concurrent committers should share
         // far fewer physical forces than there are commits.
         let path = tmp("group");
+        let vfs = RealVfs::arc();
         let stats = Arc::new(StorageStats::default());
-        let wal =
-            Arc::new(Wal::create(&path, stats.clone(), Some(Duration::from_millis(2))).unwrap());
+        let wal = Arc::new(
+            Wal::create(&vfs, &path, stats.clone(), Some(Duration::from_millis(2))).unwrap(),
+        );
         const THREADS: u64 = 8;
         const COMMITS_PER_THREAD: u64 = 10;
         let mut handles = Vec::new();
@@ -494,9 +727,26 @@ mod tests {
             THREADS * COMMITS_PER_THREAD
         );
         // Every commit record must be on disk after group_commit returned.
-        let committed =
-            Wal::replay(&path).unwrap().iter().filter(|r| matches!(r, WalRecord::Commit(_))).count();
+        let committed = Wal::replay(&vfs, &path)
+            .unwrap()
+            .records
+            .iter()
+            .filter(|r| matches!(r, WalRecord::Commit(_)))
+            .count();
         assert_eq!(committed as u64, THREADS * COMMITS_PER_THREAD);
+    }
+
+    #[test]
+    fn group_commit_charges_commit_wait() {
+        let path = tmp("waits");
+        let vfs = RealVfs::arc();
+        let stats = Arc::new(StorageStats::default());
+        let wal = Wal::create(&vfs, &path, stats, None).unwrap();
+        let before = crate::waits::snapshot();
+        wal.append(&WalRecord::Begin(1)).unwrap();
+        wal.group_commit(true).unwrap();
+        let d = crate::waits::snapshot().delta(&before);
+        assert!(d.commit_wait_nanos > 0, "a durable force takes measurable time");
     }
 
     #[test]
@@ -504,5 +754,6 @@ mod tests {
         for rec in sample_records() {
             assert!(rec.txn() == 1 || rec.txn() == 2);
         }
+        assert_eq!(WalRecord::Reset(9).txn(), 0);
     }
 }

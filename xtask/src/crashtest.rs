@@ -1,0 +1,362 @@
+//! Crash-recovery torture harness (`cargo xtask crashtest --seeds N`).
+//!
+//! Per seed: build an OStore on a seeded [`SimVfs`], run a multi-client
+//! workload against it, pull the plug at a seed-chosen file operation
+//! (with background-writeback and torn-write simulation armed), recover,
+//! and check the durability contract:
+//!
+//! * every transaction whose commit returned `Ok` is fully present;
+//! * no effect of any other transaction survives — except that the one
+//!   transaction per client whose commit *errored* (outcome unknown at
+//!   the client) may be present atomically, all-or-nothing;
+//! * no object outside the clients' ledgers exists (nothing resurrects);
+//! * recovery is deterministic (two recoveries of copies of the same
+//!   crashed image agree) and idempotent (re-opening the already-
+//!   recovered store changes nothing).
+//!
+//! Clients work on disjoint object sets, so each client's slice of the
+//! recovered store must match its own ledger exactly; lock conflicts
+//! never abort a transaction, which keeps the ledger bookkeeping honest.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+use labflow_storage::{
+    ClusterHint, Engine, FaultPlan, OStore, Options, Oid, SegmentId, SimVfs, StorageManager, Vfs,
+};
+
+const CLIENTS: usize = 4;
+const TXNS_PER_CLIENT: usize = 48;
+const CHECKPOINT_EVERY: usize = 12;
+/// Window (in file operations after setup) within which the crash and
+/// the transient fault land. Sized so most seeds die mid-workload and
+/// the rest exercise the clean-completion path.
+const CRASH_WINDOW: u64 = 400;
+
+/// Tiny deterministic RNG (xorshift64*), one per client, so the workload
+/// depends only on the seed — never on thread interleaving.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed | 1)
+    }
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+}
+
+/// How a client's final transaction ended.
+enum LastTxn {
+    /// All transactions resolved (committed, aborted, or rolled back by
+    /// an error before any commit attempt): the store must show exactly
+    /// the confirmed state.
+    Resolved,
+    /// The last commit call returned an error, so the client cannot know
+    /// whether it is durable: the store may show the confirmed state or
+    /// this after-image, but nothing in between.
+    Unknown(HashMap<u64, Vec<u8>>),
+}
+
+/// One client's view of what it did: object payloads after the last
+/// reported (`Ok`) commit, plus every oid it was ever handed.
+struct Ledger {
+    client: usize,
+    confirmed: HashMap<u64, Vec<u8>>,
+    owned_ever: Vec<u64>,
+    last: LastTxn,
+}
+
+fn payload(client: usize, txn: usize, op: usize, rng: &mut Rng) -> Vec<u8> {
+    let mut p = vec![client as u8, (txn & 0xff) as u8, op as u8];
+    let filler = 32 + (rng.next() % 96) as usize;
+    p.extend((0..filler).map(|i| (rng.next() as u8) ^ (i as u8)));
+    p
+}
+
+/// One client's workload: transactions of a few allocate/update/free
+/// operations over its own objects, some deliberately aborted, stopping
+/// at the first error (the simulated machine is dying or dead).
+fn client_loop(store: &Engine, client: usize, seed: u64) -> Ledger {
+    let mut rng = Rng::new(seed.wrapping_mul(CLIENTS as u64 + 1).wrapping_add(client as u64));
+    let mut ledger = Ledger {
+        client,
+        confirmed: HashMap::new(),
+        owned_ever: Vec::new(),
+        last: LastTxn::Resolved,
+    };
+    let seg = SegmentId((client % 4) as u8);
+    for txn_no in 0..TXNS_PER_CLIENT {
+        let deliberate_abort = rng.next().is_multiple_of(5) && txn_no > 0;
+        let t = match store.begin() {
+            Ok(t) => t,
+            Err(_) => return ledger, // dying: nothing started
+        };
+        let mut after = ledger.confirmed.clone();
+        let ops = 2 + (rng.next() % 4) as usize;
+        for op_no in 0..ops {
+            let live: Vec<u64> = after.keys().copied().collect();
+            let choice = rng.next() % 10;
+            let result = if choice < 5 || live.is_empty() {
+                let data = payload(client, txn_no, op_no, &mut rng);
+                store.allocate(t, seg, ClusterHint::NONE, &data).map(|oid| {
+                    ledger.owned_ever.push(oid.raw());
+                    after.insert(oid.raw(), data);
+                })
+            } else if choice < 8 {
+                let oid = live[(rng.next() as usize) % live.len()];
+                let data = payload(client, txn_no, op_no, &mut rng);
+                store.update(t, Oid::from_raw(oid), &data).map(|()| {
+                    after.insert(oid, data);
+                })
+            } else {
+                let oid = live[(rng.next() as usize) % live.len()];
+                store.free(t, Oid::from_raw(oid)).map(|()| {
+                    after.remove(&oid);
+                })
+            };
+            if result.is_err() {
+                // The transaction never reached commit: whatever the
+                // engine did, recovery must roll it back.
+                let _ = store.abort(t);
+                return ledger;
+            }
+        }
+        if deliberate_abort {
+            if store.abort(t).is_err() {
+                return ledger; // still a loser: confirmed state expected
+            }
+            continue;
+        }
+        match store.commit(t) {
+            Ok(()) => {
+                ledger.confirmed = after;
+            }
+            Err(_) => {
+                // The force may or may not have reached the platter.
+                ledger.last = LastTxn::Unknown(after);
+                return ledger;
+            }
+        }
+        if client == 0 && txn_no % CHECKPOINT_EVERY == CHECKPOINT_EVERY - 1 {
+            // Checkpoints race the crash too; a failed one (power loss
+            // mid-checkpoint, or a wounded engine) is part of the test.
+            let _ = store.checkpoint();
+        }
+    }
+    ledger
+}
+
+/// Read every live object out of a recovered store as an oid → payload
+/// map.
+fn dump(store: &Engine) -> Result<HashMap<u64, Vec<u8>>, String> {
+    let mut out = HashMap::new();
+    for oid in store.live_oids() {
+        let data = store
+            .read(oid)
+            .map_err(|e| format!("live oid {} unreadable after recovery: {e}", oid.raw()))?;
+        out.insert(oid.raw(), data);
+    }
+    Ok(out)
+}
+
+/// Check one client's slice of the recovered store against its ledger.
+fn check_client(ledger: &Ledger, recovered: &HashMap<u64, Vec<u8>>) -> Result<(), String> {
+    let mine: HashMap<u64, Vec<u8>> = ledger
+        .owned_ever
+        .iter()
+        .filter_map(|oid| recovered.get(oid).map(|d| (*oid, d.clone())))
+        .collect();
+    if mine == ledger.confirmed {
+        return Ok(());
+    }
+    if let LastTxn::Unknown(after) = &ledger.last {
+        if mine == *after {
+            return Ok(());
+        }
+        return Err(format!(
+            "client {}: recovered state matches neither the confirmed image \
+             ({} objects) nor the unknown-outcome image ({} objects); got {} objects",
+            ledger.client,
+            ledger.confirmed.len(),
+            after.len(),
+            mine.len()
+        ));
+    }
+    let mut detail = String::new();
+    if std::env::var_os("CRASHTEST_DEBUG").is_some() {
+        for (oid, data) in &mine {
+            if ledger.confirmed.get(oid) != Some(data) {
+                detail.push_str(&format!(
+                    "\n  extra/changed oid {oid}: payload tag client={} txn={} op={}",
+                    data.first().copied().unwrap_or(255),
+                    data.get(1).copied().unwrap_or(255),
+                    data.get(2).copied().unwrap_or(255),
+                ));
+            }
+        }
+        for oid in ledger.confirmed.keys() {
+            if !mine.contains_key(oid) {
+                detail.push_str(&format!("\n  missing oid {oid}"));
+            }
+        }
+    }
+    Err(format!(
+        "client {}: recovered state diverges from the confirmed image \
+         (expected {} objects, got {}){detail}",
+        ledger.client,
+        ledger.confirmed.len(),
+        mine.len()
+    ))
+}
+
+fn opts() -> Options {
+    Options {
+        // Small pool: evictions (and dirty-page steals) happen a lot.
+        buffer_pages: 24,
+        sync_commit: true,
+        lock_timeout: Duration::from_millis(200),
+        group_commit_window: None,
+    }
+}
+
+/// Diagnostic aid: print the durable log of a failing seed.
+fn dump_wal(sim: &SimVfs, dir: &Path) {
+    use labflow_storage::wal_testing::{Wal, WalRecord};
+    let vfs: Arc<dyn Vfs> = Arc::new(sim.clone_durable());
+    if let Ok(replayed) = Wal::replay(&vfs, &dir.join("wal.log")) {
+        for r in &replayed.records {
+            let line = match r {
+                WalRecord::Reset(e) => format!("Reset({e})"),
+                WalRecord::Begin(t) => format!("Begin({t})"),
+                WalRecord::Commit(t) => format!("Commit({t})"),
+                WalRecord::Abort(t) => format!("Abort({t})"),
+                WalRecord::Alloc { txn, oid, .. } => format!("Alloc(txn {txn}, oid {})", oid.raw()),
+                WalRecord::Update { txn, oid, .. } => {
+                    format!("Update(txn {txn}, oid {})", oid.raw())
+                }
+                WalRecord::Free { txn, oid, .. } => format!("Free(txn {txn}, oid {})", oid.raw()),
+            };
+            eprintln!("  wal: {line}");
+        }
+    }
+}
+
+/// Run one seed end to end. Returns whether the planned crash actually
+/// fired mid-workload, or a human-readable violation if the durability
+/// contract broke.
+fn run_seed(seed: u64) -> Result<bool, String> {
+    let sim = SimVfs::new(seed);
+    let vfs: Arc<dyn Vfs> = Arc::new(sim.clone());
+    let dir = PathBuf::from("/crash/store");
+    let store = OStore::create_with(vfs, &dir, opts())
+        .map_err(|e| format!("create failed before any fault was armed: {e}"))?;
+
+    // Arm the plug-pull (and one transient error) somewhere in the
+    // workload's operation stream.
+    let mut rng = Rng::new(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let ops0 = sim.op_count();
+    sim.set_plan(FaultPlan {
+        crash_at_op: Some(ops0 + rng.next() % CRASH_WINDOW),
+        fail_ops: vec![ops0 + rng.next() % CRASH_WINDOW],
+        writeback: true,
+    });
+
+    let ledgers: Vec<Ledger> = std::thread::scope(|scope| {
+        let store = &store;
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|c| scope.spawn(move || client_loop(store, c, seed)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|_| panic!("client thread panicked")))
+            .collect()
+    });
+    drop(store);
+
+    // Pull the plug (a no-op reboot if the workload outran the window),
+    // then recover from copies of the same dead disk.
+    let crashed = sim.crashed();
+    if std::env::var_os("CRASHTEST_DEBUG").is_some() {
+        eprintln!("  seed {seed}: {} file ops used, crashed={crashed}", sim.op_count() - ops0);
+    }
+    sim.power_loss();
+    let image = sim.clone_durable();
+    let twin = sim.clone_durable();
+
+    let recovered = {
+        let vfs: Arc<dyn Vfs> = Arc::new(image.clone());
+        let store = OStore::open_with(vfs, &dir, opts())
+            .map_err(|e| format!("recovery failed: {e}"))?;
+        dump(&store)?
+    };
+    for ledger in &ledgers {
+        if let Err(why) = check_client(ledger, &recovered) {
+            if std::env::var_os("CRASHTEST_DEBUG").is_some() {
+                dump_wal(&sim, &dir);
+            }
+            return Err(why);
+        }
+    }
+    let known: std::collections::HashSet<u64> =
+        ledgers.iter().flat_map(|l| l.owned_ever.iter().copied()).collect();
+    for oid in recovered.keys() {
+        if !known.contains(oid) {
+            return Err(format!("object {oid} exists after recovery but no client made it"));
+        }
+    }
+
+    // Determinism: an independent recovery of the same crashed image
+    // must land on the same logical state.
+    {
+        let vfs: Arc<dyn Vfs> = Arc::new(twin);
+        let store = OStore::open_with(vfs, &dir, opts())
+            .map_err(|e| format!("twin recovery failed: {e}"))?;
+        if dump(&store)? != recovered {
+            return Err("recovery is nondeterministic: twin image disagrees".into());
+        }
+    }
+    // Idempotence: the recovered-and-checkpointed store reopens to the
+    // same state.
+    {
+        let vfs: Arc<dyn Vfs> = Arc::new(image);
+        let store = OStore::open_with(vfs, &dir, opts())
+            .map_err(|e| format!("re-recovery failed: {e}"))?;
+        if dump(&store)? != recovered {
+            return Err("recovery is not idempotent: second open diverges".into());
+        }
+    }
+    Ok(crashed)
+}
+
+/// Entry point: runs `seeds` seeds, printing progress; returns the
+/// number of failing seeds.
+pub fn run(first_seed: u64, seeds: u64) -> u64 {
+    let mut failures = 0;
+    let mut crashed = 0;
+    for seed in first_seed..first_seed + seeds {
+        match run_seed(seed) {
+            Ok(true) => crashed += 1,
+            Ok(false) => {}
+            Err(why) => {
+                failures += 1;
+                eprintln!("crashtest: seed {seed} FAILED: {why}");
+            }
+        }
+    }
+    if failures == 0 {
+        println!(
+            "crashtest: {seeds} seeds passed \
+             ({crashed} died mid-workload, {} outran the crash window)",
+            seeds - failures - crashed
+        );
+    }
+    failures
+}

@@ -19,6 +19,7 @@
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 
+mod crashtest;
 mod lexer;
 mod locks;
 mod panics;
@@ -59,10 +60,14 @@ const INDEX_BUDGETS: &[(&str, u32)] = &[
     ("core", 18),
 ];
 
+const USAGE: &str = "usage: cargo xtask analyze [--root DIR]\n       cargo xtask crashtest [--seeds N] [--first-seed S]";
+
 fn main() {
     let mut args = std::env::args().skip(1);
     let mut root: Option<PathBuf> = None;
     let mut cmd: Option<String> = None;
+    let mut seeds: u64 = 64;
+    let mut first_seed: u64 = 0;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--root" => match args.next() {
@@ -72,15 +77,37 @@ fn main() {
                     std::process::exit(2);
                 }
             },
-            "analyze" if cmd.is_none() => cmd = Some(a),
+            "--seeds" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(n) => seeds = n,
+                None => {
+                    eprintln!("--seeds needs a positive integer argument");
+                    std::process::exit(2);
+                }
+            },
+            "--first-seed" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(n) => first_seed = n,
+                None => {
+                    eprintln!("--first-seed needs an integer argument");
+                    std::process::exit(2);
+                }
+            },
+            "analyze" | "crashtest" if cmd.is_none() => cmd = Some(a),
             other => {
-                eprintln!("unknown argument `{other}`\nusage: cargo xtask analyze [--root DIR]");
+                eprintln!("unknown argument `{other}`\n{USAGE}");
                 std::process::exit(2);
             }
         }
     }
+    if cmd.as_deref() == Some("crashtest") {
+        let failures = crashtest::run(first_seed, seeds);
+        if failures > 0 {
+            eprintln!("crashtest: {failures} of {seeds} seeds violated the durability contract");
+            std::process::exit(1);
+        }
+        return;
+    }
     if cmd.as_deref() != Some("analyze") {
-        eprintln!("usage: cargo xtask analyze [--root DIR]");
+        eprintln!("{USAGE}");
         std::process::exit(2);
     }
     let root = root.unwrap_or_else(|| {

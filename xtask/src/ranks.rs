@@ -21,6 +21,7 @@ pub const RANK_CONSTS: &[(&str, u16, &str)] = &[
     ("PAGE_FILE", 45, "page file handle"),
     ("WAL_WRITER", 50, "WAL append buffer"),
     ("WAL_GROUP", 55, "WAL group-commit state"),
+    ("SIM_VFS", 60, "simulated disk state"),
 ];
 
 // LabBase cache locks are not runtime-instrumented (labbase has no
@@ -87,6 +88,7 @@ pub fn rules() -> Vec<LockRule> {
         LockRule { crate_dir: "storage", kind: Helper("table_write"), rank: 30 },
         LockRule { crate_dir: "storage", kind: Helper("pool_lock"), rank: 40 },
         LockRule { crate_dir: "storage", kind: Helper("writer_lock"), rank: 50 },
+        LockRule { crate_dir: "storage", kind: Helper("sim_lock"), rank: 60 },
         // Engine's active-table accessor and Shard::lock are helpers too.
         LockRule { crate_dir: "storage", kind: Helper("active"), rank: 10 },
         LockRule {
