@@ -27,7 +27,7 @@ pub struct ExperimentReport {
 }
 
 /// All experiment ids, in DESIGN.md order.
-pub const ALL_IDS: [&str; 11] = [
+pub const ALL_IDS: [&str; 12] = [
     "fig1-schema",
     "tab1-storage-schema",
     "figB-workflow-graph",
@@ -39,6 +39,7 @@ pub const ALL_IDS: [&str; 11] = [
     "abl-concurrency",
     "abl-recovery",
     "abl-multiclient",
+    "abl-scrub",
 ];
 
 /// Client counts swept by `abl-multiclient`.
@@ -177,6 +178,24 @@ pub fn run(id: &str, cfg: &BenchConfig, work_dir: &Path) -> Result<ExperimentRep
                 json,
             })
         }
+        "abl-scrub" => {
+            let points = runner::run_scrub(cfg, work_dir)?;
+            if let Some(bad) = points.iter().find(|p| !p.clean) {
+                return Err(BenchError::Config(format!(
+                    "scrub found unquarantined damage in the recovered {} image",
+                    bad.version
+                )));
+            }
+            let text = report::scrub_table(&points);
+            let json =
+                serde_json::to_value(&points).map_err(|e| BenchError::Config(e.to_string()))?;
+            Ok(ExperimentReport {
+                id: "abl-scrub",
+                title: "Ablation: offline scrub of a recovered store image",
+                text,
+                json,
+            })
+        }
         "abl-multiclient" => {
             let points = runner::run_multiclient(cfg, &MULTICLIENT_COUNTS, work_dir)?;
             let text = report::multiclient_table(&points);
@@ -219,7 +238,7 @@ mod tests {
 
     #[test]
     fn ids_list_is_consistent() {
-        assert_eq!(ALL_IDS.len(), 11);
+        assert_eq!(ALL_IDS.len(), 12);
         let cfg = BenchConfig::smoke();
         // Every listed id is at least recognized (structural ones run;
         // the heavy ones are exercised by integration tests / harness).

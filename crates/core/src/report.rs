@@ -280,6 +280,31 @@ pub fn recovery_table(points: &[RecoveryPoint]) -> String {
     out
 }
 
+/// Render the scrub ablation table: what the offline audit of each
+/// recovered image covered, how long it took, and the verdict.
+pub fn scrub_table(points: &[crate::runner::ScrubPoint]) -> String {
+    let mut out = String::new();
+    out.push_str("Scrub ablation — offline integrity audit of a recovered store image\n");
+    out.push_str(&format!(
+        "{:<12}{:>9}{:>10}{:>13}{:>12}{:>14}{:>11}{:>8}\n",
+        "version", "pages", "verified", "quarantined", "wal frames", "image (B)", "scrub ms", "clean"
+    ));
+    for p in points {
+        out.push_str(&format!(
+            "{:<12}{:>9}{:>10}{:>13}{:>12}{:>14}{:>11.1}{:>8}\n",
+            p.version,
+            commas(p.pages as u64),
+            commas(p.pages_verified as u64),
+            commas(p.quarantined as u64),
+            commas(p.wal_frames),
+            commas(p.image_bytes),
+            p.scrub_ms,
+            if p.clean { "yes" } else { "NO" },
+        ));
+    }
+    out
+}
+
 /// Render the multi-client ablation table: aggregate steps/sec per
 /// client count, speedup relative to each version's one-client point,
 /// and the group-commit evidence (WAL syncs vs commits). Single-user

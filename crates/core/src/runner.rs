@@ -635,6 +635,70 @@ pub fn run_recovery(cfg: &BenchConfig, base: &Path) -> Result<Vec<RecoveryPoint>
     Ok(out)
 }
 
+/// One `abl-scrub` measurement: the cost and verdict of an offline
+/// integrity audit over a crashed-and-recovered store image.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScrubPoint {
+    /// Version name.
+    pub version: String,
+    /// Total pages in the data file.
+    pub pages: u32,
+    /// Pages with a verified written image.
+    pub pages_verified: u32,
+    /// Pages quarantined by recovery (skipped by the scrub).
+    pub quarantined: u32,
+    /// Intact WAL frames verified against their offsets.
+    pub wal_frames: u64,
+    /// On-disk bytes audited (data + meta + log).
+    pub image_bytes: u64,
+    /// Wall milliseconds for the full audit.
+    pub scrub_ms: f64,
+    /// Whether the image audited clean (it must, after a recovery).
+    pub clean: bool,
+}
+
+/// The scrub ablation (DESIGN.md `abl-scrub`): build to 0.5X, checkpoint,
+/// keep working to 0.75X, crash, recover — then run the offline scrubber
+/// over the recovered image and time the full end-to-end verification
+/// (meta checksum, every page header + LSN floor, every WAL frame).
+pub fn run_scrub(cfg: &BenchConfig, base: &Path) -> Result<Vec<ScrubPoint>> {
+    let mut out = Vec::new();
+    for version in ServerVersion::PERSISTENT {
+        let dir = version_dir(base, version)?;
+        {
+            let store = version.make_store(&dir, cfg.buffer_pages)?;
+            let db = LabBase::create(store)?;
+            let mut sim = LabSim::new(BenchConfig { checkpoint_every: 0, ..cfg.clone() });
+            sim.setup(&db)?;
+            sim.run_until_clones(&db, cfg.clones_at(0.5) as u64)?;
+            db.checkpoint()?;
+            sim.run_until_clones(&db, cfg.clones_at(0.75) as u64)?;
+            // Crash: drop without checkpoint.
+        }
+        // Recover the image, then audit what recovery left behind.
+        drop(version.open_store(&dir, cfg.buffer_pages)?);
+        let image_bytes: u64 = ["data.pg", "store.meta", "wal.log"]
+            .iter()
+            .filter_map(|f| std::fs::metadata(dir.join(f)).ok())
+            .map(|m| m.len())
+            .sum();
+        let t0 = Instant::now();
+        let report = labflow_storage::scrub_store(&labflow_storage::RealVfs::arc(), &dir)?;
+        let scrub_ms = t0.elapsed().as_secs_f64() * 1e3;
+        out.push(ScrubPoint {
+            version: version.name().to_string(),
+            pages: report.pages,
+            pages_verified: report.ok,
+            quarantined: report.quarantined,
+            wal_frames: report.wal_frames,
+            image_bytes,
+            scrub_ms,
+            clean: report.clean(),
+        });
+    }
+    Ok(out)
+}
+
 /// Materials each multi-client transaction touches.
 const MC_STEPS_PER_TXN: usize = 4;
 /// Rounds over the material population: each material receives this many

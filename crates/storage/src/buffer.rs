@@ -16,7 +16,7 @@ use crate::ids::PageId;
 use crate::lock_order::{self, Ranked};
 use crate::pagefile::PageFile;
 use crate::stats::StorageStats;
-use crate::PAGE_SIZE;
+use crate::PAGE_PAYLOAD;
 
 struct Frame {
     page: Option<PageId>,
@@ -64,7 +64,9 @@ impl BufferPool {
         let frames = (0..capacity)
             .map(|_| Frame {
                 page: None,
-                data: vec![0u8; PAGE_SIZE].into_boxed_slice(),
+                // Frames hold page *payloads*; the page file owns the
+                // physical verification header.
+                data: vec![0u8; PAGE_PAYLOAD].into_boxed_slice(),
                 dirty: false,
                 refbit: false,
             })
@@ -295,7 +297,7 @@ mod tests {
         })
         .unwrap();
         pool.flush_all().unwrap();
-        let mut raw = vec![0u8; PAGE_SIZE];
+        let mut raw = vec![0u8; PAGE_PAYLOAD];
         file.read_page(pid, &mut raw).unwrap();
         assert_eq!(page::read(&raw, crate::ids::Slot(0)).unwrap(), b"persisted");
     }

@@ -21,7 +21,7 @@ use std::time::Duration;
 use crate::buffer::BufferPool;
 use crate::error::{RecoveryError, Result, StorageError};
 use crate::heap::{Heap, Placement};
-use crate::ids::{ClusterHint, Oid, SegmentId, TxnId};
+use crate::ids::{ClusterHint, Oid, PageId, SegmentId, TxnId};
 use crate::lock::{LockManager, LockMode};
 use crate::meta;
 use crate::pagefile::PageFile;
@@ -29,7 +29,7 @@ use crate::stats::{StatsSnapshot, StorageStats};
 use crate::traits::{SegmentInfo, StorageManager};
 use crate::vfs::{RealVfs, Vfs};
 use crate::wal::{Wal, WalRecord};
-use crate::PAGE_SIZE;
+use crate::{PAGE_PAYLOAD, PAGE_SIZE};
 
 /// Tuning options shared by all backends.
 #[derive(Debug, Clone)]
@@ -306,7 +306,18 @@ impl Engine {
             profile.extra_header,
             profile.align,
         );
-        let meta_epoch = meta::read_meta(&vfs, &meta_path, &heap)?.unwrap_or(0);
+        let meta_state = meta::read_meta(&vfs, &meta_path, &heap)?.unwrap_or_default();
+        let meta_epoch = meta_state.epoch;
+        file.set_version_floors(meta_state.versions);
+        file.set_quarantined(&meta_state.quarantined);
+        // Startup verify pass: every page image is read and checked
+        // against its header and LSN floor *before* any of it is
+        // trusted. Damage is quarantined and demoted out of allocation
+        // placement; WAL redo below rebuilds the affected objects at
+        // fresh pages where the log has them, and everything else on a
+        // quarantined page stays reachable only as a typed corruption
+        // error — degraded, never silently wrong.
+        Self::verify_pages(&file, &heap)?;
 
         let wal = if profile.wal {
             let replayed = Wal::replay(&vfs, &wal_path)?;
@@ -348,6 +359,32 @@ impl Engine {
             engine.checkpoint()?;
         }
         Ok(engine)
+    }
+
+    /// Startup scrub: read and verify every page of the data file.
+    /// Persistently damaged pages are quarantined (reads fail typed,
+    /// a full overwrite heals) and demoted out of allocation placement
+    /// so no new object lands on them. Transient read corruption is
+    /// absorbed by the page file's re-read layer; real I/O errors
+    /// propagate.
+    fn verify_pages(file: &Arc<PageFile>, heap: &Heap) -> Result<Vec<PageId>> {
+        let mut buf = vec![0u8; PAGE_PAYLOAD];
+        let mut bad = Vec::new();
+        for raw in 0..file.page_count() {
+            let pid = PageId(raw);
+            match file.read_page(pid, &mut buf) {
+                Ok(_) => {}
+                Err(e) if e.is_corruption() => {
+                    file.quarantine(pid);
+                    bad.push(pid);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        if !bad.is_empty() {
+            heap.demote_pages(&bad);
+        }
+        Ok(bad)
     }
 
     /// Install the write-ahead steal guard: before the pool writes a
@@ -512,6 +549,15 @@ impl Engine {
     /// Live oids in ascending order (diagnostics / scans).
     pub fn live_oids(&self) -> Vec<Oid> {
         self.heap.oids()
+    }
+
+    /// Live oids whose home page is quarantined: still listed in the
+    /// object table, but reads fail typed until the page is rebuilt.
+    /// This is the "known casualties" list an operator (or the crash
+    /// harness) checks after a recovery that quarantined pages.
+    pub fn damaged_oids(&self) -> Vec<Oid> {
+        let bad: Vec<PageId> = self.file.quarantined_pages().into_iter().map(PageId).collect();
+        self.heap.oids_on_pages(&bad)
     }
 
     /// Whether a logged operation failed mid-apply (see [`Engine::checkpoint`]).
@@ -760,7 +806,19 @@ impl StorageManager for Engine {
             self.file.sync()?;
             let next_epoch = self.epoch.load(Ordering::Acquire) + 1;
             let (_, meta_path, _) = Self::paths(&self.dir);
-            meta::write_meta(&self.vfs, &meta_path, &self.heap, next_epoch)?;
+            // The meta flip records, alongside the heap, each page's LSN
+            // as of the image just synced (so a later lost or misdirected
+            // write is detectable as a stale page) and the quarantine
+            // set. write_meta syncs the containing directory before
+            // returning, so by the time the WAL is truncated the rename
+            // is durable — no crash window can pair the old meta with the
+            // truncated log.
+            let state = meta::MetaState {
+                epoch: next_epoch,
+                quarantined: self.file.quarantined_pages(),
+                versions: self.file.version_table(),
+            };
+            meta::write_meta(&self.vfs, &meta_path, &self.heap, &state)?;
             if let Some(wal) = &self.wal {
                 wal.truncate(next_epoch)?;
             }

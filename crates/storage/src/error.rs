@@ -62,6 +62,39 @@ pub enum StorageError {
     /// are refused until the store is reopened (which re-runs recovery
     /// from the last durable state).
     Wounded(&'static str),
+    /// A page failed checksum/header verification (bit rot, a lost
+    /// write, truncation damage, or a quarantined page).
+    PageChecksum {
+        /// The page that failed verification.
+        page: u32,
+        /// What was wrong with it.
+        detail: String,
+    },
+    /// A page carried a valid header and checksum — for a *different*
+    /// page id: the signature of a misdirected write that landed at the
+    /// wrong offset.
+    MisdirectedPage {
+        /// The page that was asked for.
+        expected: u32,
+        /// The page id the on-disk header claims.
+        found: u32,
+    },
+}
+
+impl StorageError {
+    /// True for errors that mean "the bytes on disk are damaged" (as
+    /// opposed to transient I/O, contention, or caller mistakes).
+    /// The corruption harness uses this to distinguish *detected*
+    /// damage from silent acceptance.
+    pub fn is_corruption(&self) -> bool {
+        matches!(
+            self,
+            StorageError::Corrupt(_)
+                | StorageError::Recovery(_)
+                | StorageError::PageChecksum { .. }
+                | StorageError::MisdirectedPage { .. }
+        )
+    }
 }
 
 impl fmt::Display for StorageError {
@@ -82,6 +115,12 @@ impl fmt::Display for StorageError {
             StorageError::Recovery(e) => write!(f, "unrecoverable log corruption: {e}"),
             StorageError::Wounded(what) => {
                 write!(f, "store is wounded ({what}); reopen to recover")
+            }
+            StorageError::PageChecksum { page, detail } => {
+                write!(f, "page {page} failed verification: {detail}")
+            }
+            StorageError::MisdirectedPage { expected, found } => {
+                write!(f, "misdirected write: page {expected} holds a valid image of page {found}")
             }
         }
     }
@@ -125,10 +164,27 @@ mod tests {
                 detail: "checksum mismatch".into(),
             }),
             StorageError::Wounded("abort undo failed"),
+            StorageError::PageChecksum { page: 12, detail: "crc mismatch".into() },
+            StorageError::MisdirectedPage { expected: 4, found: 9 },
         ];
         for c in cases {
             assert!(!c.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn corruption_classifier_matches_damage_variants() {
+        assert!(StorageError::Corrupt("x".into()).is_corruption());
+        assert!(StorageError::PageChecksum { page: 1, detail: "x".into() }.is_corruption());
+        assert!(StorageError::MisdirectedPage { expected: 1, found: 2 }.is_corruption());
+        assert!(StorageError::Recovery(RecoveryError {
+            offset: 0,
+            frame: 0,
+            detail: "x".into(),
+        })
+        .is_corruption());
+        assert!(!StorageError::Io(io::Error::other("boom")).is_corruption());
+        assert!(!StorageError::SingleUser.is_corruption());
     }
 
     #[test]

@@ -33,12 +33,12 @@ use crate::lock_order::{self, Ranked};
 use crate::page;
 use crate::pagefile::PageFile;
 use crate::stats::StorageStats;
-use crate::PAGE_SIZE;
+use crate::PAGE_PAYLOAD;
 
 /// Marker in the stored length word that flags an overflow header record.
 const OVERFLOW_MARKER: u32 = 0xFFFF_FFFF;
 /// Payload capacity of one overflow page: next-pointer + chunk length.
-const OVERFLOW_CAP: usize = PAGE_SIZE - 8;
+const OVERFLOW_CAP: usize = PAGE_PAYLOAD - 8;
 /// "No next page" sentinel in overflow chains.
 const NO_PAGE: u32 = 0xFFFF_FFFF;
 
@@ -288,8 +288,19 @@ impl Heap {
         }
         let total = le_u32_at(header, 4)? as usize;
         let mut pid = le_u32_at(header, 8)?;
-        let mut out = Vec::with_capacity(total);
+        // The header records the chain length; a corrupt next-pointer
+        // that slipped past page verification must not walk (or loop)
+        // beyond it.
+        let chunk_count = le_u32_at(header, 12)?;
+        let mut hops = 0u32;
+        let mut out = Vec::with_capacity(total.min(64 * 1024 * 1024));
         while pid != NO_PAGE {
+            if hops >= chunk_count {
+                return Err(StorageError::Corrupt(format!(
+                    "overflow chain exceeds its recorded {chunk_count} chunk pages"
+                )));
+            }
+            hops += 1;
             let (next, chunk) = self.pool.with_page(PageId(pid), |buf| {
                 let next = le_u32_at(buf, 0)?;
                 let len = le_u32_at(buf, 4)? as usize;
@@ -309,7 +320,15 @@ impl Heap {
 
     fn free_overflow(&self, inner: &mut HeapInner, header: &[u8]) -> Result<()> {
         let mut pid = le_u32_at(header, 8)?;
+        let chunk_count = le_u32_at(header, 12)?;
+        let mut hops = 0u32;
         while pid != NO_PAGE {
+            if hops >= chunk_count {
+                return Err(StorageError::Corrupt(format!(
+                    "overflow chain exceeds its recorded {chunk_count} chunk pages"
+                )));
+            }
+            hops += 1;
             let next = self.pool.with_page(PageId(pid), |buf| le_u32_at(buf, 0))??;
             inner.free_pages.push(PageId(pid));
             pid = next;
@@ -526,6 +545,39 @@ impl Heap {
     /// Pages owned by each segment (for size reporting).
     pub fn segment_pages(&self) -> Vec<usize> {
         self.table_read().segs.iter().map(|s| s.pages.len()).collect()
+    }
+
+    /// Stop routing placement through any of `bad` pages: clear them
+    /// from segment open pages and chunk targets. The recovery verify
+    /// pass calls this for quarantined pages so allocation never faults
+    /// on a damaged image (quarantined pages on the free list are fine —
+    /// reuse rewrites them wholesale without a read, which heals them).
+    pub fn demote_pages(&self, bad: &[PageId]) {
+        if bad.is_empty() {
+            return;
+        }
+        let mut inner = self.table_write();
+        for seg in inner.segs.iter_mut() {
+            if seg.open_page.is_some_and(|p| bad.contains(&p)) {
+                seg.open_page = None;
+            }
+        }
+        inner.chunks.retain(|_, p| !bad.contains(p));
+    }
+
+    /// Oids whose record (or overflow header) lives on one of `pages`.
+    /// The recovery verify pass uses this to report which objects a
+    /// quarantined page takes down with it.
+    pub fn oids_on_pages(&self, pages: &[PageId]) -> Vec<Oid> {
+        let inner = self.table_read();
+        let mut v: Vec<Oid> = inner
+            .table
+            .iter()
+            .filter(|(_, loc)| pages.contains(&loc.page))
+            .map(|(&k, _)| Oid::from_raw(k))
+            .collect();
+        v.sort_unstable();
+        v
     }
 
     // ---- metadata (de)hydration for checkpointing -------------------------

@@ -54,6 +54,7 @@
 #![warn(missing_docs)]
 
 mod buffer;
+mod checksum;
 mod engine;
 mod error;
 mod heap;
@@ -64,6 +65,8 @@ mod memstore;
 mod meta;
 mod page;
 mod pagefile;
+pub mod retry;
+pub mod scrub;
 mod stats;
 mod traits;
 pub mod vfs;
@@ -74,13 +77,22 @@ pub use engine::{Engine, OStore, Options, Profile, Texas, TexasTc};
 pub use error::{RecoveryError, Result, StorageError};
 pub use ids::{ClusterHint, Oid, PageId, SegmentId, Slot, TxnId};
 pub use memstore::MemStore;
+pub use pagefile::{PageRead, PAGE_HDR};
+pub use scrub::{scrub_store, ScrubReport};
 pub use stats::{StatsSnapshot, StorageStats};
 pub use traits::{SegmentInfo, StorageManager};
 pub use vfs::{FaultPlan, OpenMode, RealVfs, SimVfs, Vfs, VfsFile};
 pub use waits::{snapshot as wait_snapshot, WaitSnapshot};
 
-/// The page size used by all page-based backends, in bytes.
+/// The page size used by all page-based backends, in bytes. This is the
+/// *physical* unit of I/O; every page begins with a [`PAGE_HDR`]-byte
+/// verification header, leaving [`PAGE_PAYLOAD`] bytes to the layers
+/// above the page file.
 pub const PAGE_SIZE: usize = 4096;
+
+/// Bytes of each page available to the slotted-page/heap layers: the
+/// physical page minus the verification header the page file owns.
+pub const PAGE_PAYLOAD: usize = PAGE_SIZE - PAGE_HDR;
 
 /// Test-only access to WAL replay, so the crash harness can print log
 /// diagnostics when a durability invariant fails. Not part of the

@@ -1,6 +1,8 @@
 //! Slotted-page layout shared by the page-based backends.
 //!
-//! A page is a fixed [`PAGE_SIZE`] byte array:
+//! A page payload is a byte array (in practice [`crate::PAGE_PAYLOAD`]
+//! bytes — the physical page minus the page file's verification
+//! header):
 //!
 //! ```text
 //! +-----------+----------------------+ .... +------------------+
@@ -10,35 +12,50 @@
 //! slot:   offset u16 (0xFFFF = free) | len u16
 //! ```
 //!
-//! Records grow downward from the end of the page; the slot directory grows
-//! upward after the header. Deleting a record frees its slot for reuse;
-//! the record bytes are reclaimed lazily by [`compact`].
+//! Records grow downward from the end of the buffer; the slot directory
+//! grows upward after the header. Deleting a record frees its slot for
+//! reuse; the record bytes are reclaimed lazily by [`compact`]. All
+//! decoding is bounds-checked: a malformed directory yields `None`s and
+//! no-ops, never a panic — corrupt payloads are caught upstream by the
+//! page file's checksums, and this layer must stay total even on bytes
+//! that slipped past it.
 
 use crate::ids::Slot;
-use crate::PAGE_SIZE;
 
 const HEADER: usize = 4;
 const SLOT_BYTES: usize = 4;
 const FREE_SLOT: u16 = 0xFFFF;
 
 /// Largest record payload a single page can hold.
-pub const MAX_RECORD: usize = PAGE_SIZE - HEADER - SLOT_BYTES;
+pub const MAX_RECORD: usize = crate::PAGE_PAYLOAD - HEADER - SLOT_BYTES;
 
 #[inline]
 fn get_u16(buf: &[u8], at: usize) -> u16 {
-    u16::from_le_bytes([buf[at], buf[at + 1]])
+    match buf.get(at..at.saturating_add(2)) {
+        Some(&[a, b]) => u16::from_le_bytes([a, b]),
+        _ => 0,
+    }
 }
 
 #[inline]
 fn put_u16(buf: &mut [u8], at: usize, v: u16) {
-    buf[at..at + 2].copy_from_slice(&v.to_le_bytes());
+    if let Some(dst) = buf.get_mut(at..at.saturating_add(2)) {
+        dst.copy_from_slice(&v.to_le_bytes());
+    }
+}
+
+#[inline]
+fn copy_into(buf: &mut [u8], at: usize, data: &[u8]) {
+    if let Some(dst) = buf.get_mut(at..at.saturating_add(data.len())) {
+        dst.copy_from_slice(data);
+    }
 }
 
 /// Initialize an empty page in `buf`.
 pub fn init(buf: &mut [u8]) {
-    debug_assert_eq!(buf.len(), PAGE_SIZE);
+    debug_assert!(buf.len() >= HEADER && buf.len() <= u16::MAX as usize);
     put_u16(buf, 0, 0); // slot_count
-    put_u16(buf, 2, PAGE_SIZE as u16); // free_end
+    put_u16(buf, 2, buf.len() as u16); // free_end
 }
 
 /// Number of slots in the directory (including freed ones).
@@ -89,7 +106,7 @@ pub fn live_bytes(buf: &[u8]) -> usize {
 
 /// Bytes that [`compact`] could reclaim (dead record bytes).
 pub fn dead_bytes(buf: &[u8]) -> usize {
-    let record_area = PAGE_SIZE - free_end(buf);
+    let record_area = buf.len().saturating_sub(free_end(buf));
     record_area.saturating_sub(live_bytes(buf))
 }
 
@@ -119,7 +136,7 @@ pub fn insert(buf: &mut [u8], data: &[u8]) -> Option<Slot> {
         return None;
     }
     let new_end = free_end(buf) - data.len();
-    buf[new_end..new_end + data.len()].copy_from_slice(data);
+    copy_into(buf, new_end, data);
     put_u16(buf, 2, new_end as u16);
     let slot = match reuse {
         Some(s) => s,
@@ -142,7 +159,7 @@ pub fn read(buf: &[u8], slot: Slot) -> Option<&[u8]> {
     if off == FREE_SLOT {
         return None;
     }
-    Some(&buf[off as usize..off as usize + len as usize])
+    buf.get(off as usize..off as usize + len as usize)
 }
 
 /// Remove the record in `slot`. Returns `false` if the slot was not live.
@@ -171,7 +188,7 @@ pub fn update(buf: &mut [u8], slot: Slot, data: &[u8]) -> bool {
     }
     if data.len() <= len as usize {
         let off = off as usize;
-        buf[off..off + data.len()].copy_from_slice(data);
+        copy_into(buf, off, data);
         set_slot_entry(buf, slot.0, off as u16, data.len() as u16);
         return true;
     }
@@ -186,7 +203,7 @@ pub fn update(buf: &mut [u8], slot: Slot, data: &[u8]) -> bool {
         compact(buf);
     }
     let new_end = free_end(buf) - data.len();
-    buf[new_end..new_end + data.len()].copy_from_slice(data);
+    copy_into(buf, new_end, data);
     put_u16(buf, 2, new_end as u16);
     set_slot_entry(buf, slot.0, new_end as u16, data.len() as u16);
     true
@@ -200,13 +217,15 @@ pub fn compact(buf: &mut [u8]) {
     for s in 0..n {
         let (off, len) = slot_entry(buf, s);
         if off != FREE_SLOT {
-            live.push((s, buf[off as usize..(off + len) as usize].to_vec()));
+            if let Some(rec) = buf.get(off as usize..(off + len) as usize) {
+                live.push((s, rec.to_vec()));
+            }
         }
     }
-    let mut end = PAGE_SIZE;
+    let mut end = buf.len();
     for (s, data) in &live {
         end -= data.len();
-        buf[end..end + data.len()].copy_from_slice(data);
+        copy_into(buf, end, data);
         set_slot_entry(buf, *s, end as u16, data.len() as u16);
     }
     put_u16(buf, 2, end as u16);
@@ -217,7 +236,7 @@ mod tests {
     use super::*;
 
     fn fresh() -> Vec<u8> {
-        let mut buf = vec![0u8; PAGE_SIZE];
+        let mut buf = vec![0u8; crate::PAGE_PAYLOAD];
         init(&mut buf);
         buf
     }

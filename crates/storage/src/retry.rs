@@ -1,0 +1,111 @@
+//! Bounded retry for transient I/O errors.
+//!
+//! Disks and VFS layers occasionally fail an individual read, write, or
+//! sync for reasons that do not recur (`SimVfs` models this with its
+//! seeded `fail_ops` plan; real kernels return `EINTR`/`EAGAIN`-class
+//! errors). Aborting a whole transaction over one such blip is
+//! needlessly fragile, so the `PageFile` and WAL call sites route raw
+//! VFS operations through [`with_retries`].
+//!
+//! Two properties matter here:
+//!
+//! - **Bounded.** A persistent failure (dead disk, powered-off
+//!   `SimVfs`) must surface quickly as a typed error; we retry at most
+//!   [`ATTEMPTS`] times.
+//! - **Deterministic.** The backoff is a doubling `yield_now` loop, not
+//!   a wall-clock sleep. `SimVfs` injects faults by *operation count*,
+//!   so a scheduling-based backoff keeps crashtest runs byte-for-byte
+//!   reproducible, and — unlike a sleep — it is safe at call sites that
+//!   hold the page-file or WAL-writer lock (the lock-discipline checker
+//!   flags guards held across blocking calls).
+//!
+//! Only [`StorageError::Io`] is retried: corruption, lock, and caller
+//! errors are deterministic and would fail identically on every
+//! attempt.
+
+use crate::error::{Result, StorageError};
+
+/// Total attempts per operation (one initial try plus two retries).
+pub const ATTEMPTS: u32 = 3;
+
+/// Run `op`, retrying transient I/O errors with deterministic backoff.
+///
+/// Returns the first success, or the last error once attempts are
+/// exhausted. Non-I/O errors are returned immediately. `on_retry` is
+/// invoked once per retry (not per attempt) so callers can count
+/// retries in their stats without threading the stats handle in here.
+pub fn with_retries<T>(
+    mut op: impl FnMut() -> Result<T>,
+    mut on_retry: impl FnMut(),
+) -> Result<T> {
+    let mut backoff = 1u32;
+    let mut attempt = 1;
+    loop {
+        match op() {
+            Ok(v) => return Ok(v),
+            Err(StorageError::Io(_)) if attempt < ATTEMPTS => {
+                on_retry();
+                for _ in 0..backoff {
+                    std::thread::yield_now();
+                }
+                backoff = backoff.saturating_mul(4);
+                attempt += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io;
+
+    #[test]
+    fn transient_failure_is_retried_to_success() {
+        let mut calls = 0;
+        let mut retries = 0;
+        let out = with_retries(
+            || {
+                calls += 1;
+                if calls < 3 {
+                    Err(StorageError::Io(io::Error::other("blip")))
+                } else {
+                    Ok(42)
+                }
+            },
+            || retries += 1,
+        );
+        assert_eq!(out.unwrap(), 42);
+        assert_eq!(calls, 3);
+        assert_eq!(retries, 2);
+    }
+
+    #[test]
+    fn persistent_failure_is_bounded() {
+        let mut calls = 0;
+        let out: Result<()> = with_retries(
+            || {
+                calls += 1;
+                Err(StorageError::Io(io::Error::other("dead disk")))
+            },
+            || {},
+        );
+        assert!(matches!(out, Err(StorageError::Io(_))));
+        assert_eq!(calls, ATTEMPTS);
+    }
+
+    #[test]
+    fn non_io_errors_are_not_retried() {
+        let mut calls = 0;
+        let out: Result<()> = with_retries(
+            || {
+                calls += 1;
+                Err(StorageError::Corrupt("bad page".into()))
+            },
+            || {},
+        );
+        assert!(matches!(out, Err(StorageError::Corrupt(_))));
+        assert_eq!(calls, 1);
+    }
+}

@@ -1,0 +1,158 @@
+//! Offline integrity scrub: read and verify every persistent artifact
+//! of a store without opening an engine over it.
+//!
+//! The scrubber is the audit side of the corruption-detection story:
+//! the page file verifies lazily (on read), the engine repairs at open,
+//! and `scrub` walks the whole image eagerly — meta checksum, every
+//! page header against the checkpoint's LSN floors, and the WAL's
+//! position-bound frame checksums — and reports what it found. A clean
+//! report means every byte that could be read back was proven to be the
+//! byte that was written; quarantined pages are listed, not read (they
+//! are known damage, fenced and typed, awaiting overwrite).
+
+use std::path::Path;
+use std::sync::Arc;
+
+use crate::error::{Result, StorageError};
+use crate::ids::PageId;
+use crate::meta::parse_meta_header;
+use crate::pagefile::{PageFile, PageRead};
+use crate::stats::StorageStats;
+use crate::vfs::Vfs;
+use crate::wal::Wal;
+use crate::PAGE_PAYLOAD;
+
+/// What a [`scrub_store`] pass found.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// Checkpoint epoch of the metadata the scrub ran against.
+    pub epoch: u64,
+    /// Total pages in the data file.
+    pub pages: u32,
+    /// Pages with a verified written image.
+    pub ok: u32,
+    /// Pages never written (no image expected, none found).
+    pub fresh: u32,
+    /// Pages fenced by the checkpoint's quarantine set (known damage,
+    /// reads fail typed; skipped by the scrub).
+    pub quarantined: u32,
+    /// Damaged pages *outside* the quarantine set — each one is a page
+    /// the engine would currently trust. A clean image has none.
+    pub corrupt: Vec<u32>,
+    /// Intact WAL frames verified against their offsets.
+    pub wal_frames: u64,
+}
+
+impl ScrubReport {
+    /// True when no unquarantined damage was found.
+    pub fn clean(&self) -> bool {
+        self.corrupt.is_empty()
+    }
+}
+
+/// Verify the store image at `dir`: the meta file's whole-file checksum,
+/// every data page against its header and LSN floor, and every complete
+/// WAL frame against its position-bound checksum.
+///
+/// Damage in the meta file or the WAL interior surfaces as a typed
+/// error (there is nothing sensible to report *against* without a
+/// trustworthy checkpoint); damaged data pages are collected into the
+/// report instead, because the caller's next question is "which ones".
+pub fn scrub_store(vfs: &Arc<dyn Vfs>, dir: &Path) -> Result<ScrubReport> {
+    let meta_path = dir.join("store.meta");
+    let data_path = dir.join("data.pg");
+    let wal_path = dir.join("wal.log");
+
+    let Some(meta_bytes) = vfs.read_all(&meta_path)? else {
+        return Err(StorageError::BadPath(format!("no store at {}", dir.display())));
+    };
+    let (state, _heap_dump) = parse_meta_header(&meta_bytes)?;
+
+    let mut report = ScrubReport { epoch: state.epoch, ..ScrubReport::default() };
+    let stats = Arc::new(StorageStats::default());
+    let file = PageFile::open(vfs, &data_path, stats)?;
+    file.set_version_floors(state.versions);
+    file.set_quarantined(&state.quarantined);
+    report.pages = file.page_count();
+    let mut buf = vec![0u8; PAGE_PAYLOAD];
+    for raw in 0..report.pages {
+        if file.is_quarantined(PageId(raw)) {
+            report.quarantined += 1;
+            continue;
+        }
+        match file.read_page(PageId(raw), &mut buf) {
+            Ok(PageRead::Loaded) => report.ok += 1,
+            Ok(PageRead::Fresh) => report.fresh += 1,
+            Err(e) if e.is_corruption() => report.corrupt.push(raw),
+            Err(e) => return Err(e),
+        }
+    }
+
+    if vfs.exists(&wal_path) {
+        report.wal_frames = Wal::replay(vfs, &wal_path)?.frames;
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{OStore, Options};
+    use crate::ids::{ClusterHint, SegmentId};
+    use crate::traits::StorageManager;
+    use crate::vfs::SimVfs;
+    use std::path::PathBuf;
+
+    fn built_store(seed: u64) -> (SimVfs, Arc<dyn Vfs>, PathBuf) {
+        let sim = SimVfs::new(seed);
+        let vfs: Arc<dyn Vfs> = Arc::new(sim.clone());
+        let dir = PathBuf::from("/sim/store");
+        let store = OStore::create_with(vfs.clone(), &dir, Options::default()).unwrap();
+        let t = store.begin().unwrap();
+        for i in 0..300u32 {
+            store
+                .allocate(t, SegmentId(0), ClusterHint::NONE, &[(i % 251) as u8; 64])
+                .unwrap();
+        }
+        store.commit(t).unwrap();
+        store.checkpoint().unwrap();
+        (sim, vfs, dir)
+    }
+
+    #[test]
+    fn clean_store_scrubs_clean() {
+        let (_sim, vfs, dir) = built_store(5);
+        let report = scrub_store(&vfs, &dir).unwrap();
+        assert!(report.clean());
+        assert!(report.ok > 0, "written pages must verify");
+        assert_eq!(report.quarantined, 0);
+        assert!(report.epoch >= 1);
+    }
+
+    #[test]
+    fn flipped_page_bit_is_localized() {
+        let (sim, vfs, dir) = built_store(6);
+        sim.flip_durable_bit(&dir.join("data.pg")).unwrap();
+        let report = scrub_store(&vfs, &dir).unwrap();
+        assert_eq!(report.corrupt.len(), 1, "one flipped bit damages exactly one page");
+        assert!(!report.clean());
+    }
+
+    #[test]
+    fn damaged_meta_is_a_typed_error() {
+        let (sim, vfs, dir) = built_store(7);
+        sim.flip_durable_bit(&dir.join("store.meta")).unwrap();
+        let err = scrub_store(&vfs, &dir).unwrap_err();
+        assert!(err.is_corruption(), "want typed corruption, got {err}");
+    }
+
+    #[test]
+    fn missing_store_is_bad_path() {
+        let sim = SimVfs::new(8);
+        let vfs: Arc<dyn Vfs> = Arc::new(sim);
+        assert!(matches!(
+            scrub_store(&vfs, Path::new("/sim/nope")),
+            Err(StorageError::BadPath(_))
+        ));
+    }
+}

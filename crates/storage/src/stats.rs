@@ -45,6 +45,15 @@ pub struct StorageStats {
     /// Bytes discarded from a torn WAL tail during the most recent
     /// recovery (zero on a clean shutdown).
     pub wal_bytes_truncated: AtomicU64,
+    /// Transient I/O errors absorbed by the bounded retry helper.
+    pub io_retries: AtomicU64,
+    /// Page reads whose first image failed verification but whose
+    /// immediate re-read verified (transient read corruption repaired).
+    pub read_repairs: AtomicU64,
+    /// Pages quarantined for persistent damage.
+    pub pages_quarantined: AtomicU64,
+    /// Quarantined pages healed by a full overwrite.
+    pub pages_healed: AtomicU64,
 }
 
 impl StorageStats {
@@ -73,6 +82,10 @@ impl StorageStats {
             checkpoints: self.checkpoints.load(Ordering::Relaxed),
             wal_frames_replayed: self.wal_frames_replayed.load(Ordering::Relaxed),
             wal_bytes_truncated: self.wal_bytes_truncated.load(Ordering::Relaxed),
+            io_retries: self.io_retries.load(Ordering::Relaxed),
+            read_repairs: self.read_repairs.load(Ordering::Relaxed),
+            pages_quarantined: self.pages_quarantined.load(Ordering::Relaxed),
+            pages_healed: self.pages_healed.load(Ordering::Relaxed),
         }
     }
 }
@@ -112,6 +125,14 @@ pub struct StatsSnapshot {
     pub wal_frames_replayed: u64,
     /// See [`StorageStats::wal_bytes_truncated`].
     pub wal_bytes_truncated: u64,
+    /// See [`StorageStats::io_retries`].
+    pub io_retries: u64,
+    /// See [`StorageStats::read_repairs`].
+    pub read_repairs: u64,
+    /// See [`StorageStats::pages_quarantined`].
+    pub pages_quarantined: u64,
+    /// See [`StorageStats::pages_healed`].
+    pub pages_healed: u64,
 }
 
 impl StatsSnapshot {
@@ -138,6 +159,10 @@ impl StatsSnapshot {
             wal_bytes_truncated: self
                 .wal_bytes_truncated
                 .saturating_sub(earlier.wal_bytes_truncated),
+            io_retries: self.io_retries.saturating_sub(earlier.io_retries),
+            read_repairs: self.read_repairs.saturating_sub(earlier.read_repairs),
+            pages_quarantined: self.pages_quarantined.saturating_sub(earlier.pages_quarantined),
+            pages_healed: self.pages_healed.saturating_sub(earlier.pages_healed),
         }
     }
 

@@ -15,8 +15,11 @@
 //!   data — except that, like a real kernel, background writeback may
 //!   have pushed a *prefix* of the unsynced writes to "disk" first, and
 //!   the last such write may be torn. It can also fail chosen
-//!   operations with transient I/O errors and kill the "machine" at a
-//!   chosen operation count. See `DESIGN.md`, "Fault model".
+//!   operations with transient I/O errors, kill the "machine" at a
+//!   chosen operation count, *misdirect* chosen writes to a wrong
+//!   sector, flip one bit of chosen reads in flight, rot a bit of a
+//!   durable image at rest, and defer create/rename durability behind
+//!   [`Vfs::sync_dir`]. See `DESIGN.md`, "Fault model".
 //!
 //! The simulated state sits behind one mutex at rank `SIM_VFS` (60),
 //! strictly innermost: it is only ever acquired under the page-file or
@@ -76,6 +79,15 @@ pub trait Vfs: Send + Sync {
     fn size(&self, path: &Path) -> Result<Option<u64>>;
     /// Create a directory and any missing parents.
     fn create_dir_all(&self, path: &Path) -> Result<()>;
+    /// Make directory entries (creates and renames under `dir`) durable.
+    /// On a real kernel a rename is atomic but *not* durable until the
+    /// containing directory is fsynced; callers that rely on a rename
+    /// surviving power loss (the checkpoint's meta flip) must call this
+    /// before depending on it.
+    fn sync_dir(&self, dir: &Path) -> Result<()> {
+        let _ = dir;
+        Ok(())
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -176,6 +188,13 @@ impl Vfs for RealVfs {
         std::fs::create_dir_all(path)?;
         Ok(())
     }
+
+    fn sync_dir(&self, dir: &Path) -> Result<()> {
+        // fsync the directory fd: flushes the entry table, making
+        // completed renames/creates durable (POSIX semantics).
+        std::fs::File::open(dir)?.sync_all()?;
+        Ok(())
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -199,6 +218,21 @@ pub struct FaultPlan {
     /// torn). When `false`, power loss is "clean": exactly the synced
     /// image survives.
     pub writeback: bool,
+    /// Operation counts at which a write is *misdirected*: it succeeds,
+    /// but lands at a seeded wrong sector-aligned offset in the same
+    /// file — a firmware/driver addressing bug. The caller sees success;
+    /// only page/frame self-description can catch it later.
+    pub misdirect_ops: Vec<u64>,
+    /// Operation counts at which a read returns its data with one seeded
+    /// bit flipped (transient read corruption: a bus/DMA glitch, not
+    /// at-rest damage — a re-read returns clean bytes).
+    pub flip_read_ops: Vec<u64>,
+    /// When set, file creates and renames are *not* immediately durable:
+    /// they journal as namespace operations, made durable by
+    /// [`Vfs::sync_dir`] — and at power loss only a seeded prefix of the
+    /// un-flushed namespace journal survives, so a rename can be lost
+    /// (or survive) independently of data writes around it.
+    pub volatile_namespace: bool,
 }
 
 /// One unsynced mutation in a file's journal.
@@ -206,6 +240,33 @@ pub struct FaultPlan {
 enum JournalOp {
     Write { at: u64, data: Vec<u8> },
     SetLen(u64),
+}
+
+/// One namespace mutation (create or rename) not yet flushed by
+/// [`Vfs::sync_dir`]. Only journaled under
+/// [`FaultPlan::volatile_namespace`]; otherwise namespace changes are
+/// immediately durable, as on a journaling file system.
+#[derive(Clone, Debug)]
+enum NsOp {
+    Create { path: PathBuf, id: usize },
+    Rename { from: PathBuf, to: PathBuf },
+}
+
+/// Apply one namespace op to the on-disk name table. A rename whose
+/// source never became durable drops silently — which is exactly why
+/// the journal is applied strictly in prefix order: a rename can never
+/// survive power loss without the create it depends on.
+fn apply_ns(durable: &mut BTreeMap<PathBuf, usize>, op: &NsOp) {
+    match op {
+        NsOp::Create { path, id } => {
+            durable.insert(path.clone(), *id);
+        }
+        NsOp::Rename { from, to } => {
+            if let Some(id) = durable.remove(from) {
+                durable.insert(to.clone(), id);
+            }
+        }
+    }
 }
 
 #[derive(Clone, Debug, Default)]
@@ -250,7 +311,17 @@ fn apply_op(buf: &mut Vec<u8>, op: &JournalOp) {
 }
 
 struct SimState {
-    files: BTreeMap<PathBuf, SimFile>,
+    /// File bodies, indexed by id. Handles address files by id, so a
+    /// rename never invalidates an open handle (fd semantics).
+    store: Vec<SimFile>,
+    /// The in-memory (OS cache) view of the namespace: name → file id.
+    names: BTreeMap<PathBuf, usize>,
+    /// The on-disk namespace: what survives power loss (before any
+    /// seeded namespace writeback chosen at the loss itself).
+    durable_names: BTreeMap<PathBuf, usize>,
+    /// Namespace operations awaiting `sync_dir`, in order. Empty unless
+    /// [`FaultPlan::volatile_namespace`] is armed.
+    ns_journal: Vec<NsOp>,
     plan: FaultPlan,
     /// Monotone count of file operations (the crash clock).
     ops: u64,
@@ -277,9 +348,9 @@ impl SimState {
     }
 
     /// Advance the crash clock; returns an error if this operation is
-    /// chosen to fail. `tear` is invoked to record a torn prefix when a
-    /// write is the crashing operation.
-    fn tick(&mut self, file: Option<(&PathBuf, &JournalOp)>) -> Result<()> {
+    /// chosen to fail. `file` names the target when the operation is a
+    /// mutation, so a dying write can record a torn prefix.
+    fn tick(&mut self, file: Option<(usize, &JournalOp)>) -> Result<()> {
         if self.crashed {
             return Err(Self::io_err("power is off"));
         }
@@ -291,14 +362,14 @@ impl SimState {
         if self.plan.crash_at_op == Some(op) {
             // The dying operation: a write may land a torn prefix in the
             // cache/journal before the machine goes dark.
-            if let Some((path, JournalOp::Write { at, data })) = file {
+            if let Some((id, JournalOp::Write { at, data })) = file {
                 let keep = sector_cut(*at, (self.next_rand() as usize) % (data.len() + 1));
                 if keep > 0 {
                     let torn = JournalOp::Write {
                         at: *at,
                         data: data.get(..keep).unwrap_or_default().to_vec(),
                     };
-                    if let Some(f) = self.files.get_mut(path) {
+                    if let Some(f) = self.store.get_mut(id) {
                         apply_op(&mut f.cache, &torn);
                         f.journal.push(torn);
                     }
@@ -323,7 +394,10 @@ impl SimVfs {
     pub fn new(seed: u64) -> Self {
         SimVfs {
             state: Arc::new(Mutex::new(SimState {
-                files: BTreeMap::new(),
+                store: Vec::new(),
+                names: BTreeMap::new(),
+                durable_names: BTreeMap::new(),
+                ns_journal: Vec::new(),
                 plan: FaultPlan::default(),
                 ops: 0,
                 // xorshift must not start at 0.
@@ -362,11 +436,24 @@ impl SimVfs {
     pub fn power_loss(&self) {
         let mut st = self.sim_lock();
         let writeback = st.plan.writeback;
-        let paths: Vec<PathBuf> = st.files.keys().cloned().collect();
-        for path in paths {
+        // Namespace writeback first: a seeded *prefix* of the un-flushed
+        // directory operations reaches disk (prefix order guarantees a
+        // rename never survives without the create it depends on).
+        // Without `volatile_namespace` the journal is always empty.
+        let ns_keep = if st.plan.volatile_namespace && !st.ns_journal.is_empty() {
+            (st.next_rand() as usize) % (st.ns_journal.len() + 1)
+        } else {
+            st.ns_journal.len()
+        };
+        let flushed: Vec<NsOp> = st.ns_journal.iter().take(ns_keep).cloned().collect();
+        for op in &flushed {
+            apply_ns(&mut st.durable_names, op);
+        }
+        st.ns_journal.clear();
+        st.names = st.durable_names.clone();
+        for id in 0..st.store.len() {
             let keep = {
-                let journal_len =
-                    st.files.get(&path).map(|f| f.journal.len()).unwrap_or(0);
+                let journal_len = st.store.get(id).map(|f| f.journal.len()).unwrap_or(0);
                 if writeback && journal_len > 0 {
                     (st.next_rand() as usize) % (journal_len + 1)
                 } else {
@@ -374,7 +461,7 @@ impl SimVfs {
                 }
             };
             let tear = if keep > 0 { st.next_rand() as usize } else { 0 };
-            if let Some(f) = st.files.get_mut(&path) {
+            if let Some(f) = st.store.get_mut(id) {
                 for (i, op) in f.journal.iter().take(keep).enumerate() {
                     if i + 1 == keep {
                         // The frontier write may itself be torn — to a
@@ -403,28 +490,55 @@ impl SimVfs {
         st.crashed = false;
     }
 
+    /// Flip one seeded bit in the durable image of `path` — at-rest
+    /// media rot, injected from outside the crash clock. The cache view
+    /// is damaged identically (as after `power_loss` the two coincide).
+    /// Returns the absolute bit index flipped, or `None` if the file is
+    /// missing or empty.
+    pub fn flip_durable_bit(&self, path: &Path) -> Option<u64> {
+        let mut st = self.sim_lock();
+        let id = st.names.get(path).copied()?;
+        let nbits = (st.store.get(id)?.durable.len() as u64).saturating_mul(8);
+        if nbits == 0 {
+            return None;
+        }
+        let bit = st.next_rand() % nbits;
+        let f = st.store.get_mut(id)?;
+        let (byte, mask) = ((bit / 8) as usize, 1u8 << (bit % 8));
+        if let Some(b) = f.durable.get_mut(byte) {
+            *b ^= mask;
+        }
+        if let Some(b) = f.cache.get_mut(byte) {
+            *b ^= mask;
+        }
+        Some(bit)
+    }
+
     /// A deep copy of the durable (post-power-loss) image as a fresh,
     /// fault-free `SimVfs` — for checking that recovery is deterministic
-    /// and idempotent from the same disk state.
+    /// and idempotent from the same disk state. Only files reachable
+    /// from the durable namespace are carried over.
     pub fn clone_durable(&self) -> SimVfs {
         let st = self.sim_lock();
-        let files = st
-            .files
-            .iter()
-            .map(|(p, f)| {
-                (
-                    p.clone(),
-                    SimFile {
-                        durable: f.durable.clone(),
-                        cache: f.durable.clone(),
-                        journal: Vec::new(),
-                    },
-                )
-            })
-            .collect();
+        let mut store = Vec::new();
+        let mut names = BTreeMap::new();
+        for (path, &id) in &st.durable_names {
+            if let Some(f) = st.store.get(id) {
+                names.insert(path.clone(), store.len());
+                store.push(SimFile {
+                    durable: f.durable.clone(),
+                    cache: f.durable.clone(),
+                    journal: Vec::new(),
+                });
+            }
+        }
+        let durable_names = names.clone();
         SimVfs {
             state: Arc::new(Mutex::new(SimState {
-                files,
+                store,
+                names,
+                durable_names,
+                ns_journal: Vec::new(),
                 plan: FaultPlan::default(),
                 ops: 0,
                 rng: st.rng | 1,
@@ -436,14 +550,33 @@ impl SimVfs {
 
 struct SimHandle {
     vfs: SimVfs,
-    path: PathBuf,
+    id: usize,
 }
 
 impl SimHandle {
     fn mutate(&mut self, op: JournalOp) -> Result<()> {
         let mut st = self.vfs.sim_lock();
-        st.tick(Some((&self.path, &op)))?;
-        match st.files.get_mut(&self.path) {
+        let opnum = st.ops;
+        st.tick(Some((self.id, &op)))?;
+        let op = if st.plan.misdirect_ops.contains(&opnum) {
+            // Misdirected write: the device acks success but puts the
+            // data at a seeded wrong sector-aligned offset in the same
+            // file. The intended location keeps its previous content.
+            match op {
+                JournalOp::Write { at, data } => {
+                    let len =
+                        st.store.get(self.id).map(|f| f.cache.len() as u64).unwrap_or(0);
+                    let sectors = (len / SECTOR).max(1);
+                    let candidate = (st.next_rand() % sectors) * SECTOR;
+                    let wrong = if candidate == at { candidate + SECTOR } else { candidate };
+                    JournalOp::Write { at: wrong, data }
+                }
+                other => other,
+            }
+        } else {
+            op
+        };
+        match st.store.get_mut(self.id) {
             Some(f) => {
                 apply_op(&mut f.cache, &op);
                 f.journal.push(op);
@@ -457,10 +590,11 @@ impl SimHandle {
 impl VfsFile for SimHandle {
     fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> Result<()> {
         let mut st = self.vfs.sim_lock();
+        let opnum = st.ops;
         st.tick(None)?;
         let f = st
-            .files
-            .get(&self.path)
+            .store
+            .get(self.id)
             .ok_or_else(|| SimState::io_err("file vanished"))?;
         let at = offset as usize;
         let src = f
@@ -468,6 +602,14 @@ impl VfsFile for SimHandle {
             .get(at..at + buf.len())
             .ok_or_else(|| SimState::io_err("read past end of file"))?;
         buf.copy_from_slice(src);
+        if st.plan.flip_read_ops.contains(&opnum) && !buf.is_empty() {
+            // Transient read corruption: one seeded bit arrives flipped.
+            // The stored bytes are untouched; a re-read comes back clean.
+            let bit = (st.next_rand() as usize) % (buf.len() * 8);
+            if let Some(byte) = buf.get_mut(bit / 8) {
+                *byte ^= 1 << (bit % 8);
+            }
+        }
         Ok(())
     }
 
@@ -481,8 +623,8 @@ impl VfsFile for SimHandle {
 
     fn len(&mut self) -> Result<u64> {
         let st = self.vfs.sim_lock();
-        st.files
-            .get(&self.path)
+        st.store
+            .get(self.id)
             .map(|f| f.cache.len() as u64)
             .ok_or_else(|| SimState::io_err("file vanished"))
     }
@@ -490,7 +632,7 @@ impl VfsFile for SimHandle {
     fn sync(&mut self) -> Result<()> {
         let mut st = self.vfs.sim_lock();
         st.tick(None)?;
-        if let Some(f) = st.files.get_mut(&self.path) {
+        if let Some(f) = st.store.get_mut(self.id) {
             f.durable = f.cache.clone();
             f.journal.clear();
         }
@@ -504,24 +646,40 @@ impl Vfs for SimVfs {
         if st.crashed {
             return Err(SimState::io_err("power is off"));
         }
-        match mode {
-            OpenMode::Create => {
-                // File creation is registered durably (simplification:
-                // directory entries survive; content durability is still
-                // governed by the sync/journal model — see DESIGN.md).
-                st.files.insert(path.to_path_buf(), SimFile::default());
-            }
-            OpenMode::Open => {
-                if !st.files.contains_key(path) {
+        let id = match mode {
+            OpenMode::Create => match st.names.get(path).copied() {
+                Some(id) => {
+                    // Truncate in place; open handles keep addressing
+                    // the same file, as with O_TRUNC on a real fd.
+                    if let Some(f) = st.store.get_mut(id) {
+                        *f = SimFile::default();
+                    }
+                    id
+                }
+                None => {
+                    let id = st.store.len();
+                    st.store.push(SimFile::default());
+                    st.names.insert(path.to_path_buf(), id);
+                    if st.plan.volatile_namespace {
+                        st.ns_journal.push(NsOp::Create { path: path.to_path_buf(), id });
+                    } else {
+                        st.durable_names.insert(path.to_path_buf(), id);
+                    }
+                    id
+                }
+            },
+            OpenMode::Open => match st.names.get(path).copied() {
+                Some(id) => id,
+                None => {
                     return Err(crate::StorageError::Io(io::Error::new(
                         io::ErrorKind::NotFound,
                         format!("no such simulated file: {}", path.display()),
-                    )));
+                    )))
                 }
-            }
-        }
+            },
+        };
         drop(st);
-        Ok(Box::new(SimHandle { vfs: self.clone(), path: path.to_path_buf() }))
+        Ok(Box::new(SimHandle { vfs: self.clone(), id }))
     }
 
     fn read_all(&self, path: &Path) -> Result<Option<Vec<u8>>> {
@@ -529,7 +687,11 @@ impl Vfs for SimVfs {
         if st.crashed {
             return Err(SimState::io_err("power is off"));
         }
-        Ok(st.files.get(path).map(|f| f.cache.clone()))
+        Ok(st
+            .names
+            .get(path)
+            .and_then(|&id| st.store.get(id))
+            .map(|f| f.cache.clone()))
     }
 
     fn rename(&self, from: &Path, to: &Path) -> Result<()> {
@@ -537,12 +699,18 @@ impl Vfs for SimVfs {
         if st.crashed {
             return Err(SimState::io_err("power is off"));
         }
-        // Modeled as atomic and immediately durable (the engine syncs
-        // file contents before renaming; directory-entry durability is
-        // assumed, as on a journaling file system).
-        match st.files.remove(from) {
-            Some(f) => {
-                st.files.insert(to.to_path_buf(), f);
+        // Atomic in the cache view. Durable immediately unless
+        // `volatile_namespace` is armed, in which case durability waits
+        // for `sync_dir` (or a lucky namespace writeback at power loss).
+        match st.names.remove(from) {
+            Some(id) => {
+                st.names.insert(to.to_path_buf(), id);
+                if st.plan.volatile_namespace {
+                    st.ns_journal
+                        .push(NsOp::Rename { from: from.to_path_buf(), to: to.to_path_buf() });
+                } else if let Some(did) = st.durable_names.remove(from) {
+                    st.durable_names.insert(to.to_path_buf(), did);
+                }
                 Ok(())
             }
             None => Err(crate::StorageError::Io(io::Error::new(
@@ -553,15 +721,32 @@ impl Vfs for SimVfs {
     }
 
     fn exists(&self, path: &Path) -> bool {
-        self.sim_lock().files.contains_key(path)
+        self.sim_lock().names.contains_key(path)
     }
 
     fn size(&self, path: &Path) -> Result<Option<u64>> {
-        Ok(self.sim_lock().files.get(path).map(|f| f.cache.len() as u64))
+        let st = self.sim_lock();
+        Ok(st
+            .names
+            .get(path)
+            .and_then(|&id| st.store.get(id))
+            .map(|f| f.cache.len() as u64))
     }
 
     fn create_dir_all(&self, _path: &Path) -> Result<()> {
         // Directories are implicit in the simulated namespace.
+        Ok(())
+    }
+
+    fn sync_dir(&self, _dir: &Path) -> Result<()> {
+        // The simulated namespace is flat: one directory fsync flushes
+        // the whole namespace journal, in order.
+        let mut st = self.sim_lock();
+        st.tick(None)?;
+        let flushed: Vec<NsOp> = st.ns_journal.drain(..).collect();
+        for op in &flushed {
+            apply_ns(&mut st.durable_names, op);
+        }
         Ok(())
     }
 }
@@ -728,6 +913,107 @@ mod tests {
         drop(f);
         let mut f = sim.open(&p("/a"), OpenMode::Create).unwrap();
         assert_eq!(f.len().unwrap(), 0);
+    }
+
+    #[test]
+    fn sim_misdirected_write_lands_at_wrong_sector() {
+        let sim = SimVfs::new(11);
+        let mut f = sim.open(&p("/data"), OpenMode::Create).unwrap();
+        f.write_at(0, &vec![0u8; 2 * crate::PAGE_SIZE]).unwrap();
+        f.sync().unwrap();
+        let now = sim.op_count();
+        sim.set_plan(FaultPlan { misdirect_ops: vec![now], ..FaultPlan::default() });
+        // The write reports success...
+        f.write_at(0, &vec![7u8; crate::PAGE_SIZE]).unwrap();
+        let img = sim.read_all(&p("/data")).unwrap().unwrap();
+        // ...but the intended sector is untouched, and the payload sits
+        // whole at some other sector-aligned offset.
+        assert!(img.get(..crate::PAGE_SIZE).unwrap().iter().all(|&b| b == 0));
+        let landed = img
+            .chunks(crate::PAGE_SIZE)
+            .skip(1)
+            .any(|c| c.len() == crate::PAGE_SIZE && c.iter().all(|&b| b == 7));
+        assert!(landed, "misdirected payload must land intact elsewhere");
+    }
+
+    #[test]
+    fn sim_read_bit_flip_is_transient() {
+        let sim = SimVfs::new(13);
+        let mut f = sim.open(&p("/data"), OpenMode::Create).unwrap();
+        let clean = vec![0xA5u8; 64];
+        f.write_at(0, &clean).unwrap();
+        f.sync().unwrap();
+        let now = sim.op_count();
+        sim.set_plan(FaultPlan { flip_read_ops: vec![now], ..FaultPlan::default() });
+        let mut buf = [0u8; 64];
+        f.read_at(0, &mut buf).unwrap();
+        let diff: u32 = buf.iter().zip(&clean).map(|(a, b)| (a ^ b).count_ones()).sum();
+        assert_eq!(diff, 1, "exactly one bit arrives flipped");
+        // The damage was in flight, not at rest: a re-read is clean.
+        f.read_at(0, &mut buf).unwrap();
+        assert_eq!(&buf[..], &clean[..]);
+    }
+
+    #[test]
+    fn sim_flip_durable_bit_rots_at_rest() {
+        let sim = SimVfs::new(17);
+        let mut f = sim.open(&p("/data"), OpenMode::Create).unwrap();
+        let clean = vec![0x5Au8; 32];
+        f.write_at(0, &clean).unwrap();
+        f.sync().unwrap();
+        assert!(sim.flip_durable_bit(&p("/data")).is_some());
+        let got = sim.read_all(&p("/data")).unwrap().unwrap();
+        let diff: u32 = got.iter().zip(&clean).map(|(a, b)| (a ^ b).count_ones()).sum();
+        assert_eq!(diff, 1, "at-rest rot flips exactly one stored bit");
+        assert!(sim.flip_durable_bit(&p("/missing")).is_none());
+    }
+
+    #[test]
+    fn sim_volatile_namespace_loses_a_seeded_prefix() {
+        // With a volatile namespace, the tmp-write/sync/rename dance can
+        // land in any prefix state at power loss — but never an illegal
+        // one (a rename surviving without its create, or a destination
+        // file with unsynced content).
+        let mut outcomes = std::collections::BTreeSet::new();
+        for seed in 0..60u64 {
+            let sim = SimVfs::new(seed);
+            sim.set_plan(FaultPlan { volatile_namespace: true, ..FaultPlan::default() });
+            let mut f = sim.open(&p("/tmp.meta"), OpenMode::Create).unwrap();
+            f.write_at(0, b"meta").unwrap();
+            f.sync().unwrap();
+            drop(f);
+            sim.rename(&p("/tmp.meta"), &p("/store.meta")).unwrap();
+            sim.power_loss();
+            let tmp = sim.exists(&p("/tmp.meta"));
+            let dst = sim.exists(&p("/store.meta"));
+            assert!(!(tmp && dst), "seed {seed}: rename must stay atomic");
+            if dst {
+                assert_eq!(
+                    sim.read_all(&p("/store.meta")).unwrap().unwrap(),
+                    b"meta",
+                    "seed {seed}: surviving destination must carry synced content"
+                );
+            }
+            outcomes.insert((tmp, dst));
+        }
+        assert!(outcomes.len() >= 2, "60 seeds should produce divergent prefixes");
+    }
+
+    #[test]
+    fn sim_sync_dir_makes_namespace_durable() {
+        let sim = SimVfs::new(23);
+        sim.set_plan(FaultPlan { volatile_namespace: true, ..FaultPlan::default() });
+        let mut f = sim.open(&p("/tmp.meta"), OpenMode::Create).unwrap();
+        f.write_at(0, b"meta").unwrap();
+        f.sync().unwrap();
+        drop(f);
+        sim.rename(&p("/tmp.meta"), &p("/store.meta")).unwrap();
+        sim.sync_dir(&p("/")).unwrap();
+        // Re-arm: power_loss disarms nothing before this point.
+        sim.set_plan(FaultPlan { volatile_namespace: true, ..FaultPlan::default() });
+        sim.power_loss();
+        assert!(!sim.exists(&p("/tmp.meta")));
+        assert_eq!(sim.read_all(&p("/store.meta")).unwrap().unwrap(), b"meta");
     }
 
     #[test]

@@ -7,7 +7,10 @@
 //! epoch, so replay can tell a stale pre-checkpoint log (crash between
 //! the metadata flip and the log truncation) from a current one.
 //!
-//! Records are framed as `[len u32][fnv1a-32 u32][body]`. A torn frame at
+//! Records are framed as `[len u32][crc u32][body]`, where the crc is
+//! `fnv1a(frame offset ‖ body)` — *position-aware*, so a perfectly valid
+//! frame that a misdirected write landed at the wrong offset fails its
+//! checksum instead of replaying someone else's history. A torn frame at
 //! end-of-log is the expected signature of a crash mid-append and is
 //! silently truncated (the loss is reported via [`WalReplay`]); a *complete*
 //! frame that fails its checksum or does not decode is interior corruption
@@ -21,9 +24,11 @@ use std::time::{Duration, Instant};
 
 use parking_lot::{Mutex, MutexGuard};
 
+use crate::checksum::fnv1a_multi;
 use crate::error::{RecoveryError, Result, StorageError};
 use crate::ids::{ClusterHint, Oid, SegmentId};
 use crate::lock_order::{self, Ranked};
+use crate::retry::with_retries;
 use crate::stats::StorageStats;
 use crate::vfs::{OpenMode, Vfs, VfsFile};
 use crate::waits;
@@ -190,23 +195,58 @@ impl WalRecord {
     }
 }
 
-fn fnv1a(data: &[u8]) -> u32 {
-    let mut h: u32 = 0x811c_9dc5;
-    for &b in data {
-        h ^= b as u32;
-        h = h.wrapping_mul(0x0100_0193);
-    }
-    h
-}
-
-fn encode_frame(rec: &WalRecord) -> Vec<u8> {
+fn encode_body(rec: &WalRecord) -> Vec<u8> {
     let mut body = Vec::with_capacity(64);
     rec.encode(&mut body);
+    body
+}
+
+/// Frame checksum, bound to the frame's byte offset in the log: the
+/// same body at a different position has a different crc, so replay
+/// rejects misdirected log writes instead of accepting them as history.
+fn frame_crc(offset: u64, body: &[u8]) -> u32 {
+    fnv1a_multi(&[&offset.to_le_bytes(), body])
+}
+
+/// Assemble the on-disk frame for a body that will be written at
+/// `offset`.
+fn frame_at(offset: u64, body: &[u8]) -> Vec<u8> {
     let mut frame = Vec::with_capacity(body.len() + 8);
     frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
-    frame.extend_from_slice(&fnv1a(&body).to_le_bytes());
-    frame.extend_from_slice(&body);
+    frame.extend_from_slice(&frame_crc(offset, body).to_le_bytes());
+    frame.extend_from_slice(body);
     frame
+}
+
+/// How far past an apparent tear replay searches for a later intact
+/// frame before trusting the tear. Bounds the rescue scan's cost; any
+/// realistic frame (bodies are object-sized) starts well inside it.
+const TEAR_SCAN_WINDOW: usize = 4 << 20;
+
+/// Look for a complete frame whose position-bound checksum verifies at
+/// some offset after `cut`. A genuine crash tear is always the *last*
+/// thing in a log, so an intact frame behind the cut proves the "tear"
+/// is really interior damage wearing a tear's clothes — e.g. a rotted
+/// length field that makes a mid-log frame claim to run past EOF.
+fn intact_frame_after(data: &[u8], cut: usize) -> Option<u64> {
+    let end = data.len().min(cut.saturating_add(TEAR_SCAN_WINDOW));
+    for at in cut + 1..end {
+        let Some(rest) = data.get(at..) else { break };
+        let Some((len_bytes, rest)) = rest.split_first_chunk::<4>() else { break };
+        let Some((crc_bytes, rest)) = rest.split_first_chunk::<4>() else { break };
+        let len = u32::from_le_bytes(*len_bytes) as usize;
+        // Zero-length bodies never occur (every record has at least a
+        // tag byte), and skipping them avoids trusting a checksum that
+        // covers nothing but the offset.
+        if len == 0 {
+            continue;
+        }
+        let Some(body) = rest.get(..len) else { continue };
+        if frame_crc(at as u64, body) == u32::from_le_bytes(*crc_bytes) {
+            return Some(at as u64);
+        }
+    }
+    None
 }
 
 /// Everything replay learned from the log.
@@ -229,8 +269,13 @@ struct WalWriter {
     file: Box<dyn VfsFile>,
     /// Offset where the next flush writes (bytes already in the file).
     flushed: u64,
-    /// Encoded frames awaiting the next flush.
-    buf: Vec<u8>,
+    /// Encoded record *bodies* awaiting the next flush. Frames are
+    /// assembled at flush time, once each body's file offset is known —
+    /// the frame crc covers that offset (see [`frame_crc`]), and a
+    /// truncation can reset `flushed` while bodies are still queued.
+    buf: Vec<Vec<u8>>,
+    /// Shared counters (for the transient-retry stat).
+    stats: Arc<StorageStats>,
     /// A truncation failed partway: the log head (empty file + reset
     /// frame for this epoch) must be re-established before any frame may
     /// be written. Without this, a transient I/O error during
@@ -248,10 +293,17 @@ impl WalWriter {
     /// durability is the caller's business.
     fn repair_head(&mut self) -> Result<()> {
         if let Some(epoch) = self.pending_reset {
-            self.file.set_len(0)?;
+            let stats = self.stats.clone();
+            with_retries(
+                || self.file.set_len(0),
+                || StorageStats::bump(&stats.io_retries, 1),
+            )?;
             self.flushed = 0;
-            let frame = encode_frame(&WalRecord::Reset(epoch));
-            self.file.write_at(0, &frame)?;
+            let frame = frame_at(0, &encode_body(&WalRecord::Reset(epoch)));
+            with_retries(
+                || self.file.write_at(0, &frame),
+                || StorageStats::bump(&stats.io_retries, 1),
+            )?;
             self.flushed = frame.len() as u64;
             self.pending_reset = None;
         }
@@ -261,8 +313,20 @@ impl WalWriter {
     fn flush(&mut self) -> Result<()> {
         self.repair_head()?;
         if !self.buf.is_empty() {
-            self.file.write_at(self.flushed, &self.buf)?;
-            self.flushed += self.buf.len() as u64;
+            // Assemble the batch now that each body's offset is final.
+            let mut batch = Vec::new();
+            let mut offset = self.flushed;
+            for body in &self.buf {
+                let frame = frame_at(offset, body);
+                offset += frame.len() as u64;
+                batch.extend_from_slice(&frame);
+            }
+            let stats = self.stats.clone();
+            with_retries(
+                || self.file.write_at(self.flushed, &batch),
+                || StorageStats::bump(&stats.io_retries, 1),
+            )?;
+            self.flushed += batch.len() as u64;
             self.buf.clear();
         }
         Ok(())
@@ -323,7 +387,8 @@ impl Wal {
             writer: Mutex::new(WalWriter {
                 file,
                 flushed: 0,
-                buf: Vec::with_capacity(64 * 1024),
+                buf: Vec::new(),
+                stats: stats.clone(),
                 pending_reset: None,
             }),
             written: AtomicU64::new(0),
@@ -349,7 +414,8 @@ impl Wal {
             writer: Mutex::new(WalWriter {
                 file,
                 flushed: len,
-                buf: Vec::with_capacity(64 * 1024),
+                buf: Vec::new(),
+                stats: stats.clone(),
                 pending_reset: None,
             }),
             written: AtomicU64::new(len),
@@ -362,10 +428,11 @@ impl Wal {
 
     /// Append a record to the log (buffered).
     pub fn append(&self, rec: &WalRecord) -> Result<()> {
-        let frame = encode_frame(rec);
-        self.writer_lock().buf.extend_from_slice(&frame);
-        self.written.fetch_add(frame.len() as u64, Ordering::Relaxed);
-        StorageStats::bump(&self.stats.wal_bytes, frame.len() as u64);
+        let body = encode_body(rec);
+        let frame_len = (body.len() + 8) as u64;
+        self.writer_lock().buf.push(body);
+        self.written.fetch_add(frame_len, Ordering::Relaxed);
+        StorageStats::bump(&self.stats.wal_bytes, frame_len);
         Ok(())
     }
 
@@ -442,7 +509,11 @@ impl Wal {
         let mut w = self.writer_lock();
         w.flush()?;
         if durable {
-            w.file.sync()?;
+            let stats = self.stats.clone();
+            with_retries(
+                || w.file.sync(),
+                || StorageStats::bump(&stats.io_retries, 1),
+            )?;
         }
         StorageStats::bump(&self.stats.wal_syncs, 1);
         Ok(())
@@ -464,21 +535,39 @@ impl Wal {
         };
         let mut out = WalReplay::default();
         let mut at = 0usize;
+        // A frame that does not fit in the remaining bytes is only
+        // trustworthy as a crash tear if nothing intact follows it; a
+        // verified frame behind the cut means the interior is damaged
+        // (a rotted length field can disguise mid-log rot as a tail).
+        let tear = |at: usize, frames: u64| -> Result<u64> {
+            if let Some(next) = intact_frame_after(&data, at) {
+                return Err(StorageError::Recovery(RecoveryError {
+                    offset: at as u64,
+                    frame: frames,
+                    detail: format!(
+                        "frame runs past end-of-log but an intact frame follows at byte \
+                         {next} (interior damage, not a crash tail)"
+                    ),
+                }));
+            }
+            Ok((data.len() - at) as u64)
+        };
         while at < data.len() {
             let (Some(len), Some(crc)) = (le_u32(at), le_u32(at + 4)) else {
-                out.bytes_truncated = (data.len() - at) as u64;
+                out.bytes_truncated = tear(at, out.frames)?;
                 break; // torn header at EOF
             };
             let len = len as usize;
             let Some(body) = data.get(at + 8..at + 8 + len) else {
-                out.bytes_truncated = (data.len() - at) as u64;
+                out.bytes_truncated = tear(at, out.frames)?;
                 break; // torn body at EOF
             };
-            if fnv1a(body) != crc {
+            if frame_crc(at as u64, body) != crc {
                 return Err(StorageError::Recovery(RecoveryError {
                     offset: at as u64,
                     frame: out.frames,
-                    detail: "checksum mismatch on a complete frame".into(),
+                    detail: "checksum mismatch on a complete frame (damaged or misdirected)"
+                        .into(),
                 }));
             }
             match WalRecord::decode(body) {
@@ -510,8 +599,9 @@ impl Wal {
         // append a frame (see [`WalWriter::pending_reset`]).
         w.pending_reset = Some(epoch);
         w.repair_head()?;
+        let stats = self.stats.clone();
         // analyzer: allow(blocking, "truncation syncs the guarded log file itself; the writer mutex is what serializes it")
-        w.file.sync()?;
+        with_retries(|| w.file.sync(), || StorageStats::bump(&stats.io_retries, 1))?;
         self.written.store(w.flushed, Ordering::Relaxed);
         Ok(())
     }
@@ -631,6 +721,61 @@ mod tests {
     }
 
     #[test]
+    fn misdirected_frame_fails_its_position_bound_checksum() {
+        // Two frames of identical length, swapped on disk: every byte is
+        // a valid frame image, but each now sits at the wrong offset. A
+        // position-blind crc would replay them happily (silently
+        // reordering history); the offset-bound crc must reject the log.
+        let path = tmp("swap");
+        let vfs = RealVfs::arc();
+        let stats = Arc::new(StorageStats::default());
+        let wal = Wal::create(&vfs, &path, stats, None).unwrap();
+        wal.append(&WalRecord::Begin(1)).unwrap();
+        wal.append(&WalRecord::Commit(1)).unwrap();
+        wal.group_commit(true).unwrap();
+        drop(wal);
+        let mut data = std::fs::read(&path).unwrap();
+        let flen = 8 + 9; // header + (tag byte ‖ txn u64): same for both
+        assert_eq!(data.len(), 2 * flen);
+        let (a, b) = data.split_at_mut(flen);
+        a.swap_with_slice(b);
+        std::fs::write(&path, &data).unwrap();
+        match Wal::replay(&vfs, &path) {
+            Err(StorageError::Recovery(e)) => assert_eq!(e.frame, 0),
+            other => panic!("expected a Recovery error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rotted_length_field_is_not_mistaken_for_a_crash_tail() {
+        // Blow up an interior frame's length field so the frame claims
+        // to run past EOF. Naive replay would treat everything from that
+        // frame on as a torn tail and silently drop the committed frames
+        // behind it; the tear-rescue scan finds those intact frames and
+        // turns the "tail" into a typed recovery error.
+        let path = tmp("rotlen");
+        let vfs = RealVfs::arc();
+        let stats = Arc::new(StorageStats::default());
+        let wal = Wal::create(&vfs, &path, stats, None).unwrap();
+        for rec in sample_records() {
+            wal.append(&rec).unwrap();
+        }
+        wal.group_commit(true).unwrap();
+        drop(wal);
+        let mut data = std::fs::read(&path).unwrap();
+        data[0] = 0xFF; // first frame's len: 17 -> huge
+        data[1] = 0xFF;
+        std::fs::write(&path, &data).unwrap();
+        match Wal::replay(&vfs, &path) {
+            Err(StorageError::Recovery(e)) => {
+                assert_eq!(e.offset, 0);
+                assert!(e.detail.contains("intact frame follows"), "got detail {:?}", e.detail);
+            }
+            other => panic!("expected a Recovery error, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn truncate_restarts_log_with_reset_epoch() {
         let path = tmp("trunc");
         let vfs = RealVfs::arc();
@@ -666,12 +811,12 @@ mod tests {
 
         // Fail every file operation a truncation performs, one run per
         // op (set_len, frame write, sync), and check the repair each way.
+        // Each step is retried up to `retry::ATTEMPTS` times, so the
+        // fault must persist across all of them to make the step fail.
         for failing_op in 0..3 {
-            sim.set_plan(FaultPlan {
-                crash_at_op: None,
-                fail_ops: vec![sim.op_count() + failing_op],
-                writeback: false,
-            });
+            let base = sim.op_count() + failing_op;
+            let fail_ops: Vec<u64> = (0..crate::retry::ATTEMPTS as u64).map(|i| base + i).collect();
+            sim.set_plan(FaultPlan { fail_ops, ..FaultPlan::default() });
             let result = wal.truncate(9);
             sim.set_plan(FaultPlan::default());
             if result.is_ok() {

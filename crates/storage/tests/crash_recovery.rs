@@ -149,22 +149,93 @@ fn texas_crash_rolls_back_to_last_checkpoint() {
     }
 }
 
-/// A transient write error at a seeded operation wounds at most the
-/// affected transaction; after reopening, the store is healthy and the
-/// committed prefix intact.
+/// A power loss around a checkpoint's meta-file flip, with the
+/// *namespace itself volatile*: the tmp-file create and the rename onto
+/// `store.meta` journal in the directory and only become durable at the
+/// directory sync, so the crash can land the namespace on either side
+/// of the flip (or lose the rename entirely). Whatever prefix survives,
+/// recovery must land on a consistent epoch — old meta plus intact log,
+/// or new meta plus a stale log it skips — with every committed object
+/// present and byte-exact. Sweeping the crash point over the whole
+/// checkpoint window exercises every ordering, including the
+/// rename-durable-but-log-truncated hazard the directory sync closes.
 #[test]
-fn transient_write_error_is_contained() {
+fn meta_rename_reordering_lands_on_a_consistent_epoch() {
+    for k in 0..30u64 {
+        let sim = SimVfs::new(9000 + k);
+        let dir = PathBuf::from("/sim/nsvolatile");
+        let store =
+            OStore::create_with(Arc::new(sim.clone()) as Arc<dyn Vfs>, &dir, opts()).unwrap();
+        let oids = commit_objects(&store, 6, 7);
+        store.checkpoint().unwrap();
+        let more = commit_objects(&store, 5, 9);
+        sim.set_plan(FaultPlan {
+            crash_at_op: Some(sim.op_count() + k),
+            writeback: true,
+            volatile_namespace: true,
+            ..FaultPlan::default()
+        });
+        let _ = store.checkpoint(); // dies k ops in (or survives for large k)
+        drop(store);
+        sim.power_loss();
+        let store = OStore::open_with(Arc::new(sim.clone_durable()) as Arc<dyn Vfs>, &dir, opts())
+            .unwrap_or_else(|e| panic!("crash {k} ops into the checkpoint: recovery failed: {e}"));
+        assert_eq!(store.object_count(), 11, "crash {k} ops into the checkpoint");
+        for (i, oid) in oids.iter().enumerate() {
+            assert_eq!(store.read(*oid).unwrap(), vec![7, i as u8, 7], "pre-checkpoint, k={k}");
+        }
+        for (i, oid) in more.iter().enumerate() {
+            assert_eq!(store.read(*oid).unwrap(), vec![9, i as u8, 7], "post-checkpoint, k={k}");
+        }
+    }
+}
+
+/// A *single* transient write error is absorbed by the storage layer's
+/// bounded retry: no transaction fails, and the retry is visible in the
+/// stats rather than in any client's face.
+#[test]
+fn single_transient_write_error_is_retried_away() {
     let sim = SimVfs::new(303);
     let dir = PathBuf::from("/sim/transient");
     let store = OStore::create_with(Arc::new(sim.clone()) as Arc<dyn Vfs>, &dir, opts()).unwrap();
-    let safe = commit_objects(&store, 3, 8);
 
-    // Fail one upcoming file operation; drive transactions until one
-    // trips over it (the WAL force makes every commit touch the disk).
+    // Fail one upcoming file operation; the WAL force makes every
+    // commit touch the disk, so some transaction will run into it.
     sim.set_plan(FaultPlan {
         crash_at_op: None,
         fail_ops: vec![sim.op_count() + 40],
         writeback: false,
+        ..FaultPlan::default()
+    });
+    for i in 0..40 {
+        let txn = store.begin().unwrap();
+        store.allocate(txn, seg(), ClusterHint::NONE, &[9, i]).unwrap();
+        store.commit(txn).unwrap();
+    }
+    assert!(
+        store.stats().io_retries >= 1,
+        "the planned fault should have been absorbed by a retry"
+    );
+}
+
+/// A write error that *persists* across the whole retry budget wounds at
+/// most the affected transaction; after reopening, the store is healthy
+/// and the committed prefix intact.
+#[test]
+fn persistent_write_error_is_contained() {
+    let sim = SimVfs::new(313);
+    let dir = PathBuf::from("/sim/persistent");
+    let store = OStore::create_with(Arc::new(sim.clone()) as Arc<dyn Vfs>, &dir, opts()).unwrap();
+    let safe = commit_objects(&store, 3, 8);
+
+    // Fail enough *consecutive* operations to exhaust the retry budget
+    // (each retry issues a fresh operation), so the error surfaces.
+    let base = sim.op_count() + 40;
+    sim.set_plan(FaultPlan {
+        crash_at_op: None,
+        fail_ops: (0..labflow_storage::retry::ATTEMPTS as u64).map(|i| base + i).collect(),
+        writeback: false,
+        ..FaultPlan::default()
     });
     let mut saw_error = false;
     for i in 0..40 {

@@ -17,14 +17,29 @@
 //! Clients work on disjoint object sets, so each client's slice of the
 //! recovered store must match its own ledger exactly; lock conflicts
 //! never abort a transaction, which keeps the ledger bookkeeping honest.
+//!
+//! With `--corrupt`, each seed additionally injects one storage fault
+//! (class chosen by `seed % 3`): a **misdirected write** mid-workload, a
+//! **durable bit flip** applied to one store file after the power loss,
+//! or a **volatile namespace** (creates/renames lose a seeded suffix at
+//! power loss unless directory-synced). The contract widens from "the
+//! ledger survives" to "nothing is silently wrong": recovery must either
+//! refuse the image with a typed corruption error, or open it with every
+//! casualty quarantined (reads fail typed) and every readable object
+//! byte-exact against a ledger image — and the recovered image must then
+//! pass an offline scrub with zero unquarantined damage. The one
+//! irreducible case — rot in the log's final frame, indistinguishable
+//! from a crash tear — counts only if replay *reported* discarding those
+//! bytes.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Duration;
 
 use labflow_storage::{
-    ClusterHint, Engine, FaultPlan, OStore, Options, Oid, SegmentId, SimVfs, StorageManager, Vfs,
+    scrub_store, ClusterHint, Engine, FaultPlan, OStore, Options, Oid, SegmentId, SimVfs,
+    StorageManager, Vfs,
 };
 
 const CLIENTS: usize = 4;
@@ -154,66 +169,101 @@ fn client_loop(store: &Engine, client: usize, seed: u64) -> Ledger {
     ledger
 }
 
-/// Read every live object out of a recovered store as an oid → payload
-/// map.
-fn dump(store: &Engine) -> Result<HashMap<u64, Vec<u8>>, String> {
-    let mut out = HashMap::new();
+/// Readable objects (oid → payload) plus the oids whose reads failed
+/// with a *typed* corruption error (quarantined casualties).
+type DumpResult = (HashMap<u64, Vec<u8>>, HashSet<u64>);
+
+/// Read every live object out of a recovered store. Any read failure
+/// that is not a typed corruption error is a harness failure.
+fn dump(store: &Engine) -> Result<DumpResult, String> {
+    let mut readable = HashMap::new();
+    let mut damaged: HashSet<u64> = store.damaged_oids().iter().map(|o| o.raw()).collect();
     for oid in store.live_oids() {
-        let data = store
-            .read(oid)
-            .map_err(|e| format!("live oid {} unreadable after recovery: {e}", oid.raw()))?;
-        out.insert(oid.raw(), data);
+        match store.read(oid) {
+            Ok(data) => {
+                readable.insert(oid.raw(), data);
+            }
+            Err(e) if e.is_corruption() => {
+                damaged.insert(oid.raw());
+            }
+            Err(e) => {
+                return Err(format!("live oid {} unreadable after recovery: {e}", oid.raw()))
+            }
+        }
     }
-    Ok(out)
+    Ok((readable, damaged))
+}
+
+/// Whether the recovered store is consistent with `image` for one
+/// client: every object the image expects is either readable with the
+/// exact payload or a typed casualty — never silently missing or
+/// silently wrong — and nothing the image lacks is readable. With an
+/// empty `damaged` set this degrades to exact equality on the client's
+/// slice (the strict no-fault contract).
+fn matches_image(
+    owned: &[u64],
+    image: &HashMap<u64, Vec<u8>>,
+    readable: &HashMap<u64, Vec<u8>>,
+    damaged: &HashSet<u64>,
+) -> bool {
+    for (oid, want) in image {
+        match readable.get(oid) {
+            Some(got) if got == want => {}
+            Some(_) => return false,            // silently wrong bytes
+            None if damaged.contains(oid) => {} // typed casualty
+            None => return false,               // silently missing
+        }
+    }
+    owned.iter().all(|oid| image.contains_key(oid) || !readable.contains_key(oid))
 }
 
 /// Check one client's slice of the recovered store against its ledger.
-fn check_client(ledger: &Ledger, recovered: &HashMap<u64, Vec<u8>>) -> Result<(), String> {
-    let mine: HashMap<u64, Vec<u8>> = ledger
-        .owned_ever
-        .iter()
-        .filter_map(|oid| recovered.get(oid).map(|d| (*oid, d.clone())))
-        .collect();
-    if mine == ledger.confirmed {
+fn check_client(
+    ledger: &Ledger,
+    readable: &HashMap<u64, Vec<u8>>,
+    damaged: &HashSet<u64>,
+) -> Result<(), String> {
+    if matches_image(&ledger.owned_ever, &ledger.confirmed, readable, damaged) {
         return Ok(());
     }
     if let LastTxn::Unknown(after) = &ledger.last {
-        if mine == *after {
+        if matches_image(&ledger.owned_ever, after, readable, damaged) {
             return Ok(());
         }
         return Err(format!(
             "client {}: recovered state matches neither the confirmed image \
-             ({} objects) nor the unknown-outcome image ({} objects); got {} objects",
+             ({} objects) nor the unknown-outcome image ({} objects)",
             ledger.client,
             ledger.confirmed.len(),
             after.len(),
-            mine.len()
         ));
     }
     let mut detail = String::new();
     if std::env::var_os("CRASHTEST_DEBUG").is_some() {
-        for (oid, data) in &mine {
-            if ledger.confirmed.get(oid) != Some(data) {
-                detail.push_str(&format!(
+        for oid in &ledger.owned_ever {
+            let (want, got) = (ledger.confirmed.get(oid), readable.get(oid));
+            if want == got {
+                continue;
+            }
+            match got {
+                Some(data) => detail.push_str(&format!(
                     "\n  extra/changed oid {oid}: payload tag client={} txn={} op={}",
                     data.first().copied().unwrap_or(255),
                     data.get(1).copied().unwrap_or(255),
                     data.get(2).copied().unwrap_or(255),
-                ));
-            }
-        }
-        for oid in ledger.confirmed.keys() {
-            if !mine.contains_key(oid) {
-                detail.push_str(&format!("\n  missing oid {oid}"));
+                )),
+                None if damaged.contains(oid) => {}
+                None => detail.push_str(&format!("\n  missing oid {oid}")),
             }
         }
     }
     Err(format!(
         "client {}: recovered state diverges from the confirmed image \
-         (expected {} objects, got {}){detail}",
+         (expected {} objects, {} readable, {} typed casualties){detail}",
         ledger.client,
         ledger.confirmed.len(),
-        mine.len()
+        readable.len(),
+        damaged.len(),
     ))
 }
 
@@ -249,10 +299,30 @@ fn dump_wal(sim: &SimVfs, dir: &Path) {
     }
 }
 
-/// Run one seed end to end. Returns whether the planned crash actually
-/// fired mid-workload, or a human-readable violation if the durability
-/// contract broke.
-fn run_seed(seed: u64) -> Result<bool, String> {
+/// What one finished seed looked like.
+struct SeedOutcome {
+    /// The planned crash fired mid-workload.
+    crashed: bool,
+    /// Corrupt mode only: recovery (or replay of the pre-recovery
+    /// image) refused the damage with a typed report rather than
+    /// repairing around it — detection without repair, a legitimate
+    /// outcome that still counts as "never silently absorbed".
+    detected: bool,
+}
+
+/// Replay the pre-recovery durable log and report whether it *declared*
+/// a discarded tail. Rot in the log's final frame is indistinguishable
+/// from a crash tear, so losing those bytes is acceptable exactly when
+/// replay reports the loss instead of absorbing it.
+fn wal_reported_truncation(sim: &SimVfs, dir: &Path) -> bool {
+    use labflow_storage::wal_testing::Wal;
+    let vfs: Arc<dyn Vfs> = Arc::new(sim.clone_durable());
+    Wal::replay(&vfs, &dir.join("wal.log")).is_ok_and(|r| r.bytes_truncated > 0)
+}
+
+/// Run one seed end to end. Returns how it went, or a human-readable
+/// violation if the durability contract broke.
+fn run_seed(seed: u64, corrupt: bool) -> Result<SeedOutcome, String> {
     let sim = SimVfs::new(seed);
     let vfs: Arc<dyn Vfs> = Arc::new(sim.clone());
     let dir = PathBuf::from("/crash/store");
@@ -260,14 +330,23 @@ fn run_seed(seed: u64) -> Result<bool, String> {
         .map_err(|e| format!("create failed before any fault was armed: {e}"))?;
 
     // Arm the plug-pull (and one transient error) somewhere in the
-    // workload's operation stream.
+    // workload's operation stream, plus — in corrupt mode — one wider
+    // fault whose class rotates with the seed.
     let mut rng = Rng::new(seed ^ 0x9e37_79b9_7f4a_7c15);
     let ops0 = sim.op_count();
-    sim.set_plan(FaultPlan {
+    let mut plan = FaultPlan {
         crash_at_op: Some(ops0 + rng.next() % CRASH_WINDOW),
         fail_ops: vec![ops0 + rng.next() % CRASH_WINDOW],
         writeback: true,
-    });
+        ..FaultPlan::default()
+    };
+    let class = if corrupt { Some(seed % 3) } else { None };
+    match class {
+        Some(0) => plan.misdirect_ops = vec![ops0 + rng.next() % CRASH_WINDOW],
+        Some(2) => plan.volatile_namespace = true,
+        _ => {}
+    }
+    sim.set_plan(plan);
 
     let ledgers: Vec<Ledger> = std::thread::scope(|scope| {
         let store = &store;
@@ -288,74 +367,123 @@ fn run_seed(seed: u64) -> Result<bool, String> {
         eprintln!("  seed {seed}: {} file ops used, crashed={crashed}", sim.op_count() - ops0);
     }
     sim.power_loss();
+
+    // Class 1: at-rest rot — flip one durable bit in a seed-chosen
+    // store file after the machine is already dead.
+    let mut rot_target: Option<&str> = None;
+    if class == Some(1) {
+        let targets = ["data.pg", "store.meta", "wal.log"];
+        let t = targets[(rng.next() as usize) % targets.len()];
+        if sim.flip_durable_bit(&dir.join(t)).is_some() {
+            rot_target = Some(t);
+        }
+    }
+
     let image = sim.clone_durable();
     let twin = sim.clone_durable();
 
-    let recovered = {
+    let (readable, damaged) = {
         let vfs: Arc<dyn Vfs> = Arc::new(image.clone());
-        let store = OStore::open_with(vfs, &dir, opts())
-            .map_err(|e| format!("recovery failed: {e}"))?;
-        dump(&store)?
+        match OStore::open_with(vfs, &dir, opts()) {
+            Ok(store) => dump(&store)?,
+            Err(e) if corrupt && e.is_corruption() => {
+                return Ok(SeedOutcome { crashed, detected: true });
+            }
+            Err(e) => return Err(format!("recovery failed: {e}")),
+        }
     };
+    if !corrupt && !damaged.is_empty() {
+        return Err(format!(
+            "{} objects quarantined after recovery with no fault injected",
+            damaged.len()
+        ));
+    }
     for ledger in &ledgers {
-        if let Err(why) = check_client(ledger, &recovered) {
+        if let Err(why) = check_client(ledger, &readable, &damaged) {
+            if rot_target == Some("wal.log") && wal_reported_truncation(&sim, &dir) {
+                // The flip landed where only a reported-and-discarded
+                // log tail explains the divergence (see module docs).
+                return Ok(SeedOutcome { crashed, detected: true });
+            }
             if std::env::var_os("CRASHTEST_DEBUG").is_some() {
                 dump_wal(&sim, &dir);
             }
             return Err(why);
         }
     }
-    let known: std::collections::HashSet<u64> =
-        ledgers.iter().flat_map(|l| l.owned_ever.iter().copied()).collect();
-    for oid in recovered.keys() {
+    let known: HashSet<u64> = ledgers.iter().flat_map(|l| l.owned_ever.iter().copied()).collect();
+    for oid in readable.keys() {
         if !known.contains(oid) {
             return Err(format!("object {oid} exists after recovery but no client made it"));
         }
     }
 
     // Determinism: an independent recovery of the same crashed image
-    // must land on the same logical state.
+    // must land on the same logical state — same readable bytes, same
+    // typed casualties.
     {
         let vfs: Arc<dyn Vfs> = Arc::new(twin);
         let store = OStore::open_with(vfs, &dir, opts())
             .map_err(|e| format!("twin recovery failed: {e}"))?;
-        if dump(&store)? != recovered {
+        if dump(&store)? != (readable.clone(), damaged.clone()) {
             return Err("recovery is nondeterministic: twin image disagrees".into());
         }
     }
     // Idempotence: the recovered-and-checkpointed store reopens to the
     // same state.
     {
-        let vfs: Arc<dyn Vfs> = Arc::new(image);
+        let vfs: Arc<dyn Vfs> = Arc::new(image.clone());
         let store = OStore::open_with(vfs, &dir, opts())
             .map_err(|e| format!("re-recovery failed: {e}"))?;
-        if dump(&store)? != recovered {
+        if dump(&store)? != (readable, damaged) {
             return Err("recovery is not idempotent: second open diverges".into());
         }
     }
-    Ok(crashed)
+    // The recovered image must audit clean: every surviving byte
+    // verifiable, every casualty quarantined — nothing silently wrong.
+    {
+        let vfs: Arc<dyn Vfs> = Arc::new(image);
+        let report = scrub_store(&vfs, &dir).map_err(|e| format!("post-recovery scrub: {e}"))?;
+        if !report.clean() {
+            return Err(format!(
+                "post-recovery scrub found unquarantined damage: pages {:?}",
+                report.corrupt
+            ));
+        }
+    }
+    Ok(SeedOutcome { crashed, detected: false })
 }
 
 /// Entry point: runs `seeds` seeds, printing progress; returns the
 /// number of failing seeds.
-pub fn run(first_seed: u64, seeds: u64) -> u64 {
+pub fn run(first_seed: u64, seeds: u64, corrupt: bool) -> u64 {
     let mut failures = 0;
     let mut crashed = 0;
+    let mut detected = 0;
     for seed in first_seed..first_seed + seeds {
-        match run_seed(seed) {
-            Ok(true) => crashed += 1,
-            Ok(false) => {}
+        match run_seed(seed, corrupt) {
+            Ok(outcome) => {
+                crashed += u64::from(outcome.crashed);
+                detected += u64::from(outcome.detected);
+            }
             Err(why) => {
                 failures += 1;
                 eprintln!("crashtest: seed {seed} FAILED: {why}");
             }
         }
     }
-    if failures == 0 {
+    if failures == 0 && corrupt {
+        println!(
+            "crashtest --corrupt: {seeds} seeds passed ({crashed} died mid-workload; \
+             {detected} refused the image with a typed report, \
+             {} recovered and scrubbed clean)",
+            seeds - detected
+        );
+    } else if failures == 0 {
         println!(
             "crashtest: {seeds} seeds passed \
              ({crashed} died mid-workload, {} outran the crash window)",
-            seeds - failures - crashed
+            seeds - crashed
         );
     }
     failures
