@@ -115,6 +115,9 @@ pub struct ClientRow {
     /// Milliseconds spent in WAL group commit (queueing for the batch
     /// leader plus the physical log force).
     pub commit_wait_ms: f64,
+    /// Milliseconds this client's thread spent blocked on heap metadata
+    /// locks (object-table shards, segment placement state).
+    pub heap_wait_ms: f64,
 }
 
 /// Meter capturing a measurement interval.

@@ -394,21 +394,48 @@ pub fn multiclient_table(points: &[MultiClientPoint]) -> String {
         }
     }
 
+    // Heap metadata contention: how often any client found a heap lock
+    // (object-table shard, segment placement state) held by another
+    // thread, and the total time blocked there. With the sharded heap
+    // these should stay near zero even at 8 clients.
+    out.push_str("\nHeap contention — contended metadata lock acquisitions per point\n");
+    out.push_str(&format!(
+        "{:<12}{:>9}{:>14}{:>16}\n",
+        "version", "clients", "contended", "blocked µs"
+    ));
+    for p in points {
+        if p.supported {
+            out.push_str(&format!(
+                "{:<12}{:>9}{:>14}{:>16}\n",
+                p.version,
+                p.clients,
+                commas(p.heap_waits),
+                commas(p.heap_wait_us),
+            ));
+        } else {
+            out.push_str(&format!(
+                "{:<12}{:>9}{:>14}{:>16}\n",
+                p.version, p.clients, "—", "—"
+            ));
+        }
+    }
+
     // Per-client wait attribution: where each writer's wall-clock went
-    // while it was not making progress (blocked on object locks vs
-    // queued in WAL group commit).
+    // while it was not making progress (blocked on object locks, queued
+    // in WAL group commit, or blocked on heap metadata locks).
     let attributed: Vec<&MultiClientPoint> =
         points.iter().filter(|p| p.supported && !p.per_client.is_empty()).collect();
     if !attributed.is_empty() {
         out.push_str("\nWait attribution — per client, ms blocked\n");
         out.push_str(&format!(
-            "{:<12}{:>9}{:>9}{:>12}{:>12}{:>12}{:>12}\n",
-            "version", "clients", "client", "commits", "retries", "lock wait", "commit wait"
+            "{:<12}{:>9}{:>9}{:>12}{:>12}{:>12}{:>12}{:>12}\n",
+            "version", "clients", "client", "commits", "retries", "lock wait", "commit wait",
+            "heap wait"
         ));
         for p in attributed {
             for r in &p.per_client {
                 out.push_str(&format!(
-                    "{:<12}{:>9}{:>9}{:>12}{:>12}{:>12.1}{:>12.1}\n",
+                    "{:<12}{:>9}{:>9}{:>12}{:>12}{:>12.1}{:>12.1}{:>12.1}\n",
                     p.version,
                     p.clients,
                     r.client,
@@ -416,6 +443,7 @@ pub fn multiclient_table(points: &[MultiClientPoint]) -> String {
                     commas(r.retries),
                     r.lock_wait_ms,
                     r.commit_wait_ms,
+                    r.heap_wait_ms,
                 ));
             }
         }
@@ -571,6 +599,8 @@ mod tests {
             commits: if supported { 1001 } else { 0 },
             retries: 0,
             wal_syncs: if supported { 400 } else { 0 },
+            heap_waits: if supported { 17 } else { 0 },
+            heap_wait_us: if supported { 230 } else { 0 },
             per_client: Vec::new(),
         };
         let mut points = vec![
@@ -586,6 +616,7 @@ mod tests {
             retries: 3,
             lock_wait_ms: 12.25,
             commit_wait_ms: 4.5,
+            heap_wait_ms: 1.75,
         }];
         let t = multiclient_table(&points);
         assert!(t.contains("2.50x"), "speedup row renders: {t}");
@@ -593,6 +624,10 @@ mod tests {
         assert!(t.contains("1,001"));
         assert!(t.contains("Wait attribution"), "wait section renders: {t}");
         assert!(t.contains("12.2") || t.contains("12.3"), "lock wait ms renders: {t}");
+        assert!(t.contains("heap wait"), "heap wait column renders: {t}");
+        assert!(t.contains("1.8") || t.contains("1.7"), "heap wait ms renders: {t}");
+        assert!(t.contains("Heap contention"), "heap contention section renders: {t}");
+        assert!(t.contains("230"), "blocked µs renders: {t}");
     }
 
     #[test]

@@ -731,6 +731,12 @@ pub struct MultiClientPoint {
     /// WAL forces issued — group commit shows up as `wal_syncs` well
     /// below `commits` on persistent backends (0 for `-mm`).
     pub wal_syncs: u64,
+    /// Contended heap-metadata lock acquisitions across all clients
+    /// (the acquirer found the lock held and blocked).
+    pub heap_waits: u64,
+    /// Total microseconds all clients spent blocked on heap metadata
+    /// locks.
+    pub heap_wait_us: u64,
     /// Per-client breakdown.
     pub per_client: Vec<ClientRow>,
 }
@@ -748,6 +754,7 @@ fn multiclient_worker(db: &LabBase, mine: &[MaterialId], client: u64) -> Result<
         retries: 0,
         lock_wait_ms: 0.0,
         commit_wait_ms: 0.0,
+        heap_wait_ms: 0.0,
     };
     // Wait attribution: the worker thread maps 1:1 to the client, so the
     // thread-local counters' delta over the loop is this client's share.
@@ -803,6 +810,7 @@ fn multiclient_worker(db: &LabBase, mine: &[MaterialId], client: u64) -> Result<
     let waits = labflow_storage::wait_snapshot().delta(&waits0);
     row.lock_wait_ms = waits.lock_wait_nanos as f64 / 1e6;
     row.commit_wait_ms = waits.commit_wait_nanos as f64 / 1e6;
+    row.heap_wait_ms = waits.heap_wait_nanos as f64 / 1e6;
     Ok(row)
 }
 
@@ -842,6 +850,8 @@ pub fn run_multiclient(
                     commits: 0,
                     retries: 0,
                     wal_syncs: 0,
+                    heap_waits: 0,
+                    heap_wait_us: 0,
                     per_client: Vec::new(),
                 });
                 continue;
@@ -900,6 +910,8 @@ pub fn run_multiclient(
                 commits: d.commits,
                 retries,
                 wal_syncs: d.wal_syncs,
+                heap_waits: d.heap_shard_waits,
+                heap_wait_us: d.heap_wait_nanos / 1_000,
                 per_client,
             });
         }

@@ -20,7 +20,7 @@ use std::time::Duration;
 
 use crate::buffer::BufferPool;
 use crate::error::{RecoveryError, Result, StorageError};
-use crate::heap::{Heap, Placement};
+use crate::heap::{Heap, HeapContention, Placement};
 use crate::ids::{ClusterHint, Oid, PageId, SegmentId, TxnId};
 use crate::lock::{LockManager, LockMode};
 use crate::meta;
@@ -558,6 +558,14 @@ impl Engine {
     pub fn damaged_oids(&self) -> Vec<Oid> {
         let bad: Vec<PageId> = self.file.quarantined_pages().into_iter().map(PageId).collect();
         self.heap.oids_on_pages(&bad)
+    }
+
+    /// Contended-acquisition counts for the heap's metadata shards
+    /// (global, per object-table shard, per segment): which shard a
+    /// workload is hot on, independent of the aggregate wait totals in
+    /// [`StorageStats`].
+    pub fn heap_contention(&self) -> HeapContention {
+        self.heap.contention()
     }
 
     /// Whether a logged operation failed mid-apply (see [`Engine::checkpoint`]).

@@ -74,6 +74,7 @@ mod waits;
 mod wal;
 
 pub use engine::{Engine, OStore, Options, Profile, Texas, TexasTc};
+pub use heap::HeapContention;
 pub use error::{RecoveryError, Result, StorageError};
 pub use ids::{ClusterHint, Oid, PageId, SegmentId, Slot, TxnId};
 pub use memstore::MemStore;

@@ -20,7 +20,9 @@
 //! | 10   | `Engine::active` (txn table / quiesce) |
 //! | 20   | `LockManager` shard `states`           |
 //! | 25   | `LockManager::held`                    |
-//! | 30   | `Heap::inner` (object table)           |
+//! | 28   | `Heap::global` (quiesce / seg roster)  |
+//! | 30   | `Heap` object-table shard              |
+//! | 32   | `Heap` segment placement state         |
 //! | 40   | `BufferPool::inner`                    |
 //! | 45   | `PageFile::file`                       |
 //! | 50   | `Wal::writer`                          |
@@ -46,8 +48,15 @@ pub const ENGINE_ACTIVE: LockRank = LockRank { rank: 10, name: "engine.active" }
 pub const LOCK_SHARD: LockRank = LockRank { rank: 20, name: "lock_manager.shard" };
 /// The `LockManager` per-transaction held-locks map.
 pub const LOCK_HELD: LockRank = LockRank { rank: 25, name: "lock_manager.held" };
-/// The heap's object table and placement metadata.
+/// The heap's global shard: shared-held by every heap operation for its
+/// duration, exclusive-held only by the checkpoint quiesce
+/// (`dump_meta`/`load_meta`) and segment-roster changes.
+pub const HEAP_GLOBAL: LockRank = LockRank { rank: 28, name: "heap.global" };
+/// One of the heap's object-table shards (oid-hashed).
 pub const HEAP_TABLE: LockRank = LockRank { rank: 30, name: "heap.object_table" };
+/// One segment's placement state (open page, page list, free list,
+/// chunk map).
+pub const HEAP_SEGMENT: LockRank = LockRank { rank: 32, name: "heap.segment" };
 /// The buffer pool's frame table.
 pub const BUFFER_POOL: LockRank = LockRank { rank: 40, name: "buffer_pool.frames" };
 /// The page file handle.

@@ -54,6 +54,13 @@ pub struct StorageStats {
     pub pages_quarantined: AtomicU64,
     /// Quarantined pages healed by a full overwrite.
     pub pages_healed: AtomicU64,
+    /// Contended acquisitions of heap metadata locks (object-table
+    /// shards and segment placement state): the acquiring thread found
+    /// the lock held and had to block.
+    pub heap_shard_waits: AtomicU64,
+    /// Nanoseconds threads spent blocked on contended heap metadata
+    /// locks, summed across all threads.
+    pub heap_wait_nanos: AtomicU64,
 }
 
 impl StorageStats {
@@ -86,6 +93,8 @@ impl StorageStats {
             read_repairs: self.read_repairs.load(Ordering::Relaxed),
             pages_quarantined: self.pages_quarantined.load(Ordering::Relaxed),
             pages_healed: self.pages_healed.load(Ordering::Relaxed),
+            heap_shard_waits: self.heap_shard_waits.load(Ordering::Relaxed),
+            heap_wait_nanos: self.heap_wait_nanos.load(Ordering::Relaxed),
         }
     }
 }
@@ -133,6 +142,10 @@ pub struct StatsSnapshot {
     pub pages_quarantined: u64,
     /// See [`StorageStats::pages_healed`].
     pub pages_healed: u64,
+    /// See [`StorageStats::heap_shard_waits`].
+    pub heap_shard_waits: u64,
+    /// See [`StorageStats::heap_wait_nanos`].
+    pub heap_wait_nanos: u64,
 }
 
 impl StatsSnapshot {
@@ -163,6 +176,8 @@ impl StatsSnapshot {
             read_repairs: self.read_repairs.saturating_sub(earlier.read_repairs),
             pages_quarantined: self.pages_quarantined.saturating_sub(earlier.pages_quarantined),
             pages_healed: self.pages_healed.saturating_sub(earlier.pages_healed),
+            heap_shard_waits: self.heap_shard_waits.saturating_sub(earlier.heap_shard_waits),
+            heap_wait_nanos: self.heap_wait_nanos.saturating_sub(earlier.heap_wait_nanos),
         }
     }
 

@@ -1,18 +1,21 @@
 //! Per-thread wait attribution: where did a session's latency go?
 //!
-//! Two thread-local nanosecond counters, cheap enough to keep on in
-//! release builds: time spent blocked in the lock manager, and time
-//! spent in `Wal::group_commit` (queueing for the batch leader plus the
-//! physical log force). Worker threads — which the multi-client driver
-//! maps 1:1 to clients — snapshot the counters around a span of work and
-//! report the delta, so throughput tables can say not just *how fast*
-//! but *what each client was waiting on*.
+//! Three thread-local nanosecond counters, cheap enough to keep on in
+//! release builds: time spent blocked in the lock manager, time spent
+//! in `Wal::group_commit` (queueing for the batch leader plus the
+//! physical log force), and time spent blocked on heap metadata locks
+//! (object-table shards, segment placement state). Worker threads —
+//! which the multi-client driver maps 1:1 to clients — snapshot the
+//! counters around a span of work and report the delta, so throughput
+//! tables can say not just *how fast* but *what each client was
+//! waiting on*.
 
 use std::cell::Cell;
 
 thread_local! {
     static LOCK_WAIT_NANOS: Cell<u64> = const { Cell::new(0) };
     static COMMIT_WAIT_NANOS: Cell<u64> = const { Cell::new(0) };
+    static HEAP_WAIT_NANOS: Cell<u64> = const { Cell::new(0) };
 }
 
 /// A point-in-time copy of this thread's wait counters.
@@ -24,6 +27,10 @@ pub struct WaitSnapshot {
     /// Nanoseconds spent in WAL group commit: waiting for a batch
     /// leader, the batching window, and the log force itself.
     pub commit_wait_nanos: u64,
+    /// Nanoseconds spent blocked on contended heap metadata locks
+    /// (object-table shards and segment placement state). Uncontended
+    /// acquisitions cost nothing here.
+    pub heap_wait_nanos: u64,
 }
 
 impl WaitSnapshot {
@@ -32,6 +39,7 @@ impl WaitSnapshot {
         WaitSnapshot {
             lock_wait_nanos: self.lock_wait_nanos.saturating_sub(earlier.lock_wait_nanos),
             commit_wait_nanos: self.commit_wait_nanos.saturating_sub(earlier.commit_wait_nanos),
+            heap_wait_nanos: self.heap_wait_nanos.saturating_sub(earlier.heap_wait_nanos),
         }
     }
 }
@@ -41,6 +49,7 @@ pub fn snapshot() -> WaitSnapshot {
     WaitSnapshot {
         lock_wait_nanos: LOCK_WAIT_NANOS.with(|c| c.get()),
         commit_wait_nanos: COMMIT_WAIT_NANOS.with(|c| c.get()),
+        heap_wait_nanos: HEAP_WAIT_NANOS.with(|c| c.get()),
     }
 }
 
@@ -52,6 +61,10 @@ pub(crate) fn add_commit_wait(nanos: u64) {
     COMMIT_WAIT_NANOS.with(|c| c.set(c.get().saturating_add(nanos)));
 }
 
+pub(crate) fn add_heap_wait(nanos: u64) {
+    HEAP_WAIT_NANOS.with(|c| c.set(c.get().saturating_add(nanos)));
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -61,10 +74,12 @@ mod tests {
         let before = snapshot();
         add_lock_wait(100);
         add_commit_wait(40);
+        add_heap_wait(9);
         add_lock_wait(1);
         let d = snapshot().delta(&before);
         assert_eq!(d.lock_wait_nanos, 101);
         assert_eq!(d.commit_wait_nanos, 40);
+        assert_eq!(d.heap_wait_nanos, 9);
 
         // Another thread's counters are independent.
         let handle = std::thread::spawn(|| {
@@ -80,7 +95,7 @@ mod tests {
 
     #[test]
     fn delta_saturates() {
-        let a = WaitSnapshot { lock_wait_nanos: 10, commit_wait_nanos: 10 };
+        let a = WaitSnapshot { lock_wait_nanos: 10, commit_wait_nanos: 10, heap_wait_nanos: 10 };
         let b = WaitSnapshot::default();
         assert_eq!(b.delta(&a), WaitSnapshot::default());
     }

@@ -31,8 +31,25 @@ impl Fixture {
         let _w = lock_order::ranked(lock_order::WAL_WRITER, || self.writer.lock());
     }
 
+    /// Heap-shard inversion: a segment placement lock (32) held while
+    /// taking an object-table shard (30) — the mistake the sharded heap's
+    /// protocols are written to avoid (table shard first, then segment).
+    fn heap_shards_inverted(&self) {
+        let _s = lock_order::ranked(lock_order::HEAP_SEGMENT, || self.place.lock());
+        let _t = lock_order::ranked(lock_order::HEAP_TABLE, || self.table.lock());
+    }
+
+    /// Heap quiesce inversion: taking the heap's global shard (28) while
+    /// already inside a segment (32) would deadlock against the
+    /// checkpoint quiesce.
+    fn heap_global_inverted(&self) {
+        let _s = lock_order::ranked(lock_order::HEAP_SEGMENT, || self.place.lock());
+        let _g = lock_order::ranked(lock_order::HEAP_GLOBAL, || self.global.read());
+    }
+
     /// Correctly ordered nesting: must NOT be flagged.
     fn well_ordered(&self) {
+        let _g = lock_order::ranked(lock_order::HEAP_GLOBAL, || self.global.read());
         let _t = lock_order::ranked(lock_order::HEAP_TABLE, || self.table.lock());
         let _p = lock_order::ranked(lock_order::BUFFER_POOL, || self.pool.lock());
     }

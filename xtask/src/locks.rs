@@ -679,19 +679,48 @@ mod tests {
     #[test]
     fn fixture_well_ordered_and_waived_sites_are_not_flagged() {
         let findings = analyze(&[load_fixture("lock_nesting.rs")]);
-        // well_ordered: HEAP_TABLE then BUFFER_POOL increases rank.
+        // well_ordered: HEAP_GLOBAL, HEAP_TABLE, then BUFFER_POOL all
+        // increase rank.
         assert!(
             !findings.iter().any(|f| f.pass == "lock-order"
                 && f.msg.starts_with("acquires buffer-pool frame table")
-                && f.msg.contains("heap object table (rank 30)")),
+                && f.msg.contains("heap object-table shard (rank 30)")),
             "correctly ordered nesting must not be flagged"
+        );
+        assert!(
+            !findings.iter().any(|f| f.pass == "lock-order"
+                && f.msg.starts_with("acquires heap object-table shard")
+                && f.msg.contains("heap global shard (quiesce / segment roster) (rank 28)")),
+            "global shard before a table shard is the documented order"
         );
         // waived: the inversion on the marked line is suppressed.
         assert!(
-            !findings
-                .iter()
-                .any(|f| f.pass == "lock-order" && f.msg.starts_with("acquires heap object table")),
+            !findings.iter().any(|f| f.pass == "lock-order"
+                && f.msg.starts_with("acquires heap object-table shard")
+                && f.msg.contains("buffer-pool frame table (rank 40)")),
             "allow(lock_order) marker must suppress the per-edge finding"
+        );
+    }
+
+    #[test]
+    fn fixture_heap_shard_inversions_are_flagged() {
+        // The two heap-specific seeded inversions: a table shard taken
+        // under a segment lock, and the global quiesce shard taken under
+        // a segment lock. Both must be flagged with the sharded heap's
+        // rank names so a regression in the rank table (or the rules)
+        // cannot silently stop covering the new locks.
+        let findings = analyze(&[load_fixture("lock_nesting.rs")]);
+        assert!(
+            findings.iter().any(|f| f.pass == "lock-order"
+                && f.msg.contains("heap object-table shard (rank 30)")
+                && f.msg.contains("heap segment placement state (rank 32)")),
+            "HEAP_SEGMENT -> HEAP_TABLE inversion must be flagged"
+        );
+        assert!(
+            findings.iter().any(|f| f.pass == "lock-order"
+                && f.msg.contains("heap global shard (quiesce / segment roster) (rank 28)")
+                && f.msg.contains("heap segment placement state (rank 32)")),
+            "HEAP_SEGMENT -> HEAP_GLOBAL inversion must be flagged"
         );
     }
 

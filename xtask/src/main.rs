@@ -55,7 +55,7 @@ const PANIC_CRATES: &[&str] = &["storage", "labbase", "workflow", "core"];
 /// expressions may not exceed these budgets. Lower freely; raising one
 /// means a new unchecked index went in and needs a reviewer's eyes.
 const INDEX_BUDGETS: &[(&str, u32)] = &[
-    ("storage", 49),
+    ("storage", 48),
     ("labbase", 16),
     ("workflow", 0),
     ("core", 18),

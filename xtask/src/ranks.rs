@@ -16,7 +16,9 @@ pub const RANK_CONSTS: &[(&str, u16, &str)] = &[
     ("ENGINE_ACTIVE", 10, "engine active-transaction table"),
     ("LOCK_SHARD", 20, "lock-manager shard"),
     ("LOCK_HELD", 25, "lock-manager held-locks map"),
-    ("HEAP_TABLE", 30, "heap object table"),
+    ("HEAP_GLOBAL", 28, "heap global shard (quiesce / segment roster)"),
+    ("HEAP_TABLE", 30, "heap object-table shard"),
+    ("HEAP_SEGMENT", 32, "heap segment placement state"),
     ("BUFFER_POOL", 40, "buffer-pool frame table"),
     ("PAGE_FILE", 45, "page file handle"),
     ("WAL_WRITER", 50, "WAL append buffer"),
@@ -84,6 +86,12 @@ pub fn rules() -> Vec<LockRule> {
     use RuleKind::*;
     vec![
         // -- storage: rank-wrapping helpers ------------------------------
+        // The heap's oid-keyed shard helpers (`table_read(oid)`,
+        // `table_write(oid)`) and `seg_lock(&g, idx)` take arguments, so
+        // they resolve through the name-based call graph rather than a
+        // Helper rule; only the zero-arg global-shard helpers are listed.
+        LockRule { crate_dir: "storage", kind: Helper("global_read"), rank: 28 },
+        LockRule { crate_dir: "storage", kind: Helper("global_write"), rank: 28 },
         LockRule { crate_dir: "storage", kind: Helper("table_read"), rank: 30 },
         LockRule { crate_dir: "storage", kind: Helper("table_write"), rank: 30 },
         LockRule { crate_dir: "storage", kind: Helper("pool_lock"), rank: 40 },
