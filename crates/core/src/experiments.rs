@@ -27,7 +27,7 @@ pub struct ExperimentReport {
 }
 
 /// All experiment ids, in DESIGN.md order.
-pub const ALL_IDS: [&str; 12] = [
+pub const ALL_IDS: [&str; 13] = [
     "fig1-schema",
     "tab1-storage-schema",
     "figB-workflow-graph",
@@ -40,10 +40,15 @@ pub const ALL_IDS: [&str; 12] = [
     "abl-recovery",
     "abl-multiclient",
     "abl-scrub",
+    "abl-snapshot",
 ];
 
 /// Client counts swept by `abl-multiclient`.
 pub const MULTICLIENT_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Writer clients driven against the analytical scanner in
+/// `abl-snapshot`.
+pub const SNAPSHOT_WRITERS: usize = 4;
 
 /// The build intervals of the Section-10 tables.
 pub const BUILD_INTERVALS: [f64; 4] = [0.5, 1.0, 1.5, 2.0];
@@ -208,6 +213,18 @@ pub fn run(id: &str, cfg: &BenchConfig, work_dir: &Path) -> Result<ExperimentRep
                 json,
             })
         }
+        "abl-snapshot" => {
+            let points = runner::run_snapshot(cfg, SNAPSHOT_WRITERS, work_dir)?;
+            let text = report::snapshot_table(&points);
+            let json =
+                serde_json::to_value(&points).map_err(|e| BenchError::Config(e.to_string()))?;
+            Ok(ExperimentReport {
+                id: "abl-snapshot",
+                title: "Ablation: snapshot scans vs writer throughput (MVCC read path)",
+                text,
+                json,
+            })
+        }
         other => Err(BenchError::Config(format!(
             "unknown experiment '{other}'; known: {}",
             ALL_IDS.join(", ")
@@ -238,7 +255,7 @@ mod tests {
 
     #[test]
     fn ids_list_is_consistent() {
-        assert_eq!(ALL_IDS.len(), 12);
+        assert_eq!(ALL_IDS.len(), 13);
         let cfg = BenchConfig::smoke();
         // Every listed id is at least recognized (structural ones run;
         // the heavy ones are exercised by integration tests / harness).

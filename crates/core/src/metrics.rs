@@ -118,6 +118,13 @@ pub struct ClientRow {
     /// Milliseconds this client's thread spent blocked on heap metadata
     /// locks (object-table shards, segment placement state).
     pub heap_wait_ms: f64,
+    /// Times this client's thread actually parked on a lock-manager
+    /// shard condvar. Paired with `lock_wait_ms` it separates many
+    /// short sleeps from few long ones.
+    pub lock_condvar_waits: u64,
+    /// Milliseconds this client spent waiting on (or rebuilding) the
+    /// labbase material name index in `find_material`.
+    pub name_index_wait_ms: f64,
 }
 
 /// Meter capturing a measurement interval.

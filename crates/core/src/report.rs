@@ -14,7 +14,7 @@
 use crate::metrics::ResourceRow;
 use crate::runner::{
     BuildResult, ClusteringPoint, ConcurrencyPoint, EvolutionResult, MultiClientPoint,
-    QueryTiming, RecoveryPoint,
+    QueryTiming, RecoveryPoint, SnapshotPoint,
 };
 
 /// Thousands-separated integer, the paper's number style.
@@ -428,14 +428,14 @@ pub fn multiclient_table(points: &[MultiClientPoint]) -> String {
     if !attributed.is_empty() {
         out.push_str("\nWait attribution — per client, ms blocked\n");
         out.push_str(&format!(
-            "{:<12}{:>9}{:>9}{:>12}{:>12}{:>12}{:>12}{:>12}\n",
+            "{:<12}{:>9}{:>9}{:>12}{:>12}{:>12}{:>12}{:>12}{:>10}{:>10}\n",
             "version", "clients", "client", "commits", "retries", "lock wait", "commit wait",
-            "heap wait"
+            "heap wait", "cv waits", "name idx"
         ));
         for p in attributed {
             for r in &p.per_client {
                 out.push_str(&format!(
-                    "{:<12}{:>9}{:>9}{:>12}{:>12}{:>12.1}{:>12.1}{:>12.1}\n",
+                    "{:<12}{:>9}{:>9}{:>12}{:>12}{:>12.1}{:>12.1}{:>12.1}{:>10}{:>10.1}\n",
                     p.version,
                     p.clients,
                     r.client,
@@ -444,10 +444,62 @@ pub fn multiclient_table(points: &[MultiClientPoint]) -> String {
                     r.lock_wait_ms,
                     r.commit_wait_ms,
                     r.heap_wait_ms,
+                    commas(r.lock_condvar_waits),
+                    r.name_index_wait_ms,
                 ));
             }
         }
     }
+    out
+}
+
+/// The snapshot-scan ablation table (`abl-snapshot`): writer throughput
+/// with and without the concurrent full-history scanner, plus what the
+/// scanner saw (scans completed, rows visited, snapshot staleness) and
+/// what it cost (heap metadata blocking, which must be zero).
+pub fn snapshot_table(points: &[SnapshotPoint]) -> String {
+    let mut out = String::new();
+    out.push_str("Snapshot-scan ablation — writer throughput vs a concurrent analytical scan\n");
+    out.push_str(&format!(
+        "{:<12}{:>9}{:>12}{:>12}{:>9}{:>8}{:>14}{:>12}{:>12}{:>14}\n",
+        "version",
+        "writers",
+        "alone st/s",
+        "scan st/s",
+        "ratio",
+        "scans",
+        "rows read",
+        "stale mean",
+        "stale max",
+        "rd heap µs"
+    ));
+    for p in points {
+        if p.supported {
+            out.push_str(&format!(
+                "{:<12}{:>9}{:>12.0}{:>12.0}{:>9}{:>8}{:>14}{:>12.1}{:>12}{:>14}\n",
+                p.version,
+                p.writers,
+                p.steps_per_sec_alone,
+                p.steps_per_sec_scanned,
+                format!("{:.2}x", p.throughput_ratio),
+                commas(p.scans),
+                commas(p.rows_read),
+                p.mean_staleness,
+                commas(p.max_staleness),
+                commas(p.reader_heap_wait_nanos / 1_000),
+            ));
+        } else {
+            out.push_str(&format!(
+                "{:<12}{:>9}{:>12}{:>12}{:>9}{:>8}{:>14}{:>12}{:>12}{:>14}\n",
+                p.version, p.writers, "—", "—", "—", "—", "—", "—", "—", "single-user"
+            ));
+        }
+    }
+    out.push_str(
+        "\nstale mean/max: commits the pinned snapshot fell behind while one scan ran.\n\
+         rd heap µs: scanner time blocked on heap metadata locks — 0 means the read\n\
+         path is latch-free against the writers.\n",
+    );
     out
 }
 
@@ -617,6 +669,8 @@ mod tests {
             lock_wait_ms: 12.25,
             commit_wait_ms: 4.5,
             heap_wait_ms: 1.75,
+            lock_condvar_waits: 4321,
+            name_index_wait_ms: 6.5,
         }];
         let t = multiclient_table(&points);
         assert!(t.contains("2.50x"), "speedup row renders: {t}");
@@ -626,8 +680,50 @@ mod tests {
         assert!(t.contains("12.2") || t.contains("12.3"), "lock wait ms renders: {t}");
         assert!(t.contains("heap wait"), "heap wait column renders: {t}");
         assert!(t.contains("1.8") || t.contains("1.7"), "heap wait ms renders: {t}");
+        assert!(t.contains("cv waits"), "condvar wait column renders: {t}");
+        assert!(t.contains("4,321"), "condvar wait count renders: {t}");
+        assert!(t.contains("name idx"), "name index column renders: {t}");
+        assert!(t.contains("6.5"), "name index ms renders: {t}");
         assert!(t.contains("Heap contention"), "heap contention section renders: {t}");
         assert!(t.contains("230"), "blocked µs renders: {t}");
+    }
+
+    #[test]
+    fn snapshot_table_shape() {
+        let points = vec![
+            SnapshotPoint {
+                version: "OStore".into(),
+                writers: 4,
+                supported: true,
+                steps_per_sec_alone: 10000.0,
+                steps_per_sec_scanned: 9500.0,
+                throughput_ratio: 0.95,
+                scans: 12,
+                rows_read: 48000,
+                mean_staleness: 33.5,
+                max_staleness: 71,
+                reader_heap_wait_nanos: 0,
+            },
+            SnapshotPoint {
+                version: "Texas".into(),
+                writers: 4,
+                supported: false,
+                steps_per_sec_alone: 0.0,
+                steps_per_sec_scanned: 0.0,
+                throughput_ratio: 0.0,
+                scans: 0,
+                rows_read: 0,
+                mean_staleness: 0.0,
+                max_staleness: 0,
+                reader_heap_wait_nanos: 0,
+            },
+        ];
+        let t = snapshot_table(&points);
+        assert!(t.contains("0.95x"), "ratio renders: {t}");
+        assert!(t.contains("48,000"), "rows read renders: {t}");
+        assert!(t.contains("33.5"), "mean staleness renders: {t}");
+        assert!(t.contains("single-user"), "unsupported row renders: {t}");
+        assert!(t.contains("latch-free"), "legend renders: {t}");
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //! clustering ablation.
 
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -473,6 +474,33 @@ mod tests {
     }
 
     #[test]
+    fn smoke_snapshot_scan() {
+        let cfg = BenchConfig::smoke();
+        let dir = base("snap");
+        let points = run_snapshot(&cfg, 2, &dir).unwrap();
+        assert_eq!(points.len(), ServerVersion::ALL.len());
+        let mut concurrent = 0;
+        for p in &points {
+            assert_eq!(p.writers, 2);
+            if !p.supported {
+                continue;
+            }
+            concurrent += 1;
+            assert!(p.steps_per_sec_alone > 0.0, "{}: baseline ran", p.version);
+            assert!(p.steps_per_sec_scanned > 0.0, "{}: scanned phase ran", p.version);
+            assert!(p.scans >= 1, "{}: the scanner completed at least one pass", p.version);
+            assert!(p.rows_read > 0, "{}: scans visited history rows", p.version);
+            assert_eq!(
+                p.reader_heap_wait_nanos, 0,
+                "{}: snapshot reads must not block on heap metadata locks",
+                p.version
+            );
+        }
+        assert!(concurrent >= 2, "both OStore variants run the ablation");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn smoke_clustering_two_pools() {
         let cfg = BenchConfig::smoke();
         let dir = base("clust");
@@ -755,6 +783,8 @@ fn multiclient_worker(db: &LabBase, mine: &[MaterialId], client: u64) -> Result<
         lock_wait_ms: 0.0,
         commit_wait_ms: 0.0,
         heap_wait_ms: 0.0,
+        lock_condvar_waits: 0,
+        name_index_wait_ms: 0.0,
     };
     // Wait attribution: the worker thread maps 1:1 to the client, so the
     // thread-local counters' delta over the loop is this client's share.
@@ -811,6 +841,8 @@ fn multiclient_worker(db: &LabBase, mine: &[MaterialId], client: u64) -> Result<
     row.lock_wait_ms = waits.lock_wait_nanos as f64 / 1e6;
     row.commit_wait_ms = waits.commit_wait_nanos as f64 / 1e6;
     row.heap_wait_ms = waits.heap_wait_nanos as f64 / 1e6;
+    row.lock_condvar_waits = waits.lock_condvar_waits;
+    row.name_index_wait_ms = waits.name_index_wait_nanos as f64 / 1e6;
     Ok(row)
 }
 
@@ -915,6 +947,241 @@ pub fn run_multiclient(
                 per_client,
             });
         }
+    }
+    Ok(out)
+}
+
+/// One point of the snapshot-scan ablation.
+#[derive(Debug, Clone, Serialize)]
+pub struct SnapshotPoint {
+    /// Version name.
+    pub version: String,
+    /// Concurrent writer clients.
+    pub writers: usize,
+    /// Whether the backend supports concurrent transactions at all.
+    pub supported: bool,
+    /// Writer throughput with no scanner running (steps/sec).
+    pub steps_per_sec_alone: f64,
+    /// Writer throughput with the analytical scanner running.
+    pub steps_per_sec_scanned: f64,
+    /// `steps_per_sec_scanned / steps_per_sec_alone` — how much of the
+    /// writers' throughput the concurrent scan costs.
+    pub throughput_ratio: f64,
+    /// Full-history scans the reader completed while writers ran.
+    pub scans: u64,
+    /// History entries visited across all scans.
+    pub rows_read: u64,
+    /// Mean commits that landed while a scan was running (snapshot
+    /// staleness at scan end, in commit-LSN units).
+    pub mean_staleness: f64,
+    /// Worst-case staleness across scans.
+    pub max_staleness: u64,
+    /// Nanoseconds the scanner thread spent blocked on contended heap
+    /// metadata locks. The MVCC read path never takes them, so this
+    /// should be exactly zero.
+    pub reader_heap_wait_nanos: u64,
+}
+
+/// What the snapshot scanner observed while the writers ran.
+#[derive(Debug, Default)]
+struct ScanStats {
+    scans: u64,
+    rows_read: u64,
+    staleness_sum: u64,
+    staleness_max: u64,
+    heap_wait_nanos: u64,
+}
+
+/// Run `writers` multi-client workers over disjoint slices of `mats`,
+/// returning total steps recorded and elapsed wall-clock seconds.
+fn drive_writers(db: &LabBase, mats: &[MaterialId], writers: usize) -> Result<(u64, f64)> {
+    let t0 = Instant::now();
+    let rows = std::thread::scope(|scope| -> Result<Vec<ClientRow>> {
+        let mut handles = Vec::new();
+        for c in 0..writers {
+            let mine: Vec<MaterialId> = mats.iter().skip(c).step_by(writers).copied().collect();
+            handles.push(scope.spawn(move || multiclient_worker(db, &mine, c as u64)));
+        }
+        let mut rows = Vec::with_capacity(writers);
+        for h in handles {
+            rows.push(
+                h.join().map_err(|_| BenchError::Config("writer thread panicked".into()))??,
+            );
+        }
+        Ok(rows)
+    })?;
+    Ok((rows.iter().map(|r| r.steps).sum(), t0.elapsed().as_secs_f64()))
+}
+
+/// Pause between analytical scans: the reader is paced like a periodic
+/// monitoring job rather than a busy loop, so the measured writer cost
+/// is MVCC interference (locks, version chains, cache pressure), not
+/// CPU starvation from a spinning thread on a small machine.
+const SCAN_PAUSE: Duration = Duration::from_millis(25);
+
+/// The analytical reader: repeatedly pin a snapshot and walk the full
+/// history of every material through it, until `stop` is set. Always
+/// completes at least one scan. Staleness is measured at scan end by
+/// comparing a fresh snapshot's LSN against the pinned one — i.e. how
+/// many commits the scan's view fell behind while it ran.
+fn snapshot_scanner(
+    db: &LabBase,
+    store: &Arc<dyn StorageManager>,
+    stop: &AtomicBool,
+    expected_materials: usize,
+) -> Result<ScanStats> {
+    let mut st = ScanStats::default();
+    let waits0 = labflow_storage::wait_snapshot();
+    loop {
+        let view = db.view()?;
+        let mats = view.class_extent("mc_clone", false)?;
+        // Writers only update; the population is fixed at prefill, so
+        // every consistent cut must see all of it.
+        if mats.len() != expected_materials {
+            return Err(BenchError::Config(format!(
+                "inconsistent snapshot scan: {} materials visible, expected {}",
+                mats.len(),
+                expected_materials
+            )));
+        }
+        let mut rows = 0u64;
+        for m in mats {
+            rows += view.history(m)?.len() as u64;
+        }
+        st.rows_read += rows;
+        st.scans += 1;
+        if let Some(lsn) = view.lsn() {
+            if lsn != u64::MAX {
+                let fresh = store.begin_snapshot()?;
+                if fresh.lsn != u64::MAX {
+                    let stale = fresh.lsn.saturating_sub(lsn);
+                    st.staleness_sum += stale;
+                    st.staleness_max = st.staleness_max.max(stale);
+                }
+                store.release_snapshot(fresh);
+            }
+        }
+        if stop.load(Ordering::Relaxed) {
+            break;
+        }
+        std::thread::sleep(SCAN_PAUSE);
+        if stop.load(Ordering::Relaxed) {
+            break;
+        }
+    }
+    st.heap_wait_nanos = labflow_storage::wait_snapshot().delta(&waits0).heap_wait_nanos;
+    Ok(st)
+}
+
+/// The snapshot-scan ablation (DESIGN.md `abl-snapshot`): `writers`
+/// clients drive the multi-client update loop while one analytical
+/// reader repeatedly scans the full history of the whole population
+/// through pinned snapshots. With version-chain reads the scan holds no
+/// locks and touches no heap metadata locks, so writer throughput
+/// should stay within a few percent of the scanner-free baseline.
+pub fn run_snapshot(cfg: &BenchConfig, writers: usize, base: &Path) -> Result<Vec<SnapshotPoint>> {
+    if writers == 0 {
+        return Err(BenchError::Config("writer count must be >= 1".into()));
+    }
+    let mut out = Vec::new();
+    for version in ServerVersion::ALL {
+        let dir = version_dir(base, version)?;
+        let opts = Options {
+            buffer_pages: cfg.buffer_pages,
+            group_commit_window: Some(MC_COMMIT_WINDOW),
+            ..Options::default()
+        };
+        let store = version.make_store_with(&dir, opts)?;
+        if !store.supports_concurrency() {
+            out.push(SnapshotPoint {
+                version: version.name().to_string(),
+                writers,
+                supported: false,
+                steps_per_sec_alone: 0.0,
+                steps_per_sec_scanned: 0.0,
+                throughput_ratio: 0.0,
+                scans: 0,
+                rows_read: 0,
+                mean_staleness: 0.0,
+                max_staleness: 0,
+                reader_heap_wait_nanos: 0,
+            });
+            continue;
+        }
+        let db = LabBase::create(store.clone())?;
+
+        // Prefill the material population (same shape as the
+        // multi-client ablation) and warm the shared indexes.
+        let total = cfg.clones_at(1.0).max(writers * MC_STEPS_PER_TXN);
+        let txn = db.begin()?;
+        db.define_material_class(txn, "mc_clone", None)?;
+        db.define_step_class(txn, "mc_track", attrs(&[("reading", AttrType::Real)]))?;
+        let mut mats = Vec::with_capacity(total);
+        for i in 0..total {
+            mats.push(db.create_material(txn, "mc_clone", &format!("mc-{i:06}"), 0)?);
+        }
+        db.commit(txn)?;
+        db.checkpoint()?;
+        let _ = db.count_in_state("queued")?;
+        let _ = db.find_material("mc-000000")?;
+
+        // Phase 1 — baseline: writers with no reader.
+        let (steps_alone, elapsed_alone) = drive_writers(&db, &mats, writers)?;
+
+        // Phase 2 — the same writer work with the scanner running.
+        let stop = AtomicBool::new(false);
+        let t0 = Instant::now();
+        let (writer_rows, scan) =
+            std::thread::scope(|scope| -> Result<(Vec<ClientRow>, ScanStats)> {
+                let scanner = {
+                    let (db, store, stop) = (&db, &store, &stop);
+                    scope.spawn(move || snapshot_scanner(db, store, stop, total))
+                };
+                let mut handles = Vec::new();
+                for c in 0..writers {
+                    let mine: Vec<MaterialId> =
+                        mats.iter().skip(c).step_by(writers).copied().collect();
+                    let db = &db;
+                    handles.push(scope.spawn(move || multiclient_worker(db, &mine, c as u64)));
+                }
+                // Collect writer results before `?`-ing so the scanner
+                // always sees the stop flag and the scope can close.
+                let results: Vec<_> = handles.into_iter().map(|h| h.join()).collect();
+                stop.store(true, Ordering::Relaxed);
+                let scan = scanner
+                    .join()
+                    .map_err(|_| BenchError::Config("scanner thread panicked".into()))??;
+                let mut rows = Vec::with_capacity(writers);
+                for r in results {
+                    rows.push(
+                        r.map_err(|_| BenchError::Config("writer thread panicked".into()))??,
+                    );
+                }
+                Ok((rows, scan))
+            })?;
+        let elapsed_scanned = t0.elapsed().as_secs_f64();
+        let steps_scanned: u64 = writer_rows.iter().map(|r| r.steps).sum();
+
+        let alone = if elapsed_alone > 0.0 { steps_alone as f64 / elapsed_alone } else { 0.0 };
+        let scanned =
+            if elapsed_scanned > 0.0 { steps_scanned as f64 / elapsed_scanned } else { 0.0 };
+        out.push(SnapshotPoint {
+            version: version.name().to_string(),
+            writers,
+            supported: true,
+            steps_per_sec_alone: alone,
+            steps_per_sec_scanned: scanned,
+            throughput_ratio: if alone > 0.0 { scanned / alone } else { 0.0 },
+            scans: scan.scans,
+            rows_read: scan.rows_read,
+            mean_staleness: if scan.scans > 0 {
+                scan.staleness_sum as f64 / scan.scans as f64
+            } else {
+                0.0
+            },
+            max_staleness: scan.staleness_max,
+            reader_heap_wait_nanos: scan.heap_wait_nanos,
+        });
     }
     Ok(out)
 }

@@ -246,8 +246,10 @@ mod tests {
         let a = db.create_material(t, "clone", "a", 0).unwrap();
         db.record_step(t, "determine_sequence", 10, &[a], vec![("quality".into(), Value::Real(0.5))])
             .unwrap();
-        // Sabotage: overwrite the recent cache with a bogus value by
-        // writing through the storage layer directly.
+        db.commit(t).unwrap();
+        // Sabotage in a second transaction: overwrite the (now committed)
+        // recent cache with a bogus value through the storage layer.
+        let t = db.begin().unwrap();
         let mrec = db.read_material_rec(a.oid()).unwrap();
         let mut cache = db.read_recent_rec(mrec.recent).unwrap();
         cache.entries[0].value = Value::Real(9.9);

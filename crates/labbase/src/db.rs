@@ -29,7 +29,7 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 
-use labflow_storage::{ClusterHint, Oid, SegmentId, StatsSnapshot, StorageManager, TxnId};
+use labflow_storage::{ClusterHint, Oid, SegmentId, Snapshot, StatsSnapshot, StorageManager, TxnId};
 
 use crate::error::{LabError, Result};
 use crate::ids::{ClassId, MaterialId, StepId, ValidTime};
@@ -105,7 +105,7 @@ impl SetsDir {
         w.finish()
     }
 
-    fn decode(data: &[u8]) -> Result<SetsDir> {
+    pub(crate) fn decode(data: &[u8]) -> Result<SetsDir> {
         let mut r = crate::enc::Reader::new(data);
         let n = r.u32()? as usize;
         let mut by_name = HashMap::with_capacity(n);
@@ -115,6 +115,26 @@ impl SetsDir {
         }
         Ok(SetsDir { by_name })
     }
+}
+
+/// How a record read resolves object visibility. Every internal read in
+/// LabBase is threaded through this so the same traversal code serves
+/// three access paths: the live committed state, a transaction's own
+/// uncommitted writes, and a pinned snapshot.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum Rd {
+    /// Latest committed state (what the storage manager's plain `read`
+    /// returns after the MVCC refactor).
+    Latest,
+    /// Through an open transaction: committed state plus the
+    /// transaction's own pending writes. Every mutation-path traversal
+    /// (history splicing, recent-cache maintenance, set rewrites) uses
+    /// this, because they must observe objects the same transaction
+    /// created moments earlier.
+    In(TxnId),
+    /// At a pinned snapshot LSN: a stable cut that never moves while
+    /// writers commit. Used by [`View`](crate::View).
+    At(Snapshot),
 }
 
 /// The LabBase database.
@@ -313,8 +333,26 @@ impl LabBase {
 
     // ---- record I/O helpers ------------------------------------------------
 
-    pub(crate) fn read_material_rec(&self, oid: Oid) -> Result<SmMaterial> {
-        let bytes = self.store.read(oid).map_err(|e| match e {
+    /// Raw bytes of `oid` under the visibility rule `rd`.
+    pub(crate) fn rd_bytes(&self, rd: Rd, oid: Oid) -> labflow_storage::Result<Vec<u8>> {
+        match rd {
+            Rd::Latest => self.store.read(oid),
+            Rd::In(txn) => self.store.read_for(txn, oid),
+            Rd::At(snap) => self.store.read_at(&snap, oid),
+        }
+    }
+
+    /// Whether `oid` exists under the visibility rule `rd`.
+    pub(crate) fn rd_exists(&self, rd: Rd, oid: Oid) -> bool {
+        match rd {
+            Rd::Latest => self.store.exists(oid),
+            Rd::In(txn) => self.store.exists_for(txn, oid),
+            Rd::At(snap) => self.store.exists_at(&snap, oid),
+        }
+    }
+
+    pub(crate) fn read_material_rec_rd(&self, rd: Rd, oid: Oid) -> Result<SmMaterial> {
+        let bytes = self.rd_bytes(rd, oid).map_err(|e| match e {
             labflow_storage::StorageError::UnknownObject(o) => {
                 LabError::UnknownMaterial(MaterialId::from(o))
             }
@@ -323,12 +361,16 @@ impl LabBase {
         SmMaterial::decode(&bytes)
     }
 
+    pub(crate) fn read_material_rec(&self, oid: Oid) -> Result<SmMaterial> {
+        self.read_material_rec_rd(Rd::Latest, oid)
+    }
+
     pub(crate) fn write_material_rec(&self, txn: TxnId, oid: Oid, rec: &SmMaterial) -> Result<()> {
         Ok(self.store.update(txn, oid, &rec.encode())?)
     }
 
-    pub(crate) fn read_step_rec(&self, oid: Oid) -> Result<SmStep> {
-        let bytes = self.store.read(oid).map_err(|e| match e {
+    pub(crate) fn read_step_rec_rd(&self, rd: Rd, oid: Oid) -> Result<SmStep> {
+        let bytes = self.rd_bytes(rd, oid).map_err(|e| match e {
             labflow_storage::StorageError::UnknownObject(o) => {
                 LabError::UnknownStep(StepId::from(o))
             }
@@ -337,11 +379,20 @@ impl LabBase {
         SmStep::decode(&bytes)
     }
 
-    pub(crate) fn read_recent_rec(&self, oid: Oid) -> Result<RecentRecord> {
+    pub(crate) fn read_step_rec(&self, oid: Oid) -> Result<SmStep> {
+        self.read_step_rec_rd(Rd::Latest, oid)
+    }
+
+    pub(crate) fn read_recent_rec_rd(&self, rd: Rd, oid: Oid) -> Result<RecentRecord> {
         if oid.is_nil() {
             return Ok(RecentRecord::default());
         }
-        RecentRecord::decode(&self.store.read(oid)?)
+        RecentRecord::decode(&self.rd_bytes(rd, oid)?)
+    }
+
+    #[cfg(test)]
+    pub(crate) fn read_recent_rec(&self, oid: Oid) -> Result<RecentRecord> {
+        self.read_recent_rec_rd(Rd::Latest, oid)
     }
 
     pub(crate) fn persist_sets_dir(&self, txn: TxnId) -> Result<()> {
@@ -433,9 +484,11 @@ impl LabBase {
             ver.validate(class, &attrs)?;
             (sc.id, ver.version)
         };
-        // Verify the materials exist before touching anything.
+        // Verify the materials exist before touching anything. Materials
+        // created earlier in this same transaction are still pending, so
+        // the check must go through the transaction's own view.
         for m in materials {
-            if !self.store.exists(m.oid()) {
+            if !self.rd_exists(Rd::In(txn), m.oid()) {
                 return Err(LabError::UnknownMaterial(*m));
             }
         }

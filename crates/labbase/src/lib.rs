@@ -68,6 +68,7 @@ pub mod smrecord;
 mod sets;
 mod state;
 mod value;
+mod view;
 
 pub use check::IntegrityReport;
 pub use db::{LabBase, MaterialInfo, StepInfo, SEG_CATALOG, SEG_HISTORY, SEG_MATERIAL, SEG_STEP};
@@ -77,3 +78,4 @@ pub use ids::{ClassId, MaterialId, StepId, ValidTime};
 pub use recent::Recent;
 pub use session::Session;
 pub use value::{AttrType, Value};
+pub use view::View;

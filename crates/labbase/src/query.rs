@@ -6,7 +6,7 @@ use std::collections::{HashMap, HashSet};
 
 use labflow_storage::Oid;
 
-use crate::db::LabBase;
+use crate::db::{LabBase, Rd};
 use crate::error::Result;
 use crate::ids::{ClassId, MaterialId, ValidTime};
 use crate::value::Value;
@@ -32,12 +32,20 @@ impl LabBase {
         };
         let mut out = Vec::new();
         for (_, head) in classes {
-            let mut cur = head;
-            while !cur.is_nil() {
-                let rec = self.read_material_rec(cur)?;
-                out.push(MaterialId::from(cur));
-                cur = rec.ext_next;
-            }
+            out.extend(self.walk_extent(Rd::Latest, head)?);
+        }
+        Ok(out)
+    }
+
+    /// Walk one extent list from `head`, reading material records through
+    /// `rd` so snapshot views traverse a consistent cut.
+    pub(crate) fn walk_extent(&self, rd: Rd, head: Oid) -> Result<Vec<MaterialId>> {
+        let mut out = Vec::new();
+        let mut cur = head;
+        while !cur.is_nil() {
+            let rec = self.read_material_rec_rd(rd, cur)?;
+            out.push(MaterialId::from(cur));
+            cur = rec.ext_next;
         }
         Ok(out)
     }
@@ -99,17 +107,26 @@ impl LabBase {
                 return Ok(index.get(name).map(|&o| MaterialId::from(o)));
             }
         }
-        // Build the index from every extent.
+        // Build the index from every extent of the committed catalog —
+        // the live catalog's heads can point at materials still pending
+        // in open transactions, which a committed-state scan cannot
+        // read. (Creations after the build keep the map fresh
+        // incrementally, so pending materials appear once noted.)
+        // The scan can be long on a populated database, so charge it to
+        // the per-session wait profile.
+        let build_start = std::time::Instant::now();
         let mut map: HashMap<String, Oid> = HashMap::new();
-        let classes: Vec<String> = self.with_catalog(|c| {
-            c.material_classes().iter().map(|mc| mc.name.clone()).collect()
-        });
-        for class in classes {
-            for mat in self.class_extent(&class, false)? {
-                let rec = self.read_material_rec(mat.oid())?;
-                map.insert(rec.name, mat.oid());
+        let cat = crate::schema::Catalog::decode(&self.rd_bytes(Rd::Latest, self.catalog_oid)?)?;
+        for mc in cat.material_classes() {
+            let mut cur = mc.extent_head;
+            while !cur.is_nil() {
+                let rec = self.read_material_rec_rd(Rd::Latest, cur)?;
+                let next = rec.ext_next;
+                map.insert(rec.name, cur);
+                cur = next;
             }
         }
+        labflow_storage::add_name_index_wait(build_start.elapsed().as_nanos() as u64);
         let found = map.get(name).map(|&o| MaterialId::from(o));
         let mut index = self.name_index.write();
         // A racing builder (or a creation since the scan began) may have

@@ -11,13 +11,16 @@
 //! sessions' warm cache entries intact. This is what makes abort-and-
 //! retry affordable under multi-client lock contention.
 
-use labflow_storage::{wait_snapshot, Oid, TxnId, WaitSnapshot};
+use labflow_storage::{wait_snapshot, Oid, Snapshot, TxnId, WaitSnapshot};
 
 use crate::db::LabBase;
 use crate::error::Result;
+use crate::history::HistoryEntry;
 use crate::ids::{ClassId, MaterialId, StepId, ValidTime};
+use crate::recent::Recent;
 use crate::schema::AttrDef;
 use crate::value::Value;
+use crate::view::View;
 
 /// The in-memory cache entries one transaction has touched.
 #[derive(Default)]
@@ -43,17 +46,33 @@ pub(crate) struct Footprint {
 pub struct Session<'a> {
     db: &'a LabBase,
     txn: TxnId,
+    /// The snapshot pinned when the session began: the committed state
+    /// the session's transaction started from. Queries through
+    /// [`Session::view`] read this stable cut; released on
+    /// commit/abort/drop so version GC can move past it.
+    snap: Snapshot,
     footprint: Footprint,
     finished: bool,
     waits_at_begin: WaitSnapshot,
 }
 
 impl LabBase {
-    /// Begin a transaction wrapped in a footprint-tracking session.
+    /// Begin a transaction wrapped in a footprint-tracking session. Also
+    /// pins a snapshot of the committed state at session start, so the
+    /// session can run consistent reads against its starting point.
     pub fn session(&self) -> Result<Session<'_>> {
+        let txn = self.store.begin()?;
+        let snap = match self.store.begin_snapshot() {
+            Ok(s) => s,
+            Err(e) => {
+                let _ = self.store.abort(txn);
+                return Err(e.into());
+            }
+        };
         Ok(Session {
             db: self,
-            txn: self.store.begin()?,
+            txn,
+            snap,
             footprint: Footprint::default(),
             finished: false,
             waits_at_begin: wait_snapshot(),
@@ -70,6 +89,54 @@ impl<'a> Session<'a> {
     /// The database this session runs against.
     pub fn db(&self) -> &'a LabBase {
         self.db
+    }
+
+    /// The snapshot pinned when this session began.
+    pub fn snapshot(&self) -> Snapshot {
+        self.snap
+    }
+
+    /// A read view at the session's begin snapshot: the committed state
+    /// the transaction started from, unaffected by concurrent commits
+    /// *and* by this session's own uncommitted writes. The view borrows
+    /// the session's snapshot; the pin outlives the view and is released
+    /// with the session.
+    pub fn view(&self) -> Result<View<'a>> {
+        self.db.view_at(self.snap)
+    }
+
+    // ---- own-writes reads --------------------------------------------------
+    //
+    // Conveniences that read through the open transaction, so the
+    // session observes objects it created or modified moments earlier.
+
+    /// The material's history as this session sees it (see
+    /// [`LabBase::history_in`]).
+    pub fn history(&self, mat: MaterialId) -> Result<Vec<HistoryEntry>> {
+        self.db.history_in(self.txn, mat)
+    }
+
+    /// Most-recent value of `attr` as this session sees it (see
+    /// [`LabBase::recent_in`]).
+    pub fn recent(&self, mat: MaterialId, attr: &str) -> Result<Option<Recent>> {
+        self.db.recent_in(self.txn, mat, attr)
+    }
+
+    /// The material's workflow state as this session sees it (see
+    /// [`LabBase::state_of_in`]).
+    pub fn state_of(&self, mat: MaterialId) -> Result<Option<String>> {
+        self.db.state_of_in(self.txn, mat)
+    }
+
+    /// Whether the material exists as this session sees it.
+    pub fn material_exists(&self, mat: MaterialId) -> bool {
+        self.db.view_in(self.txn).material_exists(mat)
+    }
+
+    /// The set's members as this session sees it (see
+    /// [`LabBase::set_members_in`]).
+    pub fn set_members(&self, name: &str) -> Result<Vec<MaterialId>> {
+        self.db.set_members_in(self.txn, name)
     }
 
     /// Where this session's latency has gone so far: nanoseconds the
@@ -160,6 +227,7 @@ impl<'a> Session<'a> {
     /// cache updates are correct as applied.
     pub fn commit(mut self) -> Result<()> {
         self.finished = true;
+        self.db.store.release_snapshot(self.snap);
         self.db.commit(self.txn)
     }
 
@@ -167,6 +235,7 @@ impl<'a> Session<'a> {
     /// footprint instead of invalidating the shared indexes.
     pub fn abort(mut self) -> Result<()> {
         self.finished = true;
+        self.db.store.release_snapshot(self.snap);
         let fp = std::mem::take(&mut self.footprint);
         self.db.abort_with_footprint(self.txn, &fp)
     }
@@ -175,6 +244,7 @@ impl<'a> Session<'a> {
 impl Drop for Session<'_> {
     fn drop(&mut self) {
         if !self.finished {
+            self.db.store.release_snapshot(self.snap);
             let fp = std::mem::take(&mut self.footprint);
             let _ = self.db.abort_with_footprint(self.txn, &fp);
         }

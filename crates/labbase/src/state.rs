@@ -13,7 +13,7 @@ use parking_lot::{Mutex, RwLock};
 
 use labflow_storage::{Oid, TxnId};
 
-use crate::db::LabBase;
+use crate::db::{LabBase, Rd};
 use crate::error::Result;
 use crate::ids::{MaterialId, ValidTime};
 
@@ -174,6 +174,10 @@ impl StateIndex {
 
 impl LabBase {
     fn ensure_state_index(&self) -> Result<()> {
+        self.ensure_state_index_rd(Rd::Latest)
+    }
+
+    fn ensure_state_index_rd(&self, rd: Rd) -> Result<()> {
         if self.state_index.is_built() {
             return Ok(());
         }
@@ -182,16 +186,20 @@ impl LabBase {
         if self.state_index.is_built() {
             return Ok(());
         }
-        // Scan every class extent from storage truth.
-        let heads: Vec<Oid> = self.with_catalog(|c| {
-            c.material_classes().iter().map(|mc| mc.extent_head).collect()
-        });
+        // Scan every class extent from the builder's own consistent
+        // view: the committed catalog for `Latest`, the transaction's
+        // view for `In(txn)`. The live in-memory catalog can run ahead
+        // of both (extent heads prepended by still-open transactions),
+        // and those heads would not be readable here.
+        let cat = crate::schema::Catalog::decode(&self.rd_bytes(rd, self.catalog_oid)?)?;
+        let heads: Vec<Oid> =
+            cat.material_classes().iter().map(|mc| mc.extent_head).collect();
         let mut by_state: HashMap<String, BTreeSet<u64>> = HashMap::new();
         let mut stateless = BTreeSet::new();
         for head in heads {
             let mut cur = head;
             while !cur.is_nil() {
-                let rec = self.read_material_rec(cur)?;
+                let rec = self.read_material_rec_rd(rd, cur)?;
                 if rec.state.is_empty() {
                     stateless.insert(cur.raw());
                 } else {
@@ -213,7 +221,7 @@ impl LabBase {
         state: &str,
         vt: ValidTime,
     ) -> Result<(Option<String>, Option<String>)> {
-        let mut rec = self.read_material_rec(mat.oid())?;
+        let mut rec = self.read_material_rec_rd(Rd::In(txn), mat.oid())?;
         let old = if rec.state.is_empty() { None } else { Some(rec.state.clone()) };
         rec.state = state.to_string();
         rec.state_time = vt;
@@ -242,9 +250,19 @@ impl LabBase {
         self.set_state(txn, mat, "", vt)
     }
 
-    /// The material's current state, if any.
+    /// The material's current state, if any (committed state).
     pub fn state_of(&self, mat: MaterialId) -> Result<Option<String>> {
-        let rec = self.read_material_rec(mat.oid())?;
+        self.state_of_rd(Rd::Latest, mat)
+    }
+
+    /// The material's current state as seen by the open transaction
+    /// `txn`, including its own uncommitted transitions.
+    pub fn state_of_in(&self, txn: TxnId, mat: MaterialId) -> Result<Option<String>> {
+        self.state_of_rd(Rd::In(txn), mat)
+    }
+
+    pub(crate) fn state_of_rd(&self, rd: Rd, mat: MaterialId) -> Result<Option<String>> {
+        let rec = self.read_material_rec_rd(rd, mat.oid())?;
         Ok(if rec.state.is_empty() { None } else { Some(rec.state) })
     }
 
@@ -256,9 +274,24 @@ impl LabBase {
         Ok(self.state_index.members_of(state, limit))
     }
 
+    /// [`in_state`](Self::in_state) from inside an open transaction: if
+    /// the lazy index build is forced here, it scans through `txn`'s
+    /// view so the transaction's own uncommitted materials are indexed.
+    pub fn in_state_in(&self, txn: TxnId, state: &str, limit: usize) -> Result<Vec<MaterialId>> {
+        self.ensure_state_index_rd(Rd::In(txn))?;
+        Ok(self.state_index.members_of(state, limit))
+    }
+
     /// Number of materials currently in `state`.
     pub fn count_in_state(&self, state: &str) -> Result<usize> {
         self.ensure_state_index()?;
+        Ok(self.state_index.count_of(state))
+    }
+
+    /// [`count_in_state`](Self::count_in_state) from inside an open
+    /// transaction (see [`in_state_in`](Self::in_state_in)).
+    pub fn count_in_state_in(&self, txn: TxnId, state: &str) -> Result<usize> {
+        self.ensure_state_index_rd(Rd::In(txn))?;
         Ok(self.state_index.count_of(state))
     }
 
@@ -266,6 +299,13 @@ impl LabBase {
     /// state name. (The paper's workflow-monitoring report.)
     pub fn state_census(&self) -> Result<Vec<(String, usize)>> {
         self.ensure_state_index()?;
+        Ok(self.state_index.census())
+    }
+
+    /// [`state_census`](Self::state_census) from inside an open
+    /// transaction (see [`in_state_in`](Self::in_state_in)).
+    pub fn state_census_in(&self, txn: TxnId) -> Result<Vec<(String, usize)>> {
+        self.ensure_state_index_rd(Rd::In(txn))?;
         Ok(self.state_index.census())
     }
 }

@@ -229,9 +229,11 @@ proptest! {
                 prop_assert_eq!(removed, model.contains(&m));
                 model.retain(|&x| x != m);
             }
-            prop_assert_eq!(&db.set_members("s").unwrap(), &model);
+            // Mid-transaction, so read through the txn's own view.
+            prop_assert_eq!(&db.set_members_in(t, "s").unwrap(), &model);
         }
         db.commit(t).unwrap();
+        prop_assert_eq!(&db.set_members("s").unwrap(), &model);
         let _ = mats;
     }
 }

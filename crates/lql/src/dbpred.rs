@@ -79,11 +79,16 @@ pub(crate) fn try_db(
     args: &[Term],
 ) -> Result<Option<Tuples>> {
     let db = session.db();
+    // Record reads go through the session's pinned view so one query
+    // evaluates against one consistent cut; index-backed lookups
+    // (`in_state`, `state_count`, `find_material`, set-name listing)
+    // stay on the live in-memory indexes.
+    let view = session.view()?;
     match (name, arity) {
         ("material", 1) => match oid(&args[0]) {
             Some(o) => {
-                if db.material_exists(MaterialId::from(o))
-                    && db.material(MaterialId::from(o)).is_ok()
+                if view.material_exists(MaterialId::from(o))
+                    && view.material(MaterialId::from(o)).is_ok()
                 {
                     succeed(args)
                 } else {
@@ -92,11 +97,11 @@ pub(crate) fn try_db(
             }
             None => {
                 let mut tuples = Vec::new();
-                let classes: Vec<String> = db.with_catalog(|c| {
+                let classes: Vec<String> = view.with_catalog(|c| {
                     c.material_classes().iter().map(|mc| mc.name.clone()).collect()
                 });
                 for class in classes {
-                    for m in db.class_extent(&class, false)? {
+                    for m in view.class_extent(&class, false)? {
                         tuples.push(vec![Term::Oid(m.oid())]);
                     }
                 }
@@ -107,21 +112,32 @@ pub(crate) fn try_db(
             let m = oid(&args[0]);
             let s = text(&args[1]);
             match (m, s) {
-                (Some(m), _) => match db.state_of(MaterialId::from(m))? {
+                (Some(m), _) => match view.state_of(MaterialId::from(m))? {
                     Some(state) => ok(vec![vec![Term::Oid(m), Term::Atom(state)]]),
                     None => fail(),
                 },
                 (None, Some(state)) => {
-                    let mats = db.in_state(state, usize::MAX)?;
+                    let mats = match session.txn() {
+                        Some(t) => db.in_state_in(t, state, usize::MAX)?,
+                        None => db.in_state(state, usize::MAX)?,
+                    };
                     ok(mats
                         .into_iter()
                         .map(|m| vec![Term::Oid(m.oid()), Term::Atom(state.to_string())])
                         .collect())
                 }
                 (None, None) => {
+                    let census = match session.txn() {
+                        Some(t) => db.state_census_in(t)?,
+                        None => db.state_census()?,
+                    };
                     let mut tuples = Vec::new();
-                    for (state, _) in db.state_census()? {
-                        for m in db.in_state(&state, usize::MAX)? {
+                    for (state, _) in census {
+                        let mats = match session.txn() {
+                            Some(t) => db.in_state_in(t, &state, usize::MAX)?,
+                            None => db.in_state(&state, usize::MAX)?,
+                        };
+                        for m in mats {
                             tuples.push(vec![Term::Oid(m.oid()), Term::Atom(state.clone())]);
                         }
                     }
@@ -133,7 +149,10 @@ pub(crate) fn try_db(
             let state = text(&args[0]).ok_or_else(|| {
                 LqlError::Eval("state_count/2: state must be bound".into())
             })?;
-            let n = db.count_in_state(state)? as i64;
+            let n = match session.txn() {
+                Some(t) => db.count_in_state_in(t, state)?,
+                None => db.count_in_state(state)?,
+            } as i64;
             ok(vec![vec![Term::Atom(state.to_string()), Term::Int(n)]])
         }
         ("recent", 3) => {
@@ -142,7 +161,7 @@ pub(crate) fn try_db(
             })?;
             let mid = MaterialId::from(m);
             match text(&args[1]) {
-                Some(attr) => match db.recent(mid, attr)? {
+                Some(attr) => match view.recent(mid, attr)? {
                     Some(r) => ok(vec![vec![
                         Term::Oid(m),
                         Term::Atom(attr.to_string()),
@@ -151,7 +170,7 @@ pub(crate) fn try_db(
                     None => fail(),
                 },
                 None => {
-                    let all = db.recent_all(mid)?;
+                    let all = view.recent_all(mid)?;
                     ok(all
                         .into_iter()
                         .map(|(attr, r)| {
@@ -168,7 +187,7 @@ pub(crate) fn try_db(
                 .ok_or_else(|| LqlError::Eval("recent_at/4: attribute must be bound".into()))?;
             let at = int(&args[2])
                 .ok_or_else(|| LqlError::Eval("recent_at/4: time must be bound".into()))?;
-            match db.as_of(MaterialId::from(m), attr, at)? {
+            match view.as_of(MaterialId::from(m), attr, at)? {
                 Some((_t, v)) => ok(vec![vec![
                     Term::Oid(m),
                     Term::Atom(attr.to_string()),
@@ -186,7 +205,7 @@ pub(crate) fn try_db(
                 .ok_or_else(|| LqlError::Eval("history_between/5: from must be bound".into()))?;
             let to = int(&args[2])
                 .ok_or_else(|| LqlError::Eval("history_between/5: to must be bound".into()))?;
-            let entries = db.history_between(MaterialId::from(m), from, to)?;
+            let entries = view.history_between(MaterialId::from(m), from, to)?;
             ok(entries
                 .into_iter()
                 .map(|e| {
@@ -204,7 +223,7 @@ pub(crate) fn try_db(
             let m = oid(&args[0]).ok_or_else(|| {
                 LqlError::Eval("history_event/3: material must be bound".into())
             })?;
-            let entries = db.history(MaterialId::from(m))?;
+            let entries = view.history(MaterialId::from(m))?;
             ok(entries
                 .into_iter()
                 .map(|e| vec![Term::Oid(m), Term::Oid(e.step.oid()), Term::Int(e.valid_time)])
@@ -213,7 +232,7 @@ pub(crate) fn try_db(
         ("attr", 3) => {
             let s = oid(&args[0])
                 .ok_or_else(|| LqlError::Eval("attr/3: step must be bound".into()))?;
-            let info = db.step(StepId::from(s))?;
+            let info = view.step(StepId::from(s))?;
             let tuples = info
                 .attrs
                 .iter()
@@ -224,7 +243,7 @@ pub(crate) fn try_db(
         }
         ("involves", 2) => {
             if let Some(s) = oid(&args[0]) {
-                let info = db.step(StepId::from(s))?;
+                let info = view.step(StepId::from(s))?;
                 return ok(info
                     .materials
                     .into_iter()
@@ -232,7 +251,7 @@ pub(crate) fn try_db(
                     .collect());
             }
             if let Some(m) = oid(&args[1]) {
-                let entries = db.history(MaterialId::from(m))?;
+                let entries = view.history(MaterialId::from(m))?;
                 return ok(entries
                     .into_iter()
                     .map(|e| vec![Term::Oid(e.step.oid()), Term::Oid(m)])
@@ -243,16 +262,16 @@ pub(crate) fn try_db(
         ("valid_time", 2) => {
             let s = oid(&args[0])
                 .ok_or_else(|| LqlError::Eval("valid_time/2: step must be bound".into()))?;
-            let info = db.step(StepId::from(s))?;
+            let info = view.step(StepId::from(s))?;
             ok(vec![vec![Term::Oid(s), Term::Int(info.valid_time)]])
         }
         ("class_of", 2) => {
             if let Some(m) = oid(&args[0]) {
-                let info = db.material(MaterialId::from(m))?;
+                let info = view.material(MaterialId::from(m))?;
                 return ok(vec![vec![Term::Oid(m), Term::Atom(info.class)]]);
             }
             if let Some(class) = text(&args[1]) {
-                let mats = db.class_extent(class, true)?;
+                let mats = view.class_extent(class, true)?;
                 return ok(mats
                     .into_iter()
                     .map(|m| vec![Term::Oid(m.oid()), Term::Atom(class.to_string())])
@@ -262,7 +281,7 @@ pub(crate) fn try_db(
         }
         ("material_name", 2) => {
             if let Some(m) = oid(&args[0]) {
-                let info = db.material(MaterialId::from(m))?;
+                let info = view.material(MaterialId::from(m))?;
                 return ok(vec![vec![Term::Oid(m), Term::Str(info.name)]]);
             }
             if let Some(n) = text(&args[1]) {
@@ -273,12 +292,12 @@ pub(crate) fn try_db(
             }
             // Both free: enumerate every material with its name.
             let mut tuples = Vec::new();
-            let classes: Vec<String> = db.with_catalog(|c| {
+            let classes: Vec<String> = view.with_catalog(|c| {
                 c.material_classes().iter().map(|mc| mc.name.clone()).collect()
             });
             for class in classes {
-                for m in db.class_extent(&class, false)? {
-                    let info = db.material(m)?;
+                for m in view.class_extent(&class, false)? {
+                    let info = view.material(m)?;
                     tuples.push(vec![Term::Oid(m.oid()), Term::Str(info.name)]);
                 }
             }
@@ -287,13 +306,13 @@ pub(crate) fn try_db(
         ("step_class", 2) => {
             let s = oid(&args[0])
                 .ok_or_else(|| LqlError::Eval("step_class/2: step must be bound".into()))?;
-            let info = db.step(StepId::from(s))?;
+            let info = view.step(StepId::from(s))?;
             ok(vec![vec![Term::Oid(s), Term::Atom(info.class)]])
         }
         ("in_set", 2) => {
             let set = text(&args[0])
                 .ok_or_else(|| LqlError::Eval("in_set/2: set name must be bound".into()))?;
-            match db.set_members(set) {
+            match view.set_members(set) {
                 Ok(members) => {
                     let tuples = members
                         .into_iter()
@@ -307,7 +326,7 @@ pub(crate) fn try_db(
             }
         }
         ("set_name", 1) => {
-            let names = db.set_names();
+            let names = view.set_names();
             ok(names.into_iter().map(|n| vec![Term::Atom(n)]).collect())
         }
 
@@ -366,7 +385,7 @@ pub(crate) fn try_db(
                 Material,
                 Step,
             }
-            let kind = session.db().with_catalog(|c| {
+            let kind = view.with_catalog(|c| {
                 if c.material_class(class_name).is_ok() {
                     Some(Kind::Material)
                 } else if c.step_class(class_name).is_ok() {
@@ -378,10 +397,10 @@ pub(crate) fn try_db(
             match kind {
                 Some(Kind::Material) => match oid(&args[0]) {
                     Some(o) => {
-                        let is = db
+                        let is = view
                             .material(MaterialId::from(o))
                             .map(|info| {
-                                db.with_catalog(|c| {
+                                view.with_catalog(|c| {
                                     c.material_class(class_name)
                                         .map(|target| c.is_a(info.class_id, target.id))
                                         .unwrap_or(false)
@@ -395,13 +414,13 @@ pub(crate) fn try_db(
                         }
                     }
                     None => {
-                        let mats = db.class_extent(class_name, true)?;
+                        let mats = view.class_extent(class_name, true)?;
                         ok(mats.into_iter().map(|m| vec![Term::Oid(m.oid())]).collect())
                     }
                 },
                 Some(Kind::Step) => match oid(&args[0]) {
                     Some(o) => {
-                        let is = db
+                        let is = view
                             .step(StepId::from(o))
                             .map(|info| info.class == class_name)
                             .unwrap_or(false);
@@ -440,7 +459,9 @@ fn apply_assert(session: &Session<'_>, fact: &Term, assert: bool) -> Result<Opti
             } else {
                 // retract(state(M,S)) fails unless M is currently in S —
                 // this is how the paper's transition rules guard moves.
-                match db.state_of(mid)? {
+                // Read through the transaction so a transition made
+                // earlier in the same update rule is observed.
+                match db.state_of_in(txn, mid)? {
                     Some(cur) if cur == s => {
                         db.clear_state(txn, mid, now)?;
                         succeed(std::slice::from_ref(fact))

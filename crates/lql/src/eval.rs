@@ -9,7 +9,7 @@
 
 use std::cell::Cell;
 
-use labbase::LabBase;
+use labbase::{LabBase, View};
 use labflow_storage::TxnId;
 
 use crate::ast::{Rule, Term};
@@ -108,6 +108,12 @@ pub struct Session<'a> {
     now: Cell<i64>,
     depth_limit: usize,
     rename_counter: Cell<u64>,
+    /// The read view database predicates evaluate against. Populated on
+    /// the evaluation thread per [`run_goals`](Session::run_goals) call:
+    /// a freshly pinned snapshot for read-only sessions (so one query
+    /// reads one consistent cut, however long it runs), or the open
+    /// transaction's own view when update predicates are in play.
+    view: Option<View<'a>>,
 }
 
 impl<'a> Session<'a> {
@@ -120,6 +126,7 @@ impl<'a> Session<'a> {
             now: Cell::new(0),
             depth_limit: 4_000,
             rename_counter: Cell::new(0),
+            view: None,
         }
     }
 
@@ -163,6 +170,15 @@ impl<'a> Session<'a> {
         self.txn.get().ok_or(LqlError::NoTransaction)
     }
 
+    /// The read view database predicates resolve against. Present on the
+    /// evaluation thread; absent only on the outer facade session, which
+    /// never evaluates goals itself.
+    pub(crate) fn view(&self) -> Result<&View<'a>> {
+        self.view
+            .as_ref()
+            .ok_or_else(|| LqlError::Eval("internal: no read view on this session".into()))
+    }
+
     /// Run a query, returning all solutions.
     pub fn query(&self, src: &str) -> Result<Vec<Bindings>> {
         self.query_limit(src, usize::MAX)
@@ -196,6 +212,13 @@ impl<'a> Session<'a> {
                 .name("lql-eval".into())
                 .stack_size(128 * 1024 * 1024)
                 .spawn_scoped(scope, move || {
+                    // Pin the read cut for this evaluation: the open
+                    // transaction's own view if updates are in play,
+                    // else a fresh snapshot held for the whole query.
+                    let view = match txn {
+                        Some(t) => db.view_in(t),
+                        None => db.view()?,
+                    };
                     let inner = Session {
                         db,
                         program,
@@ -203,6 +226,7 @@ impl<'a> Session<'a> {
                         now: Cell::new(now),
                         depth_limit,
                         rename_counter: Cell::new(0),
+                        view: Some(view),
                     };
                     inner.run_goals_inner(goals, limit)
                 })

@@ -52,7 +52,8 @@ fn fixture() -> Fixture {
 
 fn rows(f: &Fixture, q: &str) -> Vec<Vec<(String, Term)>> {
     let p = Program::new();
-    Session::new(&f.db, &p).query(q).unwrap()
+    let out = Session::new(&f.db, &p).query(q).unwrap();
+    out
 }
 
 fn must_err(f: &Fixture, q: &str) {

@@ -23,10 +23,11 @@ use crate::error::{RecoveryError, Result, StorageError};
 use crate::heap::{Heap, HeapContention, Placement};
 use crate::ids::{ClusterHint, Oid, PageId, SegmentId, TxnId};
 use crate::lock::{LockManager, LockMode};
+use crate::lock_order;
 use crate::meta;
 use crate::pagefile::PageFile;
 use crate::stats::{StatsSnapshot, StorageStats};
-use crate::traits::{SegmentInfo, StorageManager};
+use crate::traits::{SegmentInfo, Snapshot, StorageManager};
 use crate::vfs::{RealVfs, Vfs};
 use crate::wal::{Wal, WalRecord};
 use crate::{PAGE_PAYLOAD, PAGE_SIZE};
@@ -125,15 +126,14 @@ impl Profile {
     }
 }
 
-enum Undo {
-    UnAlloc(Oid),
-    Restore(Oid, Vec<u8>),
-    Realloc { oid: Oid, seg: SegmentId, data: Vec<u8> },
-}
-
 #[derive(Default)]
 struct TxnState {
-    undo: Vec<Undo>,
+    /// Oids this transaction wrote (alloc/update/free), in touch order.
+    /// Commit flips their pending versions to committed at one LSN;
+    /// abort discards them. Duplicates are fine — the heap's
+    /// `commit_version`/`discard_txn` are no-ops once the pending
+    /// version is resolved.
+    touched: Vec<Oid>,
 }
 
 /// Active-transaction table plus the checkpoint quiesce flag, guarded by
@@ -188,6 +188,19 @@ pub struct Engine {
     /// runs recovery from the log and heals it.
     wounded: AtomicBool,
     sync_commit: bool,
+    /// Serialises commit visibility flips so each commit's versions
+    /// appear atomically at one LSN (rank
+    /// [`lock_order::ENGINE_COMMIT_VIS`]).
+    vis: StdMutex<()>,
+    /// Newest commit LSN whose versions are fully published. Snapshots
+    /// read this (Acquire) and therefore see all-or-nothing of every
+    /// transaction.
+    last_visible: AtomicU64,
+    /// Open snapshots: token → pinned LSN. The minimum pinned LSN is
+    /// the version-GC low-water mark (rank
+    /// [`lock_order::ENGINE_SNAPSHOTS`]).
+    snapshots: StdMutex<HashMap<u64, u64>>,
+    next_snap: AtomicU64,
 }
 
 impl Engine {
@@ -260,6 +273,10 @@ impl Engine {
             epoch: AtomicU64::new(0),
             wounded: AtomicBool::new(false),
             sync_commit: opts.sync_commit,
+            vis: StdMutex::new(()),
+            last_visible: AtomicU64::new(0),
+            snapshots: StdMutex::new(HashMap::new()),
+            next_snap: AtomicU64::new(1),
         };
         // Establish a valid empty checkpoint so reopen works immediately.
         engine.checkpoint()?;
@@ -352,6 +369,10 @@ impl Engine {
             epoch: AtomicU64::new(meta_epoch),
             wounded: AtomicBool::new(false),
             sync_commit: opts.sync_commit,
+            vis: StdMutex::new(()),
+            last_visible: AtomicU64::new(0),
+            snapshots: StdMutex::new(HashMap::new()),
+            next_snap: AtomicU64::new(1),
         };
         if engine.profile.wal {
             // Fold the recovered state into a fresh checkpoint; this also
@@ -551,7 +572,9 @@ impl Engine {
         self.heap.oids()
     }
 
-    /// Live oids whose home page is quarantined: still listed in the
+    /// Live oids whose home page is quarantined, in ascending oid order
+    /// (stable across shard iteration order, so scrub logs diff
+    /// cleanly): still listed in the
     /// object table, but reads fail typed until the page is rebuilt.
     /// This is the "known casualties" list an operator (or the crash
     /// harness) checks after a recovery that quarantined pages.
@@ -612,6 +635,33 @@ impl Engine {
         }
         Ok(())
     }
+
+    /// Commit-visibility flip lock (rank [`lock_order::ENGINE_COMMIT_VIS`]).
+    fn vis_lock(&self) -> lock_order::Ranked<MutexGuard<'_, ()>> {
+        lock_order::ranked(lock_order::ENGINE_COMMIT_VIS, || {
+            self.vis.lock().unwrap_or_else(|e| e.into_inner())
+        })
+    }
+
+    /// Open-snapshot registry lock (rank [`lock_order::ENGINE_SNAPSHOTS`]).
+    fn snaps_lock(&self) -> lock_order::Ranked<MutexGuard<'_, HashMap<u64, u64>>> {
+        lock_order::ranked(lock_order::ENGINE_SNAPSHOTS, || {
+            self.snapshots.lock().unwrap_or_else(|e| e.into_inner())
+        })
+    }
+
+    /// The version-GC low-water mark: the minimum LSN pinned by an open
+    /// snapshot, or `u64::MAX` when none is open.
+    fn snapshot_floor(&self) -> u64 {
+        self.snaps_lock().values().copied().min().unwrap_or(u64::MAX)
+    }
+
+    /// Record that `txn` wrote `oid`, for the commit flip / abort discard.
+    fn touch(&self, txn: TxnId, oid: Oid) {
+        if let Some(state) = self.active().txns.get_mut(&txn.raw()) {
+            state.touched.push(oid);
+        }
+    }
 }
 
 impl StorageManager for Engine {
@@ -637,11 +687,25 @@ impl StorageManager for Engine {
     }
 
     fn commit(&self, txn: TxnId) -> Result<()> {
-        {
+        let state = {
             let mut active = self.active();
             let state = active.txns.remove(&txn.raw()).ok_or(StorageError::UnknownTxn(txn))?;
             active.resolving += 1;
-            drop(state);
+            state
+        };
+        // Visibility flip: every version this transaction wrote becomes
+        // committed at one fresh LSN, and only then is the LSN
+        // published. A snapshot opened at any instant reads the
+        // published LSN, so it sees all of this transaction's versions
+        // or none of them — never a partial commit.
+        if !state.touched.is_empty() {
+            let _vis = self.vis_lock();
+            let lsn = self.last_visible.load(Ordering::Relaxed) + 1;
+            let floor = self.snapshot_floor();
+            for &oid in &state.touched {
+                self.heap.commit_version(oid, txn.raw(), lsn, floor);
+            }
+            self.last_visible.store(lsn, Ordering::Release);
         }
         // Group commit: concurrent committers share one log force;
         // sync_commit additionally makes the force durable, so an Ok
@@ -676,31 +740,18 @@ impl StorageManager for Engine {
             active.resolving += 1;
             state
         };
-        let undone = (|| {
-            for undo in state.undo.into_iter().rev() {
-                match undo {
-                    Undo::UnAlloc(oid) => self.heap.free(oid)?,
-                    Undo::Restore(oid, data) => self.heap.update(oid, &data)?,
-                    Undo::Realloc { oid, seg, data } => {
-                        self.heap.alloc_with_oid(oid, seg, ClusterHint::NONE, &data)?
-                    }
-                }
-            }
-            Ok(())
-        })();
+        // Rollback is just dropping the pending versions: they were
+        // never visible to any other transaction or snapshot, and the
+        // committed chain beneath them was never touched. This cannot
+        // half-fail the way the old restore-in-place rollback could.
+        for &oid in state.touched.iter().rev() {
+            self.heap.discard_txn(oid, txn.raw());
+        }
         let logged = self.log(WalRecord::Abort(txn.raw()));
         if let Some(locks) = &self.locks {
             locks.release_all(txn);
         }
         self.resolved();
-        if let Err(e) = undone {
-            // A half-applied rollback: memory no longer matches what the
-            // log can reconstruct. Recovery treats the transaction as a
-            // loser either way and re-derives the rollback from logged
-            // before-images.
-            self.wound();
-            return Err(e);
-        }
         logged?;
         StorageStats::bump(&self.stats.aborts, 1);
         Ok(())
@@ -714,12 +765,10 @@ impl StorageManager for Engine {
         data: &[u8],
     ) -> Result<Oid> {
         self.require_txn(txn)?;
-        let oid = self.heap.alloc(seg, hint, data)?;
+        let oid = self.heap.alloc(seg, hint, data, txn.raw())?;
         self.lock(txn, oid, LockMode::Exclusive)?;
+        self.touch(txn, oid);
         self.log(WalRecord::Alloc { txn: txn.raw(), oid, seg, hint, data: data.to_vec() })?;
-        if let Some(state) = self.active().txns.get_mut(&txn.raw()) {
-            state.undo.push(Undo::UnAlloc(oid));
-        }
         Ok(oid)
     }
 
@@ -730,7 +779,7 @@ impl StorageManager for Engine {
     fn read_in(&self, txn: TxnId, oid: Oid) -> Result<Vec<u8>> {
         self.require_txn(txn)?;
         self.lock(txn, oid, LockMode::Shared)?;
-        self.heap.read(oid)
+        self.heap.read_for(oid, txn.raw())
     }
 
     fn update(&self, txn: TxnId, oid: Oid, data: &[u8]) -> Result<()> {
@@ -740,23 +789,20 @@ impl StorageManager for Engine {
             // Write-ahead: the record (with its before-image) enters the
             // log buffer before the heap mutates, so a steal of the
             // mutated page can never outrun its undo information.
-            let old = self.heap.read(oid)?;
-            self.log(WalRecord::Update {
-                txn: txn.raw(),
-                oid,
-                data: data.to_vec(),
-                old: old.clone(),
-            })?;
-            if let Err(e) = self.heap.update(oid, data) {
+            // Recovery keys loser undo off the *first* logged image per
+            // (txn, oid), which `read_for` makes the last committed
+            // value on the first touch; later touches log this
+            // transaction's own pending value, which recovery ignores.
+            let old = self.heap.read_for(oid, txn.raw())?;
+            self.log(WalRecord::Update { txn: txn.raw(), oid, data: data.to_vec(), old })?;
+            if let Err(e) = self.heap.update(oid, data, txn.raw()) {
                 self.wound();
                 return Err(e);
             }
-            if let Some(state) = self.active().txns.get_mut(&txn.raw()) {
-                state.undo.push(Undo::Restore(oid, old));
-            }
         } else {
-            self.heap.update(oid, data)?;
+            self.heap.update(oid, data, txn.raw())?;
         }
+        self.touch(txn, oid);
         Ok(())
     }
 
@@ -764,27 +810,59 @@ impl StorageManager for Engine {
         self.require_txn(txn)?;
         self.lock(txn, oid, LockMode::Exclusive)?;
         if self.profile.wal {
-            // Capture payload and segment before the free so an abort can
-            // re-create the object in its original placement; the logged
-            // before-image serves recovery the same way.
-            let seg = self.heap.segment_of(oid).unwrap_or(SegmentId::DEFAULT);
-            let old = self.heap.read(oid)?;
-            self.log(WalRecord::Free { txn: txn.raw(), oid, old: old.clone() })?;
-            if let Err(e) = self.heap.free(oid) {
+            // The logged before-image serves recovery; an in-memory
+            // abort just discards the pending tombstone, leaving the
+            // committed chain (and the object's placement) untouched.
+            let old = self.heap.read_for(oid, txn.raw())?;
+            self.log(WalRecord::Free { txn: txn.raw(), oid, old })?;
+            if let Err(e) = self.heap.free(oid, txn.raw()) {
                 self.wound();
                 return Err(e);
             }
-            if let Some(state) = self.active().txns.get_mut(&txn.raw()) {
-                state.undo.push(Undo::Realloc { oid, seg, data: old });
-            }
         } else {
-            self.heap.free(oid)?;
+            self.heap.free(oid, txn.raw())?;
         }
+        self.touch(txn, oid);
         Ok(())
     }
 
     fn exists(&self, oid: Oid) -> bool {
         self.heap.exists(oid)
+    }
+
+    fn begin_snapshot(&self) -> Result<Snapshot> {
+        // Registration and the LSN read happen under one lock, so a
+        // concurrent checkpoint's GC either sees this snapshot in the
+        // registry or runs before it existed — in which case nothing at
+        // or below `last_visible` has been reclaimed (only versions
+        // older than the newest committed one are ever GC'd, and no
+        // commit can advance `last_visible` while we hold the registry).
+        let mut snaps = self.snaps_lock();
+        let lsn = self.last_visible.load(Ordering::Acquire);
+        let token = self.next_snap.fetch_add(1, Ordering::Relaxed);
+        snaps.insert(token, lsn);
+        StorageStats::bump(&self.stats.snapshots_opened, 1);
+        Ok(Snapshot { lsn, token })
+    }
+
+    fn release_snapshot(&self, snap: Snapshot) {
+        self.snaps_lock().remove(&snap.token);
+    }
+
+    fn read_at(&self, snap: &Snapshot, oid: Oid) -> Result<Vec<u8>> {
+        self.heap.read_at(oid, snap.lsn)
+    }
+
+    fn exists_at(&self, snap: &Snapshot, oid: Oid) -> bool {
+        self.heap.exists_at(oid, snap.lsn)
+    }
+
+    fn read_for(&self, txn: TxnId, oid: Oid) -> Result<Vec<u8>> {
+        self.heap.read_for(oid, txn.raw())
+    }
+
+    fn exists_for(&self, txn: TxnId, oid: Oid) -> bool {
+        self.heap.exists_for(oid, txn.raw())
     }
 
     fn checkpoint(&self) -> Result<()> {
@@ -810,6 +888,10 @@ impl StorageManager for Engine {
             }
         }
         let result = (|| {
+            // Version GC: the system is quiesced, so no pending flip
+            // races the sweep; versions pinned by open snapshots are
+            // protected by the low-water mark.
+            self.heap.collect_garbage(self.snapshot_floor());
             self.pool.flush_all()?;
             self.file.sync()?;
             let next_epoch = self.epoch.load(Ordering::Acquire) + 1;

@@ -30,12 +30,26 @@
 //!   its full duration and *exclusive* only by the checkpoint quiesce
 //!   ([`Heap::dump_meta`] / [`Heap::load_meta`]);
 //! * [`TABLE_SHARDS`] **object-table shards** (rank 30), oid-hashed like
-//!   the lock manager's 32-way split — readers hold their shard across
-//!   the page access so a relocating update of the same oid cannot free
-//!   the slot (or recycle an overflow chain) under them;
+//!   the lock manager's 32-way split — taken only by writers and by
+//!   transactional own-write reads; committed-state readers resolve
+//!   version chains through the lock-free most-recent view instead
+//!   (see below) and never touch these shards;
 //! * one **placement shard per segment** (rank 32): open page, page
 //!   list, free list, and chunk map, so writers in different segments
 //!   allocate without touching each other's locks.
+//!
+//! # The lock-free most-recent view
+//!
+//! Every committed mutation of an object's version chain also publishes
+//! an immutable, committed-versions-only copy of the chain into a
+//! per-oid [`AtomicPtr`] slot (a two-level array indexed by oid — no
+//! hashing, no locks). `Latest` and snapshot (`At`) reads resolve
+//! entirely through these pointers under an epoch pin: the read path
+//! acquires *zero* heap locks, so a long analytical scan can never make
+//! a writer wait on heap metadata, and vice versa. The table and its
+//! epoch-stamped reclamation of displaced chain copies live in the
+//! [`labflow_mrv`] crate — the one place in the workspace allowed to
+//! use `unsafe` — so this crate keeps `#![forbid(unsafe_code)]`.
 //!
 //! Every lock is acquired try-first: uncontended acquisitions cost one
 //! compare-exchange, contended ones record the blocked time in the
@@ -43,10 +57,12 @@
 //! [`StorageStats`], plus a per-shard counter for diagnosing *which*
 //! shard is hot.
 
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use labflow_mrv::Mrv;
 use parking_lot::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use crate::buffer::BufferPool;
@@ -89,6 +105,94 @@ pub struct Loc {
     /// Segment the object was placed in.
     pub seg: SegmentId,
 }
+
+/// What one version of an object holds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum VersionBody {
+    /// A stored record (inline or overflow header) at this location.
+    Data(Loc),
+    /// A deletion marker: the object does not exist at this version.
+    /// Tombstones occupy no storage — only the chain entry.
+    Tombstone,
+}
+
+/// One entry in an object's version chain. `txn == 0` means committed
+/// (stamped with its commit LSN); `txn != 0` means pending — visible
+/// only to that transaction. The chain is newest-first and holds at most
+/// one pending version, always at the head (writers are serialised per
+/// object by the lock manager's exclusive locks or by single-user mode).
+#[derive(Clone, Copy, Debug)]
+struct Version {
+    body: VersionBody,
+    /// Commit LSN (0 for pending versions and for pre-history versions
+    /// loaded from a checkpoint, which every snapshot can see).
+    lsn: u64,
+    /// Owning transaction while pending; 0 once committed.
+    txn: u64,
+}
+
+/// Soft bound on committed versions per chain: commits trim beyond this
+/// many where the GC floor allows, so hot objects do not accumulate
+/// unbounded history between checkpoints.
+const MAX_CHAIN: usize = 8;
+
+/// Visibility rule a read resolves the chain under.
+#[derive(Clone, Copy, Debug)]
+enum Vis {
+    /// Newest committed version.
+    Latest,
+    /// Newest version committed at or before this LSN (snapshot read).
+    At(u64),
+    /// This transaction's own pending version if any, else latest
+    /// committed.
+    For(u64),
+}
+
+/// Reader-slot value meaning "not inside any read-side critical section".
+const EPOCH_IDLE: u64 = u64::MAX;
+
+/// Distinguishes heaps in the per-thread reader-slot cache.
+static NEXT_HEAP_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// This thread's reader slot, one per heap it has read from. The
+    /// slot itself lives in the heap's registry (an `Arc`); the cache
+    /// just avoids re-locking the registry on every read.
+    static READER_SLOTS: RefCell<HashMap<u64, Arc<AtomicU64>>> =
+        RefCell::new(HashMap::new());
+}
+
+/// State behind the heap's epoch lock: the reader-slot registry and the
+/// unlinked version locations awaiting an epoch-synchronised free.
+struct EpochState {
+    /// Every reader slot registered by a thread that has read this heap.
+    /// Slots of exited threads stay behind parked at `EPOCH_IDLE`, which
+    /// the GC wait treats as "not reading" — a small, harmless leak.
+    slots: Vec<Arc<AtomicU64>>,
+    /// Version locations unlinked from their chains but not yet freed:
+    /// a latch-free reader may still hold a pointer into them until the
+    /// next epoch synchronisation.
+    condemned: Vec<Loc>,
+}
+
+/// Read-side epoch guard: while alive, version GC cannot free any
+/// version location resolved after the pin. Dropping restores the
+/// slot's previous value, so nested pins compose.
+struct EpochPin {
+    slot: Arc<AtomicU64>,
+    prev: u64,
+}
+
+impl Drop for EpochPin {
+    fn drop(&mut self) {
+        self.slot.store(self.prev, Ordering::SeqCst);
+    }
+}
+
+/// An immutable, committed-versions-only copy of one object's chain,
+/// published into the lock-free most-recent view ([`labflow_mrv::Mrv`])
+/// for latch-free readers.
+type ViewChain = Vec<Version>;
 
 /// How allocations are placed onto pages.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -143,7 +247,7 @@ impl SegShard {
 }
 
 struct TableShard {
-    map: RwLock<HashMap<u64, Loc>>,
+    map: RwLock<HashMap<u64, Vec<Version>>>,
     waits: AtomicU64,
 }
 
@@ -168,10 +272,19 @@ pub struct HeapContention {
 
 /// The object heap. Thread-safe; metadata sharded by oid (object table)
 /// and by segment (placement state) under a global quiesce lock, page
-/// contents behind the buffer pool's own lock. Readers hold their
-/// object-table shard across the page access so a concurrent update
-/// cannot relocate an object (freeing its old slot, or recycling its
-/// overflow pages) out from under them.
+/// contents behind the buffer pool's own lock.
+///
+/// Each object maps to a newest-first chain of [`Version`]s. Committed
+/// versions are immutable on disk: updates always write a fresh record
+/// and publish it with a brief table-shard write, never mutating or
+/// freeing a committed slot in place. Every committed mutation also
+/// mirrors the chain into the lock-free most-recent view, so
+/// committed-state readers go fully *latch-free*: they pin the
+/// reclamation epoch, load the chain from a per-oid atomic pointer,
+/// resolve a version location, and read the page — acquiring no heap
+/// lock at any point. Unlinked versions (and displaced view chains) are
+/// freed only once the epoch discipline proves no reader can still hold
+/// them.
 pub struct Heap {
     pool: Arc<BufferPool>,
     file: Arc<PageFile>,
@@ -183,6 +296,15 @@ pub struct Heap {
     placement: Placement,
     extra_header: usize,
     align: usize,
+    /// Identity in the per-thread reader-slot cache.
+    heap_id: u64,
+    /// The reclamation epoch: bumped by GC after unlinking versions.
+    epoch: AtomicU64,
+    /// Reader-slot registry plus condemned version locations.
+    epoch_state: Mutex<EpochState>,
+    /// Lock-free most-recent view (committed chains only); see the
+    /// module docs.
+    view: Mrv<ViewChain>,
 }
 
 impl Heap {
@@ -211,6 +333,10 @@ impl Heap {
             placement,
             extra_header,
             align: align.max(1),
+            heap_id: NEXT_HEAP_ID.fetch_add(1, Ordering::Relaxed),
+            epoch: AtomicU64::new(0),
+            epoch_state: Mutex::new(EpochState { slots: Vec::new(), condemned: Vec::new() }),
+            view: Mrv::new(),
         }
     }
 
@@ -247,7 +373,7 @@ impl Heap {
     /// rank-checked: the guard may be held across buffer-pool and
     /// page-file acquisitions (higher ranks) but never the other way
     /// around.
-    fn table_read(&self, oid: u64) -> Ranked<RwLockReadGuard<'_, HashMap<u64, Loc>>> {
+    fn table_read(&self, oid: u64) -> Ranked<RwLockReadGuard<'_, HashMap<u64, Vec<Version>>>> {
         let sh = self.table_shard(oid);
         lock_order::ranked(lock_order::HEAP_TABLE, || {
             contended(&self.stats, &sh.waits, || sh.map.try_read(), || sh.map.read())
@@ -255,7 +381,7 @@ impl Heap {
     }
 
     /// Exclusive access to the object-table shard owning `oid`.
-    fn table_write(&self, oid: u64) -> Ranked<RwLockWriteGuard<'_, HashMap<u64, Loc>>> {
+    fn table_write(&self, oid: u64) -> Ranked<RwLockWriteGuard<'_, HashMap<u64, Vec<Version>>>> {
         let sh = self.table_shard(oid);
         lock_order::ranked(lock_order::HEAP_TABLE, || {
             contended(&self.stats, &sh.waits, || sh.map.try_write(), || sh.map.write())
@@ -268,6 +394,85 @@ impl Heap {
         lock_order::ranked(lock_order::HEAP_SEGMENT, || {
             contended(&self.stats, &sh.waits, || sh.place.try_lock(), || sh.place.lock())
         })
+    }
+
+    /// The heap's epoch state (reader-slot registry + condemned list).
+    /// Deliberately *not* wait-attributed: pushes here are bookkeeping,
+    /// not part of the object-table / placement contention story.
+    fn epoch_lock(&self) -> Ranked<MutexGuard<'_, EpochState>> {
+        lock_order::ranked(lock_order::HEAP_EPOCH, || self.epoch_state.lock())
+    }
+
+    // ---- epoch-based reclamation ------------------------------------------
+
+    /// Pin the reclamation epoch for the calling thread: until the
+    /// returned guard drops, version GC will not free any version
+    /// location this thread resolves. The fast path is two atomic
+    /// stores on a thread-cached slot; the registry lock is touched only
+    /// on a thread's first read of this heap.
+    fn pin_epoch(&self) -> EpochPin {
+        let slot = READER_SLOTS.with(|m| {
+            let mut m = m.borrow_mut();
+            if let Some(s) = m.get(&self.heap_id) {
+                return s.clone();
+            }
+            let s = Arc::new(AtomicU64::new(EPOCH_IDLE));
+            self.epoch_lock().slots.push(s.clone());
+            m.insert(self.heap_id, s.clone());
+            s
+        });
+        let prev = slot.load(Ordering::Relaxed);
+        if prev == EPOCH_IDLE {
+            // Publish-and-recheck: if GC bumped the epoch between our
+            // load and our store, it may not have seen the pin — retry
+            // against the new epoch so the wait below never misses us.
+            loop {
+                let e = self.epoch.load(Ordering::SeqCst);
+                slot.store(e, Ordering::SeqCst);
+                if self.epoch.load(Ordering::SeqCst) == e {
+                    break;
+                }
+            }
+        }
+        EpochPin { slot, prev }
+    }
+
+    /// Advance the epoch and wait until every reader slot is idle or has
+    /// observed the new epoch: after this returns, no reader holds a
+    /// version location resolved before the unlinks that preceded the
+    /// call. Holds no locks while spinning.
+    fn epoch_sync(&self) {
+        let target = self.epoch.fetch_add(1, Ordering::SeqCst) + 1;
+        loop {
+            let slots = self.epoch_lock().slots.clone();
+            if slots.iter().all(|s| {
+                let v = s.load(Ordering::SeqCst);
+                v == EPOCH_IDLE || v >= target
+            }) {
+                return;
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    // ---- most-recent view maintenance -------------------------------------
+
+    /// Mirror `chain`'s committed versions into the lock-free view (an
+    /// empty committed set clears the slot). Call with the owning table
+    /// shard held exclusively so publishes per oid are totally ordered
+    /// with the map mutation they mirror; the view's internal mutex is
+    /// a leaf, safe to touch under any heap lock. Displaced copies are
+    /// retired and reclaimed inside [`Mrv`] under its epoch rule.
+    fn publish_view(&self, oid: u64, chain: &[Version]) {
+        let committed: ViewChain = chain.iter().filter(|v| v.txn == 0).copied().collect();
+        let boxed = if committed.is_empty() { None } else { Some(Box::new(committed)) };
+        self.view.publish(oid, boxed);
+    }
+
+    /// Remove `oid` from the view (object freed). Same calling rules as
+    /// [`Heap::publish_view`].
+    fn clear_view(&self, oid: u64) {
+        self.view.publish(oid, None);
     }
 
     /// Map a client segment id to the physical segment index under the
@@ -521,11 +726,62 @@ impl Heap {
         Ok(())
     }
 
+    // ---- version-chain resolution -----------------------------------------
+
+    /// Resolve the version of `chain` visible under `vis` (newest-first
+    /// scan). `None` means no version is visible at all; a visible
+    /// tombstone means the object is deleted at that point.
+    fn resolve(chain: &[Version], vis: Vis) -> Option<&Version> {
+        match vis {
+            Vis::Latest => chain.iter().find(|v| v.txn == 0),
+            Vis::At(lsn) => chain.iter().find(|v| v.txn == 0 && v.lsn <= lsn),
+            Vis::For(txn) => chain.iter().find(|v| v.txn == txn || v.txn == 0),
+        }
+    }
+
+    /// The location `vis` resolves to, or `UnknownObject` if nothing is
+    /// visible (including a visible tombstone).
+    fn visible_loc(chain: &[Version], vis: Vis, oid: Oid) -> Result<Loc> {
+        match Self::resolve(chain, vis) {
+            Some(Version { body: VersionBody::Data(loc), .. }) => Ok(*loc),
+            _ => Err(StorageError::UnknownObject(oid)),
+        }
+    }
+
+    /// Unlink versions no snapshot at or below `floor` (nor any newer
+    /// reader) can reach: everything older than the newest committed
+    /// version with `lsn <= floor`. Unlinked data locations go to
+    /// `condemned` for an epoch-deferred free. Returns the number of
+    /// versions unlinked; may leave the chain empty (a dead tombstone).
+    fn trim_chain(chain: &mut Vec<Version>, floor: u64, condemned: &mut Vec<Loc>) -> u64 {
+        let Some(keep) = chain.iter().position(|v| v.txn == 0 && v.lsn <= floor) else {
+            return 0;
+        };
+        let mut n = 0;
+        for v in chain.drain(keep + 1..) {
+            if let VersionBody::Data(loc) = v.body {
+                condemned.push(loc);
+            }
+            n += 1;
+        }
+        // A tombstone that is now the newest version is dead weight: no
+        // reader can see anything through it.
+        if keep == 0 && chain.first().is_some_and(|v| matches!(v.body, VersionBody::Tombstone)) {
+            chain.clear();
+            n += 1;
+        }
+        n
+    }
+
     // ---- public operations ------------------------------------------------
 
     /// Allocate a new object. `hint` matters only under
     /// [`Placement::ClientChunks`]; `seg` only under [`Placement::Segments`].
-    pub fn alloc(&self, seg: SegmentId, hint: ClusterHint, payload: &[u8]) -> Result<Oid> {
+    ///
+    /// `txn != 0` creates a *pending* version visible only to that
+    /// transaction until [`Heap::commit_version`]; `txn == 0` commits
+    /// immediately (pre-history LSN 0, visible to every snapshot).
+    pub fn alloc(&self, seg: SegmentId, hint: ClusterHint, payload: &[u8], txn: u64) -> Result<Oid> {
         let g = self.global_read();
         let seg_idx = self.resolve_seg(&g, seg)?;
         let (pid, slot) = {
@@ -536,30 +792,19 @@ impl Heap {
         // The record is on its page but unpublished: the oid becomes
         // visible only with the table insert below.
         let oid = Oid::from_raw(self.next_oid.fetch_add(1, Ordering::Relaxed));
-        self.table_write(oid.raw()).insert(oid.raw(), Loc { page: pid, slot, seg });
+        let ver = Version { body: VersionBody::Data(Loc { page: pid, slot, seg }), lsn: 0, txn };
+        {
+            let mut shard = self.table_write(oid.raw());
+            shard.insert(oid.raw(), vec![ver]);
+            // A pending-only chain has no committed version to publish;
+            // the view slot stays empty until `commit_version`.
+            if txn == 0 {
+                self.publish_view(oid.raw(), &[ver]);
+            }
+        }
         StorageStats::bump(&self.stats.allocs, 1);
         StorageStats::bump(&self.stats.bytes_allocated, payload.len() as u64);
         Ok(oid)
-    }
-
-    /// Re-create an object under a specific oid (WAL recovery path).
-    pub fn alloc_with_oid(
-        &self,
-        oid: Oid,
-        seg: SegmentId,
-        hint: ClusterHint,
-        payload: &[u8],
-    ) -> Result<()> {
-        let g = self.global_read();
-        let seg_idx = self.resolve_seg(&g, seg)?;
-        let (pid, slot) = {
-            let mut place = self.seg_lock(&g, seg_idx);
-            let stored = self.build_stored(&mut place, payload)?;
-            self.write_record(&mut place, seg, hint, &stored)?
-        };
-        self.table_write(oid.raw()).insert(oid.raw(), Loc { page: pid, slot, seg });
-        self.next_oid.fetch_max(oid.raw() + 1, Ordering::Relaxed);
-        Ok(())
     }
 
     /// Crash-recovery write: (re)bind `oid` to `payload` at a freshly
@@ -585,7 +830,12 @@ impl Heap {
     ) -> Result<()> {
         let g = self.global_read();
         let seg = seg
-            .or_else(|| self.table_read(oid.raw()).get(&oid.raw()).map(|l| l.seg))
+            .or_else(|| {
+                let m = self.table_read(oid.raw());
+                m.get(&oid.raw())
+                    .and_then(|c| Self::visible_loc(c, Vis::Latest, oid).ok())
+                    .map(|l| l.seg)
+            })
             .unwrap_or(SegmentId::DEFAULT);
         let seg_idx = self.resolve_seg(&g, seg)?;
         let (pid, slot) = {
@@ -593,7 +843,14 @@ impl Heap {
             let stored = self.build_stored(&mut place, payload)?;
             self.write_record(&mut place, seg, hint, &stored)?
         };
-        self.table_write(oid.raw()).insert(oid.raw(), Loc { page: pid, slot, seg });
+        // Replay rebuilds a single-version committed chain; whatever the
+        // table mapped before is leaked, never reclaimed (see above).
+        let ver = Version { body: VersionBody::Data(Loc { page: pid, slot, seg }), lsn: 0, txn: 0 };
+        {
+            let mut shard = self.table_write(oid.raw());
+            shard.insert(oid.raw(), vec![ver]);
+            self.publish_view(oid.raw(), &[ver]);
+        }
         self.next_oid.fetch_max(oid.raw() + 1, Ordering::Relaxed);
         Ok(())
     }
@@ -603,7 +860,9 @@ impl Heap {
     /// overflow chain must be leaked rather than reclaimed).
     pub fn recover_free(&self, oid: Oid) {
         let _g = self.global_read();
-        self.table_write(oid.raw()).remove(&oid.raw());
+        let mut shard = self.table_write(oid.raw());
+        shard.remove(&oid.raw());
+        self.clear_view(oid.raw());
     }
 
     /// Raise the oid allocator so no future allocation hands out an id
@@ -615,14 +874,46 @@ impl Heap {
         self.next_oid.fetch_max(next, Ordering::Relaxed);
     }
 
-    /// Read an object's payload. The table-shard guard is held across
-    /// the page (and overflow-chain) access: a concurrent relocating
-    /// update would otherwise free the slot — or recycle the chain pages
-    /// — between the table lookup and the read.
+    /// Read an object's payload (newest committed version), latch-free:
+    /// the version location is resolved through the lock-free
+    /// most-recent view and the page (and overflow-chain) access runs
+    /// with no heap lock held, protected by the epoch pin alone.
     pub fn read(&self, oid: Oid) -> Result<Vec<u8>> {
-        let _g = self.global_read();
-        let shard = self.table_read(oid.raw());
-        let loc = *shard.get(&oid.raw()).ok_or(StorageError::UnknownObject(oid))?;
+        self.read_vis(oid, Vis::Latest)
+    }
+
+    /// Read the newest version committed at or before `lsn` (snapshot
+    /// read). Latch-free like [`Heap::read`].
+    pub fn read_at(&self, oid: Oid, lsn: u64) -> Result<Vec<u8>> {
+        StorageStats::bump(&self.stats.snapshot_reads, 1);
+        self.read_vis(oid, Vis::At(lsn))
+    }
+
+    /// Read as seen by `txn`: its own pending version if it has one,
+    /// else the newest committed version.
+    pub fn read_for(&self, oid: Oid, txn: u64) -> Result<Vec<u8>> {
+        self.read_vis(oid, Vis::For(txn))
+    }
+
+    fn read_vis(&self, oid: Oid, vis: Vis) -> Result<Vec<u8>> {
+        let _pin = self.pin_epoch();
+        let loc = match vis {
+            // A transaction's own reads must see its pending version,
+            // which lives only in the locked table.
+            Vis::For(_) => {
+                let shard = self.table_read(oid.raw());
+                let chain = shard.get(&oid.raw()).ok_or(StorageError::UnknownObject(oid))?;
+                Self::visible_loc(chain, vis, oid)?
+            }
+            // Committed-state reads resolve through the lock-free view:
+            // no heap lock is acquired anywhere on this path.
+            Vis::Latest | Vis::At(_) => {
+                let chain = self.view.get(oid.raw()).ok_or(StorageError::UnknownObject(oid))?;
+                Self::visible_loc(&chain, vis, oid)?
+            }
+        };
+        // From here the epoch pin alone keeps `loc` (and any overflow
+        // chain behind it) from being freed under us.
         StorageStats::bump(&self.stats.reads, 1);
         let stored = self
             .pool
@@ -637,91 +928,305 @@ impl Heap {
         }
     }
 
-    /// Overwrite an object's payload. The oid is stable even if the object
-    /// moves to another page.
-    pub fn update(&self, oid: Oid, payload: &[u8]) -> Result<()> {
+    /// Overwrite an object's payload. The oid is stable even as versions
+    /// move across pages.
+    ///
+    /// Committed versions are never touched: a fresh record is written
+    /// and published as a new chain head. With `txn != 0` the head is
+    /// pending (an existing pending head of the same transaction is
+    /// replaced, its now-unreachable record freed immediately); with
+    /// `txn == 0` the head commits in place of the previous one, which
+    /// is condemned for an epoch-deferred free.
+    pub fn update(&self, oid: Oid, payload: &[u8], txn: u64) -> Result<()> {
         let g = self.global_read();
-        let mut shard = self.table_write(oid.raw());
-        let loc = *shard.get(&oid.raw()).ok_or(StorageError::UnknownObject(oid))?;
+        // Resolve existence + segment under a momentary shard read.
+        let seg = {
+            let shard = self.table_read(oid.raw());
+            let chain = shard.get(&oid.raw()).ok_or(StorageError::UnknownObject(oid))?;
+            Self::visible_loc(chain, Vis::For(txn), oid)?.seg
+        };
         StorageStats::bump(&self.stats.updates, 1);
+        let seg_idx = self.resolve_seg(&g, seg)?;
+        let (pid, slot) = {
+            let mut place = self.seg_lock(&g, seg_idx);
+            let stored = self.build_stored(&mut place, payload)?;
+            self.write_record(&mut place, seg, ClusterHint::NONE, &stored)?
+        };
+        let new_loc = Loc { page: pid, slot, seg };
 
-        let old_stored = self
-            .pool
-            .with_page(loc.page, |buf| page::read(buf, loc.slot).map(|s| s.to_vec()))?
-            .ok_or_else(|| {
-                StorageError::Corrupt(format!("object table points at dead slot for {oid}"))
-            })?;
-        let was_overflow = Self::is_overflow(&old_stored);
-
-        let seg_idx = self.resolve_seg(&g, loc.seg)?;
-        let mut place = self.seg_lock(&g, seg_idx);
-        let new_stored = self.build_stored(&mut place, payload)?;
-        if was_overflow {
-            self.free_overflow(&mut place, &old_stored)?;
-        }
-
-        // Try in place (page::update relocates within the page if needed).
-        let ok = self
-            .pool
-            .with_page_mut(loc.page, |buf| page::update(buf, loc.slot, &new_stored))?;
-        if ok {
-            return Ok(());
-        }
-        // Move to a fresh location in the object's original segment.
-        self.pool.with_page_mut(loc.page, |buf| page::remove(buf, loc.slot))?;
-        let (pid, slot) = self.write_record(&mut place, loc.seg, ClusterHint::NONE, &new_stored)?;
-        shard.insert(oid.raw(), Loc { page: pid, slot, seg: loc.seg });
-        Ok(())
-    }
-
-    /// Delete an object.
-    pub fn free(&self, oid: Oid) -> Result<()> {
-        let g = self.global_read();
-        let mut shard = self.table_write(oid.raw());
-        let loc = shard.remove(&oid.raw()).ok_or(StorageError::UnknownObject(oid))?;
-        let stored = self
-            .pool
-            .with_page(loc.page, |buf| page::read(buf, loc.slot).map(|s| s.to_vec()))?;
-        if let Some(stored) = stored {
-            if Self::is_overflow(&stored) {
-                let seg_idx = self.resolve_seg(&g, loc.seg)?;
-                let mut place = self.seg_lock(&g, seg_idx);
-                self.free_overflow(&mut place, &stored)?;
+        let mut replaced_pending: Option<Loc> = None;
+        let mut condemned: Option<Loc> = None;
+        {
+            let mut shard = self.table_write(oid.raw());
+            let chain = shard.get_mut(&oid.raw()).ok_or(StorageError::UnknownObject(oid))?;
+            if txn != 0 {
+                if let Some(head) = chain.first_mut().filter(|v| v.txn == txn) {
+                    // Second write by the same transaction: swap the
+                    // pending body. The old record was never visible to
+                    // anyone else, so it can be freed without an epoch.
+                    let old = std::mem::replace(&mut head.body, VersionBody::Data(new_loc));
+                    if let VersionBody::Data(l) = old {
+                        replaced_pending = Some(l);
+                    }
+                } else {
+                    chain.insert(0, Version { body: VersionBody::Data(new_loc), lsn: 0, txn });
+                }
+            } else {
+                // Immediate commit: the new head supersedes the old one,
+                // which a latch-free reader may still be walking — unlink
+                // it and defer the free to the next epoch sync.
+                let lsn = chain.first().map_or(0, |v| v.lsn);
+                chain.insert(0, Version { body: VersionBody::Data(new_loc), lsn, txn: 0 });
+                if let Some(prev) = chain.get(1).copied().filter(|v| v.txn == 0) {
+                    if let VersionBody::Data(l) = prev.body {
+                        condemned = Some(l);
+                    }
+                    chain.remove(1);
+                }
+                // Pending writes leave the committed suffix untouched,
+                // so only the immediate-commit arm republishes.
+                self.publish_view(oid.raw(), chain);
             }
         }
-        self.pool.with_page_mut(loc.page, |buf| page::remove(buf, loc.slot))?;
+        if let Some(loc) = replaced_pending {
+            self.free_slot(&g, loc);
+        }
+        if let Some(loc) = condemned {
+            StorageStats::bump(&self.stats.versions_gced, 1);
+            self.epoch_lock().condemned.push(loc);
+        }
         Ok(())
     }
 
-    /// Segment the object currently lives in, if it exists.
-    pub fn segment_of(&self, oid: Oid) -> Option<SegmentId> {
-        let _g = self.global_read();
-        self.table_read(oid.raw()).get(&oid.raw()).map(|l| l.seg)
+    /// Delete an object. With `txn != 0` this pushes a pending tombstone
+    /// (the delete becomes real at [`Heap::commit_version`]); with
+    /// `txn == 0` the whole chain is unlinked and condemned.
+    pub fn free(&self, oid: Oid, txn: u64) -> Result<()> {
+        let g = self.global_read();
+        let mut replaced_pending: Option<Loc> = None;
+        let mut condemned: Vec<Loc> = Vec::new();
+        {
+            let mut shard = self.table_write(oid.raw());
+            let chain = shard.get_mut(&oid.raw()).ok_or(StorageError::UnknownObject(oid))?;
+            // Deleting an object the caller cannot see is an error.
+            Self::visible_loc(chain, Vis::For(txn), oid)?;
+            if txn != 0 {
+                // A pending tombstone leaves the committed suffix (and
+                // so the view) untouched until `commit_version`.
+                if let Some(head) = chain.first_mut().filter(|v| v.txn == txn) {
+                    let old = std::mem::replace(&mut head.body, VersionBody::Tombstone);
+                    if let VersionBody::Data(l) = old {
+                        replaced_pending = Some(l);
+                    }
+                } else {
+                    chain.insert(0, Version { body: VersionBody::Tombstone, lsn: 0, txn });
+                }
+            } else {
+                let dropped = shard.remove(&oid.raw()).unwrap_or_default();
+                for v in dropped {
+                    if let VersionBody::Data(l) = v.body {
+                        condemned.push(l);
+                    }
+                }
+                self.clear_view(oid.raw());
+            }
+        }
+        if let Some(loc) = replaced_pending {
+            self.free_slot(&g, loc);
+        }
+        if !condemned.is_empty() {
+            StorageStats::bump(&self.stats.versions_gced, condemned.len() as u64);
+            self.epoch_lock().condemned.append(&mut condemned);
+        }
+        Ok(())
     }
 
-    /// Whether an object exists.
-    pub fn exists(&self, oid: Oid) -> bool {
-        let _g = self.global_read();
-        self.table_read(oid.raw()).contains_key(&oid.raw())
+    /// Flip `txn`'s pending version of `oid` (if any) to committed at
+    /// `lsn`, then opportunistically trim the chain past [`MAX_CHAIN`]
+    /// where `keep_floor` (the snapshot low-water mark) allows.
+    pub fn commit_version(&self, oid: Oid, txn: u64, lsn: u64, keep_floor: u64) {
+        let mut condemned: Vec<Loc> = Vec::new();
+        let mut trimmed = 0;
+        {
+            let mut shard = self.table_write(oid.raw());
+            if let Some(chain) = shard.get_mut(&oid.raw()) {
+                if let Some(head) = chain.first_mut() {
+                    if head.txn == txn {
+                        head.txn = 0;
+                        head.lsn = lsn;
+                    }
+                }
+                if chain.len() > MAX_CHAIN {
+                    trimmed = Self::trim_chain(chain, keep_floor, &mut condemned);
+                }
+                // The commit changed the committed prefix either way
+                // (new head, or a trim): publish the new cut.
+                self.publish_view(oid.raw(), chain);
+                if chain.is_empty() {
+                    shard.remove(&oid.raw());
+                }
+            }
+        }
+        if trimmed > 0 {
+            StorageStats::bump(&self.stats.versions_gced, trimmed);
+        }
+        if !condemned.is_empty() {
+            self.epoch_lock().condemned.append(&mut condemned);
+        }
     }
 
-    /// Number of live objects.
-    pub fn object_count(&self) -> usize {
-        let _g = self.global_read();
-        let mut n = 0;
-        for sh in &self.table {
-            n += lock_order::ranked(lock_order::HEAP_TABLE, || sh.map.read()).len();
+    /// Drop `txn`'s pending version of `oid` (abort path). The pending
+    /// record was never visible to another thread, so its storage is
+    /// reclaimed immediately. Removes the chain if it becomes empty
+    /// (an aborted allocation).
+    pub fn discard_txn(&self, oid: Oid, txn: u64) {
+        let g = self.global_read();
+        let mut freed: Option<Loc> = None;
+        {
+            let mut shard = self.table_write(oid.raw());
+            if let Some(chain) = shard.get_mut(&oid.raw()) {
+                if chain.first().is_some_and(|v| v.txn == txn) {
+                    let v = chain.remove(0);
+                    if let VersionBody::Data(l) = v.body {
+                        freed = Some(l);
+                    }
+                }
+                if chain.is_empty() {
+                    shard.remove(&oid.raw());
+                }
+            }
+        }
+        if let Some(loc) = freed {
+            self.free_slot(&g, loc);
+        }
+    }
+
+    /// Version GC: unlink every committed version no snapshot at or
+    /// below `low_water` can reach, synchronise the reader epoch, and
+    /// physically free the unlinked (plus previously condemned) records.
+    /// Returns the number of locations freed.
+    ///
+    /// Runs at checkpoint (callers pass the minimum open-snapshot LSN,
+    /// or `u64::MAX` when none is open). Safe concurrent with readers —
+    /// the epoch sync is exactly what makes their latch-free access
+    /// sound — but assumes no *pending* version's transaction is racing
+    /// it for the same oids (the engine quiesces writers first).
+    pub fn collect_garbage(&self, low_water: u64) -> u64 {
+        let mut condemned: Vec<Loc> = Vec::new();
+        let mut trimmed = 0u64;
+        {
+            let _g = self.global_read();
+            for sh in &self.table {
+                let mut m = lock_order::ranked(lock_order::HEAP_TABLE, || sh.map.write());
+                m.retain(|&oid, chain| {
+                    let n = Self::trim_chain(chain, low_water, &mut condemned);
+                    trimmed += n;
+                    // Republish only what changed (a fully-trimmed
+                    // chain publishes an empty cut, clearing the slot).
+                    if n > 0 {
+                        self.publish_view(oid, chain);
+                    }
+                    !chain.is_empty()
+                });
+            }
+        }
+        // A good moment to age out displaced view chains either way.
+        self.view.sync_reclaim();
+        if trimmed > 0 {
+            StorageStats::bump(&self.stats.versions_gced, trimmed);
+        }
+        {
+            let mut es = self.epoch_lock();
+            condemned.append(&mut es.condemned);
+        }
+        if condemned.is_empty() {
+            return 0;
+        }
+        // No lock held across the wait; see `epoch_sync`.
+        self.epoch_sync();
+        let n = condemned.len() as u64;
+        let g = self.global_read();
+        for loc in condemned {
+            self.free_slot(&g, loc);
         }
         n
     }
 
-    /// Snapshot of all live oids (diagnostics / scans).
+    /// Physically free one unlinked record: return its overflow chain
+    /// (if any) to the segment free list and clear the slot. Best
+    /// effort — damaged or quarantined pages are leaked, matching the
+    /// recovery paths' policy.
+    fn free_slot(&self, g: &HeapGlobal, loc: Loc) {
+        let stored = match self
+            .pool
+            .with_page(loc.page, |buf| page::read(buf, loc.slot).map(|s| s.to_vec()))
+        {
+            Ok(Some(s)) => s,
+            _ => return,
+        };
+        if Self::is_overflow(&stored) {
+            if let Ok(seg_idx) = self.resolve_seg(g, loc.seg) {
+                let mut place = self.seg_lock(g, seg_idx);
+                let _ = self.free_overflow(&mut place, &stored);
+            }
+        }
+        let _ = self.pool.with_page_mut(loc.page, |buf| page::remove(buf, loc.slot));
+    }
+
+    /// Whether an object exists (newest committed version is data).
+    pub fn exists(&self, oid: Oid) -> bool {
+        self.exists_vis(oid, Vis::Latest)
+    }
+
+    /// Whether the object existed at snapshot LSN `lsn`.
+    pub fn exists_at(&self, oid: Oid, lsn: u64) -> bool {
+        self.exists_vis(oid, Vis::At(lsn))
+    }
+
+    /// Whether the object exists as seen by `txn` (own writes included).
+    pub fn exists_for(&self, oid: Oid, txn: u64) -> bool {
+        self.exists_vis(oid, Vis::For(txn))
+    }
+
+    fn exists_vis(&self, oid: Oid, vis: Vis) -> bool {
+        match vis {
+            Vis::For(_) => {
+                let shard = self.table_read(oid.raw());
+                shard.get(&oid.raw()).is_some_and(|c| Self::visible_loc(c, vis, oid).is_ok())
+            }
+            Vis::Latest | Vis::At(_) => self
+                .view
+                .get(oid.raw())
+                .is_some_and(|c| Self::visible_loc(&c, vis, oid).is_ok()),
+        }
+    }
+
+    /// Number of live objects (newest committed version is data).
+    pub fn object_count(&self) -> usize {
+        let _g = self.global_read();
+        let mut n = 0;
+        for sh in &self.table {
+            let m = lock_order::ranked(lock_order::HEAP_TABLE, || sh.map.read());
+            n += m
+                .iter()
+                .filter(|(&k, c)| Self::visible_loc(c, Vis::Latest, Oid::from_raw(k)).is_ok())
+                .count();
+        }
+        n
+    }
+
+    /// Snapshot of all live oids (diagnostics / scans), stable-sorted so
+    /// reports and scrub logs do not depend on shard iteration order.
     pub fn oids(&self) -> Vec<Oid> {
         let _g = self.global_read();
         let mut v: Vec<Oid> = Vec::new();
         for sh in &self.table {
             let m = lock_order::ranked(lock_order::HEAP_TABLE, || sh.map.read());
-            v.extend(m.keys().map(|&k| Oid::from_raw(k)));
+            v.extend(
+                m.iter()
+                    .filter(|(&k, c)| Self::visible_loc(c, Vis::Latest, Oid::from_raw(k)).is_ok())
+                    .map(|(&k, _)| Oid::from_raw(k)),
+            );
         }
         v.sort_unstable();
         v
@@ -762,7 +1267,10 @@ impl Heap {
             let m = lock_order::ranked(lock_order::HEAP_TABLE, || sh.map.read());
             v.extend(
                 m.iter()
-                    .filter(|(_, loc)| pages.contains(&loc.page))
+                    .filter(|(&k, c)| {
+                        Self::visible_loc(c, Vis::Latest, Oid::from_raw(k))
+                            .is_ok_and(|loc| pages.contains(&loc.page))
+                    })
                     .map(|(&k, _)| Oid::from_raw(k)),
             );
         }
@@ -784,10 +1292,17 @@ impl Heap {
     pub fn dump_meta(&self, out: &mut Vec<u8>) {
         let g = self.global_write();
         out.extend_from_slice(&self.next_oid.load(Ordering::Relaxed).to_le_bytes());
+        // Only the newest committed version of each object is persisted
+        // (the format predates version chains and stays unchanged);
+        // older versions exist solely for in-flight snapshots, which do
+        // not survive a restart. Callers quiesce transactions first, so
+        // no pending version should be in flight here.
         let mut entries: Vec<(u64, Loc)> = Vec::new();
         for sh in &self.table {
             let m = lock_order::ranked(lock_order::HEAP_TABLE, || sh.map.read());
-            entries.extend(m.iter().map(|(&k, &v)| (k, v)));
+            entries.extend(m.iter().filter_map(|(&k, c)| {
+                Self::visible_loc(c, Vis::Latest, Oid::from_raw(k)).ok().map(|loc| (k, loc))
+            }));
         }
         entries.sort_unstable_by_key(|&(k, _)| k);
         out.extend_from_slice(&(entries.len() as u64).to_le_bytes());
@@ -823,13 +1338,20 @@ impl Heap {
         let mut cur = Cursor { data, at: 0 };
         let next_oid = cur.u64()?;
         let n = cur.u64()? as usize;
-        let mut maps: Vec<HashMap<u64, Loc>> = (0..TABLE_SHARDS).map(|_| HashMap::new()).collect();
+        let mut maps: Vec<HashMap<u64, Vec<Version>>> =
+            (0..TABLE_SHARDS).map(|_| HashMap::new()).collect();
         for _ in 0..n {
             let oid = cur.u64()?;
             let page = PageId(cur.u32()?);
             let slot = Slot(cur.u16()?);
             let seg = SegmentId(cur.u8()?);
-            maps[(oid % TABLE_SHARDS as u64) as usize].insert(oid, Loc { page, slot, seg });
+            // Checkpoint-era versions are pre-history: LSN 0, visible to
+            // every snapshot a later run might open.
+            let ver =
+                Version { body: VersionBody::Data(Loc { page, slot, seg }), lsn: 0, txn: 0 };
+            if let Some(m) = maps.get_mut((oid % TABLE_SHARDS as u64) as usize) {
+                m.insert(oid, vec![ver]);
+            }
         }
         let nsegs = cur.u32()? as usize;
         if nsegs == 0 {
@@ -859,10 +1381,21 @@ impl Heap {
         let mut g = self.global_write();
         g.segs = places.into_iter().map(SegShard::new).collect();
         self.next_oid.store(next_oid, Ordering::Relaxed);
+        // Replace the view wholesale along with the table. Latch-free
+        // readers are not excluded by the global quiesce, but load only
+        // runs at open/recovery, before any reader exists; the swaps
+        // below are atomic either way.
+        self.view.clear_all();
         for (sh, m) in self.table.iter().zip(maps) {
             let mut w = lock_order::ranked(lock_order::HEAP_TABLE, || sh.map.write());
+            for (&oid, chain) in &m {
+                self.publish_view(oid, chain);
+            }
             *w = m;
         }
+        // Locations condemned in the pre-load world must not be freed
+        // against the loaded one.
+        self.epoch_lock().condemned.clear();
         Ok(cur.at)
     }
 }
@@ -945,10 +1478,11 @@ mod tests {
         (Heap::new(pool, file, stats.clone(), placement, segs, 0, 1), stats)
     }
 
-    /// The raw stored bytes of an object's record (test-only spelunking).
+    /// The raw stored bytes of an object's newest committed record
+    /// (test-only spelunking).
     fn stored_of(h: &Heap, oid: Oid) -> Vec<u8> {
         let shard = h.table[(oid.raw() % TABLE_SHARDS as u64) as usize].map.read();
-        let loc = *shard.get(&oid.raw()).unwrap();
+        let loc = Heap::visible_loc(shard.get(&oid.raw()).unwrap(), Vis::Latest, oid).unwrap();
         drop(shard);
         h.pool
             .with_page(loc.page, |buf| page::read(buf, loc.slot).map(|s| s.to_vec()))
@@ -964,13 +1498,13 @@ mod tests {
     #[test]
     fn alloc_read_update_free_cycle() {
         let (h, _) = heap("cycle", Placement::Segments, 2, 16);
-        let a = h.alloc(SegmentId(0), ClusterHint::NONE, b"first").unwrap();
-        let b = h.alloc(SegmentId(1), ClusterHint::NONE, b"second").unwrap();
+        let a = h.alloc(SegmentId(0), ClusterHint::NONE, b"first", 0).unwrap();
+        let b = h.alloc(SegmentId(1), ClusterHint::NONE, b"second", 0).unwrap();
         assert_eq!(h.read(a).unwrap(), b"first");
         assert_eq!(h.read(b).unwrap(), b"second");
-        h.update(a, b"first, updated to a longer value").unwrap();
+        h.update(a, b"first, updated to a longer value", 0).unwrap();
         assert_eq!(h.read(a).unwrap(), b"first, updated to a longer value");
-        h.free(a).unwrap();
+        h.free(a, 0).unwrap();
         assert!(matches!(h.read(a), Err(StorageError::UnknownObject(_))));
         assert!(h.exists(b));
         assert_eq!(h.object_count(), 1);
@@ -979,11 +1513,11 @@ mod tests {
     #[test]
     fn unknown_segment_rejected_under_segment_placement() {
         let (h, _) = heap("badseg", Placement::Segments, 2, 8);
-        let err = h.alloc(SegmentId(5), ClusterHint::NONE, b"x").unwrap_err();
+        let err = h.alloc(SegmentId(5), ClusterHint::NONE, b"x", 0).unwrap_err();
         assert!(matches!(err, StorageError::UnknownSegment(5)));
         // Address-order placement ignores the segment id entirely.
         let (h2, _) = heap("badseg2", Placement::AddressOrder, 1, 8);
-        assert!(h2.alloc(SegmentId(5), ClusterHint::NONE, b"x").is_ok());
+        assert!(h2.alloc(SegmentId(5), ClusterHint::NONE, b"x", 0).is_ok());
     }
 
     #[test]
@@ -991,7 +1525,7 @@ mod tests {
         let (h, _) = heap("segsep", Placement::Segments, 2, 64);
         for i in 0..50u32 {
             let seg = SegmentId((i % 2) as u8);
-            h.alloc(seg, ClusterHint::NONE, &i.to_le_bytes()).unwrap();
+            h.alloc(seg, ClusterHint::NONE, &i.to_le_bytes(), 0).unwrap();
         }
         let seg_pages = h.segment_pages();
         assert_eq!(seg_pages.len(), 2);
@@ -999,7 +1533,7 @@ mod tests {
 
         let (h2, _) = heap("addr", Placement::AddressOrder, 1, 64);
         for i in 0..50u32 {
-            h2.alloc(SegmentId(0), ClusterHint::NONE, &i.to_le_bytes()).unwrap();
+            h2.alloc(SegmentId(0), ClusterHint::NONE, &i.to_le_bytes(), 0).unwrap();
         }
         assert_eq!(h2.segment_pages().len(), 1);
     }
@@ -1012,8 +1546,8 @@ mod tests {
         // even though the underlying store has only one segment.
         let mut hot = Vec::new();
         for i in 0..40u32 {
-            hot.push(h.alloc(SegmentId(1), ClusterHint::NONE, &[1u8; 40]).unwrap());
-            h.alloc(SegmentId(3), ClusterHint::NONE, &[2u8; 900]).unwrap();
+            hot.push(h.alloc(SegmentId(1), ClusterHint::NONE, &[1u8; 40], 0).unwrap());
+            h.alloc(SegmentId(3), ClusterHint::NONE, &[2u8; 900], 0).unwrap();
             let _ = i;
         }
         // Reading the hot type touches very few pages: 40 × 45B ≈ 1 page.
@@ -1032,8 +1566,8 @@ mod tests {
         let (h2, stats2) = heap("chunks-ao", Placement::AddressOrder, 1, 256);
         let mut hot2 = Vec::new();
         for _ in 0..40 {
-            hot2.push(h2.alloc(SegmentId(1), ClusterHint::NONE, &[1u8; 40]).unwrap());
-            h2.alloc(SegmentId(3), ClusterHint::NONE, &[2u8; 900]).unwrap();
+            hot2.push(h2.alloc(SegmentId(1), ClusterHint::NONE, &[1u8; 40], 0).unwrap());
+            h2.alloc(SegmentId(3), ClusterHint::NONE, &[2u8; 900], 0).unwrap();
         }
         h2.pool.clear().unwrap();
         let before = stats2.snapshot();
@@ -1052,23 +1586,23 @@ mod tests {
     fn overflow_round_trip_and_free() {
         let (h, _) = heap("ovfl", Placement::Segments, 1, 32);
         let big: Vec<u8> = (0..20_000u32).map(|i| (i % 251) as u8).collect();
-        let oid = h.alloc(SegmentId(0), ClusterHint::NONE, &big).unwrap();
+        let oid = h.alloc(SegmentId(0), ClusterHint::NONE, &big, 0).unwrap();
         assert_eq!(h.read(oid).unwrap(), big);
 
         // Update overflow -> still overflow.
         let bigger: Vec<u8> = (0..30_000u32).map(|i| (i % 13) as u8).collect();
-        h.update(oid, &bigger).unwrap();
+        h.update(oid, &bigger, 0).unwrap();
         assert_eq!(h.read(oid).unwrap(), bigger);
 
         // Update overflow -> inline.
-        h.update(oid, b"now small").unwrap();
+        h.update(oid, b"now small", 0).unwrap();
         assert_eq!(h.read(oid).unwrap(), b"now small");
 
         // Update inline -> overflow.
-        h.update(oid, &big).unwrap();
+        h.update(oid, &big, 0).unwrap();
         assert_eq!(h.read(oid).unwrap(), big);
 
-        h.free(oid).unwrap();
+        h.free(oid, 0).unwrap();
         assert!(!h.exists(oid));
     }
 
@@ -1076,11 +1610,14 @@ mod tests {
     fn freed_overflow_pages_are_reused() {
         let (h, _) = heap("reuse", Placement::Segments, 1, 32);
         let big = vec![5u8; 15_000];
-        let a = h.alloc(SegmentId(0), ClusterHint::NONE, &big).unwrap();
-        h.free(a).unwrap();
+        let a = h.alloc(SegmentId(0), ClusterHint::NONE, &big, 0).unwrap();
+        h.free(a, 0).unwrap();
+        // Frees are epoch-deferred: the chain pages come back only once
+        // GC has proven no latch-free reader can still be walking them.
+        h.collect_garbage(u64::MAX);
         let freed = seg_free_pages(&h, 0).len();
         assert!(freed >= 2, "freeing a multi-chunk overflow should reclaim pages");
-        let b = h.alloc(SegmentId(0), ClusterHint::NONE, &big).unwrap();
+        let b = h.alloc(SegmentId(0), ClusterHint::NONE, &big, 0).unwrap();
         assert_eq!(h.read(b).unwrap(), big);
         // New chain should have drawn from the free list, not grown the file.
         assert!(
@@ -1099,7 +1636,7 @@ mod tests {
         let pool = Arc::new(BufferPool::new(file.clone(), stats.clone(), 16, false));
         let fat = Heap::new(pool, file, stats, Placement::AddressOrder, 1, 24, 16);
         assert_eq!(fat.stored_len(100), 144); // 5+24+100=129, aligned up to 144
-        let oid = fat.alloc(SegmentId(0), ClusterHint::NONE, &[9u8; 100]).unwrap();
+        let oid = fat.alloc(SegmentId(0), ClusterHint::NONE, &[9u8; 100], 0).unwrap();
         assert_eq!(fat.read(oid).unwrap(), vec![9u8; 100]);
     }
 
@@ -1114,12 +1651,12 @@ mod tests {
         assert_eq!(h.stored_len(max_inline), page::MAX_RECORD);
 
         let at = vec![0xABu8; max_inline];
-        let a = h.alloc(SegmentId(0), ClusterHint::NONE, &at).unwrap();
+        let a = h.alloc(SegmentId(0), ClusterHint::NONE, &at, 0).unwrap();
         assert_eq!(h.read(a).unwrap(), at);
         assert_eq!(stored_of(&h, a)[0], TAG_INLINE, "boundary payload stays inline");
 
         let over = vec![0xCDu8; max_inline + 1];
-        let b = h.alloc(SegmentId(0), ClusterHint::NONE, &over).unwrap();
+        let b = h.alloc(SegmentId(0), ClusterHint::NONE, &over, 0).unwrap();
         assert_eq!(h.read(b).unwrap(), over);
         assert_eq!(stored_of(&h, b)[0], TAG_OVERFLOW, "one byte more overflows");
         assert_eq!(stored_of(&h, b).len(), OVERFLOW_HDR);
@@ -1134,15 +1671,16 @@ mod tests {
         // word, decides the record kind.
         let (h, _) = heap("marker", Placement::Segments, 1, 16);
         let tricky = [0xFFu8, 0xFF, 0xFF, 0xFF, 0x2E, 0x1D, 0x00];
-        let oid = h.alloc(SegmentId(0), ClusterHint::NONE, &tricky).unwrap();
+        let oid = h.alloc(SegmentId(0), ClusterHint::NONE, &tricky, 0).unwrap();
         assert_eq!(h.read(oid).unwrap(), tricky);
         let stored = stored_of(&h, oid);
         assert_eq!(stored[0], TAG_INLINE);
         assert!(!Heap::is_overflow(&stored));
         // Updating and freeing (the paths that branch on is_overflow)
         // treat it as inline: no bogus chain walk.
-        h.update(oid, &tricky).unwrap();
-        h.free(oid).unwrap();
+        h.update(oid, &tricky, 0).unwrap();
+        h.free(oid, 0).unwrap();
+        h.collect_garbage(u64::MAX);
         assert!(seg_free_pages(&h, 0).is_empty(), "no phantom chain pages were freed");
     }
 
@@ -1176,7 +1714,7 @@ mod tests {
         // pointer — into the free list.
         let (h, _) = heap("qfree", Placement::Segments, 1, 32);
         let big = vec![7u8; 15_000]; // several chunk pages
-        let oid = h.alloc(SegmentId(0), ClusterHint::NONE, &big).unwrap();
+        let oid = h.alloc(SegmentId(0), ClusterHint::NONE, &big, 0).unwrap();
         let header = stored_of(&h, oid);
         assert_eq!(header[0], TAG_OVERFLOW);
         let first = le_u32_at(&header, 5).unwrap();
@@ -1191,7 +1729,8 @@ mod tests {
         h.file.quarantine(PageId(second));
         h.demote_pages(&[PageId(second)]);
 
-        h.free(oid).unwrap();
+        h.free(oid, 0).unwrap();
+        h.collect_garbage(u64::MAX);
         assert!(!h.exists(oid));
         let free = seg_free_pages(&h, 0);
         assert!(free.contains(&PageId(first)), "healthy prefix is reclaimed");
@@ -1208,9 +1747,10 @@ mod tests {
         let mut oids = Vec::new();
         for i in 0..30u32 {
             let seg = SegmentId((i % 3) as u8);
-            oids.push(h.alloc(seg, ClusterHint::NONE, &i.to_le_bytes()).unwrap());
+            oids.push(h.alloc(seg, ClusterHint::NONE, &i.to_le_bytes(), 0).unwrap());
         }
-        h.free(oids[7]).unwrap();
+        let freed = *oids.get(7).unwrap();
+        h.free(freed, 0).unwrap();
         let mut meta = Vec::new();
         h.dump_meta(&mut meta);
 
@@ -1225,7 +1765,7 @@ mod tests {
             }
         }
         // Oid counter restored: new allocations do not collide.
-        let fresh = h.alloc(SegmentId(0), ClusterHint::NONE, b"post").unwrap();
+        let fresh = h.alloc(SegmentId(0), ClusterHint::NONE, b"post", 0).unwrap();
         assert!(fresh.raw() > oids.last().unwrap().raw());
     }
 
@@ -1239,13 +1779,14 @@ mod tests {
         let mut live = Vec::new();
         for i in 0..200u32 {
             let seg = SegmentId((i % 4) as u8);
-            live.push((h.alloc(seg, ClusterHint::NONE, &i.to_le_bytes()).unwrap(), i));
+            live.push((h.alloc(seg, ClusterHint::NONE, &i.to_le_bytes(), 0).unwrap(), i));
         }
         let big = vec![3u8; 12_000];
-        let big_oid = h.alloc(SegmentId(2), ClusterHint::NONE, &big).unwrap();
+        let big_oid = h.alloc(SegmentId(2), ClusterHint::NONE, &big, 0).unwrap();
         // Free an overflow object so the dump carries a free list.
-        let doomed = h.alloc(SegmentId(1), ClusterHint::NONE, &vec![4u8; 9_000]).unwrap();
-        h.free(doomed).unwrap();
+        let doomed = h.alloc(SegmentId(1), ClusterHint::NONE, &vec![4u8; 9_000], 0).unwrap();
+        h.free(doomed, 0).unwrap();
+        h.collect_garbage(u64::MAX);
         let free_before: usize = (0..4).map(|i| seg_free_pages(&h, i).len()).sum();
         assert!(free_before > 0);
 
@@ -1263,14 +1804,14 @@ mod tests {
         let free_after: usize = (0..4).map(|i| seg_free_pages(&h, i).len()).sum();
         assert_eq!(free_after, free_before, "free pages survive the round trip");
         // The allocator floor survives too.
-        let fresh = h.alloc(SegmentId(0), ClusterHint::NONE, b"post").unwrap();
+        let fresh = h.alloc(SegmentId(0), ClusterHint::NONE, b"post", 0).unwrap();
         assert!(fresh.raw() > big_oid.raw());
     }
 
     #[test]
     fn load_meta_rejects_truncated_input() {
         let (h, _) = heap("trunc", Placement::Segments, 1, 8);
-        h.alloc(SegmentId(0), ClusterHint::NONE, b"x").unwrap();
+        h.alloc(SegmentId(0), ClusterHint::NONE, b"x", 0).unwrap();
         let mut meta = Vec::new();
         h.dump_meta(&mut meta);
         let err = h.load_meta(&meta[..meta.len() - 3]).unwrap_err();
@@ -1281,8 +1822,8 @@ mod tests {
     fn update_nonexistent_and_free_nonexistent_fail() {
         let (h, _) = heap("missing", Placement::Segments, 1, 8);
         let ghost = Oid::from_raw(999);
-        assert!(matches!(h.update(ghost, b"x"), Err(StorageError::UnknownObject(_))));
-        assert!(matches!(h.free(ghost), Err(StorageError::UnknownObject(_))));
+        assert!(matches!(h.update(ghost, b"x", 0), Err(StorageError::UnknownObject(_))));
+        assert!(matches!(h.free(ghost, 0), Err(StorageError::UnknownObject(_))));
     }
 
     #[test]
@@ -1293,16 +1834,16 @@ mod tests {
         let (h, _) = heap("race", Placement::Segments, 1, 64);
         let small = vec![7u8; 100];
         let large = vec![9u8; 3000];
-        let oid = h.alloc(SegmentId(0), ClusterHint::NONE, &small).unwrap();
+        let oid = h.alloc(SegmentId(0), ClusterHint::NONE, &small, 0).unwrap();
         // Fill the page so growth forces relocation.
         for _ in 0..8 {
-            h.alloc(SegmentId(0), ClusterHint::NONE, &[1u8; 400]).unwrap();
+            h.alloc(SegmentId(0), ClusterHint::NONE, &[1u8; 400], 0).unwrap();
         }
         std::thread::scope(|scope| {
             let writer = scope.spawn(|| {
                 for i in 0..2_000 {
                     let payload = if i % 2 == 0 { &large } else { &small };
-                    h.update(oid, payload).unwrap();
+                    h.update(oid, payload, 0).unwrap();
                 }
             });
             let mut readers = Vec::new();
@@ -1342,7 +1883,7 @@ mod tests {
         for i in 0..THREADS * PER {
             let expect = (i + 1) % THREADS; // oid i+1
             let oid = h
-                .alloc(SegmentId(expect as u8), ClusterHint::NONE, &(i as u32).to_le_bytes())
+                .alloc(SegmentId(expect as u8), ClusterHint::NONE, &(i as u32).to_le_bytes(), 0)
                 .unwrap();
             assert_eq!(oid.raw() as usize % THREADS, expect);
             mine[expect].push(oid);
@@ -1355,7 +1896,7 @@ mod tests {
                     let before = crate::waits::snapshot();
                     for round in 0..20u32 {
                         for &oid in oids {
-                            h.update(oid, &(round + t as u32).to_le_bytes()).unwrap();
+                            h.update(oid, &(round + t as u32).to_le_bytes(), 0).unwrap();
                             h.read(oid).unwrap();
                         }
                     }
@@ -1389,7 +1930,7 @@ mod tests {
         let (h, _) = heap("contend", Placement::Segments, 1, 128);
         let mut oids = Vec::new();
         for i in 0..THREADS * PER {
-            oids.push(h.alloc(SegmentId(0), ClusterHint::NONE, &(i as u32).to_le_bytes()).unwrap());
+            oids.push(h.alloc(SegmentId(0), ClusterHint::NONE, &(i as u32).to_le_bytes(), 0).unwrap());
         }
         std::thread::scope(|scope| {
             for t in 0..THREADS {
@@ -1399,12 +1940,12 @@ mod tests {
                     for round in 0..30u32 {
                         for (j, &oid) in mine.iter().enumerate() {
                             let val = (t as u32) << 24 | round << 8 | j as u32;
-                            h.update(oid, &val.to_le_bytes()).unwrap();
+                            h.update(oid, &val.to_le_bytes(), 0).unwrap();
                             assert_eq!(h.read(oid).unwrap(), val.to_le_bytes());
                             // Churn the segment's placement state too.
                             let extra =
-                                h.alloc(SegmentId(0), ClusterHint::NONE, &[t as u8; 64]).unwrap();
-                            h.free(extra).unwrap();
+                                h.alloc(SegmentId(0), ClusterHint::NONE, &[t as u8; 64], 0).unwrap();
+                            h.free(extra, 0).unwrap();
                         }
                     }
                 });
@@ -1421,11 +1962,205 @@ mod tests {
     }
 
     #[test]
+    fn pending_versions_are_invisible_until_committed() {
+        let (h, _) = heap("mvcc-pend", Placement::Segments, 1, 16);
+        let oid = h.alloc(SegmentId(0), ClusterHint::NONE, b"v1", 7).unwrap();
+        // Pending: invisible to plain reads, visible to its owner.
+        assert!(matches!(h.read(oid), Err(StorageError::UnknownObject(_))));
+        assert!(!h.exists(oid));
+        assert_eq!(h.read_for(oid, 7).unwrap(), b"v1");
+        assert!(h.exists_for(oid, 7));
+        h.commit_version(oid, 7, 1, u64::MAX);
+        assert_eq!(h.read(oid).unwrap(), b"v1");
+
+        // A pending update supersedes for the owner only.
+        h.update(oid, b"v2", 8).unwrap();
+        assert_eq!(h.read(oid).unwrap(), b"v1");
+        assert_eq!(h.read_for(oid, 8).unwrap(), b"v2");
+        assert_eq!(h.read_for(oid, 9).unwrap(), b"v1", "foreign txn sees committed");
+        h.commit_version(oid, 8, 2, u64::MAX);
+        assert_eq!(h.read(oid).unwrap(), b"v2");
+        // Snapshot reads resolve by commit LSN.
+        assert_eq!(h.read_at(oid, 1).unwrap(), b"v1");
+        assert_eq!(h.read_at(oid, 2).unwrap(), b"v2");
+        assert!(matches!(h.read_at(oid, 0), Err(StorageError::UnknownObject(_))));
+    }
+
+    #[test]
+    fn discard_drops_pending_and_restores_committed() {
+        let (h, _) = heap("mvcc-disc", Placement::Segments, 1, 16);
+        let oid = h.alloc(SegmentId(0), ClusterHint::NONE, b"base", 0).unwrap();
+        h.update(oid, b"doomed", 5).unwrap();
+        h.update(oid, b"doomed again", 5).unwrap(); // replaces own pending in place
+        h.discard_txn(oid, 5);
+        assert_eq!(h.read(oid).unwrap(), b"base");
+        // An aborted allocation vanishes entirely.
+        let fresh = h.alloc(SegmentId(0), ClusterHint::NONE, b"never", 6).unwrap();
+        h.discard_txn(fresh, 6);
+        assert!(!h.exists(fresh));
+        assert!(!h.exists_for(fresh, 6));
+        // A pending tombstone discards back to visible.
+        h.free(oid, 9).unwrap();
+        assert!(!h.exists_for(oid, 9));
+        h.discard_txn(oid, 9);
+        assert_eq!(h.read(oid).unwrap(), b"base");
+    }
+
+    #[test]
+    fn gc_honours_the_snapshot_low_water_mark() {
+        let (h, stats) = heap("mvcc-gc", Placement::Segments, 1, 16);
+        let oid = h.alloc(SegmentId(0), ClusterHint::NONE, b"v1", 1).unwrap();
+        h.commit_version(oid, 1, 1, u64::MAX);
+        h.update(oid, b"v2", 2).unwrap();
+        h.commit_version(oid, 2, 2, u64::MAX);
+        h.update(oid, b"v3", 3).unwrap();
+        h.commit_version(oid, 3, 3, u64::MAX);
+
+        // A snapshot pinned at LSN 1 keeps v1 — and conservatively
+        // everything newer (a higher-LSN snapshot could still open).
+        h.collect_garbage(1);
+        assert_eq!(h.read_at(oid, 1).unwrap(), b"v1", "pinned version survives GC");
+        assert_eq!(h.read_at(oid, 2).unwrap(), b"v2");
+        assert_eq!(h.read(oid).unwrap(), b"v3");
+
+        // With a floor of 2, v1 is older than the floor-visible version
+        // (v2) and must be reclaimed; v2 itself stays. Reading below
+        // the floor afterwards is an illegal snapshot (no such snapshot
+        // can be open) and reports the object as unknown.
+        h.collect_garbage(2);
+        assert_eq!(h.read_at(oid, 2).unwrap(), b"v2", "floor-visible version survives");
+        assert!(h.read_at(oid, 1).is_err(), "v1 reclaimed");
+
+        // Snapshot released: everything below latest goes.
+        h.collect_garbage(u64::MAX);
+        assert!(h.read_at(oid, 2).is_err(), "floor gone, only latest survives");
+        assert_eq!(h.read_at(oid, 3).unwrap(), b"v3");
+        assert_eq!(h.read(oid).unwrap(), b"v3");
+        assert!(stats.snapshot().versions_gced >= 2);
+
+        // A committed tombstone is itself collectable once unpinned.
+        h.free(oid, 4).unwrap();
+        h.commit_version(oid, 4, 4, u64::MAX);
+        assert!(!h.exists(oid));
+        h.collect_garbage(u64::MAX);
+        assert!(!h.exists(oid));
+        assert_eq!(h.object_count(), 0);
+    }
+
+    #[test]
+    fn commit_trims_chains_past_the_soft_bound() {
+        let (h, _) = heap("mvcc-trim", Placement::Segments, 1, 32);
+        let oid = h.alloc(SegmentId(0), ClusterHint::NONE, b"v0", 1).unwrap();
+        h.commit_version(oid, 1, 1, u64::MAX);
+        for i in 2..=(MAX_CHAIN as u64 + 6) {
+            h.update(oid, format!("v{i}").as_bytes(), i).unwrap();
+            h.commit_version(oid, i, i, u64::MAX);
+        }
+        let len = {
+            let shard = h.table[(oid.raw() % TABLE_SHARDS as u64) as usize].map.read();
+            shard.get(&oid.raw()).unwrap().len()
+        };
+        assert!(len <= MAX_CHAIN + 1, "commit-time trim bounds the chain, got {len}");
+        // With a floor pinning everything, commits must NOT trim.
+        let (h2, _) = heap("mvcc-trim2", Placement::Segments, 1, 32);
+        let o2 = h2.alloc(SegmentId(0), ClusterHint::NONE, b"v0", 1).unwrap();
+        h2.commit_version(o2, 1, 1, 0);
+        for i in 2..=(MAX_CHAIN as u64 + 6) {
+            h2.update(o2, format!("v{i}").as_bytes(), i).unwrap();
+            h2.commit_version(o2, i, i, 0);
+        }
+        assert_eq!(h2.read_at(o2, 1).unwrap(), b"v0", "floor 0 pins the whole history");
+    }
+
+    #[test]
+    fn latch_free_readers_survive_concurrent_gc() {
+        // The epoch machinery's reason to exist: a writer keeps
+        // superseding the object's only committed version (condemning
+        // the old one) and GC keeps freeing the condemned records, while
+        // latch-free readers resolve and dereference version locations
+        // with no table lock held. Every read must see one of the two
+        // payloads — never a torn, freed, or foreign record.
+        let (h, _) = heap("mvcc-race", Placement::Segments, 1, 64);
+        let small = vec![7u8; 100];
+        let large = vec![9u8; 3000];
+        let oid = h.alloc(SegmentId(0), ClusterHint::NONE, &small, 0).unwrap();
+        std::thread::scope(|scope| {
+            let writer = scope.spawn(|| {
+                for i in 0..1_500usize {
+                    let payload = if i % 2 == 0 { &large } else { &small };
+                    h.update(oid, payload, 0).unwrap();
+                    if i % 16 == 0 {
+                        h.collect_garbage(u64::MAX);
+                    }
+                }
+            });
+            let mut readers = Vec::new();
+            for _ in 0..3 {
+                readers.push(scope.spawn(|| {
+                    for _ in 0..2_000 {
+                        let got = h.read(oid).unwrap();
+                        assert!(
+                            got == small || got == large,
+                            "reader saw a torn/freed payload of {} bytes",
+                            got.len()
+                        );
+                    }
+                }));
+            }
+            writer.join().unwrap();
+            for r in readers {
+                r.join().unwrap();
+            }
+        });
+    }
+
+    #[test]
+    fn snapshot_scans_pin_history_under_writers() {
+        // A scanner reading at a pinned LSN races a writer committing
+        // new versions (GC floor respects the pin): the scanner must
+        // always see exactly its snapshot's value.
+        let (h, _) = heap("mvcc-pin", Placement::Segments, 1, 64);
+        let base = vec![0x42u8; 600];
+        let oid = h.alloc(SegmentId(0), ClusterHint::NONE, &base, 1).unwrap();
+        h.commit_version(oid, 1, 1, u64::MAX);
+        std::thread::scope(|scope| {
+            let writer = scope.spawn(|| {
+                for i in 2..300u64 {
+                    h.update(oid, &vec![(i % 251) as u8; 700], i).unwrap();
+                    h.commit_version(oid, i, i, 1);
+                    if i % 16 == 0 {
+                        h.collect_garbage(1);
+                    }
+                }
+            });
+            let mut scanners = Vec::new();
+            for _ in 0..2 {
+                scanners.push(scope.spawn(|| {
+                    for _ in 0..1_500 {
+                        assert_eq!(
+                            h.read_at(oid, 1).unwrap(),
+                            base,
+                            "snapshot read must see its pinned version"
+                        );
+                    }
+                }));
+            }
+            writer.join().unwrap();
+            for s in scanners {
+                s.join().unwrap();
+            }
+        });
+        // Snapshot gone: GC with no floor leaves only the newest.
+        h.collect_garbage(u64::MAX);
+        assert_eq!(h.read(oid).unwrap(), vec![(299u64 % 251) as u8; 700]);
+    }
+
+    #[test]
     fn many_objects_survive_tiny_pool() {
         let (h, _) = heap("tiny", Placement::AddressOrder, 1, 2);
         let mut oids = Vec::new();
         for i in 0..500u32 {
-            oids.push(h.alloc(SegmentId(0), ClusterHint::NONE, &i.to_le_bytes()).unwrap());
+            oids.push(h.alloc(SegmentId(0), ClusterHint::NONE, &i.to_le_bytes(), 0).unwrap());
         }
         for (i, &oid) in oids.iter().enumerate() {
             assert_eq!(h.read(oid).unwrap(), (i as u32).to_le_bytes());

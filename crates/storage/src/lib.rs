@@ -81,9 +81,9 @@ pub use memstore::MemStore;
 pub use pagefile::{PageRead, PAGE_HDR};
 pub use scrub::{scrub_store, ScrubReport};
 pub use stats::{StatsSnapshot, StorageStats};
-pub use traits::{SegmentInfo, StorageManager};
+pub use traits::{SegmentInfo, Snapshot, StorageManager};
 pub use vfs::{FaultPlan, OpenMode, RealVfs, SimVfs, Vfs, VfsFile};
-pub use waits::{snapshot as wait_snapshot, WaitSnapshot};
+pub use waits::{add_name_index_wait, snapshot as wait_snapshot, WaitSnapshot};
 
 /// The page size used by all page-based backends, in bytes. This is the
 /// *physical* unit of I/O; every page begins with a [`PAGE_HDR`]-byte

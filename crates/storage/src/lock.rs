@@ -138,6 +138,7 @@ impl LockManager {
                 break Err(StorageError::LockTimeout(oid));
             }
             waited.get_or_insert(now);
+            crate::waits::add_lock_condvar_wait();
             let (guard, _) = shard
                 .released
                 .wait_timeout(states, deadline - now)

@@ -18,9 +18,12 @@
 //! | rank | lock                                   |
 //! |------|----------------------------------------|
 //! | 10   | `Engine::active` (txn table / quiesce) |
+//! | 12   | `Engine::vis` (commit-visibility flip) |
+//! | 14   | `Engine::snapshots` (snapshot registry)|
 //! | 20   | `LockManager` shard `states`           |
 //! | 25   | `LockManager::held`                    |
 //! | 28   | `Heap::global` (quiesce / seg roster)  |
+//! | 29   | `Heap` epoch state (readers/condemned) |
 //! | 30   | `Heap` object-table shard              |
 //! | 32   | `Heap` segment placement state         |
 //! | 40   | `BufferPool::inner`                    |
@@ -44,6 +47,13 @@ pub struct LockRank {
 
 /// `Engine::active`: the active-transaction table and quiesce flag.
 pub const ENGINE_ACTIVE: LockRank = LockRank { rank: 10, name: "engine.active" };
+/// `Engine::vis`: serialises the commit-time version flip with the
+/// visibility-watermark publish, so a snapshot never observes half of a
+/// transaction's versions.
+pub const ENGINE_COMMIT_VIS: LockRank = LockRank { rank: 12, name: "engine.visibility" };
+/// `Engine::snapshots`: the registry of open snapshot read timestamps
+/// that feeds the version-GC low-water mark.
+pub const ENGINE_SNAPSHOTS: LockRank = LockRank { rank: 14, name: "engine.snapshots" };
 /// One `LockManager` shard's lock-state map.
 pub const LOCK_SHARD: LockRank = LockRank { rank: 20, name: "lock_manager.shard" };
 /// The `LockManager` per-transaction held-locks map.
@@ -52,6 +62,10 @@ pub const LOCK_HELD: LockRank = LockRank { rank: 25, name: "lock_manager.held" }
 /// duration, exclusive-held only by the checkpoint quiesce
 /// (`dump_meta`/`load_meta`) and segment-roster changes.
 pub const HEAP_GLOBAL: LockRank = LockRank { rank: 28, name: "heap.global" };
+/// The heap's epoch state: the reader-slot registry plus the condemned
+/// version list awaiting an epoch-synchronised free. Readers never take
+/// this on the hot path (slots are thread-cached); registration and GC do.
+pub const HEAP_EPOCH: LockRank = LockRank { rank: 29, name: "heap.epoch" };
 /// One of the heap's object-table shards (oid-hashed).
 pub const HEAP_TABLE: LockRank = LockRank { rank: 30, name: "heap.object_table" };
 /// One segment's placement state (open page, page list, free list,

@@ -6,6 +6,12 @@
 //! behavioural differences preserved are the names and the Texas flavor's
 //! single-user restriction and missing abort, so the workload driver can
 //! treat all five versions identically.
+//!
+//! Like the page-based engine, objects are kept as newest-first version
+//! chains: writes stay pending (visible only to their transaction) until
+//! commit stamps them with one LSN, snapshots read a stable cut, and the
+//! chain is trimmed against the open-snapshot low-water mark. One mutex
+//! guards everything, which makes the commit flip trivially atomic.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -15,18 +21,60 @@ use parking_lot::Mutex;
 use crate::error::{Result, StorageError};
 use crate::ids::{ClusterHint, Oid, SegmentId, TxnId};
 use crate::stats::{StatsSnapshot, StorageStats};
-use crate::traits::{SegmentInfo, StorageManager};
+use crate::traits::{SegmentInfo, Snapshot, StorageManager};
 
-enum Undo {
-    UnAlloc(Oid),
-    Restore(Oid, Vec<u8>),
-    Realloc(Oid, Vec<u8>),
+/// Soft bound on committed versions kept per chain (matching the heap).
+const MAX_CHAIN: usize = 8;
+
+/// One version of an object: `data` of `None` is a tombstone, `txn != 0`
+/// marks a pending (uncommitted) version — always at the chain head.
+struct MemVersion {
+    data: Option<Vec<u8>>,
+    lsn: u64,
+    txn: u64,
 }
 
 struct Inner {
-    objects: HashMap<u64, Vec<u8>>,
-    active: HashMap<u64, Vec<Undo>>,
+    /// Object table: oid → newest-first version chain.
+    chains: HashMap<u64, Vec<MemVersion>>,
+    /// Active transactions: txn → oids it wrote (commit flips, abort discards).
+    active: HashMap<u64, Vec<u64>>,
     next_oid: u64,
+    /// Newest fully published commit LSN; snapshots read at this point.
+    last_visible: u64,
+    /// Open snapshots: token → pinned LSN (the GC low-water mark).
+    snapshots: HashMap<u64, u64>,
+    next_snap: u64,
+}
+
+impl Inner {
+    fn committed_at(chain: &[MemVersion], lsn: u64) -> Option<&MemVersion> {
+        chain.iter().find(|v| v.txn == 0 && v.lsn <= lsn)
+    }
+
+    fn seen_by(chain: &[MemVersion], txn: u64) -> Option<&MemVersion> {
+        chain.iter().find(|v| v.txn == txn || v.txn == 0)
+    }
+
+    fn snapshot_floor(&self) -> u64 {
+        self.snapshots.values().copied().min().unwrap_or(u64::MAX)
+    }
+
+    /// Drop every version older than the newest committed one at or
+    /// below `floor`; returns how many were trimmed. A chain reduced to
+    /// a single committed tombstone is equivalent to no chain at all.
+    fn trim(chain: &mut Vec<MemVersion>, floor: u64) -> u64 {
+        let Some(keep) = chain.iter().position(|v| v.txn == 0 && v.lsn <= floor) else {
+            return 0;
+        };
+        let trimmed = (chain.len() - keep - 1) as u64;
+        chain.truncate(keep + 1);
+        if chain.len() == 1 && chain.first().is_some_and(|v| v.txn == 0 && v.data.is_none()) {
+            chain.clear();
+            return trimmed + 1;
+        }
+        trimmed
+    }
 }
 
 /// A main-memory storage manager.
@@ -47,9 +95,12 @@ impl MemStore {
             single_user: false,
             can_abort: true,
             inner: Mutex::new(Inner {
-                objects: HashMap::new(),
+                chains: HashMap::new(),
                 active: HashMap::new(),
                 next_oid: 1,
+                last_visible: 0,
+                snapshots: HashMap::new(),
+                next_snap: 1,
             }),
             next_txn: AtomicU64::new(1),
             stats: StorageStats::default(),
@@ -66,10 +117,18 @@ impl MemStore {
         }
     }
 
-    /// Total payload bytes held (the `-mm` analogue of database size;
-    /// reported separately because the paper prints "—" in the size row).
+    /// Total payload bytes held by latest-committed versions (the `-mm`
+    /// analogue of database size; reported separately because the paper
+    /// prints "—" in the size row).
     pub fn resident_bytes(&self) -> u64 {
-        self.inner.lock().objects.values().map(|v| v.len() as u64).sum()
+        let inner = self.inner.lock();
+        inner
+            .chains
+            .values()
+            .filter_map(|c| Inner::committed_at(c, u64::MAX))
+            .filter_map(|v| v.data.as_ref())
+            .map(|d| d.len() as u64)
+            .sum()
     }
 }
 
@@ -89,11 +148,34 @@ impl StorageManager for MemStore {
     }
 
     fn commit(&self, txn: TxnId) -> Result<()> {
-        self.inner
-            .lock()
-            .active
-            .remove(&txn.raw())
-            .ok_or(StorageError::UnknownTxn(txn))?;
+        let mut inner = self.inner.lock();
+        let touched =
+            inner.active.remove(&txn.raw()).ok_or(StorageError::UnknownTxn(txn))?;
+        if !touched.is_empty() {
+            // The one mutex makes the flip atomic: no reader can observe
+            // some of this transaction's versions committed and others
+            // pending.
+            let lsn = inner.last_visible + 1;
+            let floor = inner.snapshot_floor();
+            let mut trimmed = 0;
+            for oid in touched {
+                let Some(chain) = inner.chains.get_mut(&oid) else { continue };
+                if let Some(head) = chain.first_mut() {
+                    if head.txn == txn.raw() {
+                        head.txn = 0;
+                        head.lsn = lsn;
+                    }
+                }
+                if chain.len() > MAX_CHAIN {
+                    trimmed += Inner::trim(chain, floor);
+                }
+                if chain.is_empty() {
+                    inner.chains.remove(&oid);
+                }
+            }
+            inner.last_visible = lsn;
+            StorageStats::bump(&self.stats.versions_gced, trimmed);
+        }
         StorageStats::bump(&self.stats.commits, 1);
         Ok(())
     }
@@ -103,15 +185,17 @@ impl StorageManager for MemStore {
             return Err(StorageError::Unsupported("abort: Texas-mm has no undo capability"));
         }
         let mut inner = self.inner.lock();
-        let undo = inner.active.remove(&txn.raw()).ok_or(StorageError::UnknownTxn(txn))?;
-        for u in undo.into_iter().rev() {
-            match u {
-                Undo::UnAlloc(oid) => {
-                    inner.objects.remove(&oid.raw());
-                }
-                Undo::Restore(oid, data) | Undo::Realloc(oid, data) => {
-                    inner.objects.insert(oid.raw(), data);
-                }
+        let touched =
+            inner.active.remove(&txn.raw()).ok_or(StorageError::UnknownTxn(txn))?;
+        // Pending versions were never visible to anyone else; dropping
+        // them is the whole rollback.
+        for oid in touched.into_iter().rev() {
+            let Some(chain) = inner.chains.get_mut(&oid) else { continue };
+            if chain.first().is_some_and(|v| v.txn == txn.raw()) {
+                chain.remove(0);
+            }
+            if chain.is_empty() {
+                inner.chains.remove(&oid);
             }
         }
         StorageStats::bump(&self.stats.aborts, 1);
@@ -131,9 +215,11 @@ impl StorageManager for MemStore {
         }
         let oid = Oid::from_raw(inner.next_oid);
         inner.next_oid += 1;
-        inner.objects.insert(oid.raw(), data.to_vec());
-        if let Some(undo) = inner.active.get_mut(&txn.raw()) {
-            undo.push(Undo::UnAlloc(oid));
+        inner
+            .chains
+            .insert(oid.raw(), vec![MemVersion { data: Some(data.to_vec()), lsn: 0, txn: txn.raw() }]);
+        if let Some(touched) = inner.active.get_mut(&txn.raw()) {
+            touched.push(oid.raw());
         }
         StorageStats::bump(&self.stats.allocs, 1);
         StorageStats::bump(&self.stats.bytes_allocated, data.len() as u64);
@@ -142,11 +228,12 @@ impl StorageManager for MemStore {
 
     fn read(&self, oid: Oid) -> Result<Vec<u8>> {
         StorageStats::bump(&self.stats.reads, 1);
-        self.inner
-            .lock()
-            .objects
+        let inner = self.inner.lock();
+        inner
+            .chains
             .get(&oid.raw())
-            .cloned()
+            .and_then(|c| Inner::committed_at(c, u64::MAX))
+            .and_then(|v| v.data.clone())
             .ok_or(StorageError::UnknownObject(oid))
     }
 
@@ -154,7 +241,7 @@ impl StorageManager for MemStore {
         if !self.inner.lock().active.contains_key(&txn.raw()) {
             return Err(StorageError::UnknownTxn(txn));
         }
-        self.read(oid)
+        self.read_for(txn, oid)
     }
 
     fn update(&self, txn: TxnId, oid: Oid, data: &[u8]) -> Result<()> {
@@ -162,15 +249,17 @@ impl StorageManager for MemStore {
         if !inner.active.contains_key(&txn.raw()) {
             return Err(StorageError::UnknownTxn(txn));
         }
-        let slot = inner
-            .objects
+        let chain = inner
+            .chains
             .get_mut(&oid.raw())
+            .filter(|c| Inner::seen_by(c, txn.raw()).is_some_and(|v| v.data.is_some()))
             .ok_or(StorageError::UnknownObject(oid))?;
-        let old = std::mem::replace(slot, data.to_vec());
-        if self.can_abort {
-            if let Some(undo) = inner.active.get_mut(&txn.raw()) {
-                undo.push(Undo::Restore(oid, old));
-            }
+        match chain.first_mut() {
+            Some(head) if head.txn == txn.raw() => head.data = Some(data.to_vec()),
+            _ => chain.insert(0, MemVersion { data: Some(data.to_vec()), lsn: 0, txn: txn.raw() }),
+        }
+        if let Some(touched) = inner.active.get_mut(&txn.raw()) {
+            touched.push(oid.raw());
         }
         StorageStats::bump(&self.stats.updates, 1);
         Ok(())
@@ -181,21 +270,98 @@ impl StorageManager for MemStore {
         if !inner.active.contains_key(&txn.raw()) {
             return Err(StorageError::UnknownTxn(txn));
         }
-        let old = inner.objects.remove(&oid.raw()).ok_or(StorageError::UnknownObject(oid))?;
-        if self.can_abort {
-            if let Some(undo) = inner.active.get_mut(&txn.raw()) {
-                undo.push(Undo::Realloc(oid, old));
-            }
+        let chain = inner
+            .chains
+            .get_mut(&oid.raw())
+            .filter(|c| Inner::seen_by(c, txn.raw()).is_some_and(|v| v.data.is_some()))
+            .ok_or(StorageError::UnknownObject(oid))?;
+        match chain.first_mut() {
+            Some(head) if head.txn == txn.raw() => head.data = None,
+            _ => chain.insert(0, MemVersion { data: None, lsn: 0, txn: txn.raw() }),
+        }
+        // A freshly allocated-and-freed chain is a lone pending
+        // tombstone; commit or abort resolves it either way.
+        if let Some(touched) = inner.active.get_mut(&txn.raw()) {
+            touched.push(oid.raw());
         }
         Ok(())
     }
 
     fn exists(&self, oid: Oid) -> bool {
-        self.inner.lock().objects.contains_key(&oid.raw())
+        let inner = self.inner.lock();
+        inner
+            .chains
+            .get(&oid.raw())
+            .and_then(|c| Inner::committed_at(c, u64::MAX))
+            .is_some_and(|v| v.data.is_some())
+    }
+
+    fn begin_snapshot(&self) -> Result<Snapshot> {
+        let mut inner = self.inner.lock();
+        let lsn = inner.last_visible;
+        let token = inner.next_snap;
+        inner.next_snap += 1;
+        inner.snapshots.insert(token, lsn);
+        StorageStats::bump(&self.stats.snapshots_opened, 1);
+        Ok(Snapshot { lsn, token })
+    }
+
+    fn release_snapshot(&self, snap: Snapshot) {
+        self.inner.lock().snapshots.remove(&snap.token);
+    }
+
+    fn read_at(&self, snap: &Snapshot, oid: Oid) -> Result<Vec<u8>> {
+        StorageStats::bump(&self.stats.snapshot_reads, 1);
+        StorageStats::bump(&self.stats.reads, 1);
+        let inner = self.inner.lock();
+        inner
+            .chains
+            .get(&oid.raw())
+            .and_then(|c| Inner::committed_at(c, snap.lsn))
+            .and_then(|v| v.data.clone())
+            .ok_or(StorageError::UnknownObject(oid))
+    }
+
+    fn exists_at(&self, snap: &Snapshot, oid: Oid) -> bool {
+        let inner = self.inner.lock();
+        inner
+            .chains
+            .get(&oid.raw())
+            .and_then(|c| Inner::committed_at(c, snap.lsn))
+            .is_some_and(|v| v.data.is_some())
+    }
+
+    fn read_for(&self, txn: TxnId, oid: Oid) -> Result<Vec<u8>> {
+        StorageStats::bump(&self.stats.reads, 1);
+        let inner = self.inner.lock();
+        inner
+            .chains
+            .get(&oid.raw())
+            .and_then(|c| Inner::seen_by(c, txn.raw()))
+            .and_then(|v| v.data.clone())
+            .ok_or(StorageError::UnknownObject(oid))
+    }
+
+    fn exists_for(&self, txn: TxnId, oid: Oid) -> bool {
+        let inner = self.inner.lock();
+        inner
+            .chains
+            .get(&oid.raw())
+            .and_then(|c| Inner::seen_by(c, txn.raw()))
+            .is_some_and(|v| v.data.is_some())
     }
 
     fn checkpoint(&self) -> Result<()> {
-        // Nothing to persist; counted so interval accounting stays uniform.
+        // Nothing to persist, but version GC runs here like the engine's:
+        // trim every chain against the open-snapshot low-water mark.
+        let mut inner = self.inner.lock();
+        let floor = inner.snapshot_floor();
+        let mut trimmed = 0;
+        inner.chains.retain(|_, chain| {
+            trimmed += Inner::trim(chain, floor);
+            !chain.is_empty()
+        });
+        StorageStats::bump(&self.stats.versions_gced, trimmed);
         StorageStats::bump(&self.stats.checkpoints, 1);
         Ok(())
     }
@@ -209,7 +375,13 @@ impl StorageManager for MemStore {
     }
 
     fn object_count(&self) -> usize {
-        self.inner.lock().objects.len()
+        let inner = self.inner.lock();
+        inner
+            .chains
+            .values()
+            .filter_map(|c| Inner::committed_at(c, u64::MAX))
+            .filter(|v| v.data.is_some())
+            .count()
     }
 
     fn segments(&self) -> Vec<SegmentInfo> {
@@ -262,6 +434,19 @@ mod tests {
     }
 
     #[test]
+    fn writes_stay_pending_until_commit() {
+        let s = MemStore::ostore_mm();
+        let t = s.begin().unwrap();
+        let oid = s.allocate(t, SegmentId(0), ClusterHint::NONE, b"pending").unwrap();
+        assert!(!s.exists(oid), "pending alloc must not be committed-visible");
+        assert!(s.exists_for(t, oid));
+        assert_eq!(s.read_for(t, oid).unwrap(), b"pending");
+        assert_eq!(s.read_in(t, oid).unwrap(), b"pending");
+        s.commit(t).unwrap();
+        assert_eq!(s.read(oid).unwrap(), b"pending");
+    }
+
+    #[test]
     fn abort_restores_state_on_ostore_mm() {
         let s = MemStore::ostore_mm();
         let t0 = s.begin().unwrap();
@@ -274,6 +459,39 @@ mod tests {
         s.abort(t).unwrap();
         assert!(!s.exists(tmp));
         assert_eq!(s.read(keep).unwrap(), b"keep");
+    }
+
+    #[test]
+    fn snapshots_read_a_stable_cut() {
+        let s = MemStore::ostore_mm();
+        let t = s.begin().unwrap();
+        let a = s.allocate(t, SegmentId(0), ClusterHint::NONE, b"a1").unwrap();
+        let b = s.allocate(t, SegmentId(0), ClusterHint::NONE, b"b1").unwrap();
+        s.commit(t).unwrap();
+
+        let snap = s.begin_snapshot().unwrap();
+        let t2 = s.begin().unwrap();
+        s.update(t2, a, b"a2").unwrap();
+        s.free(t2, b).unwrap();
+        let c = s.allocate(t2, SegmentId(0), ClusterHint::NONE, b"c1").unwrap();
+        s.commit(t2).unwrap();
+
+        // The snapshot still sees the pre-t2 world.
+        assert_eq!(s.read_at(&snap, a).unwrap(), b"a1");
+        assert_eq!(s.read_at(&snap, b).unwrap(), b"b1");
+        assert!(!s.exists_at(&snap, c));
+        // Latest-committed reads see t2 in full.
+        assert_eq!(s.read(a).unwrap(), b"a2");
+        assert!(!s.exists(b));
+        assert_eq!(s.read(c).unwrap(), b"c1");
+
+        // Checkpoint GC honours the pin, then reclaims after release.
+        s.checkpoint().unwrap();
+        assert_eq!(s.read_at(&snap, b).unwrap(), b"b1");
+        s.release_snapshot(snap);
+        s.checkpoint().unwrap();
+        assert!(!s.exists(b));
+        assert!(s.stats().versions_gced > 0);
     }
 
     #[test]
@@ -303,7 +521,7 @@ mod tests {
         let t = s.begin().unwrap();
         for i in 0..100u32 {
             let oid = s.allocate(t, SegmentId(0), ClusterHint::NONE, &i.to_le_bytes()).unwrap();
-            s.read(oid).unwrap();
+            s.read_for(t, oid).unwrap();
         }
         s.commit(t).unwrap();
         let snap = s.stats();

@@ -173,7 +173,7 @@ mod tests {
     #[test]
     fn round_trip_with_verification_state() {
         let (vfs, heap, path) = mk("rt");
-        let oid = heap.alloc(SegmentId(1), ClusterHint::NONE, b"meta me").unwrap();
+        let oid = heap.alloc(SegmentId(1), ClusterHint::NONE, b"meta me", 0).unwrap();
         write_meta(&vfs, &path, &heap, &state()).unwrap();
         assert_eq!(read_meta(&vfs, &path, &heap).unwrap(), Some(state()));
         assert_eq!(heap.read(oid).unwrap(), b"meta me");
@@ -213,7 +213,7 @@ mod tests {
     #[test]
     fn bit_rot_fails_the_whole_file_checksum() {
         let (vfs, heap, path) = mk("rot");
-        heap.alloc(SegmentId(1), ClusterHint::NONE, b"sealed").unwrap();
+        heap.alloc(SegmentId(1), ClusterHint::NONE, b"sealed", 0).unwrap();
         write_meta(&vfs, &path, &heap, &state()).unwrap();
         let mut data = std::fs::read(&path).unwrap();
         let mid = data.len() / 2;
@@ -226,7 +226,7 @@ mod tests {
     #[test]
     fn header_parse_skips_the_heap() {
         let (vfs, heap, path) = mk("hdr");
-        heap.alloc(SegmentId(1), ClusterHint::NONE, b"ignored by scrub").unwrap();
+        heap.alloc(SegmentId(1), ClusterHint::NONE, b"ignored by scrub", 0).unwrap();
         write_meta(&vfs, &path, &heap, &state()).unwrap();
         let data = std::fs::read(&path).unwrap();
         let (got, body) = parse_meta_header(&data).unwrap();

@@ -61,6 +61,13 @@ pub struct StorageStats {
     /// Nanoseconds threads spent blocked on contended heap metadata
     /// locks, summed across all threads.
     pub heap_wait_nanos: AtomicU64,
+    /// Snapshots opened via `begin_snapshot`.
+    pub snapshots_opened: AtomicU64,
+    /// Object reads served at a snapshot timestamp (a subset of `reads`).
+    pub snapshot_reads: AtomicU64,
+    /// Committed object versions reclaimed by version GC (chain trims at
+    /// commit plus the checkpoint low-water sweep).
+    pub versions_gced: AtomicU64,
 }
 
 impl StorageStats {
@@ -95,6 +102,9 @@ impl StorageStats {
             pages_healed: self.pages_healed.load(Ordering::Relaxed),
             heap_shard_waits: self.heap_shard_waits.load(Ordering::Relaxed),
             heap_wait_nanos: self.heap_wait_nanos.load(Ordering::Relaxed),
+            snapshots_opened: self.snapshots_opened.load(Ordering::Relaxed),
+            snapshot_reads: self.snapshot_reads.load(Ordering::Relaxed),
+            versions_gced: self.versions_gced.load(Ordering::Relaxed),
         }
     }
 }
@@ -146,6 +156,12 @@ pub struct StatsSnapshot {
     pub heap_shard_waits: u64,
     /// See [`StorageStats::heap_wait_nanos`].
     pub heap_wait_nanos: u64,
+    /// See [`StorageStats::snapshots_opened`].
+    pub snapshots_opened: u64,
+    /// See [`StorageStats::snapshot_reads`].
+    pub snapshot_reads: u64,
+    /// See [`StorageStats::versions_gced`].
+    pub versions_gced: u64,
 }
 
 impl StatsSnapshot {
@@ -178,6 +194,9 @@ impl StatsSnapshot {
             pages_healed: self.pages_healed.saturating_sub(earlier.pages_healed),
             heap_shard_waits: self.heap_shard_waits.saturating_sub(earlier.heap_shard_waits),
             heap_wait_nanos: self.heap_wait_nanos.saturating_sub(earlier.heap_wait_nanos),
+            snapshots_opened: self.snapshots_opened.saturating_sub(earlier.snapshots_opened),
+            snapshot_reads: self.snapshot_reads.saturating_sub(earlier.snapshot_reads),
+            versions_gced: self.versions_gced.saturating_sub(earlier.versions_gced),
         }
     }
 

@@ -18,6 +18,19 @@ pub struct SegmentInfo {
     pub bytes: u64,
 }
 
+/// A stable read timestamp: everything committed at or before `lsn` is
+/// visible, nothing after. Obtained from
+/// [`StorageManager::begin_snapshot`]; the `token` identifies the
+/// snapshot in the backend's registry so version GC can honour it as a
+/// low-water mark until [`StorageManager::release_snapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Commit LSN this snapshot reads at (inclusive).
+    pub lsn: u64,
+    /// Registry handle; meaningless to callers, needed by `release`.
+    pub token: u64,
+}
+
 /// The uniform storage-manager interface.
 ///
 /// All object data is opaque bytes; LabBase performs its own encoding.
@@ -58,6 +71,46 @@ pub trait StorageManager: Send + Sync {
 
     /// Whether the object exists (committed state).
     fn exists(&self, oid: Oid) -> bool;
+
+    /// Open a stable snapshot of the committed state. Every
+    /// [`read_at`](Self::read_at) against it sees exactly the
+    /// transactions committed when it was opened — concurrent writers
+    /// neither block it nor appear in it. The default (for backends
+    /// without version chains) reads latest-committed: `lsn` is
+    /// `u64::MAX` and release is a no-op.
+    fn begin_snapshot(&self) -> Result<Snapshot> {
+        Ok(Snapshot { lsn: u64::MAX, token: 0 })
+    }
+
+    /// Release a snapshot, allowing version GC to reclaim the versions
+    /// it pinned. Dropping a snapshot without releasing it pins the GC
+    /// low-water mark forever.
+    fn release_snapshot(&self, _snap: Snapshot) {}
+
+    /// Read an object as of `snap`: the newest version committed at or
+    /// before the snapshot's LSN. `UnknownObject` if the object did not
+    /// exist (or was already deleted) at that point.
+    fn read_at(&self, _snap: &Snapshot, oid: Oid) -> Result<Vec<u8>> {
+        self.read(oid)
+    }
+
+    /// Whether the object existed as of `snap`.
+    fn exists_at(&self, _snap: &Snapshot, oid: Oid) -> bool {
+        self.exists(oid)
+    }
+
+    /// Read an object as seen by `txn`: its own uncommitted write if it
+    /// has one, else latest-committed. Unlike [`read_in`](Self::read_in)
+    /// this acquires no lock — it is the read-your-own-writes path for
+    /// internal traversals inside an open transaction.
+    fn read_for(&self, _txn: TxnId, oid: Oid) -> Result<Vec<u8>> {
+        self.read(oid)
+    }
+
+    /// Whether the object exists as seen by `txn` (own writes included).
+    fn exists_for(&self, _txn: TxnId, oid: Oid) -> bool {
+        self.exists(oid)
+    }
 
     /// Flush all state to stable storage and truncate the log.
     fn checkpoint(&self) -> Result<()>;

@@ -16,6 +16,8 @@ thread_local! {
     static LOCK_WAIT_NANOS: Cell<u64> = const { Cell::new(0) };
     static COMMIT_WAIT_NANOS: Cell<u64> = const { Cell::new(0) };
     static HEAP_WAIT_NANOS: Cell<u64> = const { Cell::new(0) };
+    static LOCK_CONDVAR_WAITS: Cell<u64> = const { Cell::new(0) };
+    static NAME_INDEX_WAIT_NANOS: Cell<u64> = const { Cell::new(0) };
 }
 
 /// A point-in-time copy of this thread's wait counters.
@@ -31,6 +33,16 @@ pub struct WaitSnapshot {
     /// (object-table shards and segment placement state). Uncontended
     /// acquisitions cost nothing here.
     pub heap_wait_nanos: u64,
+    /// Number of times a lock-manager acquisition actually parked on the
+    /// shard condvar (a count, not a duration: paired with
+    /// `lock_wait_nanos` it separates many short sleeps from few long
+    /// ones — the shape of a convoy vs. a single hot object).
+    pub lock_condvar_waits: u64,
+    /// Nanoseconds spent waiting on (or rebuilding) the labbase
+    /// material name index during `find_material`. Storage knows nothing
+    /// about that index; labbase reports into this slot via
+    /// [`add_name_index_wait`].
+    pub name_index_wait_nanos: u64,
 }
 
 impl WaitSnapshot {
@@ -40,6 +52,10 @@ impl WaitSnapshot {
             lock_wait_nanos: self.lock_wait_nanos.saturating_sub(earlier.lock_wait_nanos),
             commit_wait_nanos: self.commit_wait_nanos.saturating_sub(earlier.commit_wait_nanos),
             heap_wait_nanos: self.heap_wait_nanos.saturating_sub(earlier.heap_wait_nanos),
+            lock_condvar_waits: self.lock_condvar_waits.saturating_sub(earlier.lock_condvar_waits),
+            name_index_wait_nanos: self
+                .name_index_wait_nanos
+                .saturating_sub(earlier.name_index_wait_nanos),
         }
     }
 }
@@ -50,6 +66,8 @@ pub fn snapshot() -> WaitSnapshot {
         lock_wait_nanos: LOCK_WAIT_NANOS.with(|c| c.get()),
         commit_wait_nanos: COMMIT_WAIT_NANOS.with(|c| c.get()),
         heap_wait_nanos: HEAP_WAIT_NANOS.with(|c| c.get()),
+        lock_condvar_waits: LOCK_CONDVAR_WAITS.with(|c| c.get()),
+        name_index_wait_nanos: NAME_INDEX_WAIT_NANOS.with(|c| c.get()),
     }
 }
 
@@ -65,6 +83,17 @@ pub(crate) fn add_heap_wait(nanos: u64) {
     HEAP_WAIT_NANOS.with(|c| c.set(c.get().saturating_add(nanos)));
 }
 
+pub(crate) fn add_lock_condvar_wait() {
+    LOCK_CONDVAR_WAITS.with(|c| c.set(c.get().saturating_add(1)));
+}
+
+/// Attribute `nanos` of name-index wait to the calling thread. Public:
+/// the name index lives in labbase, which owns no wait counters of its
+/// own — it reports into the shared per-thread profile here.
+pub fn add_name_index_wait(nanos: u64) {
+    NAME_INDEX_WAIT_NANOS.with(|c| c.set(c.get().saturating_add(nanos)));
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -76,10 +105,15 @@ mod tests {
         add_commit_wait(40);
         add_heap_wait(9);
         add_lock_wait(1);
+        add_lock_condvar_wait();
+        add_lock_condvar_wait();
+        add_name_index_wait(33);
         let d = snapshot().delta(&before);
         assert_eq!(d.lock_wait_nanos, 101);
         assert_eq!(d.commit_wait_nanos, 40);
         assert_eq!(d.heap_wait_nanos, 9);
+        assert_eq!(d.lock_condvar_waits, 2);
+        assert_eq!(d.name_index_wait_nanos, 33);
 
         // Another thread's counters are independent.
         let handle = std::thread::spawn(|| {
@@ -95,7 +129,13 @@ mod tests {
 
     #[test]
     fn delta_saturates() {
-        let a = WaitSnapshot { lock_wait_nanos: 10, commit_wait_nanos: 10, heap_wait_nanos: 10 };
+        let a = WaitSnapshot {
+            lock_wait_nanos: 10,
+            commit_wait_nanos: 10,
+            heap_wait_nanos: 10,
+            lock_condvar_waits: 2,
+            name_index_wait_nanos: 5,
+        };
         let b = WaitSnapshot::default();
         assert_eq!(b.delta(&a), WaitSnapshot::default());
     }

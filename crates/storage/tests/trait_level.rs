@@ -110,7 +110,9 @@ fn stats_deltas_are_consistent_everywhere() {
         let t = store.begin().unwrap();
         for i in 0..50u32 {
             let oid = store.allocate(t, SegmentId(0), ClusterHint::NONE, &i.to_le_bytes()).unwrap();
-            store.read(oid).unwrap();
+            // The allocation is pending until commit: committed-state
+            // `read` cannot see it, the transaction's own view can.
+            store.read_for(t, oid).unwrap();
         }
         store.commit(t).unwrap();
         let d = store.stats().delta(&before);

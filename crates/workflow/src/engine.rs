@@ -177,7 +177,9 @@ impl<'g> WorkflowEngine<'g> {
                 outcome: outcome.to_string(),
             })?;
         for &m in materials {
-            let actual = db.state_of(m)?;
+            // Prior transitions inside this same transaction (e.g. from
+            // `inject`) are still pending, so check through the txn view.
+            let actual = db.state_of_in(txn, m)?;
             if actual.as_deref() != Some(def.from.as_str()) {
                 return Err(WorkflowError::WrongState {
                     material: m,

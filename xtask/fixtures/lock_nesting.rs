@@ -47,6 +47,31 @@ impl Fixture {
         let _g = lock_order::ranked(lock_order::HEAP_GLOBAL, || self.global.read());
     }
 
+    /// Epoch inversion: the heap's version-reclamation epoch state (29)
+    /// taken while holding an object-table shard (30). Reclamation must
+    /// collect condemned versions under the table shard, release it, and
+    /// only then push them onto the epoch list.
+    fn epoch_under_table_inverted(&self) {
+        let _t = lock_order::ranked(lock_order::HEAP_TABLE, || self.table.lock());
+        let _e = lock_order::ranked(lock_order::HEAP_EPOCH, || self.epoch_state.lock());
+    }
+
+    /// Snapshot-registry inversion: the commit-visibility flip (12)
+    /// taken while holding the open-snapshot registry (14). Commit flips
+    /// visibility first and consults the registry's low-water mark after.
+    fn vis_under_snaps_inverted(&self) {
+        let _s = lock_order::ranked(lock_order::ENGINE_SNAPSHOTS, || self.snaps.lock());
+        let _v = lock_order::ranked(lock_order::ENGINE_COMMIT_VIS, || self.vis.lock());
+    }
+
+    /// Correctly ordered MVCC nesting: visibility flip, then snapshot
+    /// registry, then epoch state — must NOT be flagged.
+    fn mvcc_well_ordered(&self) {
+        let _v = lock_order::ranked(lock_order::ENGINE_COMMIT_VIS, || self.vis.lock());
+        let _s = lock_order::ranked(lock_order::ENGINE_SNAPSHOTS, || self.snaps.lock());
+        let _e = lock_order::ranked(lock_order::HEAP_EPOCH, || self.epoch_state.lock());
+    }
+
     /// Correctly ordered nesting: must NOT be flagged.
     fn well_ordered(&self) {
         let _g = lock_order::ranked(lock_order::HEAP_GLOBAL, || self.global.read());

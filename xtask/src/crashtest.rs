@@ -34,15 +34,21 @@
 
 use std::collections::{HashMap, HashSet};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use labflow_storage::{
     scrub_store, ClusterHint, Engine, FaultPlan, OStore, Options, Oid, SegmentId, SimVfs,
-    StorageManager, Vfs,
+    StorageError, StorageManager, Vfs,
 };
 
 const CLIENTS: usize = 4;
+/// Snapshot-reader threads running alongside the writers. They pin
+/// snapshots while the machine dies, so recovery is always exercised
+/// with reader-pinned versions in flight (and with snapshots that were
+/// never released, which must not matter after a reboot).
+const READERS: usize = 2;
 const TXNS_PER_CLIENT: usize = 48;
 const CHECKPOINT_EVERY: usize = 12;
 /// Window (in file operations after setup) within which the crash and
@@ -167,6 +173,61 @@ fn client_loop(store: &Engine, client: usize, seed: u64) -> Ledger {
         }
     }
     ledger
+}
+
+/// One snapshot reader: repeatedly pin a snapshot, read a handful of
+/// live objects through it twice (with the whole batch between the two
+/// passes), and demand byte-identical answers — concurrent writers and
+/// version GC must never move a pinned version. Read *errors* are
+/// tolerated (the simulated machine may be dying), with one exception:
+/// an object that resolved in the snapshot and then turned into
+/// `UnknownObject` within the same snapshot means a pinned version was
+/// reclaimed.
+fn reader_loop(store: &Engine, seed: u64, stop: &AtomicBool) -> Result<(), String> {
+    let mut rng = Rng::new(seed ^ 0x5eed_5eed_5eed_5eed);
+    while !stop.load(Ordering::Relaxed) {
+        let snap = match store.begin_snapshot() {
+            Ok(s) => s,
+            Err(_) => break, // dying machine: nothing left to observe
+        };
+        let live = store.live_oids();
+        if !live.is_empty() {
+            let picks: Vec<Oid> = (0..4.min(live.len()))
+                .map(|_| live[(rng.next() as usize) % live.len()])
+                .collect();
+            let first: Vec<Option<Vec<u8>>> =
+                picks.iter().map(|&oid| store.read_at(&snap, oid).ok()).collect();
+            for (i, &oid) in picks.iter().enumerate() {
+                if first[i].is_none() {
+                    continue;
+                }
+                match store.read_at(&snap, oid) {
+                    Ok(again) if Some(&again) == first[i].as_ref() => {}
+                    Ok(_) => {
+                        store.release_snapshot(snap);
+                        return Err(format!(
+                            "oid {} changed bytes within one pinned snapshot",
+                            oid.raw()
+                        ));
+                    }
+                    Err(StorageError::UnknownObject(_)) => {
+                        store.release_snapshot(snap);
+                        return Err(format!(
+                            "oid {} vanished from a pinned snapshot (version reclaimed?)",
+                            oid.raw()
+                        ));
+                    }
+                    Err(_) => {} // I/O death throes: not a contract breach
+                }
+            }
+        }
+        // Half the iterations deliberately leak the snapshot: a crash
+        // can always land before release, and recovery must not care.
+        if rng.next().is_multiple_of(2) {
+            store.release_snapshot(snap);
+        }
+    }
+    Ok(())
 }
 
 /// Readable objects (oid → payload) plus the oids whose reads failed
@@ -348,17 +409,34 @@ fn run_seed(seed: u64, corrupt: bool) -> Result<SeedOutcome, String> {
     }
     sim.set_plan(plan);
 
-    let ledgers: Vec<Ledger> = std::thread::scope(|scope| {
-        let store = &store;
-        let handles: Vec<_> = (0..CLIENTS)
-            .map(|c| scope.spawn(move || client_loop(store, c, seed)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().unwrap_or_else(|_| panic!("client thread panicked")))
-            .collect()
-    });
+    let stop_readers = AtomicBool::new(false);
+    let (ledgers, reader_results): (Vec<Ledger>, Vec<Result<(), String>>) =
+        std::thread::scope(|scope| {
+            let store = &store;
+            let stop = &stop_readers;
+            let readers: Vec<_> = (0..READERS)
+                .map(|r| {
+                    scope.spawn(move || reader_loop(store, seed.wrapping_add(r as u64), stop))
+                })
+                .collect();
+            let handles: Vec<_> = (0..CLIENTS)
+                .map(|c| scope.spawn(move || client_loop(store, c, seed)))
+                .collect();
+            let ledgers = handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_else(|_| panic!("client thread panicked")))
+                .collect();
+            stop.store(true, Ordering::Relaxed);
+            let reader_results = readers
+                .into_iter()
+                .map(|h| h.join().unwrap_or_else(|_| panic!("reader thread panicked")))
+                .collect();
+            (ledgers, reader_results)
+        });
     drop(store);
+    for r in reader_results {
+        r.map_err(|why| format!("snapshot reader: {why}"))?;
+    }
 
     // Pull the plug (a no-op reboot if the workload outran the window),
     // then recover from copies of the same dead disk.

@@ -725,6 +725,32 @@ mod tests {
     }
 
     #[test]
+    fn fixture_mvcc_inversions_are_flagged() {
+        // The MVCC-era seeded inversions: epoch state under a table
+        // shard, and the commit-visibility flip under the snapshot
+        // registry. The well-ordered MVCC nesting must stay silent.
+        let findings = analyze(&[load_fixture("lock_nesting.rs")]);
+        assert!(
+            findings.iter().any(|f| f.pass == "lock-order"
+                && f.msg.contains("heap version-reclamation epoch state (rank 29)")
+                && f.msg.contains("heap object-table shard (rank 30)")),
+            "HEAP_TABLE -> HEAP_EPOCH inversion must be flagged"
+        );
+        assert!(
+            findings.iter().any(|f| f.pass == "lock-order"
+                && f.msg.contains("engine commit-visibility flip (rank 12)")
+                && f.msg.contains("engine open-snapshot registry (rank 14)")),
+            "ENGINE_SNAPSHOTS -> ENGINE_COMMIT_VIS inversion must be flagged"
+        );
+        assert!(
+            !findings.iter().any(|f| f.pass == "lock-order"
+                && f.msg.starts_with("acquires heap version-reclamation epoch state")
+                && f.msg.contains("engine open-snapshot registry (rank 14)")),
+            "vis -> snaps -> epoch is the documented order and must not be flagged"
+        );
+    }
+
+    #[test]
     fn real_tree_lock_rules_match_runtime_constants() {
         // Drift check: every rank constant referenced from the storage
         // crate sources must exist in the analyzer's table (an unknown

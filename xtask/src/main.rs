@@ -49,13 +49,13 @@ pub struct Finding {
 
 /// Crates the panic-freedom lint applies to (the server path; the
 /// workload driver and query shell may still panic on bad input).
-const PANIC_CRATES: &[&str] = &["storage", "labbase", "workflow", "core"];
+const PANIC_CRATES: &[&str] = &["storage", "labbase", "workflow", "core", "mrv"];
 
 /// Slice-indexing ratchet: the per-crate count of unwaived index
 /// expressions may not exceed these budgets. Lower freely; raising one
 /// means a new unchecked index went in and needs a reviewer's eyes.
 const INDEX_BUDGETS: &[(&str, u32)] = &[
-    ("storage", 48),
+    ("storage", 47),
     ("labbase", 16),
     ("workflow", 0),
     ("core", 18),
