@@ -1,0 +1,44 @@
+//! Raw-allocation tracking for code under test.
+//!
+//! Lock-free structures that own values through `Box::into_raw` /
+//! `Box::from_raw` report their allocation lifecycle here; the runtime
+//! turns protocol mistakes into reported violations instead of
+//! undefined behaviour:
+//!
+//! * freeing an address that is not a live tracked allocation is a
+//!   **double free**;
+//! * freeing an address a reader guard still references is a
+//!   **use-after-reclaim** (the epoch protocol let reclamation catch up
+//!   with an active reader);
+//! * creating a guard over an already-freed address is likewise a
+//!   **use-after-reclaim**;
+//! * allocations still live when the execution ends are a **leak**.
+//!
+//! Outside a model execution every call is a no-op.
+
+use crate::runtime;
+
+/// Record that `addr` (from `Box::into_raw`) entered raw-pointer life.
+pub fn on_alloc(addr: usize) {
+    runtime::heap_alloc(addr);
+}
+
+/// Record that `addr` is about to be freed via `Box::from_raw`. Returns
+/// false when the caller must skip the real drop: the allocation is
+/// evidence of a just-reported violation (or teardown is already in
+/// progress) and freeing it would turn a *modeled* use-after-reclaim
+/// into a real one.
+#[must_use]
+pub fn on_free(addr: usize) -> bool {
+    runtime::heap_free(addr)
+}
+
+/// Record that a reader guard now references `addr`.
+pub fn retain(addr: usize) {
+    runtime::heap_retain(addr);
+}
+
+/// Record that a reader guard dropped its reference to `addr`.
+pub fn release(addr: usize) {
+    runtime::heap_release(addr);
+}

@@ -1,0 +1,755 @@
+//! The model runtime: one `Ctx` per execution, a baton handed between
+//! cooperative model threads, and a DFS `Schedule` replayed across
+//! executions.
+//!
+//! Every modeled operation (atomic access, mutex acquire/release,
+//! spawn/join) is a *scheduling point*: the thread performing it parks
+//! until the scheduler hands it the baton, so exactly one model thread
+//! is ever running and the whole execution is a deterministic function
+//! of the recorded choice path. Exploration reruns the closure, forcing
+//! the first untried option at the deepest unexhausted choice point —
+//! classic stateless DFS with a bounded number of preemptive switches.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+
+/// Panic payload used to tear an execution down once a violation is
+/// recorded (or the run is being abandoned). Caught and swallowed by
+/// every model-thread wrapper.
+pub(crate) struct Abort;
+
+/// What went wrong, with the evidence.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Short machine-readable class: `use-after-reclaim`, `double-free`,
+    /// `leak`, `deadlock`, `livelock`, `panic`, `nondeterminism`.
+    pub kind: String,
+    /// Human-readable description.
+    pub message: String,
+    /// The interleaving that produced it: one line per scheduling point.
+    pub trace: Vec<String>,
+    /// The DFS choice path (options, chosen) that replays it.
+    pub path: Vec<(usize, usize)>,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "[{}] {}", self.kind, self.message)?;
+        writeln!(f, "interleaving ({} scheduling points):", self.trace.len())?;
+        for line in &self.trace {
+            writeln!(f, "  {line}")?;
+        }
+        write!(f, "choice path: {:?}", self.path)
+    }
+}
+
+/// Outcome of an exploration.
+#[derive(Debug)]
+pub struct Report {
+    /// Number of distinct interleavings executed.
+    pub executions: u64,
+    /// True when the DFS frontier was exhausted (every interleaving
+    /// within the preemption bound was run) without hitting the
+    /// execution cap.
+    pub complete: bool,
+    /// The first violation found, if any. Exploration stops at it.
+    pub violation: Option<Violation>,
+}
+
+impl Report {
+    /// Panic with the full trace if a violation was found or the
+    /// exploration did not complete; otherwise return `self` so callers
+    /// can log `executions`.
+    pub fn assert_ok(self) -> Report {
+        if let Some(v) = &self.violation {
+            panic!("model checking failed after {} interleavings\n{v}", self.executions);
+        }
+        assert!(
+            self.complete,
+            "exploration hit the execution cap after {} interleavings without exhausting \
+             the frontier — raise max_executions or shrink the scenario",
+            self.executions
+        );
+        self
+    }
+}
+
+/// Exploration knobs.
+#[derive(Debug, Clone)]
+pub struct Builder {
+    /// Maximum number of *preemptive* context switches per execution
+    /// (switches away from a thread that could have kept running).
+    /// Switches forced by blocking or thread exit are always free.
+    pub preemption_bound: u32,
+    /// Hard cap on explored interleavings; hitting it marks the report
+    /// incomplete.
+    pub max_executions: u64,
+    /// Per-execution scheduling-point cap (livelock guard).
+    pub max_steps: u64,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Builder { preemption_bound: 2, max_executions: 2_000_000, max_steps: 100_000 }
+    }
+}
+
+impl Builder {
+    /// Default bounds: preemption bound 2.
+    pub fn new() -> Builder {
+        Builder::default()
+    }
+
+    /// Set the preemption bound.
+    pub fn preemptions(mut self, n: u32) -> Builder {
+        self.preemption_bound = n;
+        self
+    }
+
+    /// Set the interleaving cap.
+    pub fn max_executions(mut self, n: u64) -> Builder {
+        self.max_executions = n;
+        self
+    }
+
+    /// Explore every interleaving of `f` within the bounds. The closure
+    /// runs once per interleaving and must be deterministic apart from
+    /// the modeled operations.
+    pub fn check<F>(&self, f: F) -> Report
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        explore(self, Arc::new(f))
+    }
+}
+
+/// One DFS choice point: `options` alternatives existed, `chosen` was
+/// taken on the current path.
+#[derive(Debug, Clone, Copy)]
+struct Choice {
+    options: usize,
+    chosen: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Runnable,
+    /// Waiting for a model mutex (by address).
+    BlockedMutex(usize),
+    /// Waiting for a thread to finish.
+    BlockedJoin(usize),
+    Finished,
+}
+
+#[derive(Default)]
+struct AtomicState {
+    /// Modification order: every value the atomic has held, oldest
+    /// first. Relaxed loads may observe any entry at or after the
+    /// loading thread's coherence floor.
+    history: Vec<u64>,
+}
+
+pub(crate) struct Inner {
+    statuses: Vec<Status>,
+    /// Which thread holds the baton.
+    current: usize,
+    live: usize,
+    /// DFS path: replayed prefix + freshly recorded suffix.
+    choices: Vec<Choice>,
+    cursor: usize,
+    preemptions: u32,
+    bound: u32,
+    steps: u64,
+    max_steps: u64,
+    atomics: HashMap<usize, AtomicState>,
+    /// Per (thread, atomic) coherence floor: index into the modification
+    /// order below which this thread may no longer read.
+    floors: HashMap<(usize, usize), usize>,
+    /// Model-mutex owner by address.
+    mutex_owner: HashMap<usize, usize>,
+    /// Live tracked allocations: address -> reader retain count.
+    allocs: HashMap<usize, u32>,
+    trace: Vec<String>,
+    violation: Option<Violation>,
+    aborting: bool,
+}
+
+pub(crate) struct Ctx {
+    m: StdMutex<Inner>,
+    cv: Condvar,
+    handles: StdMutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+thread_local! {
+    /// The execution this OS thread belongs to, and its model tid.
+    static TL: RefCell<Option<(Arc<Ctx>, usize)>> = const { RefCell::new(None) };
+}
+
+/// Serialises executions process-wide: model state lives in per-thread
+/// and per-ctx structures, but traces and schedules assume one
+/// exploration at a time (and `cargo test` may run tests in parallel).
+static SERIAL: StdMutex<()> = StdMutex::new(());
+
+fn lock(ctx: &Ctx) -> StdMutexGuard<'_, Inner> {
+    ctx.m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Run `f` with the calling thread's model context, or return `None`
+/// when the thread is not a model thread (free-run: operations fall
+/// back to their plain `std` behaviour).
+pub(crate) fn with_model<R>(f: impl FnOnce(&Arc<Ctx>, usize) -> R) -> Option<R> {
+    TL.with(|tl| tl.borrow().as_ref().map(|(ctx, tid)| (ctx.clone(), *tid))).map(|(ctx, tid)| {
+        f(&ctx, tid)
+    })
+}
+
+/// Tear the calling thread down because a thread it depends on already
+/// aborted (e.g. a join that can never produce a value). No-op when the
+/// caller is itself unwinding.
+pub(crate) fn propagate_abort() {
+    abort_point();
+}
+
+impl Inner {
+    fn record_violation(&mut self, kind: &str, message: String) {
+        if self.violation.is_none() {
+            self.violation = Some(Violation {
+                kind: kind.to_string(),
+                message,
+                trace: self.trace.clone(),
+                path: self.choices.iter().map(|c| (c.options, c.chosen)).collect(),
+            });
+        }
+        self.aborting = true;
+    }
+
+    /// Take the next DFS choice among `options` alternatives.
+    fn choose(&mut self, options: usize) -> usize {
+        if options <= 1 {
+            return 0;
+        }
+        if self.cursor < self.choices.len() {
+            let c = self.choices[self.cursor];
+            if c.options != options {
+                self.record_violation(
+                    "nondeterminism",
+                    format!(
+                        "replay diverged: choice point {} had {} options, now {options} — \
+                         the closure is not deterministic",
+                        self.cursor, c.options
+                    ),
+                );
+                return 0;
+            }
+            self.cursor += 1;
+            return c.chosen;
+        }
+        self.choices.push(Choice { options, chosen: 0 });
+        self.cursor += 1;
+        0
+    }
+
+    /// Pick which thread runs next. `exiting` marks the current thread
+    /// as leaving the runnable set (blocked or finished) regardless of
+    /// its recorded status.
+    fn pick_next(&mut self, exiting: bool) {
+        let runnable: Vec<usize> = {
+            let cur = self.current;
+            // Current thread first so option 0 means "keep running" —
+            // the DFS explores the preemption-free schedule first.
+            let mut r: Vec<usize> = Vec::new();
+            if !exiting && self.statuses[cur] == Status::Runnable {
+                r.push(cur);
+            }
+            r.extend(
+                (0..self.statuses.len())
+                    .filter(|&t| t != cur && self.statuses[t] == Status::Runnable),
+            );
+            r
+        };
+        if runnable.is_empty() {
+            if self.live > 0 {
+                let held: Vec<String> = self
+                    .statuses
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(t, s)| match s {
+                        Status::BlockedMutex(a) => Some(format!("T{t} waits on mutex {a:#x}")),
+                        Status::BlockedJoin(j) => Some(format!("T{t} joins T{j}")),
+                        _ => None,
+                    })
+                    .collect();
+                self.record_violation("deadlock", format!("no runnable thread: {}", held.join(", ")));
+            }
+            return;
+        }
+        let current_can_run = runnable.first() == Some(&self.current) && !exiting;
+        let next = if current_can_run && self.preemptions >= self.bound {
+            // Preemption budget spent: the running thread must continue.
+            self.current
+        } else {
+            let i = self.choose(runnable.len());
+            runnable[i]
+        };
+        if current_can_run && next != self.current {
+            self.preemptions += 1;
+        }
+        self.current = next;
+    }
+}
+
+/// Tear the calling thread down — unless it is already unwinding, in
+/// which case the caller must fall back to free-run behaviour (a second
+/// panic inside a `Drop` during unwind would abort the process).
+fn abort_point() -> bool {
+    if std::thread::panicking() {
+        return false;
+    }
+    panic::panic_any(Abort)
+}
+
+/// The scheduling point: record the op, let the scheduler pick who runs
+/// next, and park until this thread holds the baton again. Returns with
+/// the ctx lock held and `current == tid` so the caller can apply its
+/// operation atomically with respect to the model — or `None` when the
+/// execution is tearing down and the caller must free-run.
+fn scheduled<'c>(
+    ctx: &'c Ctx,
+    tid: usize,
+    desc: impl FnOnce() -> String,
+) -> Option<StdMutexGuard<'c, Inner>> {
+    let mut g = lock(ctx);
+    if g.aborting {
+        drop(g);
+        abort_point();
+        return None;
+    }
+    g.steps += 1;
+    if g.steps > g.max_steps {
+        let cap = g.max_steps;
+        g.record_violation("livelock", format!("execution exceeded {cap} scheduling points"));
+        ctx.cv.notify_all();
+        drop(g);
+        abort_point();
+        return None;
+    }
+    let d = desc();
+    let line = format!("T{tid}: {d}");
+    g.pick_next(false);
+    loop {
+        if g.aborting {
+            drop(g);
+            abort_point();
+            return None;
+        }
+        if g.current == tid {
+            // The op applies now (with the baton held), so record it
+            // now: the trace reads in true application order.
+            g.trace.push(line);
+            return Some(g);
+        }
+        ctx.cv.notify_all();
+        g = ctx.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+    }
+}
+
+// ---- operations exposed to the atomic / sync / heap modules -------------
+
+/// An atomic access. `relaxed_read`: when true the op is a load that may
+/// observe stale values; `apply` receives (latest value, choice closure)
+/// and returns (result, new value to append or None).
+pub(crate) fn atomic_op(
+    addr: usize,
+    init: u64,
+    desc: &str,
+    relaxed_read: bool,
+    apply: impl FnOnce(u64) -> (u64, Option<u64>),
+) -> Option<u64> {
+    with_model(|ctx, tid| {
+        let mut g = scheduled(ctx, tid, || format!("{desc} @{addr:#x}"))?;
+        let st = g.atomics.entry(addr).or_insert_with(|| AtomicState { history: vec![init] });
+        let latest_idx = st.history.len() - 1;
+        let latest = st.history[latest_idx];
+        if relaxed_read {
+            let floor = *g.floors.get(&(tid, addr)).unwrap_or(&0);
+            let span = latest_idx - floor + 1;
+            let pick = g.choose(span);
+            let idx = floor + pick;
+            let v = g.atomics[&addr].history[idx];
+            g.floors.insert((tid, addr), idx);
+            if idx != latest_idx {
+                let lag = latest_idx - idx;
+                let t = g.trace.len() - 1;
+                g.trace[t].push_str(&format!(" -> {v} (stale, {lag} behind)"));
+            }
+            return Some(v);
+        }
+        let (result, append) = apply(latest);
+        if let Some(v) = append {
+            g.atomics.entry(addr).or_default().history.push(v);
+            let idx = g.atomics[&addr].history.len() - 1;
+            g.floors.insert((tid, addr), idx);
+        } else {
+            g.floors.insert((tid, addr), latest_idx);
+        }
+        Some(result)
+    })
+    .flatten()
+}
+
+/// Model-mutex acquire: blocks (in model time) while another model
+/// thread owns `addr`. Returns true when the access was modeled.
+pub(crate) fn mutex_lock(addr: usize) -> bool {
+    with_model(|ctx, tid| {
+        let Some(mut g) = scheduled(ctx, tid, || format!("mutex lock @{addr:#x}")) else {
+            return false; // tearing down: caller takes the real lock directly
+        };
+        while let Some(&owner) = g.mutex_owner.get(&addr) {
+            debug_assert_ne!(owner, tid, "model mutex is not reentrant");
+            g.statuses[tid] = Status::BlockedMutex(addr);
+            g.pick_next(true);
+            loop {
+                if g.aborting {
+                    drop(g);
+                    abort_point();
+                    return false;
+                }
+                if g.current == tid {
+                    break;
+                }
+                ctx.cv.notify_all();
+                g = ctx.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+        g.mutex_owner.insert(addr, tid);
+        true
+    })
+    .unwrap_or(false)
+}
+
+/// Model-mutex release: wakes every model thread parked on `addr` (they
+/// re-race for it under the scheduler).
+pub(crate) fn mutex_unlock(addr: usize) {
+    with_model(|ctx, tid| {
+        let mut g = match scheduled(ctx, tid, || format!("mutex unlock @{addr:#x}")) {
+            Some(g) => g,
+            // Tearing down: still release model ownership so free-running
+            // threads are not wedged behind a dead owner.
+            None => lock(ctx),
+        };
+        g.mutex_owner.remove(&addr);
+        for s in g.statuses.iter_mut() {
+            if *s == Status::BlockedMutex(addr) {
+                *s = Status::Runnable;
+            }
+        }
+        ctx.cv.notify_all();
+    });
+}
+
+/// Register a model thread and start its OS carrier. Returns the model
+/// tid, or `None` when called outside an execution.
+pub(crate) fn spawn_thread(f: impl FnOnce() + Send + 'static) -> Option<usize> {
+    with_model(|ctx, tid| {
+        let new_tid = {
+            let mut g = scheduled(ctx, tid, || "spawn".to_string())?;
+            g.statuses.push(Status::Runnable);
+            g.live += 1;
+            g.statuses.len() - 1
+        };
+        let ctx2 = ctx.clone();
+        let h = std::thread::spawn(move || run_model_thread(ctx2, new_tid, f));
+        ctx.handles.lock().unwrap_or_else(|e| e.into_inner()).push(h);
+        Some(new_tid)
+    })
+    .flatten()
+}
+
+/// Block until model thread `target` finishes.
+pub(crate) fn join_thread(target: usize) {
+    with_model(|ctx, tid| {
+        let Some(mut g) = scheduled(ctx, tid, || format!("join T{target}")) else {
+            return;
+        };
+        while g.statuses[target] != Status::Finished {
+            g.statuses[tid] = Status::BlockedJoin(target);
+            g.pick_next(true);
+            loop {
+                if g.aborting {
+                    drop(g);
+                    abort_point();
+                    return;
+                }
+                if g.current == tid {
+                    break;
+                }
+                ctx.cv.notify_all();
+                g = ctx.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+    });
+}
+
+// ---- heap tracking ------------------------------------------------------
+
+/// A `Box` entered raw-pointer life (via `Box::into_raw`).
+pub(crate) fn heap_alloc(addr: usize) {
+    with_model(|ctx, _| {
+        let mut g = lock(ctx);
+        if g.aborting {
+            return;
+        }
+        g.allocs.insert(addr, 0);
+    });
+}
+
+/// A raw pointer is about to be reconstituted and dropped. Aborts the
+/// execution if the allocation is unknown (double free) or a reader
+/// guard still references it (use-after-retire: freeing it would leave
+/// the guard dangling). Returns false when the caller must SKIP the
+/// real drop (the pointer is violation evidence, or teardown is
+/// leaking deliberately).
+pub(crate) fn heap_free(addr: usize) -> bool {
+    let abort = match with_model(|ctx, tid| {
+        let mut g = lock(ctx);
+        if g.aborting {
+            return true; // tearing down: leak rather than touch evidence
+        }
+        match g.allocs.get(&addr) {
+            None => {
+                g.record_violation(
+                    "double-free",
+                    format!("T{tid} frees {addr:#x}, which is not a live tracked allocation"),
+                );
+                true
+            }
+            Some(&retained) if retained > 0 => {
+                g.record_violation(
+                    "use-after-reclaim",
+                    format!(
+                        "T{tid} reclaims {addr:#x} while {retained} reader guard(s) still \
+                         reference it — the epoch protocol exposed a freed value"
+                    ),
+                );
+                true
+            }
+            Some(_) => {
+                g.allocs.remove(&addr);
+                false
+            }
+        }
+    }) {
+        Some(abort) => abort,
+        None => return true, // not modeled: free normally
+    };
+    if abort {
+        abort_point();
+        return false;
+    }
+    true
+}
+
+/// A reader guard now references `addr`.
+pub(crate) fn heap_retain(addr: usize) {
+    let abort = with_model(|ctx, tid| {
+        let mut g = lock(ctx);
+        if g.aborting {
+            return false;
+        }
+        match g.allocs.get_mut(&addr) {
+            Some(n) => {
+                *n += 1;
+                false
+            }
+            None => {
+                g.record_violation(
+                    "use-after-reclaim",
+                    format!(
+                        "T{tid} creates a reader guard over {addr:#x}, which was already \
+                         reclaimed — the guard would dereference freed memory"
+                    ),
+                );
+                true
+            }
+        }
+    })
+    .unwrap_or(false);
+    if abort {
+        abort_point();
+    }
+}
+
+/// A reader guard dropped its reference to `addr`.
+pub(crate) fn heap_release(addr: usize) {
+    with_model(|ctx, _| {
+        let mut g = lock(ctx);
+        if let Some(n) = g.allocs.get_mut(&addr) {
+            *n = n.saturating_sub(1);
+        }
+        // Unknown address during teardown: the violation (if any) was
+        // already recorded at free time.
+    });
+}
+
+// ---- execution driver ---------------------------------------------------
+
+fn run_model_thread(ctx: Arc<Ctx>, tid: usize, f: impl FnOnce()) {
+    TL.with(|tl| *tl.borrow_mut() = Some((ctx.clone(), tid)));
+    // Park until scheduled for the first time.
+    {
+        let mut g = lock(&ctx);
+        while g.current != tid && !g.aborting {
+            g = ctx.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+        if g.aborting {
+            drop(g);
+            finish_thread(&ctx, tid);
+            TL.with(|tl| *tl.borrow_mut() = None);
+            return;
+        }
+    }
+    let result = panic::catch_unwind(AssertUnwindSafe(f));
+    if let Err(payload) = result {
+        if payload.downcast_ref::<Abort>().is_none() {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            let mut g = lock(&ctx);
+            g.record_violation("panic", format!("T{tid} panicked: {msg}"));
+            ctx.cv.notify_all();
+        }
+    }
+    finish_thread(&ctx, tid);
+    TL.with(|tl| *tl.borrow_mut() = None);
+}
+
+fn finish_thread(ctx: &Ctx, tid: usize) {
+    let mut g = lock(ctx);
+    g.statuses[tid] = Status::Finished;
+    g.live -= 1;
+    for s in g.statuses.iter_mut() {
+        if *s == Status::BlockedJoin(tid) {
+            *s = Status::Runnable;
+        }
+    }
+    if !g.aborting && g.live > 0 {
+        g.pick_next(true);
+    }
+    ctx.cv.notify_all();
+}
+
+/// One execution: replay `path`, record fresh choices past it. Returns
+/// the violation (if any) and the full choice path taken.
+fn run_once(
+    f: Arc<dyn Fn() + Send + Sync>,
+    path: Vec<Choice>,
+    b: &Builder,
+) -> (Option<Violation>, Vec<Choice>) {
+    let ctx = Arc::new(Ctx {
+        m: StdMutex::new(Inner {
+            statuses: vec![Status::Runnable],
+            current: 0,
+            live: 1,
+            choices: path,
+            cursor: 0,
+            preemptions: 0,
+            bound: b.preemption_bound,
+            steps: 0,
+            max_steps: b.max_steps,
+            atomics: HashMap::new(),
+            floors: HashMap::new(),
+            mutex_owner: HashMap::new(),
+            allocs: HashMap::new(),
+            trace: Vec::new(),
+            violation: None,
+            aborting: false,
+        }),
+        cv: Condvar::new(),
+        handles: StdMutex::new(Vec::new()),
+    });
+    let root = {
+        let ctx = ctx.clone();
+        std::thread::spawn(move || run_model_thread(ctx.clone(), 0, move || f()))
+    };
+    // Wait for the whole execution to finish (every model thread,
+    // including ones spawned mid-run).
+    {
+        let mut g = lock(&ctx);
+        while g.live > 0 {
+            g = ctx.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+        if g.violation.is_none() && !g.allocs.is_empty() {
+            let mut addrs: Vec<usize> = g.allocs.keys().copied().collect();
+            addrs.sort_unstable();
+            let shown: Vec<String> = addrs.iter().take(4).map(|a| format!("{a:#x}")).collect();
+            g.record_violation(
+                "leak",
+                format!(
+                    "{} tracked allocation(s) still live at execution end ({}, ..)",
+                    addrs.len(),
+                    shown.join(", ")
+                ),
+            );
+        }
+    }
+    let _ = root.join();
+    // Take the handles out before joining: every model thread has
+    // already finished (live == 0), but joining while holding the
+    // registry lock would deadlock against a late registration.
+    let spawned = {
+        let mut g = ctx.handles.lock().unwrap_or_else(|e| e.into_inner());
+        std::mem::take(&mut *g)
+    };
+    for h in spawned {
+        let _ = h.join();
+    }
+    let mut g = lock(&ctx);
+    (g.violation.take(), std::mem::take(&mut g.choices))
+}
+
+/// Advance the DFS path to the next unexplored branch. False when the
+/// whole frontier is exhausted.
+fn advance(path: &mut Vec<Choice>) -> bool {
+    while let Some(last) = path.last_mut() {
+        if last.chosen + 1 < last.options {
+            last.chosen += 1;
+            return true;
+        }
+        path.pop();
+    }
+    false
+}
+
+fn explore(b: &Builder, f: Arc<dyn Fn() + Send + Sync>) -> Report {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let mut path: Vec<Choice> = Vec::new();
+    let mut executions = 0u64;
+    loop {
+        executions += 1;
+        let (violation, taken) = run_once(f.clone(), path, b);
+        if violation.is_some() {
+            return Report { executions, complete: false, violation };
+        }
+        path = taken;
+        if !advance(&mut path) {
+            return Report { executions, complete: true, violation: None };
+        }
+        if executions >= b.max_executions {
+            return Report { executions, complete: false, violation: None };
+        }
+    }
+}
+
+/// True when `ord` permits reading values older than the newest write
+/// (everything weaker than `SeqCst` loads get modeled stale reads; the
+/// model treats `Acquire` like `SeqCst` for loads paired with modeled
+/// release stores, which is conservative for bug finding on SC-heavy
+/// protocols but exact for `Relaxed`).
+pub(crate) fn stale_reads(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Relaxed)
+}

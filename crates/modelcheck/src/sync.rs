@@ -1,0 +1,76 @@
+//! A modeled mutex with the `parking_lot` guard-returning API.
+//!
+//! Ownership is tracked by the model runtime (acquire and release are
+//! scheduling points; contention blocks in *model* time, so the DFS
+//! explores every acquisition order), while the data itself sits in a
+//! real `std::sync::Mutex` — the baton discipline guarantees the real
+//! lock is uncontended whenever the model grants ownership. Outside an
+//! execution the model layer disappears and this is just a plain mutex.
+
+use std::ops::{Deref, DerefMut};
+use std::sync::{Mutex as StdMutex, MutexGuard as StdMutexGuard};
+
+use crate::runtime;
+
+/// A mutual-exclusion lock; see the module docs.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    cell: StdMutex<T>,
+}
+
+/// Guard returned by [`Mutex::lock`].
+pub struct MutexGuard<'a, T> {
+    g: Option<StdMutexGuard<'a, T>>,
+    addr: usize,
+    modeled: bool,
+}
+
+impl<T> Mutex<T> {
+    /// A new mutex holding `value`.
+    pub const fn new(value: T) -> Mutex<T> {
+        Mutex { cell: StdMutex::new(value) }
+    }
+
+    /// Acquire the lock, blocking (in model time, inside an execution)
+    /// until it is available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let addr = &self.cell as *const StdMutex<T> as usize;
+        let modeled = runtime::mutex_lock(addr);
+        MutexGuard {
+            g: Some(self.cell.lock().unwrap_or_else(|e| e.into_inner())),
+            addr,
+            modeled,
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.cell.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.g.as_ref().expect("guard accessed after release")
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.g.as_mut().expect("guard accessed after release")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the real lock before the model release: when the
+        // runtime hands the next owner the baton, the real mutex must
+        // already be free.
+        drop(self.g.take());
+        if self.modeled {
+            runtime::mutex_unlock(self.addr);
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Model threads: cooperative threads carried by OS threads, scheduled
+//! one at a time by the runtime's baton. Must be used inside a
+//! [`crate::Builder::check`] closure.
+
+use std::sync::{Arc, Mutex as StdMutex};
+
+use crate::runtime;
+
+/// Handle to a spawned model thread.
+pub struct JoinHandle<T> {
+    tid: usize,
+    result: Arc<StdMutex<Option<T>>>,
+}
+
+/// Spawn a model thread running `f`. Panics when called outside a model
+/// execution — model scenarios must create all concurrency through this
+/// function so the scheduler sees it.
+pub fn spawn<T, F>(f: F) -> JoinHandle<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let result: Arc<StdMutex<Option<T>>> = Arc::new(StdMutex::new(None));
+    let slot = result.clone();
+    let tid = runtime::spawn_thread(move || {
+        let v = f();
+        *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(v);
+    })
+    .expect("modelcheck::thread::spawn used outside a model execution");
+    JoinHandle { tid, result }
+}
+
+impl<T> JoinHandle<T> {
+    /// Wait (in model time) for the thread to finish and take its
+    /// result.
+    pub fn join(self) -> T {
+        runtime::join_thread(self.tid);
+        match self.result.lock().unwrap_or_else(|e| e.into_inner()).take() {
+            Some(v) => v,
+            // The joined thread aborted before producing a value: this
+            // execution is tearing down, so tear down too.
+            None => {
+                runtime::propagate_abort();
+                unreachable!("joined thread produced no value yet execution is live")
+            }
+        }
+    }
+}

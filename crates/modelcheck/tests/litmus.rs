@@ -1,0 +1,210 @@
+//! Litmus tests for the explorer itself: classic outcomes that must (or
+//! must not) be reachable, and the violation detectors firing on
+//! minimal reproducers.
+
+use std::collections::BTreeSet;
+use std::sync::{Arc, Mutex as StdMutex};
+
+use labflow_modelcheck::atomic::{AtomicU64, Ordering};
+use labflow_modelcheck::{heap, sync, thread, Builder};
+
+/// Store-buffering: with `Relaxed` loads the (0, 0) outcome is allowed
+/// (each thread's load may miss the other's store); the explorer must
+/// actually reach it.
+#[test]
+fn sb_relaxed_reaches_zero_zero() {
+    let outcomes: Arc<StdMutex<BTreeSet<(u64, u64)>>> = Arc::new(StdMutex::new(BTreeSet::new()));
+    let sink = outcomes.clone();
+    let report = Builder::new()
+        .preemptions(3)
+        .check(move || {
+            let x = Arc::new(AtomicU64::new(0));
+            let y = Arc::new(AtomicU64::new(0));
+            let (x2, y2) = (x.clone(), y.clone());
+            let t = thread::spawn(move || {
+                x2.store(1, Ordering::SeqCst);
+                y2.load(Ordering::Relaxed)
+            });
+            y.store(1, Ordering::SeqCst);
+            let r1 = x.load(Ordering::Relaxed);
+            let r2 = t.join();
+            sink.lock().unwrap().insert((r1, r2));
+        })
+        .assert_ok();
+    let seen = outcomes.lock().unwrap().clone();
+    assert!(
+        seen.contains(&(0, 0)),
+        "relaxed loads never observed the stale (0, 0) outcome; saw {seen:?} \
+         across {} interleavings",
+        report.executions
+    );
+    assert!(seen.contains(&(1, 1)), "saw {seen:?}");
+}
+
+/// The same shape with `SeqCst` loads: (0, 0) is forbidden — at least
+/// one store precedes both loads in the single total order.
+#[test]
+fn sb_seqcst_forbids_zero_zero() {
+    let outcomes: Arc<StdMutex<BTreeSet<(u64, u64)>>> = Arc::new(StdMutex::new(BTreeSet::new()));
+    let sink = outcomes.clone();
+    Builder::new()
+        .preemptions(3)
+        .check(move || {
+            let x = Arc::new(AtomicU64::new(0));
+            let y = Arc::new(AtomicU64::new(0));
+            let (x2, y2) = (x.clone(), y.clone());
+            let t = thread::spawn(move || {
+                x2.store(1, Ordering::SeqCst);
+                y2.load(Ordering::SeqCst)
+            });
+            y.store(1, Ordering::SeqCst);
+            let r1 = x.load(Ordering::SeqCst);
+            let r2 = t.join();
+            sink.lock().unwrap().insert((r1, r2));
+        })
+        .assert_ok();
+    let seen = outcomes.lock().unwrap().clone();
+    assert!(!seen.contains(&(0, 0)), "SeqCst store-buffering must not reach (0, 0): {seen:?}");
+    assert!(seen.len() >= 2, "expected several outcomes, saw {seen:?}");
+}
+
+/// A racy unsynchronized counter loses updates in some interleaving; the
+/// explorer must find the lost-update schedule (load / load / store /
+/// store) rather than only the serial ones.
+#[test]
+fn finds_lost_update() {
+    let outcomes: Arc<StdMutex<BTreeSet<u64>>> = Arc::new(StdMutex::new(BTreeSet::new()));
+    let sink = outcomes.clone();
+    Builder::new()
+        .preemptions(2)
+        .check(move || {
+            let c = Arc::new(AtomicU64::new(0));
+            let c2 = c.clone();
+            let t = thread::spawn(move || {
+                let v = c2.load(Ordering::SeqCst);
+                c2.store(v + 1, Ordering::SeqCst);
+            });
+            let v = c.load(Ordering::SeqCst);
+            c.store(v + 1, Ordering::SeqCst);
+            t.join();
+            sink.lock().unwrap().insert(c.load(Ordering::SeqCst));
+        })
+        .assert_ok();
+    let seen = outcomes.lock().unwrap().clone();
+    assert_eq!(seen, BTreeSet::from([1, 2]), "expected both the lost-update and serial outcomes");
+}
+
+/// A model mutex makes the counter race-free: only the serial outcome
+/// survives, in every interleaving.
+#[test]
+fn mutex_serializes_counter() {
+    Builder::new()
+        .preemptions(2)
+        .check(|| {
+            let c = Arc::new(sync::Mutex::new(0u64));
+            let c2 = c.clone();
+            let t = thread::spawn(move || {
+                let mut g = c2.lock();
+                *g += 1;
+            });
+            {
+                let mut g = c.lock();
+                *g += 1;
+            }
+            t.join();
+            assert_eq!(*c.lock(), 2);
+        })
+        .assert_ok();
+}
+
+/// ABBA lock ordering deadlocks in some interleaving; the explorer must
+/// report it (rather than hang).
+#[test]
+fn detects_abba_deadlock() {
+    let report = Builder::new().preemptions(2).check(|| {
+        let a = Arc::new(sync::Mutex::new(()));
+        let b = Arc::new(sync::Mutex::new(()));
+        let (a2, b2) = (a.clone(), b.clone());
+        let t = thread::spawn(move || {
+            let _ga = a2.lock();
+            let _gb = b2.lock();
+        });
+        {
+            let _gb = b.lock();
+            let _ga = a.lock();
+        }
+        t.join();
+    });
+    let v = report.violation.expect("ABBA deadlock not found");
+    assert_eq!(v.kind, "deadlock", "unexpected violation: {v}");
+    assert!(!v.trace.is_empty(), "deadlock report carries no interleaving trace");
+}
+
+/// Freeing the same tracked allocation twice is reported as double-free.
+#[test]
+fn detects_double_free() {
+    let report = Builder::new().check(|| {
+        heap::on_alloc(0x1000);
+        let _ = heap::on_free(0x1000);
+        let _ = heap::on_free(0x1000);
+    });
+    let v = report.violation.expect("double free not found");
+    assert_eq!(v.kind, "double-free", "unexpected violation: {v}");
+}
+
+/// An allocation never freed is reported as a leak at execution end.
+#[test]
+fn detects_leak() {
+    let report = Builder::new().check(|| {
+        heap::on_alloc(0x2000);
+    });
+    let v = report.violation.expect("leak not found");
+    assert_eq!(v.kind, "leak", "unexpected violation: {v}");
+}
+
+/// Freeing while a reader guard still holds the allocation is reported
+/// as use-after-reclaim.
+#[test]
+fn detects_free_under_reader() {
+    let report = Builder::new().check(|| {
+        heap::on_alloc(0x3000);
+        heap::retain(0x3000);
+        let _ = heap::on_free(0x3000);
+    });
+    let v = report.violation.expect("use-after-reclaim not found");
+    assert_eq!(v.kind, "use-after-reclaim", "unexpected violation: {v}");
+}
+
+/// A panic inside a model thread is reported with its message, not
+/// swallowed or propagated as a test abort.
+#[test]
+fn reports_scenario_panics() {
+    let report = Builder::new().check(|| {
+        let t = thread::spawn(|| {
+            panic!("scenario assertion failed");
+        });
+        t.join();
+    });
+    let v = report.violation.expect("panic not reported");
+    assert_eq!(v.kind, "panic");
+    assert!(v.message.contains("scenario assertion failed"), "message: {}", v.message);
+}
+
+/// Exhaustive exploration terminates and reports completeness on a
+/// scenario with a known, small interleaving count.
+#[test]
+fn reports_complete_exploration() {
+    let report = Builder::new()
+        .preemptions(2)
+        .check(|| {
+            let x = Arc::new(AtomicU64::new(0));
+            let x2 = x.clone();
+            let t = thread::spawn(move || x2.fetch_add(1, Ordering::SeqCst));
+            x.fetch_add(1, Ordering::SeqCst);
+            t.join();
+            assert_eq!(x.load(Ordering::SeqCst), 2);
+        })
+        .assert_ok();
+    assert!(report.complete);
+    assert!(report.executions >= 2, "two fetch_adds admit at least two orders");
+}

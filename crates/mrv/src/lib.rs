@@ -47,21 +47,30 @@
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
+mod sync;
+
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::ops::Deref;
 use std::ptr;
-use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use crate::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
+use crate::sync::{heap, Mutex};
 
 /// Slot count of level 0; level `k` holds `L0 << k` slots, so the level
 /// owning index `i` is `ilog2(i / L0 + 1)` and [`LEVELS`] levels cover
-/// far more indexes than any caller can allocate.
+/// far more indexes than any caller can allocate. (Model builds shrink
+/// both so whole-table walks stay explorable.)
+#[cfg(not(labflow_model))]
 const L0: u64 = 1 << 12;
+#[cfg(labflow_model)]
+const L0: u64 = 4;
 /// Number of lazily-installed levels.
+#[cfg(not(labflow_model))]
 const LEVELS: usize = 40;
+#[cfg(labflow_model)]
+const LEVELS: usize = 8;
 
 /// Free aged retired values once this many have accumulated, so
 /// garbage between explicit [`Mrv::sync_reclaim`] calls stays bounded
@@ -72,8 +81,11 @@ const RETIRED_HIGH_WATER: usize = 512;
 /// section".
 const IDLE: u64 = u64::MAX;
 
-/// Distinguishes tables in the per-thread reader-slot cache.
-static NEXT_TABLE_ID: AtomicU64 = AtomicU64::new(1);
+/// Distinguishes tables in the per-thread reader-slot cache. Stays on
+/// `std` even in model builds (see `sync`): it has no protocol role,
+/// and being process-global it keeps table IDs unique across model
+/// executions so no execution ever hits a stale cache entry.
+static NEXT_TABLE_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
 
 thread_local! {
     /// This thread's reader slot, one per table it has read from. The
@@ -134,6 +146,10 @@ unsafe impl<T: Send + Sync> Sync for Mrv<T> {}
 /// be freed by a concurrent publish. Dropping unpins.
 pub struct ReadGuard<'t, T> {
     value: &'t T,
+    /// Model builds remember the raw allocation so the heap tracker can
+    /// pair this guard's retain with its release.
+    #[cfg(labflow_model)]
+    raw: usize,
     _pin: PinGuard,
 }
 
@@ -142,6 +158,15 @@ impl<T> Deref for ReadGuard<'_, T> {
 
     fn deref(&self) -> &T {
         self.value
+    }
+}
+
+#[cfg(labflow_model)]
+impl<T> Drop for ReadGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release before `_pin` drops: the value must still be covered
+        // by the pin at release time, like the reference it tracks.
+        heap::release(self.raw);
     }
 }
 
@@ -204,6 +229,7 @@ impl<T: Send + Sync> Mrv<T> {
         let cap = (L0 << level) as usize;
         let slots: Box<[AtomicPtr<T>]> = (0..cap).map(|_| AtomicPtr::new(ptr::null_mut())).collect();
         let fresh = Box::into_raw(Box::new(Chunk { slots }));
+        heap::on_alloc(fresh as usize);
         // analyzer: allow(index, "level < LEVELS asserted above")
         match self.levels[level].compare_exchange(
             ptr::null_mut(),
@@ -215,8 +241,10 @@ impl<T: Send + Sync> Mrv<T> {
             // the table.
             Ok(_) => unsafe { &*fresh },
             Err(existing) => {
-                // Safety: `fresh` never escaped; reclaim it.
-                unsafe { drop(Box::from_raw(fresh)) };
+                if heap::on_free(fresh as usize) {
+                    // Safety: `fresh` never escaped; reclaim it.
+                    unsafe { drop(Box::from_raw(fresh)) };
+                }
                 // Safety: non-null pointers in `levels` are valid until
                 // drop.
                 unsafe { &*existing }
@@ -238,6 +266,7 @@ impl<T: Send + Sync> Mrv<T> {
             m.insert(self.table_id, s.clone());
             s
         });
+        // analyzer: allow(ordering, "own-slot read: only this thread stores non-IDLE values here, and the publish loop below re-syncs with the epoch at SeqCst")
         let prev = slot.load(Ordering::Relaxed);
         if prev == IDLE {
             // Publish-and-recheck: if a reclaimer advanced the epoch
@@ -269,7 +298,13 @@ impl<T: Send + Sync> Mrv<T> {
         // `pin` is alive — the guard carries the pin, so the reference
         // cannot outlive it.
         let value = unsafe { p.as_ref()? };
-        Some(ReadGuard { value, _pin: pin })
+        heap::retain(p as usize);
+        Some(ReadGuard {
+            value,
+            #[cfg(labflow_model)]
+            raw: p as usize,
+            _pin: pin,
+        })
     }
 
     /// Publish `value` at `idx` (or clear the slot with `None`),
@@ -283,6 +318,9 @@ impl<T: Send + Sync> Mrv<T> {
     pub fn publish(&self, idx: u64, value: Option<Box<T>>) {
         let (level, i) = Self::locate(idx);
         let new = value.map_or(ptr::null_mut(), Box::into_raw);
+        if !new.is_null() {
+            heap::on_alloc(new as usize);
+        }
         let old = if new.is_null() {
             // Clearing an index no chunk covers would allocate the
             // chunk just to store "absent" — skip it.
@@ -357,10 +395,12 @@ impl<T: Send + Sync> Mrv<T> {
             .unwrap_or(u64::MAX);
         inner.retired.retain(|r| {
             if r.epoch < min_active {
-                // Safety: see the epoch rule in the crate docs — no
-                // reader pinned at ≤ `r.epoch` remains, and the value
-                // left its slot at retirement, so nothing can reach it.
-                unsafe { drop(Box::from_raw(r.ptr)) };
+                if heap::on_free(r.ptr as usize) {
+                    // Safety: see the epoch rule in the crate docs — no
+                    // reader pinned at ≤ `r.epoch` remains, and the value
+                    // left its slot at retirement, so nothing can reach it.
+                    unsafe { drop(Box::from_raw(r.ptr)) };
+                }
                 false
             } else {
                 true
@@ -376,23 +416,27 @@ impl<T: Send + Sync> Mrv<T> {
 
 impl<T> Drop for Mrv<T> {
     fn drop(&mut self) {
-        // `&mut self`: no reader guard or concurrent publish can exist.
+        // `&mut self`: no reader guard or concurrent publish can exist,
+        // so plain (`get_mut`) access is sound and keeps the teardown
+        // walk out of the model's schedule.
         for r in self.inner.get_mut().retired.drain(..) {
-            // Safety: retired pointers are owned by the table and not
-            // reachable from any slot.
-            unsafe { drop(Box::from_raw(r.ptr)) };
+            if heap::on_free(r.ptr as usize) {
+                // Safety: retired pointers are owned by the table and
+                // not reachable from any slot.
+                unsafe { drop(Box::from_raw(r.ptr)) };
+            }
         }
-        for l in &self.levels {
-            let p = l.load(Ordering::SeqCst);
-            if p.is_null() {
+        for l in &mut self.levels {
+            let p = *l.get_mut();
+            if p.is_null() || !heap::on_free(p as usize) {
                 continue;
             }
             // Safety: installed by `ensure_chunk` via `Box::into_raw`,
             // owned by the table.
-            let chunk = unsafe { Box::from_raw(p) };
-            for s in chunk.slots.iter() {
-                let vp = s.load(Ordering::SeqCst);
-                if !vp.is_null() {
+            let mut chunk = unsafe { Box::from_raw(p) };
+            for s in chunk.slots.iter_mut() {
+                let vp = *s.get_mut();
+                if !vp.is_null() && heap::on_free(vp as usize) {
                     // Safety: published values are owned by their slot.
                     unsafe { drop(Box::from_raw(vp)) };
                 }

@@ -1,0 +1,63 @@
+//! The crate's synchronization facade.
+//!
+//! Normal builds re-export the real primitives (`std::sync::atomic`,
+//! `parking_lot::Mutex`) and compile the heap hooks to no-ops. Under
+//! `--cfg labflow_model` every atomic, the internal mutex, and every
+//! `Box::into_raw`/`Box::from_raw` transition instead route through
+//! `labflow-modelcheck`, whose cooperative scheduler and DFS explorer
+//! enumerate the interleavings of the epoch-reclamation protocol (see
+//! `tests/model.rs` and `cargo xtask modelcheck`).
+//!
+//! Everything protocol-relevant in `lib.rs` must come through here —
+//! that is the invariant that makes the model faithful. The only
+//! deliberate exception is `NEXT_TABLE_ID`, a process-global ID counter
+//! with no cross-thread protocol role, which stays on `std` by full
+//! path so each model execution still gets globally fresh table IDs.
+
+#[cfg(not(labflow_model))]
+pub(crate) mod atomic {
+    pub(crate) use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
+}
+#[cfg(labflow_model)]
+pub(crate) mod atomic {
+    pub(crate) use labflow_modelcheck::atomic::{AtomicPtr, AtomicU64, Ordering};
+}
+
+#[cfg(not(labflow_model))]
+pub(crate) use parking_lot::Mutex;
+#[cfg(labflow_model)]
+pub(crate) use labflow_modelcheck::sync::Mutex;
+
+/// Allocation-lifecycle hooks for the model's heap tracker. In normal
+/// builds these are no-ops the optimiser deletes; under the model they
+/// turn reclamation mistakes (double free, freeing under a live
+/// [`crate::ReadGuard`], leaking a displaced value) into reported
+/// violations with the interleaving that caused them.
+pub(crate) mod heap {
+    #[cfg(labflow_model)]
+    pub(crate) use labflow_modelcheck::heap::{on_alloc, on_free, release, retain};
+
+    /// A `Box` became a raw pointer owned by the table.
+    #[cfg(not(labflow_model))]
+    pub(crate) fn on_alloc(_addr: usize) {}
+
+    /// A raw pointer is about to be freed; false means the model
+    /// confiscated it as violation evidence and the caller must skip
+    /// the real drop.
+    #[cfg(not(labflow_model))]
+    #[must_use]
+    pub(crate) fn on_free(_addr: usize) -> bool {
+        true
+    }
+
+    /// A [`crate::ReadGuard`] now references the allocation.
+    #[cfg(not(labflow_model))]
+    pub(crate) fn retain(_addr: usize) {}
+
+    /// A [`crate::ReadGuard`] dropped its reference. Only the model
+    /// build has a call site (the guard's cfg'd `Drop`); the no-op
+    /// keeps the facade's surface identical across both builds.
+    #[cfg(not(labflow_model))]
+    #[allow(dead_code)]
+    pub(crate) fn release(_addr: usize) {}
+}

@@ -700,6 +700,7 @@ impl StorageManager for Engine {
         // or none of them — never a partial commit.
         if !state.touched.is_empty() {
             let _vis = self.vis_lock();
+            // analyzer: allow(ordering, "last_visible is only stored under vis_lock, which is held here — the lock orders the read-modify-write; Release on the store publishes to lock-free snapshot readers")
             let lsn = self.last_visible.load(Ordering::Relaxed) + 1;
             let floor = self.snapshot_floor();
             for &oid in &state.touched {

@@ -421,6 +421,7 @@ impl Heap {
             m.insert(self.heap_id, s.clone());
             s
         });
+        // analyzer: allow(ordering, "own-slot read: only this thread stores non-IDLE values here, and the publish loop below re-syncs with the epoch at SeqCst")
         let prev = slot.load(Ordering::Relaxed);
         if prev == EPOCH_IDLE {
             // Publish-and-recheck: if GC bumped the epoch between our
@@ -529,13 +530,12 @@ impl Heap {
         let end = start.checked_add(len).ok_or_else(|| {
             StorageError::Corrupt(format!("record length {len} overflows addressing"))
         })?;
-        if end > stored.len() {
-            return Err(StorageError::Corrupt(format!(
+        stored.get(start..end).map(<[u8]>::to_vec).ok_or_else(|| {
+            StorageError::Corrupt(format!(
                 "record length {len} exceeds stored bytes {}",
                 stored.len()
-            )));
-        }
-        Ok(stored[start..end].to_vec())
+            ))
+        })
     }
 
     fn is_overflow(stored: &[u8]) -> bool {
@@ -632,9 +632,8 @@ impl Heap {
         for _ in 0..n {
             chunk_pages.push(self.take_page(place));
         }
-        for (i, chunk) in payload.chunks(OVERFLOW_CAP).enumerate() {
+        for (i, (chunk, &pid)) in payload.chunks(OVERFLOW_CAP).zip(&chunk_pages).enumerate() {
             let next = chunk_pages.get(i + 1).map_or(NO_PAGE, |p| p.0);
-            let pid = chunk_pages[i];
             self.pool.with_new_page(pid, |buf| {
                 buf[0..4].copy_from_slice(&next.to_le_bytes());
                 buf[4..8].copy_from_slice(&(chunk.len() as u32).to_le_bytes());

@@ -600,7 +600,6 @@ impl Wal {
         w.pending_reset = Some(epoch);
         w.repair_head()?;
         let stats = self.stats.clone();
-        // analyzer: allow(blocking, "truncation syncs the guarded log file itself; the writer mutex is what serializes it")
         with_retries(|| w.file.sync(), || StorageStats::bump(&stats.io_retries, 1))?;
         self.written.store(w.flushed, Ordering::Relaxed);
         Ok(())

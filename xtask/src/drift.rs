@@ -1,0 +1,178 @@
+//! Rank-table drift check.
+//!
+//! The lock-rank table exists twice: the runtime half in
+//! `crates/storage/src/lock_order.rs` (debug assertions on every
+//! acquisition) and the static half in `xtask/src/ranks.rs` (what the
+//! lock-order pass checks against). They drift silently — a constant
+//! added to the runtime table but not here means the analyzer rejects
+//! the new lock's sites as unknown, and a rank changed on one side
+//! only means the two checkers enforce different orders.
+//!
+//! This pass parses the `pub const NAME: LockRank = LockRank { rank: N,
+//! .. }` declarations out of the runtime table's source text (the
+//! shared lexer drops literal values, so this reads the raw text) and
+//! diffs them against [`ranks::RANK_CONSTS`] in both directions.
+
+use std::path::Path;
+
+use crate::ranks;
+use crate::Finding;
+
+const RUNTIME_TABLE: &str = "crates/storage/src/lock_order.rs";
+
+/// Diff the runtime rank table against the analyzer's. Workspace mode
+/// only — fixtures have no runtime table.
+pub fn analyze(root: &Path) -> Vec<Finding> {
+    let path = root.join(RUNTIME_TABLE);
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            return vec![Finding {
+                file: RUNTIME_TABLE.to_string(),
+                line: 0,
+                pass: "rank-drift",
+                msg: format!("cannot read the runtime rank table: {e}"),
+            }]
+        }
+    };
+    diff(&parse_lock_order(&text))
+}
+
+/// Extract `(name, rank, line)` for every `pub const NAME: LockRank`
+/// declaration, tolerating rustfmt wrapping the initializer onto
+/// following lines.
+fn parse_lock_order(text: &str) -> Vec<(String, u16, u32)> {
+    let mut out = Vec::new();
+    let mut search = 0usize;
+    while let Some(rel) = text[search..].find("pub const ") {
+        let at = search + rel;
+        search = at + "pub const ".len();
+        let line = 1 + text[..at].bytes().filter(|b| *b == b'\n').count() as u32;
+        let rest = &text[search..];
+        let Some((name, after)) = rest.split_once(':') else { continue };
+        let name = name.trim().to_string();
+        // Only LockRank constants; the window keeps a `LockRank` later
+        // in the file from matching this declaration.
+        let window = &after[..after.len().min(200)];
+        if !window.trim_start().starts_with("LockRank") {
+            continue;
+        }
+        let Some(rank_at) = window.find("rank:") else { continue };
+        let digits: String = window[rank_at + "rank:".len()..]
+            .chars()
+            .skip_while(|c| c.is_whitespace())
+            .take_while(char::is_ascii_digit)
+            .collect();
+        if let Ok(rank) = digits.parse::<u16>() {
+            out.push((name, rank, line));
+        }
+    }
+    out
+}
+
+fn diff(runtime: &[(String, u16, u32)]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (name, rank, line) in runtime {
+        match ranks::rank_of_const(name) {
+            None => findings.push(Finding {
+                file: RUNTIME_TABLE.to_string(),
+                line: *line,
+                pass: "rank-drift",
+                msg: format!(
+                    "`{name}` (rank {rank}) exists in the runtime table but not in \
+                     xtask/src/ranks.rs — the lock-order pass cannot place its \
+                     acquisition sites; add it to RANK_CONSTS"
+                ),
+            }),
+            Some(r) if r != *rank => findings.push(Finding {
+                file: RUNTIME_TABLE.to_string(),
+                line: *line,
+                pass: "rank-drift",
+                msg: format!(
+                    "`{name}` is rank {rank} in the runtime table but rank {r} in \
+                     xtask/src/ranks.rs — the two checkers enforce different orders"
+                ),
+            }),
+            Some(_) => {}
+        }
+    }
+    for (name, rank, _) in ranks::RANK_CONSTS {
+        if !runtime.iter().any(|(n, _, _)| n == name) {
+            findings.push(Finding {
+                file: RUNTIME_TABLE.to_string(),
+                line: 0,
+                pass: "rank-drift",
+                msg: format!(
+                    "`{name}` (rank {rank}) exists in xtask/src/ranks.rs but not in \
+                     the runtime table — remove it, or restore the runtime constant"
+                ),
+            });
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The full runtime table rendered from RANK_CONSTS itself — the
+    /// in-sync baseline.
+    fn rendered() -> Vec<(String, u16, u32)> {
+        ranks::RANK_CONSTS
+            .iter()
+            .enumerate()
+            .map(|(i, (n, r, _))| (n.to_string(), *r, i as u32 + 1))
+            .collect()
+    }
+
+    #[test]
+    fn in_sync_tables_are_clean() {
+        assert!(diff(&rendered()).is_empty());
+    }
+
+    #[test]
+    fn missing_on_either_side_is_flagged() {
+        let mut t = rendered();
+        t.pop();
+        let f = diff(&t);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].msg.contains("exists in xtask/src/ranks.rs"));
+        t.push(("BRAND_NEW_LOCK".to_string(), 99, 7));
+        let f = diff(&t);
+        assert_eq!(f.len(), 2, "one side each");
+    }
+
+    #[test]
+    fn rank_mismatch_is_flagged() {
+        let mut t = rendered();
+        t[0].1 += 1;
+        let f = diff(&t);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].msg.contains("different orders"));
+    }
+
+    #[test]
+    fn parser_reads_single_and_wrapped_declarations() {
+        let src = "pub const A: LockRank = LockRank { rank: 10, name: \"a\" };\n\
+                   pub const WRAPPED: LockRank =\n\
+                   \x20   LockRank { rank: 55, name: \"w\" };\n\
+                   pub const NOT_A_RANK: u16 = 3;\n";
+        let parsed = parse_lock_order(src);
+        assert_eq!(
+            parsed,
+            vec![("A".to_string(), 10, 1), ("WRAPPED".to_string(), 55, 2)]
+        );
+    }
+
+    #[test]
+    fn live_tables_are_in_sync() {
+        // The real cross-check, run against the working tree when the
+        // tests execute from the workspace.
+        let root = crate::default_root();
+        if root.join(RUNTIME_TABLE).is_file() {
+            let f = analyze(&root);
+            assert!(f.is_empty(), "rank tables drifted: {}", f[0].msg);
+        }
+    }
+}

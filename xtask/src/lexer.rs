@@ -157,11 +157,17 @@ pub fn lex(src: &str) -> Lexed {
                         i += 1;
                     }
                 } else {
-                    // b"..." — cooked string body with escapes.
+                    // b"..." — cooked string body with escapes. An
+                    // escaped `\n` is a line-continuation: the newline
+                    // is consumed by the escape but still ends a
+                    // source line, so it must still count.
                     i = j + 1;
                     while i < n && b[i] != '"' {
                         if b[i] == '\\' {
                             i += 1;
+                            if i < n && b[i] == '\n' {
+                                line += 1;
+                            }
                         } else if b[i] == '\n' {
                             line += 1;
                         }
@@ -211,7 +217,14 @@ pub fn lex(src: &str) -> Lexed {
             i += 1;
             while i < n && b[i] != '"' {
                 if b[i] == '\\' {
+                    // Escapes hide the next char from the closing-quote
+                    // scan, but a `\`-newline continuation still ends a
+                    // source line — losing it would shift every
+                    // reported line for the rest of the file.
                     i += 1;
+                    if i < n && b[i] == '\n' {
+                        line += 1;
+                    }
                 } else if b[i] == '\n' {
                     line += 1;
                 }
@@ -398,5 +411,56 @@ mod tests {
         // If the lifetime were lexed as an unterminated char literal the
         // rest of the signature would be swallowed.
         assert!(lexed.tokens.iter().any(|t| t.is_ident("str")));
+    }
+
+    /// Line of the first token matching `name`.
+    fn line_of(src: &str, name: &str) -> u32 {
+        lex(src).tokens.iter().find(|t| t.is_ident(name)).expect("token present").line
+    }
+
+    #[test]
+    fn line_counting_survives_string_continuations() {
+        // Regression: a `\`-newline continuation consumes the newline
+        // as part of the escape, but it still ends a source line.
+        // Losing it shifted every reported line for the rest of the
+        // file (and put allow markers off-by-one from their sites).
+        let src = "let a = \"first \\\n    second\";\nmarker();\n";
+        assert_eq!(line_of(src, "marker"), 3);
+        // An unescaped newline inside a string counts too.
+        let src = "let a = \"first\nsecond\";\nmarker();\n";
+        assert_eq!(line_of(src, "marker"), 3);
+        // And inside a byte string.
+        let src = "let a = b\"first \\\n second\";\nmarker();\n";
+        assert_eq!(line_of(src, "marker"), 3);
+    }
+
+    #[test]
+    fn line_counting_survives_raw_strings_and_block_comments() {
+        let src = "let a = r#\"one\ntwo \" three\nfour\"#;\nmarker();\n";
+        assert_eq!(line_of(src, "marker"), 4);
+        let src = "/* one\n /* nested\n */ two\n*/\nmarker();\n";
+        assert_eq!(line_of(src, "marker"), 5);
+    }
+
+    #[test]
+    fn unsafe_in_strings_and_comments_is_not_a_token() {
+        let src = "// unsafe { comment }\n\
+                   /* unsafe in a block comment */\n\
+                   let s = \"unsafe { string }\";\n\
+                   let r = r#\"unsafe { raw }\"#;\n\
+                   let b = b\"unsafe\";\n";
+        let lexed = lex(src);
+        assert!(!lexed.tokens.iter().any(|t| t.is_ident("unsafe")));
+        // The real keyword still tokenizes.
+        assert!(lex("unsafe { f() }").tokens.iter().any(|t| t.is_ident("unsafe")));
+    }
+
+    #[test]
+    fn raw_string_hash_fences_respect_their_arity() {
+        // A `"#` inside an `r##"…"##` body does not terminate it.
+        let src = "let a = r##\"contains \"# inside\"##;\nmarker();\n";
+        let lexed = lex(src);
+        assert!(!lexed.tokens.iter().any(|t| t.is_ident("inside")));
+        assert_eq!(line_of(src, "marker"), 2);
     }
 }

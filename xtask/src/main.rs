@@ -1,7 +1,7 @@
 //! `labflow-analyzer` — workspace static analysis.
 //!
 //! Run as `cargo xtask analyze [--root DIR]` (the alias lives in
-//! `.cargo/config.toml`). Two passes over every non-test source file:
+//! `.cargo/config.toml`). Six passes over every non-test source file:
 //!
 //! * **panic-freedom** (`panics.rs`): no `.unwrap()` / `.expect()` /
 //!   `panic!`-family macros in the server crates; slice indexing is
@@ -10,6 +10,18 @@
 //!   placed in the declared rank table (`ranks.rs`), nesting must
 //!   strictly increase rank, the observed acquisition graph must be
 //!   acyclic, and no guard may be held across a blocking call.
+//! * **unsafe budget** (`unsafety.rs`): `unsafe` stays confined to the
+//!   crates in `UNSAFE_BUDGETS` (ratcheted, like indexing); any site
+//!   elsewhere needs an `allow(unsafe, "..")` safety argument.
+//! * **atomic orderings** (`atomics.rs`): no `Relaxed` on
+//!   pointer-typed atomics, and no lone `Relaxed` access to an atomic
+//!   a crate otherwise accesses with stronger orderings.
+//! * **rank drift** (`drift.rs`): the runtime rank table in
+//!   `crates/storage/src/lock_order.rs` and the analyzer's `ranks.rs`
+//!   must agree constant-for-constant, rank-for-rank.
+//! * **allow audit** (`audit.rs`): every `allow(..)` marker is
+//!   well-formed, names a known kind, carries a justification, and
+//!   still sits next to the construct it waives.
 //!
 //! Exit code 0 = clean; 1 = findings (printed `file:line: [pass] msg`).
 //! With `--root` pointing outside a cargo workspace (e.g. the seeded
@@ -19,12 +31,17 @@
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 
+mod atomics;
+mod audit;
 mod crashtest;
+mod drift;
 mod lexer;
 mod locks;
+mod modelcheck;
 mod panics;
 mod ranks;
 mod scrubcmd;
+mod unsafety;
 
 /// One analysed source file.
 pub struct SourceFile {
@@ -55,13 +72,21 @@ const PANIC_CRATES: &[&str] = &["storage", "labbase", "workflow", "core", "mrv"]
 /// expressions may not exceed these budgets. Lower freely; raising one
 /// means a new unchecked index went in and needs a reviewer's eyes.
 const INDEX_BUDGETS: &[(&str, u32)] = &[
-    ("storage", 47),
+    ("storage", 45),
     ("labbase", 16),
     ("workflow", 0),
     ("core", 18),
 ];
 
-const USAGE: &str = "usage: cargo xtask analyze [--root DIR]\n       cargo xtask crashtest [--seeds N] [--first-seed S] [--corrupt]\n       cargo xtask scrub --dir PATH [--demo]";
+/// Unsafe-code ratchet: the only crates allowed any `unsafe` at all,
+/// and how many sites each may have. Everything else is
+/// `#![forbid(unsafe_code)]` territory — a site outside these crates
+/// needs an `// analyzer: allow(unsafe, "safety argument")` marker.
+/// `labflow-mrv` is the workspace's designated unsafe island (the
+/// lock-free read path); the model-checker harness itself needs none.
+const UNSAFE_BUDGETS: &[(&str, u32)] = &[("mrv", 13)];
+
+const USAGE: &str = "usage: cargo xtask analyze [--root DIR]\n       cargo xtask modelcheck\n       cargo xtask crashtest [--seeds N] [--first-seed S] [--corrupt]\n       cargo xtask scrub --dir PATH [--demo]";
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -104,7 +129,7 @@ fn main() {
                     std::process::exit(2);
                 }
             },
-            "analyze" | "crashtest" | "scrub" if cmd.is_none() => cmd = Some(a),
+            "analyze" | "crashtest" | "modelcheck" | "scrub" if cmd.is_none() => cmd = Some(a),
             other => {
                 eprintln!("unknown argument `{other}`\n{USAGE}");
                 std::process::exit(2);
@@ -132,18 +157,14 @@ fn main() {
         }
         return;
     }
+    if cmd.as_deref() == Some("modelcheck") {
+        std::process::exit(modelcheck::run(&root.unwrap_or_else(default_root)));
+    }
     if cmd.as_deref() != Some("analyze") {
         eprintln!("{USAGE}");
         std::process::exit(2);
     }
-    let root = root.unwrap_or_else(|| {
-        // The alias runs from anywhere in the workspace; the manifest
-        // dir of this crate is <root>/xtask.
-        match std::env::var_os("CARGO_MANIFEST_DIR") {
-            Some(d) => PathBuf::from(d).parent().map(Path::to_path_buf).unwrap_or_default(),
-            None => PathBuf::from("."),
-        }
-    });
+    let root = root.unwrap_or_else(default_root);
 
     match run(&root) {
         Ok(0) => {}
@@ -155,6 +176,16 @@ fn main() {
             eprintln!("analyze: {e}");
             std::process::exit(2);
         }
+    }
+}
+
+/// The workspace root when no `--root` was given: the alias runs from
+/// anywhere in the workspace, and this crate's manifest dir is
+/// `<root>/xtask`.
+fn default_root() -> PathBuf {
+    match std::env::var_os("CARGO_MANIFEST_DIR") {
+        Some(d) => PathBuf::from(d).parent().map(Path::to_path_buf).unwrap_or_default(),
+        None => PathBuf::from("."),
     }
 }
 
@@ -170,6 +201,7 @@ fn run(root: &Path) -> std::io::Result<usize> {
 
     let mut findings: Vec<Finding> = Vec::new();
     let mut index_counts: HashMap<String, u32> = HashMap::new();
+    let mut unsafe_counts: HashMap<String, u32> = HashMap::new();
 
     for file in &files {
         let linted = !workspace_mode || PANIC_CRATES.contains(&file.crate_dir.as_str());
@@ -177,6 +209,13 @@ fn run(root: &Path) -> std::io::Result<usize> {
             let (f, idx) = panics::scan(file);
             findings.extend(f);
             *index_counts.entry(file.crate_dir.clone()).or_default() += idx;
+        }
+        let budgeted =
+            workspace_mode && UNSAFE_BUDGETS.iter().any(|(k, _)| *k == file.crate_dir);
+        let (f, n) = unsafety::scan(file, budgeted);
+        findings.extend(f);
+        if budgeted {
+            *unsafe_counts.entry(file.crate_dir.clone()).or_default() += n;
         }
     }
 
@@ -212,7 +251,38 @@ fn run(root: &Path) -> std::io::Result<usize> {
         }
     }
 
+    // Unsafe ratchet (budgeted crates only; unbudgeted sites were
+    // already flagged per file above).
+    for (krate, budget) in UNSAFE_BUDGETS {
+        if !workspace_mode {
+            break;
+        }
+        let count = unsafe_counts.get(*krate).copied().unwrap_or(0);
+        if count > *budget {
+            findings.push(Finding {
+                file: format!("crates/{krate}"),
+                line: 0,
+                pass: "unsafe-budget",
+                msg: format!(
+                    "{count} unsafe sites exceed the budget of {budget} — every new \
+                     site needs a reviewer's eyes on its safety argument; raise the \
+                     budget in xtask/src/main.rs only with review"
+                ),
+            });
+        } else if count < *budget {
+            eprintln!(
+                "analyze: note: crate `{krate}` uses {count}/{budget} of its unsafe \
+                 budget — consider ratcheting the budget down in xtask/src/main.rs"
+            );
+        }
+    }
+
     findings.extend(locks::analyze(&files));
+    findings.extend(atomics::analyze(&files));
+    findings.extend(audit::analyze(&files));
+    if workspace_mode {
+        findings.extend(drift::analyze(root));
+    }
 
     findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
     for f in &findings {

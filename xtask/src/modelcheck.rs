@@ -1,0 +1,53 @@
+//! `cargo xtask modelcheck` — run the deterministic interleaving
+//! explorer over `labflow-mrv`.
+//!
+//! Rebuilds the MRV crate with `--cfg labflow_model`, which reroutes
+//! every atomic, its internal mutex, and every raw-pointer transition
+//! through the `labflow-modelcheck` runtime, then runs the scenarios in
+//! `crates/mrv/tests/model.rs`: each one explores *every* interleaving
+//! within its preemption bound and fails on any use-after-reclaim,
+//! double free, leak, deadlock, or assertion violation, printing the
+//! offending schedule. The instrumented build goes to a dedicated
+//! `target/modelcheck` dir so it never invalidates the normal cache.
+
+use std::path::Path;
+use std::process::Command;
+
+/// Exit code: 0 clean, 1 scenario violations, 2 couldn't run.
+pub fn run(root: &Path) -> i32 {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let mut rustflags = std::env::var("RUSTFLAGS").unwrap_or_default();
+    if !rustflags.is_empty() {
+        rustflags.push(' ');
+    }
+    rustflags.push_str("--cfg labflow_model");
+    let status = Command::new(&cargo)
+        .current_dir(root)
+        .env("RUSTFLAGS", rustflags)
+        .env("CARGO_TARGET_DIR", root.join("target").join("modelcheck"))
+        .args([
+            "test",
+            "--package",
+            "labflow-mrv",
+            "--test",
+            "model",
+            "--",
+            "--test-threads=1",
+            "--nocapture",
+        ])
+        .status();
+    match status {
+        Ok(s) if s.success() => {
+            println!("modelcheck: every scenario explored exhaustively, zero violations");
+            0
+        }
+        Ok(_) => {
+            eprintln!("modelcheck: a scenario reported violations (see the trace above)");
+            1
+        }
+        Err(e) => {
+            eprintln!("modelcheck: failed to launch cargo: {e}");
+            2
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Unsafe-code budget ratchet.
+//!
+//! The workspace confines `unsafe` to `labflow-mrv` (the lock-free
+//! read path — see its crate docs for why each site is needed); every
+//! other server crate is expected to stay at zero. The pass counts
+//! `unsafe` keyword tokens per crate in the test-stripped stream (so
+//! `unsafe impl Send`, `unsafe fn`, and `unsafe { .. }` all weigh one
+//! each, while `unsafe_op_in_unsafe_fn` in a lint attribute does not)
+//! and enforces:
+//!
+//! * crates **with** a budget in `main::UNSAFE_BUDGETS`: the total may
+//!   not exceed the budget. Lowering the budget after removing a site
+//!   is encouraged; raising it means new unsafe went in and needs a
+//!   reviewer's eyes on the safety argument.
+//! * crates **without** a budget: each site must carry an
+//!   `// analyzer: allow(unsafe, "safety argument")` marker on its own
+//!   line or the one above. Fixture mode has no budgets, so every
+//!   unmarked site is flagged — that is what the seeded fixture tests.
+//!
+//! Waived sites do not count against a budget (the marker already
+//! records the justification the budget exists to demand).
+
+use crate::lexer::allowed;
+use crate::{Finding, SourceFile};
+
+/// Scan one file: returns the findings for unwaived sites in
+/// unbudgeted crates, plus the count of unwaived sites (for the
+/// budgeted-crate ratchet in `main::run`).
+pub fn scan(file: &SourceFile, budgeted: bool) -> (Vec<Finding>, u32) {
+    let mut findings = Vec::new();
+    let mut count = 0u32;
+    for t in &file.tokens {
+        if t.ident() != Some("unsafe") {
+            continue;
+        }
+        if allowed(&file.comments, t.line, "unsafe") {
+            continue;
+        }
+        count += 1;
+        if !budgeted {
+            findings.push(Finding {
+                file: file.rel.clone(),
+                line: t.line,
+                pass: "unsafe-budget",
+                msg: "`unsafe` outside the budgeted crates — move it behind a safe \
+                      API in labflow-mrv, or waive this site with \
+                      `// analyzer: allow(unsafe, \"safety argument\")`"
+                    .to_string(),
+            });
+        }
+    }
+    (findings, count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer;
+    use crate::SourceFile;
+
+    fn file(src: &str) -> SourceFile {
+        let lexed = lexer::lex(src);
+        SourceFile {
+            rel: "test.rs".to_string(),
+            crate_dir: "fixtures".to_string(),
+            tokens: lexer::strip_test_regions(lexed.tokens),
+            comments: lexed.comments,
+        }
+    }
+
+    #[test]
+    fn every_unsafe_form_counts_once() {
+        let f = file(
+            "unsafe impl Send for X {}\n\
+             unsafe fn f() {}\n\
+             fn g() { unsafe { f() } }\n",
+        );
+        let (findings, count) = scan(&f, true);
+        assert!(findings.is_empty(), "budgeted crates get a count, not findings");
+        assert_eq!(count, 3);
+        let (findings, count) = scan(&f, false);
+        assert_eq!(findings.len(), 3);
+        assert_eq!(count, 3);
+    }
+
+    #[test]
+    fn allow_marker_waives_and_uncounts() {
+        let f = file(
+            "// analyzer: allow(unsafe, \"ffi contract upheld by caller\")\n\
+             fn g() { unsafe { f() } }\n\
+             fn h() { unsafe { f() } }\n",
+        );
+        let (findings, count) = scan(&f, false);
+        assert_eq!(findings.len(), 1, "only the unmarked site is flagged");
+        assert_eq!(findings[0].line, 3);
+        assert_eq!(count, 1, "waived sites do not count against a budget");
+    }
+
+    #[test]
+    fn lint_attribute_and_strings_are_not_sites() {
+        let f = file(
+            "#![deny(unsafe_op_in_unsafe_fn)]\n\
+             fn f() { let s = \"unsafe\"; } // unsafe here too\n",
+        );
+        let (findings, count) = scan(&f, false);
+        assert!(findings.is_empty());
+        assert_eq!(count, 0);
+    }
+
+    #[test]
+    fn test_regions_are_exempt() {
+        let f = file(
+            "fn real() { unsafe { f() } }\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+             fn t() { unsafe { g() } }\n\
+             }\n",
+        );
+        let (_, count) = scan(&f, true);
+        assert_eq!(count, 1);
+    }
+}
