@@ -99,9 +99,11 @@ impl<'a> Session<'a> {
     /// A read view at the session's begin snapshot: the committed state
     /// the transaction started from, unaffected by concurrent commits
     /// *and* by this session's own uncommitted writes. The view borrows
-    /// the session's snapshot; the pin outlives the view and is released
-    /// with the session.
-    pub fn view(&self) -> Result<View<'a>> {
+    /// the session (not just the database), so the borrow checker keeps
+    /// it from outliving the snapshot pin that commit/abort/drop
+    /// release — a view can never read at an unpinned LSN that version
+    /// GC may already have trimmed.
+    pub fn view(&self) -> Result<View<'_>> {
         self.db.view_at(self.snap)
     }
 

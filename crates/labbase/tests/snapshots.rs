@@ -60,9 +60,12 @@ fn session_reads_its_own_writes() {
     assert_eq!(s.recent(m, "quality").unwrap().unwrap().value, Value::Real(0.5));
     assert_eq!(s.state_of(m).unwrap().as_deref(), Some("queued"));
 
-    // The session's begin snapshot predates all of it.
+    // The session's begin snapshot predates all of it. The view borrows
+    // the session, so it must be gone before commit/abort can release
+    // the snapshot pin — the borrow checker enforces it.
     let view = s.view().unwrap();
     assert!(!view.material_exists(m));
+    drop(view);
 
     // And committed-state readers see nothing until commit.
     assert!(!db.material_exists(m));

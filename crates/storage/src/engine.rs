@@ -693,26 +693,12 @@ impl StorageManager for Engine {
             active.resolving += 1;
             state
         };
-        // Visibility flip: every version this transaction wrote becomes
-        // committed at one fresh LSN, and only then is the LSN
-        // published. A snapshot opened at any instant reads the
-        // published LSN, so it sees all of this transaction's versions
-        // or none of them — never a partial commit.
-        if !state.touched.is_empty() {
-            let _vis = self.vis_lock();
-            // analyzer: allow(ordering, "last_visible is only stored under vis_lock, which is held here — the lock orders the read-modify-write; Release on the store publishes to lock-free snapshot readers")
-            let lsn = self.last_visible.load(Ordering::Relaxed) + 1;
-            let floor = self.snapshot_floor();
-            for &oid in &state.touched {
-                self.heap.commit_version(oid, txn.raw(), lsn, floor);
-            }
-            self.last_visible.store(lsn, Ordering::Release);
-        }
-        // Group commit: concurrent committers share one log force;
-        // sync_commit additionally makes the force durable, so an Ok
-        // here means the transaction survives power loss. Locks are
-        // released whether or not the force succeeds — a failed force
-        // leaves the commit's durability unknown, not the engine stuck.
+        // Durability before visibility: the commit record is appended
+        // and group-force shared with concurrent committers (sync_commit
+        // additionally makes the force durable, so an Ok means the
+        // transaction survives power loss) *before* any of its versions
+        // become visible. A reader can therefore never observe state
+        // that crash recovery would undo.
         let forced = self.log(WalRecord::Commit(txn.raw())).and_then(|()| {
             if let Some(wal) = &self.wal {
                 wal.group_commit(self.sync_commit)
@@ -720,6 +706,37 @@ impl StorageManager for Engine {
                 Ok(())
             }
         });
+        if forced.is_ok() {
+            // Visibility flip: every version this transaction wrote
+            // becomes committed at one fresh LSN, and only then is the
+            // LSN published. A snapshot opened at any instant reads the
+            // published LSN, so it sees all of this transaction's
+            // versions or none of them — never a partial commit. The
+            // floor passed to the trim may be stale the moment it is
+            // read (begin_snapshot takes only the registry lock);
+            // commit_version clamps it to lsn - 1 so a snapshot pinned
+            // at the pre-flip LSN keeps its version.
+            if !state.touched.is_empty() {
+                let _vis = self.vis_lock();
+                // analyzer: allow(ordering, "last_visible is only stored under vis_lock, which is held here — the lock orders the read-modify-write; Release on the store publishes to lock-free snapshot readers")
+                let lsn = self.last_visible.load(Ordering::Relaxed) + 1;
+                let floor = self.snapshot_floor();
+                for &oid in &state.touched {
+                    self.heap.commit_version(oid, txn.raw(), lsn, floor);
+                }
+                self.last_visible.store(lsn, Ordering::Release);
+            }
+        } else {
+            // A failed force leaves the commit's durability unknown
+            // (the record may or may not reach the platter; recovery
+            // decides), but this process reports the commit failed — so
+            // its versions, never yet published, are discarded like an
+            // abort's rather than left visible-but-not-durable. Locks
+            // are released either way: the engine is not stuck.
+            for &oid in state.touched.iter().rev() {
+                self.heap.discard_txn(oid, txn.raw());
+            }
+        }
         if let Some(locks) = &self.locks {
             locks.release_all(txn);
         }
@@ -832,12 +849,15 @@ impl StorageManager for Engine {
     }
 
     fn begin_snapshot(&self) -> Result<Snapshot> {
-        // Registration and the LSN read happen under one lock, so a
-        // concurrent checkpoint's GC either sees this snapshot in the
-        // registry or runs before it existed — in which case nothing at
-        // or below `last_visible` has been reclaimed (only versions
-        // older than the newest committed one are ever GC'd, and no
-        // commit can advance `last_visible` while we hold the registry).
+        // Registration and the LSN read happen under one lock, so any
+        // trim that samples the registry after us sees this snapshot.
+        // A trim that sampled the registry *before* us cannot hurt
+        // either: checkpoint GC always keeps the newest committed
+        // version of a chain — exactly what a read at the current
+        // `last_visible` resolves — and a concurrently flipping commit
+        // trims with its floor clamped to the pre-flip LSN
+        // (`Heap::commit_version`), so the head this snapshot can pin
+        // survives that trim too.
         let mut snaps = self.snaps_lock();
         let lsn = self.last_visible.load(Ordering::Acquire);
         let token = self.next_snap.fetch_add(1, Ordering::Relaxed);

@@ -1043,7 +1043,17 @@ impl Heap {
     /// Flip `txn`'s pending version of `oid` (if any) to committed at
     /// `lsn`, then opportunistically trim the chain past [`MAX_CHAIN`]
     /// where `keep_floor` (the snapshot low-water mark) allows.
+    ///
+    /// The floor is clamped to `lsn - 1` regardless of what the caller
+    /// sampled: snapshot registration takes only the registry lock, so
+    /// a racing `begin_snapshot` can pin the pre-flip LSN *after* the
+    /// caller read the registry — the previous committed head must
+    /// survive every commit-time trim. (Checkpoint GC has no such
+    /// window: it sweeps with no commit in flight, and the newest
+    /// committed version, which always survives a trim, is exactly what
+    /// a concurrently opened snapshot pins.)
     pub fn commit_version(&self, oid: Oid, txn: u64, lsn: u64, keep_floor: u64) {
+        let keep_floor = keep_floor.min(lsn.saturating_sub(1));
         let mut condemned: Vec<Loc> = Vec::new();
         let mut trimmed = 0;
         {
@@ -2069,6 +2079,46 @@ mod tests {
             h2.commit_version(o2, i, i, 0);
         }
         assert_eq!(h2.read_at(o2, 1).unwrap(), b"v0", "floor 0 pins the whole history");
+    }
+
+    /// Regression for the commit/begin_snapshot race: the engine samples
+    /// the snapshot floor before the flip, but a snapshot can register
+    /// at the pre-flip LSN right after the sample (registration takes
+    /// only the registry lock). Even when the sampled floor says nothing
+    /// is pinned (`u64::MAX`), a commit-time trim must keep the previous
+    /// committed head — the version such a snapshot is entitled to.
+    #[test]
+    fn commit_trim_with_stale_floor_keeps_the_pre_flip_head() {
+        let (h, _) = heap("mvcc-stale-floor", Placement::Segments, 1, 32);
+        let oid = h.alloc(SegmentId(0), ClusterHint::NONE, b"v1", 1).unwrap();
+        h.commit_version(oid, 1, 1, u64::MAX);
+        // Grow the chain with a "no snapshot open" floor, as a racing
+        // engine commit would pass it. 2*MAX_CHAIN commits make the
+        // trim fire on the last one (the chain re-crosses the soft
+        // bound exactly then after the earlier trim cut it to two).
+        let last = 2 * MAX_CHAIN as u64;
+        for i in 2..=last {
+            h.update(oid, format!("v{i}").as_bytes(), i).unwrap();
+            h.commit_version(oid, i, i, u64::MAX);
+        }
+        let len = {
+            let shard = h.table[(oid.raw() % TABLE_SHARDS as u64) as usize].map.read();
+            shard.get(&oid.raw()).unwrap().len()
+        };
+        assert_eq!(len, 2, "the final commit must have trimmed the chain");
+        // A snapshot pinned at the pre-flip LSN of the latest commit
+        // still resolves its version; only strictly older ones went.
+        let pre_flip = last - 1;
+        assert_eq!(
+            h.read_at(oid, pre_flip).unwrap(),
+            format!("v{pre_flip}").as_bytes(),
+            "pre-flip committed head must survive a stale-floor trim"
+        );
+        assert_eq!(h.read_at(oid, last).unwrap(), format!("v{last}").as_bytes());
+        assert!(
+            h.read_at(oid, pre_flip - 1).is_err(),
+            "versions below the pre-flip head are still reclaimed"
+        );
     }
 
     #[test]

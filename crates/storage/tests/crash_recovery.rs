@@ -266,3 +266,43 @@ fn persistent_write_error_is_contained() {
     }
     store.checkpoint().expect("reopened store must not be wounded");
 }
+
+/// Durability precedes visibility: a commit whose WAL force fails must
+/// not leave the transaction's versions visible to readers or later
+/// snapshots. (Regression: `last_visible` used to advance before the
+/// force, so a failed force left visible-but-not-durable state that
+/// crash recovery would undo.)
+#[test]
+fn failed_commit_force_publishes_nothing() {
+    let sim = SimVfs::new(777);
+    let dir = PathBuf::from("/sim/visdur");
+    let store = OStore::create_with(Arc::new(sim.clone()) as Arc<dyn Vfs>, &dir, opts()).unwrap();
+    let oid = commit_objects(&store, 1, 8)[0];
+    let before = store.read(oid).unwrap();
+
+    let txn = store.begin().unwrap();
+    store.update(txn, oid, b"PHANTOM").unwrap();
+    // Fail every upcoming mutating operation long enough to exhaust the
+    // retry budget on whatever the commit force touches.
+    let base = sim.op_count();
+    sim.set_plan(FaultPlan {
+        fail_ops: (0..8 * labflow_storage::retry::ATTEMPTS as u64).map(|i| base + i).collect(),
+        ..FaultPlan::default()
+    });
+    assert!(store.commit(txn).is_err(), "the planned faults must surface in the force");
+    sim.set_plan(FaultPlan::default());
+
+    // Nothing was published: plain reads and fresh snapshots both see
+    // the pre-transaction state.
+    assert_eq!(store.read(oid).unwrap(), before, "failed commit must not be visible");
+    let snap = store.begin_snapshot().unwrap();
+    assert_eq!(store.read_at(&snap, oid).unwrap(), before);
+    store.release_snapshot(snap);
+
+    // The engine is not stuck: a later transaction on the same object
+    // commits and becomes visible.
+    let txn = store.begin().unwrap();
+    store.update(txn, oid, b"durable").unwrap();
+    store.commit(txn).unwrap();
+    assert_eq!(store.read(oid).unwrap(), b"durable");
+}
