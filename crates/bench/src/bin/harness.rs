@@ -112,6 +112,9 @@ EXPERIMENTS (default: all)
   abl-concurrency      reader threads during the build (ablation)
   abl-recovery         crash recovery per durability design (ablation)
   abl-multiclient      writer clients vs throughput, group commit (ablation)
+  abl-scrub            offline scrub of a recovered store image (ablation)
+  abl-snapshot         snapshot scans vs writer throughput (ablation)
+  abl-server           networked front end: closed-loop tails + admission (ablation)
 
 OPTIONS
   --clones N         clones at scale 1X (default 1000)

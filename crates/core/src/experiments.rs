@@ -27,7 +27,7 @@ pub struct ExperimentReport {
 }
 
 /// All experiment ids, in DESIGN.md order.
-pub const ALL_IDS: [&str; 13] = [
+pub const ALL_IDS: [&str; 14] = [
     "fig1-schema",
     "tab1-storage-schema",
     "figB-workflow-graph",
@@ -41,6 +41,7 @@ pub const ALL_IDS: [&str; 13] = [
     "abl-multiclient",
     "abl-scrub",
     "abl-snapshot",
+    "abl-server",
 ];
 
 /// Client counts swept by `abl-multiclient`.
@@ -49,6 +50,9 @@ pub const MULTICLIENT_COUNTS: [usize; 4] = [1, 2, 4, 8];
 /// Writer clients driven against the analytical scanner in
 /// `abl-snapshot`.
 pub const SNAPSHOT_WRITERS: usize = 4;
+
+/// Client connections swept by `abl-server` over loopback.
+pub const SERVER_CLIENTS: [usize; 4] = [1, 4, 16, 64];
 
 /// The build intervals of the Section-10 tables.
 pub const BUILD_INTERVALS: [f64; 4] = [0.5, 1.0, 1.5, 2.0];
@@ -90,8 +94,8 @@ pub fn run(id: &str, cfg: &BenchConfig, work_dir: &Path) -> Result<ExperimentRep
             let results =
                 runner::run_build_all(&ServerVersion::ALL, cfg, &BUILD_INTERVALS, work_dir)?;
             let text = report::build_table(&results);
-            let json = serde_json::to_value(&results)
-                .map_err(|e| BenchError::Config(e.to_string()))?;
+            let json =
+                serde_json::to_value(&results).map_err(|e| BenchError::Config(e.to_string()))?;
             Ok(ExperimentReport {
                 id: "tab-build",
                 title: "Section 10: database build, all intervals × all server versions",
@@ -103,8 +107,8 @@ pub fn run(id: &str, cfg: &BenchConfig, work_dir: &Path) -> Result<ExperimentRep
             let results =
                 runner::run_build_all(&ServerVersion::ALL, cfg, &BUILD_INTERVALS, work_dir)?;
             let text = report::throughput_figure(&results);
-            let json = serde_json::to_value(&results)
-                .map_err(|e| BenchError::Config(e.to_string()))?;
+            let json =
+                serde_json::to_value(&results).map_err(|e| BenchError::Config(e.to_string()))?;
             Ok(ExperimentReport {
                 id: "fig-throughput",
                 title: "Throughput vs database size (the locality crossover)",
@@ -118,8 +122,7 @@ pub fn run(id: &str, cfg: &BenchConfig, work_dir: &Path) -> Result<ExperimentRep
                 all.extend(runner::run_query_mix(v, cfg, work_dir)?);
             }
             let text = report::query_table(&all);
-            let json =
-                serde_json::to_value(&all).map_err(|e| BenchError::Config(e.to_string()))?;
+            let json = serde_json::to_value(&all).map_err(|e| BenchError::Config(e.to_string()))?;
             Ok(ExperimentReport {
                 id: "tab-query-mix",
                 title: "Section 8 query families, timed per server version",
@@ -133,8 +136,7 @@ pub fn run(id: &str, cfg: &BenchConfig, work_dir: &Path) -> Result<ExperimentRep
                 all.push(runner::run_evolution(v, cfg, work_dir, 50)?);
             }
             let text = report::evolution_table(&all);
-            let json =
-                serde_json::to_value(&all).map_err(|e| BenchError::Config(e.to_string()))?;
+            let json = serde_json::to_value(&all).map_err(|e| BenchError::Config(e.to_string()))?;
             Ok(ExperimentReport {
                 id: "tab-evolution",
                 title: "Section 8.1: schema evolution mid-stream",
@@ -225,6 +227,18 @@ pub fn run(id: &str, cfg: &BenchConfig, work_dir: &Path) -> Result<ExperimentRep
                 json,
             })
         }
+        "abl-server" => {
+            let result = runner::run_server(cfg, &SERVER_CLIENTS, work_dir)?;
+            let text = report::server_table(&result);
+            let json =
+                serde_json::to_value(&result).map_err(|e| BenchError::Config(e.to_string()))?;
+            Ok(ExperimentReport {
+                id: "abl-server",
+                title: "Ablation: networked front end — closed-loop tails and admission control",
+                text,
+                json,
+            })
+        }
         other => Err(BenchError::Config(format!(
             "unknown experiment '{other}'; known: {}",
             ALL_IDS.join(", ")
@@ -255,7 +269,7 @@ mod tests {
 
     #[test]
     fn ids_list_is_consistent() {
-        assert_eq!(ALL_IDS.len(), 13);
+        assert_eq!(ALL_IDS.len(), 14);
         let cfg = BenchConfig::smoke();
         // Every listed id is at least recognized (structural ones run;
         // the heavy ones are exercised by integration tests / harness).

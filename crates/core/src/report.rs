@@ -13,8 +13,8 @@
 
 use crate::metrics::ResourceRow;
 use crate::runner::{
-    BuildResult, ClusteringPoint, ConcurrencyPoint, EvolutionResult, MultiClientPoint,
-    QueryTiming, RecoveryPoint, SnapshotPoint,
+    BuildResult, ClusteringPoint, ConcurrencyPoint, EvolutionResult, MultiClientPoint, QueryTiming,
+    RecoveryPoint, ServerResult, SnapshotPoint,
 };
 
 /// Thousands-separated integer, the paper's number style.
@@ -71,13 +71,19 @@ pub fn build_table(results: &[BuildResult]) -> String {
     for interval in &intervals {
         let resources: [ResourceRenderer<'_>; 9] = [
             ("elapsed sec", Box::new(|r| format!("{:.1}", r.elapsed_sec))),
-            ("user cpu sec", Box::new(|r| format!("{:.1}", r.user_cpu_sec))),
+            (
+                "user cpu sec",
+                Box::new(|r| format!("{:.1}", r.user_cpu_sec)),
+            ),
             ("sys cpu sec", Box::new(|r| format!("{:.1}", r.sys_cpu_sec))),
             ("majflt (sim)", Box::new(|r| commas(r.sim_majflt))),
             ("page writes", Box::new(|r| commas(r.page_writes))),
             ("steps/sec", Box::new(|r| format!("{:.0}", r.steps_per_sec))),
             ("step p99 µs", Box::new(|r| format!("{:.0}", r.step_p99_us))),
-            ("query p99 µs", Box::new(|r| format!("{:.0}", r.query_p99_us))),
+            (
+                "query p99 µs",
+                Box::new(|r| format!("{:.0}", r.query_p99_us)),
+            ),
             (
                 "size (bytes)",
                 Box::new(|r| r.size_bytes.map(commas).unwrap_or_else(|| "—".to_string())),
@@ -91,8 +97,9 @@ pub fn build_table(results: &[BuildResult]) -> String {
             };
             out.push_str(&pad_right(&label, 24));
             for v in &versions {
-                let cell =
-                    find(v, interval).map(render).unwrap_or_else(|| "-".to_string());
+                let cell = find(v, interval)
+                    .map(render)
+                    .unwrap_or_else(|| "-".to_string());
                 out.push_str(&pad_left(&cell, col));
             }
             out.push('\n');
@@ -200,9 +207,7 @@ pub fn evolution_table(results: &[EvolutionResult]) -> String {
 /// Render the clustering-ablation table.
 pub fn clustering_table(points: &[ClusteringPoint]) -> String {
     let mut out = String::new();
-    out.push_str(
-        "Clustering ablation — steady-state tracking lookups, faults per 1,000 lookups\n",
-    );
+    out.push_str("Clustering ablation — steady-state tracking lookups, faults per 1,000 lookups\n");
     let mut pools: Vec<usize> = Vec::new();
     let mut versions: Vec<&str> = Vec::new();
     for p in points {
@@ -287,7 +292,14 @@ pub fn scrub_table(points: &[crate::runner::ScrubPoint]) -> String {
     out.push_str("Scrub ablation — offline integrity audit of a recovered store image\n");
     out.push_str(&format!(
         "{:<12}{:>9}{:>10}{:>13}{:>12}{:>14}{:>11}{:>8}\n",
-        "version", "pages", "verified", "quarantined", "wal frames", "image (B)", "scrub ms", "clean"
+        "version",
+        "pages",
+        "verified",
+        "quarantined",
+        "wal frames",
+        "image (B)",
+        "scrub ms",
+        "clean"
     ));
     for p in points {
         out.push_str(&format!(
@@ -423,14 +435,24 @@ pub fn multiclient_table(points: &[MultiClientPoint]) -> String {
     // Per-client wait attribution: where each writer's wall-clock went
     // while it was not making progress (blocked on object locks, queued
     // in WAL group commit, or blocked on heap metadata locks).
-    let attributed: Vec<&MultiClientPoint> =
-        points.iter().filter(|p| p.supported && !p.per_client.is_empty()).collect();
+    let attributed: Vec<&MultiClientPoint> = points
+        .iter()
+        .filter(|p| p.supported && !p.per_client.is_empty())
+        .collect();
     if !attributed.is_empty() {
         out.push_str("\nWait attribution — per client, ms blocked\n");
         out.push_str(&format!(
             "{:<12}{:>9}{:>9}{:>12}{:>12}{:>12}{:>12}{:>12}{:>10}{:>10}\n",
-            "version", "clients", "client", "commits", "retries", "lock wait", "commit wait",
-            "heap wait", "cv waits", "name idx"
+            "version",
+            "clients",
+            "client",
+            "commits",
+            "retries",
+            "lock wait",
+            "commit wait",
+            "heap wait",
+            "cv waits",
+            "name idx"
         ));
         for p in attributed {
             for r in &p.per_client {
@@ -525,6 +547,76 @@ Table 1: the fixed storage-manager schema (user schema is data)
     .to_string()
 }
 
+/// The networked closed-loop sweep (`abl-server`): round-trip
+/// throughput and tail latency per client count, plus the admission
+/// table from the deliberate-overload pass.
+pub fn server_table(result: &ServerResult) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "Networked front end — closed-loop clients over loopback TCP (OStore engine)\n",
+    );
+    out.push_str(&format!(
+        "{:<10}{:>10}{:>10}{:>9}{:>10}{:>10}{:>11}{:>10}\n",
+        "clients", "txn/s", "req/s", "retries", "p50 µs", "p99 µs", "p99.9 µs", "max µs"
+    ));
+    for p in &result.points {
+        out.push_str(&format!(
+            "{:<10}{:>10.0}{:>10.0}{:>9}{:>10.0}{:>10.0}{:>11.0}{:>10.0}\n",
+            p.clients,
+            p.txns_per_sec,
+            p.requests_per_sec,
+            p.retries,
+            p.p50_us,
+            p.p99_us,
+            p.p999_us,
+            p.max_us
+        ));
+    }
+    out.push_str(
+        "\neach txn is one begin/step/state/commit round; latency is the full wire\n\
+         round trip of admitted requests.\n",
+    );
+
+    let o = &result.overload;
+    out.push_str(&format!(
+        "\nAdmission — deliberate overload ({} B/s per-tenant quota, {:.2}s)\n",
+        o.bytes_per_sec_quota, o.elapsed_sec
+    ));
+    out.push_str(&format!(
+        "{:<8}{:<10}{:>10}{:>12}{:>14}{:>14}{:>11}{:>11}\n",
+        "tenant", "role", "admitted", "shed bytes", "shed inflight", "shed sessions", "bytes in",
+        "bytes out"
+    ));
+    for t in &o.tenants {
+        out.push_str(&format!(
+            "{:<8}{:<10}{:>10}{:>12}{:>14}{:>14}{:>11}{:>11}\n",
+            t.tenant,
+            t.role,
+            commas(t.admitted),
+            commas(t.shed_bytes),
+            commas(t.shed_inflight),
+            commas(t.shed_sessions),
+            commas(t.bytes_in),
+            commas(t.bytes_out)
+        ));
+    }
+    out.push_str(&format!(
+        "\nhammer: {} admitted / {} shed · paced: {} admitted / {} shed\n\
+         admitted p50/p99/max: {:.0}/{:.0}/{:.0} µs — shed load never queues behind\n\
+         admitted work. post-drain open sessions/snapshots: {}/{}.\n",
+        commas(o.hammer_admitted),
+        commas(o.hammer_shed),
+        commas(o.paced_admitted),
+        commas(o.paced_shed),
+        o.admitted_p50_us,
+        o.admitted_p99_us,
+        o.admitted_max_us,
+        o.open_sessions_after,
+        o.open_snapshots_after
+    ));
+    out
+}
+
 /// The two-level EER schema of paper Figure 1, rendered as text.
 pub fn fig1_schema() -> String {
     "\
@@ -564,7 +656,11 @@ mod tests {
             sim_majflt: 1234,
             page_reads: 100,
             page_writes: 2000,
-            size_bytes: if version.ends_with("-mm") { None } else { Some(16_629_760) },
+            size_bytes: if version.ends_with("-mm") {
+                None
+            } else {
+                Some(16_629_760)
+            },
             steps: 5000,
             queries: 10000,
             materials: 900,
@@ -677,14 +773,23 @@ mod tests {
         assert!(t.contains("—"), "single-user cells print an em dash");
         assert!(t.contains("1,001"));
         assert!(t.contains("Wait attribution"), "wait section renders: {t}");
-        assert!(t.contains("12.2") || t.contains("12.3"), "lock wait ms renders: {t}");
+        assert!(
+            t.contains("12.2") || t.contains("12.3"),
+            "lock wait ms renders: {t}"
+        );
         assert!(t.contains("heap wait"), "heap wait column renders: {t}");
-        assert!(t.contains("1.8") || t.contains("1.7"), "heap wait ms renders: {t}");
+        assert!(
+            t.contains("1.8") || t.contains("1.7"),
+            "heap wait ms renders: {t}"
+        );
         assert!(t.contains("cv waits"), "condvar wait column renders: {t}");
         assert!(t.contains("4,321"), "condvar wait count renders: {t}");
         assert!(t.contains("name idx"), "name index column renders: {t}");
         assert!(t.contains("6.5"), "name index ms renders: {t}");
-        assert!(t.contains("Heap contention"), "heap contention section renders: {t}");
+        assert!(
+            t.contains("Heap contention"),
+            "heap contention section renders: {t}"
+        );
         assert!(t.contains("230"), "blocked µs renders: {t}");
     }
 

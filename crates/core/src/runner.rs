@@ -97,7 +97,10 @@ pub fn run_build(
             &integrity.problems[..integrity.problems.len().min(5)]
         )));
     }
-    Ok(BuildResult { version: version.name().to_string(), rows })
+    Ok(BuildResult {
+        version: version.name().to_string(),
+        rows,
+    })
 }
 
 /// Run the build on every requested version.
@@ -107,7 +110,10 @@ pub fn run_build_all(
     intervals: &[f64],
     base: &Path,
 ) -> Result<Vec<BuildResult>> {
-    versions.iter().map(|&v| run_build(v, cfg, intervals, base)).collect()
+    versions
+        .iter()
+        .map(|&v| run_build(v, cfg, intervals, base))
+        .collect()
 }
 
 /// Timing of one query family on one version.
@@ -157,7 +163,11 @@ pub fn run_query_mix(
             query: family.name.to_string(),
             count,
             total_ms,
-            mean_us: if count > 0 { total_ms * 1e3 / count as f64 } else { 0.0 },
+            mean_us: if count > 0 {
+                total_ms * 1e3 / count as f64
+            } else {
+                0.0
+            },
             sim_faults: after.delta(&before).faults,
             answers,
         });
@@ -195,7 +205,10 @@ pub fn run_evolution(
     base: &Path,
     redefinitions: usize,
 ) -> Result<EvolutionResult> {
-    let cfg = BenchConfig { evolution_every: 0, ..cfg.clone() };
+    let cfg = BenchConfig {
+        evolution_every: 0,
+        ..cfg.clone()
+    };
     let (db, store) = fresh_db(version, &cfg, base)?;
     let mut sim = LabSim::new(cfg.clone());
     sim.setup(&db)?;
@@ -211,8 +224,7 @@ pub fn run_evolution(
     let steps_done = sim.counters().steps - steps_before;
 
     // The evolution storm: alternate attribute sets on every step class.
-    let step_names: Vec<String> =
-        sim.graph().steps.iter().map(|s| s.name.clone()).collect();
+    let step_names: Vec<String> = sim.graph().steps.iter().map(|s| s.name.clone()).collect();
     let t0 = Instant::now();
     for i in 0..redefinitions {
         let name = &step_names[i % step_names.len()];
@@ -243,7 +255,11 @@ pub fn run_evolution(
     let size_after = store.db_size_bytes()?;
 
     let max_versions = db.with_catalog(|c| {
-        c.step_classes().iter().map(|sc| sc.versions.len() as u32).max().unwrap_or(1)
+        c.step_classes()
+            .iter()
+            .map(|sc| sc.versions.len() as u32)
+            .max()
+            .unwrap_or(1)
     });
 
     // Old instances: sample histories and verify every step still
@@ -254,13 +270,16 @@ pub fn run_evolution(
             let info = db.step(entry.step)?;
             let schema = db.step_schema(entry.step)?;
             let current = db.with_catalog(|c| {
-                c.step_class(&info.class).map(|sc| sc.current().version).unwrap_or(0)
+                c.step_class(&info.class)
+                    .map(|sc| sc.current().version)
+                    .unwrap_or(0)
             });
             if info.version < current {
                 // All recorded attrs must be in the pinned version.
-                let all_known = info.attrs.iter().all(|(n, _)| {
-                    schema.iter().any(|a| &a.name == n)
-                });
+                let all_known = info
+                    .attrs
+                    .iter()
+                    .all(|(n, _)| schema.iter().any(|a| &a.name == n));
                 if all_known {
                     old_ok += 1;
                 } else {
@@ -358,9 +377,8 @@ pub fn run_clustering(
                     measured = Some((faults, elapsed.as_secs_f64() * 1e3));
                 }
             }
-            let (faults, elapsed_ms) = measured.ok_or_else(|| {
-                BenchError::Config("clustering measured round never ran".into())
-            })?;
+            let (faults, elapsed_ms) = measured
+                .ok_or_else(|| BenchError::Config("clustering measured round never ran".into()))?;
             out.push(ClusteringPoint {
                 version: version.name().to_string(),
                 pool_pages: pool,
@@ -393,7 +411,10 @@ mod tests {
         assert_eq!(result.rows.len(), 2);
         assert_eq!(result.rows[0].interval, "0.5X");
         assert!(result.rows[0].steps > 0);
-        assert!(result.rows[1].steps > 0, "second interval does its own work");
+        assert!(
+            result.rows[1].steps > 0,
+            "second interval does its own work"
+        );
         assert_eq!(result.rows[0].size_bytes, None, "-mm prints no size");
         assert_eq!(result.rows[0].sim_majflt, 0, "-mm never faults");
         std::fs::remove_dir_all(&dir).ok();
@@ -449,12 +470,18 @@ mod tests {
             }
         }
         // Single-user backends refuse multi-client points…
-        let texas2 = points.iter().find(|p| p.version == "Texas" && p.clients == 2).unwrap();
+        let texas2 = points
+            .iter()
+            .find(|p| p.version == "Texas" && p.clients == 2)
+            .unwrap();
         assert!(!texas2.supported);
         // …while the concurrent ones run them, touching every material
         // once per round.
         for name in ["OStore", "OStore-mm"] {
-            let p = points.iter().find(|p| p.version == name && p.clients == 2).unwrap();
+            let p = points
+                .iter()
+                .find(|p| p.version == name && p.clients == 2)
+                .unwrap();
             assert!(p.supported, "{name} supports two clients");
             assert_eq!(p.per_client.len(), 2);
             let total = cfg.clones_at(1.0).max(2 * MC_STEPS_PER_TXN);
@@ -462,7 +489,10 @@ mod tests {
         }
         // Group commit: the persistent backend forces the WAL fewer
         // times than it commits.
-        let ostore = points.iter().find(|p| p.version == "OStore" && p.clients == 2).unwrap();
+        let ostore = points
+            .iter()
+            .find(|p| p.version == "OStore" && p.clients == 2)
+            .unwrap();
         assert!(ostore.wal_syncs > 0, "WAL forced at least once");
         assert!(
             ostore.wal_syncs <= ostore.commits,
@@ -487,8 +517,16 @@ mod tests {
             }
             concurrent += 1;
             assert!(p.steps_per_sec_alone > 0.0, "{}: baseline ran", p.version);
-            assert!(p.steps_per_sec_scanned > 0.0, "{}: scanned phase ran", p.version);
-            assert!(p.scans >= 1, "{}: the scanner completed at least one pass", p.version);
+            assert!(
+                p.steps_per_sec_scanned > 0.0,
+                "{}: scanned phase ran",
+                p.version
+            );
+            assert!(
+                p.scans >= 1,
+                "{}: the scanner completed at least one pass",
+                p.version
+            );
             assert!(p.rows_read > 0, "{}: scans visited history rows", p.version);
             assert_eq!(
                 p.reader_heap_wait_nanos, 0,
@@ -592,7 +630,11 @@ pub fn run_concurrency(
                 version: version.name().to_string(),
                 readers,
                 supported: true,
-                build_steps_per_sec: if elapsed > 0.0 { steps as f64 / elapsed } else { 0.0 },
+                build_steps_per_sec: if elapsed > 0.0 {
+                    steps as f64 / elapsed
+                } else {
+                    0.0
+                },
                 reader_ops_per_sec: if elapsed > 0.0 {
                     reader_ops as f64 / elapsed
                 } else {
@@ -635,7 +677,10 @@ pub fn run_recovery(cfg: &BenchConfig, base: &Path) -> Result<Vec<RecoveryPoint>
         {
             let store = version.make_store(&dir, cfg.buffer_pages)?;
             let db = LabBase::create(store.clone())?;
-            let mut sim = LabSim::new(BenchConfig { checkpoint_every: 0, ..cfg.clone() });
+            let mut sim = LabSim::new(BenchConfig {
+                checkpoint_every: 0,
+                ..cfg.clone()
+            });
             sim.setup(&db)?;
             sim.run_until_clones(&db, cfg.clones_at(0.5) as u64)?;
             db.checkpoint()?;
@@ -649,8 +694,7 @@ pub fn run_recovery(cfg: &BenchConfig, base: &Path) -> Result<Vec<RecoveryPoint>
         let store = version.open_store(&dir, cfg.buffer_pages)?;
         let db = LabBase::open(store)?;
         let reopen_ms = t0.elapsed().as_secs_f64() * 1e3;
-        let recovered =
-            db.count_class("clone", false)? + db.count_class("tclone", false)?;
+        let recovered = db.count_class("clone", false)? + db.count_class("tclone", false)?;
         out.push(RecoveryPoint {
             version: version.name().to_string(),
             materials_at_crash,
@@ -696,7 +740,10 @@ pub fn run_scrub(cfg: &BenchConfig, base: &Path) -> Result<Vec<ScrubPoint>> {
         {
             let store = version.make_store(&dir, cfg.buffer_pages)?;
             let db = LabBase::create(store)?;
-            let mut sim = LabSim::new(BenchConfig { checkpoint_every: 0, ..cfg.clone() });
+            let mut sim = LabSim::new(BenchConfig {
+                checkpoint_every: 0,
+                ..cfg.clone()
+            });
             sim.setup(&db)?;
             sim.run_until_clones(&db, cfg.clones_at(0.5) as u64)?;
             db.checkpoint()?;
@@ -922,9 +969,10 @@ pub fn run_multiclient(
                 }
                 let mut rows = Vec::with_capacity(clients);
                 for h in handles {
-                    rows.push(h.join().map_err(|_| {
-                        BenchError::Config("client thread panicked".into())
-                    })??);
+                    rows.push(
+                        h.join()
+                            .map_err(|_| BenchError::Config("client thread panicked".into()))??,
+                    );
                 }
                 Ok(rows)
             })?;
@@ -938,7 +986,11 @@ pub fn run_multiclient(
                 supported: true,
                 elapsed_sec: elapsed,
                 steps,
-                steps_per_sec: if elapsed > 0.0 { steps as f64 / elapsed } else { 0.0 },
+                steps_per_sec: if elapsed > 0.0 {
+                    steps as f64 / elapsed
+                } else {
+                    0.0
+                },
                 commits: d.commits,
                 retries,
                 wal_syncs: d.wal_syncs,
@@ -1005,12 +1057,16 @@ fn drive_writers(db: &LabBase, mats: &[MaterialId], writers: usize) -> Result<(u
         let mut rows = Vec::with_capacity(writers);
         for h in handles {
             rows.push(
-                h.join().map_err(|_| BenchError::Config("writer thread panicked".into()))??,
+                h.join()
+                    .map_err(|_| BenchError::Config("writer thread panicked".into()))??,
             );
         }
         Ok(rows)
     })?;
-    Ok((rows.iter().map(|r| r.steps).sum(), t0.elapsed().as_secs_f64()))
+    Ok((
+        rows.iter().map(|r| r.steps).sum(),
+        t0.elapsed().as_secs_f64(),
+    ))
 }
 
 /// Pause between analytical scans: the reader is paced like a periodic
@@ -1069,7 +1125,9 @@ fn snapshot_scanner(
             break;
         }
     }
-    st.heap_wait_nanos = labflow_storage::wait_snapshot().delta(&waits0).heap_wait_nanos;
+    st.heap_wait_nanos = labflow_storage::wait_snapshot()
+        .delta(&waits0)
+        .heap_wait_nanos;
     Ok(st)
 }
 
@@ -1153,18 +1211,23 @@ pub fn run_snapshot(cfg: &BenchConfig, writers: usize, base: &Path) -> Result<Ve
                     .map_err(|_| BenchError::Config("scanner thread panicked".into()))??;
                 let mut rows = Vec::with_capacity(writers);
                 for r in results {
-                    rows.push(
-                        r.map_err(|_| BenchError::Config("writer thread panicked".into()))??,
-                    );
+                    rows.push(r.map_err(|_| BenchError::Config("writer thread panicked".into()))??);
                 }
                 Ok((rows, scan))
             })?;
         let elapsed_scanned = t0.elapsed().as_secs_f64();
         let steps_scanned: u64 = writer_rows.iter().map(|r| r.steps).sum();
 
-        let alone = if elapsed_alone > 0.0 { steps_alone as f64 / elapsed_alone } else { 0.0 };
-        let scanned =
-            if elapsed_scanned > 0.0 { steps_scanned as f64 / elapsed_scanned } else { 0.0 };
+        let alone = if elapsed_alone > 0.0 {
+            steps_alone as f64 / elapsed_alone
+        } else {
+            0.0
+        };
+        let scanned = if elapsed_scanned > 0.0 {
+            steps_scanned as f64 / elapsed_scanned
+        } else {
+            0.0
+        };
         out.push(SnapshotPoint {
             version: version.name().to_string(),
             writers,
@@ -1184,4 +1247,549 @@ pub fn run_snapshot(cfg: &BenchConfig, writers: usize, base: &Path) -> Result<Ve
         });
     }
     Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// abl-server: the networked closed-loop sweep (DESIGN.md `abl-server`).
+//
+// Same workload shape as the multi-client ablation, but every request
+// crosses a real socket boundary: each client thread owns one loopback
+// TCP connection (one tenant) into a `labflow_server::Server` wrapped
+// around the OStore engine, and the measurement is the full round trip
+// — encode, wire, admission, session call, response. A second,
+// deliberately throttled pass demonstrates the admission controller:
+// offered load far above a tenant's bytes/s quota must shed with typed
+// `Overloaded` responses while a paced tenant sails through untouched,
+// and the drain must leave zero open sessions and zero snapshot pins.
+
+/// Wall-clock milliseconds each closed-loop point runs.
+const SRV_POINT_MILLIS: u64 = 900;
+/// Materials prefilled per client slot (each client cycles its own
+/// disjoint slice, so clients contend on infrastructure, not data).
+const SRV_MATS_PER_CLIENT: usize = 8;
+/// Wall-clock milliseconds of the deliberate-overload pass.
+const SRV_OVERLOAD_MILLIS: u64 = 700;
+/// Bytes/s quota for the overload pass — far below the hammer tenant's
+/// offered load, comfortably above the paced tenant's.
+const SRV_OVERLOAD_BYTES_PER_SEC: u64 = 4096;
+/// Gap between the paced tenant's requests (~20 req/s ≈ 1 KiB/s, a
+/// quarter of the quota).
+const SRV_PACED_GAP: Duration = Duration::from_millis(50);
+/// "Bounded" for the admitted-latency acceptance check: p99 of
+/// admitted requests under overload must stay below this, i.e. shed
+/// load must not queue behind admitted work.
+const SRV_ADMITTED_P99_BOUND_US: f64 = 250_000.0;
+
+/// One point of the networked closed-loop sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServerPoint {
+    /// Concurrent client connections (one tenant each).
+    pub clients: usize,
+    /// Wall-clock seconds measured.
+    pub elapsed_sec: f64,
+    /// Transactions committed across all clients.
+    pub txns: u64,
+    /// Committed transactions per second.
+    pub txns_per_sec: f64,
+    /// Admitted requests (each txn is begin + step + state + commit).
+    pub requests: u64,
+    /// Admitted requests per second.
+    pub requests_per_sec: f64,
+    /// Transactions retried after a typed `Retry` (lock conflict).
+    pub retries: u64,
+    /// Round-trip latency of admitted requests, µs.
+    pub p50_us: f64,
+    /// 99th percentile round trip, µs.
+    pub p99_us: f64,
+    /// 99.9th percentile round trip, µs.
+    pub p999_us: f64,
+    /// Worst round trip, µs.
+    pub max_us: f64,
+    /// Mean round trip, µs.
+    pub mean_us: f64,
+}
+
+/// Per-tenant admission row (a serializable mirror of
+/// [`labflow_server::TenantRow`]).
+#[derive(Debug, Clone, Serialize)]
+pub struct AdmissionTenantRow {
+    /// Tenant id.
+    pub tenant: u32,
+    /// Role in the overload pass (hammer / paced / dangling).
+    pub role: String,
+    /// Requests admitted.
+    pub admitted: u64,
+    /// Requests shed by the bytes/s bucket.
+    pub shed_bytes: u64,
+    /// Requests shed by the in-flight cap.
+    pub shed_inflight: u64,
+    /// Session begins refused by the session cap.
+    pub shed_sessions: u64,
+    /// Wire bytes received from the tenant.
+    pub bytes_in: u64,
+    /// Wire bytes sent to the tenant.
+    pub bytes_out: u64,
+}
+
+/// Result of the deliberate-overload pass.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServerOverload {
+    /// The bytes/s quota every tenant ran under.
+    pub bytes_per_sec_quota: u64,
+    /// Wall-clock seconds measured.
+    pub elapsed_sec: f64,
+    /// Hammer tenant: requests admitted.
+    pub hammer_admitted: u64,
+    /// Hammer tenant: requests shed with `Overloaded`.
+    pub hammer_shed: u64,
+    /// Paced tenant: requests admitted.
+    pub paced_admitted: u64,
+    /// Paced tenant: requests shed (should be 0 — isolation).
+    pub paced_shed: u64,
+    /// p50 of admitted requests, µs.
+    pub admitted_p50_us: f64,
+    /// p99 of admitted requests, µs — must stay bounded under shed.
+    pub admitted_p99_us: f64,
+    /// Worst admitted round trip, µs.
+    pub admitted_max_us: f64,
+    /// Requests shed for any reason, any tenant (server counters).
+    pub shed_total: u64,
+    /// Per-tenant admission counters.
+    pub tenants: Vec<AdmissionTenantRow>,
+    /// Sessions still open after the drain (must be 0).
+    pub open_sessions_after: u64,
+    /// Snapshot pins still registered after the drain (must be 0).
+    pub open_snapshots_after: usize,
+}
+
+/// The whole `abl-server` artifact: the sweep plus the overload pass.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServerResult {
+    /// One row per client count.
+    pub points: Vec<ServerPoint>,
+    /// The deliberate-overload admission demonstration.
+    pub overload: ServerOverload,
+}
+
+use labflow_server::{Client, ClientError, ClientResult, Server, ServerConfig, TenantQuotas};
+
+fn net(e: ClientError) -> BenchError {
+    BenchError::Config(format!("server client: {e}"))
+}
+
+/// `Retry` and `Overloaded` are the two typed shed/conflict responses a
+/// well-behaved client absorbs by backing off.
+fn transient(e: &ClientError) -> bool {
+    matches!(
+        e,
+        ClientError::Retry { .. } | ClientError::Overloaded { .. }
+    )
+}
+
+/// What one closed-loop client accumulated.
+#[derive(Default)]
+struct SrvRow {
+    txns: u64,
+    requests: u64,
+    retries: u64,
+    hist: crate::hist::LatencyHist,
+}
+
+/// Issue one request, timing the full round trip; only admitted
+/// (successful) requests enter the histogram.
+fn timed<T>(
+    c: &mut Client,
+    row: &mut SrvRow,
+    f: impl FnOnce(&mut Client) -> ClientResult<T>,
+) -> ClientResult<T> {
+    let t0 = Instant::now();
+    let r = f(c);
+    if r.is_ok() {
+        row.hist.record(t0.elapsed());
+        row.requests += 1;
+    }
+    r
+}
+
+/// One client's closed loop: cycle the private material slice in
+/// single-step transactions until the deadline, retrying on typed
+/// conflicts via abort-and-rerun.
+fn server_worker(
+    addr: std::net::SocketAddr,
+    tenant: u32,
+    mats: &[u64],
+    deadline: Instant,
+) -> Result<SrvRow> {
+    const STATES: [&str; 4] = ["queued", "running", "done", "archived"];
+    let mut c = Client::connect(addr, tenant).map_err(net)?;
+    let mut row = SrvRow::default();
+    // Valid times are partitioned per tenant so the run is deterministic
+    // in everything except commit interleaving.
+    let mut vt: i64 = i64::from(tenant) << 24;
+    let mut mat_cycle = mats.iter().copied().cycle();
+    let mut state_cycle = STATES.iter().copied().cycle();
+    while Instant::now() < deadline {
+        let (Some(m), Some(state)) = (mat_cycle.next(), state_cycle.next()) else {
+            return Err(BenchError::Config("server worker got an empty material slice".into()));
+        };
+        vt += 4;
+        let attempt = (|c: &mut Client, row: &mut SrvRow| -> ClientResult<()> {
+            timed(c, row, |c| c.begin())?;
+            timed(c, row, |c| {
+                c.record_step(
+                    "srv_track",
+                    vt,
+                    &[m],
+                    vec![("reading".into(), Value::Real(vt as f64))],
+                )
+            })?;
+            timed(c, row, |c| c.set_state(m, state, vt + 1))?;
+            timed(c, row, |c| c.commit())?;
+            Ok(())
+        })(&mut c, &mut row);
+        match attempt {
+            Ok(()) => row.txns += 1,
+            Err(e) if transient(&e) => {
+                row.retries += 1;
+                // Roll back whatever the partial transaction touched;
+                // "no transaction open" is a fine answer here.
+                let _ = c.abort();
+            }
+            Err(e) => return Err(net(e)),
+        }
+    }
+    Ok(row)
+}
+
+/// One point of the sweep: a fresh OStore engine behind a fresh server,
+/// `clients` closed-loop connections for [`SRV_POINT_MILLIS`].
+fn run_server_point(
+    cfg: &BenchConfig,
+    clients: usize,
+    max_clients: usize,
+    base: &Path,
+) -> Result<ServerPoint> {
+    let dir = version_dir(base, ServerVersion::OStore)?;
+    let opts = Options {
+        buffer_pages: cfg.buffer_pages,
+        group_commit_window: Some(MC_COMMIT_WINDOW),
+        ..Options::default()
+    };
+    let store = ServerVersion::OStore.make_store_with(&dir, opts)?;
+    let db = Arc::new(LabBase::create(store.clone())?);
+
+    // Prefill sized off the max client count so every point works the
+    // same population regardless of parallelism.
+    let total = max_clients * SRV_MATS_PER_CLIENT;
+    let txn = db.begin()?;
+    db.define_material_class(txn, "srv_clone", None)?;
+    db.define_step_class(txn, "srv_track", attrs(&[("reading", AttrType::Real)]))?;
+    let mut mats = Vec::with_capacity(total);
+    for i in 0..total {
+        mats.push(
+            db.create_material(txn, "srv_clone", &format!("srv-{i:05}"), 0)?
+                .oid()
+                .raw(),
+        );
+    }
+    db.commit(txn)?;
+    db.checkpoint()?;
+    let _ = db.count_in_state("queued")?;
+    let _ = db.find_material("srv-00000")?;
+
+    let server = Server::start(
+        Arc::clone(&db),
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            quotas: TenantQuotas {
+                max_sessions: 0,
+                max_inflight: 0,
+                bytes_per_sec: 0,
+            },
+            ..ServerConfig::default()
+        },
+    )?;
+    let addr = server.local_addr();
+    let deadline = Instant::now() + Duration::from_millis(SRV_POINT_MILLIS);
+    let t0 = Instant::now();
+    let rows = std::thread::scope(|scope| -> Result<Vec<SrvRow>> {
+        let mut handles = Vec::new();
+        for c in 0..clients {
+            // Round-robin partition, one tenant per connection.
+            let mine: Vec<u64> = mats.iter().skip(c).step_by(clients).copied().collect();
+            handles.push(scope.spawn(move || server_worker(addr, (c + 1) as u32, &mine, deadline)));
+        }
+        let mut rows = Vec::with_capacity(clients);
+        for h in handles {
+            rows.push(
+                h.join()
+                    .map_err(|_| BenchError::Config("client thread panicked".into()))??,
+            );
+        }
+        Ok(rows)
+    })?;
+    let elapsed = t0.elapsed().as_secs_f64();
+    server.shutdown()?;
+    if db.open_sessions() != 0 || db.store().open_snapshots() != 0 {
+        return Err(BenchError::Config(format!(
+            "drain left {} sessions / {} snapshots open at {clients} clients",
+            db.open_sessions(),
+            db.store().open_snapshots()
+        )));
+    }
+
+    let mut hist = crate::hist::LatencyHist::new();
+    let mut txns = 0u64;
+    let mut requests = 0u64;
+    let mut retries = 0u64;
+    for r in &rows {
+        hist.merge(&r.hist);
+        txns += r.txns;
+        requests += r.requests;
+        retries += r.retries;
+    }
+    Ok(ServerPoint {
+        clients,
+        elapsed_sec: elapsed,
+        txns,
+        txns_per_sec: if elapsed > 0.0 {
+            txns as f64 / elapsed
+        } else {
+            0.0
+        },
+        requests,
+        requests_per_sec: if elapsed > 0.0 {
+            requests as f64 / elapsed
+        } else {
+            0.0
+        },
+        retries,
+        p50_us: hist.quantile_us(0.50),
+        p99_us: hist.quantile_us(0.99),
+        p999_us: hist.quantile_us(0.999),
+        max_us: hist.max_us(),
+        mean_us: hist.mean_us(),
+    })
+}
+
+/// The deliberate-overload pass: every tenant gets the same small
+/// bytes/s quota; the hammer tenant offers far more than that, the
+/// paced tenant stays under it, and a third tenant leaves a transaction
+/// dangling so the drain has something to abort.
+fn run_server_overload() -> Result<ServerOverload> {
+    use labflow_storage::MemStore;
+
+    let store: Arc<dyn StorageManager> = Arc::new(MemStore::ostore_mm());
+    let db = Arc::new(LabBase::create(store)?);
+    let txn = db.begin()?;
+    db.define_material_class(txn, "srv_clone", None)?;
+    db.commit(txn)?;
+
+    let server = Server::start(
+        Arc::clone(&db),
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            quotas: TenantQuotas {
+                max_sessions: 0,
+                max_inflight: 0,
+                bytes_per_sec: SRV_OVERLOAD_BYTES_PER_SEC,
+            },
+            ..ServerConfig::default()
+        },
+    )?;
+    let addr = server.local_addr();
+    let deadline = Instant::now() + Duration::from_millis(SRV_OVERLOAD_MILLIS);
+    let t0 = Instant::now();
+
+    // (admitted, shed, admitted-RTT histogram) per driving tenant.
+    type Drive = (u64, u64, crate::hist::LatencyHist);
+    let drive = |tenant: u32, gap: Option<Duration>| -> Result<Drive> {
+        let mut c = Client::connect(addr, tenant).map_err(net)?;
+        let (mut admitted, mut shed) = (0u64, 0u64);
+        let mut hist = crate::hist::LatencyHist::new();
+        while Instant::now() < deadline {
+            let t = Instant::now();
+            match c.ping() {
+                Ok(()) => {
+                    hist.record(t.elapsed());
+                    admitted += 1;
+                }
+                Err(ClientError::Overloaded { .. }) => {
+                    shed += 1;
+                    // A closed-loop hammer backs off a token's worth,
+                    // not the suggested retry window — the point is
+                    // sustained offered load above the quota.
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err(e) => return Err(net(e)),
+            }
+            if let Some(gap) = gap {
+                std::thread::sleep(gap);
+            }
+        }
+        Ok((admitted, shed, hist))
+    };
+
+    let ((hammer, paced), dangling) =
+        std::thread::scope(|scope| -> Result<((Drive, Drive), Client)> {
+            let hammer = scope.spawn(|| drive(1, None));
+            let paced = scope.spawn(|| drive(2, Some(SRV_PACED_GAP)));
+            // Tenant 3 leaves a transaction open across the shutdown so the
+            // drain's selective abort is exercised, not just asserted.
+            let mut dangling = Client::connect(addr, 3).map_err(net)?;
+            dangling.begin().map_err(net)?;
+            dangling
+                .create_material("srv_clone", "srv-dangling", 0)
+                .map_err(net)?;
+            let hammer = hammer
+                .join()
+                .map_err(|_| BenchError::Config("hammer thread panicked".into()))??;
+            let paced = paced
+                .join()
+                .map_err(|_| BenchError::Config("paced thread panicked".into()))??;
+            Ok(((hammer, paced), dangling))
+        })?;
+    let elapsed = t0.elapsed().as_secs_f64();
+
+    let snap = server.admission();
+    server.shutdown()?;
+    // The dangling client outlives the drain on purpose: its open
+    // transaction must be aborted server-side, not by a disconnect.
+    drop(dangling);
+    let open_sessions_after = db.open_sessions();
+    let open_snapshots_after = db.store().open_snapshots();
+    if open_sessions_after != 0 || open_snapshots_after != 0 {
+        return Err(BenchError::Config(format!(
+            "drain left {open_sessions_after} sessions / {open_snapshots_after} snapshots open"
+        )));
+    }
+    if db.find_material("srv-dangling")?.is_some() {
+        return Err(BenchError::Config(
+            "drain failed to abort the dangling transaction".into(),
+        ));
+    }
+    if snap.shed_total() == 0 {
+        return Err(BenchError::Config(
+            "overload pass shed nothing — quota not enforced".into(),
+        ));
+    }
+    let (hammer_admitted, hammer_shed, hist) = hammer;
+    let (paced_admitted, paced_shed, _) = paced;
+    if hammer_shed == 0 {
+        return Err(BenchError::Config(
+            "hammer tenant was never shed despite offered load above quota".into(),
+        ));
+    }
+    let admitted_p99_us = hist.quantile_us(0.99);
+    if admitted_p99_us > SRV_ADMITTED_P99_BOUND_US {
+        return Err(BenchError::Config(format!(
+            "admitted p99 {admitted_p99_us:.0}µs exceeds the {SRV_ADMITTED_P99_BOUND_US:.0}µs \
+             bound — shed load is queueing behind admitted work"
+        )));
+    }
+
+    let role = |tenant: u32| match tenant {
+        1 => "hammer",
+        2 => "paced",
+        3 => "dangling",
+        _ => "?",
+    };
+    let tenants = snap
+        .tenants
+        .iter()
+        .map(|t| AdmissionTenantRow {
+            tenant: t.tenant,
+            role: role(t.tenant).to_string(),
+            admitted: t.admitted,
+            shed_bytes: t.shed_bytes,
+            shed_inflight: t.shed_inflight,
+            shed_sessions: t.shed_sessions,
+            bytes_in: t.bytes_in,
+            bytes_out: t.bytes_out,
+        })
+        .collect();
+    Ok(ServerOverload {
+        bytes_per_sec_quota: SRV_OVERLOAD_BYTES_PER_SEC,
+        elapsed_sec: elapsed,
+        hammer_admitted,
+        hammer_shed,
+        paced_admitted,
+        paced_shed,
+        admitted_p50_us: hist.quantile_us(0.50),
+        admitted_p99_us,
+        admitted_max_us: hist.max_us(),
+        shed_total: snap.shed_total(),
+        tenants,
+        open_sessions_after,
+        open_snapshots_after,
+    })
+}
+
+/// Run the networked closed-loop sweep plus the overload pass.
+pub fn run_server(cfg: &BenchConfig, client_counts: &[usize], base: &Path) -> Result<ServerResult> {
+    let max_clients = client_counts.iter().copied().max().unwrap_or(1);
+    let mut points = Vec::new();
+    for &clients in client_counts {
+        if clients == 0 {
+            return Err(BenchError::Config("client count must be >= 1".into()));
+        }
+        points.push(run_server_point(cfg, clients, max_clients, base)?);
+    }
+    let overload = run_server_overload()?;
+    Ok(ServerResult { points, overload })
+}
+
+#[cfg(test)]
+mod server_tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn base(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("lfc-srv-{}-{}", std::process::id(), name));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn smoke_server_sweep_and_overload() {
+        let cfg = BenchConfig::smoke();
+        let dir = base("sweep");
+        let result = run_server(&cfg, &[1, 2], &dir).unwrap();
+        assert_eq!(result.points.len(), 2);
+        for p in &result.points {
+            assert!(p.txns > 0, "{} clients committed work", p.clients);
+            assert!(p.requests >= 4 * p.txns, "four admitted requests per txn");
+            assert!(p.txns_per_sec > 0.0);
+            assert!(
+                p.p50_us <= p.p99_us && p.p99_us <= p.p999_us,
+                "quantiles monotone"
+            );
+        }
+        let o = &result.overload;
+        assert!(o.hammer_shed > 0, "hammer tenant must be shed");
+        assert!(
+            o.hammer_admitted > 0,
+            "burst allowance admits some hammer requests"
+        );
+        assert_eq!(o.paced_shed, 0, "paced tenant under quota is never shed");
+        assert!(o.paced_admitted > 0);
+        assert_eq!(o.open_sessions_after, 0);
+        assert_eq!(o.open_snapshots_after, 0);
+        assert!(o.shed_total >= o.hammer_shed);
+        let hammer_row = o.tenants.iter().find(|t| t.tenant == 1).unwrap();
+        assert_eq!(
+            hammer_row.shed_bytes, o.hammer_shed,
+            "server counted every shed"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn zero_clients_is_a_config_error() {
+        let cfg = BenchConfig::smoke();
+        let dir = base("zero");
+        assert!(run_server(&cfg, &[0], &dir).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
 }

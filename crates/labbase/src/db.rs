@@ -25,6 +25,7 @@
 //! and pay for it, which is the experiment.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
@@ -117,6 +118,48 @@ impl SetsDir {
     }
 }
 
+/// The lazy material-name index.
+///
+/// `map` is built on first use by [`LabBase::find_material`] from a scan
+/// of the committed class extents, then kept fresh incrementally by
+/// creations and footprint aborts. The scan cannot see materials whose
+/// creating transaction is still open — and a concurrently *committing*
+/// creation can land after the scan sampled the catalog but before the
+/// map is installed, which would hide that name from lookups forever.
+/// So creations that run while `map` is unbuilt park their name in
+/// `pending`, and the builder merges `pending` into its scanned map
+/// under the same write lock before installing. Invariant: whenever
+/// `map` is `Some`, `pending` is empty.
+#[derive(Default)]
+pub(crate) struct NameIndex {
+    pub(crate) map: Option<HashMap<String, Oid>>,
+    pub(crate) pending: Vec<(String, Oid)>,
+}
+
+impl NameIndex {
+    /// Note a (possibly still uncommitted) material creation. Mirrors
+    /// the paper-facing behavior: once noted, the name resolves even
+    /// before commit; an abort withdraws it via [`note_aborted`].
+    ///
+    /// [`note_aborted`]: NameIndex::note_aborted
+    pub(crate) fn note_created(&mut self, name: &str, oid: Oid) {
+        match self.map.as_mut() {
+            Some(map) => {
+                map.insert(name.to_string(), oid);
+            }
+            None => self.pending.push((name.to_string(), oid)),
+        }
+    }
+
+    /// Withdraw a name after its creating transaction aborted.
+    pub(crate) fn note_aborted(&mut self, name: &str) {
+        if let Some(map) = self.map.as_mut() {
+            map.remove(name);
+        }
+        self.pending.retain(|(n, _)| n != name);
+    }
+}
+
 /// How a record read resolves object visibility. Every internal read in
 /// LabBase is threaded through this so the same traversal code serves
 /// three access paths: the live committed state, a transaction's own
@@ -145,7 +188,11 @@ pub struct LabBase {
     pub(crate) sets_oid: Oid,
     pub(crate) sets: RwLock<SetsDir>,
     pub(crate) state_index: StateIndex,
-    pub(crate) name_index: RwLock<Option<HashMap<String, Oid>>>,
+    pub(crate) name_index: RwLock<NameIndex>,
+    /// Sessions begun and not yet resolved (committed/aborted/dropped).
+    /// The network front end asserts this gauge drains to zero on
+    /// graceful shutdown.
+    pub(crate) sessions_open: AtomicU64,
 }
 
 impl LabBase {
@@ -176,7 +223,8 @@ impl LabBase {
             sets_oid,
             sets: RwLock::new(sets),
             state_index: StateIndex::new(),
-            name_index: RwLock::new(None),
+            name_index: RwLock::new(NameIndex::default()),
+            sessions_open: AtomicU64::new(0),
         })
     }
 
@@ -203,13 +251,20 @@ impl LabBase {
             sets_oid,
             sets: RwLock::new(sets),
             state_index: StateIndex::new(),
-            name_index: RwLock::new(None),
+            name_index: RwLock::new(NameIndex::default()),
+            sessions_open: AtomicU64::new(0),
         })
     }
 
     /// The underlying storage manager.
     pub fn store(&self) -> &Arc<dyn StorageManager> {
         &self.store
+    }
+
+    /// Number of [`Session`](crate::Session)s currently open (begun and
+    /// not yet committed, aborted, or dropped).
+    pub fn open_sessions(&self) -> u64 {
+        self.sessions_open.load(Ordering::Acquire)
     }
 
     /// Begin a transaction.
@@ -227,14 +282,21 @@ impl LabBase {
     /// store rolled back underneath them. [`Session`](crate::Session)
     /// tracks its own footprint and aborts selectively instead.
     pub fn abort(&self, txn: TxnId) -> Result<()> {
-        self.store.abort(txn)?;
-        // Re-load shared caches from storage truth.
-        let catalog = Catalog::decode(&self.store.read(self.catalog_oid)?)?;
+        // Re-load shared caches from committed storage truth *before*
+        // the abort releases this transaction's locks. `Rd::Latest`
+        // skips the transaction's own pending writes, so it reads
+        // exactly the state rollback restores — repairing afterwards
+        // leaves a window where a writer blocked on our storage locks
+        // acquires them and reads our uncommitted mutations out of the
+        // shared cache (e.g. an extent head pointing at a material the
+        // rollback is about to erase, breaking the committed chain).
+        let catalog = Catalog::decode(&self.rd_bytes(Rd::Latest, self.catalog_oid)?)?;
         *self.catalog.write() = catalog;
-        let sets = SetsDir::decode(&self.store.read(self.sets_oid)?)?;
+        let sets = SetsDir::decode(&self.rd_bytes(Rd::Latest, self.sets_oid)?)?;
         *self.sets.write() = sets;
         self.state_index.invalidate();
-        *self.name_index.write() = None;
+        *self.name_index.write() = NameIndex::default();
+        self.store.abort(txn)?;
         Ok(())
     }
 
@@ -245,7 +307,25 @@ impl LabBase {
     ///
     /// [`abort`]: LabBase::abort
     pub(crate) fn abort_with_footprint(&self, txn: TxnId, fp: &Footprint) -> Result<()> {
+        // Every cache repair happens *before* `store.abort` — the abort
+        // releases this transaction's storage locks, and a writer that
+        // was blocked on them (lock-first discipline) must never see
+        // this transaction's uncommitted mutations in the shared
+        // caches. A stale extent head in the catalog cache, for
+        // example, would chain the next committed material onto an
+        // object the rollback erases, leaving a dangling pointer in
+        // the committed extent chain.
+        //
+        self.undo_footprint_caches(fp)?;
         self.store.abort(txn)?;
+        Ok(())
+    }
+
+    /// Roll the shared in-memory caches back to committed state for
+    /// everything `fp` touched. Used on abort (before the storage locks
+    /// release) and after a failed commit (the engine has already
+    /// discarded the pending versions like an abort by then).
+    pub(crate) fn undo_footprint_caches(&self, fp: &Footprint) -> Result<()> {
         // Reverse state transitions newest-first so a material that moved
         // several times lands back in its pre-transaction state.
         for (oid, old, new) in fp.state_changes.iter().rev() {
@@ -255,20 +335,20 @@ impl LabBase {
         if !fp.created.is_empty() {
             self.state_index.forget(fp.created.iter().map(|(oid, _)| *oid));
             let mut names = self.name_index.write();
-            if let Some(map) = names.as_mut() {
-                for (_, name) in &fp.created {
-                    map.remove(name);
-                }
+            for (_, name) in &fp.created {
+                names.note_aborted(name);
             }
         }
         // The catalog object is rewritten by schema changes *and* by
         // material creation (extent heads, counts); reload it from the
-        // rolled-back store only when this session dirtied it.
+        // committed state (`Rd::Latest` skips this transaction's own
+        // pending writes, so it reads exactly what rollback restores)
+        // only when this session dirtied it.
         if fp.catalog_dirty || !fp.created.is_empty() {
-            *self.catalog.write() = Catalog::decode(&self.store.read(self.catalog_oid)?)?;
+            *self.catalog.write() = Catalog::decode(&self.rd_bytes(Rd::Latest, self.catalog_oid)?)?;
         }
         if fp.sets_dirty {
-            *self.sets.write() = SetsDir::decode(&self.store.read(self.sets_oid)?)?;
+            *self.sets.write() = SetsDir::decode(&self.rd_bytes(Rd::Latest, self.sets_oid)?)?;
         }
         Ok(())
     }
@@ -292,9 +372,17 @@ impl LabBase {
         name: &str,
         parent: Option<&str>,
     ) -> Result<ClassId> {
+        self.lock_catalog(txn)?;
         let mut catalog = self.catalog.write();
+        let before = catalog.encode();
         let id = catalog.define_material_class(name, parent)?;
-        self.store.update(txn, self.catalog_oid, &catalog.encode())?;
+        if let Err(e) = self.store.update(txn, self.catalog_oid, &catalog.encode()) {
+            // Failed store write (e.g. wounded): the schema change rolls
+            // back with the transaction, so take it out of the shared
+            // cache before the catalog lock can pass to another writer.
+            *catalog = Catalog::decode(&before)?;
+            return Err(e.into());
+        }
         Ok(id)
     }
 
@@ -305,9 +393,17 @@ impl LabBase {
         name: &str,
         attrs: Vec<AttrDef>,
     ) -> Result<ClassId> {
+        self.lock_catalog(txn)?;
         let mut catalog = self.catalog.write();
+        let before = catalog.encode();
         let id = catalog.define_step_class(name, attrs)?;
-        self.store.update(txn, self.catalog_oid, &catalog.encode())?;
+        if let Err(e) = self.store.update(txn, self.catalog_oid, &catalog.encode()) {
+            // Failed store write (e.g. wounded): the schema change rolls
+            // back with the transaction, so take it out of the shared
+            // cache before the catalog lock can pass to another writer.
+            *catalog = Catalog::decode(&before)?;
+            return Err(e.into());
+        }
         Ok(id)
     }
 
@@ -320,9 +416,17 @@ impl LabBase {
         name: &str,
         attrs: Vec<AttrDef>,
     ) -> Result<u32> {
+        self.lock_catalog(txn)?;
         let mut catalog = self.catalog.write();
+        let before = catalog.encode();
         let version = catalog.redefine_step_class(name, attrs)?;
-        self.store.update(txn, self.catalog_oid, &catalog.encode())?;
+        if let Err(e) = self.store.update(txn, self.catalog_oid, &catalog.encode()) {
+            // Failed store write (e.g. wounded): the schema change rolls
+            // back with the transaction, so take it out of the shared
+            // cache before the catalog lock can pass to another writer.
+            *catalog = Catalog::decode(&before)?;
+            return Err(e.into());
+        }
         Ok(version)
     }
 
@@ -401,6 +505,27 @@ impl LabBase {
         Ok(())
     }
 
+    /// Take `txn`'s exclusive storage lock on the catalog object.
+    ///
+    /// Every catalog writer calls this *before* touching the in-memory
+    /// catalog latch. The catalog is the hottest write point in the
+    /// system (every material creation bumps its class extent), and a
+    /// transaction that blocked on the storage lock while holding the
+    /// latch would stall every concurrent catalog *read* for the whole
+    /// lock timeout — a cross-lock convoy in which each contention
+    /// event costs a failed transaction. Lock-first, latch-second makes
+    /// the wait happen with no latch held, so catalog writers serialize
+    /// cleanly and readers never stall behind a waiter.
+    pub(crate) fn lock_catalog(&self, txn: TxnId) -> Result<()> {
+        Ok(self.store.lock_exclusive(txn, self.catalog_oid)?)
+    }
+
+    /// Take `txn`'s exclusive storage lock on the sets directory —
+    /// same lock-first discipline as [`lock_catalog`](Self::lock_catalog).
+    pub(crate) fn lock_sets(&self, txn: TxnId) -> Result<()> {
+        Ok(self.store.lock_exclusive(txn, self.sets_oid)?)
+    }
+
     // ---- materials ---------------------------------------------------------
 
     /// Create a material of class `class` named `name` at valid time
@@ -412,6 +537,7 @@ impl LabBase {
         name: &str,
         created: ValidTime,
     ) -> Result<MaterialId> {
+        self.lock_catalog(txn)?;
         let mut catalog = self.catalog.write();
         let class_id = catalog.material_class(class)?.id;
         let ext_next = catalog.material_class(class)?.extent_head;
@@ -431,11 +557,19 @@ impl LabBase {
             mc.extent_head = oid;
             mc.count += 1;
         }
-        self.store.update(txn, self.catalog_oid, &catalog.encode())?;
-        drop(catalog);
-        if let Some(index) = self.name_index.write().as_mut() {
-            index.insert(name.to_string(), oid);
+        if let Err(e) = self.store.update(txn, self.catalog_oid, &catalog.encode()) {
+            // A failed store write (e.g. this transaction was wounded
+            // while holding the catalog lock) must not leave the new
+            // head in the shared cache: the allocation rolls back with
+            // the transaction, and the next creator would chain its
+            // committed material onto the erased object.
+            let mc = catalog.material_class_mut(class_id)?;
+            mc.extent_head = ext_next;
+            mc.count -= 1;
+            return Err(e.into());
         }
+        drop(catalog);
+        self.name_index.write().note_created(name, oid);
         self.state_index.note_created(oid);
         Ok(MaterialId::from(oid))
     }

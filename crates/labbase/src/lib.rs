@@ -56,7 +56,7 @@
 
 mod check;
 mod db;
-mod enc;
+pub mod enc;
 mod error;
 mod history;
 mod ids;

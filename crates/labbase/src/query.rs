@@ -103,8 +103,8 @@ impl LabBase {
     pub fn find_material(&self, name: &str) -> Result<Option<MaterialId>> {
         {
             let index = self.name_index.read();
-            if let Some(index) = index.as_ref() {
-                return Ok(index.get(name).map(|&o| MaterialId::from(o)));
+            if let Some(map) = index.map.as_ref() {
+                return Ok(map.get(name).map(|&o| MaterialId::from(o)));
             }
         }
         // Build the index from every extent of the committed catalog —
@@ -127,13 +127,24 @@ impl LabBase {
             }
         }
         labflow_storage::add_name_index_wait(build_start.elapsed().as_nanos() as u64);
-        let found = map.get(name).map(|&o| MaterialId::from(o));
         let mut index = self.name_index.write();
-        // A racing builder (or a creation since the scan began) may have
-        // installed a fresher map; keep the existing one in that case.
-        if index.is_none() {
-            *index = Some(map);
+        if index.map.is_none() {
+            // Materials created while the map was unbuilt parked their
+            // names in `pending` — the committed-extent scan cannot see
+            // them (they may still be uncommitted), and without this
+            // merge a name whose creation raced the scan would be
+            // missing from the installed map forever. Merging mirrors
+            // the incremental insert a built map receives at creation
+            // time; an abort removes the entry again via its footprint.
+            for (pname, poid) in index.pending.drain(..) {
+                map.insert(pname, poid);
+            }
+            index.map = Some(map);
         }
+        // A racing builder may have installed a fresher map while this
+        // scan ran; resolve against whichever map won installation.
+        let found =
+            index.map.as_ref().and_then(|m| m.get(name)).map(|&o| MaterialId::from(o));
         Ok(found)
     }
 
@@ -220,6 +231,54 @@ mod tests {
         let n = db.create_material(t, "clone", "clone-new", 9).unwrap();
         db.commit(t).unwrap();
         assert_eq!(db.find_material("clone-new").unwrap(), Some(n));
+    }
+
+    /// Regression: a creation that runs while the name index is unbuilt
+    /// must survive an index build that scans only committed state.
+    /// Before the `pending` merge, the build would install a map missing
+    /// the in-flight name, hiding the material from lookups forever once
+    /// its transaction committed (seen as a lost `find_material` under
+    /// the concurrent server workload).
+    #[test]
+    fn name_index_build_keeps_creations_that_raced_the_scan() {
+        let db = mem_db();
+        let t0 = db.begin().unwrap();
+        db.create_material(t0, "clone", "seed", 0).unwrap();
+        db.commit(t0).unwrap();
+
+        // Index is unbuilt; this creation parks its name in `pending`.
+        let t1 = db.begin().unwrap();
+        let late = db.create_material(t1, "clone", "late", 1).unwrap();
+
+        // Build the index mid-transaction: the committed-extent scan
+        // cannot see `late`, so only the pending merge can save it.
+        assert_eq!(db.find_material("missing").unwrap(), None);
+        assert_eq!(db.find_material("late").unwrap(), Some(late), "pending name noted");
+
+        db.commit(t1).unwrap();
+        assert_eq!(db.find_material("late").unwrap(), Some(late), "committed name kept");
+    }
+
+    /// The pending-name path also unwinds: a session abort withdraws a
+    /// name parked before the index was built.
+    #[test]
+    fn name_index_pending_names_withdrawn_on_session_abort() {
+        let db = mem_db();
+        let t0 = db.begin().unwrap();
+        db.create_material(t0, "clone", "seed", 0).unwrap();
+        db.commit(t0).unwrap();
+
+        let mut session = db.session().unwrap();
+        session.create_material("clone", "ghost", 1).unwrap();
+        // Build the index while `ghost` is pending, then abort.
+        assert!(db.find_material("ghost").unwrap().is_some(), "pending name visible");
+        session.abort().unwrap();
+        assert_eq!(db.find_material("ghost").unwrap(), None, "aborted name withdrawn");
+        // A fresh creation still lands in the installed map.
+        let t2 = db.begin().unwrap();
+        let again = db.create_material(t2, "clone", "ghost", 2).unwrap();
+        db.commit(t2).unwrap();
+        assert_eq!(db.find_material("ghost").unwrap(), Some(again));
     }
 
     #[test]

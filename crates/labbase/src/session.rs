@@ -69,6 +69,7 @@ impl LabBase {
                 return Err(e.into());
             }
         };
+        self.sessions_open.fetch_add(1, std::sync::atomic::Ordering::AcqRel);
         Ok(Session {
             db: self,
             txn,
@@ -229,24 +230,39 @@ impl<'a> Session<'a> {
     /// cache updates are correct as applied.
     pub fn commit(mut self) -> Result<()> {
         self.finished = true;
-        self.db.store.release_snapshot(self.snap);
-        self.db.commit(self.txn)
+        self.resolve();
+        let fp = std::mem::take(&mut self.footprint);
+        self.db.commit(self.txn).inspect_err(|_| {
+            // A failed commit (e.g. an exhausted WAL-force retry budget)
+            // discards the pending versions like an abort, so the shared
+            // caches must be rolled back the same way — otherwise the
+            // next writer reads this transaction's dead mutations (a
+            // stale extent head, a phantom state) out of the cache.
+            let _ = self.db.undo_footprint_caches(&fp);
+        })
     }
 
     /// Abort the transaction, undoing only this session's cache
     /// footprint instead of invalidating the shared indexes.
     pub fn abort(mut self) -> Result<()> {
         self.finished = true;
-        self.db.store.release_snapshot(self.snap);
+        self.resolve();
         let fp = std::mem::take(&mut self.footprint);
         self.db.abort_with_footprint(self.txn, &fp)
+    }
+
+    /// Release the snapshot pin and tick the open-sessions gauge down.
+    /// Called exactly once per session, on commit/abort/drop.
+    fn resolve(&self) {
+        self.db.store.release_snapshot(self.snap);
+        self.db.sessions_open.fetch_sub(1, std::sync::atomic::Ordering::AcqRel);
     }
 }
 
 impl Drop for Session<'_> {
     fn drop(&mut self) {
         if !self.finished {
-            self.db.store.release_snapshot(self.snap);
+            self.resolve();
             let fp = std::mem::take(&mut self.footprint);
             let _ = self.db.abort_with_footprint(self.txn, &fp);
         }
@@ -257,6 +273,54 @@ impl Drop for Session<'_> {
 mod tests {
     use crate::db::tests::mem_db;
     use crate::value::Value;
+
+    /// Regression: an aborting creator must repair the shared catalog
+    /// cache *before* its storage locks release. Repairing after left a
+    /// window where a racing creator (blocked on the catalog lock) read
+    /// the aborted transaction's extent head out of the cache and
+    /// chained its committed material onto an object the rollback
+    /// erased — a dangling pointer in the committed extent chain, seen
+    /// as `unknown material` errors from extent scans under the
+    /// concurrent server workload.
+    #[test]
+    fn aborting_creator_never_leaks_extent_heads_to_racing_creators() {
+        const ROUNDS: i64 = 200;
+        let db = mem_db();
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                for i in 0..ROUNDS {
+                    let mut s = db.session().unwrap();
+                    if s.create_material("clone", &format!("ghost-{i}"), i).is_ok() {
+                        s.abort().unwrap();
+                    }
+                }
+            });
+            scope.spawn(|| {
+                for i in 0..ROUNDS {
+                    // Retry on contention outcomes (wound-wait may kill
+                    // one side); every name must commit exactly once.
+                    loop {
+                        let mut s = db.session().unwrap();
+                        if s.create_material("clone", &format!("kept-{i}"), i).is_ok() {
+                            s.commit().unwrap();
+                            break;
+                        }
+                    }
+                }
+            });
+        });
+        // The committed extent chain must be fully walkable and contain
+        // exactly the committed materials.
+        let ext = db.class_extent("clone", false).unwrap();
+        assert_eq!(ext.len(), ROUNDS as usize, "extent chain intact");
+        for i in 0..ROUNDS {
+            assert!(
+                db.find_material(&format!("kept-{i}")).unwrap().is_some(),
+                "committed kept-{i} resolvable"
+            );
+            assert_eq!(db.find_material(&format!("ghost-{i}")).unwrap(), None);
+        }
+    }
 
     #[test]
     fn session_commit_behaves_like_plain_txn() {

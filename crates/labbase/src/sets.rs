@@ -16,6 +16,9 @@ use crate::smrecord::MaterialSetRec;
 impl LabBase {
     /// Create an empty material set named `name`.
     pub fn create_set(&self, txn: TxnId, name: &str) -> Result<()> {
+        // Lock-first: serialize on the sets directory's storage lock
+        // before touching the in-memory latch (see `lock_catalog`).
+        self.lock_sets(txn)?;
         {
             let sets = self.sets.read();
             if sets.by_name.contains_key(name) {
@@ -25,18 +28,31 @@ impl LabBase {
         let rec = MaterialSetRec { name: name.to_string(), members: Vec::new() };
         let oid = self.store.allocate(txn, SEG_CATALOG, ClusterHint::NONE, &rec.encode())?;
         self.sets.write().by_name.insert(name.to_string(), oid);
-        self.persist_sets_dir(txn)?;
+        if let Err(e) = self.persist_sets_dir(txn) {
+            // Failed store write (e.g. wounded): the allocation rolls
+            // back with the transaction, so the name must not stay in
+            // the shared directory cache pointing at an erased object.
+            self.sets.write().by_name.remove(name);
+            return Err(e);
+        }
         Ok(())
     }
 
     /// Delete a material set (the materials themselves are unaffected).
     pub fn drop_set(&self, txn: TxnId, name: &str) -> Result<()> {
+        self.lock_sets(txn)?;
         let oid = {
             let mut sets = self.sets.write();
             sets.by_name.remove(name).ok_or_else(|| LabError::UnknownSet(name.to_string()))?
         };
-        self.store.free(txn, oid)?;
-        self.persist_sets_dir(txn)?;
+        if let Err(e) = self.store.free(txn, oid).map_err(LabError::from).and_then(|()| {
+            self.persist_sets_dir(txn)
+        }) {
+            // Failed store write: the free rolls back with the
+            // transaction, so the directory cache keeps the set.
+            self.sets.write().by_name.insert(name.to_string(), oid);
+            return Err(e);
+        }
         Ok(())
     }
 

@@ -1,0 +1,328 @@
+//! A blocking client for the labflow wire protocol.
+//!
+//! One [`Client`] wraps one connection and issues one request at a
+//! time; request ids are checked against response ids so a desynced
+//! stream surfaces as a typed [`ClientError::Protocol`] instead of
+//! silently mismatched answers. Shed responses surface as
+//! [`ClientError::Overloaded`] (back off) and transient contention as
+//! [`ClientError::Retry`] (reissue), so closed-loop drivers can
+//! implement honest retry policies.
+
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use labbase::Value;
+
+use crate::proto::{Request, Response};
+use crate::tenant::AdmissionSnapshot;
+use crate::wire::{self, Event, Frame, WireError, PROTO_V1};
+
+/// Errors surfaced by the client.
+#[derive(Debug)]
+pub enum ClientError {
+    /// A frame-layer fault (includes I/O).
+    Wire(WireError),
+    /// The server reported a database error.
+    Server {
+        /// One of the `proto::EC_*` codes.
+        code: u16,
+        /// Rendered message.
+        message: String,
+    },
+    /// Transient contention; reissue the request (or the transaction).
+    Retry {
+        /// What collided.
+        reason: String,
+    },
+    /// Admission control shed the request.
+    Overloaded {
+        /// Suggested backoff before retrying.
+        retry_after_ms: u32,
+    },
+    /// The response did not match the request (wrong id or wrong
+    /// payload shape).
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Wire(e) => write!(f, "wire: {e}"),
+            ClientError::Server { code, message } => {
+                write!(f, "server error {code}: {message}")
+            }
+            ClientError::Retry { reason } => write!(f, "retry: {reason}"),
+            ClientError::Overloaded { retry_after_ms } => {
+                write!(f, "overloaded; retry after {retry_after_ms} ms")
+            }
+            ClientError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+/// Client-side result alias.
+pub type ClientResult<T> = Result<T, ClientError>;
+
+/// One blocking connection to a labflow server.
+pub struct Client {
+    stream: TcpStream,
+    tenant: u32,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connect to `addr`, billing all requests to `tenant`.
+    pub fn connect(addr: impl ToSocketAddrs, tenant: u32) -> ClientResult<Client> {
+        let stream = TcpStream::connect(addr).map_err(WireError::Io)?;
+        stream.set_nodelay(true).map_err(WireError::Io)?;
+        stream
+            .set_read_timeout(Some(Duration::from_millis(50)))
+            .map_err(WireError::Io)?;
+        stream
+            .set_write_timeout(Some(Duration::from_millis(50)))
+            .map_err(WireError::Io)?;
+        Ok(Client { stream, tenant, next_id: 1 })
+    }
+
+    /// The tenant id this client bills to.
+    pub fn tenant(&self) -> u32 {
+        self.tenant
+    }
+
+    /// Issue one request and wait for its response.
+    pub fn call(&mut self, req: &Request) -> ClientResult<Response> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let frame = Frame {
+            version: PROTO_V1,
+            code: req.opcode(),
+            request_id: id,
+            tenant: self.tenant,
+            body: req.encode_body(),
+        };
+        let mut w = &self.stream;
+        wire::write_frame(&mut w, &frame)?;
+        // A request may legitimately take a while (big queries, lock
+        // waits), but a server that never answers should not hang the
+        // client forever: bound the idle wait at ~2 minutes.
+        let mut idle_ticks = 0u32;
+        loop {
+            let mut r = &self.stream;
+            match wire::read_event(&mut r)? {
+                Event::Idle => {
+                    idle_ticks += 1;
+                    if idle_ticks > 2400 {
+                        return Err(ClientError::Wire(WireError::Stalled));
+                    }
+                    continue;
+                }
+                Event::Frame(resp) => {
+                    if resp.request_id != id && resp.request_id != 0 {
+                        return Err(ClientError::Protocol(format!(
+                            "response for request {} while waiting for {}",
+                            resp.request_id, id
+                        )));
+                    }
+                    return match Response::decode(resp.code, &resp.body)? {
+                        Response::Error { code, message } => {
+                            Err(ClientError::Server { code, message })
+                        }
+                        Response::Retry { reason } => Err(ClientError::Retry { reason }),
+                        Response::Overloaded { retry_after_ms } => {
+                            Err(ClientError::Overloaded { retry_after_ms })
+                        }
+                        ok => Ok(ok),
+                    };
+                }
+            }
+        }
+    }
+
+    fn expect_ok(&mut self, req: &Request) -> ClientResult<()> {
+        match self.call(req)? {
+            Response::Ok => Ok(()),
+            other => Err(unexpected("Ok", &other)),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> ClientResult<()> {
+        match self.call(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(unexpected("Pong", &other)),
+        }
+    }
+
+    /// Begin a transaction on this connection.
+    pub fn begin(&mut self) -> ClientResult<()> {
+        self.expect_ok(&Request::Begin)
+    }
+
+    /// Commit the open transaction.
+    pub fn commit(&mut self) -> ClientResult<()> {
+        self.expect_ok(&Request::Commit)
+    }
+
+    /// Abort the open transaction.
+    pub fn abort(&mut self) -> ClientResult<()> {
+        self.expect_ok(&Request::Abort)
+    }
+
+    /// Create a material; returns its raw oid.
+    pub fn create_material(
+        &mut self,
+        class: &str,
+        name: &str,
+        created: i64,
+    ) -> ClientResult<u64> {
+        let req = Request::CreateMaterial {
+            class: class.into(),
+            name: name.into(),
+            created,
+        };
+        match self.call(&req)? {
+            Response::Material(oid) => Ok(oid),
+            other => Err(unexpected("Material", &other)),
+        }
+    }
+
+    /// Record a workflow step; returns the step's raw oid.
+    pub fn record_step(
+        &mut self,
+        class: &str,
+        valid_time: i64,
+        materials: &[u64],
+        attrs: Vec<(String, Value)>,
+    ) -> ClientResult<u64> {
+        let req = Request::RecordStep {
+            class: class.into(),
+            valid_time,
+            materials: materials.to_vec(),
+            attrs,
+        };
+        match self.call(&req)? {
+            Response::Step(oid) => Ok(oid),
+            other => Err(unexpected("Step", &other)),
+        }
+    }
+
+    /// Set a material's workflow state.
+    pub fn set_state(&mut self, material: u64, state: &str, valid_time: i64) -> ClientResult<()> {
+        self.expect_ok(&Request::SetState {
+            material,
+            state: state.into(),
+            valid_time,
+        })
+    }
+
+    /// Define a material class.
+    pub fn define_material_class(
+        &mut self,
+        name: &str,
+        parent: Option<&str>,
+    ) -> ClientResult<()> {
+        self.expect_ok(&Request::DefineMaterialClass {
+            name: name.into(),
+            parent: parent.map(str::to_string),
+        })
+    }
+
+    /// Define a step class.
+    pub fn define_step_class(
+        &mut self,
+        name: &str,
+        attrs: &[(&str, labbase::AttrType)],
+    ) -> ClientResult<()> {
+        self.expect_ok(&Request::DefineStepClass {
+            name: name.into(),
+            attrs: attrs.iter().map(|(n, t)| (n.to_string(), *t)).collect(),
+        })
+    }
+
+    /// Create a material set.
+    pub fn create_set(&mut self, set: &str) -> ClientResult<()> {
+        self.expect_ok(&Request::CreateSet { set: set.into() })
+    }
+
+    /// Add a material to a set.
+    pub fn add_to_set(&mut self, set: &str, material: u64) -> ClientResult<()> {
+        self.expect_ok(&Request::AddToSet { set: set.into(), material })
+    }
+
+    /// A material's workflow state.
+    pub fn state_of(&mut self, material: u64) -> ClientResult<Option<String>> {
+        match self.call(&Request::StateOf { material })? {
+            Response::State(s) => Ok(s),
+            other => Err(unexpected("State", &other)),
+        }
+    }
+
+    /// Most-recent value of `attr`: `(value, valid_time, step oid)`.
+    pub fn recent(
+        &mut self,
+        material: u64,
+        attr: &str,
+    ) -> ClientResult<Option<(Value, i64, u64)>> {
+        match self.call(&Request::Recent { material, attr: attr.into() })? {
+            Response::RecentValue(v) => Ok(v),
+            other => Err(unexpected("RecentValue", &other)),
+        }
+    }
+
+    /// A material's history as `(step oid, valid_time)`, newest first.
+    pub fn history(&mut self, material: u64) -> ClientResult<Vec<(u64, i64)>> {
+        match self.call(&Request::History { material })? {
+            Response::History(h) => Ok(h),
+            other => Err(unexpected("History", &other)),
+        }
+    }
+
+    /// Look up a material by external name.
+    pub fn find_material(&mut self, name: &str) -> ClientResult<Option<u64>> {
+        match self.call(&Request::FindMaterial { name: name.into() })? {
+            Response::MaybeMaterial(m) => Ok(m),
+            other => Err(unexpected("MaybeMaterial", &other)),
+        }
+    }
+
+    /// Count materials in a workflow state.
+    pub fn count_in_state(&mut self, state: &str) -> ClientResult<u64> {
+        match self.call(&Request::CountInState { state: state.into() })? {
+            Response::Count(n) => Ok(n),
+            other => Err(unexpected("Count", &other)),
+        }
+    }
+
+    /// Run an LQL query; rows are `(variable, rendered term)` pairs.
+    pub fn query(&mut self, lql: &str) -> ClientResult<Vec<Vec<(String, String)>>> {
+        match self.call(&Request::Query { lql: lql.into() })? {
+            Response::Rows(rows) => Ok(rows),
+            other => Err(unexpected("Rows", &other)),
+        }
+    }
+
+    /// Fetch the server's admission counters.
+    pub fn admission_stats(&mut self) -> ClientResult<AdmissionSnapshot> {
+        match self.call(&Request::AdmissionStats)? {
+            Response::Admission(snap) => Ok(snap),
+            other => Err(unexpected("Admission", &other)),
+        }
+    }
+
+    /// Ask the server to drain and exit.
+    pub fn shutdown_server(&mut self) -> ClientResult<()> {
+        self.expect_ok(&Request::Shutdown)
+    }
+}
+
+fn unexpected(wanted: &str, got: &Response) -> ClientError {
+    ClientError::Protocol(format!("expected {wanted} response, got {got:?}"))
+}

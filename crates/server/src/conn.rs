@@ -1,0 +1,411 @@
+//! Per-connection request handling.
+//!
+//! Each accepted connection gets one handler thread running
+//! [`serve`]: a read-dispatch-respond loop over the framed wire
+//! protocol. The handler owns at most one open [`Session`] (the
+//! connection's transaction); responses drain through a
+//! [`BoundedWriter`] whose staging buffer never exceeds its cap, so a
+//! slow reader exerts backpressure on its own connection instead of
+//! growing server memory — and a reader that stops draining entirely is
+//! shed when the write stall budget runs out.
+//!
+//! No server lock is ever held across a database call, a socket
+//! operation, or a sleep: the tenant registry and connection table are
+//! leaf latches (ranks 70+), and the lock-order checkers enforce it.
+
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use labbase::{LabError, MaterialId, Session};
+use labflow_storage::Oid;
+
+use crate::proto::{self, Request, Response};
+use crate::server::Core;
+use crate::tenant::Admit;
+use crate::wire::{self, Event, Frame, WireError, PROTO_V1};
+
+/// Socket read/write timeout: one backpressure tick. The stall budget
+/// ([`wire::MAX_STALL_TICKS`]) counts these.
+pub(crate) const TICK: Duration = Duration::from_millis(50);
+
+/// Cap on LQL result rows returned over the wire; keeps response frames
+/// under the frame size limit.
+const QUERY_ROW_LIMIT: usize = 4096;
+
+/// Per-connection state shared with the server (stop signalling).
+pub(crate) struct ConnShared {
+    /// Connection id (key in the server's connection table).
+    pub(crate) id: u64,
+    /// Set by the server to ask this handler to wind down: the handler
+    /// notices at the next idle tick or frame boundary, aborts its open
+    /// transaction, and exits.
+    pub(crate) stop: AtomicBool,
+}
+
+/// The connection's open transaction, tagged with the tenant whose
+/// session quota it occupies.
+struct OpenTxn<'a> {
+    session: Session<'a>,
+    tenant: u32,
+}
+
+/// A write path with a bounded staging buffer. Frames accumulate until
+/// the cap, then drain to the socket under the wire layer's stall
+/// budget; [`BoundedWriter::flush`] is called after every response so
+/// the buffer only smooths bursts, never grows with a slow reader.
+pub(crate) struct BoundedWriter<'a> {
+    stream: &'a TcpStream,
+    buf: Vec<u8>,
+    cap: usize,
+}
+
+impl<'a> BoundedWriter<'a> {
+    /// A writer over `stream` buffering at most `cap` bytes.
+    pub(crate) fn new(stream: &'a TcpStream, cap: usize) -> BoundedWriter<'a> {
+        BoundedWriter { stream, buf: Vec::new(), cap }
+    }
+
+    /// Stage `bytes`, draining to the socket when the cap is reached.
+    pub(crate) fn push(&mut self, bytes: &[u8]) -> Result<(), WireError> {
+        if self.buf.len() + bytes.len() > self.cap {
+            self.flush()?;
+        }
+        if bytes.len() > self.cap {
+            // Larger than the whole buffer: stream it directly.
+            let mut s = self.stream;
+            return wire::write_all_bounded(&mut s, bytes);
+        }
+        self.buf.extend_from_slice(bytes);
+        Ok(())
+    }
+
+    /// Drain the staging buffer to the socket.
+    pub(crate) fn flush(&mut self) -> Result<(), WireError> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        let mut s = self.stream;
+        wire::write_all_bounded(&mut s, &self.buf)?;
+        self.buf.clear();
+        Ok(())
+    }
+}
+
+/// Run one connection to completion. Returns when the peer closes, a
+/// wire fault or stall occurs, or the server asks the handler to stop.
+/// Any open transaction is aborted (selective footprint undo) and its
+/// snapshot released before returning; the caller deregisters the
+/// connection afterwards.
+pub(crate) fn serve(core: &Core, shared: &ConnShared, stream: &TcpStream) {
+    // Nagle would delay each small response frame behind the peer's
+    // delayed ACK, stretching transactions (and their lock footprints)
+    // by ~40 ms per round trip.
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(TICK));
+    let _ = stream.set_write_timeout(Some(TICK));
+    let mut session: Option<OpenTxn<'_>> = None;
+    let mut writer = BoundedWriter::new(stream, core.config().write_buffer);
+
+    loop {
+        if shared.stop.load(Ordering::Acquire) {
+            break;
+        }
+        let mut rs = stream;
+        let frame = match wire::read_event(&mut rs) {
+            Ok(Event::Idle) => continue,
+            Ok(Event::Frame(f)) => f,
+            Err(WireError::Closed) => break,
+            Err(e @ (WireError::BadLength(_)
+            | WireError::BadChecksum { .. }
+            | WireError::BadVersion(_)
+            | WireError::Decode(_))) => {
+                // The stream itself is still healthy; tell the peer what
+                // was wrong with its frame, then drop the connection —
+                // after a framing error we cannot trust re-sync.
+                let resp = Response::Error { code: proto::EC_BAD_OP, message: e.to_string() };
+                let _ = respond(&mut writer, 0, 0, &resp);
+                break;
+            }
+            Err(_) => break, // truncated / stalled / io: nothing to say
+        };
+
+        let wire_len = 4 + wire::HDR + frame.body.len() + wire::CRC;
+        let tenant = frame.tenant;
+        let request_id = frame.request_id;
+
+        let resp = match core.registry().admit_request(tenant, wire_len) {
+            Admit::Overloaded { retry_after_ms } => Response::Overloaded { retry_after_ms },
+            Admit::Ok => match Request::decode(frame.code, &frame.body) {
+                Ok(req) => dispatch(core, &mut session, tenant, req),
+                Err(e) => Response::Error {
+                    code: proto::EC_DECODE,
+                    message: e.to_string(),
+                },
+            },
+        };
+
+        let admitted = !matches!(resp, Response::Overloaded { .. });
+        let sent = respond(&mut writer, request_id, tenant, &resp);
+        if admitted {
+            core.registry().finish_request(tenant, *sent.as_ref().unwrap_or(&0));
+        }
+        if sent.is_err() {
+            break;
+        }
+    }
+
+    if let Some(open) = session.take() {
+        let _ = open.session.abort();
+        core.registry().close_session(open.tenant);
+    }
+}
+
+/// Encode and send one response; returns the wire bytes written. A
+/// response that would exceed the frame limit degrades to a typed
+/// error so the connection stays usable.
+fn respond(
+    writer: &mut BoundedWriter<'_>,
+    request_id: u64,
+    tenant: u32,
+    resp: &Response,
+) -> Result<usize, WireError> {
+    let frame = Frame {
+        version: PROTO_V1,
+        code: resp.tag(),
+        request_id,
+        tenant,
+        body: resp.encode_body(),
+    };
+    let bytes = match wire::encode_frame(&frame) {
+        Ok(b) => b,
+        Err(_) => {
+            let fallback = Response::Error {
+                code: proto::EC_QUERY,
+                message: "response exceeds frame size limit".into(),
+            };
+            wire::encode_frame(&Frame {
+                version: PROTO_V1,
+                code: fallback.tag(),
+                request_id,
+                tenant,
+                body: fallback.encode_body(),
+            })?
+        }
+    };
+    let n = bytes.len();
+    writer.push(&bytes)?;
+    writer.flush()?;
+    Ok(n)
+}
+
+fn mat(raw: u64) -> MaterialId {
+    MaterialId::from(Oid::from_raw(raw))
+}
+
+fn ok_or(r: Result<(), LabError>) -> Response {
+    match r {
+        Ok(()) => Response::Ok,
+        Err(e) => proto::response_for_error(&e),
+    }
+}
+
+/// Execute one request against the connection's state. `'db` is the
+/// server's database borrow: the open session lives exactly as long as
+/// the handler does.
+fn dispatch<'db>(
+    core: &'db Core,
+    session: &mut Option<OpenTxn<'db>>,
+    tenant: u32,
+    req: Request,
+) -> Response {
+    let db = core.db();
+    match req {
+        Request::Ping => Response::Pong,
+
+        Request::Begin => {
+            if session.is_some() {
+                return Response::Error {
+                    code: proto::EC_TXN_STATE,
+                    message: "transaction already open on this connection".into(),
+                };
+            }
+            if core.draining() {
+                return Response::Error {
+                    code: proto::EC_DRAINING,
+                    message: "server is draining; no new transactions".into(),
+                };
+            }
+            if !core.registry().try_open_session(tenant) {
+                return Response::Overloaded { retry_after_ms: 50 };
+            }
+            match db.session() {
+                Ok(s) => {
+                    *session = Some(OpenTxn { session: s, tenant });
+                    Response::Ok
+                }
+                Err(e) => {
+                    core.registry().close_session(tenant);
+                    proto::response_for_error(&e)
+                }
+            }
+        }
+
+        Request::Commit => match session.take() {
+            None => no_txn(),
+            Some(open) => {
+                let r = open.session.commit();
+                core.registry().close_session(open.tenant);
+                ok_or(r)
+            }
+        },
+
+        Request::Abort => match session.take() {
+            None => no_txn(),
+            Some(open) => {
+                let r = open.session.abort();
+                core.registry().close_session(open.tenant);
+                ok_or(r)
+            }
+        },
+
+        Request::CreateMaterial { class, name, created } => match session.as_mut() {
+            None => no_txn(),
+            Some(open) => match open.session.create_material(&class, &name, created) {
+                Ok(m) => Response::Material(m.oid().raw()),
+                Err(e) => proto::response_for_error(&e),
+            },
+        },
+
+        Request::RecordStep { class, valid_time, materials, attrs } => match session.as_mut() {
+            None => no_txn(),
+            Some(open) => {
+                let mats: Vec<MaterialId> = materials.iter().map(|m| mat(*m)).collect();
+                match open.session.record_step(&class, valid_time, &mats, attrs) {
+                    Ok(s) => Response::Step(s.oid().raw()),
+                    Err(e) => proto::response_for_error(&e),
+                }
+            }
+        },
+
+        Request::SetState { material, state, valid_time } => match session.as_mut() {
+            None => no_txn(),
+            Some(open) => {
+                let r = if state.is_empty() {
+                    open.session.clear_state(mat(material), valid_time)
+                } else {
+                    open.session.set_state(mat(material), &state, valid_time)
+                };
+                ok_or(r)
+            }
+        },
+
+        Request::DefineMaterialClass { name, parent } => match session.as_mut() {
+            None => no_txn(),
+            Some(open) => {
+                match open.session.define_material_class(&name, parent.as_deref()) {
+                    Ok(_) => Response::Ok,
+                    Err(e) => proto::response_for_error(&e),
+                }
+            }
+        },
+
+        Request::DefineStepClass { name, attrs } => match session.as_mut() {
+            None => no_txn(),
+            Some(open) => {
+                let specs: Vec<(&str, labbase::AttrType)> =
+                    attrs.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+                match open.session.define_step_class(&name, labbase::schema::attrs(&specs)) {
+                    Ok(_) => Response::Ok,
+                    Err(e) => proto::response_for_error(&e),
+                }
+            }
+        },
+
+        Request::CreateSet { set } => match session.as_mut() {
+            None => no_txn(),
+            Some(open) => ok_or(open.session.create_set(&set)),
+        },
+
+        Request::AddToSet { set, material } => match session.as_mut() {
+            None => no_txn(),
+            Some(open) => ok_or(open.session.add_to_set(&set, mat(material))),
+        },
+
+        // Reads go through the open transaction when there is one (the
+        // connection sees its own uncommitted writes), and against the
+        // latest committed state otherwise.
+        Request::StateOf { material } => {
+            let r = match session.as_ref() {
+                Some(open) => open.session.state_of(mat(material)),
+                None => db.state_of(mat(material)),
+            };
+            match r {
+                Ok(state) => Response::State(state),
+                Err(e) => proto::response_for_error(&e),
+            }
+        }
+
+        Request::Recent { material, attr } => {
+            let r = match session.as_ref() {
+                Some(open) => open.session.recent(mat(material), &attr),
+                None => db.recent(mat(material), &attr),
+            };
+            match r {
+                Ok(v) => Response::RecentValue(
+                    v.map(|rec| (rec.value, rec.valid_time, rec.step.oid().raw())),
+                ),
+                Err(e) => proto::response_for_error(&e),
+            }
+        }
+
+        Request::History { material } => {
+            let r = match session.as_ref() {
+                Some(open) => open.session.history(mat(material)),
+                None => db.history(mat(material)),
+            };
+            match r {
+                Ok(entries) => Response::History(
+                    entries.iter().map(|e| (e.step.oid().raw(), e.valid_time)).collect(),
+                ),
+                Err(e) => proto::response_for_error(&e),
+            }
+        }
+
+        Request::FindMaterial { name } => match db.find_material(&name) {
+            Ok(m) => Response::MaybeMaterial(m.map(|m| m.oid().raw())),
+            Err(e) => proto::response_for_error(&e),
+        },
+
+        Request::CountInState { state } => match db.count_in_state(&state) {
+            Ok(n) => Response::Count(n as u64),
+            Err(e) => proto::response_for_error(&e),
+        },
+
+        Request::Query { lql } => {
+            let qs = lql::Session::new(db, core.program());
+            match qs.query_limit(&lql, QUERY_ROW_LIMIT) {
+                Ok(rows) => Response::Rows(
+                    rows.into_iter()
+                        .map(|b| b.into_iter().map(|(v, t)| (v, t.to_string())).collect())
+                        .collect(),
+                ),
+                Err(e) => Response::Error { code: proto::EC_QUERY, message: e.to_string() },
+            }
+        }
+
+        Request::AdmissionStats => Response::Admission(core.registry().snapshot()),
+
+        Request::Shutdown => {
+            core.request_shutdown();
+            Response::Ok
+        }
+    }
+}
+
+fn no_txn() -> Response {
+    Response::Error {
+        code: proto::EC_TXN_STATE,
+        message: "no transaction open on this connection (send Begin first)".into(),
+    }
+}

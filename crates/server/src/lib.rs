@@ -1,0 +1,282 @@
+//! # labflow-server
+//!
+//! A networked multi-tenant front end for [`labbase`]: clients speak a
+//! length-prefixed, checksummed binary protocol over TCP; the server
+//! maps each connection onto a [`labbase::Session`] and applies
+//! per-tenant admission control so one noisy tenant cannot starve the
+//! rest.
+//!
+//! The crate splits into:
+//!
+//! * [`wire`] — the frame layer: length prefix, versioned header,
+//!   request id, tenant id, FNV-1a checksum. Every fault (truncation,
+//!   oversized length, bad checksum, unknown version, mid-frame
+//!   disconnect, stall) is a typed error; nothing panics or hangs.
+//! * [`proto`] — request/response bodies, reusing LabBase's own
+//!   binary codec so values travel in their storage encoding.
+//! * [`tenant`] — per-tenant quotas (open sessions, in-flight
+//!   requests, bytes/s token bucket) and the shed counters behind the
+//!   `AdmissionStats` report.
+//! * [`server`] — the accept loop, connection table, and graceful
+//!   drain: on shutdown every open transaction is aborted through the
+//!   session's selective footprint undo and every snapshot pin is
+//!   released, so the database ends with zero open sessions and zero
+//!   registered snapshots.
+//! * [`client`] — a blocking client with typed `Retry` / `Overloaded`
+//!   errors, used by the `abl-server` experiment and the CI smoke test.
+//!
+//! Server-side locks (tenant registry, connection table, drain latch)
+//! are leaf latches ranked *above* every storage lock
+//! (`lock_order::SRV_*`), so holding one across any database call is a
+//! rank inversion caught by the runtime checker and the static
+//! analyzer alike.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+mod conn;
+pub mod proto;
+pub mod server;
+pub mod tenant;
+pub mod wire;
+
+pub use client::{Client, ClientError, ClientResult};
+pub use server::{Server, ServerConfig};
+pub use tenant::{AdmissionSnapshot, TenantQuotas, TenantRow};
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use labbase::{AttrType, LabBase, Value};
+    use labflow_storage::{MemStore, StorageManager};
+
+    use super::*;
+
+    fn mem_db() -> Arc<LabBase> {
+        let store: Arc<dyn StorageManager> = Arc::new(MemStore::ostore_mm());
+        Arc::new(LabBase::create(store).expect("create db"))
+    }
+
+    fn start(db: Arc<LabBase>, quotas: TenantQuotas) -> Server {
+        let config = ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            quotas,
+            ..ServerConfig::default()
+        };
+        Server::start(db, config).expect("server starts")
+    }
+
+    fn unlimited() -> TenantQuotas {
+        TenantQuotas { max_sessions: 0, max_inflight: 0, bytes_per_sec: 0 }
+    }
+
+    #[test]
+    fn end_to_end_workflow_over_loopback() {
+        let db = mem_db();
+        let server = start(Arc::clone(&db), unlimited());
+        let mut c = Client::connect(server.local_addr(), 1).unwrap();
+        c.ping().unwrap();
+
+        c.begin().unwrap();
+        c.define_material_class("clone", None).unwrap();
+        c.define_step_class(
+            "determine_sequence",
+            &[("sequence", AttrType::Dna), ("quality", AttrType::Real)],
+        )
+        .unwrap();
+        let m = c.create_material("clone", "c-001", 0).unwrap();
+        let s = c
+            .record_step(
+                "determine_sequence",
+                10,
+                &[m],
+                vec![("quality".into(), Value::Real(0.75))],
+            )
+            .unwrap();
+        c.set_state(m, "sequenced", 11).unwrap();
+        // Own-writes visibility before commit.
+        assert_eq!(c.state_of(m).unwrap().as_deref(), Some("sequenced"));
+        c.commit().unwrap();
+
+        // Visible after commit without a transaction.
+        assert_eq!(c.find_material("c-001").unwrap(), Some(m));
+        assert_eq!(c.count_in_state("sequenced").unwrap(), 1);
+        let (v, vt, step) = c.recent(m, "quality").unwrap().unwrap();
+        assert_eq!(v, Value::Real(0.75));
+        assert_eq!(vt, 10);
+        assert_eq!(step, s);
+        assert_eq!(c.history(m).unwrap(), vec![(s, 10)]);
+
+        let rows = c.query("state(M, sequenced)").unwrap();
+        assert_eq!(rows.len(), 1);
+
+        let snap = c.admission_stats().unwrap();
+        assert!(snap.admitted > 0);
+        assert_eq!(snap.shed_total(), 0);
+
+        drop(c);
+        server.shutdown().unwrap();
+        assert_eq!(db.open_sessions(), 0);
+        assert_eq!(db.store().open_snapshots(), 0);
+    }
+
+    #[test]
+    fn abort_discards_and_drain_aborts_open_txns() {
+        let db = mem_db();
+        let server = start(Arc::clone(&db), unlimited());
+        let addr = server.local_addr();
+
+        let mut c = Client::connect(addr, 1).unwrap();
+        c.begin().unwrap();
+        c.define_material_class("clone", None).unwrap();
+        c.commit().unwrap();
+
+        // Abort rolls back.
+        c.begin().unwrap();
+        c.create_material("clone", "phantom", 0).unwrap();
+        c.abort().unwrap();
+        assert_eq!(c.find_material("phantom").unwrap(), None);
+
+        // A transaction left open at shutdown is aborted by the drain.
+        let mut dangling = Client::connect(addr, 2).unwrap();
+        dangling.begin().unwrap();
+        dangling.create_material("clone", "dangling", 0).unwrap();
+        assert_eq!(db.open_sessions(), 1);
+
+        server.shutdown().unwrap();
+        assert_eq!(db.open_sessions(), 0, "drain must abort open transactions");
+        assert_eq!(db.store().open_snapshots(), 0, "drain must release snapshot pins");
+
+        let db2 = db;
+        assert_eq!(db2.find_material("dangling").unwrap(), None);
+    }
+
+    #[test]
+    fn txn_state_errors_are_typed() {
+        let db = mem_db();
+        let server = start(db, unlimited());
+        let mut c = Client::connect(server.local_addr(), 1).unwrap();
+        // Mutation without Begin.
+        match c.create_material("clone", "x", 0) {
+            Err(ClientError::Server { code, .. }) => assert_eq!(code, proto::EC_TXN_STATE),
+            other => panic!("expected typed txn-state error, got {other:?}"),
+        }
+        // Double begin.
+        c.begin().unwrap();
+        match c.call(&proto::Request::Begin) {
+            Err(ClientError::Server { code, .. }) => assert_eq!(code, proto::EC_TXN_STATE),
+            other => panic!("expected typed txn-state error, got {other:?}"),
+        }
+        c.abort().unwrap();
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn session_quota_sheds_begin() {
+        let db = mem_db();
+        let server = start(
+            db,
+            TenantQuotas { max_sessions: 1, max_inflight: 0, bytes_per_sec: 0 },
+        );
+        let addr = server.local_addr();
+        let mut a = Client::connect(addr, 7).unwrap();
+        let mut b = Client::connect(addr, 7).unwrap();
+        a.begin().unwrap();
+        match b.begin() {
+            Err(ClientError::Overloaded { retry_after_ms }) => assert!(retry_after_ms > 0),
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        // A different tenant is unaffected.
+        let mut other = Client::connect(addr, 8).unwrap();
+        other.begin().unwrap();
+        other.abort().unwrap();
+        // Releasing the session readmits tenant 7.
+        a.abort().unwrap();
+        b.begin().unwrap();
+        b.abort().unwrap();
+        let snap = a.admission_stats().unwrap();
+        assert_eq!(snap.shed_sessions, 1);
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn byte_quota_sheds_with_overloaded() {
+        let db = mem_db();
+        // Tiny byte budget: the first frames fit the burst allowance,
+        // then requests shed.
+        let server = start(
+            db,
+            TenantQuotas { max_sessions: 0, max_inflight: 0, bytes_per_sec: 64 },
+        );
+        let mut c = Client::connect(server.local_addr(), 3).unwrap();
+        let mut shed = 0;
+        for _ in 0..64 {
+            match c.ping() {
+                Ok(()) => {}
+                Err(ClientError::Overloaded { retry_after_ms }) => {
+                    assert!(retry_after_ms > 0);
+                    shed += 1;
+                }
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!(shed > 0, "byte quota must shed under sustained load");
+        let snap = server.admission();
+        assert_eq!(snap.shed_bytes, shed as u64);
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn mid_frame_disconnect_leaves_server_healthy() {
+        use std::io::Write;
+        let db = mem_db();
+        let server = start(db, unlimited());
+        let addr = server.local_addr();
+
+        // Write half a frame and slam the connection.
+        {
+            let mut raw = std::net::TcpStream::connect(addr).unwrap();
+            let frame = wire::Frame {
+                version: wire::PROTO_V1,
+                code: proto::OP_PING,
+                request_id: 1,
+                tenant: 1,
+                body: Vec::new(),
+            };
+            let bytes = wire::encode_frame(&frame).unwrap();
+            raw.write_all(&bytes[..bytes.len() / 2]).unwrap();
+        }
+        // And a frame with a corrupted checksum.
+        {
+            let mut raw = std::net::TcpStream::connect(addr).unwrap();
+            let frame = wire::Frame {
+                version: wire::PROTO_V1,
+                code: proto::OP_PING,
+                request_id: 2,
+                tenant: 1,
+                body: Vec::new(),
+            };
+            let mut bytes = wire::encode_frame(&frame).unwrap();
+            let n = bytes.len();
+            bytes[n - 1] ^= 0xff;
+            raw.write_all(&bytes).unwrap();
+        }
+
+        // The server survives both and still answers.
+        let mut c = Client::connect(addr, 1).unwrap();
+        c.ping().unwrap();
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn shutdown_request_sets_the_flag() {
+        let db = mem_db();
+        let server = start(db, unlimited());
+        let mut c = Client::connect(server.local_addr(), 1).unwrap();
+        c.shutdown_server().unwrap();
+        assert!(server.shutdown_requested());
+        server.shutdown().unwrap();
+    }
+}

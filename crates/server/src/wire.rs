@@ -1,0 +1,395 @@
+//! The length-prefixed binary frame layer.
+//!
+//! Every message — request or response — travels as one frame:
+//!
+//! ```text
+//! u32 LE   len       bytes that follow (header + body + checksum)
+//! u16 LE   version   protocol version (PROTO_V1)
+//! u16 LE   code      opcode (requests) / response tag (responses)
+//! u64 LE   request id (echoed back in the response)
+//! u32 LE   tenant id
+//! ...      body      op-specific payload (labbase `enc` encoding)
+//! u32 LE   checksum  FNV-1a over [version .. body] — the WAL's codec
+//! ```
+//!
+//! Every way a frame can go wrong — truncation, an oversized length
+//! prefix, a checksum mismatch, an unknown version, a mid-frame
+//! disconnect or stall — is a *typed* [`WireError`], never a panic and
+//! never a hung connection: reads and writes run against socket
+//! timeouts and give up with [`WireError::Stalled`] after a bounded
+//! number of mid-frame timeout ticks.
+
+use std::io::{ErrorKind, Read, Write};
+
+use labflow_storage::fnv1a;
+
+/// Protocol version 1 (the only one).
+pub const PROTO_V1: u16 = 1;
+
+/// Hard bound on `len`: no frame exceeds 1 MiB on the wire.
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// Fixed header past the length prefix: version + code + request id +
+/// tenant id.
+pub const HDR: usize = 2 + 2 + 8 + 4;
+
+/// Trailing checksum width.
+pub const CRC: usize = 4;
+
+/// Mid-frame stall budget: consecutive socket-timeout ticks tolerated
+/// once a frame has started arriving (or draining) before the peer is
+/// declared stalled. With the default 50 ms socket timeout this is a
+/// ~10 s patience window.
+pub const MAX_STALL_TICKS: u32 = 200;
+
+/// Everything that can go wrong at the frame layer.
+#[derive(Debug)]
+pub enum WireError {
+    /// The peer closed the connection cleanly between frames.
+    Closed,
+    /// The peer disconnected mid-frame: `got` of `want` bytes arrived.
+    Truncated {
+        /// Bytes received before the disconnect.
+        got: usize,
+        /// Bytes the frame header promised.
+        want: usize,
+    },
+    /// The length prefix exceeds [`MAX_FRAME`] (or is too short to hold
+    /// the fixed header and checksum).
+    BadLength(u32),
+    /// The trailing FNV-1a checksum does not match the frame contents.
+    BadChecksum {
+        /// Checksum carried by the frame.
+        got: u32,
+        /// Checksum recomputed over the received bytes.
+        want: u32,
+    },
+    /// The frame declares a protocol version this build does not speak.
+    BadVersion(u16),
+    /// The body failed to decode against the declared opcode.
+    Decode(String),
+    /// The peer stopped making progress mid-frame (send or receive) for
+    /// longer than the stall budget.
+    Stalled,
+    /// A non-timeout I/O error from the socket.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Closed => write!(f, "connection closed"),
+            WireError::Truncated { got, want } => {
+                write!(f, "frame truncated: {got} of {want} bytes")
+            }
+            WireError::BadLength(n) => write!(f, "bad frame length {n}"),
+            WireError::BadChecksum { got, want } => {
+                write!(f, "frame checksum mismatch: got {got:#010x}, want {want:#010x}")
+            }
+            WireError::BadVersion(v) => write!(f, "unknown protocol version {v}"),
+            WireError::Decode(msg) => write!(f, "frame body malformed: {msg}"),
+            WireError::Stalled => write!(f, "peer stalled mid-frame"),
+            WireError::Io(e) => write!(f, "socket error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+/// One decoded frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    /// Protocol version (always [`PROTO_V1`] after a successful read).
+    pub version: u16,
+    /// Opcode (requests) or response tag (responses).
+    pub code: u16,
+    /// Request id, echoed in the response.
+    pub request_id: u64,
+    /// Tenant the request bills to.
+    pub tenant: u32,
+    /// Op-specific payload.
+    pub body: Vec<u8>,
+}
+
+/// Outcome of one read attempt at a frame boundary.
+#[derive(Debug)]
+pub enum Event {
+    /// A complete, verified frame.
+    Frame(Frame),
+    /// The socket timed out while *idle* (no frame in progress): the
+    /// caller should check its stop flags and try again.
+    Idle,
+}
+
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
+}
+
+/// Fill `buf` from `r`, tolerating up to [`MAX_STALL_TICKS`] timeout
+/// ticks. `already` is how many bytes of the larger unit were received
+/// before this call (for truncation reporting); `idle_ok` permits an
+/// Ok(None) return when the very first byte times out.
+fn read_full(
+    r: &mut impl Read,
+    buf: &mut [u8],
+    already: usize,
+    want: usize,
+    idle_ok: bool,
+) -> Result<Option<()>, WireError> {
+    let mut got = 0usize;
+    let mut stalls = 0u32;
+    while got < buf.len() {
+        match r.read(buf.get_mut(got..).unwrap_or(&mut [])) {
+            Ok(0) => {
+                if already + got == 0 {
+                    return Err(WireError::Closed);
+                }
+                return Err(WireError::Truncated { got: already + got, want });
+            }
+            Ok(n) => {
+                got += n;
+                stalls = 0;
+            }
+            Err(e) if is_timeout(&e) => {
+                if idle_ok && already + got == 0 {
+                    return Ok(None);
+                }
+                stalls += 1;
+                if stalls > MAX_STALL_TICKS {
+                    return Err(WireError::Stalled);
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+    Ok(Some(()))
+}
+
+/// Read one frame. A timeout before any byte arrives returns
+/// [`Event::Idle`]; every fault is a typed [`WireError`].
+pub fn read_event(r: &mut impl Read) -> Result<Event, WireError> {
+    let mut len4 = [0u8; 4];
+    if read_full(r, &mut len4, 0, 4, true)?.is_none() {
+        return Ok(Event::Idle);
+    }
+    let len = u32::from_le_bytes(len4);
+    let lenu = len as usize;
+    if !(HDR + CRC..=MAX_FRAME).contains(&lenu) {
+        return Err(WireError::BadLength(len));
+    }
+    let mut payload = vec![0u8; lenu];
+    read_full(r, &mut payload, 4, 4 + lenu, false)?;
+    parse_payload(&payload)
+}
+
+/// Verify and split a received payload (everything after the length
+/// prefix) into a [`Frame`].
+fn parse_payload(payload: &[u8]) -> Result<Event, WireError> {
+    let crc_at = payload.len().saturating_sub(CRC);
+    let (content, crc_bytes) = payload.split_at(crc_at);
+    let got = u32::from_le_bytes(crc_bytes.try_into().unwrap_or([0; 4]));
+    let want = fnv1a(content);
+    if got != want {
+        return Err(WireError::BadChecksum { got, want });
+    }
+    let mut rd = labbase::enc::Reader::new(content);
+    let version = read_u16(&mut rd)?;
+    let code = read_u16(&mut rd)?;
+    let request_id = rd.u64().map_err(|e| WireError::Decode(e.to_string()))?;
+    let tenant = rd.u32().map_err(|e| WireError::Decode(e.to_string()))?;
+    if version != PROTO_V1 {
+        return Err(WireError::BadVersion(version));
+    }
+    let body = content.get(HDR..).unwrap_or(&[]).to_vec();
+    Ok(Event::Frame(Frame { version, code, request_id, tenant, body }))
+}
+
+/// The `enc` reader has no u16 primitive; frames store u16s as two raw
+/// little-endian bytes.
+fn read_u16(rd: &mut labbase::enc::Reader<'_>) -> Result<u16, WireError> {
+    let lo = rd.u8().map_err(|e| WireError::Decode(e.to_string()))?;
+    let hi = rd.u8().map_err(|e| WireError::Decode(e.to_string()))?;
+    Ok(u16::from_le_bytes([lo, hi]))
+}
+
+/// Serialize a frame to wire bytes (length prefix included). Fails with
+/// [`WireError::BadLength`] if the body would exceed [`MAX_FRAME`].
+pub fn encode_frame(frame: &Frame) -> Result<Vec<u8>, WireError> {
+    let len = HDR + frame.body.len() + CRC;
+    if len > MAX_FRAME {
+        return Err(WireError::BadLength(len as u32));
+    }
+    let mut out = Vec::with_capacity(4 + len);
+    out.extend_from_slice(&(len as u32).to_le_bytes());
+    out.extend_from_slice(&frame.version.to_le_bytes());
+    out.extend_from_slice(&frame.code.to_le_bytes());
+    out.extend_from_slice(&frame.request_id.to_le_bytes());
+    out.extend_from_slice(&frame.tenant.to_le_bytes());
+    out.extend_from_slice(&frame.body);
+    let crc = fnv1a(out.get(4..).unwrap_or(&[]));
+    out.extend_from_slice(&crc.to_le_bytes());
+    Ok(out)
+}
+
+/// Write pre-encoded wire bytes, tolerating up to [`MAX_STALL_TICKS`]
+/// timeout ticks of backpressure before declaring the peer stalled.
+pub fn write_all_bounded(w: &mut impl Write, mut bytes: &[u8]) -> Result<(), WireError> {
+    let mut stalls = 0u32;
+    while !bytes.is_empty() {
+        match w.write(bytes) {
+            Ok(0) => return Err(WireError::Io(ErrorKind::WriteZero.into())),
+            Ok(n) => {
+                bytes = bytes.get(n..).unwrap_or(&[]);
+                stalls = 0;
+            }
+            Err(e) if is_timeout(&e) => {
+                stalls += 1;
+                if stalls > MAX_STALL_TICKS {
+                    return Err(WireError::Stalled);
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+    Ok(())
+}
+
+/// Encode and write one frame.
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> Result<(), WireError> {
+    let bytes = encode_frame(frame)?;
+    write_all_bounded(w, &bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn sample() -> Frame {
+        Frame {
+            version: PROTO_V1,
+            code: 7,
+            request_id: 42,
+            tenant: 3,
+            body: b"payload".to_vec(),
+        }
+    }
+
+    fn read_one(bytes: &[u8]) -> Result<Event, WireError> {
+        read_event(&mut Cursor::new(bytes))
+    }
+
+    #[test]
+    fn round_trip() {
+        let bytes = encode_frame(&sample()).unwrap();
+        match read_one(&bytes).unwrap() {
+            Event::Frame(f) => assert_eq!(f, sample()),
+            Event::Idle => panic!("unexpected idle"),
+        }
+    }
+
+    #[test]
+    fn clean_close_between_frames_is_typed() {
+        assert!(matches!(read_one(&[]), Err(WireError::Closed)));
+    }
+
+    #[test]
+    fn truncated_length_prefix_is_typed() {
+        // Two of the four length bytes, then disconnect.
+        let err = read_one(&[0x10, 0x00]).unwrap_err();
+        assert!(matches!(err, WireError::Truncated { got: 2, want: 4 }), "{err}");
+    }
+
+    #[test]
+    fn mid_frame_disconnect_is_typed() {
+        let bytes = encode_frame(&sample()).unwrap();
+        // Cut the frame in half after the length prefix.
+        let cut = 4 + (bytes.len() - 4) / 2;
+        let err = read_one(&bytes[..cut]).unwrap_err();
+        match err {
+            WireError::Truncated { got, want } => {
+                assert_eq!(got, cut);
+                assert_eq!(want, bytes.len());
+            }
+            other => panic!("expected Truncated, got {other}"),
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_typed() {
+        let mut bytes = ((MAX_FRAME + 1) as u32).to_le_bytes().to_vec();
+        bytes.extend_from_slice(&[0u8; 64]);
+        assert!(matches!(read_one(&bytes), Err(WireError::BadLength(_))));
+    }
+
+    #[test]
+    fn undersized_length_prefix_is_typed() {
+        // A frame too short to hold even the header and checksum.
+        let bytes = 4u32.to_le_bytes().to_vec();
+        assert!(matches!(read_one(&bytes), Err(WireError::BadLength(4))));
+    }
+
+    #[test]
+    fn bad_checksum_is_typed() {
+        let mut bytes = encode_frame(&sample()).unwrap();
+        let n = bytes.len();
+        bytes[n - 1] ^= 0xff;
+        assert!(matches!(read_one(&bytes), Err(WireError::BadChecksum { .. })));
+    }
+
+    #[test]
+    fn corrupt_body_fails_the_checksum_not_the_decoder() {
+        let mut bytes = encode_frame(&sample()).unwrap();
+        bytes[10] ^= 0x01;
+        assert!(matches!(read_one(&bytes), Err(WireError::BadChecksum { .. })));
+    }
+
+    #[test]
+    fn unknown_version_is_typed() {
+        let mut f = sample();
+        f.version = 9;
+        let bytes = encode_frame(&f).unwrap();
+        assert!(matches!(read_one(&bytes), Err(WireError::BadVersion(9))));
+    }
+
+    #[test]
+    fn oversized_body_refused_at_encode() {
+        let f = Frame { body: vec![0u8; MAX_FRAME], ..sample() };
+        assert!(matches!(encode_frame(&f), Err(WireError::BadLength(_))));
+    }
+
+    #[test]
+    fn empty_body_round_trips() {
+        let f = Frame { body: Vec::new(), ..sample() };
+        let bytes = encode_frame(&f).unwrap();
+        match read_one(&bytes).unwrap() {
+            Event::Frame(g) => assert_eq!(g, f),
+            Event::Idle => panic!("unexpected idle"),
+        }
+    }
+
+    #[test]
+    fn two_frames_back_to_back() {
+        let mut bytes = encode_frame(&sample()).unwrap();
+        let second = Frame { request_id: 43, ..sample() };
+        bytes.extend(encode_frame(&second).unwrap());
+        let mut cur = Cursor::new(bytes.as_slice());
+        match read_event(&mut cur).unwrap() {
+            Event::Frame(f) => assert_eq!(f.request_id, 42),
+            Event::Idle => panic!("unexpected idle"),
+        }
+        match read_event(&mut cur).unwrap() {
+            Event::Frame(f) => assert_eq!(f.request_id, 43),
+            Event::Idle => panic!("unexpected idle"),
+        }
+        assert!(matches!(read_event(&mut cur), Err(WireError::Closed)));
+    }
+}

@@ -800,6 +800,11 @@ impl StorageManager for Engine {
         self.heap.read_for(oid, txn.raw())
     }
 
+    fn lock_exclusive(&self, txn: TxnId, oid: Oid) -> Result<()> {
+        self.require_txn(txn)?;
+        self.lock(txn, oid, LockMode::Exclusive)
+    }
+
     fn update(&self, txn: TxnId, oid: Oid, data: &[u8]) -> Result<()> {
         self.require_txn(txn)?;
         self.lock(txn, oid, LockMode::Exclusive)?;
@@ -868,6 +873,10 @@ impl StorageManager for Engine {
 
     fn release_snapshot(&self, snap: Snapshot) {
         self.snaps_lock().remove(&snap.token);
+    }
+
+    fn open_snapshots(&self) -> usize {
+        self.snaps_lock().len()
     }
 
     fn read_at(&self, snap: &Snapshot, oid: Oid) -> Result<Vec<u8>> {
@@ -1114,6 +1123,41 @@ mod tests {
 
         assert!(!store.exists(temp), "aborted alloc must vanish");
         assert_eq!(store.read(keep).unwrap(), b"keep", "aborted update+free must roll back");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lock_exclusive_serializes_without_touching_the_object() {
+        let dir = tmpdir("ost-lockx");
+        let opts = Options { lock_timeout: Duration::from_millis(50), ..Options::default() };
+        let store = OStore::create(&dir, opts).unwrap();
+        let t0 = store.begin().unwrap();
+        let oid = store.allocate(t0, SegmentId(0), ClusterHint::NONE, b"hot").unwrap();
+        store.commit(t0).unwrap();
+
+        // Holder takes the lock without writing; a rival's update must
+        // time out, and committed reads stay lock-free.
+        let holder = store.begin().unwrap();
+        store.lock_exclusive(holder, oid).unwrap();
+        store.lock_exclusive(holder, oid).unwrap(); // re-entrant
+        assert_eq!(store.read(oid).unwrap(), b"hot");
+        let rival = store.begin().unwrap();
+        assert!(matches!(
+            store.update(rival, oid, b"blocked"),
+            Err(StorageError::LockTimeout(o)) if o == oid
+        ));
+        store.abort(rival).unwrap();
+
+        // Abort releases the lock even though nothing was written, and
+        // the object is untouched.
+        store.abort(holder).unwrap();
+        let t = store.begin().unwrap();
+        store.update(t, oid, b"after").unwrap();
+        store.commit(t).unwrap();
+        assert_eq!(store.read(oid).unwrap(), b"after");
+
+        // Dead transactions cannot lock.
+        assert!(matches!(store.lock_exclusive(t, oid), Err(StorageError::UnknownTxn(_))));
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -73,6 +73,7 @@ pub mod vfs;
 mod waits;
 mod wal;
 
+pub use checksum::{fnv1a, fnv1a_multi};
 pub use engine::{Engine, OStore, Options, Profile, Texas, TexasTc};
 pub use heap::HeapContention;
 pub use error::{RecoveryError, Result, StorageError};

@@ -31,6 +31,15 @@
 //! | 50   | `Wal::writer`                          |
 //! | 55   | `Wal::group` (group-commit tickets)    |
 //! | 60   | `SimVfs` state (simulated disk)        |
+//! | 70   | server tenant registry                 |
+//! | 72   | server connection table                |
+//! | 74   | server drain latch                     |
+//!
+//! The three `SRV_*` ranks belong to the network front end
+//! (`labflow-server`): its locks are short leaf sections that must never
+//! be held across a database call, so they rank *above* every storage
+//! lock — any accidental hold across an engine call then shows up as a
+//! rank inversion instead of a latent deadlock.
 
 use std::ops::{Deref, DerefMut};
 
@@ -82,6 +91,15 @@ pub const WAL_GROUP: LockRank = LockRank { rank: 55, name: "wal.group" };
 /// The simulated-VFS state: the innermost lock of all — every simulated
 /// disk operation ends here, under whichever file lock drives it.
 pub const SIM_VFS: LockRank = LockRank { rank: 60, name: "sim_vfs.state" };
+/// The network front end's tenant registry (quota accounting). Server
+/// locks are leaf latches: they rank above every storage lock so that
+/// holding one across any database call is itself a rank inversion.
+pub const SRV_TENANTS: LockRank = LockRank { rank: 70, name: "server.tenants" };
+/// The network front end's connection table (drain signalling, stats).
+pub const SRV_CONNS: LockRank = LockRank { rank: 72, name: "server.connections" };
+/// The network front end's drain latch: shutdown waits on it until the
+/// last connection handler has deregistered.
+pub const SRV_DRAIN: LockRank = LockRank { rank: 74, name: "server.drain" };
 
 #[cfg(debug_assertions)]
 mod imp {

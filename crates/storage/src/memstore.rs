@@ -15,16 +15,22 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
 
 use parking_lot::Mutex;
 
 use crate::error::{Result, StorageError};
 use crate::ids::{ClusterHint, Oid, SegmentId, TxnId};
+use crate::lock::{LockManager, LockMode};
 use crate::stats::{StatsSnapshot, StorageStats};
 use crate::traits::{SegmentInfo, Snapshot, StorageManager};
 
 /// Soft bound on committed versions kept per chain (matching the heap).
 const MAX_CHAIN: usize = 8;
+
+/// Deadlock-avoidance timeout for explicit object locks (matches the
+/// page engine's default).
+const LOCK_TIMEOUT: Duration = Duration::from_millis(500);
 
 /// One version of an object: `data` of `None` is a tombstone, `txn != 0`
 /// marks a pending (uncommitted) version — always at the chain head.
@@ -84,6 +90,13 @@ pub struct MemStore {
     can_abort: bool,
     inner: Mutex<Inner>,
     next_txn: AtomicU64,
+    /// Explicit object locks (`lock_exclusive`), held to commit/abort.
+    /// Versioning alone cannot serialize read-modify-write cycles on
+    /// shared objects like the LabBase catalog: a transaction that read
+    /// the head, lost the race, and committed anyway would chain onto an
+    /// aborted sibling. The `-mm` stores honour the same lock-first
+    /// discipline as the page engine.
+    locks: LockManager,
     stats: StorageStats,
 }
 
@@ -103,6 +116,7 @@ impl MemStore {
                 next_snap: 1,
             }),
             next_txn: AtomicU64::new(1),
+            locks: LockManager::new(LOCK_TIMEOUT),
             stats: StorageStats::default(),
         }
     }
@@ -176,6 +190,10 @@ impl StorageManager for MemStore {
             inner.last_visible = lsn;
             StorageStats::bump(&self.stats.versions_gced, trimmed);
         }
+        // Strict two-phase: locks release only after the flip is visible,
+        // so a woken waiter reads this transaction's committed state.
+        drop(inner);
+        self.locks.release_all(txn);
         StorageStats::bump(&self.stats.commits, 1);
         Ok(())
     }
@@ -198,8 +216,17 @@ impl StorageManager for MemStore {
                 inner.chains.remove(&oid);
             }
         }
+        drop(inner);
+        self.locks.release_all(txn);
         StorageStats::bump(&self.stats.aborts, 1);
         Ok(())
+    }
+
+    fn lock_exclusive(&self, txn: TxnId, oid: Oid) -> Result<()> {
+        if !self.inner.lock().active.contains_key(&txn.raw()) {
+            return Err(StorageError::UnknownTxn(txn));
+        }
+        self.locks.acquire(txn, oid, LockMode::Exclusive)
     }
 
     fn allocate(
@@ -308,6 +335,10 @@ impl StorageManager for MemStore {
 
     fn release_snapshot(&self, snap: Snapshot) {
         self.inner.lock().snapshots.remove(&snap.token);
+    }
+
+    fn open_snapshots(&self) -> usize {
+        self.inner.lock().snapshots.len()
     }
 
     fn read_at(&self, snap: &Snapshot, oid: Oid) -> Result<Vec<u8>> {
@@ -513,6 +544,90 @@ mod tests {
             Err(StorageError::UnknownTxn(_))
         ));
         assert!(matches!(s.commit(t), Err(StorageError::UnknownTxn(_))));
+    }
+
+    #[test]
+    fn lock_exclusive_serializes_and_releases_on_resolution() {
+        let s = MemStore::ostore_mm();
+        let t0 = s.begin().unwrap();
+        let oid = s.allocate(t0, SegmentId(0), ClusterHint::NONE, b"hot").unwrap();
+        s.commit(t0).unwrap();
+
+        let holder = s.begin().unwrap();
+        s.lock_exclusive(holder, oid).unwrap();
+        s.lock_exclusive(holder, oid).unwrap(); // re-entrant
+        let rival = s.begin().unwrap();
+        assert!(matches!(
+            s.lock_exclusive(rival, oid),
+            Err(StorageError::LockTimeout(o)) if o == oid
+        ));
+        // Commit releases; the rival can now take the lock, and abort
+        // releases too.
+        s.commit(holder).unwrap();
+        s.lock_exclusive(rival, oid).unwrap();
+        s.abort(rival).unwrap();
+        let t = s.begin().unwrap();
+        s.lock_exclusive(t, oid).unwrap();
+        s.commit(t).unwrap();
+
+        // Dead transactions cannot lock.
+        assert!(matches!(s.lock_exclusive(t, oid), Err(StorageError::UnknownTxn(_))));
+    }
+
+    /// Regression for the race `lock_exclusive` exists to prevent on the
+    /// `-mm` stores: without a real lock, two read-modify-write
+    /// transactions on a shared object can both read the same base
+    /// version, and the one that chains onto an aborted sibling commits
+    /// a lost (or dangling) update. With the lock-first discipline every
+    /// increment must survive, aborts included.
+    #[test]
+    fn locked_read_modify_write_is_serialized_across_threads() {
+        use std::sync::Arc;
+        let s = Arc::new(MemStore::ostore_mm());
+        let t0 = s.begin().unwrap();
+        let oid = s.allocate(t0, SegmentId(0), ClusterHint::NONE, &0u64.to_le_bytes()).unwrap();
+        s.commit(t0).unwrap();
+
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let s = s.clone();
+                std::thread::spawn(move || {
+                    for i in 0..50u32 {
+                        loop {
+                            let t = s.begin().unwrap();
+                            if s.lock_exclusive(t, oid).is_err() {
+                                s.abort(t).unwrap();
+                                continue;
+                            }
+                            let v = u64::from_le_bytes(
+                                s.read_in(t, oid).unwrap().try_into().unwrap(),
+                            );
+                            s.update(t, oid, &(v + 1).to_le_bytes()).unwrap();
+                            // A third of the attempts abort after writing;
+                            // their increment must vanish cleanly.
+                            if i % 3 == 0 {
+                                s.abort(t).unwrap();
+                                let t2 = s.begin().unwrap();
+                                s.lock_exclusive(t2, oid).unwrap();
+                                let w = u64::from_le_bytes(
+                                    s.read_in(t2, oid).unwrap().try_into().unwrap(),
+                                );
+                                s.update(t2, oid, &(w + 1).to_le_bytes()).unwrap();
+                                s.commit(t2).unwrap();
+                            } else {
+                                s.commit(t).unwrap();
+                            }
+                            break;
+                        }
+                    }
+                })
+            })
+            .collect();
+        for th in threads {
+            th.join().unwrap();
+        }
+        let v = u64::from_le_bytes(s.read(oid).unwrap().try_into().unwrap());
+        assert_eq!(v, 4 * 50, "every committed increment must survive");
     }
 
     #[test]

@@ -63,6 +63,19 @@ pub trait StorageManager: Send + Sync {
     /// Read an object under a shared lock held by `txn` until commit.
     fn read_in(&self, txn: TxnId, oid: Oid) -> Result<Vec<u8>>;
 
+    /// Acquire `txn`'s exclusive lock on `oid` without reading or
+    /// writing it, blocking up to the backend's lock timeout. Callers
+    /// use this to serialize on a hot shared object *before* taking any
+    /// in-process latch that a later [`update`](Self::update) would
+    /// otherwise hold across the lock wait (a cross-lock convoy: the
+    /// latch holder blocks on the storage lock while the storage-lock
+    /// holder blocks on the latch). Backends without
+    /// transaction-duration locks treat it as a no-op; the eventual
+    /// write still conflict-checks at its own layer.
+    fn lock_exclusive(&self, _txn: TxnId, _oid: Oid) -> Result<()> {
+        Ok(())
+    }
+
     /// Overwrite an object.
     fn update(&self, txn: TxnId, oid: Oid, data: &[u8]) -> Result<()>;
 
@@ -86,6 +99,13 @@ pub trait StorageManager: Send + Sync {
     /// it pinned. Dropping a snapshot without releasing it pins the GC
     /// low-water mark forever.
     fn release_snapshot(&self, _snap: Snapshot) {}
+
+    /// Number of snapshots currently registered (opened and not yet
+    /// released). Backends without a registry report 0. The network
+    /// front end asserts this drains to zero on graceful shutdown.
+    fn open_snapshots(&self) -> usize {
+        0
+    }
 
     /// Read an object as of `snap`: the newest version committed at or
     /// before the snapshot's LSN. `UnknownObject` if the object did not

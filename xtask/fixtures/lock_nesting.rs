@@ -79,6 +79,40 @@ impl Fixture {
         let _p = lock_order::ranked(lock_order::BUFFER_POOL, || self.pool.lock());
     }
 
+    /// Server inversion: the tenant registry (70) taken while holding
+    /// the connection table (72). Admission decisions never run under
+    /// the connection table; the accept loop registers first, admits
+    /// later.
+    fn srv_tenants_under_conns_inverted(&self) {
+        let _c = lock_order::ranked(lock_order::SRV_CONNS, || self.conns.lock());
+        let _t = lock_order::ranked(lock_order::SRV_TENANTS, || self.tenants.lock());
+    }
+
+    /// Server drain inversion: the connection table (72) taken while
+    /// holding the drain latch (74). Drain flips its flag, releases,
+    /// and only then walks connections.
+    fn srv_conns_under_drain_inverted(&self) {
+        let _d = lock_order::ranked(lock_order::SRV_DRAIN, || self.drain.lock());
+        let _c = lock_order::ranked(lock_order::SRV_CONNS, || self.conns.lock());
+    }
+
+    /// Cross-layer inversion: a storage lock (engine active-transaction
+    /// table, 10) acquired while holding a server latch (70). Server
+    /// latches rank above the whole storage engine precisely so that
+    /// holding one across any database call is flagged.
+    fn srv_storage_under_tenants_inverted(&self) {
+        let _t = lock_order::ranked(lock_order::SRV_TENANTS, || self.tenants.lock());
+        let _a = lock_order::ranked(lock_order::ENGINE_ACTIVE, || self.active.lock());
+    }
+
+    /// Correctly ordered server nesting — tenants, connections, drain —
+    /// must NOT be flagged.
+    fn srv_well_ordered(&self) {
+        let _t = lock_order::ranked(lock_order::SRV_TENANTS, || self.tenants.lock());
+        let _c = lock_order::ranked(lock_order::SRV_CONNS, || self.conns.lock());
+        let _d = lock_order::ranked(lock_order::SRV_DRAIN, || self.drain.lock());
+    }
+
     /// Waived inversion: the allow marker suppresses the finding.
     fn waived(&self) {
         let _p = lock_order::ranked(lock_order::BUFFER_POOL, || self.pool.lock());

@@ -751,6 +751,40 @@ mod tests {
     }
 
     #[test]
+    fn fixture_server_rank_inversions_are_flagged() {
+        // The network front end's seeded inversions: the tenant
+        // registry under the connection table, the connection table
+        // under the drain latch, and — the one the ranks exist for — a
+        // storage lock acquired while holding a server latch. The
+        // documented tenants -> conns -> drain nesting must stay silent.
+        let findings = analyze(&[load_fixture("lock_nesting.rs")]);
+        assert!(
+            findings.iter().any(|f| f.pass == "lock-order"
+                && f.msg.contains("server tenant registry (rank 70)")
+                && f.msg.contains("server connection table (rank 72)")),
+            "SRV_CONNS -> SRV_TENANTS inversion must be flagged"
+        );
+        assert!(
+            findings.iter().any(|f| f.pass == "lock-order"
+                && f.msg.contains("server connection table (rank 72)")
+                && f.msg.contains("server drain latch (rank 74)")),
+            "SRV_DRAIN -> SRV_CONNS inversion must be flagged"
+        );
+        assert!(
+            findings.iter().any(|f| f.pass == "lock-order"
+                && f.msg.contains("engine active-transaction table (rank 10)")
+                && f.msg.contains("server tenant registry (rank 70)")),
+            "a storage lock under a server latch must be flagged"
+        );
+        assert!(
+            !findings.iter().any(|f| f.pass == "lock-order"
+                && f.msg.starts_with("acquires server drain latch")
+                && f.msg.contains("server connection table (rank 72)")),
+            "tenants -> conns -> drain is the documented order and must not be flagged"
+        );
+    }
+
+    #[test]
     fn real_tree_lock_rules_match_runtime_constants() {
         // Drift check: every rank constant referenced from the storage
         // crate sources must exist in the analyzer's table (an unknown

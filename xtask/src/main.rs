@@ -41,6 +41,7 @@ mod modelcheck;
 mod panics;
 mod ranks;
 mod scrubcmd;
+mod server_smoke;
 mod unsafety;
 
 /// One analysed source file.
@@ -66,7 +67,7 @@ pub struct Finding {
 
 /// Crates the panic-freedom lint applies to (the server path; the
 /// workload driver and query shell may still panic on bad input).
-const PANIC_CRATES: &[&str] = &["storage", "labbase", "workflow", "core", "mrv"];
+const PANIC_CRATES: &[&str] = &["storage", "labbase", "workflow", "core", "mrv", "server"];
 
 /// Slice-indexing ratchet: the per-crate count of unwaived index
 /// expressions may not exceed these budgets. Lower freely; raising one
@@ -76,6 +77,7 @@ const INDEX_BUDGETS: &[(&str, u32)] = &[
     ("labbase", 16),
     ("workflow", 0),
     ("core", 18),
+    ("server", 0),
 ];
 
 /// Unsafe-code ratchet: the only crates allowed any `unsafe` at all,
@@ -86,7 +88,7 @@ const INDEX_BUDGETS: &[(&str, u32)] = &[
 /// lock-free read path); the model-checker harness itself needs none.
 const UNSAFE_BUDGETS: &[(&str, u32)] = &[("mrv", 13)];
 
-const USAGE: &str = "usage: cargo xtask analyze [--root DIR]\n       cargo xtask modelcheck\n       cargo xtask crashtest [--seeds N] [--first-seed S] [--corrupt]\n       cargo xtask scrub --dir PATH [--demo]";
+const USAGE: &str = "usage: cargo xtask analyze [--root DIR]\n       cargo xtask modelcheck\n       cargo xtask crashtest [--seeds N] [--first-seed S] [--corrupt]\n       cargo xtask scrub --dir PATH [--demo]\n       cargo xtask server-smoke [--dir PATH]";
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -129,7 +131,11 @@ fn main() {
                     std::process::exit(2);
                 }
             },
-            "analyze" | "crashtest" | "modelcheck" | "scrub" if cmd.is_none() => cmd = Some(a),
+            "analyze" | "crashtest" | "modelcheck" | "scrub" | "server-smoke"
+                if cmd.is_none() =>
+            {
+                cmd = Some(a)
+            }
             other => {
                 eprintln!("unknown argument `{other}`\n{USAGE}");
                 std::process::exit(2);
@@ -148,6 +154,9 @@ fn main() {
             }
         }
         std::process::exit(scrubcmd::run(&dir));
+    }
+    if cmd.as_deref() == Some("server-smoke") {
+        std::process::exit(server_smoke::run(dir.as_deref()));
     }
     if cmd.as_deref() == Some("crashtest") {
         let failures = crashtest::run(first_seed, seeds, corrupt);

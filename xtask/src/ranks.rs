@@ -27,6 +27,12 @@ pub const RANK_CONSTS: &[(&str, u16, &str)] = &[
     ("WAL_WRITER", 50, "WAL append buffer"),
     ("WAL_GROUP", 55, "WAL group-commit state"),
     ("SIM_VFS", 60, "simulated disk state"),
+    // Network front end (crates/server): leaf latches ranked above every
+    // storage lock, so holding one across a database call is itself an
+    // inversion.
+    ("SRV_TENANTS", 70, "server tenant registry"),
+    ("SRV_CONNS", 72, "server connection table"),
+    ("SRV_DRAIN", 74, "server drain latch"),
 ];
 
 // LabBase cache locks are not runtime-instrumented (labbase has no
