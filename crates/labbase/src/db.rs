@@ -127,27 +127,29 @@ impl SetsDir {
 /// creation can land after the scan sampled the catalog but before the
 /// map is installed, which would hide that name from lookups forever.
 /// So creations that run while `map` is unbuilt park their name in
-/// `pending`, and the builder merges `pending` into its scanned map
-/// under the same write lock before installing. Invariant: whenever
-/// `map` is `Some`, `pending` is empty.
+/// `pending` (tagged with the creating transaction, so an abort that
+/// has no footprint can still withdraw exactly its own entries), and
+/// the builder merges `pending` into its scanned map under the same
+/// write lock before installing. Invariant: whenever `map` is `Some`,
+/// `pending` is empty.
 #[derive(Default)]
 pub(crate) struct NameIndex {
     pub(crate) map: Option<HashMap<String, Oid>>,
-    pub(crate) pending: Vec<(String, Oid)>,
+    pub(crate) pending: Vec<(String, Oid, TxnId)>,
 }
 
 impl NameIndex {
-    /// Note a (possibly still uncommitted) material creation. Mirrors
-    /// the paper-facing behavior: once noted, the name resolves even
-    /// before commit; an abort withdraws it via [`note_aborted`].
+    /// Note a (possibly still uncommitted) material creation by `txn`.
+    /// Mirrors the paper-facing behavior: once noted, the name resolves
+    /// even before commit; an abort withdraws it via [`note_aborted`].
     ///
     /// [`note_aborted`]: NameIndex::note_aborted
-    pub(crate) fn note_created(&mut self, name: &str, oid: Oid) {
+    pub(crate) fn note_created(&mut self, name: &str, oid: Oid, txn: TxnId) {
         match self.map.as_mut() {
             Some(map) => {
                 map.insert(name.to_string(), oid);
             }
-            None => self.pending.push((name.to_string(), oid)),
+            None => self.pending.push((name.to_string(), oid, txn)),
         }
     }
 
@@ -156,7 +158,7 @@ impl NameIndex {
         if let Some(map) = self.map.as_mut() {
             map.remove(name);
         }
-        self.pending.retain(|(n, _)| n != name);
+        self.pending.retain(|(n, _, _)| n != name);
     }
 }
 
@@ -295,7 +297,18 @@ impl LabBase {
         let sets = SetsDir::decode(&self.rd_bytes(Rd::Latest, self.sets_oid)?)?;
         *self.sets.write() = sets;
         self.state_index.invalidate();
-        *self.name_index.write() = NameIndex::default();
+        {
+            // Drop the derived map, but keep names other in-flight
+            // transactions parked while it was unbuilt: the rebuild's
+            // committed-extent scan cannot see their still-uncommitted
+            // materials, so discarding `pending` here would reintroduce
+            // the lost-name race the park/merge protocol exists to
+            // close. Only this transaction's own entries are withdrawn
+            // — its creations roll back with the abort.
+            let mut names = self.name_index.write();
+            names.map = None;
+            names.pending.retain(|(_, _, t)| *t != txn);
+        }
         self.store.abort(txn)?;
         Ok(())
     }
@@ -539,8 +552,10 @@ impl LabBase {
     ) -> Result<MaterialId> {
         self.lock_catalog(txn)?;
         let mut catalog = self.catalog.write();
-        let class_id = catalog.material_class(class)?.id;
-        let ext_next = catalog.material_class(class)?.extent_head;
+        let (class_id, ext_next, old_count) = {
+            let mc = catalog.material_class(class)?;
+            (mc.id, mc.extent_head, mc.count)
+        };
         let rec = SmMaterial {
             class: class_id,
             name: name.to_string(),
@@ -562,14 +577,17 @@ impl LabBase {
             // while holding the catalog lock) must not leave the new
             // head in the shared cache: the allocation rolls back with
             // the transaction, and the next creator would chain its
-            // committed material onto the erased object.
-            let mc = catalog.material_class_mut(class_id)?;
-            mc.extent_head = ext_next;
-            mc.count -= 1;
+            // committed material onto the erased object. The restore is
+            // infallible from the pre-mutation snapshot — a `?` here
+            // would swallow the store error and leave the cache dirty.
+            if let Some(mc) = catalog.material_class_mut_opt(class_id) {
+                mc.extent_head = ext_next;
+                mc.count = old_count;
+            }
             return Err(e.into());
         }
         drop(catalog);
-        self.name_index.write().note_created(name, oid);
+        self.name_index.write().note_created(name, oid, txn);
         self.state_index.note_created(oid);
         Ok(MaterialId::from(oid))
     }

@@ -136,7 +136,7 @@ impl LabBase {
             // missing from the installed map forever. Merging mirrors
             // the incremental insert a built map receives at creation
             // time; an abort removes the entry again via its footprint.
-            for (pname, poid) in index.pending.drain(..) {
+            for (pname, poid, _) in index.pending.drain(..) {
                 map.insert(pname, poid);
             }
             index.map = Some(map);
@@ -279,6 +279,51 @@ mod tests {
         let again = db.create_material(t2, "clone", "ghost", 2).unwrap();
         db.commit(t2).unwrap();
         assert_eq!(db.find_material("ghost").unwrap(), Some(again));
+    }
+
+    /// Regression: the plain-txn abort's full invalidation must not
+    /// discard names *other* in-flight transactions parked while the
+    /// index was unbuilt — the rebuild's committed-extent scan cannot
+    /// see their materials, so a dropped entry is lost forever once
+    /// they commit.
+    #[test]
+    fn name_index_plain_abort_preserves_other_txns_pending_names() {
+        let db = mem_db();
+        let t0 = db.begin().unwrap();
+        db.create_material(t0, "clone", "seed", 0).unwrap();
+        db.commit(t0).unwrap();
+
+        // Index unbuilt: this in-flight creation parks its name.
+        let t1 = db.begin().unwrap();
+        let kept = db.create_material(t1, "clone", "kept", 1).unwrap();
+
+        // An unrelated plain transaction aborts; its conservative cache
+        // invalidation must keep t1's parked name.
+        let t2 = db.begin().unwrap();
+        db.abort(t2).unwrap();
+
+        // Build before t1 commits: only a preserved pending entry can
+        // make `kept` resolve.
+        assert_eq!(db.find_material("kept").unwrap(), Some(kept), "parked name preserved");
+        db.commit(t1).unwrap();
+        assert_eq!(db.find_material("kept").unwrap(), Some(kept));
+    }
+
+    /// The aborting plain transaction's *own* parked names roll back
+    /// with it: keeping them would resolve to an erased object.
+    #[test]
+    fn name_index_plain_abort_withdraws_its_own_pending_names() {
+        let db = mem_db();
+        let t0 = db.begin().unwrap();
+        db.create_material(t0, "clone", "seed", 0).unwrap();
+        db.commit(t0).unwrap();
+
+        // Index unbuilt: the creation parks, then the same transaction
+        // aborts via the footprint-less plain API.
+        let t1 = db.begin().unwrap();
+        db.create_material(t1, "clone", "gone", 1).unwrap();
+        db.abort(t1).unwrap();
+        assert_eq!(db.find_material("gone").unwrap(), None, "own parked name withdrawn");
     }
 
     #[test]

@@ -193,10 +193,15 @@ impl Catalog {
 
     /// Mutable material class by id.
     pub fn material_class_mut(&mut self, id: ClassId) -> Result<&mut MaterialClass> {
-        self.materials
-            .iter_mut()
-            .find(|c| c.id == id)
-            .ok_or_else(|| LabError::UnknownClass(id.to_string()))
+        self.material_class_mut_opt(id).ok_or_else(|| LabError::UnknownClass(id.to_string()))
+    }
+
+    /// Mutable material class by id, `None` when unknown — for unwind
+    /// paths that must not themselves be fallible (a `?` there would
+    /// swallow the error being unwound and leave the shared cache
+    /// holding the rolled-back mutation).
+    pub(crate) fn material_class_mut_opt(&mut self, id: ClassId) -> Option<&mut MaterialClass> {
+        self.materials.iter_mut().find(|c| c.id == id)
     }
 
     /// Material class by id.

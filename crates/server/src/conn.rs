@@ -134,18 +134,28 @@ pub(crate) fn serve(core: &Core, shared: &ConnShared, stream: &TcpStream) {
         let tenant = frame.tenant;
         let request_id = frame.request_id;
 
-        let resp = match core.registry().admit_request(tenant, wire_len) {
-            Admit::Overloaded { retry_after_ms } => Response::Overloaded { retry_after_ms },
-            Admit::Ok => match Request::decode(frame.code, &frame.body) {
-                Ok(req) => dispatch(core, &mut session, tenant, req),
-                Err(e) => Response::Error {
-                    code: proto::EC_DECODE,
-                    message: e.to_string(),
-                },
-            },
+        // `admitted` comes from admit_request's own outcome, never from
+        // the response shape: dispatch can also answer `Overloaded`
+        // (e.g. Begin hitting the session cap) for a request that *was*
+        // admitted, and skipping finish_request for those would leak
+        // the tenant's in-flight count one per shed until the cap
+        // starves the tenant permanently.
+        let (admitted, resp) = match core.registry().admit_request(tenant, wire_len) {
+            Admit::Overloaded { retry_after_ms } => {
+                (false, Response::Overloaded { retry_after_ms })
+            }
+            Admit::Ok => {
+                let resp = match Request::decode(frame.code, &frame.body) {
+                    Ok(req) => dispatch(core, &mut session, tenant, req),
+                    Err(e) => Response::Error {
+                        code: proto::EC_DECODE,
+                        message: e.to_string(),
+                    },
+                };
+                (true, resp)
+            }
         };
 
-        let admitted = !matches!(resp, Response::Overloaded { .. });
         let sent = respond(&mut writer, request_id, tenant, &resp);
         if admitted {
             core.registry().finish_request(tenant, *sent.as_ref().unwrap_or(&0));

@@ -201,6 +201,43 @@ mod tests {
         server.shutdown().unwrap();
     }
 
+    /// Regression: a Begin shed by the *session* cap is still an
+    /// admitted request — the response is `Overloaded`, but the
+    /// tenant's in-flight slot must be released. Before the fix each
+    /// such shed leaked one slot; once the leaks reached
+    /// `max_inflight`, every request from the tenant shed forever.
+    #[test]
+    fn session_cap_sheds_do_not_leak_inflight_slots() {
+        let db = mem_db();
+        let server = start(
+            db,
+            TenantQuotas { max_sessions: 1, max_inflight: 2, bytes_per_sec: 0 },
+        );
+        let addr = server.local_addr();
+        let mut a = Client::connect(addr, 5).unwrap();
+        let mut b = Client::connect(addr, 5).unwrap();
+        a.begin().unwrap();
+        // More session-cap sheds than in-flight slots.
+        for _ in 0..4 {
+            match b.begin() {
+                Err(ClientError::Overloaded { .. }) => {}
+                other => panic!("expected Overloaded, got {other:?}"),
+            }
+        }
+        // A leak would have the in-flight cap shed everything now.
+        b.ping().unwrap();
+        a.abort().unwrap();
+        b.begin().unwrap();
+        b.abort().unwrap();
+        let snap = server.admission();
+        assert_eq!(snap.shed_sessions, 4);
+        assert_eq!(
+            snap.shed_inflight, 0,
+            "session-cap sheds must not consume in-flight slots"
+        );
+        server.shutdown().unwrap();
+    }
+
     #[test]
     fn byte_quota_sheds_with_overloaded() {
         let db = mem_db();

@@ -329,8 +329,13 @@ fn accept_loop(
     }
 }
 
-/// Best-effort `Overloaded` frame, then close. The socket gets a short
-/// write timeout so a wedged peer cannot stall the accept loop.
+/// Best-effort `Overloaded` frame, then close. A single bounded write —
+/// never `write_all_bounded`, whose stall budget would let a refused
+/// peer that stops draining (zero receive window) hold the one accept
+/// thread for the full MAX_STALL_TICKS patience window, blocking every
+/// new connection. The frame is a few dozen bytes, far below any socket
+/// send buffer: one write either takes it whole or the peer was not
+/// worth waiting for.
 fn refuse(core: &Core, stream: TcpStream) {
     core.registry.note_shed_conn();
     let _ = stream.set_nodelay(true);
@@ -343,8 +348,7 @@ fn refuse(core: &Core, stream: TcpStream) {
         tenant: 0,
         body: resp.encode_body(),
     };
-    let mut s = &stream;
     if let Ok(bytes) = wire::encode_frame(&frame) {
-        let _ = wire::write_all_bounded(&mut s, &bytes);
+        let _ = io::Write::write(&mut &stream, &bytes);
     }
 }
