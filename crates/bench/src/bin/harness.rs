@@ -89,9 +89,70 @@ fn run() -> Result<(), String> {
         let body = serde_json::to_string_pretty(&report.json)
             .map_err(|e| format!("serializing {id}: {e}"))?;
         std::fs::write(&json, body).map_err(|e| format!("writing {json:?}: {e}"))?;
+        if id == "abl-replication" {
+            write_bench_replication(&out_dir, &cfg, &report.json)?;
+        }
     }
     println!("results written to {}", out_dir.display());
     std::fs::remove_dir_all(&work_dir).ok();
+    Ok(())
+}
+
+/// The replication perf-trajectory file: a flat, machine-readable
+/// `BENCH_replication.json` (one object per follower count, stable key
+/// names) that CI and trend tooling can diff across commits without
+/// parsing the experiment's richer per-run artifact.
+fn write_bench_replication(
+    out_dir: &std::path::Path,
+    cfg: &BenchConfig,
+    points: &serde_json::Value,
+) -> Result<(), String> {
+    use serde_json::Value;
+    // The trajectory keys, in trend-tool order; everything else in the
+    // experiment artifact is run detail, not trajectory.
+    const KEYS: [&str; 9] = [
+        "followers",
+        "ack_quorum",
+        "txns_per_sec",
+        "lag_p50_us",
+        "lag_p99_us",
+        "catchup_ms",
+        "commit_p50_us",
+        "quorum_p50_us",
+        "quorum_p99_us",
+    ];
+    let rows: Vec<Value> = match points {
+        Value::Seq(items) => items
+            .iter()
+            .map(|p| {
+                let picked = match p {
+                    Value::Map(entries) => KEYS
+                        .iter()
+                        .filter_map(|k| {
+                            entries.iter().find(|(name, _)| name == k).cloned()
+                        })
+                        .collect(),
+                    _ => Vec::new(),
+                };
+                Value::Map(picked)
+            })
+            .collect(),
+        _ => Vec::new(),
+    };
+    let config = Value::Map(vec![
+        ("seed".to_string(), Value::UInt(cfg.seed)),
+        ("buffer_pages".to_string(), Value::UInt(cfg.buffer_pages as u64)),
+    ]);
+    let body = Value::Map(vec![
+        ("bench".to_string(), Value::Str("replication".to_string())),
+        ("config".to_string(), config),
+        ("points".to_string(), Value::Seq(rows)),
+    ]);
+    let path = out_dir.join("BENCH_replication.json");
+    let text = serde_json::to_string_pretty(&body)
+        .map_err(|e| format!("serializing BENCH_replication: {e}"))?;
+    std::fs::write(&path, text).map_err(|e| format!("writing {path:?}: {e}"))?;
+    println!("replication perf trajectory written to {}", path.display());
     Ok(())
 }
 
@@ -115,6 +176,8 @@ EXPERIMENTS (default: all)
   abl-scrub            offline scrub of a recovered store image (ablation)
   abl-snapshot         snapshot scans vs writer throughput (ablation)
   abl-server           networked front end: closed-loop tails + admission (ablation)
+  abl-replication      WAL shipping: apply lag + ack-quorum commits (ablation);
+                       also emits the BENCH_replication.json trajectory file
 
 OPTIONS
   --clones N         clones at scale 1X (default 1000)

@@ -27,7 +27,7 @@ pub struct ExperimentReport {
 }
 
 /// All experiment ids, in DESIGN.md order.
-pub const ALL_IDS: [&str; 14] = [
+pub const ALL_IDS: [&str; 15] = [
     "fig1-schema",
     "tab1-storage-schema",
     "figB-workflow-graph",
@@ -42,6 +42,7 @@ pub const ALL_IDS: [&str; 14] = [
     "abl-scrub",
     "abl-snapshot",
     "abl-server",
+    "abl-replication",
 ];
 
 /// Client counts swept by `abl-multiclient`.
@@ -53,6 +54,9 @@ pub const SNAPSHOT_WRITERS: usize = 4;
 
 /// Client connections swept by `abl-server` over loopback.
 pub const SERVER_CLIENTS: [usize; 4] = [1, 4, 16, 64];
+
+/// Follower counts swept by `abl-replication`.
+pub const REPLICATION_FOLLOWERS: [usize; 3] = [1, 2, 4];
 
 /// The build intervals of the Section-10 tables.
 pub const BUILD_INTERVALS: [f64; 4] = [0.5, 1.0, 1.5, 2.0];
@@ -239,6 +243,18 @@ pub fn run(id: &str, cfg: &BenchConfig, work_dir: &Path) -> Result<ExperimentRep
                 json,
             })
         }
+        "abl-replication" => {
+            let points = runner::run_replication(cfg, &REPLICATION_FOLLOWERS, work_dir)?;
+            let text = report::replication_table(&points);
+            let json =
+                serde_json::to_value(&points).map_err(|e| BenchError::Config(e.to_string()))?;
+            Ok(ExperimentReport {
+                id: "abl-replication",
+                title: "Ablation: WAL-shipping replication — apply lag and ack-quorum commits",
+                text,
+                json,
+            })
+        }
         other => Err(BenchError::Config(format!(
             "unknown experiment '{other}'; known: {}",
             ALL_IDS.join(", ")
@@ -269,7 +285,7 @@ mod tests {
 
     #[test]
     fn ids_list_is_consistent() {
-        assert_eq!(ALL_IDS.len(), 14);
+        assert_eq!(ALL_IDS.len(), 15);
         let cfg = BenchConfig::smoke();
         // Every listed id is at least recognized (structural ones run;
         // the heavy ones are exercised by integration tests / harness).

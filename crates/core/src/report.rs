@@ -14,7 +14,7 @@
 use crate::metrics::ResourceRow;
 use crate::runner::{
     BuildResult, ClusteringPoint, ConcurrencyPoint, EvolutionResult, MultiClientPoint, QueryTiming,
-    RecoveryPoint, ServerResult, SnapshotPoint,
+    RecoveryPoint, ReplicationPoint, ServerResult, SnapshotPoint,
 };
 
 /// Thousands-separated integer, the paper's number style.
@@ -614,6 +614,54 @@ pub fn server_table(result: &ServerResult) -> String {
         o.open_sessions_after,
         o.open_snapshots_after
     ));
+    out
+}
+
+/// The replication ablation (`abl-replication`): apply lag behind a
+/// full-speed writer and commit latency once every commit waits for a
+/// majority of followers.
+pub fn replication_table(points: &[ReplicationPoint]) -> String {
+    let mut out = String::new();
+    out.push_str("WAL-shipping replication — in-process followers replaying the primary (OStore)\n");
+    out.push_str(&format!(
+        "{:<11}{:>7}{:>9}{:>12}{:>8}{:>11}{:>11}{:>11}{:>12}\n",
+        "followers", "quorum", "txn/s", "shipped B", "chunks", "lag p50 µs", "lag p99 µs",
+        "lag max µs", "catch-up ms"
+    ));
+    for p in points {
+        out.push_str(&format!(
+            "{:<11}{:>7}{:>9.0}{:>12}{:>8}{:>11.0}{:>11.0}{:>11.0}{:>12.1}\n",
+            p.followers,
+            p.ack_quorum,
+            p.txns_per_sec,
+            commas(p.shipped_bytes),
+            p.chunks,
+            p.lag_p50_us,
+            p.lag_p99_us,
+            p.lag_max_us,
+            p.catchup_ms
+        ));
+    }
+    out.push_str(
+        "\nlag: time between a commit returning on the primary and a follower\n\
+         durably applying the chunk that carries it (asynchronous pass).\n",
+    );
+    out.push_str(&format!(
+        "\nCommit latency — primary-durable (quorum 0) vs majority-acked\n{:<11}{:>14}{:>14}{:>16}{:>16}{:>14}\n",
+        "followers", "async p50 µs", "async p99 µs", "quorum p50 µs", "quorum p99 µs", "quorum max µs"
+    ));
+    for p in points {
+        out.push_str(&format!(
+            "{:<11}{:>14.0}{:>14.0}{:>16.0}{:>16.0}{:>14.0}\n",
+            p.followers, p.commit_p50_us, p.commit_p99_us, p.quorum_p50_us, p.quorum_p99_us,
+            p.quorum_max_us
+        ));
+    }
+    out.push_str(
+        "\neach quorum commit waits until a majority of followers have durably\n\
+         applied it; every replica is checked state-by-state against the\n\
+         primary at the end of the point.\n",
+    );
     out
 }
 

@@ -1793,3 +1793,416 @@ mod server_tests {
         std::fs::remove_dir_all(&dir).ok();
     }
 }
+
+// ---------------------------------------------------------------------------
+// abl-replication: WAL shipping to warm followers (DESIGN.md
+// `abl-replication`).
+//
+// An in-process primary ships its WAL to 1/2/4 follower engines through
+// the same verify-and-apply pipeline the networked replica binary runs
+// (`labflow_repl::Follower` fed from `wal_stream_from`), skipping only
+// the wire framing that `abl-server` already measures. Two passes per
+// follower count:
+//
+//   * an asynchronous pass — a full-speed writer with quorum 0, where
+//     the cost of replication is *lag*: how far behind the primary's
+//     flush each follower's durable apply runs;
+//   * a quorum pass — every commit additionally waits until a majority
+//     of followers have durably applied it, which converts lag into
+//     commit latency (the `ack_quorum` trade the server exposes).
+//
+// The primary is never checkpointed: checkpointing truncates the WAL
+// and would rewind the stream (the documented re-seed case).
+
+/// Wall-clock milliseconds of the asynchronous (quorum-0) pass.
+const REPL_POINT_MILLIS: u64 = 500;
+/// Transactions of the quorum pass (each waits for the majority ack).
+const REPL_QUORUM_TXNS: u64 = 32;
+/// Ship chunk cap, bytes.
+const REPL_CHUNK_CAP: usize = 1 << 16;
+/// Pump idle sleep while the primary has nothing new to ship.
+const REPL_PUMP_IDLE: Duration = Duration::from_micros(200);
+/// Materials prefilled for the writer to cycle.
+const REPL_MATS: usize = 16;
+/// Safety bound on catch-up and quorum waits: a pump that dies must
+/// fail the experiment, not hang it.
+const REPL_WAIT_CAP: Duration = Duration::from_secs(10);
+
+/// One follower count of the replication ablation.
+#[derive(Debug, Clone, Serialize)]
+pub struct ReplicationPoint {
+    /// Followers replaying the primary's WAL.
+    pub followers: usize,
+    /// Majority quorum the quorum pass waited for.
+    pub ack_quorum: usize,
+    /// Wall-clock seconds of the asynchronous pass.
+    pub elapsed_sec: f64,
+    /// Transactions the asynchronous writer committed.
+    pub txns: u64,
+    /// Asynchronous commit throughput.
+    pub txns_per_sec: f64,
+    /// WAL bytes shipped over the whole point (both passes).
+    pub shipped_bytes: u64,
+    /// Chunks ingested across all followers.
+    pub chunks: u64,
+    /// Asynchronous commit latency (primary-durable only), µs.
+    pub commit_p50_us: f64,
+    /// 99th percentile asynchronous commit, µs.
+    pub commit_p99_us: f64,
+    /// Apply lag behind the primary flush, µs — median.
+    pub lag_p50_us: f64,
+    /// Apply lag, 99th percentile µs.
+    pub lag_p99_us: f64,
+    /// Worst observed apply lag, µs.
+    pub lag_max_us: f64,
+    /// Time for every follower to drain the backlog once the
+    /// asynchronous writer stopped, milliseconds.
+    pub catchup_ms: f64,
+    /// Transactions of the quorum pass.
+    pub quorum_txns: u64,
+    /// Commit-plus-majority-ack latency, µs — median.
+    pub quorum_p50_us: f64,
+    /// 99th percentile commit-plus-ack, µs.
+    pub quorum_p99_us: f64,
+    /// Worst commit-plus-ack, µs.
+    pub quorum_max_us: f64,
+}
+
+/// What one pump thread accumulated: ingest count plus the follower's
+/// durable-offset progression (elapsed-since-t0, offset) for the lag
+/// reconstruction.
+struct PumpOut {
+    chunks: u64,
+    progress: Vec<(Duration, u64)>,
+}
+
+/// What the writer side of one replication point accumulated.
+struct WriterOut {
+    commit_hist: crate::hist::LatencyHist,
+    quorum_hist: crate::hist::LatencyHist,
+    /// (elapsed-since-t0, primary flushed offset) after each commit.
+    series: Vec<(Duration, u64)>,
+    txns: u64,
+    elapsed: f64,
+    catchup_ms: f64,
+}
+
+fn repl_err(e: impl std::fmt::Display) -> BenchError {
+    BenchError::Config(format!("replication: {e}"))
+}
+
+/// Ship the primary's WAL into one follower until `stop` is set *and*
+/// the follower has drained everything the primary flushed.
+fn repl_pump(
+    pri: &Arc<dyn StorageManager>,
+    follower: &labflow_repl::Follower,
+    stop: &AtomicBool,
+    t0: Instant,
+) -> Result<PumpOut> {
+    let mut out = PumpOut {
+        chunks: 0,
+        progress: Vec::new(),
+    };
+    loop {
+        let durable = follower.durable_lsn();
+        let chunk = pri
+            .wal_stream_from(durable, REPL_CHUNK_CAP)
+            .map_err(repl_err)?;
+        if chunk.is_empty() {
+            if stop.load(Ordering::Relaxed) && pri.replication_lsn().map_err(repl_err)? == durable {
+                return Ok(out);
+            }
+            std::thread::sleep(REPL_PUMP_IDLE);
+            continue;
+        }
+        follower
+            .ingest(pri.store_epoch(), chunk.start, &chunk.bytes)
+            .map_err(repl_err)?;
+        out.chunks += 1;
+        out.progress.push((t0.elapsed(), chunk.end));
+    }
+}
+
+/// Wait until `pred` holds, bounded by [`REPL_WAIT_CAP`].
+fn repl_wait(what: &str, mut pred: impl FnMut() -> bool) -> Result<()> {
+    let cap = Instant::now() + REPL_WAIT_CAP;
+    while !pred() {
+        if Instant::now() > cap {
+            return Err(repl_err(format!("{what} did not complete within {REPL_WAIT_CAP:?}")));
+        }
+        std::thread::sleep(Duration::from_micros(20));
+    }
+    Ok(())
+}
+
+/// One follower count: fresh primary, `n` fresh followers seeded at the
+/// primary's post-create offset, the asynchronous pass, the drain, the
+/// quorum pass, and a state-by-state consistency check of every replica.
+fn run_replication_point(cfg: &BenchConfig, n: usize, base: &Path) -> Result<ReplicationPoint> {
+    const STATES: [&str; 4] = ["queued", "running", "done", "archived"];
+    let opts = || Options {
+        buffer_pages: cfg.buffer_pages,
+        sync_commit: true,
+        ..Options::default()
+    };
+    let mk = |name: &str| -> Result<Arc<dyn StorageManager>> {
+        let dir = base.join(name);
+        if dir.exists() {
+            std::fs::remove_dir_all(&dir)?;
+        }
+        std::fs::create_dir_all(&dir)?;
+        ServerVersion::OStore.make_store_with(&dir, opts())
+    };
+
+    let pri = mk(&format!("repl-{n}-primary"))?;
+    // Followers seed at the primary's post-create offset: a fresh image
+    // is logically identical to the primary before its first commit, so
+    // the stream replays everything from the schema bootstrap on.
+    let from0 = pri.replication_lsn().map_err(repl_err)?;
+    let mut followers = Vec::with_capacity(n);
+    for i in 0..n {
+        let store = mk(&format!("repl-{n}-follower-{i}"))?;
+        followers.push(labflow_repl::Follower::new(store, from0));
+    }
+
+    let db = LabBase::create(pri.clone())?;
+    let txn = db.begin()?;
+    db.define_material_class(txn, "repl_clone", None)?;
+    db.define_step_class(txn, "repl_track", attrs(&[("reading", AttrType::Real)]))?;
+    let mut mats = Vec::with_capacity(REPL_MATS);
+    for i in 0..REPL_MATS {
+        mats.push(db.create_material(txn, "repl_clone", &format!("repl-{i:03}"), 0)?);
+    }
+    db.commit(txn)?;
+
+    let stop = AtomicBool::new(false);
+    let quorum = n / 2 + 1;
+    let point = std::thread::scope(|scope| -> Result<ReplicationPoint> {
+        let t0 = Instant::now();
+        let (pri_ref, stop_ref) = (&pri, &stop);
+        let pumps: Vec<_> = followers
+            .iter()
+            .map(|f| scope.spawn(move || repl_pump(pri_ref, f, stop_ref, t0)))
+            .collect();
+
+        // The writer runs in a closure so an error path still sets
+        // `stop` and joins the pumps — a scope that never releases its
+        // threads would hang the experiment instead of failing it.
+        let work = (|| -> Result<WriterOut> {
+            let mut commit_hist = crate::hist::LatencyHist::new();
+            let mut series: Vec<(Duration, u64)> = Vec::new();
+            let mut txns = 0u64;
+            let mut vt: i64 = 0;
+            let mut mat_cycle = mats.iter().copied().cycle();
+            let mut state_cycle = STATES.iter().copied().cycle();
+            // One single-step transaction; returns the commit duration
+            // and the primary's post-commit flushed offset.
+            let mut step = |vt: i64| -> Result<(Duration, u64)> {
+                let (Some(m), Some(state)) = (mat_cycle.next(), state_cycle.next()) else {
+                    return Err(repl_err("empty material cycle"));
+                };
+                let txn = db.begin()?;
+                db.record_step(
+                    txn,
+                    "repl_track",
+                    vt,
+                    &[m],
+                    vec![("reading".into(), Value::Real(vt as f64))],
+                )?;
+                db.set_state(txn, m, state, vt + 1)?;
+                let t = Instant::now();
+                db.commit(txn)?;
+                let commit = t.elapsed();
+                Ok((commit, pri.replication_lsn().map_err(repl_err)?))
+            };
+
+            // Asynchronous pass: full-speed writer, commits are done
+            // when the primary's WAL is; followers trail behind.
+            let deadline = Instant::now() + Duration::from_millis(REPL_POINT_MILLIS);
+            while Instant::now() < deadline {
+                vt += 4;
+                let (commit, lsn) = step(vt)?;
+                commit_hist.record(commit);
+                series.push((t0.elapsed(), lsn));
+                txns += 1;
+            }
+            let elapsed = t0.elapsed().as_secs_f64();
+
+            // Drain: how long the backlog takes to clear once the
+            // writer stops offering load.
+            let lsn_a = pri.replication_lsn().map_err(repl_err)?;
+            let t_drain = Instant::now();
+            repl_wait("async catch-up", || {
+                followers.iter().all(|f| f.durable_lsn() >= lsn_a)
+            })?;
+            let catchup_ms = t_drain.elapsed().as_secs_f64() * 1e3;
+
+            // Quorum pass: each commit additionally waits until a
+            // majority of followers have durably applied it — the
+            // server's `ack_quorum` semantics without the wire.
+            let mut quorum_hist = crate::hist::LatencyHist::new();
+            for _ in 0..REPL_QUORUM_TXNS {
+                vt += 4;
+                let (commit, lsn) = step(vt)?;
+                let t_ack = Instant::now();
+                repl_wait("quorum ack", || {
+                    followers.iter().filter(|f| f.durable_lsn() >= lsn).count() >= quorum
+                })?;
+                quorum_hist.record(commit + t_ack.elapsed());
+            }
+            Ok(WriterOut {
+                commit_hist,
+                quorum_hist,
+                series,
+                txns,
+                elapsed,
+                catchup_ms,
+            })
+        })();
+
+        stop.store(true, Ordering::Relaxed);
+        let mut outs = Vec::with_capacity(n);
+        let mut pump_failure = None;
+        for pump in pumps {
+            match pump.join() {
+                Err(_) => pump_failure = Some(repl_err("pump thread panicked")),
+                Ok(Err(e)) => pump_failure = Some(e),
+                Ok(Ok(out)) => outs.push(out),
+            }
+        }
+        // A dead pump is the root cause of any writer-side timeout —
+        // report it over the symptom.
+        if let Some(e) = pump_failure {
+            return Err(e);
+        }
+        let w = work?;
+
+        let mut chunks = 0u64;
+        let mut lag_hist = crate::hist::LatencyHist::new();
+        for out in outs {
+            chunks += out.chunks;
+            // Reconstruct apply lag: a chunk ending at offset L became
+            // shippable when the first commit whose post-commit flush
+            // reached L returned; the ingest completing at `t` therefore
+            // ran `t - t_commit` behind the primary.
+            for (t, l) in out.progress {
+                if l <= from0 {
+                    continue;
+                }
+                let idx = w.series.partition_point(|&(_, lsn)| lsn < l);
+                let Some(&(t_commit, _)) = w.series.get(idx) else {
+                    continue; // quorum-pass chunks: latency measured there
+                };
+                lag_hist.record(t.saturating_sub(t_commit));
+            }
+        }
+
+        let shipped = pri.replication_lsn().map_err(repl_err)? - from0;
+        Ok(ReplicationPoint {
+            followers: n,
+            ack_quorum: quorum,
+            elapsed_sec: w.elapsed,
+            txns: w.txns,
+            txns_per_sec: if w.elapsed > 0.0 {
+                w.txns as f64 / w.elapsed
+            } else {
+                0.0
+            },
+            shipped_bytes: shipped,
+            chunks,
+            commit_p50_us: w.commit_hist.quantile_us(0.50),
+            commit_p99_us: w.commit_hist.quantile_us(0.99),
+            lag_p50_us: lag_hist.quantile_us(0.50),
+            lag_p99_us: lag_hist.quantile_us(0.99),
+            lag_max_us: lag_hist.max_us(),
+            catchup_ms: w.catchup_ms,
+            quorum_txns: REPL_QUORUM_TXNS,
+            quorum_p50_us: w.quorum_hist.quantile_us(0.50),
+            quorum_p99_us: w.quorum_hist.quantile_us(0.99),
+            quorum_max_us: w.quorum_hist.max_us(),
+        })
+    })?;
+
+    // Every follower must now be a faithful replica: same state counts,
+    // same name lookups, read-only.
+    for (i, f) in followers.iter().enumerate() {
+        let replica = LabBase::open(Arc::clone(f.store()))?;
+        replica.set_read_only(true);
+        replica.refresh_replica_caches()?;
+        for s in STATES {
+            let (p, r) = (db.count_in_state(s)?, replica.count_in_state(s)?);
+            if p != r {
+                return Err(repl_err(format!(
+                    "follower {i} diverged: {r} materials in '{s}', primary has {p}"
+                )));
+            }
+        }
+        let raw = |m: Option<MaterialId>| m.map(|m| m.oid().raw());
+        if raw(replica.find_material("repl-000")?) != raw(db.find_material("repl-000")?) {
+            return Err(repl_err(format!("follower {i} lost a material name")));
+        }
+    }
+    Ok(point)
+}
+
+/// Run the replication ablation across `follower_counts`.
+pub fn run_replication(
+    cfg: &BenchConfig,
+    follower_counts: &[usize],
+    base: &Path,
+) -> Result<Vec<ReplicationPoint>> {
+    let mut points = Vec::new();
+    for &n in follower_counts {
+        if n == 0 {
+            return Err(BenchError::Config("follower count must be >= 1".into()));
+        }
+        points.push(run_replication_point(cfg, n, base)?);
+    }
+    Ok(points)
+}
+
+#[cfg(test)]
+mod replication_tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn base(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("lfc-repl-{}-{}", std::process::id(), name));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn smoke_replication_point() {
+        let cfg = BenchConfig::smoke();
+        let dir = base("smoke");
+        let points = run_replication(&cfg, &[1, 2], &dir).unwrap();
+        assert_eq!(points.len(), 2);
+        for p in &points {
+            assert!(p.txns > 0, "{} followers: writer committed", p.followers);
+            assert_eq!(p.quorum_txns, REPL_QUORUM_TXNS);
+            assert!(p.shipped_bytes > 0);
+            assert!(p.chunks > 0);
+            assert!(
+                p.lag_p50_us <= p.lag_p99_us && p.lag_p99_us <= p.lag_max_us,
+                "lag quantiles monotone"
+            );
+            assert!(
+                p.quorum_p50_us >= p.commit_p50_us,
+                "waiting for the quorum cannot beat not waiting"
+            );
+        }
+        assert_eq!(points[0].ack_quorum, 1);
+        assert_eq!(points[1].ack_quorum, 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn zero_followers_is_a_config_error() {
+        let cfg = BenchConfig::smoke();
+        let dir = base("zero");
+        assert!(run_replication(&cfg, &[0], &dir).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -25,7 +25,7 @@
 //! and pay for it, which is the experiment.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
@@ -195,6 +195,16 @@ pub struct LabBase {
     /// The network front end asserts this gauge drains to zero on
     /// graceful shutdown.
     pub(crate) sessions_open: AtomicU64,
+    /// When set, this database is a replication follower: shipped
+    /// transactions are applied through the storage layer directly, and
+    /// local write transactions ([`begin`]/[`session`]) are refused with
+    /// [`LabError::ReadOnly`] until promotion clears the flag. Reads
+    /// ([`view`]) stay available throughout.
+    ///
+    /// [`begin`]: LabBase::begin
+    /// [`session`]: LabBase::session
+    /// [`view`]: LabBase::view
+    pub(crate) read_only: AtomicBool,
 }
 
 impl LabBase {
@@ -227,6 +237,7 @@ impl LabBase {
             state_index: StateIndex::new(),
             name_index: RwLock::new(NameIndex::default()),
             sessions_open: AtomicU64::new(0),
+            read_only: AtomicBool::new(false),
         })
     }
 
@@ -255,6 +266,7 @@ impl LabBase {
             state_index: StateIndex::new(),
             name_index: RwLock::new(NameIndex::default()),
             sessions_open: AtomicU64::new(0),
+            read_only: AtomicBool::new(false),
         })
     }
 
@@ -269,8 +281,49 @@ impl LabBase {
         self.sessions_open.load(Ordering::Acquire)
     }
 
+    /// Mark (or unmark) this database as a read-only replication
+    /// follower. While set, [`begin`](LabBase::begin) and
+    /// [`session`](LabBase::session) fail with [`LabError::ReadOnly`];
+    /// views keep working. Promotion flips the flag back off.
+    pub fn set_read_only(&self, on: bool) {
+        self.read_only.store(on, Ordering::Release);
+    }
+
+    /// Whether this database is currently refusing local writes.
+    pub fn is_read_only(&self) -> bool {
+        self.read_only.load(Ordering::Acquire)
+    }
+
+    /// Refuse local write transactions while in follower mode.
+    pub(crate) fn check_writable(&self) -> Result<()> {
+        if self.is_read_only() {
+            return Err(LabError::ReadOnly);
+        }
+        Ok(())
+    }
+
+    /// Drop every derived in-memory cache and reload the schema-level
+    /// ones from committed storage truth. A replication follower calls
+    /// this after applying shipped transactions: the apply path writes
+    /// through the storage engine directly, so the catalog / sets /
+    /// state / name caches this wrapper keeps would otherwise go stale.
+    /// Mirrors the cache-repair half of [`abort`](LabBase::abort).
+    pub fn refresh_replica_caches(&self) -> Result<()> {
+        let catalog = Catalog::decode(&self.rd_bytes(Rd::Latest, self.catalog_oid)?)?;
+        *self.catalog.write() = catalog;
+        let sets = SetsDir::decode(&self.rd_bytes(Rd::Latest, self.sets_oid)?)?;
+        *self.sets.write() = sets;
+        self.state_index.invalidate();
+        let mut names = self.name_index.write();
+        names.map = None;
+        // A follower has no local writers, so no parked names to keep.
+        names.pending.clear();
+        Ok(())
+    }
+
     /// Begin a transaction.
     pub fn begin(&self) -> Result<TxnId> {
+        self.check_writable()?;
         Ok(self.store.begin()?)
     }
 

@@ -46,6 +46,10 @@ pub enum LabError {
     NoMaterials,
     /// The database root is missing or malformed.
     BadRoot(String),
+    /// The database is serving as a replication follower: it applies
+    /// shipped transactions and serves snapshot reads, but refuses
+    /// local write transactions until promoted.
+    ReadOnly,
 }
 
 impl fmt::Display for LabError {
@@ -67,6 +71,9 @@ impl fmt::Display for LabError {
             }
             LabError::NoMaterials => write!(f, "a step must involve at least one material"),
             LabError::BadRoot(msg) => write!(f, "bad database root: {msg}"),
+            LabError::ReadOnly => {
+                write!(f, "database is a replication follower (read-only until promoted)")
+            }
         }
     }
 }
@@ -107,6 +114,7 @@ mod tests {
             LabError::TypeMismatch { attr: "len".into(), expected: "int", got: "\"x\"".into() },
             LabError::NoMaterials,
             LabError::BadRoot("missing".into()),
+            LabError::ReadOnly,
         ];
         for c in cases {
             assert!(!c.to_string().is_empty());

@@ -61,6 +61,7 @@ impl LabBase {
     /// pins a snapshot of the committed state at session start, so the
     /// session can run consistent reads against its starting point.
     pub fn session(&self) -> Result<Session<'_>> {
+        self.check_writable()?;
         let txn = self.store.begin()?;
         let snap = match self.store.begin_snapshot() {
             Ok(s) => s,

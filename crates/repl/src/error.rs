@@ -1,0 +1,129 @@
+//! Typed replication errors.
+
+use labflow_storage::StorageError;
+
+use labflow_server::ClientError;
+
+/// Result alias for the replication crate.
+pub type Result<T> = std::result::Result<T, ReplError>;
+
+/// Everything that can go wrong between a primary's WAL and a
+/// follower's store. Retryable faults (a corrupt or misaligned chunk, a
+/// network hiccup) are distinguished from terminal ones (a fenced
+/// epoch, a rewound log, a storage fault on apply) so the pump can heal
+/// the former and surface the latter.
+#[derive(Debug)]
+pub enum ReplError {
+    /// The follower's store failed while applying a shipped commit.
+    Storage(StorageError),
+    /// The network client failed (wire fault, server error, shed).
+    Net(ClientError),
+    /// A chunk arrived stamped with an epoch below the follower's
+    /// fence: it was cut by a deposed primary and must be refused.
+    Fenced {
+        /// The epoch the chunk was stamped with.
+        got: u64,
+        /// The follower's current fence.
+        fence: u64,
+    },
+    /// A chunk does not start where the follower's stream position
+    /// expects; re-request from the durable offset.
+    StaleChunk {
+        /// The offset the follower expected.
+        expected: u64,
+        /// The offset the chunk claims.
+        got: u64,
+    },
+    /// A shipped chunk failed frame verification (torn, rotted, or
+    /// reordered in flight); nothing from it was applied, so an intact
+    /// re-request heals it.
+    Corrupt(String),
+    /// The primary's WAL was truncated past the follower's position
+    /// (a checkpoint ran); the follower must re-seed from scratch.
+    Rewound {
+        /// The offset the follower requested.
+        requested: u64,
+    },
+    /// Two ingests raced on one follower; the pump must be single-threaded.
+    Busy,
+    /// The pump gave up after its bounded retry budget.
+    RetriesExhausted {
+        /// Consecutive failed attempts before giving up.
+        attempts: u32,
+    },
+    /// The peer answered with something the protocol does not allow.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ReplError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplError::Storage(e) => write!(f, "storage: {e}"),
+            ReplError::Net(e) => write!(f, "network: {e}"),
+            ReplError::Fenced { got, fence } => write!(
+                f,
+                "chunk from epoch {got} refused: fenced below epoch {fence} \
+                 (cut by a deposed primary)"
+            ),
+            ReplError::StaleChunk { expected, got } => write!(
+                f,
+                "chunk starts at offset {got} but the stream position is {expected}"
+            ),
+            ReplError::Corrupt(detail) => write!(f, "shipped chunk failed verification: {detail}"),
+            ReplError::Rewound { requested } => write!(
+                f,
+                "primary log rewound past offset {requested}; follower must re-seed"
+            ),
+            ReplError::Busy => write!(f, "concurrent ingest on one follower"),
+            ReplError::RetriesExhausted { attempts } => {
+                write!(f, "replication pump gave up after {attempts} consecutive failures")
+            }
+            ReplError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ReplError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReplError::Storage(e) => Some(e),
+            ReplError::Net(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for ReplError {
+    fn from(e: StorageError) -> Self {
+        ReplError::Storage(e)
+    }
+}
+
+impl From<ClientError> for ReplError {
+    fn from(e: ClientError) -> Self {
+        ReplError::Net(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        let cases: Vec<ReplError> = vec![
+            ReplError::Storage(StorageError::Unsupported("x")),
+            ReplError::Net(ClientError::Protocol("y".into())),
+            ReplError::Fenced { got: 3, fence: 5 },
+            ReplError::StaleChunk { expected: 10, got: 20 },
+            ReplError::Corrupt("bit flip".into()),
+            ReplError::Rewound { requested: 99 },
+            ReplError::Busy,
+            ReplError::RetriesExhausted { attempts: 8 },
+            ReplError::Protocol("bad".into()),
+        ];
+        for e in cases {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! The follower side of WAL shipping: verify, buffer, apply, promote.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+use labflow_storage::{decode_shipped, lock_order, StorageManager, WalRecord};
+
+use crate::error::{ReplError, Result};
+
+/// How far a promotion raises the epoch above the highest epoch the
+/// deposed primary was seen at. A crashed primary that reboots bumps
+/// its own epoch by one per recovery checkpoint, so a margin of one is
+/// a race; sixteen outlasts any plausible zombie flap while staying
+/// far from overflow.
+pub const EPOCH_FENCE_MARGIN: u64 = 16;
+
+/// Stream-position state, under one mutex at rank
+/// [`lock_order::REPL_FOLLOWER`]. The lock is *never* held across a
+/// storage call: `replica_apply_commit` acquires engine locks at ranks
+/// far below it, so holding it there would be a rank inversion (and the
+/// runtime checker would say so).
+struct FollowerState {
+    /// The next WAL byte offset expected from the primary — everything
+    /// below it has been verified and durably applied.
+    next_lsn: u64,
+    /// Chunks stamped with an epoch below this are refused.
+    fence: u64,
+    /// Operations of shipped transactions whose commit frame has not
+    /// arrived yet, grouped by transaction id.
+    pending: HashMap<u64, Vec<WalRecord>>,
+}
+
+/// A replication follower wrapped around a store: feeds shipped WAL
+/// chunks through verification into `replica_apply_commit`, tracks the
+/// stream position and the epoch fence, and can promote the store to
+/// primary after the real primary is lost.
+pub struct Follower {
+    store: Arc<dyn StorageManager>,
+    state: Mutex<FollowerState>,
+    /// Ingest is single-flight: the pump is one thread, and a second
+    /// concurrent ingest would interleave applies out of log order.
+    busy: AtomicBool,
+}
+
+impl Follower {
+    /// Wrap `store` as a follower whose stream position starts at
+    /// `start_lsn` (the primary's WAL offset the follower was seeded
+    /// at — `0` for a follower replaying the primary from birth).
+    pub fn new(store: Arc<dyn StorageManager>, start_lsn: u64) -> Follower {
+        let fence = store.store_epoch();
+        Follower {
+            store,
+            state: Mutex::new(FollowerState {
+                next_lsn: start_lsn,
+                fence,
+                pending: HashMap::new(),
+            }),
+            busy: AtomicBool::new(false),
+        }
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &Arc<dyn StorageManager> {
+        &self.store
+    }
+
+    /// The next primary WAL offset this follower expects — equivalently,
+    /// the offset below which everything is verified and durably
+    /// applied. This is the offset the pump acks and re-requests from.
+    pub fn durable_lsn(&self) -> u64 {
+        let _rank = lock_order::acquire(lock_order::REPL_FOLLOWER);
+        let g = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        g.next_lsn
+    }
+
+    /// The current epoch fence.
+    pub fn fence(&self) -> u64 {
+        let _rank = lock_order::acquire(lock_order::REPL_FOLLOWER);
+        let g = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        g.fence
+    }
+
+    /// Number of shipped transactions buffered without a commit frame.
+    pub fn pending_txns(&self) -> usize {
+        let _rank = lock_order::acquire(lock_order::REPL_FOLLOWER);
+        let g = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        g.pending.len()
+    }
+
+    /// Raise the epoch fence (e.g. when a surviving follower learns a
+    /// sibling was promoted at `epoch`): chunks from older epochs —
+    /// i.e. from the deposed primary — are refused from now on.
+    pub fn raise_fence(&self, epoch: u64) {
+        let _rank = lock_order::acquire(lock_order::REPL_FOLLOWER);
+        let mut g = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        g.fence = g.fence.max(epoch);
+    }
+
+    /// Ingest one shipped chunk: verify every frame against its
+    /// absolute offset, buffer operations, and apply each transaction
+    /// whose commit frame arrives — atomically and durably, in log
+    /// order. Returns the new durable offset.
+    ///
+    /// Verification happens *before* any apply, so a torn or rotted
+    /// chunk ([`ReplError::Corrupt`]) leaves the follower exactly as it
+    /// was: the caller re-requests the same range and an intact copy
+    /// heals it. A fenced or misaligned chunk is refused the same way.
+    /// Only a storage-level failure mid-apply (a real disk fault) can
+    /// leave the chunk partially applied; that error is terminal and
+    /// the follower must be re-seeded.
+    pub fn ingest(&self, epoch: u64, start: u64, bytes: &[u8]) -> Result<u64> {
+        if self.busy.swap(true, Ordering::Acquire) {
+            return Err(ReplError::Busy);
+        }
+        let r = self.ingest_locked_out(epoch, start, bytes);
+        self.busy.store(false, Ordering::Release);
+        r
+    }
+
+    fn ingest_locked_out(&self, epoch: u64, start: u64, bytes: &[u8]) -> Result<u64> {
+        // Phase 1 (locked): admission checks, steal the pending map.
+        let mut pending = {
+            let _rank = lock_order::acquire(lock_order::REPL_FOLLOWER);
+            let mut g = self.state.lock().unwrap_or_else(|e| e.into_inner());
+            if epoch < g.fence {
+                return Err(ReplError::Fenced { got: epoch, fence: g.fence });
+            }
+            if start != g.next_lsn {
+                return Err(ReplError::StaleChunk { expected: g.next_lsn, got: start });
+            }
+            std::mem::take(&mut g.pending)
+        };
+
+        // Phase 2 (unlocked): verify the whole chunk before touching the
+        // store, then apply commit-by-commit in log order.
+        let end = start + bytes.len() as u64;
+        let recs = match decode_shipped(start, bytes) {
+            Ok(recs) => recs,
+            Err(e) => {
+                // Nothing applied; put the pending map back untouched.
+                let _rank = lock_order::acquire(lock_order::REPL_FOLLOWER);
+                let mut g = self.state.lock().unwrap_or_else(|e| e.into_inner());
+                g.pending = pending;
+                return Err(ReplError::Corrupt(e.to_string()));
+            }
+        };
+        for (_, rec) in recs {
+            match rec {
+                WalRecord::Begin(t) => {
+                    pending.insert(t, Vec::new());
+                }
+                WalRecord::Commit(t) => {
+                    let ops = pending.remove(&t).unwrap_or_default();
+                    if let Err(e) = self.store.replica_apply_commit(&ops) {
+                        let _rank = lock_order::acquire(lock_order::REPL_FOLLOWER);
+                        let mut g = self.state.lock().unwrap_or_else(|e| e.into_inner());
+                        g.pending = pending;
+                        return Err(ReplError::Storage(e));
+                    }
+                }
+                WalRecord::Abort(t) => {
+                    pending.remove(&t);
+                }
+                WalRecord::Reset(_) => {}
+                op => {
+                    pending.entry(op.txn()).or_default().push(op);
+                }
+            }
+        }
+
+        // Phase 3 (locked): advance the stream position and the fence.
+        let _rank = lock_order::acquire(lock_order::REPL_FOLLOWER);
+        let mut g = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        g.pending = pending;
+        g.next_lsn = end;
+        g.fence = g.fence.max(epoch);
+        Ok(end)
+    }
+
+    /// Promote this follower to primary: drop transactions that never
+    /// committed on the old primary, re-seal the store at an epoch at
+    /// least [`EPOCH_FENCE_MARGIN`] above anything the deposed primary
+    /// was seen at, and return the new epoch. Surviving followers
+    /// should [`raise_fence`](Self::raise_fence) to it so the zombie's
+    /// chunks are refused everywhere.
+    pub fn promote(&self) -> Result<u64> {
+        let floor = {
+            let _rank = lock_order::acquire(lock_order::REPL_FOLLOWER);
+            let mut g = self.state.lock().unwrap_or_else(|e| e.into_inner());
+            g.pending.clear();
+            g.fence.saturating_add(EPOCH_FENCE_MARGIN)
+        };
+        // The lock is released before the storage call (rank order).
+        self.store.promote_epoch(floor)?;
+        let epoch = self.store.store_epoch();
+        let _rank = lock_order::acquire(lock_order::REPL_FOLLOWER);
+        let mut g = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        g.fence = g.fence.max(epoch);
+        Ok(epoch)
+    }
+}

@@ -1,0 +1,126 @@
+//! The network pump: pull chunks from a primary server, feed them
+//! through a [`Follower`], ack durable offsets, and heal transient
+//! damage with bounded, jittered retries.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use labflow_server::{Client, ClientError};
+
+use labflow_server::proto;
+
+use crate::error::{ReplError, Result};
+use crate::follower::Follower;
+
+/// Tuning for [`run_pump`].
+#[derive(Clone, Debug)]
+pub struct PumpConfig {
+    /// This follower's id in the primary's ack table.
+    pub follower_id: u64,
+    /// Chunk size cap per request (the server clamps it further).
+    pub max_bytes: u32,
+    /// Consecutive retryable failures tolerated before
+    /// [`ReplError::RetriesExhausted`].
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles per consecutive failure.
+    pub base_backoff: Duration,
+    /// Ceiling on a single backoff sleep.
+    pub max_backoff: Duration,
+    /// Idle sleep while caught up with the primary.
+    pub idle_sleep: Duration,
+    /// Seed for the deterministic retry jitter.
+    pub seed: u64,
+}
+
+impl Default for PumpConfig {
+    fn default() -> PumpConfig {
+        PumpConfig {
+            follower_id: 1,
+            max_bytes: 1 << 18,
+            max_retries: 8,
+            base_backoff: Duration::from_millis(2),
+            max_backoff: Duration::from_millis(200),
+            idle_sleep: Duration::from_millis(5),
+            seed: 0x5eed_1e55_c0ff_ee00,
+        }
+    }
+}
+
+/// One pump cycle: request a chunk from the follower's durable offset,
+/// ingest it, ack the new offset. Returns whether any bytes advanced.
+pub fn pump_once(follower: &Follower, client: &mut Client, cfg: &PumpConfig) -> Result<bool> {
+    let from = follower.durable_lsn();
+    let chunk = match client.repl_subscribe(cfg.follower_id, from, cfg.max_bytes) {
+        Ok(chunk) => chunk,
+        Err(ClientError::Server { code, .. }) if code == proto::EC_REPL_REWOUND => {
+            return Err(ReplError::Rewound { requested: from });
+        }
+        Err(e) => return Err(ReplError::Net(e)),
+    };
+    if chunk.bytes.is_empty() {
+        // Caught up; still refresh the fence from the primary's epoch
+        // (a promoted primary announces its new epoch on every chunk).
+        follower.raise_fence(chunk.epoch);
+        return Ok(false);
+    }
+    let durable = follower.ingest(chunk.epoch, chunk.start, &chunk.bytes)?;
+    client.repl_ack(cfg.follower_id, durable)?;
+    Ok(true)
+}
+
+/// Drive [`pump_once`] until `stop` is raised. Transient faults — a
+/// network error, a corrupt or misaligned chunk — are retried from the
+/// follower's durable offset with exponential backoff and deterministic
+/// jitter, up to `cfg.max_retries` consecutive failures; terminal
+/// faults (fence, rewind, storage) are returned immediately.
+pub fn run_pump(
+    follower: &Follower,
+    client: &mut Client,
+    cfg: &PumpConfig,
+    stop: &AtomicBool,
+) -> Result<()> {
+    let mut failures = 0u32;
+    let mut jitter = cfg.seed | 1;
+    while !stop.load(Ordering::Acquire) {
+        match pump_once(follower, client, cfg) {
+            Ok(true) => failures = 0,
+            Ok(false) => {
+                failures = 0;
+                std::thread::sleep(cfg.idle_sleep);
+            }
+            Err(e @ (ReplError::Net(_) | ReplError::Corrupt(_) | ReplError::StaleChunk { .. })) => {
+                failures += 1;
+                if failures > cfg.max_retries {
+                    // The last straw is worth logging; the typed count
+                    // is what callers branch on.
+                    let _ = e;
+                    return Err(ReplError::RetriesExhausted { attempts: failures });
+                }
+                backoff(cfg, failures, &mut jitter);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// Exponential backoff with up to 50% multiplicative jitter, capped.
+fn backoff(cfg: &PumpConfig, failures: u32, jitter: &mut u64) {
+    let shift = failures.saturating_sub(1).min(16);
+    let wait = cfg
+        .base_backoff
+        .saturating_mul(1u32 << shift)
+        .min(cfg.max_backoff);
+    let span = u64::try_from(wait.as_micros() / 2).unwrap_or(u64::MAX);
+    let extra = if span == 0 { 0 } else { xorshift(jitter) % span };
+    std::thread::sleep(wait + Duration::from_micros(extra));
+}
+
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    *state = x;
+    x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+}

@@ -30,6 +30,8 @@ struct Args {
     max_inflight: u32,
     bytes_per_sec: u64,
     buffer_pages: usize,
+    ack_quorum: u32,
+    ack_timeout_ms: u64,
 }
 
 const USAGE: &str = "usage: labflow-server [options]
@@ -41,6 +43,11 @@ const USAGE: &str = "usage: labflow-server [options]
   --max-inflight N     per-tenant in-flight request cap, 0 = unlimited (default 256)
   --bytes-per-sec N    per-tenant wire bytes/s quota, 0 = unlimited (default 0)
   --buffer-pages N     store buffer pool size in pages (default 4096)
+  --ack-quorum N       followers that must ack a commit before it is
+                       answered, 0 = asynchronous replication (default 0)
+  --ack-timeout-ms N   how long a commit waits for its ack quorum before
+                       reporting the locally-durable commit as quorum-lagged
+                       (default 2000)
 ";
 
 fn parse_args() -> Result<Args, String> {
@@ -53,6 +60,8 @@ fn parse_args() -> Result<Args, String> {
         max_inflight: 256,
         bytes_per_sec: 0,
         buffer_pages: 4096,
+        ack_quorum: 0,
+        ack_timeout_ms: 2000,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -81,6 +90,15 @@ fn parse_args() -> Result<Args, String> {
             "--buffer-pages" => {
                 args.buffer_pages =
                     val("--buffer-pages")?.parse().map_err(|e| format!("--buffer-pages: {e}"))?
+            }
+            "--ack-quorum" => {
+                args.ack_quorum =
+                    val("--ack-quorum")?.parse().map_err(|e| format!("--ack-quorum: {e}"))?
+            }
+            "--ack-timeout-ms" => {
+                args.ack_timeout_ms = val("--ack-timeout-ms")?
+                    .parse()
+                    .map_err(|e| format!("--ack-timeout-ms: {e}"))?
             }
             "--help" | "-h" => return Err(USAGE.into()),
             other => return Err(format!("unknown flag '{other}'\n{USAGE}")),
@@ -128,6 +146,8 @@ fn run() -> Result<(), String> {
             max_inflight: args.max_inflight,
             bytes_per_sec: args.bytes_per_sec,
         },
+        ack_quorum: args.ack_quorum,
+        ack_timeout: Duration::from_millis(args.ack_timeout_ms),
         ..ServerConfig::default()
     };
     let server = Server::start(db, config).map_err(|e| format!("start server: {e}"))?;

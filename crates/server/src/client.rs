@@ -7,8 +7,19 @@
 //! [`ClientError::Overloaded`] (back off) and transient contention as
 //! [`ClientError::Retry`] (reissue), so closed-loop drivers can
 //! implement honest retry policies.
+//!
+//! Two opt-in resilience layers sit on top of the raw call:
+//!
+//! * a [`RetryPolicy`] — bounded attempts with exponential backoff and
+//!   deterministic jitter, honoring the server's `retry_after_ms` hint
+//!   on [`ClientError::Overloaded`]; and
+//! * a single transparent reconnect, applied only to idempotent
+//!   read-side requests (ping, lookups, replication pulls) and never
+//!   while a transaction is open on the connection — a dropped socket
+//!   mid-transaction must surface, because the server will abort the
+//!   orphaned session and silently reissuing writes could double-apply.
 
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use labbase::Value;
@@ -71,17 +82,93 @@ impl From<WireError> for ClientError {
 /// Client-side result alias.
 pub type ClientResult<T> = Result<T, ClientError>;
 
+/// Opt-in retry policy for [`Client::call`]: bounded attempts with
+/// exponential backoff and deterministic jitter. `Overloaded` responses
+/// are always retried up to the attempt cap, sleeping at least the
+/// server's `retry_after_ms` hint; `Retry` responses are retried only
+/// outside a transaction (inside one, the whole transaction must be
+/// reissued by the caller, so the typed error is returned as-is).
+#[derive(Clone, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts per call, including the first (minimum 1).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles on each further retry.
+    pub base_backoff: Duration,
+    /// Ceiling on the exponential portion of the backoff (the server's
+    /// `retry_after_ms` hint is honored even above this).
+    pub max_backoff: Duration,
+    /// Seed for the deterministic jitter stream.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(500),
+            jitter_seed: 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+}
+
+/// The primary's replication status as returned by
+/// [`Client::repl_status`].
+#[derive(Debug)]
+pub struct ReplStatus {
+    /// The server store's current epoch.
+    pub epoch: u64,
+    /// The flushed WAL offset followers can stream up to.
+    pub lsn: u64,
+    /// `(follower id, highest durably acked offset)` per subscriber,
+    /// sorted by follower id.
+    pub followers: Vec<(u64, u64)>,
+}
+
+/// A shipped WAL chunk as returned by [`Client::repl_subscribe`].
+#[derive(Debug)]
+pub struct ShippedChunk {
+    /// The primary's store epoch when the chunk was cut.
+    pub epoch: u64,
+    /// WAL offset of the chunk's first byte.
+    pub start: u64,
+    /// WAL offset one past the chunk's last byte (`start == end` means
+    /// the follower is caught up).
+    pub end: u64,
+    /// Raw frame bytes; the follower verifies them with
+    /// `decode_shipped` before applying anything.
+    pub bytes: Vec<u8>,
+}
+
 /// One blocking connection to a labflow server.
 pub struct Client {
     stream: TcpStream,
+    addr: SocketAddr,
     tenant: u32,
     next_id: u64,
+    retry: Option<RetryPolicy>,
+    jitter: u64,
+    in_txn: bool,
 }
 
 impl Client {
     /// Connect to `addr`, billing all requests to `tenant`.
     pub fn connect(addr: impl ToSocketAddrs, tenant: u32) -> ClientResult<Client> {
         let stream = TcpStream::connect(addr).map_err(WireError::Io)?;
+        let addr = stream.peer_addr().map_err(WireError::Io)?;
+        Self::configure(&stream)?;
+        Ok(Client {
+            stream,
+            addr,
+            tenant,
+            next_id: 1,
+            retry: None,
+            jitter: 1,
+            in_txn: false,
+        })
+    }
+
+    fn configure(stream: &TcpStream) -> ClientResult<()> {
         stream.set_nodelay(true).map_err(WireError::Io)?;
         stream
             .set_read_timeout(Some(Duration::from_millis(50)))
@@ -89,7 +176,7 @@ impl Client {
         stream
             .set_write_timeout(Some(Duration::from_millis(50)))
             .map_err(WireError::Io)?;
-        Ok(Client { stream, tenant, next_id: 1 })
+        Ok(())
     }
 
     /// The tenant id this client bills to.
@@ -97,8 +184,134 @@ impl Client {
         self.tenant
     }
 
-    /// Issue one request and wait for its response.
+    /// Install a retry policy; `None` restores fail-fast behaviour.
+    pub fn set_retry_policy(&mut self, policy: Option<RetryPolicy>) {
+        // A zero xorshift seed would stick at zero; force it odd.
+        self.jitter = policy.as_ref().map_or(1, |p| p.jitter_seed | 1);
+        self.retry = policy;
+    }
+
+    /// Whether this connection believes it has a transaction open.
+    pub fn in_txn(&self) -> bool {
+        self.in_txn
+    }
+
+    /// Issue one request and wait for its response, applying the
+    /// reconnect and retry layers described in the module docs.
     pub fn call(&mut self, req: &Request) -> ClientResult<Response> {
+        let mut attempts = 0u32;
+        let mut reconnected = false;
+        loop {
+            attempts += 1;
+            let result = self.call_once(req);
+            match &result {
+                // One transparent reconnect, for idempotent requests
+                // only, and never while a transaction is open.
+                Err(ClientError::Wire(_))
+                    if !reconnected && !self.in_txn && is_idempotent(req) =>
+                {
+                    reconnected = true;
+                    if self.reconnect().is_ok() {
+                        continue;
+                    }
+                }
+                Err(ClientError::Overloaded { retry_after_ms })
+                    if self.should_retry(attempts) =>
+                {
+                    let hint = Duration::from_millis(u64::from(*retry_after_ms));
+                    self.backoff_sleep(attempts, hint);
+                    continue;
+                }
+                Err(ClientError::Retry { .. })
+                    if !self.in_txn && self.should_retry(attempts) =>
+                {
+                    self.backoff_sleep(attempts, Duration::ZERO);
+                    continue;
+                }
+                _ => {}
+            }
+            self.note_txn_edge(req, &result);
+            return result;
+        }
+    }
+
+    /// Track transaction state from request/response edges so the
+    /// reconnect layer knows when reissuing is unsafe.
+    fn note_txn_edge(&mut self, req: &Request, result: &ClientResult<Response>) {
+        match req {
+            Request::Begin => {
+                if matches!(result, Ok(Response::Ok)) {
+                    self.in_txn = true;
+                }
+            }
+            Request::Commit | Request::Abort => match result {
+                // The server closes the session on commit/abort whether
+                // the call succeeds or fails with a database error; only
+                // a shed (never dispatched) or a wire/protocol fault
+                // leaves its state open or unknown.
+                Ok(_)
+                | Err(ClientError::Server { .. })
+                | Err(ClientError::Retry { .. }) => self.in_txn = false,
+                Err(ClientError::Overloaded { .. })
+                | Err(ClientError::Wire(_))
+                | Err(ClientError::Protocol(_)) => {}
+            },
+            _ => {}
+        }
+    }
+
+    fn should_retry(&self, attempts: u32) -> bool {
+        self.retry
+            .as_ref()
+            .is_some_and(|p| attempts < p.max_attempts.max(1))
+    }
+
+    /// Sleep before the next retry: the exponential backoff (capped at
+    /// `max_backoff`) floored by the server's hint, plus up to 50%
+    /// deterministic jitter so synchronized retriers spread out.
+    fn backoff_sleep(&mut self, attempts: u32, hint: Duration) {
+        let Some(policy) = &self.retry else { return };
+        let shift = attempts.saturating_sub(1).min(16);
+        let backoff = policy
+            .base_backoff
+            .saturating_mul(1u32 << shift)
+            .min(policy.max_backoff);
+        let wait = backoff.max(hint);
+        let span = u64::try_from(wait.as_micros() / 2).unwrap_or(u64::MAX);
+        let jitter =
+            Duration::from_micros(if span == 0 { 0 } else { self.next_jitter() % span });
+        std::thread::sleep(wait + jitter);
+    }
+
+    fn next_jitter(&mut self) -> u64 {
+        let mut x = self.jitter;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.jitter = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Replace the dead socket with a fresh connection to the same
+    /// address. Request ids keep counting up, so a straggling response
+    /// from the old connection can never match a new request.
+    fn reconnect(&mut self) -> ClientResult<()> {
+        let stream = TcpStream::connect(self.addr).map_err(WireError::Io)?;
+        Self::configure(&stream)?;
+        self.stream = stream;
+        Ok(())
+    }
+
+    /// Test hook: shut down the underlying socket without telling the
+    /// client, simulating a connection dropped by the network.
+    #[cfg(test)]
+    pub(crate) fn sever(&mut self) {
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+    }
+
+    /// Issue one request on the current connection and wait for its
+    /// response — no retries, no reconnects.
+    fn call_once(&mut self, req: &Request) -> ClientResult<Response> {
         let id = self.next_id;
         self.next_id += 1;
         let frame = Frame {
@@ -321,6 +534,65 @@ impl Client {
     pub fn shutdown_server(&mut self) -> ClientResult<()> {
         self.expect_ok(&Request::Shutdown)
     }
+
+    /// Pull a WAL chunk starting at offset `from` (the follower side of
+    /// the replication pump). Registers `follower` in the primary's ack
+    /// table on first use.
+    pub fn repl_subscribe(
+        &mut self,
+        follower: u64,
+        from: u64,
+        max_bytes: u32,
+    ) -> ClientResult<ShippedChunk> {
+        match self.call(&Request::ReplSubscribe { follower, from, max_bytes })? {
+            Response::ReplChunk { epoch, start, end, bytes } => {
+                Ok(ShippedChunk { epoch, start, end, bytes })
+            }
+            other => Err(unexpected("ReplChunk", &other)),
+        }
+    }
+
+    /// Report this follower's durably applied WAL offset to the primary.
+    pub fn repl_ack(&mut self, follower: u64, lsn: u64) -> ClientResult<()> {
+        self.expect_ok(&Request::ReplAck { follower, lsn })
+    }
+
+    /// The server's replication status: the store epoch, the flushed
+    /// WAL offset, and every subscriber's acked offset.
+    pub fn repl_status(&mut self) -> ClientResult<ReplStatus> {
+        match self.call(&Request::ReplStatus)? {
+            Response::ReplState { epoch, lsn, followers } => {
+                Ok(ReplStatus { epoch, lsn, followers })
+            }
+            other => Err(unexpected("ReplState", &other)),
+        }
+    }
+
+    /// Ask a follower server to promote itself to primary.
+    pub fn repl_promote(&mut self) -> ClientResult<()> {
+        self.expect_ok(&Request::ReplPromote)
+    }
+}
+
+/// Requests the reconnect layer may transparently reissue: pure reads,
+/// the liveness probe, and the replication pull/ack pair (pulls are
+/// reads; acks are monotonic-max on the primary, so a duplicate is a
+/// no-op). Everything that can mutate database state is excluded.
+fn is_idempotent(req: &Request) -> bool {
+    matches!(
+        req,
+        Request::Ping
+            | Request::StateOf { .. }
+            | Request::Recent { .. }
+            | Request::History { .. }
+            | Request::FindMaterial { .. }
+            | Request::CountInState { .. }
+            | Request::Query { .. }
+            | Request::AdmissionStats
+            | Request::ReplSubscribe { .. }
+            | Request::ReplAck { .. }
+            | Request::ReplStatus
+    )
 }
 
 fn unexpected(wanted: &str, got: &Response) -> ClientError {

@@ -33,6 +33,10 @@ pub(crate) const TICK: Duration = Duration::from_millis(50);
 /// under the frame size limit.
 const QUERY_ROW_LIMIT: usize = 4096;
 
+/// Cap on a shipped replication chunk: half the frame limit, leaving
+/// ample headroom for the frame header and body framing.
+const REPL_CHUNK_CAP: usize = 1 << 19;
+
 /// Per-connection state shared with the server (stop signalling).
 pub(crate) struct ConnShared {
     /// Connection id (key in the server's connection table).
@@ -266,7 +270,10 @@ fn dispatch<'db>(
             Some(open) => {
                 let r = open.session.commit();
                 core.registry().close_session(open.tenant);
-                ok_or(r)
+                match r {
+                    Ok(()) => committed(core),
+                    Err(e) => proto::response_for_error(&e),
+                }
             }
         },
 
@@ -409,6 +416,72 @@ fn dispatch<'db>(
         Request::Shutdown => {
             core.request_shutdown();
             Response::Ok
+        }
+
+        Request::ReplSubscribe { follower, from, max_bytes } => {
+            core.repl_acks().subscribe(follower);
+            let store = db.store();
+            match store.wal_stream_from(from, (max_bytes as usize).min(REPL_CHUNK_CAP)) {
+                Ok(chunk) => Response::ReplChunk {
+                    epoch: store.store_epoch(),
+                    start: chunk.start,
+                    end: chunk.end,
+                    bytes: chunk.bytes,
+                },
+                Err(e) => proto::response_for_error(&LabError::Storage(e)),
+            }
+        }
+
+        Request::ReplAck { follower, lsn } => {
+            core.repl_acks().ack(follower, lsn);
+            Response::Ok
+        }
+
+        Request::ReplStatus => {
+            let store = db.store();
+            Response::ReplState {
+                epoch: store.store_epoch(),
+                lsn: store.replication_lsn().unwrap_or(0),
+                followers: core.repl_acks().snapshot(),
+            }
+        }
+
+        Request::ReplPromote => match core.promote_hook() {
+            None => Response::Error {
+                code: proto::EC_REPL,
+                message: "not a follower: this server is already the primary".into(),
+            },
+            Some(hook) => match hook() {
+                Ok(()) => Response::Ok,
+                Err(msg) => Response::Error { code: proto::EC_REPL, message: msg },
+            },
+        },
+    }
+}
+
+/// The response for a commit that succeeded locally. With an ack quorum
+/// configured, hold the answer until enough followers have applied the
+/// commit's WAL offset; a timeout reports the lag as a typed error —
+/// the commit itself is durable on the primary either way.
+fn committed(core: &Core) -> Response {
+    let quorum = core.config().ack_quorum;
+    if quorum == 0 {
+        return Response::Ok;
+    }
+    let lsn = match core.db().store().replication_lsn() {
+        Ok(lsn) => lsn,
+        // In-memory profile: no log, nothing to ship, nothing to wait on.
+        Err(_) => return Response::Ok,
+    };
+    if core.repl_acks().wait_quorum(lsn, quorum, core.config().ack_timeout) {
+        Response::Ok
+    } else {
+        Response::Error {
+            code: proto::EC_REPL,
+            message: format!(
+                "commit is durable on the primary but fewer than {quorum} followers \
+                 acked it within the quorum window"
+            ),
         }
     }
 }

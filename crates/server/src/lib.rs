@@ -37,12 +37,13 @@
 pub mod client;
 mod conn;
 pub mod proto;
+pub(crate) mod repl;
 pub mod server;
 pub mod tenant;
 pub mod wire;
 
-pub use client::{Client, ClientError, ClientResult};
-pub use server::{Server, ServerConfig};
+pub use client::{Client, ClientError, ClientResult, ReplStatus, RetryPolicy, ShippedChunk};
+pub use server::{PromoteHook, Server, ServerConfig};
 pub use tenant::{AdmissionSnapshot, TenantQuotas, TenantRow};
 
 #[cfg(test)]
@@ -304,6 +305,187 @@ mod tests {
         // The server survives both and still answers.
         let mut c = Client::connect(addr, 1).unwrap();
         c.ping().unwrap();
+        server.shutdown().unwrap();
+    }
+
+    fn fast_retry(max_attempts: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts,
+            base_backoff: std::time::Duration::from_millis(1),
+            max_backoff: std::time::Duration::from_millis(5),
+            jitter_seed: 42,
+        }
+    }
+
+    /// Satellite: the opt-in retry policy rides out `Overloaded` sheds
+    /// with bounded attempts — it keeps reissuing while the quota is
+    /// held, and returns the typed error once attempts are exhausted.
+    #[test]
+    fn retry_policy_is_bounded_and_reissues_on_overloaded() {
+        let db = mem_db();
+        let server = start(
+            db,
+            TenantQuotas { max_sessions: 1, max_inflight: 0, bytes_per_sec: 0 },
+        );
+        let addr = server.local_addr();
+        let mut a = Client::connect(addr, 9).unwrap();
+        let mut b = Client::connect(addr, 9).unwrap();
+        b.set_retry_policy(Some(fast_retry(3)));
+
+        a.begin().unwrap();
+        // All three attempts shed; the typed error survives the policy.
+        match b.begin() {
+            Err(ClientError::Overloaded { retry_after_ms }) => assert!(retry_after_ms > 0),
+            other => panic!("expected Overloaded after retries, got {other:?}"),
+        }
+        assert_eq!(
+            server.admission().shed_sessions,
+            3,
+            "a capped retrier must have reissued exactly max_attempts times"
+        );
+
+        // If the quota frees up mid-backoff, the retry succeeds where a
+        // fail-fast client would have surfaced the shed.
+        let releaser = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(3));
+            a.abort().unwrap();
+            a
+        });
+        b.set_retry_policy(Some(fast_retry(200)));
+        b.begin().unwrap();
+        b.abort().unwrap();
+        let _a = releaser.join().unwrap();
+        server.shutdown().unwrap();
+    }
+
+    /// Satellite: a dropped connection is transparently reattempted
+    /// exactly once for idempotent requests — and never when the
+    /// request could mutate state or a transaction is open.
+    #[test]
+    fn reconnect_is_transparent_for_idempotent_requests_only() {
+        let db = mem_db();
+        let server = start(Arc::clone(&db), unlimited());
+        let addr = server.local_addr();
+
+        let mut c = Client::connect(addr, 1).unwrap();
+        c.begin().unwrap();
+        c.define_material_class("clone", None).unwrap();
+        let m = c.create_material("clone", "m-1", 0).unwrap();
+        c.commit().unwrap();
+
+        // Reads and pings survive a severed socket.
+        c.sever();
+        c.ping().unwrap();
+        c.sever();
+        assert_eq!(c.find_material("m-1").unwrap(), Some(m));
+
+        // A mutation on a severed socket is never reissued.
+        c.begin().unwrap();
+        c.sever();
+        match c.create_material("clone", "m-2", 1) {
+            Err(ClientError::Wire(_)) => {}
+            other => panic!("mutations must not reconnect, got {other:?}"),
+        }
+
+        // Even an idempotent request is not reissued while this
+        // connection believes a transaction is open: the reconnected
+        // session would silently lack the transaction.
+        assert!(c.in_txn());
+        match c.ping() {
+            Err(ClientError::Wire(_)) => {}
+            other => panic!("no reconnect mid-transaction, got {other:?}"),
+        }
+
+        // A fresh client confirms the server aborted the orphan.
+        let mut c2 = Client::connect(addr, 1).unwrap();
+        assert_eq!(c2.find_material("m-2").unwrap(), None);
+        server.shutdown().unwrap();
+        assert_eq!(db.open_sessions(), 0);
+    }
+
+    /// Replication surface over loopback: subscribe streams real WAL
+    /// bytes on a durable store, acks show up in status, and promote on
+    /// a primary (no hook installed) is a typed error.
+    #[test]
+    fn replication_requests_round_trip_over_loopback() {
+        use labflow_storage::{decode_shipped, OStore, Options, SimVfs, Vfs};
+        let sim: Arc<dyn Vfs> = Arc::new(SimVfs::new(7));
+        let store: Arc<dyn StorageManager> = Arc::new(
+            OStore::create_with(sim, &std::path::PathBuf::from("/sim/db"), Options::default())
+                .unwrap(),
+        );
+        let from = store.replication_lsn().unwrap();
+        let db = Arc::new(LabBase::create(store).unwrap());
+        let server = start(Arc::clone(&db), unlimited());
+        let mut c = Client::connect(server.local_addr(), 1).unwrap();
+
+        c.begin().unwrap();
+        c.define_material_class("clone", None).unwrap();
+        c.create_material("clone", "m-1", 0).unwrap();
+        c.commit().unwrap();
+
+        let chunk = c.repl_subscribe(11, from, 1 << 18).unwrap();
+        assert_eq!(chunk.start, from);
+        assert!(chunk.end > chunk.start, "commits must be visible in the stream");
+        let recs = decode_shipped(chunk.start, &chunk.bytes).unwrap();
+        assert!(!recs.is_empty());
+
+        c.repl_ack(11, chunk.end).unwrap();
+        let status = c.repl_status().unwrap();
+        assert!(status.lsn >= chunk.end);
+        assert_eq!(status.followers, vec![(11, chunk.end)]);
+
+        match c.repl_promote() {
+            Err(ClientError::Server { code, .. }) => assert_eq!(code, proto::EC_REPL),
+            other => panic!("promote on a primary must be typed, got {other:?}"),
+        }
+        server.shutdown().unwrap();
+    }
+
+    /// With `ack_quorum` set, a commit answers only after enough
+    /// followers ack its WAL offset; a lagging quorum is a typed error
+    /// that names the gap (the commit itself is already durable).
+    #[test]
+    fn commit_waits_for_ack_quorum() {
+        use labflow_storage::{OStore, Options, SimVfs, Vfs};
+        let sim: Arc<dyn Vfs> = Arc::new(SimVfs::new(9));
+        let store: Arc<dyn StorageManager> = Arc::new(
+            OStore::create_with(sim, &std::path::PathBuf::from("/sim/db"), Options::default())
+                .unwrap(),
+        );
+        let db = Arc::new(LabBase::create(store).unwrap());
+        let config = ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            quotas: unlimited(),
+            ack_quorum: 1,
+            ack_timeout: std::time::Duration::from_millis(50),
+            ..ServerConfig::default()
+        };
+        let server = Server::start(Arc::clone(&db), config).unwrap();
+        let addr = server.local_addr();
+        let mut c = Client::connect(addr, 1).unwrap();
+
+        // No follower has acked anything: the quorum window lapses.
+        c.begin().unwrap();
+        c.define_material_class("clone", None).unwrap();
+        match c.commit() {
+            Err(ClientError::Server { code, message }) => {
+                assert_eq!(code, proto::EC_REPL);
+                assert!(message.contains("durable"), "message should say the commit is durable: {message}");
+            }
+            other => panic!("expected quorum-lag error, got {other:?}"),
+        }
+        // ...but the commit itself landed.
+        let mut reader = Client::connect(addr, 1).unwrap();
+        reader.begin().unwrap();
+        reader.create_material("clone", "m-1", 0).unwrap();
+
+        // A follower acking at the tail un-blocks subsequent commits.
+        let mut follower = Client::connect(addr, 2).unwrap();
+        let lsn = follower.repl_status().unwrap().lsn;
+        // Ack generously past the tail: every commit below it is covered.
+        follower.repl_ack(21, lsn + (1 << 20)).unwrap();
+        reader.commit().unwrap();
         server.shutdown().unwrap();
     }
 

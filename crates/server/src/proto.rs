@@ -51,6 +51,14 @@ pub const OP_QUERY: u16 = 25;
 pub const OP_ADMISSION_STATS: u16 = 30;
 /// Ask the server to drain and exit.
 pub const OP_SHUTDOWN: u16 = 31;
+/// Replication: stream WAL bytes from an offset (follower → primary).
+pub const OP_REPL_SUBSCRIBE: u16 = 40;
+/// Replication: acknowledge durably applied WAL bytes.
+pub const OP_REPL_ACK: u16 = 41;
+/// Replication: epoch, flushed LSN, and per-follower acked LSNs.
+pub const OP_REPL_STATUS: u16 = 42;
+/// Replication: promote this (follower) server to primary.
+pub const OP_REPL_PROMOTE: u16 = 43;
 
 // ---- response tags ---------------------------------------------------------
 
@@ -82,6 +90,10 @@ pub const RE_ERROR: u16 = 11;
 pub const RE_RETRY: u16 = 12;
 /// Admission control shed the request; back off.
 pub const RE_OVERLOADED: u16 = 13;
+/// A shipped WAL chunk (replication).
+pub const RE_REPL_CHUNK: u16 = 14;
+/// Replication status (epoch / LSN / follower acks).
+pub const RE_REPL_STATUS: u16 = 15;
 
 // ---- error codes carried by RE_ERROR ---------------------------------------
 
@@ -99,6 +111,15 @@ pub const EC_QUERY: u16 = 5;
 pub const EC_BAD_OP: u16 = 6;
 /// The server is draining and accepts no new work.
 pub const EC_DRAINING: u16 = 7;
+/// The database is a replication follower; writes refused until
+/// promotion.
+pub const EC_READ_ONLY: u16 = 8;
+/// A replication-protocol failure (fenced epoch, quorum not reached,
+/// not a follower, ...).
+pub const EC_REPL: u16 = 9;
+/// The primary's log was truncated behind the requested offset; the
+/// follower must re-seed from a base copy.
+pub const EC_REPL_REWOUND: u16 = 10;
 
 /// A decoded request body.
 #[derive(Debug, Clone, PartialEq)]
@@ -202,6 +223,30 @@ pub enum Request {
     AdmissionStats,
     /// Ask the server to drain and exit.
     Shutdown,
+    /// Stream WAL bytes from `from` (a follower pulling from the
+    /// primary). `follower` identifies the subscriber in the primary's
+    /// ack table.
+    ReplSubscribe {
+        /// Follower id (chosen by the follower, stable per replica).
+        follower: u64,
+        /// WAL offset to stream from.
+        from: u64,
+        /// Upper bound on chunk size, in bytes.
+        max_bytes: u32,
+    },
+    /// Acknowledge that `follower` has durably applied the WAL up to
+    /// `lsn`; unblocks quorum-waiting commits.
+    ReplAck {
+        /// Follower id.
+        follower: u64,
+        /// Durably applied WAL offset.
+        lsn: u64,
+    },
+    /// Fetch the replication status (epoch, LSN, follower acks).
+    ReplStatus,
+    /// Promote this server's database to primary (follower servers
+    /// only; the primary refuses).
+    ReplPromote,
 }
 
 /// A decoded response body.
@@ -245,6 +290,28 @@ pub enum Response {
     Overloaded {
         /// Suggested backoff before retrying.
         retry_after_ms: u32,
+    },
+    /// A shipped WAL chunk: `bytes` is whole checksummed frames
+    /// covering primary WAL offsets `[start, end)`, stamped with the
+    /// primary's store epoch. Empty (`start == end`) means caught up.
+    ReplChunk {
+        /// The primary's sealed store epoch when the chunk was cut.
+        epoch: u64,
+        /// First WAL offset covered.
+        start: u64,
+        /// One past the last WAL offset covered.
+        end: u64,
+        /// The raw frame bytes (verify with `decode_shipped`).
+        bytes: Vec<u8>,
+    },
+    /// Replication status.
+    ReplState {
+        /// The store's sealed epoch.
+        epoch: u64,
+        /// The WAL's flushed tail offset.
+        lsn: u64,
+        /// Per-follower acked LSNs, sorted by follower id.
+        followers: Vec<(u64, u64)>,
     },
 }
 
@@ -292,6 +359,10 @@ impl Request {
             Request::Query { .. } => OP_QUERY,
             Request::AdmissionStats => OP_ADMISSION_STATS,
             Request::Shutdown => OP_SHUTDOWN,
+            Request::ReplSubscribe { .. } => OP_REPL_SUBSCRIBE,
+            Request::ReplAck { .. } => OP_REPL_ACK,
+            Request::ReplStatus => OP_REPL_STATUS,
+            Request::ReplPromote => OP_REPL_PROMOTE,
         }
     }
 
@@ -304,7 +375,18 @@ impl Request {
             | Request::Commit
             | Request::Abort
             | Request::AdmissionStats
-            | Request::Shutdown => {}
+            | Request::Shutdown
+            | Request::ReplStatus
+            | Request::ReplPromote => {}
+            Request::ReplSubscribe { follower, from, max_bytes } => {
+                w.u64(*follower);
+                w.u64(*from);
+                w.u32(*max_bytes);
+            }
+            Request::ReplAck { follower, lsn } => {
+                w.u64(*follower);
+                w.u64(*lsn);
+            }
             Request::CreateMaterial { class, name, created } => {
                 w.str(class);
                 w.str(name);
@@ -367,6 +449,17 @@ impl Request {
             OP_ABORT => Request::Abort,
             OP_ADMISSION_STATS => Request::AdmissionStats,
             OP_SHUTDOWN => Request::Shutdown,
+            OP_REPL_STATUS => Request::ReplStatus,
+            OP_REPL_PROMOTE => Request::ReplPromote,
+            OP_REPL_SUBSCRIBE => Request::ReplSubscribe {
+                follower: r.u64().map_err(de)?,
+                from: r.u64().map_err(de)?,
+                max_bytes: r.u32().map_err(de)?,
+            },
+            OP_REPL_ACK => Request::ReplAck {
+                follower: r.u64().map_err(de)?,
+                lsn: r.u64().map_err(de)?,
+            },
             OP_CREATE_MATERIAL => Request::CreateMaterial {
                 class: r.str().map_err(de)?,
                 name: r.str().map_err(de)?,
@@ -447,6 +540,8 @@ impl Response {
             Response::Error { .. } => RE_ERROR,
             Response::Retry { .. } => RE_RETRY,
             Response::Overloaded { .. } => RE_OVERLOADED,
+            Response::ReplChunk { .. } => RE_REPL_CHUNK,
+            Response::ReplState { .. } => RE_REPL_STATUS,
         }
     }
 
@@ -499,6 +594,21 @@ impl Response {
             }
             Response::Retry { reason } => w.str(reason),
             Response::Overloaded { retry_after_ms } => w.u32(*retry_after_ms),
+            Response::ReplChunk { epoch, start, end, bytes } => {
+                w.u64(*epoch);
+                w.u64(*start);
+                w.u64(*end);
+                w.bytes(bytes);
+            }
+            Response::ReplState { epoch, lsn, followers } => {
+                w.u64(*epoch);
+                w.u64(*lsn);
+                w.u32(followers.len() as u32);
+                for (f, acked) in followers {
+                    w.u64(*f);
+                    w.u64(*acked);
+                }
+            }
         }
         w.finish()
     }
@@ -559,6 +669,24 @@ impl Response {
             }
             RE_RETRY => Response::Retry { reason: r.str().map_err(de)? },
             RE_OVERLOADED => Response::Overloaded { retry_after_ms: r.u32().map_err(de)? },
+            RE_REPL_CHUNK => Response::ReplChunk {
+                epoch: r.u64().map_err(de)?,
+                start: r.u64().map_err(de)?,
+                end: r.u64().map_err(de)?,
+                bytes: r.bytes().map_err(de)?.to_vec(),
+            },
+            RE_REPL_STATUS => {
+                let epoch = r.u64().map_err(de)?;
+                let lsn = r.u64().map_err(de)?;
+                let n = r.u32().map_err(de)? as usize;
+                let mut followers = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    let f = r.u64().map_err(de)?;
+                    let acked = r.u64().map_err(de)?;
+                    followers.push((f, acked));
+                }
+                Response::ReplState { epoch, lsn, followers }
+            }
             other => return Err(WireError::Decode(format!("unknown response tag {other}"))),
         };
         Ok(resp)
@@ -574,11 +702,20 @@ pub fn response_for_error(e: &labbase::LabError) -> Response {
         labbase::LabError::Storage(StorageError::LockTimeout(oid)) => {
             Response::Retry { reason: format!("lock timeout on {oid}") }
         }
+        labbase::LabError::Storage(se @ StorageError::WalRewound { .. }) => {
+            Response::Error { code: EC_REPL_REWOUND, message: se.to_string() }
+        }
+        labbase::LabError::Storage(se @ StorageError::EpochFenced { .. }) => {
+            Response::Error { code: EC_REPL, message: se.to_string() }
+        }
         labbase::LabError::Storage(se) => {
             Response::Error { code: EC_STORAGE, message: se.to_string() }
         }
         labbase::LabError::Decode(msg) => {
             Response::Error { code: EC_DECODE, message: msg.clone() }
+        }
+        labbase::LabError::ReadOnly => {
+            Response::Error { code: EC_READ_ONLY, message: e.to_string() }
         }
         other => Response::Error { code: EC_SCHEMA, message: other.to_string() },
     }
@@ -640,6 +777,10 @@ mod tests {
         round_trip_req(Request::FindMaterial { name: "c-001".into() });
         round_trip_req(Request::CountInState { state: "queued".into() });
         round_trip_req(Request::Query { lql: "state(M, queued)".into() });
+        round_trip_req(Request::ReplSubscribe { follower: 2, from: 4096, max_bytes: 1 << 16 });
+        round_trip_req(Request::ReplAck { follower: 2, lsn: 8192 });
+        round_trip_req(Request::ReplStatus);
+        round_trip_req(Request::ReplPromote);
     }
 
     #[test]
@@ -663,6 +804,34 @@ mod tests {
         round_trip_resp(Response::Error { code: EC_SCHEMA, message: "unknown class".into() });
         round_trip_resp(Response::Retry { reason: "lock timeout on o9".into() });
         round_trip_resp(Response::Overloaded { retry_after_ms: 250 });
+        round_trip_resp(Response::ReplChunk {
+            epoch: 3,
+            start: 17,
+            end: 60,
+            bytes: vec![1, 2, 3, 4],
+        });
+        round_trip_resp(Response::ReplState {
+            epoch: 3,
+            lsn: 60,
+            followers: vec![(1, 60), (2, 17)],
+        });
+    }
+
+    #[test]
+    fn replication_errors_map_to_typed_codes() {
+        use labflow_storage::StorageError;
+        let rewound =
+            labbase::LabError::Storage(StorageError::WalRewound { requested: 9, tail: 4 });
+        assert!(matches!(
+            response_for_error(&rewound),
+            Response::Error { code: EC_REPL_REWOUND, .. }
+        ));
+        let fenced = labbase::LabError::Storage(StorageError::EpochFenced { got: 2, fence: 5 });
+        assert!(matches!(response_for_error(&fenced), Response::Error { code: EC_REPL, .. }));
+        assert!(matches!(
+            response_for_error(&labbase::LabError::ReadOnly),
+            Response::Error { code: EC_READ_ONLY, .. }
+        ));
     }
 
     #[test]

@@ -1,0 +1,125 @@
+//! Primary-side replication bookkeeping.
+//!
+//! The primary does not push: followers pull WAL chunks with
+//! `ReplSubscribe` and report durably applied offsets with `ReplAck`.
+//! All the primary keeps is this ack table — follower id → highest
+//! acked WAL offset — plus a condvar so commit handlers can wait for a
+//! configured ack quorum ([`ServerConfig::ack_quorum`]) before
+//! answering the client.
+//!
+//! The table is a leaf latch at rank [`lock_order::REPL_ACKS`], held
+//! with the same explicit-token pattern as the WAL's group-commit state
+//! (the guard is consumed and re-produced by the condvar wait, so the
+//! rank token lives alongside it). It is never held across a storage or
+//! socket call.
+//!
+//! [`ServerConfig::ack_quorum`]: crate::server::ServerConfig::ack_quorum
+
+use std::collections::HashMap;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use labflow_storage::lock_order;
+
+/// Per-follower acked LSNs plus the quorum condvar.
+pub(crate) struct AckTable {
+    acks: Mutex<HashMap<u64, u64>>,
+    cv: Condvar,
+}
+
+impl AckTable {
+    pub(crate) fn new() -> AckTable {
+        AckTable { acks: Mutex::new(HashMap::new()), cv: Condvar::new() }
+    }
+
+    /// Register `follower` in the table (first subscribe), so status
+    /// reports list it even before its first ack.
+    pub(crate) fn subscribe(&self, follower: u64) {
+        let _rank = lock_order::acquire(lock_order::REPL_ACKS);
+        let mut g = self.acks.lock().unwrap_or_else(|e| e.into_inner());
+        g.entry(follower).or_insert(0);
+    }
+
+    /// Record that `follower` has durably applied the WAL up to `lsn`.
+    /// Acks only move forward: a stale or reordered ack never lowers
+    /// the recorded offset.
+    pub(crate) fn ack(&self, follower: u64, lsn: u64) {
+        {
+            let _rank = lock_order::acquire(lock_order::REPL_ACKS);
+            let mut g = self.acks.lock().unwrap_or_else(|e| e.into_inner());
+            let at = g.entry(follower).or_insert(0);
+            *at = (*at).max(lsn);
+        }
+        self.cv.notify_all();
+    }
+
+    /// A point-in-time copy of the table, sorted by follower id.
+    pub(crate) fn snapshot(&self) -> Vec<(u64, u64)> {
+        let mut rows: Vec<(u64, u64)> = {
+            let _rank = lock_order::acquire(lock_order::REPL_ACKS);
+            let g = self.acks.lock().unwrap_or_else(|e| e.into_inner());
+            g.iter().map(|(f, a)| (*f, *a)).collect()
+        };
+        rows.sort_unstable();
+        rows
+    }
+
+    /// Block until at least `quorum` followers have acked `lsn` or
+    /// `timeout` elapses; returns whether the quorum was reached. The
+    /// commit this waits for is already durable locally — a timeout
+    /// means replication lag, not data loss, and is reported as such.
+    pub(crate) fn wait_quorum(&self, lsn: u64, quorum: u32, timeout: Duration) -> bool {
+        let _rank = lock_order::acquire(lock_order::REPL_ACKS);
+        let mut g = self.acks.lock().unwrap_or_else(|e| e.into_inner());
+        let deadline = Instant::now() + timeout;
+        loop {
+            let reached = g.values().filter(|acked| **acked >= lsn).count() as u32;
+            if reached >= quorum {
+                return true;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (ng, _) = self
+                .cv
+                .wait_timeout(g, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            g = ng;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acks_never_move_backwards() {
+        let t = AckTable::new();
+        t.ack(1, 100);
+        t.ack(1, 40); // reordered stale ack
+        assert_eq!(t.snapshot(), vec![(1, 100)]);
+    }
+
+    #[test]
+    fn subscribe_registers_at_zero() {
+        let t = AckTable::new();
+        t.subscribe(7);
+        assert_eq!(t.snapshot(), vec![(7, 0)]);
+    }
+
+    #[test]
+    fn quorum_wait_blocks_until_enough_acks() {
+        let t = std::sync::Arc::new(AckTable::new());
+        t.ack(1, 50);
+        // One follower at 50: quorum of 2 at lsn 50 not reached yet.
+        assert!(!t.wait_quorum(50, 2, Duration::from_millis(10)));
+        let waiter = {
+            let t = std::sync::Arc::clone(&t);
+            std::thread::spawn(move || t.wait_quorum(50, 2, Duration::from_secs(5)))
+        };
+        t.ack(2, 60);
+        assert!(waiter.join().unwrap_or(false), "second ack must release the quorum wait");
+    }
+}

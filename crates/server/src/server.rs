@@ -42,6 +42,14 @@ pub struct ServerConfig {
     pub quotas: TenantQuotas,
     /// Per-connection write staging buffer cap, in bytes.
     pub write_buffer: usize,
+    /// Replication ack quorum: a commit response waits until this many
+    /// followers have acked the commit's WAL offset. Zero (the
+    /// default) replicates asynchronously — commits answer as soon as
+    /// they are locally durable.
+    pub ack_quorum: u32,
+    /// How long a commit waits for its ack quorum before reporting the
+    /// (locally durable) commit as quorum-lagged.
+    pub ack_timeout: Duration,
 }
 
 impl Default for ServerConfig {
@@ -51,9 +59,16 @@ impl Default for ServerConfig {
             max_conns: 256,
             quotas: TenantQuotas::default(),
             write_buffer: 256 * 1024,
+            ack_quorum: 0,
+            ack_timeout: Duration::from_secs(2),
         }
     }
 }
+
+/// Hook invoked by a `ReplPromote` request on a follower server: stops
+/// the replication pump, promotes the store's epoch, and re-opens the
+/// database for writes. `None` (a primary) refuses promotion.
+pub type PromoteHook = Arc<dyn Fn() -> Result<(), String> + Send + Sync>;
 
 /// The drain latch's state, guarded at rank
 /// [`lock_order::SRV_DRAIN`].
@@ -82,6 +97,10 @@ pub(crate) struct Core {
     /// Set by a `Shutdown` request; the embedding binary polls it.
     shutdown_requested: AtomicBool,
     next_conn_id: AtomicU64,
+    /// Per-follower replication acks (rank [`lock_order::REPL_ACKS`]).
+    repl_acks: crate::repl::AckTable,
+    /// Follower-mode promotion hook; `None` on a primary.
+    promote: Option<PromoteHook>,
 }
 
 impl Core {
@@ -107,6 +126,14 @@ impl Core {
 
     pub(crate) fn request_shutdown(&self) {
         self.shutdown_requested.store(true, Ordering::Release);
+    }
+
+    pub(crate) fn repl_acks(&self) -> &crate::repl::AckTable {
+        &self.repl_acks
+    }
+
+    pub(crate) fn promote_hook(&self) -> Option<&PromoteHook> {
+        self.promote.as_ref()
     }
 
     fn register(&self, shared: Arc<ConnShared>) {
@@ -146,6 +173,18 @@ pub struct Server {
 impl Server {
     /// Bind, spawn the accept loop, and return the running server.
     pub fn start(db: Arc<LabBase>, config: ServerConfig) -> io::Result<Server> {
+        Server::start_with(db, config, None)
+    }
+
+    /// [`Server::start`], with a promotion hook for follower servers:
+    /// a `ReplPromote` request runs the hook (stop the pump, promote
+    /// the epoch, re-open for writes). Primaries pass `None` and refuse
+    /// promotion with a typed error.
+    pub fn start_with(
+        db: Arc<LabBase>,
+        config: ServerConfig,
+        promote: Option<PromoteHook>,
+    ) -> io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
@@ -159,6 +198,8 @@ impl Server {
             draining: AtomicBool::new(false),
             shutdown_requested: AtomicBool::new(false),
             next_conn_id: AtomicU64::new(1),
+            repl_acks: crate::repl::AckTable::new(),
+            promote,
         });
         let accept_stop = Arc::new(AtomicBool::new(false));
         let (tx, rx) = std::sync::mpsc::channel::<JoinHandle<()>>();

@@ -29,7 +29,7 @@ use crate::pagefile::PageFile;
 use crate::stats::{StatsSnapshot, StorageStats};
 use crate::traits::{SegmentInfo, Snapshot, StorageManager};
 use crate::vfs::{RealVfs, Vfs};
-use crate::wal::{Wal, WalRecord};
+use crate::wal::{Wal, WalChunk, WalRecord};
 use crate::{PAGE_PAYLOAD, PAGE_SIZE};
 
 /// Tuning options shared by all backends.
@@ -662,6 +662,88 @@ impl Engine {
             state.touched.push(oid);
         }
     }
+
+    /// `allocate` with the oid chosen by a shipped log record rather
+    /// than the local allocator (see [`Heap::replica_alloc`]): the
+    /// replication-apply path's one departure from the normal write
+    /// pipeline. Lock, touch, and write-ahead logging are identical.
+    fn replica_allocate(
+        &self,
+        txn: TxnId,
+        oid: Oid,
+        seg: SegmentId,
+        hint: ClusterHint,
+        data: &[u8],
+    ) -> Result<()> {
+        self.require_txn(txn)?;
+        self.heap.replica_alloc(oid, seg, hint, data, txn.raw())?;
+        self.lock(txn, oid, LockMode::Exclusive)?;
+        self.touch(txn, oid);
+        self.log(WalRecord::Alloc { txn: txn.raw(), oid, seg, hint, data: data.to_vec() })?;
+        Ok(())
+    }
+
+    /// Checkpoint with an epoch floor: the sealed meta file's epoch
+    /// advances to at least `floor` (normally it just increments). The
+    /// promotion path uses this to fence a deposed primary — the
+    /// promoted follower re-seals at an epoch above every epoch the old
+    /// primary could have stamped, and its replication endpoints refuse
+    /// chunks tagged with anything older.
+    pub fn checkpoint_with_floor(&self, floor: u64) -> Result<()> {
+        // A wounded engine's in-memory state may disagree with its log;
+        // persisting it as a checkpoint would make the disagreement
+        // durable and unrecoverable. Reopening the store heals it.
+        if self.is_wounded() {
+            return Err(StorageError::Wounded("a logged operation failed mid-apply"));
+        }
+        // Quiesce: block new transactions and drain the active ones so
+        // the snapshot and the WAL truncation are transaction-consistent.
+        // Callers must not hold an open transaction on this thread.
+        {
+            let mut active = self.active();
+            while active.quiescing {
+                active =
+                    self.active_changed.wait(active).unwrap_or_else(|e| e.into_inner());
+            }
+            active.quiescing = true;
+            while !active.txns.is_empty() || active.resolving > 0 {
+                active =
+                    self.active_changed.wait(active).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+        let result = (|| {
+            // Version GC: the system is quiesced, so no pending flip
+            // races the sweep; versions pinned by open snapshots are
+            // protected by the low-water mark.
+            self.heap.collect_garbage(self.snapshot_floor());
+            self.pool.flush_all()?;
+            self.file.sync()?;
+            let next_epoch = (self.epoch.load(Ordering::Acquire) + 1).max(floor);
+            let (_, meta_path, _) = Self::paths(&self.dir);
+            // The meta flip records, alongside the heap, each page's LSN
+            // as of the image just synced (so a later lost or misdirected
+            // write is detectable as a stale page) and the quarantine
+            // set. write_meta syncs the containing directory before
+            // returning, so by the time the WAL is truncated the rename
+            // is durable — no crash window can pair the old meta with the
+            // truncated log.
+            let state = meta::MetaState {
+                epoch: next_epoch,
+                quarantined: self.file.quarantined_pages(),
+                versions: self.file.version_table(),
+            };
+            meta::write_meta(&self.vfs, &meta_path, &self.heap, &state)?;
+            if let Some(wal) = &self.wal {
+                wal.truncate(next_epoch)?;
+            }
+            self.epoch.store(next_epoch, Ordering::Release);
+            StorageStats::bump(&self.stats.checkpoints, 1);
+            Ok(())
+        })();
+        self.active().quiescing = false;
+        self.active_changed.notify_all();
+        result
+    }
 }
 
 impl StorageManager for Engine {
@@ -896,59 +978,75 @@ impl StorageManager for Engine {
     }
 
     fn checkpoint(&self) -> Result<()> {
-        // A wounded engine's in-memory state may disagree with its log;
-        // persisting it as a checkpoint would make the disagreement
-        // durable and unrecoverable. Reopening the store heals it.
-        if self.is_wounded() {
-            return Err(StorageError::Wounded("a logged operation failed mid-apply"));
-        }
-        // Quiesce: block new transactions and drain the active ones so
-        // the snapshot and the WAL truncation are transaction-consistent.
-        // Callers must not hold an open transaction on this thread.
-        {
-            let mut active = self.active();
-            while active.quiescing {
-                active =
-                    self.active_changed.wait(active).unwrap_or_else(|e| e.into_inner());
-            }
-            active.quiescing = true;
-            while !active.txns.is_empty() || active.resolving > 0 {
-                active =
-                    self.active_changed.wait(active).unwrap_or_else(|e| e.into_inner());
+        self.checkpoint_with_floor(0)
+    }
+
+    fn store_epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    fn replication_lsn(&self) -> Result<u64> {
+        match &self.wal {
+            Some(wal) => Ok(wal.flushed_lsn()),
+            None => {
+                Err(StorageError::Unsupported("replication_lsn: profile has no write-ahead log"))
             }
         }
-        let result = (|| {
-            // Version GC: the system is quiesced, so no pending flip
-            // races the sweep; versions pinned by open snapshots are
-            // protected by the low-water mark.
-            self.heap.collect_garbage(self.snapshot_floor());
-            self.pool.flush_all()?;
-            self.file.sync()?;
-            let next_epoch = self.epoch.load(Ordering::Acquire) + 1;
-            let (_, meta_path, _) = Self::paths(&self.dir);
-            // The meta flip records, alongside the heap, each page's LSN
-            // as of the image just synced (so a later lost or misdirected
-            // write is detectable as a stale page) and the quarantine
-            // set. write_meta syncs the containing directory before
-            // returning, so by the time the WAL is truncated the rename
-            // is durable — no crash window can pair the old meta with the
-            // truncated log.
-            let state = meta::MetaState {
-                epoch: next_epoch,
-                quarantined: self.file.quarantined_pages(),
-                versions: self.file.version_table(),
-            };
-            meta::write_meta(&self.vfs, &meta_path, &self.heap, &state)?;
-            if let Some(wal) = &self.wal {
-                wal.truncate(next_epoch)?;
+    }
+
+    fn wal_stream_from(&self, from: u64, max_bytes: usize) -> Result<WalChunk> {
+        match &self.wal {
+            Some(wal) => wal.stream_from(from, max_bytes),
+            None => {
+                Err(StorageError::Unsupported("wal_stream_from: profile has no write-ahead log"))
             }
-            self.epoch.store(next_epoch, Ordering::Release);
-            StorageStats::bump(&self.stats.checkpoints, 1);
+        }
+    }
+
+    fn replica_apply_commit(&self, recs: &[WalRecord]) -> Result<()> {
+        // The shipped records run through the engine's normal
+        // transactional path — a local `begin`, the same
+        // lock/log/touch pipeline as a primary-side writer, then
+        // `commit` — so the follower inherits every invariant the
+        // primary enforces: write-ahead logging into the follower's
+        // *own* WAL (a follower is independently crash-safe),
+        // durability-before-visibility on the commit force, and the
+        // one-LSN MVCC flip (a snapshot reader on the follower sees
+        // all of a shipped transaction or none of it). The caller
+        // groups records by transaction and ships only transactions
+        // whose commit frame arrived; marker records are skipped here.
+        let txn = self.begin()?;
+        let applied = (|| -> Result<()> {
+            for rec in recs {
+                match rec {
+                    WalRecord::Alloc { oid, seg, hint, data, .. } => {
+                        self.replica_allocate(txn, *oid, *seg, *hint, data)?;
+                    }
+                    WalRecord::Update { oid, data, .. } => {
+                        self.update(txn, *oid, data)?;
+                    }
+                    WalRecord::Free { oid, .. } => {
+                        self.free(txn, *oid)?;
+                    }
+                    WalRecord::Begin(_)
+                    | WalRecord::Commit(_)
+                    | WalRecord::Abort(_)
+                    | WalRecord::Reset(_) => {}
+                }
+            }
             Ok(())
         })();
-        self.active().quiescing = false;
-        self.active_changed.notify_all();
-        result
+        match applied {
+            Ok(()) => self.commit(txn),
+            Err(e) => {
+                let _ = self.abort(txn);
+                Err(e)
+            }
+        }
+    }
+
+    fn promote_epoch(&self, floor: u64) -> Result<()> {
+        self.checkpoint_with_floor(floor)
     }
 
     fn stats(&self) -> StatsSnapshot {

@@ -79,6 +79,25 @@ pub enum StorageError {
         /// The page id the on-disk header claims.
         found: u32,
     },
+    /// A WAL streaming read asked for an offset past the flushed tail:
+    /// the log was truncated (by a checkpoint) since the reader's last
+    /// chunk, so the stream cannot resume — the follower must re-seed
+    /// from a fresh base copy of the store.
+    WalRewound {
+        /// The offset the stream reader asked to resume from.
+        requested: u64,
+        /// The current flushed tail of the (restarted) log.
+        tail: u64,
+    },
+    /// A shipped replication chunk was refused because it carries an
+    /// epoch older than the follower's fence — the signature of a
+    /// deposed ("zombie") primary still shipping after a promotion.
+    EpochFenced {
+        /// The epoch the chunk claims.
+        got: u64,
+        /// The minimum epoch the receiver accepts.
+        fence: u64,
+    },
 }
 
 impl StorageError {
@@ -121,6 +140,20 @@ impl fmt::Display for StorageError {
             }
             StorageError::MisdirectedPage { expected, found } => {
                 write!(f, "misdirected write: page {expected} holds a valid image of page {found}")
+            }
+            StorageError::WalRewound { requested, tail } => {
+                write!(
+                    f,
+                    "wal stream rewound: offset {requested} requested but the log was \
+                     truncated to {tail} bytes (follower must re-seed)"
+                )
+            }
+            StorageError::EpochFenced { got, fence } => {
+                write!(
+                    f,
+                    "replication chunk fenced: epoch {got} is older than the fence epoch \
+                     {fence} (deposed primary)"
+                )
             }
         }
     }
@@ -166,6 +199,8 @@ mod tests {
             StorageError::Wounded("abort undo failed"),
             StorageError::PageChecksum { page: 12, detail: "crc mismatch".into() },
             StorageError::MisdirectedPage { expected: 4, found: 9 },
+            StorageError::WalRewound { requested: 512, tail: 17 },
+            StorageError::EpochFenced { got: 3, fence: 5 },
         ];
         for c in cases {
             assert!(!c.to_string().is_empty());

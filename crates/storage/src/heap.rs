@@ -806,6 +806,54 @@ impl Heap {
         Ok(oid)
     }
 
+    /// Replication apply: allocate `payload` at the *caller-chosen*
+    /// `oid` — the oid the primary's log assigned. Placement is local
+    /// (a follower's pages need not mirror the primary's), but the oid
+    /// binding must match so shipped updates and snapshot reads resolve
+    /// identically, and the allocator floor is raised past it so a
+    /// promoted follower never re-issues a shipped oid.
+    ///
+    /// An oid that is already bound is refused: a coherent stream never
+    /// allocates twice, so a duplicate means the follower applied a
+    /// chunk it already had (callers dedup by LSN first). The record
+    /// written before the refusal is leaked to the next checkpoint,
+    /// exactly as [`Heap::recover_upsert`] leaks superseded slots.
+    pub fn replica_alloc(
+        &self,
+        oid: Oid,
+        seg: SegmentId,
+        hint: ClusterHint,
+        payload: &[u8],
+        txn: u64,
+    ) -> Result<()> {
+        let g = self.global_read();
+        let seg_idx = self.resolve_seg(&g, seg)?;
+        let (pid, slot) = {
+            let mut place = self.seg_lock(&g, seg_idx);
+            let stored = self.build_stored(&mut place, payload)?;
+            self.write_record(&mut place, seg, hint, &stored)?
+        };
+        self.reserve_oid_floor(oid.raw() + 1);
+        let ver = Version { body: VersionBody::Data(Loc { page: pid, slot, seg }), lsn: 0, txn };
+        {
+            let mut shard = self.table_write(oid.raw());
+            if shard.contains_key(&oid.raw()) {
+                return Err(StorageError::Corrupt(format!(
+                    "replica alloc: oid {oid} is already bound"
+                )));
+            }
+            shard.insert(oid.raw(), vec![ver]);
+            // Pending-only chain: the view slot stays empty until
+            // `commit_version` flips it, same as `alloc`.
+            if txn == 0 {
+                self.publish_view(oid.raw(), &[ver]);
+            }
+        }
+        StorageStats::bump(&self.stats.allocs, 1);
+        StorageStats::bump(&self.stats.bytes_allocated, payload.len() as u64);
+        Ok(())
+    }
+
     /// Crash-recovery write: (re)bind `oid` to `payload` at a freshly
     /// chosen location, never touching the location the table currently
     /// maps it to.

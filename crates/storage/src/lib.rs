@@ -84,6 +84,7 @@ pub use scrub::{scrub_store, ScrubReport};
 pub use stats::{StatsSnapshot, StorageStats};
 pub use traits::{SegmentInfo, Snapshot, StorageManager};
 pub use vfs::{FaultPlan, OpenMode, RealVfs, SimVfs, Vfs, VfsFile};
+pub use wal::{decode_shipped, WalChunk, WalRecord};
 pub use waits::{add_name_index_wait, snapshot as wait_snapshot, WaitSnapshot};
 
 /// The page size used by all page-based backends, in bytes. This is the

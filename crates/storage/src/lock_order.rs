@@ -34,12 +34,16 @@
 //! | 70   | server tenant registry                 |
 //! | 72   | server connection table                |
 //! | 74   | server drain latch                     |
+//! | 76   | replication ack table (primary)        |
+//! | 78   | replication follower state             |
 //!
 //! The three `SRV_*` ranks belong to the network front end
 //! (`labflow-server`): its locks are short leaf sections that must never
 //! be held across a database call, so they rank *above* every storage
 //! lock — any accidental hold across an engine call then shows up as a
-//! rank inversion instead of a latent deadlock.
+//! rank inversion instead of a latent deadlock. The two `REPL_*` ranks
+//! extend the same rule to `labflow-repl`: ack bookkeeping and follower
+//! buffers are leaf latches, never held across a storage or socket call.
 
 use std::ops::{Deref, DerefMut};
 
@@ -100,6 +104,15 @@ pub const SRV_CONNS: LockRank = LockRank { rank: 72, name: "server.connections" 
 /// The network front end's drain latch: shutdown waits on it until the
 /// last connection handler has deregistered.
 pub const SRV_DRAIN: LockRank = LockRank { rank: 74, name: "server.drain" };
+/// The replication primary's per-follower ack table (acked LSNs plus
+/// the quorum condvar's state). A leaf latch: commit-side quorum waits
+/// release it (condvar) before blocking, and the ship loop never holds
+/// it across a storage or socket call.
+pub const REPL_ACKS: LockRank = LockRank { rank: 76, name: "repl.acks" };
+/// A replication follower's stream state (pending per-transaction
+/// record buffers, applied/durable LSN bookkeeping, fence epoch).
+/// A leaf latch, never held across the engine apply itself.
+pub const REPL_FOLLOWER: LockRank = LockRank { rank: 78, name: "repl.follower" };
 
 #[cfg(debug_assertions)]
 mod imp {

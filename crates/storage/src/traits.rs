@@ -3,9 +3,10 @@
 //! boundary in the paper, which made it possible to run virtually the
 //! same LabBase implementation over ObjectStore and Texas.
 
-use crate::error::Result;
+use crate::error::{Result, StorageError};
 use crate::ids::{ClusterHint, Oid, SegmentId, TxnId};
 use crate::stats::StatsSnapshot;
+use crate::wal::{WalChunk, WalRecord};
 
 /// Per-segment size information for reporting.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -157,4 +158,56 @@ pub trait StorageManager: Send + Sync {
     /// Flush and empty the cache so the next accesses are cold. No-op for
     /// main-memory backends. Used by the clustering ablation.
     fn drop_caches(&self) -> Result<()>;
+
+    // ---- replication (WAL shipping) -----------------------------------
+    //
+    // A primary streams its WAL to follower stores that re-apply each
+    // committed transaction; a follower can be promoted after primary
+    // loss. Only WAL-backed backends participate — the defaults report
+    // `Unsupported` so MemStore and the Texas profiles stay honest.
+
+    /// The checkpoint epoch stamped in the store's sealed metadata.
+    /// Shipped chunks are tagged with it; a promoted follower re-seals
+    /// at a higher epoch ([`promote_epoch`](Self::promote_epoch)), so a
+    /// deposed primary's chunks are refused by the epoch fence.
+    /// Backends without durable metadata report 0.
+    fn store_epoch(&self) -> u64 {
+        0
+    }
+
+    /// The flushed byte offset of the write-ahead log: the point up to
+    /// which [`wal_stream_from`](Self::wal_stream_from) can serve, and
+    /// the durability horizon a follower acks once it has applied and
+    /// forced everything below it.
+    fn replication_lsn(&self) -> Result<u64> {
+        Err(StorageError::Unsupported("replication_lsn: backend has no write-ahead log"))
+    }
+
+    /// Read a chunk of whole, checksum-verified WAL frames starting at
+    /// byte `from`, for shipping to a replication follower. The chunk
+    /// ends at the last whole frame within `max_bytes` (always at least
+    /// one frame when any is available past `from`).
+    fn wal_stream_from(&self, from: u64, max_bytes: usize) -> Result<WalChunk> {
+        let _ = (from, max_bytes);
+        Err(StorageError::Unsupported("wal_stream_from: backend has no write-ahead log"))
+    }
+
+    /// Apply one committed, shipped transaction's operations to this
+    /// (follower) store, atomically and durably: after `Ok`, a snapshot
+    /// reader sees all of the transaction, and a crash of the follower
+    /// preserves it. The caller groups shipped records by transaction
+    /// and calls this only for transactions whose commit frame arrived.
+    fn replica_apply_commit(&self, recs: &[WalRecord]) -> Result<()> {
+        let _ = recs;
+        Err(StorageError::Unsupported("replica_apply_commit: backend has no write-ahead log"))
+    }
+
+    /// Promote this (follower) store: checkpoint it with its sealed
+    /// epoch raised to at least `floor` — one above every epoch the
+    /// deposed primary could have stamped — so stale chunks from the
+    /// old epoch are refused from now on.
+    fn promote_epoch(&self, floor: u64) -> Result<()> {
+        let _ = floor;
+        Err(StorageError::Unsupported("promote_epoch: backend has no durable epoch"))
+    }
 }

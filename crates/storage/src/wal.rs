@@ -249,6 +249,71 @@ fn intact_frame_after(data: &[u8], cut: usize) -> Option<u64> {
     None
 }
 
+/// A contiguous run of whole, checksum-verified WAL frames read from
+/// the flushed portion of the log, ready to ship to a replication
+/// follower. `bytes` holds the frames exactly as they sit on disk, so
+/// the follower re-verifies each position-bound checksum against the
+/// absolute offsets `[start, end)` — a torn, rotted, or reordered
+/// chunk fails verification instead of replaying as history.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalChunk {
+    /// Absolute byte offset of the first frame in this chunk.
+    pub start: u64,
+    /// Offset one past the last byte: the next stream request point.
+    pub end: u64,
+    /// The raw frame bytes, as written (and checksummed) on disk.
+    pub bytes: Vec<u8>,
+}
+
+impl WalChunk {
+    /// True when the stream had nothing new past `start`.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+}
+
+/// Decode a shipped chunk's frames, verifying each position-bound
+/// checksum against its absolute log offset (`start` + position in
+/// `bytes`). Unlike [`Wal::replay`], *nothing* is forgiven: a shipped
+/// chunk is a complete artifact, so a truncated final frame is damage
+/// (a network-level tear), not an expected crash tail. Returns each
+/// record with the absolute offset of the frame that carried it.
+pub fn decode_shipped(start: u64, bytes: &[u8]) -> Result<Vec<(u64, WalRecord)>> {
+    let mut out = Vec::new();
+    let mut at = 0usize;
+    let mut frames = 0u64;
+    let fail = |at: usize, frames: u64, detail: String| {
+        StorageError::Recovery(RecoveryError { offset: start + at as u64, frame: frames, detail })
+    };
+    while at < bytes.len() {
+        let header = bytes
+            .get(at..)
+            .and_then(|r| r.split_first_chunk::<4>())
+            .and_then(|(len, r)| r.split_first_chunk::<4>().map(|(crc, rest)| (len, crc, rest)));
+        let Some((len_bytes, crc_bytes, rest)) = header else {
+            return Err(fail(at, frames, "shipped frame header torn at chunk end".into()));
+        };
+        let len = u32::from_le_bytes(*len_bytes) as usize;
+        let crc = u32::from_le_bytes(*crc_bytes);
+        let Some(body) = rest.get(..len) else {
+            return Err(fail(at, frames, format!("shipped frame body torn: {len} bytes claimed")));
+        };
+        if frame_crc(start + at as u64, body) != crc {
+            return Err(fail(
+                at,
+                frames,
+                "shipped frame failed its position-bound checksum (damaged or reordered)".into(),
+            ));
+        }
+        let rec = WalRecord::decode(body)
+            .map_err(|e| fail(at, frames, format!("undecodable shipped record: {e}")))?;
+        out.push((start + at as u64, rec));
+        frames += 1;
+        at += 8 + len;
+    }
+    Ok(out)
+}
+
 /// Everything replay learned from the log.
 #[derive(Debug, Default)]
 pub struct WalReplay {
@@ -609,6 +674,110 @@ impl Wal {
     pub fn len_bytes(&self) -> Result<u64> {
         Ok(self.written.load(Ordering::Relaxed))
     }
+
+    /// The flushed tail of the log: every byte below this offset is a
+    /// whole frame in the file, servable by [`Wal::stream_from`].
+    /// (Buffered-but-unflushed records belong to commits not yet
+    /// forced; they are not yet history and are never shipped.)
+    pub fn flushed_lsn(&self) -> u64 {
+        self.writer_lock().flushed
+    }
+
+    /// Read a chunk of whole frames starting at byte `from`, for
+    /// shipping to a replication follower.
+    ///
+    /// Runs under the writer lock, after re-establishing the log head
+    /// if a truncation is pending — a stream reader therefore sees
+    /// either the pre-truncation tail or the fully repaired head,
+    /// never the limbo between them. Frames are returned exactly as
+    /// they sit on disk; the chunk ends at the last whole frame within
+    /// `max_bytes` (always at least one frame when any is available).
+    ///
+    /// Typed failures: [`StorageError::WalRewound`] when `from` is past
+    /// the flushed tail (the log restarted at a checkpoint — the
+    /// follower must re-seed), and [`StorageError::Recovery`] when the
+    /// durable bytes at `from` do not verify as frames (interior
+    /// damage, or a resume offset that is not a frame boundary).
+    pub fn stream_from(&self, from: u64, max_bytes: usize) -> Result<WalChunk> {
+        let mut w = self.writer_lock();
+        w.repair_head()?;
+        let flushed = w.flushed;
+        if from > flushed {
+            return Err(StorageError::WalRewound { requested: from, tail: flushed });
+        }
+        if from == flushed {
+            return Ok(WalChunk { start: from, end: from, bytes: Vec::new() });
+        }
+        let avail = flushed - from;
+        let mut window = avail.min(max_bytes.max(16) as u64) as usize;
+        let stats = self.stats.clone();
+        loop {
+            let mut buf = vec![0u8; window];
+            with_retries(
+                || w.file.read_at(from, &mut buf),
+                || StorageStats::bump(&stats.io_retries, 1),
+            )?;
+            // Trim to whole frames, verifying each checksum against its
+            // absolute offset as we go.
+            let mut at = 0usize;
+            let mut frames = 0u64;
+            while at < buf.len() {
+                let header = buf.get(at..).and_then(|r| r.split_first_chunk::<4>()).and_then(
+                    |(len, r)| r.split_first_chunk::<4>().map(|(crc, rest)| (len, crc, rest)),
+                );
+                let Some((len_bytes, crc_bytes, rest)) = header else { break };
+                let len = u32::from_le_bytes(*len_bytes) as usize;
+                let frame_end = at.saturating_add(8).saturating_add(len);
+                if frame_end as u64 > avail {
+                    // The frame claims to run past the flushed tail;
+                    // the writer only flushes whole frames, so this is
+                    // durable damage, not an artifact of the window.
+                    return Err(StorageError::Recovery(RecoveryError {
+                        offset: from + at as u64,
+                        frame: frames,
+                        detail: "streamed frame runs past the flushed tail".into(),
+                    }));
+                }
+                let Some(body) = rest.get(..len) else {
+                    // Whole frame exists but the window cut it; widen to
+                    // cover at least this frame and re-read. Only the
+                    // first frame can force this (later cuts just end
+                    // the chunk early).
+                    if at == 0 {
+                        window = frame_end;
+                        break;
+                    }
+                    break;
+                };
+                if frame_crc(from + at as u64, body) != u32::from_le_bytes(*crc_bytes) {
+                    return Err(StorageError::Recovery(RecoveryError {
+                        offset: from + at as u64,
+                        frame: frames,
+                        detail: "streamed frame failed its position-bound checksum".into(),
+                    }));
+                }
+                frames += 1;
+                at = frame_end;
+            }
+            if at == 0 {
+                // First frame did not fit the window: go around with the
+                // widened window. A window that failed to grow means the
+                // durable tail holds less than one whole frame, which
+                // the writer's whole-frame flushes make impossible —
+                // report it rather than spin.
+                if window <= buf.len() {
+                    return Err(StorageError::Recovery(RecoveryError {
+                        offset: from,
+                        frame: 0,
+                        detail: "flushed tail holds no whole frame".into(),
+                    }));
+                }
+                continue;
+            }
+            buf.truncate(at);
+            return Ok(WalChunk { start: from, end: from + at as u64, bytes: buf });
+        }
+    }
 }
 
 #[cfg(test)]
@@ -899,5 +1068,129 @@ mod tests {
             assert!(rec.txn() == 1 || rec.txn() == 2);
         }
         assert_eq!(WalRecord::Reset(9).txn(), 0);
+    }
+
+    #[test]
+    fn stream_round_trips_through_decode_shipped() {
+        let path = tmp("stream-rt");
+        let vfs = RealVfs::arc();
+        let stats = Arc::new(StorageStats::default());
+        let wal = Wal::create(&vfs, &path, stats, None).unwrap();
+        for rec in sample_records() {
+            wal.append(&rec).unwrap();
+        }
+        wal.group_commit(true).unwrap();
+        let chunk = wal.stream_from(0, 1 << 20).unwrap();
+        assert_eq!(chunk.start, 0);
+        assert_eq!(chunk.end, wal.flushed_lsn());
+        let recs: Vec<WalRecord> =
+            decode_shipped(0, &chunk.bytes).unwrap().into_iter().map(|(_, r)| r).collect();
+        assert_eq!(recs, sample_records());
+        // Resuming at the end yields an empty chunk, not an error.
+        let tail = wal.stream_from(chunk.end, 1 << 20).unwrap();
+        assert!(tail.is_empty());
+        assert_eq!(tail.end, chunk.end);
+    }
+
+    #[test]
+    fn stream_respects_max_bytes_but_always_ships_a_whole_frame() {
+        let path = tmp("stream-max");
+        let vfs = RealVfs::arc();
+        let stats = Arc::new(StorageStats::default());
+        let wal = Wal::create(&vfs, &path, stats, None).unwrap();
+        let big = WalRecord::Update {
+            txn: 1,
+            oid: Oid::from_raw(7),
+            data: vec![0xAB; 4096],
+            old: vec![0xCD; 4096],
+        };
+        wal.append(&WalRecord::Begin(1)).unwrap();
+        wal.append(&big).unwrap();
+        wal.append(&WalRecord::Commit(1)).unwrap();
+        wal.group_commit(true).unwrap();
+        // A tiny budget still ships the first frame whole.
+        let first = wal.stream_from(0, 4).unwrap();
+        let recs = decode_shipped(first.start, &first.bytes).unwrap();
+        assert_eq!(recs.len(), 1);
+        assert!(matches!(recs.first(), Some((0, WalRecord::Begin(1)))));
+        // The big frame ships whole even though it alone exceeds the cap.
+        let second = wal.stream_from(first.end, 64).unwrap();
+        let recs = decode_shipped(second.start, &second.bytes).unwrap();
+        assert_eq!(recs.len(), 1, "one whole frame, not a torn prefix");
+        assert!(matches!(recs.first(), Some((_, WalRecord::Update { .. }))));
+        // A roomy budget drains the rest.
+        let third = wal.stream_from(second.end, 1 << 20).unwrap();
+        assert_eq!(third.end, wal.flushed_lsn());
+        let recs = decode_shipped(third.start, &third.bytes).unwrap();
+        assert!(matches!(recs.first(), Some((_, WalRecord::Commit(1)))));
+    }
+
+    #[test]
+    fn stream_past_truncated_tail_is_a_typed_rewind() {
+        let path = tmp("stream-rewind");
+        let vfs = RealVfs::arc();
+        let stats = Arc::new(StorageStats::default());
+        let wal = Wal::create(&vfs, &path, stats, None).unwrap();
+        for rec in sample_records() {
+            wal.append(&rec).unwrap();
+        }
+        wal.group_commit(true).unwrap();
+        let tail = wal.flushed_lsn();
+        wal.truncate(2).unwrap();
+        match wal.stream_from(tail, 1 << 20) {
+            Err(StorageError::WalRewound { requested, tail: now }) => {
+                assert_eq!(requested, tail);
+                assert!(now < tail, "the restarted log is shorter than the old tail");
+            }
+            other => panic!("expected WalRewound, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stream_off_frame_boundary_is_typed_corruption() {
+        let path = tmp("stream-offset");
+        let vfs = RealVfs::arc();
+        let stats = Arc::new(StorageStats::default());
+        let wal = Wal::create(&vfs, &path, stats, None).unwrap();
+        for rec in sample_records() {
+            wal.append(&rec).unwrap();
+        }
+        wal.group_commit(true).unwrap();
+        // One byte into the log: the "frame" there fails its
+        // position-bound checksum (or claims to overrun the tail).
+        match wal.stream_from(1, 1 << 20) {
+            Err(StorageError::Recovery(_)) => {}
+            other => panic!("expected a Recovery error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shipped_chunk_damage_is_detected() {
+        let path = tmp("shipped-damage");
+        let vfs = RealVfs::arc();
+        let stats = Arc::new(StorageStats::default());
+        let wal = Wal::create(&vfs, &path, stats, None).unwrap();
+        wal.append(&WalRecord::Begin(1)).unwrap();
+        wal.append(&WalRecord::Commit(1)).unwrap();
+        wal.group_commit(true).unwrap();
+        let chunk = wal.stream_from(0, 1 << 20).unwrap();
+
+        // Bit rot inside a frame body.
+        let mut rotted = chunk.bytes.clone();
+        if let Some(b) = rotted.get_mut(10) {
+            *b ^= 0x40;
+        }
+        assert!(matches!(decode_shipped(0, &rotted), Err(StorageError::Recovery(_))));
+
+        // A torn (truncated) chunk: the network tore the last frame.
+        let torn = chunk.bytes.get(..chunk.bytes.len() - 3).unwrap().to_vec();
+        assert!(matches!(decode_shipped(0, &torn), Err(StorageError::Recovery(_))));
+
+        // Reordered delivery: the right bytes applied at the wrong base
+        // offset fail every position-bound checksum.
+        assert!(matches!(decode_shipped(64, &chunk.bytes), Err(StorageError::Recovery(_))));
+
+        // And the untouched chunk still verifies.
+        assert_eq!(decode_shipped(0, &chunk.bytes).unwrap().len(), 2);
     }
 }

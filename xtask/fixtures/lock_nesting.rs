@@ -113,6 +113,31 @@ impl Fixture {
         let _d = lock_order::ranked(lock_order::SRV_DRAIN, || self.drain.lock());
     }
 
+    /// Replication inversion: the follower state lock (78) held while
+    /// taking an engine lock (10) — i.e. held across
+    /// `replica_apply_commit`. The follower's ingest is three-phase
+    /// (check under lock, apply unlocked, advance under lock) exactly to
+    /// avoid this.
+    fn repl_follower_across_apply_inverted(&self) {
+        let _f = lock_order::ranked(lock_order::REPL_FOLLOWER, || self.state.lock());
+        let _a = lock_order::ranked(lock_order::ENGINE_ACTIVE, || self.active.lock());
+    }
+
+    /// Replication inversion: the ack table (76) taken while holding
+    /// the follower state lock (78). Acks are reported after ingest
+    /// returns, never from under it.
+    fn repl_acks_under_follower_inverted(&self) {
+        let _f = lock_order::ranked(lock_order::REPL_FOLLOWER, || self.state.lock());
+        let _a = lock_order::ranked(lock_order::REPL_ACKS, || self.acks.lock());
+    }
+
+    /// Correctly ordered replication nesting — ack table, then follower
+    /// state — must NOT be flagged.
+    fn repl_well_ordered(&self) {
+        let _a = lock_order::ranked(lock_order::REPL_ACKS, || self.acks.lock());
+        let _f = lock_order::ranked(lock_order::REPL_FOLLOWER, || self.state.lock());
+    }
+
     /// Waived inversion: the allow marker suppresses the finding.
     fn waived(&self) {
         let _p = lock_order::ranked(lock_order::BUFFER_POOL, || self.pool.lock());

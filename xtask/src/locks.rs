@@ -785,6 +785,34 @@ mod tests {
     }
 
     #[test]
+    fn fixture_repl_rank_inversions_are_flagged() {
+        // The replication-era seeded inversions: an engine lock under
+        // the follower state lock (the lock held across
+        // `replica_apply_commit` mistake), and the ack table under the
+        // follower state. The documented acks -> follower nesting must
+        // stay silent.
+        let findings = analyze(&[load_fixture("lock_nesting.rs")]);
+        assert!(
+            findings.iter().any(|f| f.pass == "lock-order"
+                && f.msg.contains("engine active-transaction table (rank 10)")
+                && f.msg.contains("replication follower state (rank 78)")),
+            "REPL_FOLLOWER -> ENGINE_ACTIVE inversion must be flagged"
+        );
+        assert!(
+            findings.iter().any(|f| f.pass == "lock-order"
+                && f.msg.contains("replication ack table (rank 76)")
+                && f.msg.contains("replication follower state (rank 78)")),
+            "REPL_FOLLOWER -> REPL_ACKS inversion must be flagged"
+        );
+        assert!(
+            !findings.iter().any(|f| f.pass == "lock-order"
+                && f.msg.starts_with("acquires replication follower state")
+                && f.msg.contains("replication ack table (rank 76)")),
+            "acks -> follower is the documented order and must not be flagged"
+        );
+    }
+
+    #[test]
     fn real_tree_lock_rules_match_runtime_constants() {
         // Drift check: every rank constant referenced from the storage
         // crate sources must exist in the analyzer's table (an unknown

@@ -35,6 +35,8 @@ mod atomics;
 mod audit;
 mod crashtest;
 mod drift;
+mod failover;
+mod failover_smoke;
 mod lexer;
 mod locks;
 mod modelcheck;
@@ -67,7 +69,7 @@ pub struct Finding {
 
 /// Crates the panic-freedom lint applies to (the server path; the
 /// workload driver and query shell may still panic on bad input).
-const PANIC_CRATES: &[&str] = &["storage", "labbase", "workflow", "core", "mrv", "server"];
+const PANIC_CRATES: &[&str] = &["storage", "labbase", "workflow", "core", "mrv", "server", "repl"];
 
 /// Slice-indexing ratchet: the per-crate count of unwaived index
 /// expressions may not exceed these budgets. Lower freely; raising one
@@ -78,6 +80,7 @@ const INDEX_BUDGETS: &[(&str, u32)] = &[
     ("workflow", 0),
     ("core", 18),
     ("server", 0),
+    ("repl", 0),
 ];
 
 /// Unsafe-code ratchet: the only crates allowed any `unsafe` at all,
@@ -88,7 +91,7 @@ const INDEX_BUDGETS: &[(&str, u32)] = &[
 /// lock-free read path); the model-checker harness itself needs none.
 const UNSAFE_BUDGETS: &[(&str, u32)] = &[("mrv", 13)];
 
-const USAGE: &str = "usage: cargo xtask analyze [--root DIR]\n       cargo xtask modelcheck\n       cargo xtask crashtest [--seeds N] [--first-seed S] [--corrupt]\n       cargo xtask scrub --dir PATH [--demo]\n       cargo xtask server-smoke [--dir PATH]";
+const USAGE: &str = "usage: cargo xtask analyze [--root DIR]\n       cargo xtask modelcheck\n       cargo xtask crashtest [--seeds N] [--first-seed S] [--corrupt]\n       cargo xtask failover [--seeds N] [--first-seed S]\n       cargo xtask failover-smoke [--dir PATH]\n       cargo xtask scrub --dir PATH [--demo]\n       cargo xtask server-smoke [--dir PATH]";
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -131,7 +134,8 @@ fn main() {
                     std::process::exit(2);
                 }
             },
-            "analyze" | "crashtest" | "modelcheck" | "scrub" | "server-smoke"
+            "analyze" | "crashtest" | "failover" | "failover-smoke" | "modelcheck" | "scrub"
+            | "server-smoke"
                 if cmd.is_none() =>
             {
                 cmd = Some(a)
@@ -158,10 +162,21 @@ fn main() {
     if cmd.as_deref() == Some("server-smoke") {
         std::process::exit(server_smoke::run(dir.as_deref()));
     }
+    if cmd.as_deref() == Some("failover-smoke") {
+        std::process::exit(failover_smoke::run(dir.as_deref()));
+    }
     if cmd.as_deref() == Some("crashtest") {
         let failures = crashtest::run(first_seed, seeds, corrupt);
         if failures > 0 {
             eprintln!("crashtest: {failures} of {seeds} seeds violated the durability contract");
+            std::process::exit(1);
+        }
+        return;
+    }
+    if cmd.as_deref() == Some("failover") {
+        let failures = failover::run(first_seed, seeds);
+        if failures > 0 {
+            eprintln!("failover: {failures} of {seeds} seeds violated the replication contract");
             std::process::exit(1);
         }
         return;

@@ -33,6 +33,13 @@ pub const RANK_CONSTS: &[(&str, u16, &str)] = &[
     ("SRV_TENANTS", 70, "server tenant registry"),
     ("SRV_CONNS", 72, "server connection table"),
     ("SRV_DRAIN", 74, "server drain latch"),
+    // Replication (crates/server ack table, crates/repl follower state):
+    // leaf latches like the server's — never held across a storage call.
+    // The follower state lock outranks everything precisely so that
+    // holding it across `replica_apply_commit` (which acquires engine
+    // locks at ranks 10–55) is a caught inversion.
+    ("REPL_ACKS", 76, "replication ack table"),
+    ("REPL_FOLLOWER", 78, "replication follower state"),
 ];
 
 // LabBase cache locks are not runtime-instrumented (labbase has no
