@@ -92,6 +92,9 @@ fn run() -> Result<(), String> {
         if id == "abl-replication" {
             write_bench_replication(&out_dir, &cfg, &report.json)?;
         }
+        if id == "abl-multiclient" {
+            write_bench_commit(&out_dir, &cfg, &report.json)?;
+        }
     }
     println!("results written to {}", out_dir.display());
     std::fs::remove_dir_all(&work_dir).ok();
@@ -156,6 +159,53 @@ fn write_bench_replication(
     Ok(())
 }
 
+/// The commit-path perf-trajectory file: a flat `BENCH_commit.json`
+/// (one object per multi-client point, stable key names) tracking
+/// group-commit throughput and batching across commits — the numbers
+/// the pipelined log-writer is on the hook for.
+fn write_bench_commit(
+    out_dir: &std::path::Path,
+    cfg: &BenchConfig,
+    points: &serde_json::Value,
+) -> Result<(), String> {
+    use serde_json::Value;
+    const KEYS: [&str; 7] =
+        ["version", "clients", "supported", "steps_per_sec", "commits", "retries", "wal_syncs"];
+    let rows: Vec<Value> = match points {
+        Value::Seq(items) => items
+            .iter()
+            .map(|p| {
+                let picked = match p {
+                    Value::Map(entries) => KEYS
+                        .iter()
+                        .filter_map(|k| {
+                            entries.iter().find(|(name, _)| name == k).cloned()
+                        })
+                        .collect(),
+                    _ => Vec::new(),
+                };
+                Value::Map(picked)
+            })
+            .collect(),
+        _ => Vec::new(),
+    };
+    let config = Value::Map(vec![
+        ("seed".to_string(), Value::UInt(cfg.seed)),
+        ("buffer_pages".to_string(), Value::UInt(cfg.buffer_pages as u64)),
+    ]);
+    let body = Value::Map(vec![
+        ("bench".to_string(), Value::Str("commit".to_string())),
+        ("config".to_string(), config),
+        ("points".to_string(), Value::Seq(rows)),
+    ]);
+    let path = out_dir.join("BENCH_commit.json");
+    let text = serde_json::to_string_pretty(&body)
+        .map_err(|e| format!("serializing BENCH_commit: {e}"))?;
+    std::fs::write(&path, text).map_err(|e| format!("writing {path:?}: {e}"))?;
+    println!("commit perf trajectory written to {}", path.display());
+    Ok(())
+}
+
 const HELP: &str = "\
 labflow-harness — regenerate the LabFlow-1 paper's tables and figures
 
@@ -172,7 +222,8 @@ EXPERIMENTS (default: all)
   abl-clustering       clustering control vs cache size (ablation)
   abl-concurrency      reader threads during the build (ablation)
   abl-recovery         crash recovery per durability design (ablation)
-  abl-multiclient      writer clients vs throughput, group commit (ablation)
+  abl-multiclient      writer clients vs throughput, group commit (ablation);
+                       also emits the BENCH_commit.json trajectory file
   abl-scrub            offline scrub of a recovered store image (ablation)
   abl-snapshot         snapshot scans vs writer throughput (ablation)
   abl-server           networked front end: closed-loop tails + admission (ablation)

@@ -112,9 +112,14 @@ pub struct ClientRow {
     pub retries: u64,
     /// Milliseconds this client's thread spent blocked on object locks.
     pub lock_wait_ms: f64,
-    /// Milliseconds spent in WAL group commit (queueing for the batch
-    /// leader plus the physical log force).
+    /// Milliseconds spent parked in WAL group commit waiting for the
+    /// log-writer thread to cover this client's ticket (pure queue
+    /// wait; the physical force runs on the log-writer).
     pub commit_wait_ms: f64,
+    /// Milliseconds this client's own thread spent *performing* a
+    /// physical log force — nonzero only when a buffer-pool steal
+    /// guard forced the log mid-transaction.
+    pub commit_force_ms: f64,
     /// Milliseconds this client's thread spent blocked on heap metadata
     /// locks (object-table shards, segment placement state).
     pub heap_wait_ms: f64,

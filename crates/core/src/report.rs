@@ -441,8 +441,12 @@ pub fn multiclient_table(points: &[MultiClientPoint]) -> String {
         .collect();
     if !attributed.is_empty() {
         out.push_str("\nWait attribution — per client, ms blocked\n");
+        out.push_str(
+            "('commit wait' is pure queue wait on the log-writer; 'force' is time this\n \
+             client's own thread spent inside a physical log force, e.g. steal guards)\n",
+        );
         out.push_str(&format!(
-            "{:<12}{:>9}{:>9}{:>12}{:>12}{:>12}{:>12}{:>12}{:>10}{:>10}\n",
+            "{:<12}{:>9}{:>9}{:>12}{:>12}{:>12}{:>12}{:>9}{:>12}{:>10}{:>10}\n",
             "version",
             "clients",
             "client",
@@ -450,6 +454,7 @@ pub fn multiclient_table(points: &[MultiClientPoint]) -> String {
             "retries",
             "lock wait",
             "commit wait",
+            "force",
             "heap wait",
             "cv waits",
             "name idx"
@@ -457,7 +462,7 @@ pub fn multiclient_table(points: &[MultiClientPoint]) -> String {
         for p in attributed {
             for r in &p.per_client {
                 out.push_str(&format!(
-                    "{:<12}{:>9}{:>9}{:>12}{:>12}{:>12.1}{:>12.1}{:>12.1}{:>10}{:>10.1}\n",
+                    "{:<12}{:>9}{:>9}{:>12}{:>12}{:>12.1}{:>12.1}{:>9.1}{:>12.1}{:>10}{:>10.1}\n",
                     p.version,
                     p.clients,
                     r.client,
@@ -465,6 +470,7 @@ pub fn multiclient_table(points: &[MultiClientPoint]) -> String {
                     commas(r.retries),
                     r.lock_wait_ms,
                     r.commit_wait_ms,
+                    r.commit_force_ms,
                     r.heap_wait_ms,
                     commas(r.lock_condvar_waits),
                     r.name_index_wait_ms,
@@ -812,6 +818,7 @@ mod tests {
             retries: 3,
             lock_wait_ms: 12.25,
             commit_wait_ms: 4.5,
+            commit_force_ms: 2.25,
             heap_wait_ms: 1.75,
             lock_condvar_waits: 4321,
             name_index_wait_ms: 6.5,
@@ -829,6 +836,11 @@ mod tests {
         assert!(
             t.contains("1.8") || t.contains("1.7"),
             "heap wait ms renders: {t}"
+        );
+        assert!(t.contains("force"), "force column renders: {t}");
+        assert!(
+            t.contains("2.2") || t.contains("2.3"),
+            "force ms renders: {t}"
         );
         assert!(t.contains("cv waits"), "condvar wait column renders: {t}");
         assert!(t.contains("4,321"), "condvar wait count renders: {t}");

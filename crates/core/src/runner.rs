@@ -781,7 +781,11 @@ const MC_STEPS_PER_TXN: usize = 4;
 const MC_ROUNDS: usize = 4;
 /// Retries allowed per transaction before the run is declared stuck.
 const MC_MAX_RETRIES: u64 = 100;
-/// Group-commit window for persistent backends in the multi-client run.
+/// WAL idle-flush delay for persistent backends in the multi-client
+/// run. No longer a commit-path sleep: the dedicated log-writer thread
+/// batches commits by pipelining (everything arriving during an
+/// in-flight force joins the next batch), and this only bounds how
+/// long non-commit records may sit buffered.
 const MC_COMMIT_WINDOW: Duration = Duration::from_micros(500);
 
 /// One point of the multi-client ablation.
@@ -829,6 +833,7 @@ fn multiclient_worker(db: &LabBase, mine: &[MaterialId], client: u64) -> Result<
         retries: 0,
         lock_wait_ms: 0.0,
         commit_wait_ms: 0.0,
+        commit_force_ms: 0.0,
         heap_wait_ms: 0.0,
         lock_condvar_waits: 0,
         name_index_wait_ms: 0.0,
@@ -887,6 +892,7 @@ fn multiclient_worker(db: &LabBase, mine: &[MaterialId], client: u64) -> Result<
     let waits = labflow_storage::wait_snapshot().delta(&waits0);
     row.lock_wait_ms = waits.lock_wait_nanos as f64 / 1e6;
     row.commit_wait_ms = waits.commit_wait_nanos as f64 / 1e6;
+    row.commit_force_ms = waits.commit_force_nanos as f64 / 1e6;
     row.heap_wait_ms = waits.heap_wait_nanos as f64 / 1e6;
     row.lock_condvar_waits = waits.lock_condvar_waits;
     row.name_index_wait_ms = waits.name_index_wait_nanos as f64 / 1e6;

@@ -48,11 +48,15 @@ pub struct Options {
     /// harness turns it on: with it, a commit that returns `Ok` is
     /// guaranteed to survive power loss.
     pub sync_commit: bool,
-    /// Group-commit batching window (OStore only): how long the first
-    /// committer of a batch lingers before forcing the log, so that
-    /// concurrent commits share one force. `None` forces immediately;
-    /// batching still happens opportunistically while a force is in
-    /// flight.
+    /// WAL idle-flush delay (OStore only). Commits no longer sleep a
+    /// batching window: the dedicated log-writer thread coalesces every
+    /// commit that arrives while a force is in flight into the next
+    /// batch, so batching is a property of the pipeline, not of a
+    /// configured delay. This knob now only controls how long appended
+    /// records from transactions that have *not* committed may sit in
+    /// the in-memory buffer before the log-writer writes them out in
+    /// the background; `None` leaves them buffered until the next
+    /// force.
     pub group_commit_window: Option<Duration>,
 }
 

@@ -98,6 +98,14 @@ pub enum StorageError {
         /// The minimum epoch the receiver accepts.
         fence: u64,
     },
+    /// The log-writer's force failed for the batch covering this
+    /// commit. The underlying error is shared (`Arc`) by every
+    /// committer the batch covered — one bounded-retry force produced
+    /// it, not one retry storm per waiter.
+    ForceFailed(std::sync::Arc<StorageError>),
+    /// The dedicated log-writer thread is down (orderly shutdown or
+    /// panic), so the enqueued commit can never be forced.
+    WalWriterDown(&'static str),
 }
 
 impl StorageError {
@@ -106,13 +114,15 @@ impl StorageError {
     /// The corruption harness uses this to distinguish *detected*
     /// damage from silent acceptance.
     pub fn is_corruption(&self) -> bool {
-        matches!(
-            self,
+        match self {
             StorageError::Corrupt(_)
-                | StorageError::Recovery(_)
-                | StorageError::PageChecksum { .. }
-                | StorageError::MisdirectedPage { .. }
-        )
+            | StorageError::Recovery(_)
+            | StorageError::PageChecksum { .. }
+            | StorageError::MisdirectedPage { .. } => true,
+            // A failed force is as corrupt as whatever made it fail.
+            StorageError::ForceFailed(inner) => inner.is_corruption(),
+            _ => false,
+        }
     }
 }
 
@@ -155,6 +165,12 @@ impl fmt::Display for StorageError {
                      {fence} (deposed primary)"
                 )
             }
+            StorageError::ForceFailed(inner) => {
+                write!(f, "log force failed for this commit's batch: {inner}")
+            }
+            StorageError::WalWriterDown(why) => {
+                write!(f, "log-writer thread is down ({why}); commit cannot be forced")
+            }
         }
     }
 }
@@ -163,6 +179,7 @@ impl std::error::Error for StorageError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             StorageError::Io(e) => Some(e),
+            StorageError::ForceFailed(inner) => Some(inner.as_ref()),
             _ => None,
         }
     }
@@ -201,6 +218,10 @@ mod tests {
             StorageError::MisdirectedPage { expected: 4, found: 9 },
             StorageError::WalRewound { requested: 512, tail: 17 },
             StorageError::EpochFenced { got: 3, fence: 5 },
+            StorageError::ForceFailed(std::sync::Arc::new(StorageError::Io(io::Error::other(
+                "disk gone",
+            )))),
+            StorageError::WalWriterDown("log shut down"),
         ];
         for c in cases {
             assert!(!c.to_string().is_empty());
@@ -220,6 +241,14 @@ mod tests {
         .is_corruption());
         assert!(!StorageError::Io(io::Error::other("boom")).is_corruption());
         assert!(!StorageError::SingleUser.is_corruption());
+        // ForceFailed classifies by its cause, not by itself.
+        let io_force =
+            StorageError::ForceFailed(std::sync::Arc::new(io::Error::other("boom").into()));
+        assert!(!io_force.is_corruption());
+        let corrupt_force =
+            StorageError::ForceFailed(std::sync::Arc::new(StorageError::Corrupt("rot".into())));
+        assert!(corrupt_force.is_corruption());
+        assert!(!StorageError::WalWriterDown("down").is_corruption());
     }
 
     #[test]

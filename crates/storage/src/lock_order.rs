@@ -29,7 +29,7 @@
 //! | 40   | `BufferPool::inner`                    |
 //! | 45   | `PageFile::file`                       |
 //! | 50   | `Wal::writer`                          |
-//! | 55   | `Wal::group` (group-commit tickets)    |
+//! | 55   | `Wal::queue` (log-writer request queue)|
 //! | 60   | `SimVfs` state (simulated disk)        |
 //! | 70   | server tenant registry                 |
 //! | 72   | server connection table                |
@@ -90,8 +90,12 @@ pub const BUFFER_POOL: LockRank = LockRank { rank: 40, name: "buffer_pool.frames
 pub const PAGE_FILE: LockRank = LockRank { rank: 45, name: "page_file.file" };
 /// The WAL append buffer / writer.
 pub const WAL_WRITER: LockRank = LockRank { rank: 50, name: "wal.writer" };
-/// The WAL group-commit ticket state.
-pub const WAL_GROUP: LockRank = LockRank { rank: 55, name: "wal.group" };
+/// The log-writer's request queue: group-commit tickets, durability
+/// watermarks, and failure slots. Ranked *above* the writer mutex so
+/// a committer parked on the queue can never be holding the append
+/// buffer; the log-writer thread takes the two strictly in turn
+/// (claim under the queue, then force under the writer), never nested.
+pub const WAL_QUEUE: LockRank = LockRank { rank: 55, name: "wal.queue" };
 /// The simulated-VFS state: the innermost lock of all — every simulated
 /// disk operation ends here, under whichever file lock drives it.
 pub const SIM_VFS: LockRank = LockRank { rank: 60, name: "sim_vfs.state" };

@@ -38,6 +38,10 @@ pub struct StorageStats {
     /// Physical log forces (group-commit batches): each force covers one
     /// or more commits, so under concurrency this stays below `commits`.
     pub wal_syncs: AtomicU64,
+    /// Nanoseconds spent inside physical log forces (write-out plus
+    /// sync), summed across all forcing threads — the log-writer's
+    /// working time, distinct from committers' queue waits.
+    pub wal_force_nanos: AtomicU64,
     /// Checkpoints taken.
     pub checkpoints: AtomicU64,
     /// WAL frames replayed during the most recent recovery.
@@ -93,6 +97,7 @@ impl StorageStats {
             aborts: self.aborts.load(Ordering::Relaxed),
             wal_bytes: self.wal_bytes.load(Ordering::Relaxed),
             wal_syncs: self.wal_syncs.load(Ordering::Relaxed),
+            wal_force_nanos: self.wal_force_nanos.load(Ordering::Relaxed),
             checkpoints: self.checkpoints.load(Ordering::Relaxed),
             wal_frames_replayed: self.wal_frames_replayed.load(Ordering::Relaxed),
             wal_bytes_truncated: self.wal_bytes_truncated.load(Ordering::Relaxed),
@@ -138,6 +143,8 @@ pub struct StatsSnapshot {
     pub wal_bytes: u64,
     /// See [`StorageStats::wal_syncs`].
     pub wal_syncs: u64,
+    /// See [`StorageStats::wal_force_nanos`].
+    pub wal_force_nanos: u64,
     /// See [`StorageStats::checkpoints`].
     pub checkpoints: u64,
     /// See [`StorageStats::wal_frames_replayed`].
@@ -181,6 +188,7 @@ impl StatsSnapshot {
             aborts: self.aborts.saturating_sub(earlier.aborts),
             wal_bytes: self.wal_bytes.saturating_sub(earlier.wal_bytes),
             wal_syncs: self.wal_syncs.saturating_sub(earlier.wal_syncs),
+            wal_force_nanos: self.wal_force_nanos.saturating_sub(earlier.wal_force_nanos),
             checkpoints: self.checkpoints.saturating_sub(earlier.checkpoints),
             wal_frames_replayed: self
                 .wal_frames_replayed

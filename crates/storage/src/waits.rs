@@ -1,9 +1,11 @@
 //! Per-thread wait attribution: where did a session's latency go?
 //!
-//! Three thread-local nanosecond counters, cheap enough to keep on in
-//! release builds: time spent blocked in the lock manager, time spent
-//! in `Wal::group_commit` (queueing for the batch leader plus the
-//! physical log force), and time spent blocked on heap metadata locks
+//! A handful of thread-local nanosecond counters, cheap enough to keep
+//! on in release builds: time spent blocked in the lock manager, time
+//! spent parked in `Wal::group_commit` waiting for the log-writer to
+//! cover a ticket, time spent *performing* a physical log force on this
+//! thread (the log-writer itself, or a buffer-pool steal guard forcing
+//! on a client thread), and time spent blocked on heap metadata locks
 //! (object-table shards, segment placement state). Worker threads —
 //! which the multi-client driver maps 1:1 to clients — snapshot the
 //! counters around a span of work and report the delta, so throughput
@@ -15,6 +17,7 @@ use std::cell::Cell;
 thread_local! {
     static LOCK_WAIT_NANOS: Cell<u64> = const { Cell::new(0) };
     static COMMIT_WAIT_NANOS: Cell<u64> = const { Cell::new(0) };
+    static COMMIT_FORCE_NANOS: Cell<u64> = const { Cell::new(0) };
     static HEAP_WAIT_NANOS: Cell<u64> = const { Cell::new(0) };
     static LOCK_CONDVAR_WAITS: Cell<u64> = const { Cell::new(0) };
     static NAME_INDEX_WAIT_NANOS: Cell<u64> = const { Cell::new(0) };
@@ -26,9 +29,16 @@ pub struct WaitSnapshot {
     /// Nanoseconds spent blocked waiting for object locks (including
     /// waits that ended in a lock timeout).
     pub lock_wait_nanos: u64,
-    /// Nanoseconds spent in WAL group commit: waiting for a batch
-    /// leader, the batching window, and the log force itself.
+    /// Nanoseconds spent parked in WAL group commit, waiting for the
+    /// log-writer thread to cover this thread's ticket. Pure queue
+    /// wait: the physical force runs elsewhere and is charged to
+    /// `commit_force_nanos` on whichever thread performs it.
     pub commit_wait_nanos: u64,
+    /// Nanoseconds this thread spent *inside* a physical log force
+    /// (write-out or sync). Zero for ordinary clients — the log-writer
+    /// does their forcing — and nonzero when a buffer-pool steal guard
+    /// forces the log on a client thread mid-transaction.
+    pub commit_force_nanos: u64,
     /// Nanoseconds spent blocked on contended heap metadata locks
     /// (object-table shards and segment placement state). Uncontended
     /// acquisitions cost nothing here.
@@ -51,6 +61,7 @@ impl WaitSnapshot {
         WaitSnapshot {
             lock_wait_nanos: self.lock_wait_nanos.saturating_sub(earlier.lock_wait_nanos),
             commit_wait_nanos: self.commit_wait_nanos.saturating_sub(earlier.commit_wait_nanos),
+            commit_force_nanos: self.commit_force_nanos.saturating_sub(earlier.commit_force_nanos),
             heap_wait_nanos: self.heap_wait_nanos.saturating_sub(earlier.heap_wait_nanos),
             lock_condvar_waits: self.lock_condvar_waits.saturating_sub(earlier.lock_condvar_waits),
             name_index_wait_nanos: self
@@ -65,6 +76,7 @@ pub fn snapshot() -> WaitSnapshot {
     WaitSnapshot {
         lock_wait_nanos: LOCK_WAIT_NANOS.with(|c| c.get()),
         commit_wait_nanos: COMMIT_WAIT_NANOS.with(|c| c.get()),
+        commit_force_nanos: COMMIT_FORCE_NANOS.with(|c| c.get()),
         heap_wait_nanos: HEAP_WAIT_NANOS.with(|c| c.get()),
         lock_condvar_waits: LOCK_CONDVAR_WAITS.with(|c| c.get()),
         name_index_wait_nanos: NAME_INDEX_WAIT_NANOS.with(|c| c.get()),
@@ -77,6 +89,10 @@ pub(crate) fn add_lock_wait(nanos: u64) {
 
 pub(crate) fn add_commit_wait(nanos: u64) {
     COMMIT_WAIT_NANOS.with(|c| c.set(c.get().saturating_add(nanos)));
+}
+
+pub(crate) fn add_commit_force(nanos: u64) {
+    COMMIT_FORCE_NANOS.with(|c| c.set(c.get().saturating_add(nanos)));
 }
 
 pub(crate) fn add_heap_wait(nanos: u64) {
@@ -103,6 +119,7 @@ mod tests {
         let before = snapshot();
         add_lock_wait(100);
         add_commit_wait(40);
+        add_commit_force(13);
         add_heap_wait(9);
         add_lock_wait(1);
         add_lock_condvar_wait();
@@ -111,6 +128,7 @@ mod tests {
         let d = snapshot().delta(&before);
         assert_eq!(d.lock_wait_nanos, 101);
         assert_eq!(d.commit_wait_nanos, 40);
+        assert_eq!(d.commit_force_nanos, 13);
         assert_eq!(d.heap_wait_nanos, 9);
         assert_eq!(d.lock_condvar_waits, 2);
         assert_eq!(d.name_index_wait_nanos, 33);
@@ -132,6 +150,7 @@ mod tests {
         let a = WaitSnapshot {
             lock_wait_nanos: 10,
             commit_wait_nanos: 10,
+            commit_force_nanos: 4,
             heap_wait_nanos: 10,
             lock_condvar_waits: 2,
             name_index_wait_nanos: 5,

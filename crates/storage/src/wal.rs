@@ -20,6 +20,7 @@
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use parking_lot::{Mutex, MutexGuard};
@@ -398,46 +399,343 @@ impl WalWriter {
     }
 }
 
-/// Ticket bookkeeping for group commit. Committers take a ticket on
-/// arrival; one of them becomes the *leader*, optionally waits out the
-/// batching window, then forces the log once on behalf of every ticket
-/// issued so far. Followers block on the condvar until their ticket is
-/// covered.
+/// A force failure published by the log-writer thread. Every ticket
+/// below `through` not already covered by a successful force observes
+/// the same shared error — one typed failure per batch, instead of each
+/// covered committer re-forcing a possibly-dead disk in turn.
+struct FailedRange {
+    /// One past the last ticket the failed batch would have covered.
+    through: u64,
+    /// The force error, shared by every covered waiter.
+    error: Arc<StorageError>,
+}
+
+/// The log-writer's request queue. Committers take a ticket (after
+/// their records are in the append buffer), record whether they need a
+/// sync, and park on the `done` condvar until the matching watermark
+/// passes their ticket; the dedicated writer thread claims the queue in
+/// batches and forces once per batch — at the strongest durability any
+/// member requested, never a downgrade.
 #[derive(Default)]
-struct GroupState {
+struct LogQueue {
     /// Next ticket to hand out.
     next_ticket: u64,
-    /// Tickets below this value have had their records forced.
-    forced_ticket: u64,
-    /// A leader is currently flushing on everyone's behalf.
-    leader_active: bool,
+    /// Tickets below this bound have been claimed by the writer,
+    /// successfully or not. The writer only forces again when work
+    /// arrives beyond this point, so a failed batch costs one
+    /// bounded-retry force, not one more per covered committer.
+    claimed_ticket: u64,
+    /// Tickets below this bound have had their records written out to
+    /// the log file (durable up to the OS page cache).
+    flushed_ticket: u64,
+    /// Tickets below this bound have had their records synced.
+    synced_ticket: u64,
+    /// Durability requests enqueued since the writer's last claim; the
+    /// batch syncs iff this is nonzero.
+    pending_syncs: u64,
+    /// The last failed write-out, if no flush has succeeded since. A
+    /// later successful flush covers the same tickets (the buffer
+    /// retains unflushed bodies across failures) and clears this.
+    flush_failure: Option<FailedRange>,
+    /// The last failed sync, if no sync has succeeded since. Write-out
+    /// succeeded for these tickets, so only durable waiters fail.
+    sync_failure: Option<FailedRange>,
+    /// Set when the writer thread exits — orderly shutdown or panic —
+    /// so waiters fail typed instead of parking forever.
+    writer_down: Option<&'static str>,
+    /// Tells the writer thread to drain its queue and exit.
+    shutdown: bool,
 }
 
-/// The write-ahead log file: append-only and write-buffered. Records
-/// accumulate in an in-memory buffer; committing transactions call
-/// [`Wal::group_commit`], which batches concurrent commits into a single
-/// log force (write-out to the VFS, plus a sync when durability is
-/// requested) — the usual group-commit trade of a little latency for far
-/// fewer syncs.
-pub struct Wal {
+/// What the log-writer found when it drained its queue.
+enum Claim {
+    /// Tickets below `end` need a force; `sync` iff any member asked.
+    Batch {
+        /// One past the last ticket covered by this batch.
+        end: u64,
+        /// Whether any member requested durability.
+        sync: bool,
+    },
+    /// Idle past the configured window with appended-but-unflushed
+    /// records: write them out in the background, best-effort.
+    IdleFlush,
+    /// Shut down (the queue is fully drained).
+    Exit,
+}
+
+/// State shared between [`Wal`] handles and the log-writer thread.
+struct WalShared {
     writer: Mutex<WalWriter>,
-    written: AtomicU64,
+    queue: StdMutex<LogQueue>,
+    /// Wakes the log-writer: new tickets, sync requests, or shutdown.
+    work: Condvar,
+    /// Wakes committers: a watermark advanced or a failure published.
+    done: Condvar,
     stats: Arc<StorageStats>,
-    group: StdMutex<GroupState>,
-    group_wakeup: Condvar,
-    /// How long a leader lingers before forcing, letting more commits
-    /// join the batch. `None` forces immediately (batching still happens
-    /// opportunistically while a force is in flight).
+    /// Idle-flush delay: once the queue has been quiet this long,
+    /// records appended without a commit (aborts, in-flight
+    /// transactions) are written out in the background. `None` leaves
+    /// them buffered until the next force.
     window: Option<Duration>,
+    /// Bodies appended but not yet written out. Advisory — it only
+    /// gates the idle-flush wakeup; the writer mutex owns the truth.
+    buffered: AtomicU64,
+    /// Test hook: make the writer thread panic at its next claim, to
+    /// prove committers get a typed error instead of a hang.
+    #[cfg(test)]
+    panic_next_claim: std::sync::atomic::AtomicBool,
 }
 
-impl Wal {
+/// Armed by the log-writer for its whole life: on drop — orderly exit
+/// or unwind — publishes `writer_down` and wakes every waiter, so a
+/// dead writer surfaces as [`StorageError::WalWriterDown`], never a
+/// hang.
+struct WriterFailsafe<'a>(&'a WalShared);
+
+impl Drop for WriterFailsafe<'_> {
+    fn drop(&mut self) {
+        let why = if std::thread::panicking() {
+            "log-writer thread panicked"
+        } else {
+            "log shut down"
+        };
+        {
+            let _rank = lock_order::acquire(lock_order::WAL_QUEUE);
+            let mut q = self.0.queue.lock().unwrap_or_else(|e| e.into_inner());
+            q.writer_down = Some(why);
+        }
+        self.0.done.notify_all();
+    }
+}
+
+impl WalShared {
     /// Lock the append buffer with rank tracking. Held across the
     /// write-out and sync of a force — the writer mutex is what
     /// serializes log forces — and never while acquiring any lock other
     /// than the simulated disk's.
     fn writer_lock(&self) -> Ranked<MutexGuard<'_, WalWriter>> {
         lock_order::ranked(lock_order::WAL_WRITER, || self.writer.lock())
+    }
+
+    /// The log-writer thread: claim a batch of tickets, force once for
+    /// all of them, publish the outcome, repeat. Write-out and sync are
+    /// published separately, so non-durable committers wake as soon as
+    /// their records are in the file while the sync is still in flight
+    /// — and the next batch accumulates behind the in-flight force
+    /// instead of behind a sleeping leader.
+    fn writer_loop(&self) {
+        let failsafe = WriterFailsafe(self);
+        loop {
+            match self.claim() {
+                Claim::Exit => break,
+                Claim::IdleFlush => self.flush_idle(),
+                Claim::Batch { end, sync } => {
+                    let flushed = self.flush_batch();
+                    let flush_ok = flushed.is_ok();
+                    self.publish_flush(end, flushed);
+                    if sync && flush_ok {
+                        let synced = self.sync_batch();
+                        self.publish_sync(end, synced);
+                    }
+                }
+            }
+        }
+        drop(failsafe);
+    }
+
+    /// Wait for work and claim all of it. The rank token is explicit
+    /// because the condvar wait consumes and re-produces the guard;
+    /// both are released before any I/O.
+    fn claim(&self) -> Claim {
+        #[cfg(test)]
+        if self.panic_next_claim.load(Ordering::Relaxed) {
+            // analyzer: allow(panic, "test hook: simulated log-writer death")
+            panic!("injected log-writer panic");
+        }
+        let _rank = lock_order::acquire(lock_order::WAL_QUEUE);
+        let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if q.next_ticket > q.claimed_ticket || q.pending_syncs > 0 {
+                let claim = Claim::Batch { end: q.next_ticket, sync: q.pending_syncs > 0 };
+                q.claimed_ticket = q.next_ticket;
+                q.pending_syncs = 0;
+                return claim;
+            }
+            if q.shutdown {
+                return Claim::Exit;
+            }
+            match self.window {
+                Some(window) if !window.is_zero() && self.buffered.load(Ordering::Relaxed) > 0 => {
+                    let (guard, timeout) =
+                        self.work.wait_timeout(q, window).unwrap_or_else(|e| e.into_inner());
+                    q = guard;
+                    if timeout.timed_out()
+                        && q.next_ticket == q.claimed_ticket
+                        && q.pending_syncs == 0
+                        && !q.shutdown
+                    {
+                        return Claim::IdleFlush;
+                    }
+                }
+                _ => q = self.work.wait(q).unwrap_or_else(|e| e.into_inner()),
+            }
+        }
+    }
+
+    /// Publish a write-out outcome and wake the covered waiters.
+    fn publish_flush(&self, end: u64, result: Result<()>) {
+        {
+            let _rank = lock_order::acquire(lock_order::WAL_QUEUE);
+            let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+            match result {
+                Ok(()) => {
+                    q.flushed_ticket = q.flushed_ticket.max(end);
+                    q.flush_failure = None;
+                }
+                Err(e) => {
+                    q.flush_failure = Some(FailedRange { through: end, error: Arc::new(e) });
+                }
+            }
+        }
+        self.done.notify_all();
+    }
+
+    /// Publish a sync outcome and wake the covered durable waiters.
+    fn publish_sync(&self, end: u64, result: Result<()>) {
+        {
+            let _rank = lock_order::acquire(lock_order::WAL_QUEUE);
+            let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+            match result {
+                Ok(()) => {
+                    q.synced_ticket = q.synced_ticket.max(end);
+                    q.sync_failure = None;
+                }
+                Err(e) => {
+                    q.sync_failure = Some(FailedRange { through: end, error: Arc::new(e) });
+                }
+            }
+        }
+        self.done.notify_all();
+    }
+
+    /// Enqueue a durability request and block until the log-writer has
+    /// covered it (or failed trying). `durable` waits for a sync;
+    /// otherwise write-out suffices — and a non-durable waiter whose
+    /// batch flushed wakes while the sync is still in flight.
+    fn wait_covered(&self, durable: bool) -> Result<()> {
+        let _rank = lock_order::acquire(lock_order::WAL_QUEUE);
+        let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        let ticket = q.next_ticket;
+        q.next_ticket += 1;
+        if durable {
+            q.pending_syncs += 1;
+        }
+        self.work.notify_one();
+        loop {
+            let covered = if durable { q.synced_ticket } else { q.flushed_ticket };
+            if covered > ticket {
+                return Ok(());
+            }
+            // Success is checked first: a batch that failed but whose
+            // bytes a later force carried out (the buffer keeps
+            // unflushed bodies across failures) counts as covered.
+            if let Some(f) = &q.flush_failure {
+                if ticket < f.through {
+                    return Err(StorageError::ForceFailed(f.error.clone()));
+                }
+            }
+            if durable {
+                if let Some(f) = &q.sync_failure {
+                    if ticket < f.through {
+                        return Err(StorageError::ForceFailed(f.error.clone()));
+                    }
+                }
+            }
+            if let Some(why) = q.writer_down {
+                return Err(StorageError::WalWriterDown(why));
+            }
+            q = self.done.wait(q).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Write the buffered bodies out to the file (one batch), charging
+    /// the time to the force profile rather than any committer's wait.
+    fn flush_batch(&self) -> Result<()> {
+        let started = Instant::now();
+        let result = {
+            let mut w = self.writer_lock();
+            w.flush().map(|()| self.buffered.store(0, Ordering::Relaxed))
+        };
+        self.note_force(started);
+        if result.is_ok() {
+            StorageStats::bump(&self.stats.wal_syncs, 1);
+        }
+        result
+    }
+
+    /// Sync the file. Runs after (and apart from) the batch's
+    /// write-out; everything flushed so far becomes durable.
+    fn sync_batch(&self) -> Result<()> {
+        let started = Instant::now();
+        let result = {
+            let mut w = self.writer_lock();
+            let stats = self.stats.clone();
+            with_retries(|| w.file.sync(), || StorageStats::bump(&stats.io_retries, 1))
+        };
+        self.note_force(started);
+        result
+    }
+
+    /// Attribute time spent inside a physical force: to the calling
+    /// thread's profile (meaningful for steal-guard forces on client
+    /// threads) and to the store-wide counter (the log-writer's work).
+    fn note_force(&self, started: Instant) {
+        let nanos = started.elapsed().as_nanos() as u64;
+        waits::add_commit_force(nanos);
+        StorageStats::bump(&self.stats.wal_force_nanos, nanos);
+    }
+
+    /// Synchronous force on the calling thread (steal guard, tests):
+    /// write out, and sync when `durable`. Queue watermarks are not
+    /// advanced — committers wait for the writer's own batches.
+    fn force(&self, durable: bool) -> Result<()> {
+        self.flush_batch()?;
+        if durable {
+            self.sync_batch()?;
+        }
+        Ok(())
+    }
+
+    /// Best-effort background write-out of appended records once the
+    /// queue has idled past the window. Not a force: no batch counted,
+    /// and an error stays in the writer — it resurfaces, with retries,
+    /// at the next real force.
+    fn flush_idle(&self) {
+        let mut w = self.writer_lock();
+        if w.flush().is_ok() {
+            self.buffered.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// The write-ahead log file: append-only and write-buffered, forced by
+/// a dedicated log-writer thread. Records accumulate in an in-memory
+/// buffer; committing transactions call [`Wal::group_commit`], which
+/// enqueues a durability request and parks until the writer covers it.
+/// The writer coalesces every request that arrives while a force is in
+/// flight into the next batch — so one physical write-out (plus one
+/// sync, when any member wants durability) serves many commits, and no
+/// committer ever burns its own thread on the window or the fsync.
+pub struct Wal {
+    shared: Arc<WalShared>,
+    written: AtomicU64,
+    /// The dedicated log-writer thread; joined on drop.
+    writer_thread: Option<JoinHandle<()>>,
+}
+
+impl Wal {
+    fn writer_lock(&self) -> Ranked<MutexGuard<'_, WalWriter>> {
+        self.shared.writer_lock()
     }
 
     /// Create a fresh (empty) log at `path`.
@@ -448,20 +746,7 @@ impl Wal {
         window: Option<Duration>,
     ) -> Result<Self> {
         let file = vfs.open(path, OpenMode::Create)?;
-        Ok(Wal {
-            writer: Mutex::new(WalWriter {
-                file,
-                flushed: 0,
-                buf: Vec::new(),
-                stats: stats.clone(),
-                pending_reset: None,
-            }),
-            written: AtomicU64::new(0),
-            stats,
-            group: StdMutex::new(GroupState::default()),
-            group_wakeup: Condvar::new(),
-            window,
-        })
+        Self::start(file, 0, stats, window)
     }
 
     /// Open an existing log for appending (after replay). Creates an
@@ -475,20 +760,39 @@ impl Wal {
         let mode = if vfs.exists(path) { OpenMode::Open } else { OpenMode::Create };
         let mut file = vfs.open(path, mode)?;
         let len = file.len()?;
-        Ok(Wal {
+        Self::start(file, len, stats, window)
+    }
+
+    /// Wrap an opened log file and spawn its log-writer thread.
+    fn start(
+        file: Box<dyn VfsFile>,
+        flushed: u64,
+        stats: Arc<StorageStats>,
+        window: Option<Duration>,
+    ) -> Result<Self> {
+        let shared = Arc::new(WalShared {
             writer: Mutex::new(WalWriter {
                 file,
-                flushed: len,
+                flushed,
                 buf: Vec::new(),
                 stats: stats.clone(),
                 pending_reset: None,
             }),
-            written: AtomicU64::new(len),
+            queue: StdMutex::new(LogQueue::default()),
+            work: Condvar::new(),
+            done: Condvar::new(),
             stats,
-            group: StdMutex::new(GroupState::default()),
-            group_wakeup: Condvar::new(),
             window,
-        })
+            buffered: AtomicU64::new(0),
+            #[cfg(test)]
+            panic_next_claim: std::sync::atomic::AtomicBool::new(false),
+        });
+        let writer_shared = shared.clone();
+        let writer_thread = std::thread::Builder::new()
+            .name("labflow-wal".into())
+            .spawn(move || writer_shared.writer_loop())
+            .map_err(StorageError::Io)?;
+        Ok(Wal { shared, written: AtomicU64::new(flushed), writer_thread: Some(writer_thread) })
     }
 
     /// Append a record to the log (buffered).
@@ -496,92 +800,48 @@ impl Wal {
         let body = encode_body(rec);
         let frame_len = (body.len() + 8) as u64;
         self.writer_lock().buf.push(body);
+        self.shared.buffered.fetch_add(1, Ordering::Relaxed);
         self.written.fetch_add(frame_len, Ordering::Relaxed);
-        StorageStats::bump(&self.stats.wal_bytes, frame_len);
+        StorageStats::bump(&self.shared.stats.wal_bytes, frame_len);
+        if self.shared.window.is_some() {
+            // Arm the idle flush: the writer wakes, finds no tickets,
+            // and writes the record out once the window passes quiet.
+            self.shared.work.notify_one();
+        }
         Ok(())
     }
 
     /// Group commit: ensure every record appended by the caller (up to
     /// and including its commit record) has been forced to the log.
     ///
-    /// The caller must have finished appending before calling. Concurrent
-    /// committers share one physical force: the first to arrive becomes
-    /// the leader, lingers for the configured window so stragglers can
-    /// join, then flushes once for the whole batch. `durable` adds a
-    /// sync; otherwise the force stops at the OS page cache (the
-    /// benchmark's default, matching checkpoint-based durability).
+    /// The caller must have finished appending before calling. The call
+    /// enqueues a durability request for the dedicated log-writer and
+    /// parks; the writer coalesces every request that arrived since its
+    /// last claim into one physical force. `durable` requires a sync —
+    /// and the batch syncs if *any* member requires it, so a durable
+    /// commit is never downgraded by its batch-mates. Without `durable`
+    /// the caller wakes as soon as its records are written out to the
+    /// OS page cache (the benchmark's default, matching
+    /// checkpoint-based durability) — possibly while the same batch's
+    /// sync is still in flight.
     ///
-    /// Time spent here — queueing behind a leader, the batching window,
-    /// and the force itself — is charged to the calling thread's
-    /// commit-wait counter (see [`crate::WaitSnapshot`]).
+    /// Time spent parked here is charged to the calling thread's
+    /// commit-wait counter; the physical force is charged to whichever
+    /// thread performs it (see [`crate::WaitSnapshot`]).
     pub fn group_commit(&self, durable: bool) -> Result<()> {
         let started = Instant::now();
-        let result = self.group_commit_inner(durable);
+        let result = self.shared.wait_covered(durable);
         waits::add_commit_wait(started.elapsed().as_nanos() as u64);
         result
     }
 
-    fn group_commit_inner(&self, durable: bool) -> Result<()> {
-        // Explicit rank token: the guard is consumed and re-produced by
-        // the condvar wait, so it cannot carry the rank itself. Both are
-        // released before the leader sleeps or forces.
-        let rank = lock_order::acquire(lock_order::WAL_GROUP);
-        let mut g = self.group.lock().unwrap_or_else(|e| e.into_inner());
-        let my_ticket = g.next_ticket;
-        g.next_ticket += 1;
-        loop {
-            if g.forced_ticket > my_ticket {
-                return Ok(());
-            }
-            if !g.leader_active {
-                g.leader_active = true;
-                drop(g);
-                drop(rank);
-                if let Some(window) = self.window {
-                    if !window.is_zero() {
-                        std::thread::sleep(window);
-                    }
-                }
-                // Every ticket issued by now belongs to a committer whose
-                // records are already in the buffer, so one force covers
-                // them all.
-                let batch_end = {
-                    let _rank = lock_order::acquire(lock_order::WAL_GROUP);
-                    self.group.lock().unwrap_or_else(|e| e.into_inner()).next_ticket
-                };
-                let result = self.force(durable);
-                {
-                    let _rank = lock_order::acquire(lock_order::WAL_GROUP);
-                    let mut g = self.group.lock().unwrap_or_else(|e| e.into_inner());
-                    g.leader_active = false;
-                    if result.is_ok() {
-                        g.forced_ticket = g.forced_ticket.max(batch_end);
-                    }
-                }
-                self.group_wakeup.notify_all();
-                return result;
-            }
-            g = self.group_wakeup.wait(g).unwrap_or_else(|e| e.into_inner());
-        }
-    }
-
-    /// Write out and sync the log unconditionally when `durable`. Crate
-    /// visibility: the buffer pool's steal guard forces the log before a
-    /// dirty page may be written to the data file (the write-ahead rule —
-    /// without it a stolen page could carry effects whose undo images are
-    /// not yet durable).
+    /// Write out and sync the log unconditionally when `durable`, on
+    /// the calling thread. Crate visibility: the buffer pool's steal
+    /// guard forces the log before a dirty page may be written to the
+    /// data file (the write-ahead rule — without it a stolen page could
+    /// carry effects whose undo images are not yet durable).
     pub(crate) fn force(&self, durable: bool) -> Result<()> {
-        let mut w = self.writer_lock();
-        w.flush()?;
-        if durable {
-            let stats = self.stats.clone();
-            with_retries(
-                || w.file.sync(),
-                || StorageStats::bump(&stats.io_retries, 1),
-            )?;
-        }
-        StorageStats::bump(&self.stats.wal_syncs, 1);
-        Ok(())
+        self.shared.force(durable)
     }
 
     /// Read every intact record from the start of the log.
@@ -659,12 +919,13 @@ impl Wal {
     pub fn truncate(&self, epoch: u64) -> Result<()> {
         let mut w = self.writer_lock();
         w.buf.clear();
+        self.shared.buffered.store(0, Ordering::Relaxed);
         // Mark the truncation before attempting it: if any step fails,
         // the next flush retries the whole head rewrite before it may
         // append a frame (see [`WalWriter::pending_reset`]).
         w.pending_reset = Some(epoch);
         w.repair_head()?;
-        let stats = self.stats.clone();
+        let stats = self.shared.stats.clone();
         with_retries(|| w.file.sync(), || StorageStats::bump(&stats.io_retries, 1))?;
         self.written.store(w.flushed, Ordering::Relaxed);
         Ok(())
@@ -710,7 +971,7 @@ impl Wal {
         }
         let avail = flushed - from;
         let mut window = avail.min(max_bytes.max(16) as u64) as usize;
-        let stats = self.stats.clone();
+        let stats = self.shared.stats.clone();
         loop {
             let mut buf = vec![0u8; window];
             with_retries(
@@ -776,6 +1037,24 @@ impl Wal {
             }
             buf.truncate(at);
             return Ok(WalChunk { start: from, end: from + at as u64, bytes: buf });
+        }
+    }
+}
+
+impl Drop for Wal {
+    /// Orderly shutdown: tell the log-writer to drain and exit, then
+    /// join it. Any committer still parked when the writer goes down is
+    /// woken with [`StorageError::WalWriterDown`] by the failsafe.
+    fn drop(&mut self) {
+        {
+            let _rank = lock_order::acquire(lock_order::WAL_QUEUE);
+            self.shared.queue.lock().unwrap_or_else(|e| e.into_inner()).shutdown = true;
+        }
+        self.shared.work.notify_all();
+        if let Some(handle) = self.writer_thread.take() {
+            // A panicked writer already published its death via the
+            // failsafe; nothing further to surface here.
+            let _ = handle.join();
         }
     }
 }
@@ -1060,6 +1339,193 @@ mod tests {
         wal.group_commit(true).unwrap();
         let d = crate::waits::snapshot().delta(&before);
         assert!(d.commit_wait_nanos > 0, "a durable force takes measurable time");
+        // The physical force ran on the log-writer thread, not here:
+        // this thread only queued.
+        assert_eq!(d.commit_force_nanos, 0, "committers no longer force on their own thread");
+    }
+
+    #[test]
+    fn steal_guard_force_charges_the_forcing_thread() {
+        let path = tmp("force-attr");
+        let vfs = RealVfs::arc();
+        let stats = Arc::new(StorageStats::default());
+        let wal = Wal::create(&vfs, &path, stats, None).unwrap();
+        wal.append(&WalRecord::Begin(1)).unwrap();
+        let before = crate::waits::snapshot();
+        wal.force(true).unwrap();
+        let d = crate::waits::snapshot().delta(&before);
+        assert!(d.commit_force_nanos > 0, "a synchronous force is charged to its caller");
+    }
+
+    #[test]
+    fn mixed_durability_batch_syncs_before_durable_caller_returns() {
+        // Regression: a durable=true committer whose batch also holds
+        // durable=false members must not be downgraded — its commit
+        // record must be in the *durable* image (not just the OS cache)
+        // by the time its group_commit returns. Non-durable committers
+        // hammer the queue so the durable caller's ticket lands in a
+        // shared batch with high probability.
+        use crate::vfs::SimVfs;
+        let sim = SimVfs::new(7);
+        let vfs: Arc<dyn Vfs> = Arc::new(sim.clone());
+        let path = PathBuf::from("/sim/wal.log");
+        let stats = Arc::new(StorageStats::default());
+        let wal = Arc::new(Wal::create(&vfs, &path, stats, None).unwrap());
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut noisy = Vec::new();
+        for t in 0..3u64 {
+            let wal = wal.clone();
+            let stop = stop.clone();
+            noisy.push(std::thread::spawn(move || {
+                let mut i = 0;
+                while !stop.load(Ordering::Relaxed) {
+                    let txn = 1_000 * (t + 1) + i;
+                    wal.append(&WalRecord::Begin(txn)).unwrap();
+                    wal.append(&WalRecord::Commit(txn)).unwrap();
+                    wal.group_commit(false).unwrap();
+                    i += 1;
+                }
+            }));
+        }
+        for round in 0..20u64 {
+            wal.append(&WalRecord::Begin(round)).unwrap();
+            wal.append(&WalRecord::Commit(round)).unwrap();
+            wal.group_commit(true).unwrap();
+            // Only synced bytes survive in the durable image; the
+            // durable caller's commit must already be there.
+            let durable: Arc<dyn Vfs> = Arc::new(sim.clone_durable());
+            let replayed = Wal::replay(&durable, &path).unwrap();
+            assert!(
+                replayed.records.contains(&WalRecord::Commit(round)),
+                "durable group_commit returned before its batch was synced (round {round})"
+            );
+        }
+        stop.store(true, Ordering::Relaxed);
+        for h in noisy {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn failed_force_propagates_one_typed_error_to_the_whole_batch() {
+        // Regression: when the force for a batch fails, every covered
+        // committer must get the same typed error instead of each
+        // self-promoting and re-forcing a dead disk in turn.
+        use crate::vfs::{FaultPlan, SimVfs};
+        let sim = SimVfs::new(3);
+        let vfs: Arc<dyn Vfs> = Arc::new(sim.clone());
+        let path = PathBuf::from("/sim/wal.log");
+        let stats = Arc::new(StorageStats::default());
+        let wal = Arc::new(Wal::create(&vfs, &path, stats.clone(), None).unwrap());
+        // Kill the disk: every operation from here on fails, well past
+        // any retry budget.
+        let base = sim.op_count();
+        sim.set_plan(FaultPlan { fail_ops: (base..base + 100_000).collect(), ..Default::default() });
+        let mut committers = Vec::new();
+        for t in 0..4u64 {
+            let wal = wal.clone();
+            committers.push(std::thread::spawn(move || {
+                wal.append(&WalRecord::Begin(t)).unwrap();
+                wal.append(&WalRecord::Commit(t)).unwrap();
+                wal.group_commit(true)
+            }));
+        }
+        for h in committers {
+            match h.join().unwrap() {
+                Err(StorageError::ForceFailed(inner)) => {
+                    assert!(matches!(*inner, StorageError::Io(_)), "cause is the disk error");
+                }
+                other => panic!("expected ForceFailed for every covered committer, got {other:?}"),
+            }
+        }
+        sim.set_plan(FaultPlan::default());
+    }
+
+    #[test]
+    fn crash_mid_async_force_recovers_committed_exactly() {
+        // Plug-pull while the log-writer holds an in-flight batch:
+        // every commit whose group_commit(true) returned Ok before the
+        // crash must replay from the durable image; torn in-flight
+        // writes may lose commits that never acknowledged, never ones
+        // that did.
+        use crate::vfs::{FaultPlan, SimVfs};
+        for seed in 0..8u64 {
+            let sim = SimVfs::new(seed);
+            let vfs: Arc<dyn Vfs> = Arc::new(sim.clone());
+            let path = PathBuf::from("/sim/wal.log");
+            let stats = Arc::new(StorageStats::default());
+            let wal = Arc::new(Wal::create(&vfs, &path, stats, None).unwrap());
+            // Let a little clean history build, then pull the plug a
+            // few operations into the concurrent run.
+            sim.set_plan(FaultPlan {
+                crash_at_op: Some(sim.op_count() + 4 + seed),
+                ..Default::default()
+            });
+            let acked = Arc::new(StdMutex::new(Vec::new()));
+            let mut committers = Vec::new();
+            for t in 0..4u64 {
+                let wal = wal.clone();
+                let acked = acked.clone();
+                committers.push(std::thread::spawn(move || {
+                    for i in 0..5u64 {
+                        let txn = 100 * (t + 1) + i;
+                        if wal.append(&WalRecord::Begin(txn)).is_err() {
+                            return;
+                        }
+                        if wal.append(&WalRecord::Commit(txn)).is_err() {
+                            return;
+                        }
+                        if wal.group_commit(true).is_ok() {
+                            acked.lock().unwrap().push(txn);
+                        }
+                    }
+                }));
+            }
+            for h in committers {
+                h.join().unwrap();
+            }
+            sim.power_loss();
+            let durable: Arc<dyn Vfs> = Arc::new(sim.clone_durable());
+            let replayed = Wal::replay(&durable, &path).unwrap();
+            let on_disk: Vec<u64> = replayed
+                .records
+                .iter()
+                .filter_map(|r| match r {
+                    WalRecord::Commit(t) => Some(*t),
+                    _ => None,
+                })
+                .collect();
+            for txn in acked.lock().unwrap().iter() {
+                assert!(
+                    on_disk.contains(txn),
+                    "seed {seed}: commit {txn} acknowledged durable before the crash \
+                     but missing after recovery"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn writer_thread_death_is_a_typed_error_not_a_hang() {
+        let path = tmp("writer-panic");
+        let vfs = RealVfs::arc();
+        let stats = Arc::new(StorageStats::default());
+        let wal = Wal::create(&vfs, &path, stats, None).unwrap();
+        wal.shared.panic_next_claim.store(true, Ordering::Relaxed);
+        // The writer dies at its next claim. Depending on where it was
+        // parked when the flag landed, the first commit may still be
+        // served by an already-started claim; the one after it must
+        // observe the death. Neither may hang.
+        wal.append(&WalRecord::Begin(1)).unwrap();
+        let first = wal.group_commit(true);
+        wal.append(&WalRecord::Begin(2)).unwrap();
+        let second = wal.group_commit(true);
+        let died = [&first, &second]
+            .iter()
+            .any(|r| matches!(r, Err(StorageError::WalWriterDown(_))));
+        assert!(died, "a dead log-writer must surface as WalWriterDown: {first:?} / {second:?}");
+        // Dropping the Wal joins the panicked thread without hanging.
+        drop(wal);
     }
 
     #[test]

@@ -20,14 +20,23 @@ impl Fixture {
         std::thread::sleep(std::time::Duration::from_millis(1));
     }
 
-    /// Cross-function inversion: holds WAL group-commit state (55) while
-    /// calling a helper that takes the WAL writer (50).
+    /// Cross-function inversion: holds the WAL log-writer request queue
+    /// (55) while calling a helper that takes the WAL writer (50).
     fn outer(&self) {
-        let _g = lock_order::ranked(lock_order::WAL_GROUP, || self.group.lock());
+        let _g = lock_order::ranked(lock_order::WAL_QUEUE, || self.queue.lock());
         self.inner_acquire();
     }
 
     fn inner_acquire(&self) {
+        let _w = lock_order::ranked(lock_order::WAL_WRITER, || self.writer.lock());
+    }
+
+    /// The log-writer's cardinal sin: forcing the log (WAL writer, 50)
+    /// while still holding its request queue (55). The writer loop
+    /// claims under the queue, *releases it*, and only then forces —
+    /// nesting them would park every committer behind the disk.
+    fn wal_force_under_queue_inverted(&self) {
+        let _q = lock_order::ranked(lock_order::WAL_QUEUE, || self.queue.lock());
         let _w = lock_order::ranked(lock_order::WAL_WRITER, || self.writer.lock());
     }
 

@@ -660,8 +660,27 @@ mod tests {
         assert!(
             findings.iter().any(|f| f.pass == "lock-order"
                 && f.msg.contains("WAL append buffer (rank 50)")
-                && f.msg.contains("WAL group-commit state (rank 55)")),
+                && f.msg.contains("WAL log-writer request queue (rank 55)")),
             "inversion through the call graph (outer -> inner_acquire) must be flagged"
+        );
+    }
+
+    #[test]
+    fn fixture_wal_force_under_queue_inversion_is_flagged() {
+        // Two distinct sites seed the queue(55) -> writer(50) edge: the
+        // cross-function one (outer -> inner_acquire) and the direct
+        // force-under-queue one. Both must be flagged individually.
+        let findings = analyze(&[load_fixture("lock_nesting.rs")]);
+        let edge_sites = findings
+            .iter()
+            .filter(|f| f.pass == "lock-order"
+                && f.msg.contains("WAL append buffer (rank 50)")
+                && f.msg.contains("WAL log-writer request queue (rank 55)"))
+            .count();
+        assert!(
+            edge_sites >= 2,
+            "forcing the log while holding the request queue must be flagged \
+             at both seeded sites, found {edge_sites}"
         );
     }
 

@@ -25,7 +25,7 @@ pub const RANK_CONSTS: &[(&str, u16, &str)] = &[
     ("BUFFER_POOL", 40, "buffer-pool frame table"),
     ("PAGE_FILE", 45, "page file handle"),
     ("WAL_WRITER", 50, "WAL append buffer"),
-    ("WAL_GROUP", 55, "WAL group-commit state"),
+    ("WAL_QUEUE", 55, "WAL log-writer request queue"),
     ("SIM_VFS", 60, "simulated disk state"),
     // Network front end (crates/server): leaf latches ranked above every
     // storage lock, so holding one across a database call is itself an
@@ -95,7 +95,7 @@ pub struct LockRule {
 ///
 /// Storage locks that use the explicit-token pattern (`lock_order::
 /// acquire` alongside a raw guard handed to a condvar — `Shard::raw_lock`
-/// in lock.rs, `group` in wal.rs) are intentionally ABSENT here: the
+/// in lock.rs, `queue` in wal.rs) are intentionally ABSENT here: the
 /// token call is the static marker, and a receiver rule would double-
 /// count the same lock as two nested acquisitions.
 pub fn rules() -> Vec<LockRule> {
